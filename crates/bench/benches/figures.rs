@@ -1,0 +1,63 @@
+//! Criterion wrappers around every figure driver at smoke scale: tracks
+//! the end-to-end cost of regenerating each paper artifact and guards
+//! against simulator performance regressions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sipt_sim::experiments::{
+    bypass, combined, fig01, ideal, naive, quadcore, sensitivity, speculation, waypred,
+};
+use sipt_sim::Condition;
+
+fn smoke() -> Vec<&'static str> {
+    vec!["libquantum", "calculix"]
+}
+
+fn tiny() -> Condition {
+    Condition { instructions: 8_000, warmup: 2_000, ..Condition::default() }
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("fig01_latency_model", |b| b.iter(fig01::run));
+    group.bench_function("fig02_ideal_ooo", |b| {
+        b.iter(|| ideal::fig2(&smoke(), &tiny()))
+    });
+    group.bench_function("fig03_ideal_inorder", |b| {
+        b.iter(|| ideal::fig3(&smoke(), &tiny()))
+    });
+    group.bench_function("fig05_speculation_profile", |b| {
+        b.iter(|| speculation::fig5(&smoke(), &tiny()))
+    });
+    group.bench_function("fig06_07_naive_sipt", |b| {
+        b.iter(|| naive::fig6_fig7(&smoke(), &tiny()))
+    });
+    group.bench_function("fig09_bypass_outcomes", |b| {
+        b.iter(|| bypass::fig9(&smoke(), &tiny()))
+    });
+    group.bench_function("fig12_combined_accuracy", |b| {
+        b.iter(|| combined::fig12(&smoke(), &tiny()))
+    });
+    group.bench_function("fig13_14_sipt_idb", |b| {
+        b.iter(|| combined::fig13_fig14(&smoke(), &tiny()))
+    });
+    group.bench_function("fig15_quadcore_mix0", |b| {
+        b.iter(|| {
+            quadcore::fig15(
+                &["mix0"],
+                &Condition { memory_bytes: 4 << 30, ..tiny() },
+            )
+        })
+    });
+    group.bench_function("fig16_17_way_prediction", |b| {
+        b.iter(|| waypred::fig16_fig17(&smoke(), &tiny()))
+    });
+    group.bench_function("fig18_sensitivity", |b| {
+        b.iter(|| sensitivity::fig18(&["libquantum"], &tiny()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

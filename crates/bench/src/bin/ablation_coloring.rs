@@ -1,0 +1,54 @@
+//! Ablation: software page coloring vs SIPT (related work, §II.D).
+//!
+//! An OS that colors pages (PFN low bits == VPN low bits, as ARMv6-era
+//! systems required) makes even *naive* SIPT speculation always correct —
+//! but it constrains the allocator and must be maintained forever. SIPT
+//! gets the same fast-access rate from prediction alone. This bench runs
+//! naive SIPT under both placement policies to show the equivalence, and
+//! the combined predictor under the default policy to show prediction
+//! makes coloring unnecessary.
+
+use sipt_bench::Scale;
+use sipt_core::{sipt_32k_2w, L1Policy};
+use sipt_mem::PlacementPolicy;
+use sipt_sim::{run_benchmark, Condition, SystemKind};
+
+fn main() {
+    let scale = Scale::from_args();
+    sipt_bench::header(
+        "Ablation: page coloring vs prediction",
+        "naive SIPT fast-access rate under default vs colored placement; combined \
+         predictor needs no OS help",
+    );
+    let base_cond = scale.condition();
+    let colored = Condition {
+        placement: PlacementPolicy::Colored { bits: 2 },
+        ..base_cond
+    };
+    println!(
+        "{:<16} {:>16} {:>16} {:>18}",
+        "benchmark", "naive (default)", "naive (colored)", "combined (default)"
+    );
+    for bench in scale.benchmarks() {
+        let naive = run_benchmark(
+            bench,
+            sipt_32k_2w().with_policy(L1Policy::SiptNaive),
+            SystemKind::OooThreeLevel,
+            &base_cond,
+        );
+        let naive_colored = run_benchmark(
+            bench,
+            sipt_32k_2w().with_policy(L1Policy::SiptNaive),
+            SystemKind::OooThreeLevel,
+            &colored,
+        );
+        let combined =
+            run_benchmark(bench, sipt_32k_2w(), SystemKind::OooThreeLevel, &base_cond);
+        println!(
+            "{bench:<16} {:>15.1}% {:>15.1}% {:>17.1}%",
+            naive.sipt.fast_fraction() * 100.0,
+            naive_colored.sipt.fast_fraction() * 100.0,
+            combined.sipt.fast_fraction() * 100.0,
+        );
+    }
+}

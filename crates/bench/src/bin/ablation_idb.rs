@@ -1,0 +1,42 @@
+//! Ablation: what the IDB adds on top of the bypass perceptron (§VI) —
+//! bypass-only converts misspeculations into waits; the IDB converts them
+//! into fast accesses.
+
+use sipt_bench::Scale;
+use sipt_core::{sipt_32k_2w, L1Policy};
+use sipt_sim::{run_benchmark, SystemKind};
+
+fn main() {
+    let scale = Scale::from_args();
+    sipt_bench::header(
+        "Ablation: IDB contribution",
+        "SIPT-bypass (perceptron only) vs SIPT combined (perceptron + IDB)",
+    );
+    let cond = scale.condition();
+    println!(
+        "{:<16} {:>12} {:>12} {:>12} {:>12}",
+        "benchmark", "bypass fast", "comb fast", "bypass IPC", "comb IPC"
+    );
+    for bench in scale.benchmarks() {
+        let base = run_benchmark(
+            bench,
+            sipt_core::baseline_32k_8w_vipt(),
+            SystemKind::OooThreeLevel,
+            &cond,
+        );
+        let byp = run_benchmark(
+            bench,
+            sipt_32k_2w().with_policy(L1Policy::SiptBypass),
+            SystemKind::OooThreeLevel,
+            &cond,
+        );
+        let comb = run_benchmark(bench, sipt_32k_2w(), SystemKind::OooThreeLevel, &cond);
+        println!(
+            "{bench:<16} {:>11.1}% {:>11.1}% {:>12.3} {:>12.3}",
+            byp.sipt.fast_fraction() * 100.0,
+            comb.sipt.fast_fraction() * 100.0,
+            byp.ipc_vs(&base),
+            comb.ipc_vs(&base),
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Ablation: perceptron table-size and history-length sensitivity (§V:
+//! "our experiments did not show strong sensitivity to these parameters").
+
+use sipt_bench::Scale;
+use sipt_core::{sipt_32k_2w, L1Policy};
+use sipt_predictors::PerceptronConfig;
+use sipt_sim::{run_benchmark, SystemKind};
+
+fn main() {
+    let scale = Scale::from_args();
+    sipt_bench::header(
+        "Ablation: perceptron sizing",
+        "accuracy vs table entries and history length (paper default: 64 x h=12)",
+    );
+    let cond = scale.condition();
+    let variants = [
+        ("64 x h12 (paper)", PerceptronConfig { entries: 64, history: 12, weight_bits: 6 }),
+        ("32 x h12", PerceptronConfig { entries: 32, history: 12, weight_bits: 6 }),
+        ("128 x h12", PerceptronConfig { entries: 128, history: 12, weight_bits: 6 }),
+        ("64 x h6", PerceptronConfig { entries: 64, history: 6, weight_bits: 6 }),
+        ("64 x h24", PerceptronConfig { entries: 64, history: 24, weight_bits: 6 }),
+    ];
+    println!("{:<20} {:>12} {:>12}", "config", "mean acc", "storage");
+    for (label, pcfg) in variants {
+        let mut accs = Vec::new();
+        for bench in scale.benchmarks() {
+            let m = run_benchmark(
+                bench,
+                sipt_32k_2w().with_policy(L1Policy::SiptBypass).with_perceptron(pcfg),
+                SystemKind::OooThreeLevel,
+                &cond,
+            );
+            accs.push(
+                (m.sipt.correct_speculation + m.sipt.correct_bypass) as f64
+                    / m.sipt.accesses.max(1) as f64,
+            );
+        }
+        let mean = accs.iter().sum::<f64>() / accs.len() as f64;
+        println!("{label:<20} {:>11.1}% {:>9} B", mean * 100.0, pcfg.storage_bits() / 8);
+    }
+}

@@ -1,0 +1,48 @@
+//! Ablation: instruction-scheduler replay cost (§VII.C). The paper argues
+//! SIPT's mispredictions are rare enough that even a simple (expensive)
+//! replay mechanism barely matters; this sweep quantifies that by charging
+//! 0–16 extra cycles per misspeculation.
+
+use sipt_bench::Scale;
+use sipt_core::{baseline_32k_8w_vipt, sipt_32k_2w};
+use sipt_sim::{harmonic_mean, run_benchmark, SystemKind};
+
+fn main() {
+    let scale = Scale::from_args();
+    sipt_bench::header(
+        "Ablation: scheduler replay penalty",
+        "mean SIPT speedup vs per-misspeculation replay cost (paper §VII.C: rare \
+         mispredictions tolerate simple replay)",
+    );
+    let cond = scale.condition();
+    println!("{:<10} {:>12} {:>14}", "penalty", "mean speedup", "worst benchmark");
+    for penalty in [0u64, 2, 4, 8, 16] {
+        let mut speedups = Vec::new();
+        let mut worst = ("-", f64::INFINITY);
+        for bench in scale.benchmarks() {
+            let base = run_benchmark(
+                bench,
+                baseline_32k_8w_vipt(),
+                SystemKind::OooThreeLevel,
+                &cond,
+            );
+            let sipt = run_benchmark(
+                bench,
+                sipt_32k_2w().with_replay_penalty(penalty),
+                SystemKind::OooThreeLevel,
+                &cond,
+            );
+            let s = sipt.ipc_vs(&base);
+            if s < worst.1 {
+                worst = (bench, s);
+            }
+            speedups.push(s);
+        }
+        println!(
+            "{penalty:<10} {:>11.1}% {:>9} {:.3}",
+            (harmonic_mean(&speedups) - 1.0) * 100.0,
+            worst.0,
+            worst.1
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Free-form exploration CLI: run any benchmark on any L1 configuration
+//! and policy under any operating condition.
+//!
+//! ```text
+//! explore <benchmark> [--l1 32k2w|32k4w|64k4w|128k4w|base|16k4w]
+//!                     [--policy naive|bypass|combined|ideal|vipt|pipt]
+//!                     [--system ooo|inorder] [--placement default|thpoff|scattered]
+//!                     [--fragmented] [--waypred] [--instructions N]
+//! ```
+
+use sipt_core::{
+    baseline_32k_8w_vipt, sipt_128k_4w, sipt_32k_2w, sipt_32k_4w, sipt_64k_4w,
+    small_16k_4w_vipt, L1Policy,
+};
+use sipt_mem::PlacementPolicy;
+use sipt_sim::{run_benchmark, Condition, SystemKind};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(bench) = args.first().filter(|a| !a.starts_with("--")).cloned() else {
+        eprintln!("usage: explore <benchmark> [--l1 ...] [--policy ...] [--system ...] ...");
+        return ExitCode::FAILURE;
+    };
+    let flag_value = |name: &str| -> Option<String> {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+    };
+    let has_flag = |name: &str| args.iter().any(|a| a == name);
+
+    let mut l1 = match flag_value("--l1").as_deref() {
+        None | Some("32k2w") => sipt_32k_2w(),
+        Some("32k4w") => sipt_32k_4w(),
+        Some("64k4w") => sipt_64k_4w(),
+        Some("128k4w") => sipt_128k_4w(),
+        Some("base") => baseline_32k_8w_vipt(),
+        Some("16k4w") => small_16k_4w_vipt(),
+        Some(other) => {
+            eprintln!("unknown --l1 {other}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(policy) = flag_value("--policy") {
+        l1 = l1.with_policy(match policy.as_str() {
+            "naive" => L1Policy::SiptNaive,
+            "bypass" => L1Policy::SiptBypass,
+            "combined" => L1Policy::SiptCombined,
+            "ideal" => L1Policy::Ideal,
+            "vipt" => L1Policy::Vipt,
+            "pipt" => L1Policy::Pipt,
+            other => {
+                eprintln!("unknown --policy {other}");
+                return ExitCode::FAILURE;
+            }
+        });
+    }
+    if has_flag("--waypred") {
+        l1 = l1.with_way_prediction(true);
+    }
+    let system = match flag_value("--system").as_deref() {
+        None | Some("ooo") => SystemKind::OooThreeLevel,
+        Some("inorder") => SystemKind::InOrderTwoLevel,
+        Some(other) => {
+            eprintln!("unknown --system {other}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let placement = match flag_value("--placement").as_deref() {
+        None | Some("default") => PlacementPolicy::LinuxDefault,
+        Some("thpoff") => PlacementPolicy::ThpOff,
+        Some("scattered") => PlacementPolicy::Scattered,
+        Some(other) => {
+            eprintln!("unknown --placement {other}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cond = Condition {
+        placement,
+        fragmented: has_flag("--fragmented"),
+        memory_bytes: 2 << 30,
+        instructions: flag_value("--instructions")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(200_000),
+        ..Condition::default()
+    };
+
+    let m = run_benchmark(&bench, l1.clone(), system, &cond);
+    println!("{bench} on {} ({}, {:?}):", l1.name, l1.policy, system);
+    println!("  IPC            {:.4}", m.ipc());
+    println!("  L1 hit rate    {:.2}%", m.sipt.hit_rate() * 100.0);
+    println!("  fast accesses  {:.2}%", m.sipt.fast_fraction() * 100.0);
+    println!("  extra accesses {:.2}%", m.sipt.extra_access_fraction() * 100.0);
+    println!("  TLB L1 hits    {:.2}%", m.tlb.l1_hit_rate() * 100.0);
+    if let Some(l2) = m.l2 {
+        println!("  L2 hit rate    {:.2}%", l2.hit_rate() * 100.0);
+    }
+    println!("  LLC hit rate   {:.2}%", m.llc.hit_rate() * 100.0);
+    println!("  DRAM row hits  {:.2}%", m.dram.row_hit_rate() * 100.0);
+    println!("  hugepages      {:.2}%", m.huge_fraction * 100.0);
+    println!("  energy         {:.3} mJ (dynamic {:.3} mJ)", m.energy.total() * 1e3, m.energy.dynamic() * 1e3);
+    if let Some(wp) = m.way_pred {
+        println!("  way-pred acc   {:.2}%", wp.accuracy() * 100.0);
+    }
+    ExitCode::SUCCESS
+}

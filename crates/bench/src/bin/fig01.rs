@@ -1,0 +1,16 @@
+//! Fig 1: L1 latency (range and mean) relative to the 32 KiB 8-way
+//! baseline across the Table I design space.
+
+use sipt_sim::experiments::fig01;
+
+fn main() {
+    sipt_bench::header(
+        "Fig 1",
+        "latency range/mean normalized to 32KiB 8-way; associativity dominates, \
+         desirable configs are VIPT-infeasible",
+    );
+    let rows = fig01::run();
+    print!("{}", fig01::render(&rows));
+    let worst = rows.iter().map(|r| r.max).fold(0.0f64, f64::max);
+    println!("\nworst-case normalized latency: {worst:.2}x (paper: up to 7.4x)");
+}

@@ -1,0 +1,14 @@
+//! Fig 5: fraction of correct speculations vs number of speculated bits.
+
+use sipt_bench::Scale;
+use sipt_sim::experiments::speculation;
+
+fn main() {
+    let scale = Scale::from_args();
+    sipt_bench::header(
+        "Fig 5",
+        "fraction of accesses whose 1/2/3 index bits survive translation + hugepage coverage",
+    );
+    let rows = speculation::fig5(&scale.benchmarks(), &scale.condition());
+    print!("{}", speculation::render(&rows));
+}

@@ -1,0 +1,14 @@
+//! Figs 6–7: naive SIPT (32KiB/2-way/2-cycle) IPC, extra accesses, energy.
+
+use sipt_bench::Scale;
+use sipt_sim::experiments::naive;
+
+fn main() {
+    let scale = Scale::from_args();
+    sipt_bench::header(
+        "Figs 6-7",
+        "naive SIPT vs baseline and ideal (paper: energy to 74.4%, 8.5% worse than ideal)",
+    );
+    let (rows, summary) = naive::fig6_fig7(&scale.benchmarks(), &scale.condition());
+    print!("{}", naive::render(&rows, &summary));
+}

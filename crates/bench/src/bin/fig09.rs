@@ -1,0 +1,15 @@
+//! Fig 9: perceptron bypass predictor — four-outcome breakdown, 1/2/3 bits.
+
+use sipt_bench::Scale;
+use sipt_sim::experiments::bypass;
+
+fn main() {
+    let scale = Scale::from_args();
+    sipt_bench::header(
+        "Fig 9",
+        "correct speculation / correct bypass / opportunity loss / extra access \
+         (paper: >90% accuracy everywhere)",
+    );
+    let rows = bypass::fig9(&scale.benchmarks(), &scale.condition());
+    print!("{}", bypass::render(&rows));
+}

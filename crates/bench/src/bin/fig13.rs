@@ -1,0 +1,14 @@
+//! Figs 13–14: SIPT with IDB (32KiB/2-way/2-cycle) IPC and energy.
+
+use sipt_bench::Scale;
+use sipt_sim::experiments::combined;
+
+fn main() {
+    let scale = Scale::from_args();
+    sipt_bench::header(
+        "Figs 13-14",
+        "SIPT+IDB vs baseline and ideal (paper: +5.9% IPC, 2.3% from ideal; energy 67.8%)",
+    );
+    let (rows, summary) = combined::fig13_fig14(&scale.benchmarks(), &scale.condition());
+    print!("{}", combined::render_fig13_fig14(&rows, &summary));
+}

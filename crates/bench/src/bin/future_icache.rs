@@ -1,0 +1,16 @@
+//! Future-work exploration: SIPT applied to the instruction cache (the
+//! paper defers this, predicting it works "at least as well" as data).
+
+use sipt_bench::Scale;
+use sipt_core::sipt_32k_2w;
+use sipt_sim::experiments::icache;
+
+fn main() {
+    let scale = Scale::from_args();
+    sipt_bench::header(
+        "Future work: I-cache SIPT",
+        "replay each workload's PC stream through a 32KiB/2-way SIPT I-L1",
+    );
+    let rows = icache::future_icache(&scale.benchmarks(), &scale.condition(), sipt_32k_2w());
+    print!("{}", icache::render(&rows));
+}

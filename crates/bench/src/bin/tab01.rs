@@ -1,0 +1,12 @@
+//! Table I: the L1 configuration space explored with the CACTI-like model.
+
+fn main() {
+    sipt_bench::header("Table I", "L1 cache configurations (32nm, 64B lines)");
+    println!("Technology      32 nm (modelled analytically, calibrated to Table II)");
+    println!("Cache line size 64 Bytes");
+    println!("Capacity        16 KiB, 32 KiB, 64 KiB, 128 KiB");
+    println!("Associativity   2-way, 4-way, 8-way, 16-way, 32-way");
+    println!("Access mode     Parallel data and tag access");
+    println!("Ports           1 or 2 for read, 1 for write");
+    println!("Banks           1, 2 or 4 banks");
+}

@@ -1,0 +1,28 @@
+//! Table II: the two simulated systems and five L1 operating points.
+
+use sipt_energy::{estimate, ArrayConfig};
+
+fn main() {
+    sipt_bench::header("Table II", "simulated system configurations");
+    println!("OOO: 6-wide, 192-entry ROB, 3.0 GHz, 3-level cache; In-order: 2-wide, 2-level");
+    println!("TLB: L1 64-entry 4KiB + 32-entry 2MiB (2-cycle); L2 1024-entry unified (7-cycle)");
+    println!();
+    println!("{:<22} {:>7} {:>12} {:>12}", "L1 config", "latency", "energy/acc", "static");
+    for (name, kib, ways) in [
+        ("32KiB 8-way VIPT", 32u64, 8u32),
+        ("32KiB 2-way SIPT", 32, 2),
+        ("32KiB 4-way SIPT", 32, 4),
+        ("64KiB 4-way SIPT", 64, 4),
+        ("128KiB 4-way SIPT", 128, 4),
+    ] {
+        let e = estimate(ArrayConfig::simple(kib << 10, ways));
+        println!(
+            "{:<22} {:>6}c {:>9.3} nJ {:>9.1} mW",
+            name, e.latency_cycles, e.dynamic_nj, e.static_mw
+        );
+    }
+    println!();
+    println!("L2 (OOO only): 256KiB 8-way 12c, 0.13 nJ, 102 mW");
+    println!("LLC: OOO 2MiB 16-way 25c (0.35 nJ, 578 mW); in-order 1MiB 16-way 20c (0.29 nJ, 532 mW)");
+    println!("DRAM: 8-bank, 4-channel DDR3-like");
+}

@@ -1,0 +1,10 @@
+//! Table III: the multiprogrammed quad-core workloads.
+
+use sipt_workloads::MIXES;
+
+fn main() {
+    sipt_bench::header("Table III", "multi-programmed workloads");
+    for (name, apps) in MIXES {
+        println!("{name:<6} {}", apps.join(", "));
+    }
+}

@@ -1,0 +1,100 @@
+//! Trace capture/replay tool, mirroring the Macsim record-then-replay
+//! workflow:
+//!
+//! ```text
+//! trace_tool record <benchmark> <file> [instructions]   # capture
+//! trace_tool stats  <file>                              # inspect
+//! trace_tool replay <benchmark> <file>                  # run on a machine
+//! ```
+//!
+//! `replay` re-creates the benchmark's address space (same seed) so the
+//! trace's virtual addresses resolve, then replays the file through a
+//! 32 KiB 2-way SIPT machine and prints IPC.
+
+use sipt_core::sipt_32k_2w;
+use sipt_cpu::{simulate_ooo, MemOp, OooConfig};
+use sipt_mem::{AddressSpace, BuddyAllocator, PlacementPolicy};
+use sipt_sim::{Machine, SystemKind};
+use sipt_workloads::{benchmark, read_trace, write_trace, TraceGen};
+use std::fs::File;
+use std::process::ExitCode;
+
+const SEED: u64 = 42;
+const MEMORY: u64 = 1 << 30;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: trace_tool record <benchmark> <file> [instructions]");
+    eprintln!("       trace_tool stats  <file>");
+    eprintln!("       trace_tool replay <benchmark> <file>");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("record") if args.len() >= 3 => {
+            let Some(spec) = benchmark(&args[1]) else {
+                eprintln!("unknown benchmark {}", args[1]);
+                return ExitCode::FAILURE;
+            };
+            let instructions: u64 =
+                args.get(3).and_then(|s| s.parse().ok()).unwrap_or(200_000);
+            let mut phys = BuddyAllocator::with_bytes(MEMORY);
+            let mut asp = AddressSpace::new(0, PlacementPolicy::LinuxDefault);
+            let gen = TraceGen::build(&spec, &mut asp, &mut phys, instructions, SEED)
+                .expect("workload fits");
+            let file = File::create(&args[2]).expect("create trace file");
+            let n = write_trace(file, gen).expect("write trace");
+            println!("recorded {n} instructions of {} to {}", args[1], args[2]);
+            ExitCode::SUCCESS
+        }
+        Some("stats") if args.len() >= 2 => {
+            let file = File::open(&args[1]).expect("open trace file");
+            let insts = read_trace(file).expect("parse trace");
+            let loads = insts
+                .iter()
+                .filter(|i| i.mem.is_some_and(|m| m.op == MemOp::Load))
+                .count();
+            let stores = insts
+                .iter()
+                .filter(|i| i.mem.is_some_and(|m| m.op == MemOp::Store))
+                .count();
+            let pcs: std::collections::HashSet<u64> =
+                insts.iter().filter(|i| i.mem.is_some()).map(|i| i.pc).collect();
+            println!(
+                "{}: {} instructions, {} loads, {} stores, {} static memory PCs",
+                args[1],
+                insts.len(),
+                loads,
+                stores,
+                pcs.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Some("replay") if args.len() >= 3 => {
+            let Some(spec) = benchmark(&args[1]) else {
+                eprintln!("unknown benchmark {}", args[1]);
+                return ExitCode::FAILURE;
+            };
+            let file = File::open(&args[2]).expect("open trace file");
+            let insts = read_trace(file).expect("parse trace");
+            // Rebuild the same address space (same seed) so the recorded
+            // virtual addresses are mapped.
+            let mut phys = BuddyAllocator::with_bytes(MEMORY);
+            let mut asp = AddressSpace::new(0, PlacementPolicy::LinuxDefault);
+            let _gen = TraceGen::build(&spec, &mut asp, &mut phys, 0, SEED)
+                .expect("workload fits");
+            let mut machine = Machine::new(asp, sipt_32k_2w(), SystemKind::OooThreeLevel);
+            let n = insts.len() as u64;
+            let result = simulate_ooo(OooConfig::default(), insts, &mut machine);
+            println!(
+                "replayed {n} instructions: IPC {:.3}, L1 hit {:.1}%, fast {:.1}%",
+                result.ipc(),
+                machine.l1().stats().hit_rate() * 100.0,
+                machine.l1().stats().fast_fraction() * 100.0
+            );
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,124 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # sipt-bench — the figure/table regeneration harness
+//!
+//! One binary per paper artifact (run with `cargo run --release -p
+//! sipt-bench --bin figNN`), plus Criterion micro-benchmarks
+//! (`cargo bench`). Every binary accepts an optional scale argument:
+//!
+//! ```text
+//! cargo run --release -p sipt-bench --bin fig13 -- quick   # seconds
+//! cargo run --release -p sipt-bench --bin fig13            # default
+//! cargo run --release -p sipt-bench --bin fig13 -- full    # minutes
+//! ```
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `tab01` | Table I configuration space |
+//! | `fig01` | Fig 1 latency sweep |
+//! | `tab02` | Table II system configurations |
+//! | `fig02`, `fig03` | Figs 2–3 ideal-config IPC |
+//! | `fig05` | Fig 5 speculation accuracy |
+//! | `fig06` | Figs 6–7 naive SIPT |
+//! | `fig09` | Fig 9 bypass outcomes |
+//! | `fig12` | Fig 12 combined accuracy |
+//! | `fig13` | Figs 13–14 SIPT+IDB |
+//! | `tab03` | Table III mixes |
+//! | `fig15` | Fig 15 quad-core |
+//! | `fig16` | Figs 16–17 way prediction |
+//! | `fig18` | Fig 18 sensitivity |
+//! | `ablation_bypass` | perceptron vs saturating counter |
+//! | `ablation_idb` | bypass-only vs combined (IDB contribution) |
+//! | `ablation_perceptron_size` | table-size/history sensitivity |
+
+use sipt_sim::Condition;
+
+/// Run scale selected on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds: smoke benchmarks, short traces.
+    Quick,
+    /// The default: full benchmark roster, moderate traces.
+    Default,
+    /// Minutes: full roster, long traces.
+    Full,
+}
+
+impl Scale {
+    /// Parse from the process arguments (`quick` / `full`; anything else —
+    /// including nothing — is the default scale).
+    pub fn from_args() -> Self {
+        match std::env::args().nth(1).as_deref() {
+            Some("quick") => Scale::Quick,
+            Some("full") => Scale::Full,
+            _ => Scale::Default,
+        }
+    }
+
+    /// The single-core simulation condition for this scale.
+    pub fn condition(self) -> Condition {
+        match self {
+            Scale::Quick => Condition::quick(),
+            Scale::Default => Condition::default(),
+            Scale::Full => Condition {
+                instructions: 1_000_000,
+                warmup: 200_000,
+                memory_bytes: 2 << 30,
+                ..Condition::default()
+            },
+        }
+    }
+
+    /// The quad-core simulation condition (more memory, shorter traces —
+    /// 4 cores × 5 configurations each).
+    pub fn quad_condition(self) -> Condition {
+        let base = self.condition();
+        Condition {
+            memory_bytes: 4u64 << 30,
+            instructions: base.instructions / 2,
+            warmup: base.warmup / 2,
+            ..base
+        }
+    }
+
+    /// The benchmark roster for this scale.
+    pub fn benchmarks(self) -> Vec<&'static str> {
+        match self {
+            Scale::Quick => sipt_sim::experiments::smoke_benchmarks(),
+            _ => sipt_sim::experiments::benchmark_names(),
+        }
+    }
+
+    /// The mix roster for this scale.
+    pub fn mixes(self) -> Vec<&'static str> {
+        match self {
+            Scale::Quick => vec!["mix0", "mix3", "mix8"],
+            _ => sipt_sim::experiments::quadcore::all_mixes(),
+        }
+    }
+}
+
+/// Print a figure header with the paper reference.
+pub fn header(artifact: &str, paper_summary: &str) {
+    println!("== {artifact} ==");
+    println!("paper: {paper_summary}");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        let q = Scale::Quick.condition();
+        let d = Scale::Default.condition();
+        let f = Scale::Full.condition();
+        assert!(q.instructions < d.instructions);
+        assert!(d.instructions < f.instructions);
+        assert!(Scale::Quick.benchmarks().len() < Scale::Full.benchmarks().len());
+        assert_eq!(Scale::Full.mixes().len(), 11);
+        assert!(Scale::Quick.quad_condition().memory_bytes >= 4 << 30);
+    }
+}

@@ -1,0 +1,245 @@
+//! The tag/data array of one set-associative cache.
+//!
+//! Ways store the *full* line address rather than a truncated tag. This
+//! models the paper's correctness rule — "SIPT … ensures correctness by
+//! always checking the full tag on a lookup" — and makes a speculative
+//! probe of the wrong set miss naturally instead of falsely hitting on a
+//! truncated tag match.
+
+use crate::geometry::{CacheGeometry, LineAddr};
+use crate::replacement::{ReplacementKind, ReplacementPolicy};
+
+/// One resident cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Line {
+    /// Full (physical) line address.
+    pub line: LineAddr,
+    /// Whether the line has been written since the fill.
+    pub dirty: bool,
+}
+
+/// A line evicted by a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// The evicted line.
+    pub line: LineAddr,
+    /// Whether it must be written back.
+    pub dirty: bool,
+}
+
+/// A set-associative array of cache lines with a pluggable replacement
+/// policy.
+#[derive(Debug)]
+pub struct CacheArray {
+    geometry: CacheGeometry,
+    ways: Vec<Option<Line>>, // sets × ways, row-major
+    repl: Box<dyn ReplacementPolicy + Send>,
+}
+
+impl CacheArray {
+    /// Create an empty array.
+    pub fn new(geometry: CacheGeometry, replacement: ReplacementKind) -> Self {
+        let sets = geometry.sets();
+        Self {
+            geometry,
+            ways: vec![None; (sets * geometry.ways as u64) as usize],
+            repl: replacement.build(sets, geometry.ways),
+        }
+    }
+
+    /// The array's geometry.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geometry
+    }
+
+    #[inline]
+    fn slot(&self, set: u64, way: u32) -> usize {
+        (set * self.geometry.ways as u64 + way as u64) as usize
+    }
+
+    /// The set a (physical) line address maps to.
+    #[inline]
+    pub fn home_set(&self, line: LineAddr) -> u64 {
+        self.geometry.set_of(line)
+    }
+
+    /// Probe `set` for `line` without updating replacement state.
+    pub fn probe(&self, set: u64, line: LineAddr) -> Option<u32> {
+        (0..self.geometry.ways)
+            .find(|&w| self.ways[self.slot(set, w)].map(|l| l.line) == Some(line))
+    }
+
+    /// Look up `line` in `set`, updating replacement state on a hit.
+    /// The caller chooses the set — for SIPT this may be a *speculative*
+    /// set that differs from [`CacheArray::home_set`]; such probes miss.
+    pub fn lookup(&mut self, set: u64, line: LineAddr) -> Option<u32> {
+        let way = self.probe(set, line)?;
+        self.repl.touch(set, way);
+        Some(way)
+    }
+
+    /// Mark `way` of `set` dirty (store hit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the way is invalid.
+    pub fn set_dirty(&mut self, set: u64, way: u32) {
+        let slot = self.slot(set, way);
+        self.ways[slot].as_mut().expect("set_dirty on invalid way").dirty = true;
+    }
+
+    /// Fill `line` into its home set, evicting if necessary. Returns the
+    /// evicted line, if one had to make room.
+    pub fn fill(&mut self, line: LineAddr, dirty: bool) -> Option<Evicted> {
+        let set = self.home_set(line);
+        debug_assert!(self.probe(set, line).is_none(), "double fill of {line}");
+        // Prefer an invalid way.
+        let way = (0..self.geometry.ways)
+            .find(|&w| self.ways[self.slot(set, w)].is_none())
+            .unwrap_or_else(|| self.repl.victim(set));
+        let slot = self.slot(set, way);
+        let evicted =
+            self.ways[slot].map(|old| Evicted { line: old.line, dirty: old.dirty });
+        self.ways[slot] = Some(Line { line, dirty });
+        self.repl.touch(set, way);
+        evicted
+    }
+
+    /// Invalidate `line` wherever it resides (its home set), returning it.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<Line> {
+        let set = self.home_set(line);
+        let way = self.probe(set, line)?;
+        let slot = self.slot(set, way);
+        self.ways[slot].take()
+    }
+
+    /// The most-recently-used way of `set` according to the replacement
+    /// policy (the input of the MRU way predictor).
+    pub fn mru_way(&self, set: u64) -> Option<u32> {
+        self.repl.mru_way(set)
+    }
+
+    /// The line resident in `way` of `set`, if valid.
+    pub fn line_at(&self, set: u64, way: u32) -> Option<Line> {
+        self.ways[self.slot(set, way)]
+    }
+
+    /// Number of valid lines in the whole array.
+    pub fn resident_lines(&self) -> usize {
+        self.ways.iter().filter(|w| w.is_some()).count()
+    }
+
+    /// Iterate over all resident lines.
+    pub fn iter(&self) -> impl Iterator<Item = Line> + '_ {
+        self.ways.iter().flatten().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tiny() -> CacheArray {
+        // 4 sets × 2 ways of 64 B lines = 512 B.
+        CacheArray::new(CacheGeometry::new(512, 2), ReplacementKind::Lru)
+    }
+
+    #[test]
+    fn fill_then_hit_in_home_set() {
+        let mut a = tiny();
+        let line = LineAddr(0x123);
+        assert!(a.fill(line, false).is_none());
+        let set = a.home_set(line);
+        assert!(a.lookup(set, line).is_some());
+        assert_eq!(a.resident_lines(), 1);
+    }
+
+    #[test]
+    fn speculative_probe_of_wrong_set_misses() {
+        let mut a = tiny();
+        let line = LineAddr(0x123);
+        a.fill(line, false);
+        let wrong_set = (a.home_set(line) + 1) % a.geometry().sets();
+        assert_eq!(a.lookup(wrong_set, line), None, "wrong-set probe must miss");
+    }
+
+    #[test]
+    fn full_address_tags_prevent_aliased_hits() {
+        let mut a = tiny();
+        // Two lines with identical truncated tags but different sets:
+        // line = (tag << 2) | set with 4 sets.
+        let line_a = LineAddr(7 << 2);
+        let line_b = LineAddr((7 << 2) | 1);
+        a.fill(line_a, false);
+        // Probing set 0 for line_b must miss even though a truncated-tag
+        // design would alias.
+        assert_eq!(a.lookup(0, line_b), None);
+    }
+
+    #[test]
+    fn eviction_reports_dirtiness() {
+        let mut a = tiny();
+        // Fill both ways of set 0 (4 sets: lines 0 and 4 map to set 0).
+        a.fill(LineAddr(0), false);
+        a.fill(LineAddr(4), false);
+        let set = a.home_set(LineAddr(0));
+        let way = a.lookup(set, LineAddr(0)).unwrap();
+        a.set_dirty(set, way);
+        // Touch line 4 so line 0 is LRU... then re-touch 0 to make 4 LRU.
+        a.lookup(set, LineAddr(4));
+        a.lookup(set, LineAddr(0));
+        let evicted = a.fill(LineAddr(8), false).expect("set full");
+        assert_eq!(evicted.line, LineAddr(4));
+        assert!(!evicted.dirty);
+        // Now evict line 0, which is dirty.
+        a.lookup(set, LineAddr(8));
+        let evicted = a.fill(LineAddr(12), false).expect("set full");
+        assert_eq!(evicted.line, LineAddr(0));
+        assert!(evicted.dirty);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut a = tiny();
+        a.fill(LineAddr(5), true);
+        let line = a.invalidate(LineAddr(5)).unwrap();
+        assert!(line.dirty);
+        assert_eq!(a.invalidate(LineAddr(5)), None);
+        assert_eq!(a.resident_lines(), 0);
+    }
+
+    #[test]
+    fn mru_way_tracks_touches() {
+        let mut a = tiny();
+        a.fill(LineAddr(0), false);
+        a.fill(LineAddr(4), false);
+        let set = a.home_set(LineAddr(0));
+        a.lookup(set, LineAddr(0));
+        let mru = a.mru_way(set).unwrap();
+        assert_eq!(a.line_at(set, mru).unwrap().line, LineAddr(0));
+    }
+
+    proptest! {
+        /// Residency never exceeds capacity, and a filled line is always
+        /// found in (and only in) its home set afterwards.
+        #[test]
+        fn fills_respect_geometry(lines in proptest::collection::vec(0u64..256, 1..128)) {
+            let mut a = CacheArray::new(CacheGeometry::new(1 << 10, 4), ReplacementKind::TreePlru);
+            for &raw in &lines {
+                let line = LineAddr(raw);
+                let set = a.home_set(line);
+                if a.lookup(set, line).is_none() {
+                    a.fill(line, false);
+                }
+                prop_assert!(a.resident_lines() as u64 <= a.geometry().sets() * 4);
+                prop_assert!(a.probe(set, line).is_some());
+            }
+            // Every resident line sits in its home set.
+            for l in a.iter().collect::<Vec<_>>() {
+                let set = a.home_set(l.line);
+                prop_assert!(a.probe(set, l.line).is_some());
+            }
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Cache geometry math: capacity/associativity/line size → sets, index and
+//! tag extraction, and the *speculative bit count* that determines whether a
+//! configuration is VIPT-feasible (the central constraint of the paper).
+
+use sipt_mem::{PhysAddr, VirtAddr, PAGE_SHIFT};
+
+/// Cache line size used throughout the paper (Table I).
+pub const LINE_SIZE: u64 = 64;
+/// Log2 of the line size.
+pub const LINE_SHIFT: u32 = 6;
+
+/// The address of a 64-byte cache line (byte address >> 6). Works for both
+/// address spaces; which one it came from is tracked by the caller (the tag
+/// stored in the arrays is always physical).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// Line containing a physical byte address.
+    #[inline]
+    pub const fn of_phys(pa: PhysAddr) -> Self {
+        Self(pa.raw() >> LINE_SHIFT)
+    }
+
+    /// Line containing a virtual byte address.
+    #[inline]
+    pub const fn of_virt(va: VirtAddr) -> Self {
+        Self(va.raw() >> LINE_SHIFT)
+    }
+
+    /// First byte address of the line (as a raw value).
+    #[inline]
+    pub const fn base(self) -> u64 {
+        self.0 << LINE_SHIFT
+    }
+}
+
+impl core::fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "line {:#x}", self.0)
+    }
+}
+
+/// Geometry of one set-associative cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub capacity: u64,
+    /// Number of ways.
+    pub ways: u32,
+    /// Line size in bytes (64 in every paper configuration).
+    pub line_size: u64,
+}
+
+impl CacheGeometry {
+    /// Construct a geometry, validating power-of-two shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless capacity, ways and line size are powers of two and
+    /// `capacity >= ways * line_size`.
+    pub fn new(capacity: u64, ways: u32) -> Self {
+        let g = Self { capacity, ways, line_size: LINE_SIZE };
+        g.validate();
+        g
+    }
+
+    fn validate(&self) {
+        assert!(self.capacity.is_power_of_two(), "capacity must be a power of two");
+        assert!(self.ways.is_power_of_two(), "ways must be a power of two");
+        assert!(self.line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            self.capacity >= self.ways as u64 * self.line_size,
+            "capacity must fit at least one line per way"
+        );
+    }
+
+    /// Number of sets.
+    #[inline]
+    pub fn sets(&self) -> u64 {
+        self.capacity / (self.ways as u64 * self.line_size)
+    }
+
+    /// Number of index bits (log2 of set count).
+    #[inline]
+    pub fn index_bits(&self) -> u32 {
+        self.sets().trailing_zeros()
+    }
+
+    /// Per-way capacity in bytes: the quantity the VIPT constraint compares
+    /// against the page size.
+    #[inline]
+    pub fn way_capacity(&self) -> u64 {
+        self.capacity / self.ways as u64
+    }
+
+    /// Number of index bits *beyond* the 4 KiB page offset — the bits a
+    /// SIPT cache must speculate on. Zero means the configuration is
+    /// VIPT-feasible.
+    ///
+    /// ```
+    /// use sipt_cache::CacheGeometry;
+    /// // 32 KiB 8-way: way capacity 4 KiB — feasible as VIPT.
+    /// assert_eq!(CacheGeometry::new(32 << 10, 8).speculative_bits(), 0);
+    /// // 32 KiB 2-way: way capacity 16 KiB — needs 2 speculative bits.
+    /// assert_eq!(CacheGeometry::new(32 << 10, 2).speculative_bits(), 2);
+    /// ```
+    #[inline]
+    pub fn speculative_bits(&self) -> u32 {
+        let total_index_and_offset = self.index_bits() + LINE_SHIFT;
+        total_index_and_offset.saturating_sub(PAGE_SHIFT)
+    }
+
+    /// Whether the configuration satisfies the VIPT constraint
+    /// (`way_capacity <= 4 KiB`).
+    #[inline]
+    pub fn vipt_feasible(&self) -> bool {
+        self.speculative_bits() == 0
+    }
+
+    /// Set index of a line address.
+    #[inline]
+    pub fn set_of(&self, line: LineAddr) -> u64 {
+        line.0 & (self.sets() - 1)
+    }
+
+    /// Tag of a line address (the bits above the index).
+    #[inline]
+    pub fn tag_of(&self, line: LineAddr) -> u64 {
+        line.0 >> self.index_bits()
+    }
+
+    /// Reconstruct a line address from a (tag, set) pair.
+    #[inline]
+    pub fn line_of(&self, tag: u64, set: u64) -> LineAddr {
+        LineAddr((tag << self.index_bits()) | set)
+    }
+}
+
+impl core::fmt::Display for CacheGeometry {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}KiB/{}-way", self.capacity >> 10, self.ways)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn haswell_baseline_geometry() {
+        let g = CacheGeometry::new(32 << 10, 8);
+        assert_eq!(g.sets(), 64);
+        assert_eq!(g.index_bits(), 6);
+        assert_eq!(g.way_capacity(), 4 << 10);
+        assert!(g.vipt_feasible());
+        assert_eq!(format!("{g}"), "32KiB/8-way");
+    }
+
+    #[test]
+    fn paper_sipt_configs_speculative_bits() {
+        // The four SIPT configurations of Table II.
+        assert_eq!(CacheGeometry::new(32 << 10, 2).speculative_bits(), 2);
+        assert_eq!(CacheGeometry::new(32 << 10, 4).speculative_bits(), 1);
+        assert_eq!(CacheGeometry::new(64 << 10, 4).speculative_bits(), 2);
+        assert_eq!(CacheGeometry::new(128 << 10, 4).speculative_bits(), 3);
+        // And the 16 KiB 4-way option that needs no speculation.
+        assert_eq!(CacheGeometry::new(16 << 10, 4).speculative_bits(), 0);
+    }
+
+    #[test]
+    fn index_tag_roundtrip() {
+        let g = CacheGeometry::new(64 << 10, 4);
+        let line = LineAddr(0xdead_beef);
+        assert_eq!(g.line_of(g.tag_of(line), g.set_of(line)), line);
+    }
+
+    #[test]
+    fn line_addr_constructors() {
+        let pa = PhysAddr::new(0x1040);
+        assert_eq!(LineAddr::of_phys(pa).0, 0x41);
+        assert_eq!(LineAddr::of_phys(pa).base(), 0x1040);
+        let va = VirtAddr::new(0x103f);
+        assert_eq!(LineAddr::of_virt(va).0, 0x40);
+        assert!(!format!("{}", LineAddr(3)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = CacheGeometry::new(48 << 10, 4);
+    }
+
+    proptest! {
+        #[test]
+        fn set_index_is_stable_under_tag_change(
+            cap_log in 14u32..18, ways_log in 1u32..6, line in 0u64..1u64<<40
+        ) {
+            let g = CacheGeometry::new(1 << cap_log, 1 << ways_log);
+            let la = LineAddr(line);
+            let set = g.set_of(la);
+            prop_assert!(set < g.sets());
+            // Changing only tag bits leaves the set unchanged.
+            let la2 = LineAddr(line ^ (1 << (g.index_bits() + 5)));
+            prop_assert_eq!(g.set_of(la2), set);
+            prop_assert_eq!(g.line_of(g.tag_of(la), set), la);
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! The cache levels *below* L1: private L2 (OOO systems), shared LLC, and
+//! a pluggable memory backend.
+//!
+//! The SIPT front-end (in `sipt-core`) owns the L1; when it misses, it
+//! calls [`LowerHierarchy::access`] with the physical line address and gets
+//! back the miss-service latency. Writebacks ripple down level by level.
+
+use crate::geometry::LineAddr;
+use crate::level::{CacheLevel, LevelStats};
+
+/// Anything that can service requests below the last cache level (DRAM).
+///
+/// `sipt-dram` provides a detailed DDR3-style implementation; tests use
+/// [`FixedLatencyBackend`].
+pub trait MemoryBackend: core::fmt::Debug {
+    /// Service a read or write of `line` issued at absolute cycle `now`;
+    /// returns the service latency in cycles.
+    fn access(&mut self, line: LineAddr, write: bool, now: u64) -> u64;
+}
+
+/// A constant-latency memory backend.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedLatencyBackend {
+    /// Latency returned for every access.
+    pub latency: u64,
+    /// Number of accesses served (for tests/energy accounting).
+    pub accesses: u64,
+}
+
+impl FixedLatencyBackend {
+    /// Create a backend with the given fixed latency.
+    pub fn new(latency: u64) -> Self {
+        Self { latency, accesses: 0 }
+    }
+}
+
+impl MemoryBackend for FixedLatencyBackend {
+    fn access(&mut self, _line: LineAddr, _write: bool, _now: u64) -> u64 {
+        self.accesses += 1;
+        self.latency
+    }
+}
+
+/// Where a below-L1 request was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServiceLevel {
+    /// Private L2.
+    L2,
+    /// Last-level cache.
+    Llc,
+    /// Main memory.
+    Memory,
+}
+
+/// Result of a below-L1 access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceResult {
+    /// Cycles from request to data (excluding the L1's own latency).
+    pub latency: u64,
+    /// Which level supplied the data.
+    pub level: ServiceLevel,
+}
+
+/// The below-L1 memory system: optional private L2, an LLC, and memory.
+#[derive(Debug)]
+pub struct LowerHierarchy<B> {
+    l2: Option<CacheLevel>,
+    llc: CacheLevel,
+    backend: B,
+}
+
+impl<B: MemoryBackend> LowerHierarchy<B> {
+    /// Build a hierarchy. `l2` is `None` for the paper's two-level
+    /// (in-order) systems.
+    pub fn new(l2: Option<CacheLevel>, llc: CacheLevel, backend: B) -> Self {
+        Self { l2, llc, backend }
+    }
+
+    /// Service an L1 miss for `line` at cycle `now`. Fills every level on
+    /// the way back (non-inclusive, allocate-on-miss at each level).
+    pub fn access(&mut self, line: LineAddr, write: bool, now: u64) -> ServiceResult {
+        let mut latency = 0;
+        if let Some(l2) = &mut self.l2 {
+            latency += l2.latency();
+            if l2.access(line, write) {
+                return ServiceResult { latency, level: ServiceLevel::L2 };
+            }
+        }
+        latency += self.llc.latency();
+        if self.llc.access(line, write) {
+            self.fill_l2(line);
+            return ServiceResult { latency, level: ServiceLevel::Llc };
+        }
+        latency += self.backend.access(line, write, now + latency);
+        // Fill back up: LLC first, then L2.
+        if let Some(evicted) = self.llc.fill(line, false) {
+            if evicted.dirty {
+                self.backend.access(evicted.line, true, now + latency);
+            }
+        }
+        self.fill_l2(line);
+        ServiceResult { latency, level: ServiceLevel::Memory }
+    }
+
+    fn fill_l2(&mut self, line: LineAddr) {
+        if let Some(l2) = &mut self.l2 {
+            if let Some(evicted) = l2.fill(line, false) {
+                if evicted.dirty {
+                    self.writeback_below_l2(evicted.line);
+                }
+            }
+        }
+    }
+
+    /// Accept a writeback of a dirty L1 victim.
+    pub fn writeback(&mut self, line: LineAddr) {
+        if let Some(l2) = &mut self.l2 {
+            if l2.absorb_writeback(line) {
+                return;
+            }
+            // Not resident in L2: allocate there (write-allocate victim
+            // cache behaviour keeps the model simple and bounded).
+            if let Some(evicted) = l2.fill(line, true) {
+                if evicted.dirty {
+                    self.writeback_below_l2(evicted.line);
+                }
+            }
+            return;
+        }
+        self.writeback_below_l2(line);
+    }
+
+    fn writeback_below_l2(&mut self, line: LineAddr) {
+        if self.llc.absorb_writeback(line) {
+            return;
+        }
+        if let Some(evicted) = self.llc.fill(line, true) {
+            if evicted.dirty {
+                self.backend.access(evicted.line, true, 0);
+            }
+        }
+    }
+
+    /// L2 statistics (if an L2 exists).
+    pub fn l2_stats(&self) -> Option<LevelStats> {
+        self.l2.as_ref().map(|l| l.stats())
+    }
+
+    /// Borrow the L2 level, if present (inspection/verification).
+    pub fn l2(&self) -> Option<&CacheLevel> {
+        self.l2.as_ref()
+    }
+
+    /// Borrow the LLC level (inspection/verification).
+    pub fn llc(&self) -> &CacheLevel {
+        &self.llc
+    }
+
+    /// LLC statistics.
+    pub fn llc_stats(&self) -> LevelStats {
+        self.llc.stats()
+    }
+
+    /// Borrow the backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Mutably borrow the backend.
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+
+    /// Reset all level statistics (contents kept).
+    pub fn reset_stats(&mut self) {
+        if let Some(l2) = &mut self.l2 {
+            l2.reset_stats();
+        }
+        self.llc.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::CacheGeometry;
+    use crate::replacement::ReplacementKind;
+
+    fn three_level() -> LowerHierarchy<FixedLatencyBackend> {
+        LowerHierarchy::new(
+            Some(CacheLevel::new(CacheGeometry::new(4 << 10, 4), 12, ReplacementKind::Lru)),
+            CacheLevel::new(CacheGeometry::new(16 << 10, 8), 25, ReplacementKind::Lru),
+            FixedLatencyBackend::new(200),
+        )
+    }
+
+    #[test]
+    fn latency_accumulates_down_the_hierarchy() {
+        let mut h = three_level();
+        let cold = h.access(LineAddr(7), false, 0);
+        assert_eq!(cold.level, ServiceLevel::Memory);
+        assert_eq!(cold.latency, 12 + 25 + 200);
+        let l2_hit = h.access(LineAddr(7), false, 0);
+        assert_eq!(l2_hit.level, ServiceLevel::L2);
+        assert_eq!(l2_hit.latency, 12);
+    }
+
+    #[test]
+    fn llc_hit_after_l2_eviction() {
+        let mut h = three_level();
+        h.access(LineAddr(1), false, 0);
+        // Evict line 1 from the tiny L2 by filling its set (16 sets in L2,
+        // stride 16; 4 ways + 1).
+        for i in 1..=4u64 {
+            h.access(LineAddr(1 + i * 16), false, 0);
+        }
+        let hit = h.access(LineAddr(1), false, 0);
+        assert_eq!(hit.level, ServiceLevel::Llc, "line must still be in the LLC");
+        assert_eq!(hit.latency, 12 + 25);
+    }
+
+    #[test]
+    fn two_level_hierarchy_skips_l2() {
+        let mut h = LowerHierarchy::new(
+            None,
+            CacheLevel::new(CacheGeometry::new(16 << 10, 8), 20, ReplacementKind::Lru),
+            FixedLatencyBackend::new(100),
+        );
+        let cold = h.access(LineAddr(3), false, 0);
+        assert_eq!(cold.latency, 120);
+        assert_eq!(h.access(LineAddr(3), false, 0).latency, 20);
+        assert!(h.l2_stats().is_none());
+    }
+
+    #[test]
+    fn writeback_is_absorbed_where_resident() {
+        let mut h = three_level();
+        h.access(LineAddr(9), false, 0); // resident in L2 + LLC now
+        let backend_before = h.backend().accesses;
+        h.writeback(LineAddr(9));
+        assert_eq!(h.backend().accesses, backend_before, "no DRAM traffic for absorbed WB");
+    }
+
+    #[test]
+    fn writeback_of_nonresident_line_allocates() {
+        let mut h = three_level();
+        h.writeback(LineAddr(77));
+        // Line must now be findable (dirty) in the L2.
+        assert!(h.access(LineAddr(77), false, 0).level == ServiceLevel::L2);
+    }
+
+    #[test]
+    fn stats_flow() {
+        let mut h = three_level();
+        h.access(LineAddr(1), false, 0);
+        h.access(LineAddr(1), false, 0);
+        let l2 = h.l2_stats().unwrap();
+        assert_eq!(l2.accesses, 2);
+        assert_eq!(l2.hits, 1);
+        assert_eq!(h.llc_stats().misses, 1);
+        h.reset_stats();
+        assert_eq!(h.llc_stats().accesses, 0);
+    }
+}

@@ -1,0 +1,200 @@
+//! One level of the cache hierarchy: an array plus latency and counters.
+
+use crate::array::{CacheArray, Evicted};
+use crate::geometry::{CacheGeometry, LineAddr};
+use crate::replacement::ReplacementKind;
+
+/// Counters for one cache level. The energy model multiplies these by
+/// per-access energies; the timing model uses them for reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Demand lookups (reads + writes).
+    pub accesses: u64,
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Lines filled into this level.
+    pub fills: u64,
+    /// Dirty evictions written back toward memory.
+    pub writebacks: u64,
+}
+
+impl LevelStats {
+    /// Hit rate over demand lookups (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / self.accesses as f64
+    }
+}
+
+/// A single cache level.
+///
+/// ```
+/// use sipt_cache::{CacheGeometry, CacheLevel, LineAddr, ReplacementKind};
+/// let mut l2 = CacheLevel::new(CacheGeometry::new(256 << 10, 8), 12, ReplacementKind::Lru);
+/// assert!(!l2.access(LineAddr(0x40), false)); // cold miss
+/// l2.fill(LineAddr(0x40), false);
+/// assert!(l2.access(LineAddr(0x40), false)); // hit
+/// assert_eq!(l2.stats().hits, 1);
+/// ```
+#[derive(Debug)]
+pub struct CacheLevel {
+    array: CacheArray,
+    latency: u64,
+    stats: LevelStats,
+}
+
+impl CacheLevel {
+    /// Create an empty level with the given access latency (cycles).
+    pub fn new(geometry: CacheGeometry, latency: u64, replacement: ReplacementKind) -> Self {
+        Self { array: CacheArray::new(geometry, replacement), latency, stats: LevelStats::default() }
+    }
+
+    /// Access latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// The level's geometry.
+    pub fn geometry(&self) -> &CacheGeometry {
+        self.array.geometry()
+    }
+
+    /// Demand access: look up `line` in its home set, marking dirty on a
+    /// write hit. Returns whether it hit.
+    pub fn access(&mut self, line: LineAddr, write: bool) -> bool {
+        self.stats.accesses += 1;
+        let set = self.array.home_set(line);
+        match self.array.lookup(set, line) {
+            Some(way) => {
+                if write {
+                    self.array.set_dirty(set, way);
+                }
+                self.stats.hits += 1;
+                true
+            }
+            None => {
+                self.stats.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Fill `line`; returns the eviction (if dirty, the caller forwards it
+    /// down as a writeback — this level only counts it).
+    pub fn fill(&mut self, line: LineAddr, dirty: bool) -> Option<Evicted> {
+        self.stats.fills += 1;
+        let evicted = self.array.fill(line, dirty);
+        if evicted.is_some_and(|e| e.dirty) {
+            self.stats.writebacks += 1;
+        }
+        evicted
+    }
+
+    /// Write-back absorb: mark `line` dirty if resident, else report false
+    /// so the writeback continues to the next level.
+    pub fn absorb_writeback(&mut self, line: LineAddr) -> bool {
+        let set = self.array.home_set(line);
+        match self.array.lookup(set, line) {
+            Some(way) => {
+                self.array.set_dirty(set, way);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Direct access to the underlying array (used by the SIPT front-end,
+    /// which probes speculative sets).
+    pub fn array(&self) -> &CacheArray {
+        &self.array
+    }
+
+    /// Mutable access to the underlying array.
+    pub fn array_mut(&mut self) -> &mut CacheArray {
+        &mut self.array
+    }
+
+    /// Manually bump the access counter (used when the SIPT front-end does
+    /// its own lookups through [`CacheLevel::array_mut`]).
+    pub fn record_access(&mut self, hit: bool) {
+        self.stats.accesses += 1;
+        if hit {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> LevelStats {
+        self.stats
+    }
+
+    /// Reset statistics, keeping contents (post-warmup).
+    pub fn reset_stats(&mut self) {
+        self.stats = LevelStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn level() -> CacheLevel {
+        CacheLevel::new(CacheGeometry::new(1 << 10, 2), 12, ReplacementKind::Lru)
+    }
+
+    #[test]
+    fn miss_fill_hit_cycle() {
+        let mut l = level();
+        assert!(!l.access(LineAddr(3), false));
+        l.fill(LineAddr(3), false);
+        assert!(l.access(LineAddr(3), false));
+        let s = l.stats();
+        assert_eq!((s.accesses, s.hits, s.misses, s.fills), (2, 1, 1, 1));
+        assert_eq!(s.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn write_hit_dirties_line() {
+        let mut l = level();
+        l.fill(LineAddr(3), false);
+        assert!(l.access(LineAddr(3), true));
+        let set = l.array().home_set(LineAddr(3));
+        let way = l.array().probe(set, LineAddr(3)).unwrap();
+        assert!(l.array().line_at(set, way).unwrap().dirty);
+    }
+
+    #[test]
+    fn writeback_counted_on_dirty_eviction() {
+        let mut l = level();
+        // 8 sets × 2 ways; fill three lines in set 0 (stride = sets = 8).
+        l.fill(LineAddr(0), true);
+        l.fill(LineAddr(8), false);
+        let evicted = l.fill(LineAddr(16), false).unwrap();
+        assert!(evicted.dirty);
+        assert_eq!(l.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn absorb_writeback_hits_or_propagates() {
+        let mut l = level();
+        l.fill(LineAddr(3), false);
+        assert!(l.absorb_writeback(LineAddr(3)));
+        assert!(!l.absorb_writeback(LineAddr(99)));
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut l = level();
+        l.fill(LineAddr(3), false);
+        l.access(LineAddr(3), false);
+        l.reset_stats();
+        assert_eq!(l.stats().accesses, 0);
+        assert!(l.access(LineAddr(3), false), "contents must survive reset");
+    }
+}

@@ -1,0 +1,43 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # sipt-cache — set-associative cache substrate for the SIPT reproduction
+//!
+//! Generic building blocks used both by the SIPT L1 front-end (`sipt-core`)
+//! and by the lower levels of the hierarchy:
+//!
+//! - [`CacheGeometry`]: capacity/associativity math, including
+//!   [`CacheGeometry::speculative_bits`] — the number of index bits beyond
+//!   the 4 KiB page offset, which is the quantity the whole paper is about,
+//! - [`CacheArray`]: tag/data array storing *full* line addresses so a
+//!   speculative probe of a wrong set can never falsely hit,
+//! - replacement policies ([`ReplacementKind`]: true LRU, tree-PLRU,
+//!   random),
+//! - [`CacheLevel`] and [`LowerHierarchy`]: L2/LLC with latency and
+//!   writeback plumbing over a pluggable [`MemoryBackend`],
+//! - [`WayPredictor`]: the MRU way predictor of §VII.A.
+//!
+//! ```
+//! use sipt_cache::{CacheGeometry, CacheLevel, LineAddr, ReplacementKind};
+//!
+//! let mut llc = CacheLevel::new(CacheGeometry::new(1 << 20, 16), 20, ReplacementKind::Lru);
+//! assert!(!llc.access(LineAddr(0x1234), false));
+//! llc.fill(LineAddr(0x1234), false);
+//! assert!(llc.access(LineAddr(0x1234), false));
+//! ```
+
+pub mod array;
+pub mod geometry;
+pub mod hierarchy;
+pub mod level;
+pub mod replacement;
+pub mod waypred;
+
+pub use array::{CacheArray, Evicted, Line};
+pub use geometry::{CacheGeometry, LineAddr, LINE_SHIFT, LINE_SIZE};
+pub use hierarchy::{
+    FixedLatencyBackend, LowerHierarchy, MemoryBackend, ServiceLevel, ServiceResult,
+};
+pub use level::{CacheLevel, LevelStats};
+pub use replacement::{RandomRepl, ReplacementKind, ReplacementPolicy, TreePlru, TrueLru};
+pub use waypred::{WayPredStats, WayPredictor};

@@ -1,0 +1,159 @@
+//! MRU way prediction (paper §VII.A).
+//!
+//! Instead of reading all ways of a set in parallel, the predictor reads
+//! only the set's most-recently-used way (3 bits of metadata per set for an
+//! 8-way cache). A correct prediction spends `1/ways` of the data-array
+//! read energy; an incorrect one requires a second access of the remaining
+//! ways. The paper applies this both to the 8-way VIPT baseline (89%
+//! accuracy) and on top of 2-way SIPT (97.3%), where lower associativity
+//! makes MRU much more often correct.
+
+/// Outcome counters for the way predictor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WayPredStats {
+    /// Predictions that selected the correct way.
+    pub correct: u64,
+    /// Predictions that selected a wrong way (second access required).
+    pub wrong: u64,
+    /// Lookups that missed the cache entirely (prediction moot; counted
+    /// separately because they trigger a full-set read anyway).
+    pub misses: u64,
+}
+
+impl WayPredStats {
+    /// Prediction accuracy over cache hits.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.correct + self.wrong;
+        if total == 0 {
+            return 0.0;
+        }
+        self.correct as f64 / total as f64
+    }
+}
+
+/// The MRU way predictor: one `ways`-range entry per set.
+///
+/// ```
+/// use sipt_cache::WayPredictor;
+/// let mut wp = WayPredictor::new(64, 8);
+/// assert_eq!(wp.predict(3), 0);      // cold: way 0
+/// wp.record_hit(3, 5);               // actual way was 5 → mispredict
+/// assert_eq!(wp.predict(3), 5);      // MRU learned
+/// wp.record_hit(3, 5);
+/// assert_eq!(wp.stats().correct, 1);
+/// assert_eq!(wp.stats().wrong, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WayPredictor {
+    mru: Vec<u32>,
+    ways: u32,
+    stats: WayPredStats,
+}
+
+impl WayPredictor {
+    /// Create a predictor for `sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    pub fn new(sets: u64, ways: u32) -> Self {
+        assert!(sets > 0 && ways > 0, "predictor needs a non-empty cache");
+        Self { mru: vec![0; sets as usize], ways, stats: WayPredStats::default() }
+    }
+
+    /// Metadata size in bits (`sets × ceil(log2 ways)`), e.g. 3 bits per
+    /// set for an 8-way cache as in the paper.
+    pub fn metadata_bits(&self) -> u64 {
+        let bits_per_set = 32 - (self.ways - 1).leading_zeros().min(31);
+        self.mru.len() as u64 * bits_per_set.max(1) as u64
+    }
+
+    /// Predicted way for `set`.
+    pub fn predict(&self, set: u64) -> u32 {
+        self.mru[set as usize]
+    }
+
+    /// Record the true way of a cache *hit* in `set`; classifies the
+    /// earlier prediction and trains the table.
+    pub fn record_hit(&mut self, set: u64, actual_way: u32) {
+        debug_assert!(actual_way < self.ways);
+        if self.mru[set as usize] == actual_way {
+            self.stats.correct += 1;
+        } else {
+            self.stats.wrong += 1;
+        }
+        self.mru[set as usize] = actual_way;
+    }
+
+    /// Record a cache miss in `set` (and train toward the fill way).
+    pub fn record_miss(&mut self, set: u64, fill_way: u32) {
+        self.stats.misses += 1;
+        self.mru[set as usize] = fill_way.min(self.ways - 1);
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> WayPredStats {
+        self.stats
+    }
+
+    /// Reset statistics (table contents kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = WayPredStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_associativity_raises_mru_accuracy() {
+        // Synthetic access pattern: round-robin over N distinct lines that
+        // all land in one set. With 8 ways the MRU way is almost never the
+        // next one accessed; with 2 ways and 2 lines it always is after
+        // warmup... exercised here structurally.
+        let mut wp8 = WayPredictor::new(1, 8);
+        for i in 0..80u32 {
+            wp8.record_hit(0, i % 8);
+        }
+        let mut wp2 = WayPredictor::new(1, 2);
+        for _ in 0..40 {
+            wp2.record_hit(0, 0);
+            wp2.record_hit(0, 0);
+        }
+        assert!(wp2.stats().accuracy() > wp8.stats().accuracy());
+    }
+
+    #[test]
+    fn metadata_matches_paper_figure() {
+        // 64 sets × 8 ways → 3 bits per set → 192 bits.
+        assert_eq!(WayPredictor::new(64, 8).metadata_bits(), 192);
+        // 2-way: 1 bit per set.
+        assert_eq!(WayPredictor::new(128, 2).metadata_bits(), 128);
+        // 1-way degenerates to 1 bit per set (never mispredicts anyway).
+        assert_eq!(WayPredictor::new(4, 1).metadata_bits(), 4);
+    }
+
+    #[test]
+    fn miss_trains_toward_fill_way() {
+        let mut wp = WayPredictor::new(4, 4);
+        wp.record_miss(2, 3);
+        assert_eq!(wp.predict(2), 3);
+        assert_eq!(wp.stats().misses, 1);
+        assert_eq!(wp.stats().accuracy(), 0.0);
+    }
+
+    #[test]
+    fn accuracy_counts_only_hits() {
+        let mut wp = WayPredictor::new(1, 2);
+        wp.record_hit(0, 0); // correct (cold table predicts 0)
+        wp.record_miss(0, 1);
+        wp.record_hit(0, 1); // correct
+        wp.record_hit(0, 0); // wrong
+        let s = wp.stats();
+        assert_eq!((s.correct, s.wrong, s.misses), (2, 1, 1));
+        assert!((s.accuracy() - 2.0 / 3.0).abs() < 1e-12);
+        wp.reset_stats();
+        assert_eq!(wp.stats(), WayPredStats::default());
+    }
+}

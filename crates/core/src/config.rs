@@ -1,0 +1,272 @@
+//! L1 configuration: indexing policy, geometry, latency — including the
+//! named operating points of the paper's Table II.
+
+use sipt_cache::{CacheGeometry, ReplacementKind};
+use sipt_predictors::{CounterConfig, IdbConfig, PerceptronConfig};
+
+/// Which bypass predictor backs the SIPT-bypass/combined policies.
+///
+/// The paper evaluates the perceptron (>90% accuracy) and mentions
+/// rejecting counter-based predictors (~85%, inconsistent); both are kept
+/// for the `ablation_bypass` bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BypassKind {
+    /// Jimenez–Lin global-history perceptron (the paper's choice).
+    Perceptron,
+    /// PC-indexed saturating counters (the rejected alternative).
+    Counter,
+}
+
+/// How the L1 forms its set index relative to address translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum L1Policy {
+    /// Virtually-indexed physically-tagged: only page-offset bits index the
+    /// arrays, so the access overlaps translation for free. Legal only
+    /// when the geometry needs zero speculative bits.
+    Vipt,
+    /// Physically-indexed physically-tagged: every access waits for
+    /// translation.
+    Pipt,
+    /// Oracle: the physical index is magically known (the paper's "ideal
+    /// cache" used to bound each configuration in Figs 2, 3, 6, 13).
+    Ideal,
+    /// §IV naive SIPT: always speculate that the index bits beyond the
+    /// page offset are unchanged by translation.
+    SiptNaive,
+    /// §V SIPT with the perceptron bypass predictor: speculate only when
+    /// the perceptron predicts the bits survive translation; otherwise
+    /// wait for the physical address.
+    SiptBypass,
+    /// §VI SIPT with combined bypass + index-delta prediction: always
+    /// access speculatively; when the perceptron predicts a change, the
+    /// IDB supplies the predicted post-translation bits (for a single
+    /// speculative bit, the bypass prediction is simply inverted).
+    SiptCombined,
+}
+
+impl L1Policy {
+    /// Whether this policy ever issues an access before translation
+    /// resolves.
+    pub fn speculates(self) -> bool {
+        matches!(self, L1Policy::SiptNaive | L1Policy::SiptBypass | L1Policy::SiptCombined)
+    }
+}
+
+impl core::fmt::Display for L1Policy {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            L1Policy::Vipt => "VIPT",
+            L1Policy::Pipt => "PIPT",
+            L1Policy::Ideal => "ideal",
+            L1Policy::SiptNaive => "SIPT-naive",
+            L1Policy::SiptBypass => "SIPT-bypass",
+            L1Policy::SiptCombined => "SIPT+IDB",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Full configuration of a SIPT-capable L1 data cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct L1Config {
+    /// Human-readable name (used in experiment tables).
+    pub name: &'static str,
+    /// Capacity/associativity geometry.
+    pub geometry: CacheGeometry,
+    /// Array access latency in cycles.
+    pub latency: u64,
+    /// Indexing policy.
+    pub policy: L1Policy,
+    /// Replacement policy.
+    pub replacement: ReplacementKind,
+    /// Whether MRU way prediction (§VII.A) is enabled.
+    pub way_prediction: bool,
+    /// Which bypass predictor to use.
+    pub bypass: BypassKind,
+    /// Bypass-perceptron configuration.
+    pub perceptron: PerceptronConfig,
+    /// Counter-predictor configuration (used when `bypass` is `Counter`).
+    pub counter: CounterConfig,
+    /// IDB entry count (delta width is derived from the geometry).
+    pub idb_entries: usize,
+    /// Extra cycles charged per misspeculation for instruction-scheduler
+    /// replay (§VII.C). The paper assumes the existing selective-replay
+    /// machinery absorbs SIPT's rare mispredictions (penalty 0); the
+    /// `ablation_replay` bench sweeps this to model simpler, costlier
+    /// replay schemes.
+    pub replay_penalty: u64,
+}
+
+impl L1Config {
+    /// Number of index bits that must be speculated for this geometry.
+    pub fn speculative_bits(&self) -> u32 {
+        self.geometry.speculative_bits()
+    }
+
+    /// Validate policy/geometry consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a VIPT policy is paired with a geometry that needs
+    /// speculative bits (the very configuration the paper shows is
+    /// impossible).
+    pub fn validate(&self) {
+        if self.policy == L1Policy::Vipt {
+            assert!(
+                self.geometry.vipt_feasible(),
+                "{} needs {} speculative bits — not buildable as VIPT",
+                self.geometry,
+                self.speculative_bits()
+            );
+        }
+    }
+
+    /// Derived IDB configuration (delta width = speculative bits, min 1).
+    pub fn idb_config(&self) -> IdbConfig {
+        IdbConfig { entries: self.idb_entries, bits: self.speculative_bits().max(1) }
+    }
+
+    /// Builder-style: replace the policy.
+    pub fn with_policy(mut self, policy: L1Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Builder-style: enable or disable way prediction.
+    pub fn with_way_prediction(mut self, enabled: bool) -> Self {
+        self.way_prediction = enabled;
+        self
+    }
+
+    /// Builder-style: select the bypass predictor implementation.
+    pub fn with_bypass(mut self, bypass: BypassKind) -> Self {
+        self.bypass = bypass;
+        self
+    }
+
+    /// Builder-style: replace the perceptron configuration (size/history
+    /// ablations).
+    pub fn with_perceptron(mut self, perceptron: PerceptronConfig) -> Self {
+        self.perceptron = perceptron;
+        self
+    }
+
+    /// Builder-style: set the per-misspeculation scheduler-replay penalty
+    /// (§VII.C ablation).
+    pub fn with_replay_penalty(mut self, cycles: u64) -> Self {
+        self.replay_penalty = cycles;
+        self
+    }
+}
+
+fn base(name: &'static str, kib: u64, ways: u32, latency: u64, policy: L1Policy) -> L1Config {
+    L1Config {
+        name,
+        geometry: CacheGeometry::new(kib << 10, ways),
+        latency,
+        policy,
+        replacement: ReplacementKind::Lru,
+        way_prediction: false,
+        bypass: BypassKind::Perceptron,
+        perceptron: PerceptronConfig::default(),
+        counter: CounterConfig::default(),
+        idb_entries: 64,
+        replay_penalty: 0,
+    }
+}
+
+/// The paper's baseline: Haswell-like 32 KiB 8-way 4-cycle VIPT L1.
+pub fn baseline_32k_8w_vipt() -> L1Config {
+    base("32KiB 8-way VIPT", 32, 8, 4, L1Policy::Vipt)
+}
+
+/// 16 KiB 4-way 2-cycle — the VIPT-feasible capacity-for-latency trade
+/// evaluated in Figs 2–3.
+pub fn small_16k_4w_vipt() -> L1Config {
+    base("16KiB 4-way VIPT", 16, 4, 2, L1Policy::Vipt)
+}
+
+/// 32 KiB 2-way 2-cycle SIPT (2 speculative bits) — the best-performing
+/// OOO configuration, used for Figs 6, 7, 13, 14, 16, 17.
+pub fn sipt_32k_2w() -> L1Config {
+    base("32KiB 2-way SIPT", 32, 2, 2, L1Policy::SiptCombined)
+}
+
+/// 32 KiB 4-way 3-cycle SIPT (1 speculative bit).
+pub fn sipt_32k_4w() -> L1Config {
+    base("32KiB 4-way SIPT", 32, 4, 3, L1Policy::SiptCombined)
+}
+
+/// 64 KiB 4-way 3-cycle SIPT (2 speculative bits) — best for in-order.
+pub fn sipt_64k_4w() -> L1Config {
+    base("64KiB 4-way SIPT", 64, 4, 3, L1Policy::SiptCombined)
+}
+
+/// 128 KiB 4-way 4-cycle SIPT (3 speculative bits).
+pub fn sipt_128k_4w() -> L1Config {
+    base("128KiB 4-way SIPT", 128, 4, 4, L1Policy::SiptCombined)
+}
+
+/// All four SIPT operating points of Table II, in the order the paper's
+/// Fig 15/18 legends list them.
+pub fn table2_sipt_configs() -> Vec<L1Config> {
+    vec![sipt_32k_2w(), sipt_32k_4w(), sipt_64k_4w(), sipt_128k_4w()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_speculative_bits_match_paper() {
+        assert_eq!(sipt_32k_2w().speculative_bits(), 2);
+        assert_eq!(sipt_32k_4w().speculative_bits(), 1);
+        assert_eq!(sipt_64k_4w().speculative_bits(), 2);
+        assert_eq!(sipt_128k_4w().speculative_bits(), 3);
+        assert_eq!(baseline_32k_8w_vipt().speculative_bits(), 0);
+        assert_eq!(small_16k_4w_vipt().speculative_bits(), 0);
+    }
+
+    #[test]
+    fn baseline_validates_and_infeasible_vipt_panics() {
+        baseline_32k_8w_vipt().validate();
+        small_16k_4w_vipt().validate();
+        for cfg in table2_sipt_configs() {
+            cfg.validate(); // SIPT policies are always fine
+        }
+        let bad = sipt_32k_2w().with_policy(L1Policy::Vipt);
+        assert!(std::panic::catch_unwind(move || bad.validate()).is_err());
+    }
+
+    #[test]
+    fn idb_width_tracks_geometry() {
+        assert_eq!(sipt_128k_4w().idb_config().bits, 3);
+        assert_eq!(sipt_32k_4w().idb_config().bits, 1);
+        // Even for a zero-bit geometry the IDB degenerates to 1 bit.
+        assert_eq!(baseline_32k_8w_vipt().idb_config().bits, 1);
+    }
+
+    #[test]
+    fn policy_display_and_speculates() {
+        assert!(L1Policy::SiptNaive.speculates());
+        assert!(!L1Policy::Vipt.speculates());
+        assert!(!L1Policy::Ideal.speculates());
+        for p in [
+            L1Policy::Vipt,
+            L1Policy::Pipt,
+            L1Policy::Ideal,
+            L1Policy::SiptNaive,
+            L1Policy::SiptBypass,
+            L1Policy::SiptCombined,
+        ] {
+            assert!(!p.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let cfg = sipt_32k_2w().with_policy(L1Policy::SiptNaive).with_way_prediction(true);
+        assert_eq!(cfg.policy, L1Policy::SiptNaive);
+        assert!(cfg.way_prediction);
+    }
+}

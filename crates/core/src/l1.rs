@@ -1,0 +1,498 @@
+//! The SIPT L1 data-cache front-end — the paper's contribution.
+//!
+//! [`SiptL1::access`] models one load/store: it forms a (possibly
+//! speculative) set index, probes the array, classifies the speculation
+//! outcome, and reports the latency the core observes. The caller (a
+//! `sipt-sim` machine) owns the TLB and the lower hierarchy: it passes in
+//! the resolved translation and TLB latency, and services misses/fills.
+//!
+//! Timing rules (paper §IV, Fig 4):
+//!
+//! - **fast access** — speculation correct (or policy non-speculative with
+//!   overlap): data after `max(l1_latency, tlb_latency)` cycles;
+//! - **bypass / PIPT** — wait for translation, then access:
+//!   `tlb_latency + l1_latency`;
+//! - **slow (replayed) access** — misspeculation discovered at the tag
+//!   check, repeat with physical index:
+//!   `max(l1_latency, tlb_latency) + l1_latency`, plus one wasted array
+//!   read that costs energy and occupies the port.
+
+use crate::config::{BypassKind, L1Config, L1Policy};
+use crate::outcome::{L1Access, SiptStats, SpeculationOutcome};
+use sipt_cache::{CacheArray, Evicted, LineAddr, WayPredStats, WayPredictor, LINE_SHIFT};
+use sipt_mem::{Translation, VirtAddr, PAGE_SHIFT};
+use sipt_predictors::{CounterPredictor, IndexDeltaBuffer, PerceptronPredictor};
+
+/// The bypass predictor behind a SIPT L1: either implementation exposes
+/// the same predict/update pair.
+#[derive(Debug)]
+enum BypassPredictor {
+    Perceptron(PerceptronPredictor),
+    Counter(CounterPredictor),
+}
+
+impl BypassPredictor {
+    fn predict(&mut self, pc: u64) -> bool {
+        match self {
+            BypassPredictor::Perceptron(p) => p.predict(pc),
+            BypassPredictor::Counter(c) => c.predict(pc),
+        }
+    }
+
+    fn update(&mut self, pc: u64, unchanged: bool) {
+        match self {
+            BypassPredictor::Perceptron(p) => p.update(pc, unchanged),
+            BypassPredictor::Counter(c) => c.update(pc, unchanged),
+        }
+    }
+}
+
+/// The SIPT-capable L1 data cache.
+#[derive(Debug)]
+pub struct SiptL1 {
+    config: L1Config,
+    array: CacheArray,
+    way_pred: Option<WayPredictor>,
+    bypass: BypassPredictor,
+    idb: IndexDeltaBuffer,
+    stats: SiptStats,
+}
+
+impl SiptL1 {
+    /// Build an L1 from a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see
+    /// [`L1Config::validate`]).
+    pub fn new(config: L1Config) -> Self {
+        config.validate();
+        let geometry = config.geometry;
+        Self {
+            array: CacheArray::new(geometry, config.replacement),
+            way_pred: config
+                .way_prediction
+                .then(|| WayPredictor::new(geometry.sets(), geometry.ways)),
+            bypass: match config.bypass {
+                BypassKind::Perceptron =>
+                    BypassPredictor::Perceptron(PerceptronPredictor::new(config.perceptron)),
+                BypassKind::Counter =>
+                    BypassPredictor::Counter(CounterPredictor::new(config.counter)),
+            },
+            idb: IndexDeltaBuffer::new(config.idb_config()),
+            config,
+            stats: SiptStats::default(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &L1Config {
+        &self.config
+    }
+
+    /// Number of speculative index bits this cache uses.
+    pub fn speculative_bits(&self) -> u32 {
+        self.config.speculative_bits()
+    }
+
+    /// Perform one demand access.
+    ///
+    /// `tlb_cycles` is the latency after which the physical address is
+    /// available (from the machine's TLB model); `translation` is the
+    /// resolved translation for `va`. Returns hit/latency/outcome; on a
+    /// miss the caller services the lower hierarchy and then calls
+    /// [`SiptL1::fill`].
+    pub fn access(
+        &mut self,
+        pc: u64,
+        va: VirtAddr,
+        translation: Translation,
+        tlb_cycles: u64,
+        write: bool,
+    ) -> L1Access {
+        let n = self.speculative_bits();
+        let va_bits = va.index_bits(n);
+        let pa_bits = translation.pa.index_bits(n);
+        let unchanged = va_bits == pa_bits;
+        let l1 = self.config.latency;
+
+        // --- speculation decision & classification -----------------------
+        let (outcome, speculated_bits) = match self.config.policy {
+            L1Policy::Vipt | L1Policy::Ideal | L1Policy::Pipt => {
+                (SpeculationOutcome::NotSpeculative, pa_bits)
+            }
+            L1Policy::SiptNaive => (
+                if unchanged {
+                    SpeculationOutcome::CorrectSpeculation
+                } else {
+                    SpeculationOutcome::ExtraAccess
+                },
+                va_bits,
+            ),
+            L1Policy::SiptBypass => {
+                let speculate = self.bypass.predict(pc);
+                self.bypass.update(pc, unchanged);
+                let outcome = match (speculate, unchanged) {
+                    (true, true) => SpeculationOutcome::CorrectSpeculation,
+                    (true, false) => SpeculationOutcome::ExtraAccess,
+                    (false, false) => SpeculationOutcome::CorrectBypass,
+                    (false, true) => SpeculationOutcome::OpportunityLoss,
+                };
+                (outcome, if speculate { va_bits } else { pa_bits })
+            }
+            L1Policy::SiptCombined => {
+                let speculate = self.bypass.predict(pc);
+                let bits = if speculate {
+                    va_bits
+                } else if n == 1 {
+                    // Reversed bypass prediction: flip the single bit.
+                    va_bits ^ 1
+                } else {
+                    let delta = self.idb.predict(pc);
+                    self.idb.apply(va_bits, delta)
+                };
+                self.bypass.update(pc, unchanged);
+                if n > 1 {
+                    self.idb.update(pc, translation.index_delta(va, n));
+                }
+                let outcome = if speculate {
+                    if unchanged {
+                        SpeculationOutcome::CorrectSpeculation
+                    } else {
+                        SpeculationOutcome::ExtraAccess
+                    }
+                } else if bits == pa_bits {
+                    SpeculationOutcome::IdbHit
+                } else {
+                    SpeculationOutcome::ExtraAccess
+                };
+                (outcome, bits)
+            }
+        };
+
+        // --- timing -------------------------------------------------------
+        let mut latency = match self.config.policy {
+            L1Policy::Pipt => tlb_cycles + l1,
+            L1Policy::Vipt | L1Policy::Ideal => l1.max(tlb_cycles),
+            _ => match outcome {
+                SpeculationOutcome::CorrectSpeculation | SpeculationOutcome::IdbHit => {
+                    l1.max(tlb_cycles)
+                }
+                SpeculationOutcome::CorrectBypass | SpeculationOutcome::OpportunityLoss => {
+                    tlb_cycles + l1
+                }
+                SpeculationOutcome::ExtraAccess => {
+                    l1.max(tlb_cycles) + l1 + self.config.replay_penalty
+                }
+                SpeculationOutcome::NotSpeculative => unreachable!("covered above"),
+            },
+        };
+        let mut array_reads: u32 = if outcome.is_extra_access() { 2 } else { 1 };
+
+        // --- array contents -----------------------------------------------
+        // The speculative probe of a wrong set always misses (full-address
+        // tags); the demand outcome is decided by the home-set probe.
+        let pa_line = LineAddr::of_phys(translation.pa);
+        let home_set = self.array.home_set(pa_line);
+        debug_assert_eq!(
+            home_set,
+            Self::set_from_bits(va, pa_bits, self.array.geometry().index_bits()),
+            "home set must equal the offset-bits index combined with PA index bits"
+        );
+        let _ = speculated_bits; // timing/energy effect fully captured above
+        let hit = match self.array.lookup(home_set, pa_line) {
+            Some(way) => {
+                if write {
+                    self.array.set_dirty(home_set, way);
+                }
+                if let Some(wp) = &mut self.way_pred {
+                    let predicted = wp.predict(home_set);
+                    wp.record_hit(home_set, way);
+                    if predicted != way {
+                        // Second probe of the remaining ways.
+                        latency += l1;
+                        array_reads += 1;
+                    }
+                }
+                true
+            }
+            None => false,
+        };
+
+        let access = L1Access { hit, latency, array_reads, outcome };
+        self.stats.record(&access);
+        access
+    }
+
+    /// Reconstruct the set index from the page-offset part of `va` and
+    /// explicit index bits beyond the page offset (debug cross-check).
+    fn set_from_bits(va: VirtAddr, beyond_page_bits: u64, index_bits: u32) -> u64 {
+        let offset_part_bits = (PAGE_SHIFT - LINE_SHIFT).min(index_bits);
+        let offset_part = (va.raw() >> LINE_SHIFT) & ((1 << offset_part_bits) - 1);
+        if index_bits <= offset_part_bits {
+            offset_part
+        } else {
+            (beyond_page_bits << offset_part_bits | offset_part) & ((1 << index_bits) - 1)
+        }
+    }
+
+    /// Fill a line after the lower hierarchy serviced a miss. Returns the
+    /// evicted line (the caller forwards dirty evictions as writebacks).
+    pub fn fill(&mut self, line: LineAddr, dirty: bool) -> Option<Evicted> {
+        let evicted = self.array.fill(line, dirty);
+        if let Some(wp) = &mut self.way_pred {
+            let set = self.array.home_set(line);
+            let way = self.array.probe(set, line).expect("line was just filled");
+            wp.record_miss(set, way);
+        }
+        if evicted.is_some_and(|e| e.dirty) {
+            self.stats.writebacks += 1;
+        }
+        evicted
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> SiptStats {
+        self.stats
+    }
+
+    /// Way-prediction statistics, if way prediction is enabled.
+    pub fn way_pred_stats(&self) -> Option<WayPredStats> {
+        self.way_pred.as_ref().map(WayPredictor::stats)
+    }
+
+    /// Reset all statistics (contents and predictor state kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = SiptStats::default();
+        if let Some(wp) = &mut self.way_pred {
+            wp.reset_stats();
+        }
+    }
+
+    /// Borrow the underlying array (inspection/tests).
+    pub fn array(&self) -> &CacheArray {
+        &self.array
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{baseline_32k_8w_vipt, sipt_128k_4w, sipt_32k_2w, sipt_32k_4w};
+    use sipt_mem::{PageSize, PhysAddr, PhysFrameNum};
+
+    /// Build a translation with an explicit VPN→PFN pair.
+    fn xlate(va: VirtAddr, pfn: u64) -> Translation {
+        Translation {
+            pa: PhysAddr::new((pfn << PAGE_SHIFT) | va.page_offset()),
+            pfn: PhysFrameNum::new(pfn),
+            page_size: PageSize::Base4K,
+        }
+    }
+
+    const TLB_LAT: u64 = 2;
+
+    #[test]
+    fn naive_fast_access_when_bits_unchanged() {
+        let mut l1 = SiptL1::new(sipt_32k_2w().with_policy(L1Policy::SiptNaive));
+        let va = VirtAddr::new(0x5000);
+        let a = l1.access(0x40, va, xlate(va, 0x5), TLB_LAT, false);
+        assert_eq!(a.outcome, SpeculationOutcome::CorrectSpeculation);
+        assert_eq!(a.latency, 2); // max(l1=2, tlb=2)
+        assert_eq!(a.array_reads, 1);
+        assert!(!a.hit, "cold cache");
+    }
+
+    #[test]
+    fn naive_replay_when_bits_change() {
+        let mut l1 = SiptL1::new(sipt_32k_2w().with_policy(L1Policy::SiptNaive));
+        // VA index bits (2 bits above offset) = 0b01; PFN 0b10 → changed.
+        let va = VirtAddr::new(0x1000);
+        let a = l1.access(0x40, va, xlate(va, 0b10), TLB_LAT, false);
+        assert_eq!(a.outcome, SpeculationOutcome::ExtraAccess);
+        assert_eq!(a.latency, 2 + 2);
+        assert_eq!(a.array_reads, 2);
+        assert_eq!(l1.stats().extra_accesses, 1);
+    }
+
+    #[test]
+    fn vipt_and_ideal_overlap_translation() {
+        for cfg in [baseline_32k_8w_vipt(), sipt_32k_2w().with_policy(L1Policy::Ideal)] {
+            let lat = cfg.latency;
+            let mut l1 = SiptL1::new(cfg);
+            let va = VirtAddr::new(0x1234);
+            let a = l1.access(0, va, xlate(va, 99), TLB_LAT, false);
+            assert_eq!(a.outcome, SpeculationOutcome::NotSpeculative);
+            assert_eq!(a.latency, lat.max(TLB_LAT));
+        }
+    }
+
+    #[test]
+    fn pipt_serializes_translation() {
+        let mut l1 = SiptL1::new(sipt_32k_2w().with_policy(L1Policy::Pipt));
+        let va = VirtAddr::new(0x1234);
+        let a = l1.access(0, va, xlate(va, 99), 9, false);
+        assert_eq!(a.latency, 9 + 2);
+    }
+
+    #[test]
+    fn slow_tlb_stalls_even_fast_accesses() {
+        let mut l1 = SiptL1::new(sipt_32k_2w().with_policy(L1Policy::SiptNaive));
+        let va = VirtAddr::new(0x5000);
+        let a = l1.access(0, va, xlate(va, 0x5), 59, false); // TLB walk
+        assert_eq!(a.outcome, SpeculationOutcome::CorrectSpeculation);
+        assert_eq!(a.latency, 59, "tag check cannot complete before the PA exists");
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut l1 = SiptL1::new(sipt_32k_2w());
+        let va = VirtAddr::new(0x5040);
+        let t = xlate(va, 0x5);
+        let a = l1.access(0, va, t, TLB_LAT, false);
+        assert!(!a.hit);
+        l1.fill(LineAddr::of_phys(t.pa), false);
+        let b = l1.access(0, va, t, TLB_LAT, false);
+        assert!(b.hit);
+        assert_eq!(l1.stats().hits, 1);
+    }
+
+    #[test]
+    fn bypass_predictor_learns_stable_pc() {
+        let mut l1 = SiptL1::new(sipt_32k_2w().with_policy(L1Policy::SiptBypass));
+        // PC 0x10 always has unchanged bits; PC 0x20 always changed.
+        let va_ok = VirtAddr::new(0x5000);
+        let va_bad = VirtAddr::new(0x1000);
+        for _ in 0..100 {
+            l1.access(0x10, va_ok, xlate(va_ok, 0x5), TLB_LAT, false);
+            l1.access(0x20, va_bad, xlate(va_bad, 0b10), TLB_LAT, false);
+        }
+        let s = l1.stats();
+        // After warmup, PC 0x10 → correct speculation, 0x20 → correct
+        // bypass; transients only at the start.
+        assert!(s.correct_speculation > 90, "correct_speculation = {}", s.correct_speculation);
+        assert!(s.correct_bypass > 90, "correct_bypass = {}", s.correct_bypass);
+        assert!(s.extra_accesses + s.opportunity_loss < 20);
+    }
+
+    #[test]
+    fn bypass_never_replays_on_correct_bypass() {
+        let mut l1 = SiptL1::new(sipt_32k_2w().with_policy(L1Policy::SiptBypass));
+        let va = VirtAddr::new(0x1000);
+        for _ in 0..50 {
+            l1.access(0x20, va, xlate(va, 0b10), TLB_LAT, false);
+        }
+        let s = l1.stats();
+        assert_eq!(s.array_reads, s.accesses + s.extra_accesses);
+    }
+
+    #[test]
+    fn combined_one_bit_uses_reversed_prediction() {
+        // 32 KiB 4-way: a single speculative bit, no IDB involved.
+        let mut l1 = SiptL1::new(sipt_32k_4w());
+        assert_eq!(l1.speculative_bits(), 1);
+        // This PC's bit always flips (VA bit 0 of page number = 1, PA = 0).
+        let va = VirtAddr::new(0x1000);
+        for _ in 0..100 {
+            l1.access(0x30, va, xlate(va, 0b0), TLB_LAT, false);
+        }
+        let s = l1.stats();
+        assert!(s.idb_hits > 80, "reversed prediction should convert to fast: {s:?}");
+        assert!(s.fast_fraction() > 0.8);
+    }
+
+    #[test]
+    fn combined_idb_learns_constant_delta() {
+        let mut l1 = SiptL1::new(sipt_32k_2w());
+        assert_eq!(l1.speculative_bits(), 2);
+        // Walk a "region" where PFN = VPN + 3 (constant delta 3 mod 4).
+        for i in 0..200u64 {
+            let vpn = 0x100 + (i % 16);
+            let va = VirtAddr::new(vpn << PAGE_SHIFT | 0x80);
+            l1.access(0x44, va, xlate(va, vpn + 3), TLB_LAT, false);
+        }
+        let s = l1.stats();
+        assert!(
+            s.fast_fraction() > 0.9,
+            "constant-delta region must be predicted: {s:?}"
+        );
+        assert!(s.idb_hits > 150, "IDB hits = {}", s.idb_hits);
+    }
+
+    #[test]
+    fn combined_three_bits() {
+        let mut l1 = SiptL1::new(sipt_128k_4w());
+        assert_eq!(l1.speculative_bits(), 3);
+        for i in 0..300u64 {
+            let vpn = 0x200 + (i % 32);
+            let va = VirtAddr::new(vpn << PAGE_SHIFT);
+            l1.access(0x55, va, xlate(va, vpn + 5), TLB_LAT, false);
+        }
+        assert!(l1.stats().fast_fraction() > 0.85, "{:?}", l1.stats());
+    }
+
+    #[test]
+    fn way_misprediction_costs_a_second_read() {
+        let cfg = baseline_32k_8w_vipt().with_way_prediction(true);
+        let mut l1 = SiptL1::new(cfg);
+        // Two lines in the same set: alternate between them.
+        let va_a = VirtAddr::new(0x0040);
+        let va_b = VirtAddr::new(0x0040 + (64 << 6)); // same set (64 sets), different tag
+        let ta = xlate(va_a, 0x10);
+        let tb = xlate(va_b, 0x11);
+        l1.access(0, va_a, ta, TLB_LAT, false);
+        l1.fill(LineAddr::of_phys(ta.pa), false);
+        l1.access(0, va_b, tb, TLB_LAT, false);
+        l1.fill(LineAddr::of_phys(tb.pa), false);
+        // Alternating hits: the MRU way is always the *other* line.
+        let h1 = l1.access(0, va_a, ta, TLB_LAT, false);
+        assert!(h1.hit);
+        assert_eq!(h1.array_reads, 2, "MRU mispredict reads twice");
+        assert_eq!(h1.latency, 4 + 4);
+        let wp = l1.way_pred_stats().unwrap();
+        assert_eq!(wp.wrong, 1);
+        // Re-access the same line: now predicted correctly.
+        let h2 = l1.access(0, va_a, ta, TLB_LAT, false);
+        assert_eq!(h2.array_reads, 1);
+        assert_eq!(l1.way_pred_stats().unwrap().correct, 1);
+    }
+
+    #[test]
+    fn writebacks_counted_on_dirty_eviction() {
+        let mut l1 = SiptL1::new(sipt_32k_2w());
+        let sets = l1.array().geometry().sets();
+        // Fill 3 lines mapping to set 0 (stride = sets lines), dirty.
+        for i in 0..3u64 {
+            let line = LineAddr(i * sets);
+            l1.fill(line, true);
+        }
+        assert_eq!(l1.stats().writebacks, 1, "2-way set overflows on the 3rd fill");
+    }
+
+    #[test]
+    fn replay_penalty_charges_only_misspeculations() {
+        let cfg = sipt_32k_2w().with_policy(L1Policy::SiptNaive).with_replay_penalty(10);
+        let mut l1 = SiptL1::new(cfg);
+        // Misspeculation: index bits change.
+        let va_bad = VirtAddr::new(0x1000);
+        let bad = l1.access(0, va_bad, xlate(va_bad, 0b10), TLB_LAT, false);
+        assert_eq!(bad.outcome, SpeculationOutcome::ExtraAccess);
+        assert_eq!(bad.latency, 2 + 2 + 10);
+        // Correct speculation: no penalty.
+        let va_ok = VirtAddr::new(0x5000);
+        let ok = l1.access(0, va_ok, xlate(va_ok, 0x5), TLB_LAT, false);
+        assert_eq!(ok.latency, 2);
+    }
+
+    #[test]
+    fn stats_reset_keeps_contents_and_training() {
+        let mut l1 = SiptL1::new(sipt_32k_2w());
+        let va = VirtAddr::new(0x5040);
+        let t = xlate(va, 0x5);
+        l1.access(0, va, t, TLB_LAT, false);
+        l1.fill(LineAddr::of_phys(t.pa), false);
+        l1.reset_stats();
+        assert_eq!(l1.stats().accesses, 0);
+        assert!(l1.access(0, va, t, TLB_LAT, false).hit);
+    }
+}

@@ -1,0 +1,188 @@
+//! Per-access outcomes and aggregate statistics for the SIPT L1.
+
+/// How the index speculation of one access resolved. The first four
+/// variants are exactly the four prediction outcomes of paper §V / Fig 9;
+/// `IdbHit` is the additional Fig 12 category created by the §VI combined
+/// predictor; `NotSpeculative` covers VIPT/PIPT/ideal policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpeculationOutcome {
+    /// Speculated, and the index bits survived translation: a fast access.
+    CorrectSpeculation,
+    /// Bypassed speculation, and the bits indeed changed: the wait was
+    /// necessary (slow access, but no wasted array read).
+    CorrectBypass,
+    /// Bypassed speculation although the bits were unchanged: a fast
+    /// access was squandered.
+    OpportunityLoss,
+    /// Speculated (possibly via the IDB) with the wrong bits: the access
+    /// must be replayed with the physical index — an extra L1 access.
+    ExtraAccess,
+    /// The bypass predictor said "changed" and the IDB (or the 1-bit
+    /// inverted prediction) supplied the correct post-translation bits:
+    /// a slow access converted into a fast one.
+    IdbHit,
+    /// The policy does not speculate (VIPT / PIPT / ideal).
+    NotSpeculative,
+}
+
+impl SpeculationOutcome {
+    /// Whether the access completed at array latency (overlapped with
+    /// translation).
+    pub fn is_fast(self) -> bool {
+        matches!(self, SpeculationOutcome::CorrectSpeculation | SpeculationOutcome::IdbHit)
+    }
+
+    /// Whether the access caused a redundant L1 array read.
+    pub fn is_extra_access(self) -> bool {
+        matches!(self, SpeculationOutcome::ExtraAccess)
+    }
+}
+
+/// Timing and classification of one L1 access, as seen by the core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L1Access {
+    /// Whether the demand access hit in the L1 (after any replay).
+    pub hit: bool,
+    /// Cycles until the L1 produced data *if it hit*; on a miss, cycles
+    /// until the miss was issued to the next level.
+    pub latency: u64,
+    /// Number of L1 array reads performed (2 for a replayed access, and
+    /// way-misprediction second reads).
+    pub array_reads: u32,
+    /// Speculation outcome classification.
+    pub outcome: SpeculationOutcome,
+}
+
+/// Aggregate statistics of the SIPT L1 front-end.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiptStats {
+    /// Demand accesses.
+    pub accesses: u64,
+    /// Demand hits.
+    pub hits: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Total L1 array reads, including replays and way-mispredict reads
+    /// (the quantity dynamic energy scales with).
+    pub array_reads: u64,
+    /// Extra (wasted) array reads from misspeculation.
+    pub extra_accesses: u64,
+    /// Fast accesses (overlapped with translation).
+    pub fast_accesses: u64,
+    /// Outcome counters, Fig 9 / Fig 12 classification.
+    pub correct_speculation: u64,
+    /// See [`SpeculationOutcome::CorrectBypass`].
+    pub correct_bypass: u64,
+    /// See [`SpeculationOutcome::OpportunityLoss`].
+    pub opportunity_loss: u64,
+    /// See [`SpeculationOutcome::IdbHit`].
+    pub idb_hits: u64,
+    /// Dirty lines written back to the next level.
+    pub writebacks: u64,
+}
+
+impl SiptStats {
+    /// Record one classified access.
+    pub fn record(&mut self, access: &L1Access) {
+        self.accesses += 1;
+        if access.hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        self.array_reads += access.array_reads as u64;
+        if access.outcome.is_fast() {
+            self.fast_accesses += 1;
+        }
+        match access.outcome {
+            SpeculationOutcome::CorrectSpeculation => self.correct_speculation += 1,
+            SpeculationOutcome::CorrectBypass => self.correct_bypass += 1,
+            SpeculationOutcome::OpportunityLoss => self.opportunity_loss += 1,
+            SpeculationOutcome::ExtraAccess => self.extra_accesses += 1,
+            SpeculationOutcome::IdbHit => self.idb_hits += 1,
+            SpeculationOutcome::NotSpeculative => {}
+        }
+    }
+
+    /// Demand hit rate.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / self.accesses as f64
+    }
+
+    /// Fraction of accesses that were fast (the paper's headline
+    /// prediction-accuracy metric for Figs 5/9/12/18).
+    pub fn fast_fraction(&self) -> f64 {
+        if self.accesses == 0 {
+            return 0.0;
+        }
+        self.fast_accesses as f64 / self.accesses as f64
+    }
+
+    /// Relative extra accesses: `accesses_SIPT / accesses_baseline − 1`
+    /// expressed against this cache's own demand count (the paper's
+    /// "additional accesses" series in Figs 6/13/15).
+    pub fn extra_access_fraction(&self) -> f64 {
+        if self.accesses == 0 {
+            return 0.0;
+        }
+        self.extra_accesses as f64 / self.accesses as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc(outcome: SpeculationOutcome, hit: bool, reads: u32) -> L1Access {
+        L1Access { hit, latency: 2, array_reads: reads, outcome }
+    }
+
+    #[test]
+    fn outcome_classification_flags() {
+        assert!(SpeculationOutcome::CorrectSpeculation.is_fast());
+        assert!(SpeculationOutcome::IdbHit.is_fast());
+        assert!(!SpeculationOutcome::CorrectBypass.is_fast());
+        assert!(!SpeculationOutcome::OpportunityLoss.is_fast());
+        assert!(SpeculationOutcome::ExtraAccess.is_extra_access());
+        assert!(!SpeculationOutcome::IdbHit.is_extra_access());
+    }
+
+    #[test]
+    fn stats_accumulate_all_categories() {
+        let mut s = SiptStats::default();
+        s.record(&acc(SpeculationOutcome::CorrectSpeculation, true, 1));
+        s.record(&acc(SpeculationOutcome::ExtraAccess, true, 2));
+        s.record(&acc(SpeculationOutcome::IdbHit, false, 1));
+        s.record(&acc(SpeculationOutcome::CorrectBypass, true, 1));
+        s.record(&acc(SpeculationOutcome::OpportunityLoss, true, 1));
+        s.record(&acc(SpeculationOutcome::NotSpeculative, true, 1));
+        assert_eq!(s.accesses, 6);
+        assert_eq!(s.hits, 5);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.array_reads, 7);
+        assert_eq!(s.fast_accesses, 2);
+        assert_eq!(s.extra_accesses, 1);
+        assert_eq!(s.correct_speculation, 1);
+        assert_eq!(s.correct_bypass, 1);
+        assert_eq!(s.opportunity_loss, 1);
+        assert_eq!(s.idb_hits, 1);
+    }
+
+    #[test]
+    fn derived_rates() {
+        let mut s = SiptStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.fast_fraction(), 0.0);
+        assert_eq!(s.extra_access_fraction(), 0.0);
+        for _ in 0..3 {
+            s.record(&acc(SpeculationOutcome::CorrectSpeculation, true, 1));
+        }
+        s.record(&acc(SpeculationOutcome::ExtraAccess, false, 2));
+        assert_eq!(s.hit_rate(), 0.75);
+        assert_eq!(s.fast_fraction(), 0.75);
+        assert_eq!(s.extra_access_fraction(), 0.25);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests over the SIPT L1 front-end: timing/classification
+//! invariants that must hold for every policy, geometry, and address
+//! pattern.
+
+use proptest::prelude::*;
+use sipt_core::{
+    baseline_32k_8w_vipt, sipt_128k_4w, sipt_32k_2w, sipt_32k_4w, sipt_64k_4w, L1Config,
+    L1Policy, SiptL1, SpeculationOutcome,
+};
+use sipt_mem::{PageSize, PhysAddr, PhysFrameNum, Translation, VirtAddr, PAGE_SHIFT};
+
+fn xlate(va: VirtAddr, pfn: u64) -> Translation {
+    Translation {
+        pa: PhysAddr::new((pfn << PAGE_SHIFT) | va.page_offset()),
+        pfn: PhysFrameNum::new(pfn),
+        page_size: PageSize::Base4K,
+    }
+}
+
+fn all_configs() -> Vec<L1Config> {
+    let mut v = vec![baseline_32k_8w_vipt()];
+    for base in [sipt_32k_2w(), sipt_32k_4w(), sipt_64k_4w(), sipt_128k_4w()] {
+        for policy in
+            [L1Policy::SiptNaive, L1Policy::SiptBypass, L1Policy::SiptCombined, L1Policy::Ideal]
+        {
+            v.push(base.clone().with_policy(policy));
+        }
+    }
+    v
+}
+
+proptest! {
+    /// Timing invariants: latency is at least the array latency, at least
+    /// the translation latency for non-overlapped paths, fast accesses
+    /// complete at max(l1, tlb), and array reads are 1 or 2 (3 only with
+    /// way misprediction, which is off here).
+    #[test]
+    fn access_invariants(
+        ops in proptest::collection::vec((0u64..1u64<<18, 0u64..1u64<<10, 0u64..60, any::<bool>()), 1..200)
+    ) {
+        for cfg in all_configs() {
+            let l1_lat = cfg.latency;
+            let mut l1 = SiptL1::new(cfg);
+            for &(va_raw, pfn, tlb, write) in &ops {
+                let va = VirtAddr::new(va_raw);
+                let t = xlate(va, pfn);
+                let a = l1.access(va_raw ^ 0x40, va, t, tlb, write);
+                prop_assert!(a.latency >= l1_lat);
+                prop_assert!(a.array_reads >= 1 && a.array_reads <= 2);
+                match a.outcome {
+                    SpeculationOutcome::CorrectSpeculation | SpeculationOutcome::IdbHit => {
+                        prop_assert_eq!(a.latency, l1_lat.max(tlb));
+                    }
+                    SpeculationOutcome::CorrectBypass | SpeculationOutcome::OpportunityLoss => {
+                        prop_assert_eq!(a.latency, tlb + l1_lat);
+                    }
+                    SpeculationOutcome::ExtraAccess => {
+                        prop_assert_eq!(a.latency, l1_lat.max(tlb) + l1_lat);
+                        prop_assert_eq!(a.array_reads, 2);
+                    }
+                    SpeculationOutcome::NotSpeculative => {
+                        prop_assert!(a.latency >= l1_lat.max(tlb).min(tlb + l1_lat));
+                    }
+                }
+            }
+            let s = l1.stats();
+            prop_assert_eq!(s.accesses, ops.len() as u64);
+            prop_assert_eq!(s.hits + s.misses, s.accesses);
+            prop_assert_eq!(s.array_reads, s.accesses + s.extra_accesses);
+        }
+    }
+
+    /// When VA and PA index bits agree, a speculating policy never replays.
+    #[test]
+    fn identity_translation_never_replays(pages in proptest::collection::vec(0u64..1u64<<10, 1..100)) {
+        let mut l1 = SiptL1::new(sipt_128k_4w().with_policy(L1Policy::SiptNaive));
+        for &p in &pages {
+            let va = VirtAddr::new(p << PAGE_SHIFT);
+            l1.access(0x10, va, xlate(va, p), 2, false);
+        }
+        prop_assert_eq!(l1.stats().extra_accesses, 0);
+        prop_assert_eq!(l1.stats().fast_accesses, pages.len() as u64);
+    }
+
+    /// The ideal policy's timing never depends on the VA↔PA relationship.
+    #[test]
+    fn ideal_is_translation_insensitive(
+        vas in proptest::collection::vec(0u64..1u64<<20, 1..50),
+        pfn_seed in 0u64..1u64<<10,
+    ) {
+        let mut a = SiptL1::new(sipt_32k_2w().with_policy(L1Policy::Ideal));
+        let mut b = SiptL1::new(sipt_32k_2w().with_policy(L1Policy::Ideal));
+        for (i, &va_raw) in vas.iter().enumerate() {
+            let va = VirtAddr::new(va_raw);
+            // Same PFN stream in both runs, but b gets scrambled bits.
+            let pfn = pfn_seed + i as u64;
+            let la = a.access(0, va, xlate(va, pfn), 2, false);
+            let lb = b.access(0, va, xlate(va, pfn), 2, false);
+            prop_assert_eq!(la.latency, lb.latency);
+            prop_assert_eq!(la.outcome, SpeculationOutcome::NotSpeculative);
+        }
+    }
+}
+
+#[test]
+fn combined_converges_on_region_migration() {
+    // A PC that walks region A (delta 1), then migrates to region B
+    // (delta 3): the IDB must re-learn and recover within a few accesses.
+    let mut l1 = SiptL1::new(sipt_32k_2w());
+    let mut slow_after_warmup = 0;
+    for phase in 0..2u64 {
+        let delta = 1 + 2 * phase; // 1 then 3
+        for i in 0..200u64 {
+            let vpn = 0x400 + (i % 8);
+            let va = VirtAddr::new(vpn << PAGE_SHIFT);
+            let t = xlate(va, vpn.wrapping_add(delta));
+            let a = l1.access(0x99, va, t, 2, false);
+            if i > 20 && !a.outcome.is_fast() {
+                slow_after_warmup += 1;
+            }
+        }
+    }
+    assert!(
+        slow_after_warmup <= 8,
+        "IDB should re-converge quickly after migration: {slow_after_warmup} slow"
+    );
+}
+
+#[test]
+fn bypass_and_combined_share_perceptron_behaviour() {
+    // For a PC whose bits never survive, bypass waits while combined uses
+    // the IDB: combined must have strictly more fast accesses and no more
+    // extra accesses than naive would produce.
+    let make = |policy| SiptL1::new(sipt_32k_2w().with_policy(policy));
+    let mut bypass = make(L1Policy::SiptBypass);
+    let mut combined = make(L1Policy::SiptCombined);
+    let mut naive = make(L1Policy::SiptNaive);
+    for i in 0..300u64 {
+        let vpn = 0x100 + (i % 4);
+        let va = VirtAddr::new(vpn << PAGE_SHIFT);
+        let t = xlate(va, vpn + 2); // constant delta 2: bits always change
+        bypass.access(0x7, va, t, 2, false);
+        combined.access(0x7, va, t, 2, false);
+        naive.access(0x7, va, t, 2, false);
+    }
+    assert!(combined.stats().fast_accesses > 250, "{:?}", combined.stats());
+    assert!(bypass.stats().fast_accesses < 50, "{:?}", bypass.stats());
+    assert_eq!(naive.stats().extra_accesses, 300);
+    assert!(combined.stats().extra_accesses < naive.stats().extra_accesses);
+}

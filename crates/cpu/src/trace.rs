@@ -1,0 +1,175 @@
+//! The trace "ISA": the instruction stream the timing models replay.
+//!
+//! Mirrors what the paper's modified Macsim trace generator captures per
+//! instruction: the PC, register dependences, and — for memory operations
+//! — the *virtual* address (physical addresses are produced during
+//! simulation by the machine's TLB/page-table, not baked into the trace).
+
+use sipt_mem::VirtAddr;
+
+/// Number of architectural registers in the trace ISA.
+pub const NUM_REGS: usize = 64;
+
+/// A register name (0..[`NUM_REGS`]).
+pub type Reg = u8;
+
+/// Load or store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemOp {
+    /// A load: the destination register becomes ready when data returns.
+    Load,
+    /// A store: retires through the write buffer without blocking.
+    Store,
+}
+
+/// A memory reference attached to an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRef {
+    /// Load or store.
+    pub op: MemOp,
+    /// Virtual address accessed.
+    pub va: VirtAddr,
+}
+
+/// One traced instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Inst {
+    /// Program counter (used to index the SIPT predictors).
+    pub pc: u64,
+    /// Destination register, if any.
+    pub dst: Option<Reg>,
+    /// Up to two source registers.
+    pub srcs: [Option<Reg>; 2],
+    /// Memory reference, if this is a load/store.
+    pub mem: Option<MemRef>,
+    /// Execution latency of the ALU portion in cycles (≥ 1).
+    pub exec_latency: u64,
+}
+
+impl Inst {
+    /// A simple ALU instruction `dst = f(src)` with unit latency.
+    pub fn alu(pc: u64, dst: Reg, srcs: [Option<Reg>; 2]) -> Self {
+        Self { pc, dst: Some(dst), srcs, mem: None, exec_latency: 1 }
+    }
+
+    /// A load `dst = [va]`, with the address formed from `addr_reg`.
+    pub fn load(pc: u64, dst: Reg, addr_reg: Option<Reg>, va: VirtAddr) -> Self {
+        Self {
+            pc,
+            dst: Some(dst),
+            srcs: [addr_reg, None],
+            mem: Some(MemRef { op: MemOp::Load, va }),
+            exec_latency: 1,
+        }
+    }
+
+    /// A store `[va] = src`.
+    pub fn store(pc: u64, data_reg: Option<Reg>, addr_reg: Option<Reg>, va: VirtAddr) -> Self {
+        Self {
+            pc,
+            dst: None,
+            srcs: [data_reg, addr_reg],
+            mem: Some(MemRef { op: MemOp::Store, va }),
+            exec_latency: 1,
+        }
+    }
+
+    /// Whether this instruction references memory.
+    pub fn is_mem(&self) -> bool {
+        self.mem.is_some()
+    }
+}
+
+/// The response of the memory path to one load/store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemResponse {
+    /// Cycles until the data (load) or completion acknowledgement (store)
+    /// is available.
+    pub latency: u64,
+    /// L1 port slots this access consumed (2 for a replayed SIPT access —
+    /// the paper's "contends for the L1 cache port" cost).
+    pub port_slots: u32,
+}
+
+impl MemResponse {
+    /// A plain response occupying one port slot.
+    pub fn simple(latency: u64) -> Self {
+        Self { latency, port_slots: 1 }
+    }
+}
+
+/// The memory system as seen by a core's timing model.
+pub trait MemoryPath {
+    /// Perform the access of `inst` (which must have `mem`) at cycle
+    /// `now`; returns its latency and port occupancy.
+    fn access(&mut self, pc: u64, mem: MemRef, now: u64) -> MemResponse;
+}
+
+/// A fixed-latency memory path for unit tests.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedMemory {
+    /// Latency returned for every access.
+    pub latency: u64,
+}
+
+impl MemoryPath for FixedMemory {
+    fn access(&mut self, _pc: u64, _mem: MemRef, _now: u64) -> MemResponse {
+        MemResponse::simple(self.latency)
+    }
+}
+
+/// Result of simulating an instruction stream on a core.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreResult {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Total cycles.
+    pub cycles: u64,
+    /// Memory operations executed.
+    pub mem_ops: u64,
+}
+
+impl CoreResult {
+    /// Retired instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.instructions as f64 / self.cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_fields() {
+        let l = Inst::load(0x10, 3, Some(1), VirtAddr::new(0x1000));
+        assert!(l.is_mem());
+        assert_eq!(l.mem.unwrap().op, MemOp::Load);
+        assert_eq!(l.dst, Some(3));
+
+        let s = Inst::store(0x14, Some(2), Some(1), VirtAddr::new(0x1008));
+        assert_eq!(s.mem.unwrap().op, MemOp::Store);
+        assert_eq!(s.dst, None);
+
+        let a = Inst::alu(0x18, 4, [Some(3), Some(2)]);
+        assert!(!a.is_mem());
+        assert_eq!(a.exec_latency, 1);
+    }
+
+    #[test]
+    fn ipc_math() {
+        let r = CoreResult { instructions: 100, cycles: 50, mem_ops: 10 };
+        assert_eq!(r.ipc(), 2.0);
+        assert_eq!(CoreResult::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn mem_response_simple() {
+        let r = MemResponse::simple(4);
+        assert_eq!(r.port_slots, 1);
+        assert_eq!(r.latency, 4);
+    }
+}

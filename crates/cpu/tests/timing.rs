@@ -1,0 +1,104 @@
+//! Cross-model timing tests: the OOO and in-order models must order
+//! correctly against each other and respond sanely to memory behaviour.
+
+use proptest::prelude::*;
+use sipt_cpu::*;
+use sipt_mem::VirtAddr;
+
+fn mixed_trace(n: usize, mem_every: usize) -> Vec<Inst> {
+    (0..n)
+        .map(|i| {
+            if i % mem_every == 0 {
+                Inst::load(0x1000 + (i % 32) as u64 * 4, (i % 8) as u8, None,
+                           VirtAddr::new(0x10_0000 + (i as u64 * 64) % (1 << 20)))
+            } else {
+                Inst::alu(0x2000 + (i % 16) as u64 * 4, (8 + i % 8) as u8,
+                          [Some(((i + 1) % 8) as u8), None])
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn ooo_is_never_slower_than_in_order() {
+    for mem_every in [2usize, 4, 8] {
+        for lat in [2u64, 4, 20, 100] {
+            let trace = mixed_trace(4000, mem_every);
+            let mut m1 = FixedMemory { latency: lat };
+            let mut m2 = FixedMemory { latency: lat };
+            let ooo = simulate_ooo(OooConfig::default(), trace.clone(), &mut m1);
+            let io = simulate_inorder(InOrderConfig::default(), trace, &mut m2);
+            assert!(
+                ooo.cycles <= io.cycles,
+                "mem_every={mem_every} lat={lat}: OOO {} vs in-order {}",
+                ooo.cycles,
+                io.cycles
+            );
+        }
+    }
+}
+
+#[test]
+fn both_models_scale_with_memory_latency() {
+    let trace = mixed_trace(4000, 3);
+    for sim in [true, false] {
+        let run = |lat| {
+            let mut m = FixedMemory { latency: lat };
+            if sim {
+                simulate_ooo(OooConfig::default(), trace.clone(), &mut m).cycles
+            } else {
+                simulate_inorder(InOrderConfig::default(), trace.clone(), &mut m).cycles
+            }
+        };
+        let fast = run(2);
+        let slow = run(50);
+        assert!(slow > fast, "latency must cost cycles ({fast} vs {slow})");
+    }
+}
+
+#[test]
+fn exec_latency_is_respected() {
+    // A chain of 100 dependent 3-cycle ops takes >= 300 cycles anywhere.
+    let trace: Vec<Inst> = (0..100)
+        .map(|i| {
+            let mut inst = Inst::alu(i, 1, [Some(1), None]);
+            inst.exec_latency = 3;
+            inst
+        })
+        .collect();
+    let mut m = FixedMemory { latency: 1 };
+    let ooo = simulate_ooo(OooConfig::default(), trace.clone(), &mut m);
+    assert!(ooo.cycles >= 300, "{}", ooo.cycles);
+    let io = simulate_inorder(InOrderConfig::default(), trace, &mut m);
+    assert!(io.cycles >= 300, "{}", io.cycles);
+}
+
+proptest! {
+    /// Cycles are positive, IPC bounded by width, and instruction counts
+    /// exact, for arbitrary traces.
+    #[test]
+    fn core_results_are_sane(n in 1usize..2000, mem_every in 1usize..16, lat in 1u64..200) {
+        let trace = mixed_trace(n, mem_every);
+        let mut m = FixedMemory { latency: lat };
+        let r = simulate_ooo(OooConfig::default(), trace.clone(), &mut m);
+        prop_assert_eq!(r.instructions, n as u64);
+        prop_assert!(r.cycles >= 1);
+        prop_assert!(r.ipc() <= 6.01);
+        let mut m2 = FixedMemory { latency: lat };
+        let r2 = simulate_inorder(InOrderConfig::default(), trace, &mut m2);
+        prop_assert_eq!(r2.instructions, n as u64);
+        prop_assert!(r2.ipc() <= 2.01);
+    }
+
+    /// The ROB cap never *helps*: smaller windows are never faster.
+    #[test]
+    fn rob_monotonicity(n in 64usize..512, lat in 10u64..100) {
+        let trace = mixed_trace(n, 2);
+        let cycles = |rob| {
+            let mut m = FixedMemory { latency: lat };
+            simulate_ooo(OooConfig { rob, ..OooConfig::default() }, trace.clone(), &mut m).cycles
+        };
+        prop_assert!(cycles(8) >= cycles(64));
+        prop_assert!(cycles(64) >= cycles(192));
+    }
+}

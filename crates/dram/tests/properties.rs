@@ -1,0 +1,48 @@
+//! DRAM model properties: every access resolves to one of the three
+//! row-buffer outcomes plus queueing, and bank state stays consistent.
+
+use proptest::prelude::*;
+use sipt_cache::{LineAddr, MemoryBackend};
+use sipt_dram::{Dram, DramConfig};
+
+proptest! {
+    #[test]
+    fn latency_bounded_and_outcomes_partition(
+        accesses in proptest::collection::vec((0u64..1u64<<24, any::<bool>(), 0u64..100), 1..500)
+    ) {
+        let cfg = DramConfig::default();
+        let mut dram = Dram::new(cfg);
+        let mut now = 0u64;
+        for (line, write, gap) in accesses {
+            now += gap;
+            let lat = dram.access(LineAddr(line), write, now);
+            prop_assert!(lat >= cfg.row_hit_latency, "latency {lat} below floor");
+            prop_assert!(lat <= cfg.row_conflict_latency + 10_000, "runaway queueing: {lat}");
+        }
+        let s = dram.stats();
+        prop_assert_eq!(s.row_hits + s.row_closed + s.row_conflicts, s.total());
+    }
+
+    /// Serving the same line twice (idle bank) is always a row hit the
+    /// second time.
+    #[test]
+    fn repeat_access_hits_row(line in 0u64..1u64<<20) {
+        let cfg = DramConfig::default();
+        let mut dram = Dram::new(cfg);
+        dram.access(LineAddr(line), false, 0);
+        let lat = dram.access(LineAddr(line), false, 1_000_000);
+        prop_assert_eq!(lat, cfg.row_hit_latency);
+    }
+}
+
+#[test]
+fn closed_banks_count_once_each() {
+    let cfg = DramConfig::default();
+    let mut dram = Dram::new(cfg);
+    let banks = (cfg.channels * cfg.banks_per_channel) as u64;
+    for i in 0..banks {
+        dram.access(LineAddr(i), false, i * 1000);
+    }
+    assert_eq!(dram.stats().row_closed, banks);
+    assert_eq!(dram.stats().row_hits, 0);
+}

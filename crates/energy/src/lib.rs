@@ -1,0 +1,49 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # sipt-energy — CACTI-like latency/energy model and hierarchy accounting
+//!
+//! Two halves:
+//!
+//! - [`cacti`]: an analytical stand-in for the paper's CACTI 6.5 sweeps —
+//!   access latency, per-access dynamic energy, and static power as a
+//!   function of capacity/associativity/ports/banks, calibrated so the
+//!   five Table II operating points are returned exactly. Regenerates the
+//!   Fig 1 design-space sweep via [`cacti::fig1_sweep`].
+//! - [`accounting`]: total cache-hierarchy energy over a simulation
+//!   (dynamic × counts + static × time), with the paper's way-prediction
+//!   scaling and predictor-overhead charges.
+//!
+//! ```
+//! use sipt_energy::cacti::{estimate, ArrayConfig};
+//! // The impossible-as-VIPT configuration SIPT unlocks:
+//! let e = estimate(ArrayConfig::simple(64 << 10, 4));
+//! assert_eq!(e.latency_cycles, 3);
+//! ```
+
+pub mod accounting;
+pub mod cacti;
+
+pub use accounting::{
+    account, ActivityCounts, EnergyBreakdown, EnergyParams, LevelEnergy, L2_TABLE2,
+    LLC_INORDER_TABLE2, LLC_OOO_TABLE2,
+};
+pub use cacti::{estimate, fig1_sweep, ArrayConfig, ArrayEstimate, Fig1Row, CORE_GHZ};
+
+/// Energy parameters of an L1 geometry straight from the CACTI-like model.
+pub fn l1_energy_of(capacity: u64, ways: u32) -> LevelEnergy {
+    let e = cacti::estimate(cacti::ArrayConfig::simple(capacity, ways));
+    LevelEnergy { dynamic_nj: e.dynamic_nj, static_mw: e.static_mw }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1_energy_of_matches_table2() {
+        let e = l1_energy_of(32 << 10, 8);
+        assert_eq!(e.dynamic_nj, 0.38);
+        assert_eq!(e.static_mw, 46.0);
+    }
+}

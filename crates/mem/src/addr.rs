@@ -1,0 +1,378 @@
+//! Address and page-number newtypes.
+//!
+//! The whole simulator distinguishes virtual from physical addresses at the
+//! type level ([`VirtAddr`] vs [`PhysAddr`]) so that an index computed from
+//! the wrong address space is a compile error, not a silent bug. Page
+//! numbers get the same treatment ([`VirtPageNum`] / [`PhysFrameNum`]).
+
+use core::fmt;
+
+/// Log2 of the base page size (4 KiB).
+pub const PAGE_SHIFT: u32 = 12;
+/// Base page size in bytes (4 KiB).
+pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+/// Log2 of the huge page size (2 MiB).
+pub const HUGE_PAGE_SHIFT: u32 = 21;
+/// Huge page size in bytes (2 MiB).
+pub const HUGE_PAGE_SIZE: u64 = 1 << HUGE_PAGE_SHIFT;
+/// Number of base pages per huge page (512).
+pub const PAGES_PER_HUGE_PAGE: u64 = 1 << (HUGE_PAGE_SHIFT - PAGE_SHIFT);
+
+/// Page granularity of a mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PageSize {
+    /// A base 4 KiB page.
+    Base4K,
+    /// A transparent 2 MiB huge page.
+    Huge2M,
+}
+
+impl PageSize {
+    /// Size of this page in bytes.
+    #[inline]
+    pub fn bytes(self) -> u64 {
+        match self {
+            PageSize::Base4K => PAGE_SIZE,
+            PageSize::Huge2M => HUGE_PAGE_SIZE,
+        }
+    }
+
+    /// Log2 of the page size.
+    #[inline]
+    pub fn shift(self) -> u32 {
+        match self {
+            PageSize::Base4K => PAGE_SHIFT,
+            PageSize::Huge2M => HUGE_PAGE_SHIFT,
+        }
+    }
+
+    /// Number of address bits guaranteed unchanged by translation: the
+    /// page-offset width. For a huge page this is 21, so up to 9 bits beyond
+    /// the 4 KiB offset are translation-invariant (the paper's "hugepage
+    /// (9-bit)" bar in Fig 5).
+    #[inline]
+    pub fn offset_bits(self) -> u32 {
+        self.shift()
+    }
+}
+
+impl fmt::Display for PageSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageSize::Base4K => write!(f, "4KiB"),
+            PageSize::Huge2M => write!(f, "2MiB"),
+        }
+    }
+}
+
+macro_rules! addr_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Construct from a raw 64-bit address value.
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// The raw 64-bit address value.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// Offset within the enclosing 4 KiB page.
+            #[inline]
+            pub const fn page_offset(self) -> u64 {
+                self.0 & (PAGE_SIZE - 1)
+            }
+
+            /// Offset within the enclosing page of the given size.
+            #[inline]
+            pub fn offset_in(self, size: PageSize) -> u64 {
+                self.0 & (size.bytes() - 1)
+            }
+
+            /// Extract `n` *index bits* immediately above the 4 KiB page
+            /// offset: bits `[PAGE_SHIFT, PAGE_SHIFT + n)`. These are the
+            /// bits SIPT speculates on.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `n > 16` (SIPT uses at most a handful of bits).
+            #[inline]
+            pub fn index_bits(self, n: u32) -> u64 {
+                assert!(n <= 16, "at most 16 speculative index bits supported");
+                (self.0 >> PAGE_SHIFT) & ((1u64 << n) - 1)
+            }
+
+            /// Align this address down to the given page size boundary.
+            #[inline]
+            pub fn align_down(self, size: PageSize) -> Self {
+                Self(self.0 & !(size.bytes() - 1))
+            }
+
+            /// Align this address up to the given page size boundary.
+            #[inline]
+            pub fn align_up(self, size: PageSize) -> Self {
+                let mask = size.bytes() - 1;
+                Self(self.0.checked_add(mask).expect("address overflow") & !mask)
+            }
+
+            /// Whether this address is aligned to the given page size.
+            #[inline]
+            pub fn is_aligned(self, size: PageSize) -> bool {
+                self.0 & (size.bytes() - 1) == 0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        impl fmt::UpperHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::UpperHex::fmt(&self.0, f)
+            }
+        }
+
+        impl fmt::Binary for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Binary::fmt(&self.0, f)
+            }
+        }
+
+        impl core::ops::Add<u64> for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: u64) -> Self {
+                Self(self.0 + rhs)
+            }
+        }
+
+        impl core::ops::Sub<u64> for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: u64) -> Self {
+                Self(self.0 - rhs)
+            }
+        }
+    };
+}
+
+addr_type! {
+    /// A virtual (program-visible) byte address.
+    ///
+    /// ```
+    /// use sipt_mem::VirtAddr;
+    /// let va = VirtAddr::new(0x7f00_1234);
+    /// assert_eq!(va.page_offset(), 0x234);
+    /// assert_eq!(va.index_bits(3), 0x1); // bits [12,15) of 0x7f001234
+    /// ```
+    VirtAddr
+}
+
+addr_type! {
+    /// A physical (post-translation) byte address.
+    ///
+    /// ```
+    /// use sipt_mem::PhysAddr;
+    /// let pa = PhysAddr::new(0x3000);
+    /// assert_eq!(pa.index_bits(2), 0b11);
+    /// ```
+    PhysAddr
+}
+
+macro_rules! page_num_type {
+    ($(#[$doc:meta])* $name:ident => $addr:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Construct from a raw page/frame number.
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// The raw page/frame number.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// The byte address of the first byte of this page.
+            #[inline]
+            pub const fn base(self) -> $addr {
+                $addr(self.0 << PAGE_SHIFT)
+            }
+
+            /// The page containing the given byte address.
+            #[inline]
+            pub const fn containing(addr: $addr) -> Self {
+                Self(addr.0 >> PAGE_SHIFT)
+            }
+
+            /// Low `n` bits of the page number — exactly the bits SIPT
+            /// speculates on, expressed at page granularity.
+            #[inline]
+            pub fn low_bits(self, n: u32) -> u64 {
+                self.0 & ((1u64 << n) - 1)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}#{}", stringify!($name), self.0)
+            }
+        }
+
+        impl core::ops::Add<u64> for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: u64) -> Self {
+                Self(self.0 + rhs)
+            }
+        }
+    };
+}
+
+page_num_type! {
+    /// A virtual page number (VA >> 12).
+    VirtPageNum => VirtAddr
+}
+
+page_num_type! {
+    /// A physical frame number (PA >> 12).
+    PhysFrameNum => PhysAddr
+}
+
+/// The result of translating a [`VirtAddr`] through a page table or TLB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Translation {
+    /// The translated physical address.
+    pub pa: PhysAddr,
+    /// The physical frame backing the 4 KiB page of the access.
+    pub pfn: PhysFrameNum,
+    /// The granularity of the mapping that produced this translation.
+    pub page_size: PageSize,
+}
+
+impl Translation {
+    /// Whether the `n` index bits above the page offset are identical
+    /// between `va` and the translated physical address — i.e. whether a
+    /// naive SIPT speculation on this access would succeed.
+    #[inline]
+    pub fn index_bits_unchanged(&self, va: VirtAddr, n: u32) -> bool {
+        va.index_bits(n) == self.pa.index_bits(n)
+    }
+
+    /// The delta, modulo `2^n`, that must be added to the `n` speculative
+    /// index bits of `va` to obtain the physical index bits. This is the
+    /// quantity the IDB learns.
+    #[inline]
+    pub fn index_delta(&self, va: VirtAddr, n: u32) -> u64 {
+        let mask = (1u64 << n) - 1;
+        self.pa.index_bits(n).wrapping_sub(va.index_bits(n)) & mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_offset_and_index_bits() {
+        let va = VirtAddr::new(0x0001_2345);
+        assert_eq!(va.page_offset(), 0x345);
+        // Bits [12..15) of 0x12345: 0x12345 >> 12 = 0x12, low 3 bits = 0b010.
+        assert_eq!(va.index_bits(3), 0b010);
+        assert_eq!(va.index_bits(1), 0b0);
+        assert_eq!(va.index_bits(0), 0);
+    }
+
+    #[test]
+    fn alignment() {
+        let va = VirtAddr::new(0x1234);
+        assert_eq!(va.align_down(PageSize::Base4K).raw(), 0x1000);
+        assert_eq!(va.align_up(PageSize::Base4K).raw(), 0x2000);
+        assert!(VirtAddr::new(0x20_0000).is_aligned(PageSize::Huge2M));
+        assert!(!VirtAddr::new(0x10_0000).is_aligned(PageSize::Huge2M));
+        assert_eq!(
+            VirtAddr::new(0x20_0000).align_up(PageSize::Huge2M).raw(),
+            0x20_0000
+        );
+    }
+
+    #[test]
+    fn page_numbers_roundtrip() {
+        let va = VirtAddr::new(0xdead_b000);
+        let vpn = VirtPageNum::containing(va);
+        assert_eq!(vpn.raw(), 0xdeadb);
+        assert_eq!(vpn.base(), VirtAddr::new(0xdead_b000));
+    }
+
+    #[test]
+    fn translation_unchanged_and_delta() {
+        // VA page 0b0110, PA frame 0b0110: all bits unchanged.
+        let va = VirtAddr::new(0b0110 << PAGE_SHIFT | 0x42);
+        let t = Translation {
+            pa: PhysAddr::new(0b0110 << PAGE_SHIFT | 0x42),
+            pfn: PhysFrameNum::new(0b0110),
+            page_size: PageSize::Base4K,
+        };
+        assert!(t.index_bits_unchanged(va, 3));
+        assert_eq!(t.index_delta(va, 3), 0);
+
+        // PA frame 0b1010: bit 2 differs, delta = 0b100 mod 8.
+        let t2 = Translation {
+            pa: PhysAddr::new(0b1010 << PAGE_SHIFT | 0x42),
+            pfn: PhysFrameNum::new(0b1010),
+            page_size: PageSize::Base4K,
+        };
+        assert!(!t2.index_bits_unchanged(va, 3));
+        assert!(t2.index_bits_unchanged(va, 2));
+        assert_eq!(t2.index_delta(va, 3), 0b100);
+    }
+
+    #[test]
+    fn index_delta_wraps_modulo() {
+        // VA bits 0b111, PA bits 0b001: delta = 1 - 7 mod 8 = 2.
+        let va = VirtAddr::new(0b111 << PAGE_SHIFT);
+        let t = Translation {
+            pa: PhysAddr::new(0b001 << PAGE_SHIFT),
+            pfn: PhysFrameNum::new(1),
+            page_size: PageSize::Base4K,
+        };
+        assert_eq!(t.index_delta(va, 3), 2);
+        // Applying the delta recovers the PA bits.
+        let predicted = (va.index_bits(3) + t.index_delta(va, 3)) & 0b111;
+        assert_eq!(predicted, t.pa.index_bits(3));
+    }
+
+    #[test]
+    fn huge_page_constants() {
+        assert_eq!(PAGES_PER_HUGE_PAGE, 512);
+        assert_eq!(PageSize::Huge2M.offset_bits() - PageSize::Base4K.offset_bits(), 9);
+    }
+
+    #[test]
+    fn display_formats_nonempty() {
+        assert_eq!(format!("{}", VirtAddr::new(0x10)), "0x10");
+        assert_eq!(format!("{:x}", PhysAddr::new(255)), "ff");
+        assert_eq!(format!("{:b}", PhysAddr::new(5)), "101");
+        assert!(!format!("{}", PageSize::Huge2M).is_empty());
+    }
+}

@@ -1,0 +1,168 @@
+//! An order-insensitive set with O(1) insert, remove, membership test, and
+//! random choice. Used by the buddy allocator's per-order free lists, where
+//! we need both fast buddy-merge lookups and fast random victim selection
+//! (for the fragmentation injector).
+
+use std::collections::HashMap;
+
+/// A set of `u64` values supporting O(1) insert/remove/contains and O(1)
+/// uniform random sampling.
+///
+/// ```
+/// use sipt_mem::indexed_set::IndexedSet;
+/// let mut s = IndexedSet::new();
+/// s.insert(3);
+/// s.insert(7);
+/// assert!(s.contains(3));
+/// assert!(s.remove(3));
+/// assert!(!s.contains(3));
+/// assert_eq!(s.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct IndexedSet {
+    items: Vec<u64>,
+    index: HashMap<u64, usize>,
+}
+
+impl IndexedSet {
+    /// Create an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether `value` is present.
+    pub fn contains(&self, value: u64) -> bool {
+        self.index.contains_key(&value)
+    }
+
+    /// Insert `value`; returns `true` if it was newly inserted.
+    pub fn insert(&mut self, value: u64) -> bool {
+        if self.index.contains_key(&value) {
+            return false;
+        }
+        self.index.insert(value, self.items.len());
+        self.items.push(value);
+        true
+    }
+
+    /// Remove `value`; returns `true` if it was present.
+    pub fn remove(&mut self, value: u64) -> bool {
+        match self.index.remove(&value) {
+            None => false,
+            Some(pos) => {
+                let last = self.items.pop().expect("index and items in sync");
+                if pos < self.items.len() {
+                    self.items[pos] = last;
+                    self.index.insert(last, pos);
+                }
+                true
+            }
+        }
+    }
+
+    /// Remove and return an arbitrary element (LIFO order). `None` if empty.
+    pub fn pop(&mut self) -> Option<u64> {
+        let value = self.items.pop()?;
+        self.index.remove(&value);
+        Some(value)
+    }
+
+    /// The element at internal position `i` (0 ≤ i < len). Positions are
+    /// not stable across mutation; useful only for random sampling.
+    pub fn get_at(&self, i: usize) -> Option<u64> {
+        self.items.get(i).copied()
+    }
+
+    /// Iterate over the elements in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.items.iter().copied()
+    }
+}
+
+impl FromIterator<u64> for IndexedSet {
+    fn from_iter<T: IntoIterator<Item = u64>>(iter: T) -> Self {
+        let mut s = Self::new();
+        for v in iter {
+            s.insert(v);
+        }
+        s
+    }
+}
+
+impl Extend<u64> for IndexedSet {
+    fn extend<T: IntoIterator<Item = u64>>(&mut self, iter: T) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = IndexedSet::new();
+        assert!(s.insert(1));
+        assert!(!s.insert(1));
+        assert!(s.contains(1));
+        assert!(s.remove(1));
+        assert!(!s.remove(1));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn swap_remove_keeps_index_consistent() {
+        let mut s: IndexedSet = (0..100).collect();
+        // Remove from the middle repeatedly; every remaining element must
+        // still be findable.
+        for v in (0..100).step_by(3) {
+            assert!(s.remove(v));
+        }
+        for v in 0..100u64 {
+            assert_eq!(s.contains(v), v % 3 != 0);
+        }
+    }
+
+    #[test]
+    fn pop_drains_everything() {
+        let mut s: IndexedSet = (0..50).collect();
+        let mut seen = HashSet::new();
+        while let Some(v) = s.pop() {
+            assert!(seen.insert(v));
+        }
+        assert_eq!(seen.len(), 50);
+    }
+
+    proptest! {
+        #[test]
+        fn behaves_like_hashset(ops in proptest::collection::vec((any::<bool>(), 0u64..64), 0..200)) {
+            let mut model = HashSet::new();
+            let mut sut = IndexedSet::new();
+            for (is_insert, v) in ops {
+                if is_insert {
+                    prop_assert_eq!(sut.insert(v), model.insert(v));
+                } else {
+                    prop_assert_eq!(sut.remove(v), model.remove(&v));
+                }
+                prop_assert_eq!(sut.len(), model.len());
+            }
+            for v in 0..64 {
+                prop_assert_eq!(sut.contains(v), model.contains(&v));
+            }
+        }
+    }
+}

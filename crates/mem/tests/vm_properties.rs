@@ -1,0 +1,112 @@
+//! Virtual-memory properties across the buddy allocator, page tables and
+//! address spaces, for arbitrary allocation programs.
+
+use proptest::prelude::*;
+use sipt_mem::*;
+
+proptest! {
+    /// For any sequence of mmaps under any policy: all mappings translate,
+    /// no two virtual pages share a frame (within one space), and
+    /// munmapping everything restores every frame.
+    #[test]
+    fn mmap_translate_munmap_roundtrip(
+        sizes in proptest::collection::vec(1u64..64, 1..20),
+        policy_sel in 0u8..4,
+    ) {
+        let policy = match policy_sel {
+            0 => PlacementPolicy::LinuxDefault,
+            1 => PlacementPolicy::ThpOff,
+            2 => PlacementPolicy::Scattered,
+            _ => PlacementPolicy::Colored { bits: 2 },
+        };
+        let total_frames = 1u64 << 14;
+        let mut phys = BuddyAllocator::new(total_frames);
+        let mut asp = AddressSpace::new(0, policy);
+        let mut regions = Vec::new();
+        let mut seen_frames = std::collections::HashSet::new();
+        for &pages in &sizes {
+            let region = asp.mmap(pages * PAGE_SIZE, &mut phys).unwrap();
+            prop_assert_eq!(region.pages, pages);
+            for i in 0..pages {
+                let va = region.start + i * PAGE_SIZE + 13;
+                let t = asp.translate(va).expect("mapped");
+                prop_assert_eq!(t.pa.page_offset(), 13);
+                prop_assert!(t.pfn.raw() < total_frames);
+                prop_assert!(
+                    seen_frames.insert(t.pfn.raw()),
+                    "frame {} double-mapped", t.pfn
+                );
+            }
+            regions.push(region);
+        }
+        let live: u64 = sizes.iter().sum();
+        prop_assert_eq!(phys.free_frames(), total_frames - live);
+        for region in regions {
+            asp.munmap(region.start, &mut phys).unwrap();
+        }
+        prop_assert_eq!(phys.free_frames(), total_frames);
+        prop_assert_eq!(phys.stats().free_blocks_per_order[MAX_ORDER as usize],
+                        total_frames >> MAX_ORDER);
+    }
+
+    /// Synonym mappings never consume frames and share every translation.
+    #[test]
+    fn synonyms_share_frames_exactly(pages in 1u64..32) {
+        let mut phys = BuddyAllocator::new(1 << 12);
+        let mut asp = AddressSpace::new(0, PlacementPolicy::LinuxDefault);
+        let original = asp.mmap(pages * PAGE_SIZE, &mut phys).unwrap();
+        let free_before = phys.free_frames();
+        let alias = asp.mmap_shared(&asp.clone(), original).unwrap();
+        prop_assert_eq!(phys.free_frames(), free_before, "synonyms must not allocate");
+        for i in 0..pages {
+            let ta = asp.translate(original.start + i * PAGE_SIZE).unwrap();
+            let tb = asp.translate(alias.start + i * PAGE_SIZE).unwrap();
+            prop_assert_eq!(ta.pfn, tb.pfn);
+        }
+        // Unmapping the alias frees nothing; unmapping the original frees
+        // everything.
+        asp.munmap(alias.start, &mut phys).unwrap();
+        prop_assert_eq!(phys.free_frames(), free_before);
+        asp.munmap(original.start, &mut phys).unwrap();
+        prop_assert_eq!(phys.free_frames(), 1 << 12);
+    }
+
+    /// The unusable-free-space index is always in [0, 1] and zero on
+    /// pristine memory, for any allocation pattern.
+    #[test]
+    fn fu_index_bounds(orders in proptest::collection::vec(0u32..=MAX_ORDER, 0..40)) {
+        let mut phys = BuddyAllocator::new(1 << 13);
+        prop_assert_eq!(phys.unusable_free_space_index(HUGE_PAGE_ORDER), 0.0);
+        let mut held = Vec::new();
+        for &o in &orders {
+            if let Ok(b) = phys.alloc(o) {
+                held.push(b);
+            }
+            for j in 0..=MAX_ORDER {
+                let fu = phys.unusable_free_space_index(j);
+                prop_assert!((0.0..=1.0).contains(&fu), "Fu({j}) = {fu}");
+            }
+            // Fu is monotone non-decreasing in the requested order.
+            let mut prev = 0.0;
+            for j in 0..=MAX_ORDER {
+                let fu = phys.unusable_free_space_index(j);
+                prop_assert!(fu + 1e-12 >= prev);
+                prev = fu;
+            }
+        }
+    }
+}
+
+#[test]
+fn colored_placement_guarantees_index_bits() {
+    // Page coloring with k bits makes the low k index bits of every
+    // translation invariant — the §II.D software alternative to SIPT.
+    let mut phys = BuddyAllocator::new(1 << 13);
+    let mut asp = AddressSpace::new(0, PlacementPolicy::Colored { bits: 3 });
+    let region = asp.mmap(128 * PAGE_SIZE, &mut phys).unwrap();
+    for i in 0..128u64 {
+        let va = region.start + i * PAGE_SIZE;
+        let t = asp.translate(va).unwrap();
+        assert!(t.index_bits_unchanged(va, 3), "page {i}");
+    }
+}

@@ -1,0 +1,206 @@
+//! The Index Delta Buffer (IDB) of paper §VI.
+//!
+//! A BTB-like, PC-indexed table whose entries hold the *delta* between the
+//! speculative virtual index bits and the corresponding physical bits,
+//! modulo `2^n` for `n` speculative bits. Because Linux's buddy allocator
+//! maps memory in coarse contiguous blocks, the delta is constant across
+//! an entire block (paper Fig 10), so a single narrow delta per load PC
+//! predicts the post-translation index with high accuracy.
+
+/// Configuration of the IDB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdbConfig {
+    /// Number of entries (the paper matches the perceptron table: 64).
+    pub entries: usize,
+    /// Number of speculative index bits, i.e. delta width (1–3).
+    pub bits: u32,
+}
+
+impl Default for IdbConfig {
+    fn default() -> Self {
+        Self { entries: 64, bits: 2 }
+    }
+}
+
+impl IdbConfig {
+    /// Total storage in bits (`entries × bits` plus one valid bit each).
+    pub fn storage_bits(&self) -> u64 {
+        self.entries as u64 * (self.bits as u64 + 1)
+    }
+}
+
+/// Usage counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IdbStats {
+    /// Predictions served from a valid entry.
+    pub predictions: u64,
+    /// Lookups that found no valid entry (cold miss → delta 0 is used).
+    pub cold: u64,
+    /// Updates that changed a stored delta.
+    pub delta_changes: u64,
+}
+
+/// The index delta buffer.
+///
+/// ```
+/// use sipt_predictors::{IndexDeltaBuffer, IdbConfig};
+/// let mut idb = IndexDeltaBuffer::new(IdbConfig { entries: 64, bits: 3 });
+/// // First sight of this PC: cold, predicts delta 0.
+/// assert_eq!(idb.predict(0x400), 0);
+/// idb.update(0x400, 0b101);
+/// assert_eq!(idb.predict(0x400), 0b101);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IndexDeltaBuffer {
+    config: IdbConfig,
+    deltas: Vec<Option<u64>>,
+    stats: IdbStats,
+}
+
+impl IndexDeltaBuffer {
+    /// Create an empty IDB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is 0 or `bits` is 0 or greater than 16.
+    pub fn new(config: IdbConfig) -> Self {
+        assert!(config.entries > 0, "need at least one entry");
+        assert!(config.bits > 0 && config.bits <= 16, "delta width must be 1–16 bits");
+        Self { deltas: vec![None; config.entries], config, stats: IdbStats::default() }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &IdbConfig {
+        &self.config
+    }
+
+    #[inline]
+    fn row(&self, pc: u64) -> usize {
+        (pc as usize) % self.config.entries
+    }
+
+    #[inline]
+    fn mask(&self) -> u64 {
+        (1u64 << self.config.bits) - 1
+    }
+
+    /// Predicted delta for the access at `pc` (0 when cold — equivalent to
+    /// plain speculation). The prediction is PC-only, so like the bypass
+    /// perceptron it runs at fetch/decode, off the critical path; the
+    /// predicted delta is added to the VA's index bits after address
+    /// generation with a carry-free `n`-bit add.
+    pub fn predict(&mut self, pc: u64) -> u64 {
+        match self.deltas[self.row(pc)] {
+            Some(d) => {
+                self.stats.predictions += 1;
+                d
+            }
+            None => {
+                self.stats.cold += 1;
+                0
+            }
+        }
+    }
+
+    /// Record the observed delta of a resolved access.
+    pub fn update(&mut self, pc: u64, observed_delta: u64) {
+        let row = self.row(pc);
+        let observed = observed_delta & self.mask();
+        if self.deltas[row] != Some(observed) {
+            if self.deltas[row].is_some() {
+                self.stats.delta_changes += 1;
+            }
+            self.deltas[row] = Some(observed);
+        }
+    }
+
+    /// Apply a predicted delta to virtual index bits: `(bits + delta) mod
+    /// 2^n` — the truncating, carry-free add of paper Fig 11.
+    pub fn apply(&self, va_index_bits: u64, delta: u64) -> u64 {
+        (va_index_bits + delta) & self.mask()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> IdbStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cold_entries_predict_zero() {
+        let mut idb = IndexDeltaBuffer::new(IdbConfig::default());
+        assert_eq!(idb.predict(123), 0);
+        assert_eq!(idb.stats().cold, 1);
+        assert_eq!(idb.stats().predictions, 0);
+    }
+
+    #[test]
+    fn learns_and_relearns_deltas() {
+        let mut idb = IndexDeltaBuffer::new(IdbConfig { entries: 8, bits: 2 });
+        idb.update(5, 0b11);
+        assert_eq!(idb.predict(5), 0b11);
+        idb.update(5, 0b01); // region changed
+        assert_eq!(idb.predict(5), 0b01);
+        assert_eq!(idb.stats().delta_changes, 1);
+    }
+
+    #[test]
+    fn deltas_truncate_to_width() {
+        let mut idb = IndexDeltaBuffer::new(IdbConfig { entries: 4, bits: 2 });
+        idb.update(0, 0b1111);
+        assert_eq!(idb.predict(0), 0b11);
+    }
+
+    #[test]
+    fn apply_is_carry_free() {
+        let idb = IndexDeltaBuffer::new(IdbConfig { entries: 4, bits: 3 });
+        assert_eq!(idb.apply(0b111, 0b001), 0b000);
+        assert_eq!(idb.apply(0b010, 0b011), 0b101);
+    }
+
+    #[test]
+    fn pcs_alias_modulo_entries() {
+        let mut idb = IndexDeltaBuffer::new(IdbConfig { entries: 4, bits: 2 });
+        idb.update(1, 0b10);
+        // PC 5 aliases PC 1 in a 4-entry table (destructive aliasing, as in
+        // a real BTB).
+        assert_eq!(idb.predict(5), 0b10);
+    }
+
+    #[test]
+    fn storage_is_tiny() {
+        // 64 entries × (3 delta bits + 1 valid) = 256 bits = 32 bytes —
+        // "very small" as the paper says.
+        let cfg = IdbConfig { entries: 64, bits: 3 };
+        assert_eq!(cfg.storage_bits(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta width")]
+    fn zero_bits_rejected() {
+        let _ = IndexDeltaBuffer::new(IdbConfig { entries: 4, bits: 0 });
+    }
+
+    proptest! {
+        /// After an update, prediction always returns the observed delta
+        /// (masked), for any pc/delta.
+        #[test]
+        fn update_then_predict_roundtrip(pc in any::<u64>(), delta in any::<u64>(), bits in 1u32..4) {
+            let mut idb = IndexDeltaBuffer::new(IdbConfig { entries: 64, bits });
+            idb.update(pc, delta);
+            prop_assert_eq!(idb.predict(pc), delta & ((1 << bits) - 1));
+        }
+
+        /// apply() really is addition mod 2^bits.
+        #[test]
+        fn apply_matches_modular_add(x in 0u64..8, d in 0u64..8) {
+            let idb = IndexDeltaBuffer::new(IdbConfig { entries: 4, bits: 3 });
+            prop_assert_eq!(idb.apply(x, d), (x + d) % 8);
+        }
+    }
+}

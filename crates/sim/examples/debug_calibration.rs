@@ -1,0 +1,36 @@
+//! Internal calibration probe: prints per-benchmark hit rates, fast
+//! fractions and IPCs for the smoke set. Not part of the documented
+//! examples (those live in the workspace-level `examples/`).
+
+use sipt_core::{baseline_32k_8w_vipt, sipt_32k_2w, L1Policy};
+use sipt_sim::{run_benchmark, speculation_profile, Condition, SystemKind};
+
+fn main() {
+    let cond = Condition::quick();
+    for bench in ["sjeng", "hmmer", "libquantum", "mcf", "calculix", "gcc", "graph500"] {
+        let base =
+            run_benchmark(bench, baseline_32k_8w_vipt(), SystemKind::OooThreeLevel, &cond);
+        let naive = run_benchmark(
+            bench,
+            sipt_32k_2w().with_policy(L1Policy::SiptNaive),
+            SystemKind::OooThreeLevel,
+            &cond,
+        );
+        let comb = run_benchmark(bench, sipt_32k_2w(), SystemKind::OooThreeLevel, &cond);
+        let prof = speculation_profile(bench, &cond);
+        println!(
+            "{bench:14} ipc={:.3} l1hit={:.3} l2hit={:.3} llchit={:.3} tlb1={:.3} | naive_fast={:.3} comb_fast={:.3} | unch1={:.3} unch2={:.3} huge={:.3} | sipt_ipc_vs={:.3}",
+            base.ipc(),
+            base.sipt.hit_rate(),
+            base.l2.map_or(0.0, |l| l.hit_rate()),
+            base.llc.hit_rate(),
+            base.tlb.l1_hit_rate(),
+            naive.sipt.fast_fraction(),
+            comb.sipt.fast_fraction(),
+            prof.unchanged[0],
+            prof.unchanged[1],
+            prof.hugepage,
+            comb.ipc_vs(&base),
+        );
+    }
+}

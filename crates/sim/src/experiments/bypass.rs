@@ -1,0 +1,138 @@
+//! Fig 9: the four possible outcomes of the perceptron bypass predictor
+//! (correct speculation / correct bypass / opportunity loss / extra
+//! access), per benchmark, when 1, 2 and 3 index bits are speculated.
+
+use crate::machine::SystemKind;
+use crate::runner::{run_benchmark, Condition};
+use sipt_core::{sipt_128k_4w, sipt_32k_2w, sipt_32k_4w, L1Config, L1Policy};
+
+/// The geometry used to speculate `bits` index bits (Table II's points).
+pub fn config_for_bits(bits: u32) -> L1Config {
+    match bits {
+        1 => sipt_32k_4w(),
+        2 => sipt_32k_2w(),
+        3 => sipt_128k_4w(),
+        _ => panic!("the paper speculates 1–3 bits, got {bits}"),
+    }
+}
+
+/// Outcome fractions for one benchmark at one bit count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutcomeBreakdown {
+    /// Speculated and bits unchanged (fast).
+    pub correct_speculation: f64,
+    /// Bypassed and bits changed (necessary wait).
+    pub correct_bypass: f64,
+    /// Bypassed although bits were unchanged (lost fast access).
+    pub opportunity_loss: f64,
+    /// Speculated although bits changed (wasted L1 access).
+    pub extra_access: f64,
+}
+
+impl OutcomeBreakdown {
+    /// Predictor accuracy: both kinds of correct decisions.
+    pub fn accuracy(&self) -> f64 {
+        self.correct_speculation + self.correct_bypass
+    }
+}
+
+/// One benchmark's group of three bars (1, 2, 3 bits).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Breakdown per speculated-bit count (index 0 → 1 bit).
+    pub by_bits: [OutcomeBreakdown; 3],
+}
+
+/// Run Fig 9.
+pub fn fig9(benchmarks: &[&str], cond: &Condition) -> Vec<Fig9Row> {
+    benchmarks
+        .iter()
+        .map(|&bench| {
+            let by_bits = [1u32, 2, 3].map(|bits| {
+                let cfg = config_for_bits(bits).with_policy(L1Policy::SiptBypass);
+                let m = run_benchmark(bench, cfg, SystemKind::OooThreeLevel, cond);
+                let total = m.sipt.accesses.max(1) as f64;
+                OutcomeBreakdown {
+                    correct_speculation: m.sipt.correct_speculation as f64 / total,
+                    correct_bypass: m.sipt.correct_bypass as f64 / total,
+                    opportunity_loss: m.sipt.opportunity_loss as f64 / total,
+                    extra_access: m.sipt.extra_accesses as f64 / total,
+                }
+            });
+            Fig9Row { benchmark: bench.to_owned(), by_bits }
+        })
+        .collect()
+}
+
+/// Render the figure as a table (one line per benchmark × bit count).
+pub fn render(rows: &[Fig9Row]) -> String {
+    let mut table_rows = Vec::new();
+    for r in rows {
+        for (i, b) in r.by_bits.iter().enumerate() {
+            table_rows.push(vec![
+                r.benchmark.clone(),
+                format!("{}", i + 1),
+                super::report::pct(b.correct_speculation),
+                super::report::pct(b.correct_bypass),
+                super::report::pct(b.opportunity_loss),
+                super::report::pct(b.extra_access),
+                super::report::pct(b.accuracy()),
+            ]);
+        }
+    }
+    super::report::table(
+        &["benchmark", "bits", "correct spec", "correct bypass", "opp loss", "extra acc", "accuracy"],
+        &table_rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perceptron_is_accurate_across_benchmarks() {
+        let cond = Condition::quick();
+        let rows = fig9(&["libquantum", "calculix", "mcf"], &cond);
+        for r in &rows {
+            for (bits, b) in r.by_bits.iter().enumerate() {
+                let sum = b.correct_speculation
+                    + b.correct_bypass
+                    + b.opportunity_loss
+                    + b.extra_access;
+                assert!((sum - 1.0).abs() < 1e-9, "{}: fractions sum to {sum}", r.benchmark);
+                // Paper: >90% accuracy in all applications; allow margin
+                // for our short runs.
+                assert!(
+                    b.accuracy() > 0.85,
+                    "{} @{}bits accuracy = {}",
+                    r.benchmark,
+                    bits + 1,
+                    b.accuracy()
+                );
+                assert!(
+                    b.extra_access < 0.10,
+                    "{} @{}bits extra = {}",
+                    r.benchmark,
+                    bits + 1,
+                    b.extra_access
+                );
+            }
+        }
+        // calculix bypasses most accesses (correct bypass dominates);
+        // libquantum speculates almost everything.
+        let lib = &rows[0].by_bits[1];
+        let cal = &rows[1].by_bits[1];
+        assert!(lib.correct_speculation > 0.85, "libquantum = {lib:?}");
+        assert!(cal.correct_bypass > 0.4, "calculix = {cal:?}");
+        assert!(!render(&rows).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "1–3 bits")]
+    fn invalid_bits_rejected() {
+        let _ = config_for_bits(4);
+    }
+}

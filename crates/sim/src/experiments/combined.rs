@@ -1,0 +1,234 @@
+//! Figs 12–14: the combined speculation-bypass + IDB predictor.
+//!
+//! - Fig 12: prediction effectiveness per benchmark for 1/2/3 speculative
+//!   bits — fraction of fast accesses split into perceptron-approved
+//!   correct speculations and IDB hits (bypass-predicted accesses whose
+//!   delta the IDB corrected).
+//! - Fig 13: IPC and additional L1 accesses of the 32 KiB/2-way/2-cycle
+//!   SIPT+IDB cache, vs baseline and ideal (OOO core).
+//! - Fig 14: cache-hierarchy energy of the same configuration.
+
+use crate::experiments::bypass::config_for_bits;
+use crate::machine::SystemKind;
+use crate::metrics::{arithmetic_mean, harmonic_mean};
+use crate::runner::{run_benchmark, Condition};
+use sipt_core::{baseline_32k_8w_vipt, sipt_32k_2w, L1Policy};
+
+/// Fig 12 effectiveness split for one benchmark and bit count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CombinedBreakdown {
+    /// Fast accesses approved directly by the perceptron.
+    pub correct_speculation: f64,
+    /// Fast accesses rescued by the IDB (or 1-bit inverted prediction).
+    pub idb_hit: f64,
+    /// Remaining slow accesses (each also costs an extra L1 access).
+    pub slow: f64,
+}
+
+impl CombinedBreakdown {
+    /// Total fast fraction — the paper's prediction-accuracy headline.
+    pub fn fast(&self) -> f64 {
+        self.correct_speculation + self.idb_hit
+    }
+}
+
+/// One benchmark's Fig 12 group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig12Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Breakdown per speculated-bit count (index 0 → 1 bit).
+    pub by_bits: [CombinedBreakdown; 3],
+}
+
+/// Run Fig 12.
+pub fn fig12(benchmarks: &[&str], cond: &Condition) -> Vec<Fig12Row> {
+    benchmarks
+        .iter()
+        .map(|&bench| {
+            let by_bits = [1u32, 2, 3].map(|bits| {
+                let cfg = config_for_bits(bits); // default policy: SiptCombined
+                let m = run_benchmark(bench, cfg, SystemKind::OooThreeLevel, cond);
+                let total = m.sipt.accesses.max(1) as f64;
+                CombinedBreakdown {
+                    correct_speculation: m.sipt.correct_speculation as f64 / total,
+                    idb_hit: m.sipt.idb_hits as f64 / total,
+                    slow: m.sipt.extra_accesses as f64 / total,
+                }
+            });
+            Fig12Row { benchmark: bench.to_owned(), by_bits }
+        })
+        .collect()
+}
+
+/// One benchmark's Fig 13 + Fig 14 data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CombinedRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// SIPT+IDB IPC normalized to baseline.
+    pub normalized_ipc: f64,
+    /// Ideal-cache IPC normalized to baseline.
+    pub ideal_ipc: f64,
+    /// Additional L1 accesses vs baseline.
+    pub extra_accesses: f64,
+    /// SIPT+IDB hierarchy energy normalized to baseline.
+    pub normalized_energy: f64,
+    /// Ideal energy normalized to baseline.
+    pub ideal_energy: f64,
+    /// Fast-access fraction.
+    pub fast_fraction: f64,
+}
+
+/// Summary means for Figs 13–14.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CombinedSummary {
+    /// Harmonic-mean normalized IPC (paper: 1.059 single-core).
+    pub mean_ipc: f64,
+    /// Harmonic-mean ideal IPC (paper: ≈ 2.3% above SIPT+IDB).
+    pub mean_ideal_ipc: f64,
+    /// Arithmetic-mean normalized energy (paper: ≈ 0.678).
+    pub mean_energy: f64,
+    /// Arithmetic-mean ideal energy.
+    pub mean_ideal_energy: f64,
+}
+
+/// Run Figs 13–14 (32 KiB/2-way/2-cycle SIPT with IDB on an OOO core).
+pub fn fig13_fig14(
+    benchmarks: &[&str],
+    cond: &Condition,
+) -> (Vec<CombinedRow>, CombinedSummary) {
+    let system = SystemKind::OooThreeLevel;
+    let sipt_cfg = sipt_32k_2w(); // SiptCombined by default
+    let ideal_cfg = sipt_32k_2w().with_policy(L1Policy::Ideal);
+    let mut rows = Vec::new();
+    for &bench in benchmarks {
+        let base = run_benchmark(bench, baseline_32k_8w_vipt(), system, cond);
+        let sipt = run_benchmark(bench, sipt_cfg.clone(), system, cond);
+        let ideal = run_benchmark(bench, ideal_cfg.clone(), system, cond);
+        rows.push(CombinedRow {
+            benchmark: bench.to_owned(),
+            normalized_ipc: sipt.ipc_vs(&base),
+            ideal_ipc: ideal.ipc_vs(&base),
+            extra_accesses: sipt.extra_accesses_vs(&base),
+            normalized_energy: sipt.energy_vs(&base),
+            ideal_energy: ideal.energy_vs(&base),
+            fast_fraction: sipt.sipt.fast_fraction(),
+        });
+    }
+    let summary = CombinedSummary {
+        mean_ipc: harmonic_mean(&rows.iter().map(|r| r.normalized_ipc).collect::<Vec<_>>()),
+        mean_ideal_ipc: harmonic_mean(&rows.iter().map(|r| r.ideal_ipc).collect::<Vec<_>>()),
+        mean_energy: arithmetic_mean(
+            &rows.iter().map(|r| r.normalized_energy).collect::<Vec<_>>(),
+        ),
+        mean_ideal_energy: arithmetic_mean(
+            &rows.iter().map(|r| r.ideal_energy).collect::<Vec<_>>(),
+        ),
+    };
+    (rows, summary)
+}
+
+/// Render Fig 12 as a table.
+pub fn render_fig12(rows: &[Fig12Row]) -> String {
+    let mut table_rows = Vec::new();
+    for r in rows {
+        for (i, b) in r.by_bits.iter().enumerate() {
+            table_rows.push(vec![
+                r.benchmark.clone(),
+                format!("{}", i + 1),
+                super::report::pct(b.correct_speculation),
+                super::report::pct(b.idb_hit),
+                super::report::pct(b.slow),
+                super::report::pct(b.fast()),
+            ]);
+        }
+    }
+    super::report::table(
+        &["benchmark", "bits", "correct spec", "IDB hit", "slow", "fast total"],
+        &table_rows,
+    )
+}
+
+/// Render Figs 13–14 as a table.
+pub fn render_fig13_fig14(rows: &[CombinedRow], summary: &CombinedSummary) -> String {
+    let mut table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.benchmark.clone(),
+                super::report::r3(r.normalized_ipc),
+                super::report::r3(r.ideal_ipc),
+                super::report::pct(r.extra_accesses),
+                super::report::r3(r.normalized_energy),
+                super::report::r3(r.ideal_energy),
+                super::report::pct(r.fast_fraction),
+            ]
+        })
+        .collect();
+    table_rows.push(vec![
+        "Average".into(),
+        super::report::r3(summary.mean_ipc),
+        super::report::r3(summary.mean_ideal_ipc),
+        String::new(),
+        super::report::r3(summary.mean_energy),
+        super::report::r3(summary.mean_ideal_energy),
+        String::new(),
+    ]);
+    super::report::table(
+        &["benchmark", "IPC", "ideal IPC", "extra acc", "energy", "ideal energy", "fast"],
+        &table_rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idb_rescues_low_speculation_apps() {
+        let cond = Condition::quick();
+        let rows = fig12(&["calculix", "gromacs"], &cond);
+        for r in &rows {
+            let one_bit = &r.by_bits[0];
+            // Paper: with 1 bit, all seven low-speculation apps go from
+            // <20% to >90% fast (we require a clear majority).
+            assert!(
+                one_bit.fast() > 0.8,
+                "{} 1-bit fast = {} ({:?})",
+                r.benchmark,
+                one_bit.fast(),
+                one_bit
+            );
+            assert!(one_bit.idb_hit > 0.3, "{}: rescue must come from the IDB", r.benchmark);
+            // 2–3 bits: still a majority fast (paper: >70%).
+            assert!(r.by_bits[1].fast() > 0.6, "{} 2-bit {:?}", r.benchmark, r.by_bits[1]);
+            assert!(r.by_bits[2].fast() > 0.6, "{} 3-bit {:?}", r.benchmark, r.by_bits[2]);
+        }
+        assert!(!render_fig12(&rows).is_empty());
+    }
+
+    #[test]
+    fn sipt_idb_approaches_ideal() {
+        let cond = Condition::quick();
+        let (rows, summary) =
+            fig13_fig14(&["hmmer", "calculix", "mcf"], &cond);
+        assert_eq!(rows.len(), 3);
+        // Paper: SIPT+IDB never underperforms baseline and lands close to
+        // ideal.
+        for r in &rows {
+            assert!(r.normalized_ipc > 0.97, "{}: IPC = {}", r.benchmark, r.normalized_ipc);
+            assert!(
+                r.ideal_ipc + 1e-9 >= r.normalized_ipc * 0.98,
+                "{}: ideal {} vs sipt {}",
+                r.benchmark,
+                r.ideal_ipc,
+                r.normalized_ipc
+            );
+        }
+        assert!(summary.mean_ipc > 1.0, "mean IPC = {}", summary.mean_ipc);
+        assert!(summary.mean_energy < 0.9, "mean energy = {}", summary.mean_energy);
+        assert!(summary.mean_ideal_ipc >= summary.mean_ipc - 0.01);
+        assert!(!render_fig13_fig14(&rows, &summary).is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! Fig 1: L1 latency (range and mean) across the Table I design space,
+//! normalized to the 32 KiB 8-way baseline. A thin wrapper over the
+//! CACTI-like model in `sipt-energy`; included here so every figure has a
+//! driver in one place.
+
+pub use sipt_energy::Fig1Row;
+
+/// Compute the Fig 1 sweep rows.
+pub fn run() -> Vec<Fig1Row> {
+    sipt_energy::fig1_sweep()
+}
+
+/// Render the sweep as the figure's underlying table.
+pub fn render(rows: &[Fig1Row]) -> String {
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}KiB", r.kib),
+                format!("{}-way", r.ways),
+                super::report::r3(r.min),
+                super::report::r3(r.mean),
+                super::report::r3(r.max),
+                if r.vipt_feasible { "VIPT-ok" } else { "needs SIPT" }.to_owned(),
+            ]
+        })
+        .collect();
+    super::report::table(
+        &["capacity", "assoc", "min", "mean", "max", "feasibility"],
+        &table_rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_key_rows() {
+        let rows = run();
+        let text = render(&rows);
+        assert!(text.contains("32KiB"));
+        assert!(text.contains("needs SIPT"));
+        assert!(text.contains("VIPT-ok"));
+        assert!(text.lines().count() >= rows.len() + 2);
+    }
+}

@@ -1,0 +1,133 @@
+//! Figs 2–3: application performance across L1 configurations, modelled as
+//! *ideal* caches (index bits always correct), normalized to the 32 KiB
+//! 8-way 4-cycle VIPT baseline. These are the motivation experiments: they
+//! show which infeasible-under-VIPT configurations would be worth having.
+
+use crate::machine::SystemKind;
+use crate::metrics::harmonic_mean;
+use crate::runner::{run_benchmark, Condition};
+use sipt_core::{
+    baseline_32k_8w_vipt, sipt_128k_4w, sipt_32k_2w, sipt_32k_4w, sipt_64k_4w,
+    small_16k_4w_vipt, L1Config, L1Policy,
+};
+
+/// The five alternative configurations of Figs 2–3, in legend order.
+pub fn ideal_configs() -> Vec<L1Config> {
+    vec![
+        small_16k_4w_vipt(), // feasible, trades capacity for latency
+        sipt_32k_2w().with_policy(L1Policy::Ideal),
+        sipt_32k_4w().with_policy(L1Policy::Ideal),
+        sipt_64k_4w().with_policy(L1Policy::Ideal),
+        sipt_128k_4w().with_policy(L1Policy::Ideal),
+    ]
+}
+
+/// Legend labels matching [`ideal_configs`].
+pub const CONFIG_LABELS: [&str; 5] =
+    ["16KiB 4-way", "32KiB 2-way", "32KiB 4-way", "64KiB 4-way", "128KiB 4-way"];
+
+/// One benchmark's normalized IPC across the five configurations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IdealRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Normalized IPC per configuration (same order as
+    /// [`ideal_configs`]).
+    pub normalized_ipc: Vec<f64>,
+}
+
+/// The full figure: per-benchmark rows plus the harmonic-mean summary row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IdealFigure {
+    /// Per-benchmark rows.
+    pub rows: Vec<IdealRow>,
+    /// Harmonic mean of normalized IPC per configuration.
+    pub average: Vec<f64>,
+}
+
+fn run_system(
+    system: SystemKind,
+    benchmarks: &[&str],
+    cond: &Condition,
+) -> IdealFigure {
+    let configs = ideal_configs();
+    let mut rows = Vec::new();
+    for &bench in benchmarks {
+        let baseline = run_benchmark(bench, baseline_32k_8w_vipt(), system, cond);
+        let normalized_ipc = configs
+            .iter()
+            .map(|cfg| run_benchmark(bench, cfg.clone(), system, cond).ipc_vs(&baseline))
+            .collect();
+        rows.push(IdealRow { benchmark: bench.to_owned(), normalized_ipc });
+    }
+    let average = (0..configs.len())
+        .map(|i| harmonic_mean(&rows.iter().map(|r| r.normalized_ipc[i]).collect::<Vec<_>>()))
+        .collect();
+    IdealFigure { rows, average }
+}
+
+/// Fig 2: OOO core, three-level hierarchy.
+pub fn fig2(benchmarks: &[&str], cond: &Condition) -> IdealFigure {
+    run_system(SystemKind::OooThreeLevel, benchmarks, cond)
+}
+
+/// Fig 3: in-order core, two-level hierarchy.
+pub fn fig3(benchmarks: &[&str], cond: &Condition) -> IdealFigure {
+    run_system(SystemKind::InOrderTwoLevel, benchmarks, cond)
+}
+
+/// Render either figure as a table.
+pub fn render(fig: &IdealFigure) -> String {
+    let mut rows: Vec<Vec<String>> = fig
+        .rows
+        .iter()
+        .map(|r| {
+            let mut cells = vec![r.benchmark.clone()];
+            cells.extend(r.normalized_ipc.iter().map(|v| super::report::r3(*v)));
+            cells
+        })
+        .collect();
+    let mut avg = vec!["Average".to_owned()];
+    avg.extend(fig.average.iter().map(|v| super::report::r3(*v)));
+    rows.push(avg);
+    let mut headers = vec!["benchmark"];
+    headers.extend(CONFIG_LABELS);
+    super::report::table(&headers, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::smoke_benchmarks;
+
+    #[test]
+    fn fig2_shape_low_latency_config_wins_on_ooo() {
+        let cond = Condition::quick();
+        let fig = fig2(&smoke_benchmarks(), &cond);
+        assert_eq!(fig.rows.len(), 4);
+        assert_eq!(fig.average.len(), 5);
+        // The 32 KiB 2-way 2-cycle config (index 1) beats the baseline on
+        // average for an OOO core (paper: +8.2%).
+        assert!(fig.average[1] > 1.0, "32K2w avg = {}", fig.average[1]);
+        // And beats the 16 KiB capacity-sacrifice config (paper: 16 KiB is
+        // 1.5% *slower* than baseline on average).
+        assert!(fig.average[1] > fig.average[0]);
+        let text = render(&fig);
+        assert!(text.contains("Average"));
+    }
+
+    #[test]
+    fn fig3_shape_capacity_matters_in_order() {
+        let cond = Condition::quick();
+        let fig = fig3(&smoke_benchmarks(), &cond);
+        // In-order: 64 KiB 4-way (index 3) must improve on baseline
+        // (paper: +13%) and the tiny 16 KiB config must lag it clearly.
+        assert!(fig.average[3] > 1.0, "64K4w avg = {}", fig.average[3]);
+        assert!(
+            fig.average[3] > fig.average[0],
+            "64K4w {} must beat 16K4w {}",
+            fig.average[3],
+            fig.average[0]
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! One driver per paper figure/table. Every driver returns typed rows so
+//! benches, examples and tests consume the same data the printed tables
+//! show. See DESIGN.md §4 for the experiment index.
+//!
+//! | paper artifact | module | entry point |
+//! |---|---|---|
+//! | Fig 1 (latency sweep) | [`fig01`] | [`fig01::run`] |
+//! | Figs 2–3 (ideal-config IPC) | [`ideal`] | [`ideal::fig2`], [`ideal::fig3`] |
+//! | Fig 5 (speculation accuracy) | [`speculation`] | [`speculation::fig5`] |
+//! | Figs 6–7 (naive SIPT) | [`naive`] | [`naive::fig6_fig7`] |
+//! | Fig 9 (bypass outcomes) | [`bypass`] | [`bypass::fig9`] |
+//! | Fig 12 (combined accuracy) | [`combined`] | [`combined::fig12`] |
+//! | Figs 13–14 (SIPT+IDB) | [`combined`] | [`combined::fig13_fig14`] |
+//! | Fig 15 (quad-core mixes) | [`quadcore`] | [`quadcore::fig15`] |
+//! | Figs 16–17 (way prediction) | [`waypred`] | [`waypred::fig16_fig17`] |
+//! | Fig 18 (sensitivity) | [`sensitivity`] | [`sensitivity::fig18`] |
+//! | future work: I-cache SIPT | [`icache`] | [`icache::future_icache`] |
+
+pub mod bypass;
+pub mod icache;
+pub mod combined;
+pub mod fig01;
+pub mod ideal;
+pub mod naive;
+pub mod quadcore;
+pub mod report;
+pub mod sensitivity;
+pub mod speculation;
+pub mod waypred;
+
+use sipt_workloads::BENCHMARKS;
+
+/// The benchmark names on the x-axis of the paper's per-application
+/// figures, in figure order.
+pub fn benchmark_names() -> Vec<&'static str> {
+    BENCHMARKS.iter().map(|s| s.name).collect()
+}
+
+/// A short subset used by smoke tests and quick benches: one
+/// representative per behaviour class (streaming/huge-page, pointer-chase,
+/// fine-grained allocator, hot-set).
+pub fn smoke_benchmarks() -> Vec<&'static str> {
+    vec!["libquantum", "mcf", "calculix", "sjeng"]
+}

@@ -1,0 +1,137 @@
+//! Figs 6–7: naive SIPT (32 KiB/2-way/2-cycle, always speculate) on an OOO
+//! core — IPC and additional L1 accesses (Fig 6) and cache-hierarchy
+//! energy (Fig 7), all normalized to the 32 KiB 8-way baseline, with the
+//! ideal cache as the bound.
+
+use crate::machine::SystemKind;
+use crate::metrics::{arithmetic_mean, harmonic_mean};
+use crate::runner::{run_benchmark, Condition};
+use sipt_core::{baseline_32k_8w_vipt, sipt_32k_2w, L1Policy};
+
+/// One benchmark's Fig 6 + Fig 7 data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NaiveRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Naive-SIPT IPC normalized to baseline (Fig 6 bars).
+    pub normalized_ipc: f64,
+    /// Ideal-cache IPC normalized to baseline (Fig 6 dashes).
+    pub ideal_ipc: f64,
+    /// Additional L1 accesses: `accesses_SIPT/accesses_baseline − 1`.
+    pub extra_accesses: f64,
+    /// Naive-SIPT total hierarchy energy normalized to baseline (Fig 7).
+    pub normalized_energy: f64,
+    /// Ideal-cache energy normalized to baseline.
+    pub ideal_energy: f64,
+    /// SIPT dynamic energy normalized to baseline total energy.
+    pub dynamic_energy: f64,
+    /// Baseline dynamic energy normalized to baseline total energy.
+    pub baseline_dynamic_energy: f64,
+    /// Fraction of fast accesses under naive SIPT.
+    pub fast_fraction: f64,
+}
+
+/// Summary (the paper's "Average" bars).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NaiveSummary {
+    /// Harmonic-mean normalized IPC.
+    pub mean_ipc: f64,
+    /// Harmonic-mean ideal IPC.
+    pub mean_ideal_ipc: f64,
+    /// Arithmetic-mean normalized energy (paper: naive ≈ 74.4%).
+    pub mean_energy: f64,
+    /// Arithmetic-mean ideal energy (paper: ≈ 8.5% better than naive).
+    pub mean_ideal_energy: f64,
+}
+
+/// Run Figs 6–7.
+pub fn fig6_fig7(benchmarks: &[&str], cond: &Condition) -> (Vec<NaiveRow>, NaiveSummary) {
+    let system = SystemKind::OooThreeLevel;
+    let naive_cfg = sipt_32k_2w().with_policy(L1Policy::SiptNaive);
+    let ideal_cfg = sipt_32k_2w().with_policy(L1Policy::Ideal);
+    let mut rows = Vec::new();
+    for &bench in benchmarks {
+        let base = run_benchmark(bench, baseline_32k_8w_vipt(), system, cond);
+        let naive = run_benchmark(bench, naive_cfg.clone(), system, cond);
+        let ideal = run_benchmark(bench, ideal_cfg.clone(), system, cond);
+        rows.push(NaiveRow {
+            benchmark: bench.to_owned(),
+            normalized_ipc: naive.ipc_vs(&base),
+            ideal_ipc: ideal.ipc_vs(&base),
+            extra_accesses: naive.extra_accesses_vs(&base),
+            normalized_energy: naive.energy_vs(&base),
+            ideal_energy: ideal.energy_vs(&base),
+            dynamic_energy: naive.dynamic_energy_vs(&base),
+            baseline_dynamic_energy: base.dynamic_energy_vs(&base),
+            fast_fraction: naive.sipt.fast_fraction(),
+        });
+    }
+    let summary = NaiveSummary {
+        mean_ipc: harmonic_mean(&rows.iter().map(|r| r.normalized_ipc).collect::<Vec<_>>()),
+        mean_ideal_ipc: harmonic_mean(&rows.iter().map(|r| r.ideal_ipc).collect::<Vec<_>>()),
+        mean_energy: arithmetic_mean(
+            &rows.iter().map(|r| r.normalized_energy).collect::<Vec<_>>(),
+        ),
+        mean_ideal_energy: arithmetic_mean(
+            &rows.iter().map(|r| r.ideal_energy).collect::<Vec<_>>(),
+        ),
+    };
+    (rows, summary)
+}
+
+/// Render both figures as one table.
+pub fn render(rows: &[NaiveRow], summary: &NaiveSummary) -> String {
+    let mut table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.benchmark.clone(),
+                super::report::r3(r.normalized_ipc),
+                super::report::r3(r.ideal_ipc),
+                super::report::pct(r.extra_accesses),
+                super::report::r3(r.normalized_energy),
+                super::report::r3(r.ideal_energy),
+                super::report::pct(r.fast_fraction),
+            ]
+        })
+        .collect();
+    table_rows.push(vec![
+        "Average".into(),
+        super::report::r3(summary.mean_ipc),
+        super::report::r3(summary.mean_ideal_ipc),
+        String::new(),
+        super::report::r3(summary.mean_energy),
+        super::report::r3(summary.mean_ideal_energy),
+        String::new(),
+    ]);
+    super::report::table(
+        &["benchmark", "IPC", "ideal IPC", "extra acc", "energy", "ideal energy", "fast"],
+        &table_rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_sipt_is_between_nothing_and_ideal() {
+        let cond = Condition::quick();
+        let (rows, summary) = fig6_fig7(&["hmmer", "calculix"], &cond);
+        assert_eq!(rows.len(), 2);
+        // hmmer (burst alloc, huge pages): naive ≈ ideal.
+        let hmmer = &rows[0];
+        assert!(hmmer.fast_fraction > 0.9);
+        assert!((hmmer.normalized_ipc - hmmer.ideal_ipc).abs() < 0.1);
+        // calculix (fine-grained alloc): naive suffers many extra accesses
+        // and a clear gap to ideal.
+        let calculix = &rows[1];
+        assert!(calculix.extra_accesses > 0.2, "extra = {}", calculix.extra_accesses);
+        assert!(calculix.ideal_ipc > calculix.normalized_ipc);
+        // Energy: naive lies between baseline (1.0) and worse-than-ideal.
+        assert!(summary.mean_energy < 1.0);
+        assert!(summary.mean_ideal_energy <= summary.mean_energy);
+        let text = render(&rows, &summary);
+        assert!(text.contains("Average"));
+    }
+}

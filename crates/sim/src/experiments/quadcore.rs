@@ -1,0 +1,135 @@
+//! Fig 15: quad-core multiprogrammed evaluation over the Table III mixes —
+//! sum-of-IPC speedup, extra L1 accesses, and cache-hierarchy energy for
+//! all four SIPT configurations, normalized to the quad-core baseline.
+
+use crate::metrics::{arithmetic_mean, harmonic_mean};
+use crate::multicore::run_mix;
+use crate::runner::Condition;
+use sipt_core::{baseline_32k_8w_vipt, table2_sipt_configs};
+use sipt_workloads::MIXES;
+
+/// Legend labels for the four SIPT configurations, Fig 15 order.
+pub const CONFIG_LABELS: [&str; 4] =
+    ["32KiB 2-way", "32KiB 4-way", "64KiB 4-way", "128KiB 4-way"];
+
+/// One mix's Fig 15 data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig15Row {
+    /// Mix name (Table III).
+    pub mix: String,
+    /// Sum-of-IPC speedup per SIPT configuration.
+    pub speedup: Vec<f64>,
+    /// Extra L1 accesses (32 KiB 2-way configuration).
+    pub extra_accesses: f64,
+    /// Normalized energy (32 KiB 2-way configuration).
+    pub normalized_energy: f64,
+}
+
+/// Fig 15 summary averages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig15Summary {
+    /// Harmonic-mean speedup per configuration (paper: 8.1% for 32K 2-way).
+    pub mean_speedup: Vec<f64>,
+    /// Mean normalized energy for the 32 KiB 2-way configuration.
+    pub mean_energy: f64,
+}
+
+/// Run Fig 15 over the given mixes (pass `all_mixes()` for the paper's
+/// full set).
+pub fn fig15(mixes: &[&str], cond: &Condition) -> (Vec<Fig15Row>, Fig15Summary) {
+    let configs = table2_sipt_configs();
+    let mut rows = Vec::new();
+    for &mix in mixes {
+        let base = run_mix(mix, baseline_32k_8w_vipt(), cond);
+        let mut speedup = Vec::new();
+        let mut extra = 0.0;
+        let mut energy = 1.0;
+        for (i, cfg) in configs.iter().enumerate() {
+            let m = run_mix(mix, cfg.clone(), cond);
+            speedup.push(m.speedup_vs(&base));
+            if i == 0 {
+                extra = m.extra_accesses_vs(&base);
+                energy = m.energy_vs(&base);
+            }
+        }
+        rows.push(Fig15Row {
+            mix: mix.to_owned(),
+            speedup,
+            extra_accesses: extra,
+            normalized_energy: energy,
+        });
+    }
+    let mean_speedup = (0..configs.len())
+        .map(|i| harmonic_mean(&rows.iter().map(|r| r.speedup[i]).collect::<Vec<_>>()))
+        .collect();
+    let mean_energy =
+        arithmetic_mean(&rows.iter().map(|r| r.normalized_energy).collect::<Vec<_>>());
+    (rows, Fig15Summary { mean_speedup, mean_energy })
+}
+
+/// All Table III mix names.
+pub fn all_mixes() -> Vec<&'static str> {
+    MIXES.iter().map(|(name, _)| *name).collect()
+}
+
+/// Render the figure as a table.
+pub fn render(rows: &[Fig15Row], summary: &Fig15Summary) -> String {
+    let mut table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut cells = vec![r.mix.clone()];
+            cells.extend(r.speedup.iter().map(|v| super::report::r3(*v)));
+            cells.push(super::report::pct(r.extra_accesses));
+            cells.push(super::report::r3(r.normalized_energy));
+            cells
+        })
+        .collect();
+    let mut avg = vec!["Average".to_owned()];
+    avg.extend(summary.mean_speedup.iter().map(|v| super::report::r3(*v)));
+    avg.push(String::new());
+    avg.push(super::report::r3(summary.mean_energy));
+    table_rows.push(avg);
+    let mut headers = vec!["mix"];
+    headers.extend(CONFIG_LABELS);
+    headers.push("extra acc (32K2w)");
+    headers.push("energy (32K2w)");
+    super::report::table(&headers, &table_rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadcore_mixes_show_throughput_gain() {
+        let cond = Condition {
+            memory_bytes: 4 << 30,
+            instructions: 12_000,
+            warmup: 4_000,
+            ..Condition::default()
+        };
+        let (rows, summary) = fig15(&["mix0", "mix3"], &cond);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].speedup.len(), 4);
+        // The 32 KiB 2-way configuration performs best of all four on
+        // average (the paper's conclusion for OOO).
+        let best = summary
+            .mean_speedup
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            (summary.mean_speedup[0] - best).abs() < 0.05,
+            "32K2w should be at/near the top: {:?}",
+            summary.mean_speedup
+        );
+        assert!(summary.mean_speedup[0] > 1.0);
+        assert!(summary.mean_energy < 1.0);
+        assert!(!render(&rows, &summary).is_empty());
+    }
+
+    #[test]
+    fn all_mixes_listed() {
+        assert_eq!(all_mixes().len(), 11);
+    }
+}

@@ -1,0 +1,84 @@
+//! Plain-text table rendering shared by the figure binaries.
+
+/// Render an aligned text table. `headers` labels the columns; each row
+/// must have the same arity.
+///
+/// # Panics
+///
+/// Panics if a row's arity differs from the header's.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "row arity mismatch");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:<w$}"));
+        }
+        line.trim_end().to_owned()
+    };
+    out.push_str(&render_row(headers.to_vec(), &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row.iter().map(String::as_str).collect(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a ratio with three decimals.
+pub fn r3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Format a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let t = table(
+            &["bench", "ipc"],
+            &[
+                vec!["mcf".into(), "0.912".into()],
+                vec!["libquantum".into(), "1.204".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("bench"));
+        assert!(lines[2].starts_with("mcf"));
+        // Columns aligned: "ipc" header starts at the same offset in all rows.
+        let col = lines[0].find("ipc").unwrap();
+        assert_eq!(&lines[3][col..col + 5], "1.204");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(r3(1.23456), "1.235");
+        assert_eq!(pct(0.081), "8.1%");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let _ = table(&["a", "b"], &[vec!["x".into()]]);
+    }
+}

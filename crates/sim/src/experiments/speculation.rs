@@ -1,0 +1,84 @@
+//! Fig 5: fraction of memory accesses whose speculative index bits are
+//! unchanged by translation, per benchmark, for 1/2/3 speculated bits and
+//! the huge-page component (9 guaranteed bits).
+
+use crate::runner::{speculation_profile, Condition, SpeculationProfile};
+
+/// One benchmark's Fig 5 bar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Profile (unchanged fractions + hugepage fraction).
+    pub profile: SpeculationProfile,
+}
+
+/// Compute Fig 5 for the given benchmarks.
+pub fn fig5(benchmarks: &[&str], cond: &Condition) -> Vec<Fig5Row> {
+    benchmarks
+        .iter()
+        .map(|&b| Fig5Row { benchmark: b.to_owned(), profile: speculation_profile(b, cond) })
+        .collect()
+}
+
+/// Render the figure as a table.
+pub fn render(rows: &[Fig5Row]) -> String {
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.benchmark.clone(),
+                super::report::pct(r.profile.unchanged[0]),
+                super::report::pct(r.profile.unchanged[1]),
+                super::report::pct(r.profile.unchanged[2]),
+                super::report::pct(r.profile.hugepage),
+            ]
+        })
+        .collect();
+    super::report::table(
+        &["benchmark", "1-bit", "2-bit", "3-bit", "hugepage(9-bit)"],
+        &table_rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sipt_workloads::LOW_SPECULATION_APPS;
+
+    #[test]
+    fn fig5_separates_good_and_bad_apps() {
+        let cond = Condition::quick();
+        let names = ["libquantum", "GemsFDTD", "calculix", "gromacs", "cactusADM"];
+        let rows = fig5(&names, &cond);
+        // Huge-page apps: everything unchanged.
+        for r in &rows[..2] {
+            assert!(
+                r.profile.unchanged[0] > 0.9,
+                "{}: 1-bit = {}",
+                r.benchmark,
+                r.profile.unchanged[0]
+            );
+        }
+        // The paper's low-speculation apps have minority fast accesses at
+        // one bit.
+        for r in &rows[2..] {
+            assert!(
+                LOW_SPECULATION_APPS.contains(&r.benchmark.as_str()),
+                "test roster out of sync"
+            );
+            // Randomly placed single-page chunks match each index bit with
+            // probability ~1/2, so "minority fast" lands near 50% (vs the
+            // ~100% of contiguity-friendly apps); allow sampling noise.
+            assert!(
+                r.profile.unchanged[0] < 0.55,
+                "{}: 1-bit = {} should be minority",
+                r.benchmark,
+                r.profile.unchanged[0]
+            );
+        }
+        let text = render(&rows);
+        assert!(text.contains("hugepage"));
+        assert!(text.contains("libquantum"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Figs 16–17: way prediction interaction (§VII.A) — IPC, way-prediction
+//! accuracy, and energy for three designs: the 8-way VIPT baseline with
+//! way prediction, 32 KiB/2-way/2-cycle SIPT+IDB, and SIPT+IDB with way
+//! prediction on top. All normalized to the plain baseline.
+
+use crate::machine::SystemKind;
+use crate::metrics::{arithmetic_mean, harmonic_mean};
+use crate::runner::{run_benchmark, Condition};
+use sipt_core::{baseline_32k_8w_vipt, sipt_32k_2w};
+
+/// One benchmark's Figs 16–17 data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaypredRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Baseline + way prediction: normalized IPC.
+    pub base_wp_ipc: f64,
+    /// Baseline + way prediction: prediction accuracy.
+    pub base_wp_accuracy: f64,
+    /// SIPT+IDB (no way prediction): normalized IPC.
+    pub sipt_ipc: f64,
+    /// SIPT+IDB + way prediction: normalized IPC.
+    pub sipt_wp_ipc: f64,
+    /// SIPT+IDB + way prediction: prediction accuracy.
+    pub sipt_wp_accuracy: f64,
+    /// Baseline+WP energy, normalized.
+    pub base_wp_energy: f64,
+    /// SIPT+IDB energy, normalized.
+    pub sipt_energy: f64,
+    /// SIPT+IDB+WP energy, normalized.
+    pub sipt_wp_energy: f64,
+}
+
+/// Averages across benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaypredSummary {
+    /// Mean accuracy of way prediction on the 8-way baseline (paper: 89%).
+    pub base_accuracy: f64,
+    /// Mean accuracy on 2-way SIPT (paper: 97.3%).
+    pub sipt_accuracy: f64,
+    /// Harmonic-mean IPC of baseline+WP (paper: ~0.98 — a 2% loss).
+    pub base_wp_ipc: f64,
+    /// Harmonic-mean IPC of SIPT+IDB.
+    pub sipt_ipc: f64,
+    /// Harmonic-mean IPC of SIPT+IDB+WP (paper: ~0.3% below SIPT alone).
+    pub sipt_wp_ipc: f64,
+    /// Mean normalized energy of baseline+WP (paper: −24%).
+    pub base_wp_energy: f64,
+    /// Mean normalized energy of SIPT+IDB.
+    pub sipt_energy: f64,
+    /// Mean normalized energy of SIPT+IDB+WP (paper: 2.2% below SIPT).
+    pub sipt_wp_energy: f64,
+}
+
+/// Run Figs 16–17.
+pub fn fig16_fig17(benchmarks: &[&str], cond: &Condition) -> (Vec<WaypredRow>, WaypredSummary) {
+    let system = SystemKind::OooThreeLevel;
+    let mut rows = Vec::new();
+    for &bench in benchmarks {
+        let base = run_benchmark(bench, baseline_32k_8w_vipt(), system, cond);
+        let base_wp = run_benchmark(
+            bench,
+            baseline_32k_8w_vipt().with_way_prediction(true),
+            system,
+            cond,
+        );
+        let sipt = run_benchmark(bench, sipt_32k_2w(), system, cond);
+        let sipt_wp =
+            run_benchmark(bench, sipt_32k_2w().with_way_prediction(true), system, cond);
+        rows.push(WaypredRow {
+            benchmark: bench.to_owned(),
+            base_wp_ipc: base_wp.ipc_vs(&base),
+            base_wp_accuracy: base_wp.way_pred.map_or(0.0, |w| w.accuracy()),
+            sipt_ipc: sipt.ipc_vs(&base),
+            sipt_wp_ipc: sipt_wp.ipc_vs(&base),
+            sipt_wp_accuracy: sipt_wp.way_pred.map_or(0.0, |w| w.accuracy()),
+            base_wp_energy: base_wp.energy_vs(&base),
+            sipt_energy: sipt.energy_vs(&base),
+            sipt_wp_energy: sipt_wp.energy_vs(&base),
+        });
+    }
+    let summary = WaypredSummary {
+        base_accuracy: arithmetic_mean(
+            &rows.iter().map(|r| r.base_wp_accuracy).collect::<Vec<_>>(),
+        ),
+        sipt_accuracy: arithmetic_mean(
+            &rows.iter().map(|r| r.sipt_wp_accuracy).collect::<Vec<_>>(),
+        ),
+        base_wp_ipc: harmonic_mean(&rows.iter().map(|r| r.base_wp_ipc).collect::<Vec<_>>()),
+        sipt_ipc: harmonic_mean(&rows.iter().map(|r| r.sipt_ipc).collect::<Vec<_>>()),
+        sipt_wp_ipc: harmonic_mean(&rows.iter().map(|r| r.sipt_wp_ipc).collect::<Vec<_>>()),
+        base_wp_energy: arithmetic_mean(
+            &rows.iter().map(|r| r.base_wp_energy).collect::<Vec<_>>(),
+        ),
+        sipt_energy: arithmetic_mean(&rows.iter().map(|r| r.sipt_energy).collect::<Vec<_>>()),
+        sipt_wp_energy: arithmetic_mean(
+            &rows.iter().map(|r| r.sipt_wp_energy).collect::<Vec<_>>(),
+        ),
+    };
+    (rows, summary)
+}
+
+/// Render both figures as a table.
+pub fn render(rows: &[WaypredRow], summary: &WaypredSummary) -> String {
+    let mut table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.benchmark.clone(),
+                super::report::r3(r.base_wp_ipc),
+                super::report::pct(r.base_wp_accuracy),
+                super::report::r3(r.sipt_ipc),
+                super::report::r3(r.sipt_wp_ipc),
+                super::report::pct(r.sipt_wp_accuracy),
+                super::report::r3(r.base_wp_energy),
+                super::report::r3(r.sipt_energy),
+                super::report::r3(r.sipt_wp_energy),
+            ]
+        })
+        .collect();
+    table_rows.push(vec![
+        "Average".into(),
+        super::report::r3(summary.base_wp_ipc),
+        super::report::pct(summary.base_accuracy),
+        super::report::r3(summary.sipt_ipc),
+        super::report::r3(summary.sipt_wp_ipc),
+        super::report::pct(summary.sipt_accuracy),
+        super::report::r3(summary.base_wp_energy),
+        super::report::r3(summary.sipt_energy),
+        super::report::r3(summary.sipt_wp_energy),
+    ]);
+    super::report::table(
+        &[
+            "benchmark",
+            "base+WP IPC",
+            "base WP acc",
+            "SIPT IPC",
+            "SIPT+WP IPC",
+            "SIPT WP acc",
+            "base+WP E",
+            "SIPT E",
+            "SIPT+WP E",
+        ],
+        &table_rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn way_prediction_interacts_as_in_the_paper() {
+        let cond = Condition::quick();
+        let (rows, summary) = fig16_fig17(&["sjeng", "hmmer", "mcf"], &cond);
+        assert_eq!(rows.len(), 3);
+        // Lower associativity raises MRU accuracy.
+        assert!(
+            summary.sipt_accuracy > summary.base_accuracy,
+            "2-way acc {} must beat 8-way acc {}",
+            summary.sipt_accuracy,
+            summary.base_accuracy
+        );
+        // Way prediction costs a little performance on the baseline.
+        assert!(summary.base_wp_ipc <= 1.0 + 1e-9);
+        // On top of SIPT it costs almost nothing.
+        assert!(
+            summary.sipt_ipc - summary.sipt_wp_ipc < 0.05,
+            "SIPT {} vs SIPT+WP {}",
+            summary.sipt_ipc,
+            summary.sipt_wp_ipc
+        );
+        // And saves additional energy over SIPT alone.
+        assert!(
+            summary.sipt_wp_energy < summary.sipt_energy,
+            "WP energy {} vs SIPT energy {}",
+            summary.sipt_wp_energy,
+            summary.sipt_energy
+        );
+        // Baseline + WP saves energy vs plain baseline.
+        assert!(summary.base_wp_energy < 1.0);
+        assert!(!render(&rows, &summary).is_empty());
+    }
+}

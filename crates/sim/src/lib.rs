@@ -1,0 +1,30 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # sipt-sim — system assembly and experiment drivers
+//!
+//! Puts the SIPT reproduction together: a [`Machine`] (OS memory model +
+//! TLB + SIPT L1 + L2/LLC + DRAM) that plugs under the `sipt-cpu` timing
+//! models, single-core and quad-core [`runner`]s, and one driver per paper
+//! figure in [`experiments`].
+//!
+//! ```no_run
+//! use sipt_sim::{run_benchmark, Condition, SystemKind};
+//! use sipt_core::{baseline_32k_8w_vipt, sipt_32k_2w};
+//!
+//! let cond = Condition::quick();
+//! let base = run_benchmark("mcf", baseline_32k_8w_vipt(), SystemKind::OooThreeLevel, &cond);
+//! let sipt = run_benchmark("mcf", sipt_32k_2w(), SystemKind::OooThreeLevel, &cond);
+//! println!("mcf speedup: {:.3}", sipt.ipc_vs(&base));
+//! ```
+
+pub mod experiments;
+pub mod machine;
+pub mod metrics;
+pub mod multicore;
+pub mod runner;
+
+pub use machine::{Machine, SystemKind};
+pub use metrics::{arithmetic_mean, harmonic_mean, RunMetrics};
+pub use multicore::{run_mix, MixMetrics};
+pub use runner::{run_benchmark, run_spec, speculation_profile, Condition, SpeculationProfile};

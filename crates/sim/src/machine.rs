@@ -1,0 +1,285 @@
+//! A full simulated machine: core-facing memory path assembled from the
+//! OS model, TLB, SIPT L1, lower cache hierarchy and DRAM.
+
+use sipt_cache::{CacheGeometry, CacheLevel, LineAddr, LowerHierarchy, ReplacementKind};
+use sipt_core::{L1Config, SiptL1};
+use sipt_cpu::{MemOp, MemRef, MemResponse, MemoryPath};
+use sipt_dram::{Dram, DramConfig};
+use sipt_energy::{
+    ActivityCounts, EnergyParams, L2_TABLE2, LLC_INORDER_TABLE2, LLC_OOO_TABLE2,
+};
+use sipt_mem::AddressSpace;
+use sipt_tlb::{DataTlb, TlbConfig};
+
+/// Which of Table II's two systems is being simulated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// 6-wide OOO core with private L2 and a shared LLC (3 levels).
+    OooThreeLevel,
+    /// 2-wide in-order core with L1 + LLC only (2 levels).
+    InOrderTwoLevel,
+}
+
+impl SystemKind {
+    /// Private L2 of the system, if any (Table II: 256 KiB, 8-way,
+    /// 12-cycle).
+    pub fn l2(&self) -> Option<CacheLevel> {
+        match self {
+            SystemKind::OooThreeLevel => Some(CacheLevel::new(
+                CacheGeometry::new(256 << 10, 8),
+                12,
+                ReplacementKind::Lru,
+            )),
+            SystemKind::InOrderTwoLevel => None,
+        }
+    }
+
+    /// The LLC for one core's share. Table II: OOO 2 MiB 16-way 25-cycle;
+    /// in-order 1 MiB 16-way 20-cycle. The paper grows the LLC
+    /// proportionally with core count, so the per-core share is constant
+    /// and the same geometry serves single- and multi-core runs.
+    pub fn llc(&self) -> CacheLevel {
+        match self {
+            SystemKind::OooThreeLevel => {
+                CacheLevel::new(CacheGeometry::new(2 << 20, 16), 25, ReplacementKind::Lru)
+            }
+            SystemKind::InOrderTwoLevel => {
+                CacheLevel::new(CacheGeometry::new(1 << 20, 16), 20, ReplacementKind::Lru)
+            }
+        }
+    }
+
+    /// LLC energy parameters from Table II.
+    pub fn llc_energy(&self) -> sipt_energy::LevelEnergy {
+        match self {
+            SystemKind::OooThreeLevel => LLC_OOO_TABLE2,
+            SystemKind::InOrderTwoLevel => LLC_INORDER_TABLE2,
+        }
+    }
+}
+
+/// The per-core machine: page table + TLB + SIPT L1 + L2/LLC + DRAM.
+///
+/// Implements [`MemoryPath`], so it plugs directly under the `sipt-cpu`
+/// timing models.
+#[derive(Debug)]
+pub struct Machine {
+    asp: AddressSpace,
+    tlb: DataTlb,
+    l1: SiptL1,
+    lower: LowerHierarchy<Dram>,
+    system: SystemKind,
+}
+
+impl Machine {
+    /// Assemble a machine around an address space whose workload memory is
+    /// already mapped.
+    pub fn new(asp: AddressSpace, l1_config: L1Config, system: SystemKind) -> Self {
+        Self {
+            asp,
+            tlb: DataTlb::new(TlbConfig::default()),
+            l1: SiptL1::new(l1_config),
+            lower: LowerHierarchy::new(system.l2(), system.llc(), Dram::new(DramConfig::default())),
+            system,
+        }
+    }
+
+    /// The SIPT L1 (statistics, configuration).
+    pub fn l1(&self) -> &SiptL1 {
+        &self.l1
+    }
+
+    /// TLB statistics.
+    pub fn tlb(&self) -> &DataTlb {
+        &self.tlb
+    }
+
+    /// The lower hierarchy (L2/LLC/DRAM statistics).
+    pub fn lower(&self) -> &LowerHierarchy<Dram> {
+        &self.lower
+    }
+
+    /// The address space (for post-run inspection, e.g. huge-page
+    /// fraction).
+    pub fn address_space(&self) -> &AddressSpace {
+        &self.asp
+    }
+
+    /// The system kind.
+    pub fn system(&self) -> SystemKind {
+        self.system
+    }
+
+    /// Reset all statistics after warmup (contents and training kept).
+    pub fn reset_stats(&mut self) {
+        self.l1.reset_stats();
+        self.tlb.reset_stats();
+        self.lower.reset_stats();
+        self.lower.backend_mut().reset_stats();
+    }
+
+    /// Energy parameters of this machine's hierarchy (L1 energy from the
+    /// CACTI model, L2/LLC from Table II).
+    pub fn energy_params(&self) -> EnergyParams {
+        let g = self.l1.config().geometry;
+        EnergyParams {
+            l1: sipt_energy::l1_energy_of(g.capacity, g.ways),
+            l1_ways: g.ways,
+            l2: match self.system {
+                SystemKind::OooThreeLevel => Some(L2_TABLE2),
+                SystemKind::InOrderTwoLevel => None,
+            },
+            llc: self.system.llc_energy(),
+            has_predictor: self.l1.config().policy.speculates(),
+        }
+    }
+
+    /// Activity counts for energy accounting after a run of `cycles`.
+    pub fn activity(&self, cycles: u64) -> ActivityCounts {
+        let sipt = self.l1.stats();
+        let wp_correct = self.l1.way_pred_stats().map_or(0, |w| w.correct);
+        let l2 = self.lower.l2_stats();
+        let llc = self.lower.llc_stats();
+        ActivityCounts {
+            cycles,
+            l1_reads: sipt.array_reads,
+            l1_waypred_correct: wp_correct,
+            l1_demand_accesses: sipt.accesses,
+            l2_accesses: l2.map_or(0, |s| s.accesses + s.fills),
+            llc_accesses: llc.accesses + llc.fills,
+        }
+    }
+}
+
+impl MemoryPath for Machine {
+    fn access(&mut self, pc: u64, mem: MemRef, now: u64) -> MemResponse {
+        let outcome = self
+            .tlb
+            .translate(mem.va, self.asp.page_table())
+            .unwrap_or_else(|f| panic!("workload accessed unmapped memory: {f}"));
+        let is_store = mem.op == MemOp::Store;
+        let access = self.l1.access(pc, mem.va, outcome.translation, outcome.cycles, is_store);
+        let mut latency = access.latency;
+        if !access.hit {
+            let line = LineAddr::of_phys(outcome.translation.pa);
+            let service = self.lower.access(line, is_store, now + latency);
+            latency += service.latency;
+            if let Some(evicted) = self.l1.fill(line, is_store) {
+                if evicted.dirty {
+                    self.lower.writeback(evicted.line);
+                }
+            }
+        }
+        MemResponse { latency, port_slots: access.array_reads.max(1) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sipt_core::{baseline_32k_8w_vipt, sipt_32k_2w};
+    use sipt_cpu::{simulate_ooo, Inst, OooConfig};
+    use sipt_mem::{BuddyAllocator, PlacementPolicy, VirtAddr, PAGE_SIZE};
+
+    fn machine_with_region(policy: PlacementPolicy, l1: L1Config) -> (Machine, VirtAddr) {
+        let mut phys = BuddyAllocator::with_bytes(256 << 20);
+        let mut asp = AddressSpace::new(0, policy);
+        let region = asp.mmap(8 << 20, &mut phys).unwrap();
+        (Machine::new(asp, l1, SystemKind::OooThreeLevel), region.start)
+    }
+
+    #[test]
+    fn access_flows_through_all_levels() {
+        let (mut m, base) = machine_with_region(PlacementPolicy::LinuxDefault, sipt_32k_2w());
+        let mem = MemRef { op: MemOp::Load, va: base };
+        let cold = m.access(0x40, mem, 0);
+        // Cold: TLB walk + L1 miss + L2 miss + LLC miss + DRAM.
+        assert!(cold.latency > 100, "cold latency = {}", cold.latency);
+        let warm = m.access(0x40, mem, 1000);
+        assert!(warm.latency <= 4, "warm hit latency = {}", warm.latency);
+        assert_eq!(m.l1().stats().accesses, 2);
+        assert_eq!(m.tlb().stats().walks, 1);
+    }
+
+    #[test]
+    fn huge_page_backing_makes_speculation_succeed() {
+        let (mut m, base) = machine_with_region(PlacementPolicy::LinuxDefault, sipt_32k_2w());
+        // Touch several pages: under THP the whole region is huge-mapped,
+        // so all speculative bits are translation-invariant.
+        for i in 0..64u64 {
+            m.access(0x80, MemRef { op: MemOp::Load, va: base + i * PAGE_SIZE }, i * 10);
+        }
+        let s = m.l1().stats();
+        assert_eq!(s.fast_accesses, s.accesses, "every access should be fast: {s:?}");
+    }
+
+    #[test]
+    fn scattered_backing_defeats_naive_speculation() {
+        use sipt_core::L1Policy;
+        let cfg = sipt_32k_2w().with_policy(L1Policy::SiptNaive);
+        let (mut m, base) = machine_with_region(PlacementPolicy::Scattered, cfg);
+        for i in 0..256u64 {
+            m.access(0x80, MemRef { op: MemOp::Load, va: base + i * PAGE_SIZE }, i * 10);
+        }
+        let s = m.l1().stats();
+        // 2 speculative bits, random frames: ~25% of pages match by luck.
+        let fast = s.fast_fraction();
+        assert!(fast < 0.5, "scattered memory should break naive SIPT, fast = {fast}");
+        assert!(s.extra_accesses > 100);
+    }
+
+    #[test]
+    fn runs_under_the_ooo_model() {
+        let (mut m, base) = machine_with_region(PlacementPolicy::LinuxDefault, sipt_32k_2w());
+        let trace: Vec<Inst> = (0..2000)
+            .map(|i| Inst::load(0x100 + (i % 16) * 4, 1, None, base + (i * 64) % (4 << 20)))
+            .collect();
+        let r = simulate_ooo(OooConfig::default(), trace, &mut m);
+        assert_eq!(r.instructions, 2000);
+        assert!(r.ipc() > 0.1);
+        let counts = m.activity(r.cycles);
+        assert_eq!(counts.cycles, r.cycles);
+        assert!(counts.l1_reads >= 2000);
+    }
+
+    #[test]
+    fn energy_params_reflect_config() {
+        let (m, _) = machine_with_region(PlacementPolicy::LinuxDefault, sipt_32k_2w());
+        let p = m.energy_params();
+        assert_eq!(p.l1.dynamic_nj, 0.10); // Table II 32K 2-way
+        assert!(p.has_predictor);
+        assert!(p.l2.is_some());
+        let (mb, _) = machine_with_region(PlacementPolicy::LinuxDefault, baseline_32k_8w_vipt());
+        let pb = mb.energy_params();
+        assert_eq!(pb.l1.dynamic_nj, 0.38);
+        assert!(!pb.has_predictor);
+    }
+
+    #[test]
+    fn reset_stats_zeroes_everything() {
+        let (mut m, base) = machine_with_region(PlacementPolicy::LinuxDefault, sipt_32k_2w());
+        m.access(0x40, MemRef { op: MemOp::Load, va: base }, 0);
+        m.reset_stats();
+        assert_eq!(m.l1().stats().accesses, 0);
+        assert_eq!(m.tlb().stats().total(), 0);
+        assert_eq!(m.lower().llc_stats().accesses, 0);
+        // Contents kept: next access is an L1 hit.
+        let r = m.access(0x40, MemRef { op: MemOp::Load, va: base }, 10);
+        assert!(r.latency <= 4);
+    }
+
+    #[test]
+    fn in_order_system_has_no_l2() {
+        let mut phys = BuddyAllocator::with_bytes(64 << 20);
+        let mut asp = AddressSpace::new(0, PlacementPolicy::LinuxDefault);
+        let region = asp.mmap(1 << 20, &mut phys).unwrap();
+        let mut m = Machine::new(asp, sipt_64k_4w_inorder(), SystemKind::InOrderTwoLevel);
+        m.access(0, MemRef { op: MemOp::Load, va: region.start }, 0);
+        assert!(m.lower().l2_stats().is_none());
+        assert!(m.energy_params().l2.is_none());
+    }
+
+    fn sipt_64k_4w_inorder() -> L1Config {
+        sipt_core::sipt_64k_4w()
+    }
+}

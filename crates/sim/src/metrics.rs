@@ -1,0 +1,123 @@
+//! Run-level metrics and the small statistics helpers the paper uses
+//! (harmonic-mean speedups, arithmetic-mean energy).
+
+use sipt_cache::{LevelStats, WayPredStats};
+use sipt_core::SiptStats;
+use sipt_cpu::CoreResult;
+use sipt_dram::DramStats;
+use sipt_energy::EnergyBreakdown;
+use sipt_tlb::TlbStats;
+
+/// Everything measured in one single-core simulation.
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Benchmark name.
+    pub name: String,
+    /// Core timing result.
+    pub core: CoreResult,
+    /// SIPT L1 statistics.
+    pub sipt: SiptStats,
+    /// Way-predictor statistics, when enabled.
+    pub way_pred: Option<WayPredStats>,
+    /// TLB statistics.
+    pub tlb: TlbStats,
+    /// Private L2 statistics (three-level systems).
+    pub l2: Option<LevelStats>,
+    /// LLC statistics.
+    pub llc: LevelStats,
+    /// DRAM statistics.
+    pub dram: DramStats,
+    /// Cache-hierarchy energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Fraction of the workload's pages on 2 MiB mappings.
+    pub huge_fraction: f64,
+}
+
+impl RunMetrics {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.core.ipc()
+    }
+
+    /// IPC normalized to a baseline run.
+    pub fn ipc_vs(&self, baseline: &RunMetrics) -> f64 {
+        self.ipc() / baseline.ipc()
+    }
+
+    /// Total hierarchy energy normalized to a baseline run.
+    pub fn energy_vs(&self, baseline: &RunMetrics) -> f64 {
+        self.energy.total() / baseline.energy.total()
+    }
+
+    /// Dynamic energy normalized to a baseline's *total* energy (the
+    /// paper's "normalized dynamic energy" series in Figs 7/14).
+    pub fn dynamic_energy_vs(&self, baseline: &RunMetrics) -> f64 {
+        self.energy.dynamic() / baseline.energy.total()
+    }
+
+    /// Additional L1 accesses relative to a baseline's demand accesses
+    /// (the paper's `accesses_SIPT / accesses_baseline − 1`).
+    pub fn extra_accesses_vs(&self, baseline: &RunMetrics) -> f64 {
+        if baseline.sipt.accesses == 0 {
+            return 0.0;
+        }
+        (self.sipt.accesses + self.sipt.extra_accesses) as f64
+            / baseline.sipt.accesses as f64
+            - 1.0
+    }
+}
+
+/// Harmonic mean (the paper's speedup average). Returns 0 for an empty
+/// slice.
+///
+/// # Panics
+///
+/// Panics if any value is not strictly positive.
+pub fn harmonic_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "harmonic mean requires positive values, got {v}");
+            1.0 / v
+        })
+        .sum();
+    values.len() as f64 / sum
+}
+
+/// Arithmetic mean (the paper's energy average). Returns 0 for an empty
+/// slice.
+pub fn arithmetic_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means() {
+        assert_eq!(harmonic_mean(&[]), 0.0);
+        assert_eq!(harmonic_mean(&[2.0, 2.0]), 2.0);
+        assert!((harmonic_mean(&[1.0, 2.0]) - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(arithmetic_mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(arithmetic_mean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn harmonic_rejects_zero() {
+        harmonic_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn harmonic_below_arithmetic() {
+        let v = [0.8, 1.0, 1.4];
+        assert!(harmonic_mean(&v) < arithmetic_mean(&v));
+    }
+}

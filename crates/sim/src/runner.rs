@@ -1,0 +1,312 @@
+//! Single-core experiment runner: allocate a workload through the OS
+//! model, warm the machine, then measure.
+
+use crate::machine::{Machine, SystemKind};
+use crate::metrics::RunMetrics;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sipt_core::L1Config;
+use sipt_cpu::{simulate_inorder, simulate_ooo, CoreResult, InOrderConfig, OooConfig};
+use sipt_mem::{fragment_memory, AddressSpace, BuddyAllocator, PlacementPolicy};
+use sipt_workloads::{benchmark, TraceGen, WorkloadSpec};
+
+/// Operating conditions of a run: memory state, placement policy, and
+/// simulation length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Condition {
+    /// Page-placement policy (the §VII.B sensitivity axis).
+    pub placement: PlacementPolicy,
+    /// Whether physical memory is pre-fragmented to `Fu(9) > 0.95`.
+    pub fragmented: bool,
+    /// Simulated physical memory size in bytes.
+    pub memory_bytes: u64,
+    /// Measured instructions.
+    pub instructions: u64,
+    /// Warmup instructions (caches/TLB/predictors train; stats then
+    /// reset — the paper does not warm the predictor, but does fast-forward
+    /// to a SimPoint, which warmup approximates).
+    pub warmup: u64,
+    /// RNG seed for workload generation and fragmentation.
+    pub seed: u64,
+}
+
+impl Default for Condition {
+    fn default() -> Self {
+        Self {
+            placement: PlacementPolicy::LinuxDefault,
+            fragmented: false,
+            memory_bytes: 1 << 30,
+            instructions: 200_000,
+            warmup: 50_000,
+            seed: 42,
+        }
+    }
+}
+
+impl Condition {
+    /// A quick-run condition for tests and smoke benches.
+    pub fn quick() -> Self {
+        Self { instructions: 30_000, warmup: 8_000, ..Self::default() }
+    }
+
+    /// The paper's four §VII.B sensitivity conditions, in figure order:
+    /// normal, fragmented, THP off, and no >4 KiB contiguity.
+    pub fn sensitivity_sweep() -> Vec<(&'static str, Condition)> {
+        let normal = Condition::default();
+        vec![
+            ("Normal", normal),
+            ("Fragmented", Condition { fragmented: true, memory_bytes: 2 << 30, ..normal }),
+            ("THP-off", Condition { placement: PlacementPolicy::ThpOff, ..normal }),
+            ("Par-bound", Condition { placement: PlacementPolicy::Scattered, ..normal }),
+        ]
+    }
+}
+
+/// Run one benchmark on one L1 configuration and system.
+///
+/// # Panics
+///
+/// Panics if `name` is not a known benchmark preset or the workload does
+/// not fit in the configured memory.
+pub fn run_benchmark(
+    name: &str,
+    l1: L1Config,
+    system: SystemKind,
+    cond: &Condition,
+) -> RunMetrics {
+    let spec = benchmark(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    run_spec(&spec, l1, system, cond)
+}
+
+/// Run a workload spec on one L1 configuration and system.
+pub fn run_spec(
+    spec: &WorkloadSpec,
+    l1: L1Config,
+    system: SystemKind,
+    cond: &Condition,
+) -> RunMetrics {
+    let mut phys = BuddyAllocator::with_bytes(cond.memory_bytes);
+    let mut rng = StdRng::seed_from_u64(cond.seed ^ 0xF7A6);
+    let _hold = cond
+        .fragmented
+        .then(|| fragment_memory(&mut phys, 0.5, &mut rng).expect("fragmentation"));
+    let mut asp = AddressSpace::new(0, cond.placement);
+    let mut trace = TraceGen::build(
+        spec,
+        &mut asp,
+        &mut phys,
+        cond.warmup + cond.instructions,
+        cond.seed,
+    )
+    .unwrap_or_else(|e| panic!("{}: workload does not fit: {e}", spec.name));
+    let mut machine = Machine::new(asp, l1, system);
+
+    let warm = (&mut trace).take(cond.warmup as usize);
+    run_core(system, warm, &mut machine);
+    machine.reset_stats();
+    let core = run_core(system, trace, &mut machine);
+    collect(spec.name, core, &machine)
+}
+
+/// Execute a trace on the system's core model.
+pub(crate) fn run_core<I>(system: SystemKind, trace: I, machine: &mut Machine) -> CoreResult
+where
+    I: IntoIterator<Item = sipt_cpu::Inst>,
+{
+    match system {
+        SystemKind::OooThreeLevel => simulate_ooo(OooConfig::default(), trace, machine),
+        SystemKind::InOrderTwoLevel => {
+            simulate_inorder(InOrderConfig::default(), trace, machine)
+        }
+    }
+}
+
+/// Assemble metrics from a finished machine.
+pub(crate) fn collect(name: &str, core: CoreResult, machine: &Machine) -> RunMetrics {
+    let energy = sipt_energy::account(&machine.energy_params(), &machine.activity(core.cycles));
+    RunMetrics {
+        name: name.to_owned(),
+        core,
+        sipt: machine.l1().stats(),
+        way_pred: machine.l1().way_pred_stats(),
+        tlb: machine.tlb().stats(),
+        l2: machine.lower().l2_stats(),
+        llc: machine.lower().llc_stats(),
+        dram: machine.lower().backend().stats(),
+        energy,
+        huge_fraction: machine.address_space().huge_page_fraction(),
+    }
+}
+
+/// Translation-level speculation profile of a workload — the data behind
+/// Fig 5, computed without any cache model: for each memory access, do the
+/// `n` index bits above the page offset survive translation, and is the
+/// access backed by a huge page (which guarantees 9 bits)?
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpeculationProfile {
+    /// Fraction of accesses whose low `i+1` index bits are unchanged
+    /// (indices 0..3 → 1..=3 bits, the paper's "1-bit/2-bit/3-bit" bars).
+    pub unchanged: [f64; 3],
+    /// Fraction of accesses to huge-page-backed memory (the paper's
+    /// "Hugepage (9-bit)" component — 21 offset bits are guaranteed).
+    pub hugepage: f64,
+    /// Memory accesses profiled.
+    pub accesses: u64,
+}
+
+/// Profile a benchmark's index-bit stability under the given condition.
+pub fn speculation_profile(name: &str, cond: &Condition) -> SpeculationProfile {
+    let spec = benchmark(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let mut phys = BuddyAllocator::with_bytes(cond.memory_bytes);
+    let mut rng = StdRng::seed_from_u64(cond.seed ^ 0xF7A6);
+    let _hold = cond
+        .fragmented
+        .then(|| fragment_memory(&mut phys, 0.5, &mut rng).expect("fragmentation"));
+    let mut asp = AddressSpace::new(0, cond.placement);
+    let trace =
+        TraceGen::build(&spec, &mut asp, &mut phys, cond.instructions, cond.seed).expect("fit");
+    let mut counts = [0u64; 3];
+    let mut huge = 0u64;
+    let mut total = 0u64;
+    for inst in trace {
+        let Some(mem) = inst.mem else { continue };
+        let t = asp.translate(mem.va).expect("mapped");
+        total += 1;
+        for (i, c) in counts.iter_mut().enumerate() {
+            if t.index_bits_unchanged(mem.va, i as u32 + 1) {
+                *c += 1;
+            }
+        }
+        if t.page_size == sipt_mem::PageSize::Huge2M {
+            huge += 1;
+        }
+    }
+    let frac = |c: u64| if total == 0 { 0.0 } else { c as f64 / total as f64 };
+    SpeculationProfile {
+        unchanged: [frac(counts[0]), frac(counts[1]), frac(counts[2])],
+        hugepage: frac(huge),
+        accesses: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sipt_core::{baseline_32k_8w_vipt, sipt_32k_2w, L1Policy};
+
+    #[test]
+    fn baseline_run_produces_sane_metrics() {
+        let m = run_benchmark(
+            "sjeng",
+            baseline_32k_8w_vipt(),
+            SystemKind::OooThreeLevel,
+            &Condition::quick(),
+        );
+        assert_eq!(m.core.instructions, 30_000);
+        assert!(m.ipc() > 0.2 && m.ipc() < 6.0, "ipc = {}", m.ipc());
+        assert!(m.sipt.hit_rate() > 0.5, "L1 hit rate = {}", m.sipt.hit_rate());
+        assert!(m.energy.total() > 0.0);
+        assert!(m.tlb.total() > 0);
+    }
+
+    #[test]
+    fn sipt_beats_baseline_on_friendly_workload() {
+        let cond = Condition::quick();
+        let base = run_benchmark(
+            "hmmer",
+            baseline_32k_8w_vipt(),
+            SystemKind::OooThreeLevel,
+            &cond,
+        );
+        let sipt = run_benchmark("hmmer", sipt_32k_2w(), SystemKind::OooThreeLevel, &cond);
+        assert!(
+            sipt.ipc_vs(&base) > 1.0,
+            "2-cycle SIPT should beat 4-cycle baseline: {}",
+            sipt.ipc_vs(&base)
+        );
+        assert!(sipt.energy_vs(&base) < 1.0, "energy = {}", sipt.energy_vs(&base));
+        assert!(sipt.sipt.fast_fraction() > 0.9, "fast = {}", sipt.sipt.fast_fraction());
+    }
+
+    #[test]
+    fn naive_sipt_struggles_on_hostile_workload() {
+        let cond = Condition::quick();
+        let naive = run_benchmark(
+            "calculix",
+            sipt_32k_2w().with_policy(L1Policy::SiptNaive),
+            SystemKind::OooThreeLevel,
+            &cond,
+        );
+        let combined =
+            run_benchmark("calculix", sipt_32k_2w(), SystemKind::OooThreeLevel, &cond);
+        assert!(
+            naive.sipt.fast_fraction() < 0.6,
+            "calculix must defeat naive speculation: {}",
+            naive.sipt.fast_fraction()
+        );
+        assert!(
+            combined.sipt.fast_fraction() > naive.sipt.fast_fraction() + 0.2,
+            "IDB must rescue calculix: naive {} vs combined {}",
+            naive.sipt.fast_fraction(),
+            combined.sipt.fast_fraction()
+        );
+    }
+
+    #[test]
+    fn speculation_profile_matches_fig5_shape() {
+        let cond = Condition::quick();
+        // Streaming burst allocator → huge pages → all bits unchanged.
+        let lib = speculation_profile("libquantum", &cond);
+        assert!(lib.hugepage > 0.95, "libquantum hugepage = {}", lib.hugepage);
+        assert!(lib.unchanged[2] > 0.95);
+        // Fine-grained allocator → majority of accesses change bits.
+        let cal = speculation_profile("calculix", &cond);
+        assert!(
+            cal.unchanged[0] < 0.6,
+            "calculix 1-bit unchanged = {}",
+            cal.unchanged[0]
+        );
+        // Monotonic: more bits can only be harder.
+        for p in [lib, cal] {
+            assert!(p.unchanged[0] >= p.unchanged[1]);
+            assert!(p.unchanged[1] >= p.unchanged[2]);
+            assert!(p.accesses > 1000);
+        }
+    }
+
+    #[test]
+    fn fragmentation_degrades_speculation() {
+        let normal = Condition::quick();
+        let fragged = Condition { fragmented: true, memory_bytes: 2 << 30, ..normal };
+        let a = speculation_profile("bwaves", &normal);
+        let b = speculation_profile("bwaves", &fragged);
+        assert!(
+            b.hugepage < 0.05,
+            "no huge pages under Fu(9)>0.95 fragmentation: {}",
+            b.hugepage
+        );
+        assert!(b.unchanged[1] < a.unchanged[1]);
+    }
+
+    #[test]
+    fn in_order_system_runs() {
+        let m = run_benchmark(
+            "hmmer",
+            sipt_core::sipt_64k_4w(),
+            SystemKind::InOrderTwoLevel,
+            &Condition::quick(),
+        );
+        assert!(m.l2.is_none());
+        assert!(m.ipc() > 0.1 && m.ipc() <= 2.0);
+    }
+
+    #[test]
+    fn sensitivity_sweep_has_four_conditions() {
+        let sweep = Condition::sensitivity_sweep();
+        assert_eq!(sweep.len(), 4);
+        assert_eq!(sweep[0].0, "Normal");
+        assert!(sweep[1].1.fragmented);
+        assert_eq!(sweep[2].1.placement, PlacementPolicy::ThpOff);
+        assert_eq!(sweep[3].1.placement, PlacementPolicy::Scattered);
+    }
+}

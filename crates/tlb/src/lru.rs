@@ -1,0 +1,210 @@
+//! A small generic set-associative structure with true-LRU replacement,
+//! shared by the TLB levels. (The data caches in `sipt-cache` have their
+//! own richer array model with dirty bits and pluggable replacement; this
+//! one is deliberately minimal.)
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// One way of a set: key, value, and last-use timestamp.
+#[derive(Debug, Clone)]
+struct Way<K, V> {
+    key: K,
+    value: V,
+    last_use: u64,
+}
+
+/// A set-associative, true-LRU keyed store.
+///
+/// Keys are mapped to sets by hashing modulo the set count, which models a
+/// low-order-bit index without imposing a numeric key type.
+///
+/// ```
+/// use sipt_tlb::lru::LruSetAssoc;
+/// let mut t: LruSetAssoc<u64, &str> = LruSetAssoc::new(1, 2); // 2 entries total
+/// t.insert(1, "a");
+/// t.insert(2, "b");
+/// t.get(&1);          // 1 is now MRU
+/// t.insert(3, "c");   // evicts 2
+/// assert!(t.get(&2).is_none());
+/// assert_eq!(t.get(&1), Some(&"a"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LruSetAssoc<K, V> {
+    sets: Vec<Vec<Way<K, V>>>,
+    ways: usize,
+    clock: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruSetAssoc<K, V> {
+    /// Create a structure with `sets` sets of `ways` ways each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0, "at least one set required");
+        assert!(ways > 0, "at least one way required");
+        Self { sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(), ways, clock: 0 }
+    }
+
+    /// Total capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the structure holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn set_of(&self, key: &K) -> usize {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        use std::hash::Hasher;
+        key.hash(&mut hasher);
+        (hasher.finish() % self.sets.len() as u64) as usize
+    }
+
+    /// Look up `key`, updating LRU state on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.set_of(key);
+        self.sets[set].iter_mut().find(|w| &w.key == key).map(|w| {
+            w.last_use = clock;
+            &w.value
+        })
+    }
+
+    /// Look up `key` without touching LRU state.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        let set = self.set_of(key);
+        self.sets[set].iter().find(|w| &w.key == key).map(|w| &w.value)
+    }
+
+    /// Insert or update `key`, evicting the set's LRU way if full. Returns
+    /// the evicted `(key, value)` pair, if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        self.clock += 1;
+        let clock = self.clock;
+        let set_idx = self.set_of(&key);
+        let set = &mut self.sets[set_idx];
+        if let Some(w) = set.iter_mut().find(|w| w.key == key) {
+            w.value = value;
+            w.last_use = clock;
+            return None;
+        }
+        let mut evicted = None;
+        if set.len() == self.ways {
+            let lru = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.last_use)
+                .map(|(i, _)| i)
+                .expect("set is full, so non-empty");
+            let w = set.swap_remove(lru);
+            evicted = Some((w.key, w.value));
+        }
+        set.push(Way { key, value, last_use: clock });
+        evicted
+    }
+
+    /// Remove `key`, returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let set_idx = self.set_of(key);
+        let set = &mut self.sets[set_idx];
+        let pos = set.iter().position(|w| &w.key == key)?;
+        Some(set.swap_remove(pos).value)
+    }
+
+    /// Remove every entry.
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Snapshot all `(key, value)` pairs into a map (for assertions/tests).
+    pub fn to_map(&self) -> HashMap<K, V>
+    where
+        V: Clone,
+    {
+        self.sets
+            .iter()
+            .flatten()
+            .map(|w| (w.key.clone(), w.value.clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn evicts_true_lru_within_a_set() {
+        let mut t: LruSetAssoc<u64, u64> = LruSetAssoc::new(1, 3);
+        t.insert(1, 10);
+        t.insert(2, 20);
+        t.insert(3, 30);
+        t.get(&1);
+        t.get(&2);
+        // 3 is LRU now.
+        let evicted = t.insert(4, 40);
+        assert_eq!(evicted, Some((3, 30)));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn update_in_place_does_not_evict() {
+        let mut t: LruSetAssoc<u64, u64> = LruSetAssoc::new(1, 2);
+        t.insert(1, 10);
+        t.insert(2, 20);
+        assert_eq!(t.insert(1, 11), None);
+        assert_eq!(t.get(&1), Some(&11));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn peek_does_not_promote() {
+        let mut t: LruSetAssoc<u64, u64> = LruSetAssoc::new(1, 2);
+        t.insert(1, 10);
+        t.insert(2, 20);
+        t.peek(&1); // must NOT make 1 MRU
+        let evicted = t.insert(3, 30);
+        assert_eq!(evicted, Some((1, 10)));
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut t: LruSetAssoc<u64, u64> = LruSetAssoc::new(4, 2);
+        for i in 0..8 {
+            t.insert(i, i);
+        }
+        assert_eq!(t.remove(&3), Some(3));
+        assert_eq!(t.remove(&3), None);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.capacity(), 8);
+    }
+
+    proptest! {
+        /// Never exceeds capacity; most-recently-inserted key is always
+        /// resident.
+        #[test]
+        fn capacity_and_mru_residency(keys in proptest::collection::vec(0u64..512, 1..256)) {
+            let mut t: LruSetAssoc<u64, u64> = LruSetAssoc::new(8, 4);
+            for &k in &keys {
+                t.insert(k, k * 2);
+                prop_assert!(t.len() <= t.capacity());
+                prop_assert_eq!(t.peek(&k), Some(&(k * 2)));
+            }
+        }
+    }
+}

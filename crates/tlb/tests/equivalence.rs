@@ -1,0 +1,93 @@
+//! Property: the TLB is a pure cache — translating any access stream
+//! through the TLB must yield exactly the same translations as consulting
+//! the page table directly, for any mix of 4 KiB and 2 MiB mappings.
+
+use proptest::prelude::*;
+use sipt_mem::{PageSize, PageTable, PhysFrameNum, VirtAddr, VirtPageNum, PAGES_PER_HUGE_PAGE};
+use sipt_tlb::{DataTlb, TlbConfig};
+
+/// Build a page table with `base_pages` 4 KiB mappings and `huge_pages`
+/// 2 MiB mappings at disjoint ranges.
+fn build_table(base_pages: u64, huge_pages: u64) -> PageTable {
+    let mut pt = PageTable::new();
+    for i in 0..base_pages {
+        pt.map(VirtPageNum::new(i), PhysFrameNum::new(10_000 + i * 7), PageSize::Base4K)
+            .unwrap();
+    }
+    for i in 0..huge_pages {
+        let vpn = (1 << 20) + i * PAGES_PER_HUGE_PAGE;
+        let pfn = (1 << 21) + i * PAGES_PER_HUGE_PAGE;
+        pt.map(VirtPageNum::new(vpn), PhysFrameNum::new(pfn), PageSize::Huge2M).unwrap();
+    }
+    pt
+}
+
+proptest! {
+    #[test]
+    fn tlb_translations_match_page_table(
+        accesses in proptest::collection::vec((0u64..2, 0u64..64, 0u64..4096), 1..300)
+    ) {
+        let pt = build_table(64, 8);
+        let mut tlb = DataTlb::new(TlbConfig::default());
+        for (kind, page, offset) in accesses {
+            let va = if kind == 0 {
+                VirtAddr::new((page % 64) * 4096 + offset)
+            } else {
+                VirtAddr::new(((1u64 << 20) + (page % 8) * PAGES_PER_HUGE_PAGE) * 4096 + offset)
+            };
+            let via_tlb = tlb.translate(va, &pt).expect("mapped").translation;
+            let direct = pt.translate(va).expect("mapped");
+            prop_assert_eq!(via_tlb, direct, "divergence at {}", va);
+        }
+    }
+
+    #[test]
+    fn latency_is_monotone_in_hit_level(page in 0u64..64) {
+        let pt = build_table(64, 0);
+        let mut tlb = DataTlb::new(TlbConfig::default());
+        let va = VirtAddr::new(page * 4096);
+        let walk = tlb.translate(va, &pt).unwrap();
+        let hit = tlb.translate(va, &pt).unwrap();
+        prop_assert!(hit.cycles < walk.cycles);
+    }
+}
+
+#[test]
+fn tlb_capacity_never_exceeded_under_thrash() {
+    // Touch far more pages than the whole TLB holds; every translation
+    // must still be correct (no stale entries served for evicted pages).
+    let mut pt = PageTable::new();
+    for i in 0..4096u64 {
+        pt.map(VirtPageNum::new(i), PhysFrameNum::new(8192 + i), PageSize::Base4K).unwrap();
+    }
+    let mut tlb = DataTlb::new(TlbConfig::default());
+    for round in 0..3 {
+        for i in 0..4096u64 {
+            let va = VirtAddr::new(i * 4096 + round);
+            let t = tlb.translate(va, &pt).unwrap();
+            assert_eq!(t.translation.pfn.raw(), 8192 + i);
+        }
+    }
+    let stats = tlb.stats();
+    assert_eq!(stats.total(), 3 * 4096);
+    // 4096 pages >> 1024-entry L2: most accesses walk.
+    assert!(stats.walks > 4096);
+}
+
+#[test]
+fn remap_visible_after_flush() {
+    // The TLB caches aggressively; after the OS changes a mapping the
+    // (simulated) shootdown is a flush, and the new frame must be seen.
+    let mut pt = PageTable::new();
+    pt.map(VirtPageNum::new(1), PhysFrameNum::new(100), PageSize::Base4K).unwrap();
+    let mut tlb = DataTlb::new(TlbConfig::default());
+    let va = VirtAddr::new(0x1000);
+    assert_eq!(tlb.translate(va, &pt).unwrap().translation.pfn.raw(), 100);
+    pt.unmap(VirtPageNum::new(1)).unwrap();
+    pt.map(VirtPageNum::new(1), PhysFrameNum::new(200), PageSize::Base4K).unwrap();
+    // Stale entry still served (models real TLB incoherence)...
+    assert_eq!(tlb.translate(va, &pt).unwrap().translation.pfn.raw(), 100);
+    // ...until the shootdown.
+    tlb.flush();
+    assert_eq!(tlb.translate(va, &pt).unwrap().translation.pfn.raw(), 200);
+}

@@ -1,0 +1,38 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # sipt-workloads — synthetic benchmarks for the SIPT reproduction
+//!
+//! Stand-ins for the paper's SPEC CPU 2006/2017 + graph500 + DBx1000-ycsb
+//! workloads. Each benchmark is a [`WorkloadSpec`] preset whose parameters
+//! (footprint, pattern mix, memory-op density, and — decisive for SIPT —
+//! *allocation granularity*) were chosen to reproduce the qualitative
+//! behaviour the paper reports per application; [`TraceGen`] turns a spec
+//! into a deterministic instruction stream whose memory is allocated
+//! through the live OS model, so VA→PA deltas come from the buddy
+//! allocator, not from synthetic assumptions.
+//!
+//! ```
+//! use sipt_workloads::{benchmark, TraceGen};
+//! use sipt_mem::{AddressSpace, BuddyAllocator, PlacementPolicy};
+//!
+//! # fn main() -> Result<(), sipt_mem::MemError> {
+//! let spec = benchmark("libquantum").expect("preset exists");
+//! let mut phys = BuddyAllocator::with_bytes(2 << 30);
+//! let mut asp = AddressSpace::new(0, PlacementPolicy::LinuxDefault);
+//! let trace = TraceGen::build(&spec, &mut asp, &mut phys, 1_000, 42)?;
+//! assert_eq!(trace.count(), 1_000);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod gen;
+pub mod spec;
+pub mod trace_file;
+
+pub use gen::{Layout, TraceGen};
+pub use trace_file::{read_trace, write_trace, TraceFileError};
+pub use spec::{
+    benchmark, AllocPattern, PatternMix, WorkloadSpec, BENCHMARKS, LOW_SPECULATION_APPS,
+    MIXES, MIX_ONLY_BENCHMARKS,
+};

@@ -1,0 +1,297 @@
+//! Workload specifications: parameterized synthetic stand-ins for the
+//! paper's benchmark suite.
+//!
+//! We do not have SPEC CPU 2006/2017, graph500 or DBx1000 traces; instead
+//! each benchmark is characterized by the handful of parameters that
+//! actually determine SIPT behaviour — footprint, access-pattern mix,
+//! memory-op density, and, crucially, *allocation granularity*: programs
+//! that acquire memory in large bursts get huge pages and large constant
+//! VA→PA deltas from the buddy allocator, while programs that allocate in
+//! small increments scatter their deltas (the paper's seven
+//! low-speculation applications). Presets below encode the qualitative
+//! behaviour reported in Figs 5, 9 and 12.
+
+/// Mix of address-generation behaviours, as fractions summing to ≤ 1 (the
+/// remainder is hot-set reuse).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PatternMix {
+    /// Sequential streaming (unit-line stride).
+    pub stream: f64,
+    /// Uniform random over the whole footprint.
+    pub random: f64,
+    /// Dependent pointer chasing (address depends on the previous load).
+    pub chase: f64,
+}
+
+impl PatternMix {
+    /// Fraction of accesses to the small hot set (the remainder).
+    pub fn hot(&self) -> f64 {
+        (1.0 - self.stream - self.random - self.chase).max(0.0)
+    }
+
+    /// Validate that fractions are sane.
+    pub fn validate(&self) {
+        for (name, v) in
+            [("stream", self.stream), ("random", self.random), ("chase", self.chase)]
+        {
+            assert!((0.0..=1.0).contains(&v), "{name} fraction {v} out of range");
+        }
+        assert!(
+            self.stream + self.random + self.chase <= 1.0 + 1e-9,
+            "pattern fractions exceed 1"
+        );
+    }
+}
+
+/// How the synthetic program acquires its memory. This is the decisive
+/// SIPT parameter: it controls huge-page coverage and VA→PA delta
+/// stability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocPattern {
+    /// One large up-front mmap (multi-MiB array/arena setup): the buddy
+    /// allocator serves it from maximal blocks → transparent huge pages,
+    /// all speculative bits translation-invariant.
+    Burst,
+    /// Medium mmaps of `chunk_pages` pages each (glibc-style heap growth)
+    /// against *intact* free lists: chunks land physically consecutive, so
+    /// deltas stay constant across long runs even though no page is huge —
+    /// the common case the paper's Fig 10 describes.
+    Chunked {
+        /// Pages per allocation (tens to hundreds).
+        chunk_pages: u64,
+    },
+    /// Small mmaps of `chunk_pages` pages each against *churned* free
+    /// lists (a long-running system's allocator state): each chunk lands
+    /// at a random position, so index bits beyond
+    /// `log2(chunk_pages) + 12` change unpredictably — the paper's
+    /// low-speculation applications.
+    Incremental {
+        /// Pages per allocation (1–8 in the presets).
+        chunk_pages: u64,
+    },
+}
+
+/// A complete synthetic-benchmark specification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Benchmark name, matching the paper's figure labels.
+    pub name: &'static str,
+    /// Resident data footprint in bytes.
+    pub footprint: u64,
+    /// Fraction of instructions that are loads/stores.
+    pub mem_ratio: f64,
+    /// Fraction of memory ops that are stores.
+    pub store_ratio: f64,
+    /// Address-pattern mix.
+    pub mix: PatternMix,
+    /// Allocation behaviour.
+    pub alloc: AllocPattern,
+    /// Number of distinct static memory PCs (predictor pressure).
+    pub mem_pcs: usize,
+}
+
+impl WorkloadSpec {
+    /// Validate internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range fractions or a zero footprint.
+    pub fn validate(&self) {
+        assert!(self.footprint >= 1 << 16, "footprint too small: {}", self.footprint);
+        assert!((0.0..=1.0).contains(&self.mem_ratio), "mem_ratio out of range");
+        assert!((0.0..=1.0).contains(&self.store_ratio), "store_ratio out of range");
+        assert!(self.mem_pcs > 0, "need at least one memory PC");
+        self.mix.validate();
+    }
+}
+
+const MIB: u64 = 1 << 20;
+
+/// Helper: build a spec row.
+#[allow(clippy::too_many_arguments)] // table-row constructor, literal rows below
+const fn w(
+    name: &'static str,
+    footprint_mib: u64,
+    mem_ratio: f64,
+    store_ratio: f64,
+    stream: f64,
+    random: f64,
+    chase: f64,
+    alloc: AllocPattern,
+    mem_pcs: usize,
+) -> WorkloadSpec {
+    WorkloadSpec {
+        name,
+        footprint: footprint_mib * MIB,
+        mem_ratio,
+        store_ratio,
+        mix: PatternMix { stream, random, chase },
+        alloc,
+        mem_pcs,
+    }
+}
+
+use AllocPattern::{Burst, Chunked, Incremental};
+
+/// The 26 benchmarks that appear on the x-axis of Figs 2/3/5/6/7/9/12/13/
+/// 14/16/17, with qualitative parameters chosen to reproduce each one's
+/// reported SIPT behaviour. Footprints are scaled to simulator scale
+/// (documented in DESIGN.md). Allocation patterns follow the paper's
+/// findings: multi-MiB array codes get THP-covered bursts; most integer
+/// codes grow their heaps in medium consecutive chunks (high delta
+/// stability without huge pages); the seven low-speculation applications
+/// plus gcc/xz allocate finely against churned free lists.
+pub const BENCHMARKS: &[WorkloadSpec] = &[
+    // Games / integer codes: small-to-medium footprints, heavy reuse.
+    w("sjeng", 32, 0.33, 0.25, 0.05, 0.10, 0.05, Chunked { chunk_pages: 128 }, 48),
+    w("deepsjeng_17", 48, 0.34, 0.25, 0.05, 0.15, 0.05, Incremental { chunk_pages: 1 }, 48),
+    w("mcf", 96, 0.40, 0.20, 0.02, 0.30, 0.45, Burst, 32),
+    w("mcf_17", 192, 0.40, 0.20, 0.02, 0.30, 0.45, Burst, 32),
+    w("h264ref", 24, 0.42, 0.30, 0.45, 0.05, 0.00, Chunked { chunk_pages: 128 }, 64),
+    w("x264_17", 32, 0.42, 0.30, 0.45, 0.05, 0.00, Chunked { chunk_pages: 128 }, 64),
+    w("gcc", 48, 0.36, 0.30, 0.10, 0.20, 0.10, Incremental { chunk_pages: 2 }, 96),
+    w("gobmk", 28, 0.32, 0.28, 0.08, 0.15, 0.05, Chunked { chunk_pages: 64 }, 64),
+    w("omnetpp", 64, 0.38, 0.30, 0.03, 0.25, 0.30, Chunked { chunk_pages: 16 }, 64),
+    w("hmmer", 16, 0.45, 0.30, 0.55, 0.02, 0.00, Chunked { chunk_pages: 256 }, 32),
+    w("perlbench", 40, 0.40, 0.32, 0.10, 0.15, 0.10, Chunked { chunk_pages: 32 }, 96),
+    w("bzip2", 32, 0.36, 0.28, 0.35, 0.15, 0.00, Chunked { chunk_pages: 256 }, 48),
+    w("libquantum", 128, 0.30, 0.20, 0.90, 0.00, 0.00, Burst, 16),
+    w("bwaves", 192, 0.44, 0.25, 0.80, 0.03, 0.00, Burst, 24),
+    w("cactusADM", 96, 0.42, 0.30, 0.30, 0.10, 0.00, Incremental { chunk_pages: 1 }, 48),
+    w("calculix", 64, 0.40, 0.28, 0.25, 0.10, 0.00, Incremental { chunk_pages: 1 }, 48),
+    w("gamess", 24, 0.38, 0.28, 0.30, 0.05, 0.00, Chunked { chunk_pages: 64 }, 48),
+    w("GemsFDTD", 192, 0.42, 0.28, 0.85, 0.02, 0.00, Burst, 24),
+    w("povray", 16, 0.36, 0.28, 0.10, 0.10, 0.05, Chunked { chunk_pages: 32 }, 64),
+    w("gromacs", 48, 0.40, 0.28, 0.25, 0.10, 0.00, Incremental { chunk_pages: 1 }, 48),
+    w("graph500", 256, 0.38, 0.15, 0.02, 0.55, 0.25, Incremental { chunk_pages: 1 }, 32),
+    w("ycsb", 256, 0.36, 0.30, 0.02, 0.50, 0.15, Incremental { chunk_pages: 1 }, 48),
+    w("xalancbmk_17", 64, 0.38, 0.30, 0.05, 0.25, 0.15, Incremental { chunk_pages: 1 }, 96),
+    w("leela_17", 32, 0.33, 0.26, 0.08, 0.12, 0.08, Chunked { chunk_pages: 64 }, 64),
+    w("exchange2_17", 16, 0.30, 0.24, 0.15, 0.05, 0.00, Chunked { chunk_pages: 128 }, 48),
+    w("xz_17", 96, 0.37, 0.30, 0.30, 0.20, 0.00, Incremental { chunk_pages: 2 }, 48),
+];
+
+/// Extra benchmarks that appear only inside the Table III mixes.
+pub const MIX_ONLY_BENCHMARKS: &[WorkloadSpec] = &[
+    w("astar", 48, 0.38, 0.25, 0.05, 0.25, 0.30, Chunked { chunk_pages: 32 }, 48),
+    w("lbm", 192, 0.45, 0.35, 0.85, 0.02, 0.00, Burst, 16),
+    w("zeusmp", 128, 0.42, 0.30, 0.75, 0.05, 0.00, Burst, 24),
+    w("leslie3d", 96, 0.43, 0.28, 0.80, 0.03, 0.00, Burst, 24),
+    w("milc", 128, 0.42, 0.28, 0.70, 0.08, 0.00, Burst, 32),
+    w("tonto", 32, 0.38, 0.28, 0.30, 0.08, 0.00, Chunked { chunk_pages: 64 }, 48),
+    w("soplex", 64, 0.39, 0.25, 0.20, 0.20, 0.10, Incremental { chunk_pages: 8 }, 64),
+];
+
+/// Look up a benchmark by name across both tables.
+pub fn benchmark(name: &str) -> Option<WorkloadSpec> {
+    BENCHMARKS
+        .iter()
+        .chain(MIX_ONLY_BENCHMARKS)
+        .find(|spec| spec.name == name)
+        .copied()
+}
+
+/// The paper's seven applications with minority fast accesses at one
+/// speculative bit (§IV.A): used by tests and the experiment drivers to
+/// check the reproduction preserves the split.
+pub const LOW_SPECULATION_APPS: &[&str] = &[
+    "deepsjeng_17",
+    "cactusADM",
+    "calculix",
+    "graph500",
+    "ycsb",
+    "xalancbmk_17",
+    "gromacs",
+];
+
+/// Table III: the 11 multiprogrammed quad-core workloads.
+pub const MIXES: &[(&str, [&str; 4])] = &[
+    ("mix0", ["h264ref", "hmmer", "perlbench", "povray"]),
+    ("mix1", ["mcf", "gcc", "bwaves", "cactusADM"]),
+    ("mix2", ["gobmk", "calculix", "GemsFDTD", "gromacs"]),
+    ("mix3", ["astar", "libquantum", "lbm", "zeusmp"]),
+    ("mix4", ["mcf", "perlbench", "leslie3d", "milc"]),
+    ("mix5", ["h264ref", "cactusADM", "calculix", "tonto"]),
+    ("mix6", ["gcc", "libquantum", "gamess", "povray"]),
+    ("mix7", ["sjeng", "omnetpp", "bzip2", "soplex"]),
+    ("mix8", ["graph500", "ycsb", "mcf", "povray"]),
+    ("mix9", ["mcf_17", "xalancbmk_17", "x264_17", "deepsjeng_17"]),
+    ("mix10", ["leela_17", "exchange2_17", "xz_17", "xalancbmk_17"]),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_validate() {
+        for spec in BENCHMARKS.iter().chain(MIX_ONLY_BENCHMARKS) {
+            spec.validate();
+        }
+    }
+
+    #[test]
+    fn benchmark_roster_matches_figures() {
+        assert_eq!(BENCHMARKS.len(), 26, "figures list 26 benchmarks");
+        assert!(benchmark("libquantum").is_some());
+        assert!(benchmark("soplex").is_some(), "mix-only apps resolvable");
+        assert!(benchmark("nonexistent").is_none());
+    }
+
+    #[test]
+    fn low_speculation_apps_use_fine_grained_allocation() {
+        for name in LOW_SPECULATION_APPS {
+            let spec = benchmark(name).unwrap();
+            match spec.alloc {
+                Incremental { chunk_pages } => {
+                    assert!(chunk_pages <= 2, "{name}: chunk {chunk_pages} too coarse")
+                }
+                Burst | Chunked { .. } => {
+                    panic!("{name} must allocate incrementally to defeat speculation")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_apps_use_burst_allocation() {
+        for name in ["libquantum", "GemsFDTD", "bwaves"] {
+            let spec = benchmark(name).unwrap();
+            assert_eq!(spec.alloc, Burst, "{name}");
+            assert!(spec.mix.stream >= 0.8, "{name} must be streaming");
+            // Footprint ≥ 2 MiB so THP can kick in.
+            assert!(spec.footprint >= 2 * MIB);
+        }
+    }
+
+    #[test]
+    fn mixes_match_table3() {
+        assert_eq!(MIXES.len(), 11);
+        for (name, apps) in MIXES {
+            assert!(name.starts_with("mix"));
+            for app in apps {
+                assert!(benchmark(app).is_some(), "{name}: unknown app {app}");
+            }
+        }
+        // Every single-core benchmark except a few appears at least once
+        // ("every application is used at least once" refers to the mix
+        // candidates; spot-check some).
+        let all: Vec<&str> = MIXES.iter().flat_map(|(_, a)| a.iter().copied()).collect();
+        for app in ["graph500", "ycsb", "libquantum", "xalancbmk_17"] {
+            assert!(all.contains(&app), "{app} missing from mixes");
+        }
+    }
+
+    #[test]
+    fn pattern_mix_hot_remainder() {
+        let m = PatternMix { stream: 0.3, random: 0.2, chase: 0.1 };
+        assert!((m.hot() - 0.4).abs() < 1e-12);
+        m.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "fractions exceed 1")]
+    fn overfull_mix_panics() {
+        PatternMix { stream: 0.8, random: 0.3, chase: 0.1 }.validate();
+    }
+}

@@ -1,0 +1,291 @@
+//! Binary trace serialization.
+//!
+//! Macsim-style workflows separate trace *capture* from *replay*: a trace
+//! is generated once and replayed under many cache configurations. This
+//! module gives the synthetic traces the same property — write any
+//! `Inst` stream to a compact binary file, read it back later — so long
+//! experiments don't pay generation cost per configuration and traces can
+//! be shipped between machines.
+//!
+//! Format (`SIPTTR01`, little-endian):
+//!
+//! ```text
+//! [8]  magic "SIPTTR01"
+//! [8]  u64 instruction count
+//! per instruction:
+//!   [8] pc
+//!   [1] flags: bit0 has_dst, bit1 has_src0, bit2 has_src1,
+//!              bit3 has_mem, bit4 mem_is_store
+//!   [1] dst   (when has_dst)
+//!   [1] src0  (when has_src0)
+//!   [1] src1  (when has_src1)
+//!   [1] exec_latency (1..=255)
+//!   [8] mem va (when has_mem)
+//! ```
+
+use sipt_cpu::{Inst, MemOp, MemRef};
+use sipt_mem::VirtAddr;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"SIPTTR01";
+
+/// Errors reading a trace file.
+#[derive(Debug)]
+pub enum TraceFileError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with the trace magic.
+    BadMagic,
+    /// The file ended before the advertised instruction count.
+    Truncated,
+    /// An instruction record had an invalid encoding.
+    BadRecord {
+        /// Index of the offending instruction.
+        index: u64,
+    },
+}
+
+impl core::fmt::Display for TraceFileError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TraceFileError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceFileError::BadMagic => write!(f, "not a SIPT trace file"),
+            TraceFileError::Truncated => write!(f, "trace file truncated"),
+            TraceFileError::BadRecord { index } => {
+                write!(f, "invalid instruction record at index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceFileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceFileError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceFileError {
+    fn from(e: io::Error) -> Self {
+        TraceFileError::Io(e)
+    }
+}
+
+/// Write an instruction stream to `w`. Returns the number written.
+///
+/// # Errors
+///
+/// Propagates I/O errors; panics never.
+pub fn write_trace<W, I>(mut w: W, insts: I) -> Result<u64, TraceFileError>
+where
+    W: Write,
+    I: IntoIterator<Item = Inst>,
+{
+    // Buffer the body so the count header can be exact for iterators of
+    // unknown length.
+    let mut body = Vec::new();
+    let mut n = 0u64;
+    for inst in insts {
+        let mut flags = 0u8;
+        if inst.dst.is_some() {
+            flags |= 1;
+        }
+        if inst.srcs[0].is_some() {
+            flags |= 2;
+        }
+        if inst.srcs[1].is_some() {
+            flags |= 4;
+        }
+        if let Some(mem) = inst.mem {
+            flags |= 8;
+            if mem.op == MemOp::Store {
+                flags |= 16;
+            }
+        }
+        body.extend_from_slice(&inst.pc.to_le_bytes());
+        body.push(flags);
+        if let Some(d) = inst.dst {
+            body.push(d);
+        }
+        if let Some(s) = inst.srcs[0] {
+            body.push(s);
+        }
+        if let Some(s) = inst.srcs[1] {
+            body.push(s);
+        }
+        body.push(u8::try_from(inst.exec_latency.clamp(1, 255)).expect("clamped"));
+        if let Some(mem) = inst.mem {
+            body.extend_from_slice(&mem.va.raw().to_le_bytes());
+        }
+        n += 1;
+    }
+    w.write_all(MAGIC)?;
+    w.write_all(&n.to_le_bytes())?;
+    w.write_all(&body)?;
+    w.flush()?;
+    Ok(n)
+}
+
+/// Read a complete trace from `r`.
+///
+/// # Errors
+///
+/// [`TraceFileError`] on malformed input.
+pub fn read_trace<R: Read>(mut r: R) -> Result<Vec<Inst>, TraceFileError> {
+    let mut buf = Vec::new();
+    r.read_to_end(&mut buf)?;
+    if buf.len() < 16 || &buf[..8] != MAGIC {
+        return Err(TraceFileError::BadMagic);
+    }
+    let count = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
+    let mut pos = 16usize;
+    let mut out = Vec::with_capacity(count.min(1 << 24) as usize);
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8], TraceFileError> {
+        let s = buf.get(*pos..*pos + n).ok_or(TraceFileError::Truncated)?;
+        *pos += n;
+        Ok(s)
+    };
+    for index in 0..count {
+        let pc = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8"));
+        let flags = take(&mut pos, 1)?[0];
+        if flags & !0b1_1111 != 0 {
+            return Err(TraceFileError::BadRecord { index });
+        }
+        let dst = (flags & 1 != 0).then(|| take(&mut pos, 1).map(|b| b[0])).transpose()?;
+        let src0 = (flags & 2 != 0).then(|| take(&mut pos, 1).map(|b| b[0])).transpose()?;
+        let src1 = (flags & 4 != 0).then(|| take(&mut pos, 1).map(|b| b[0])).transpose()?;
+        let exec_latency = take(&mut pos, 1)?[0];
+        if exec_latency == 0 {
+            return Err(TraceFileError::BadRecord { index });
+        }
+        let mem = if flags & 8 != 0 {
+            let va = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8"));
+            Some(MemRef {
+                op: if flags & 16 != 0 { MemOp::Store } else { MemOp::Load },
+                va: VirtAddr::new(va),
+            })
+        } else {
+            if flags & 16 != 0 {
+                return Err(TraceFileError::BadRecord { index });
+            }
+            None
+        };
+        out.push(Inst { pc, dst, srcs: [src0, src1], mem, exec_latency: exec_latency as u64 });
+    }
+    if pos != buf.len() {
+        return Err(TraceFileError::Truncated);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_inst() -> impl Strategy<Value = Inst> {
+        (
+            any::<u64>(),
+            proptest::option::of(0u8..64),
+            proptest::option::of(0u8..64),
+            proptest::option::of(0u8..64),
+            proptest::option::of((any::<bool>(), any::<u64>())),
+            1u64..=255,
+        )
+            .prop_map(|(pc, dst, s0, s1, mem, lat)| Inst {
+                pc,
+                dst,
+                srcs: [s0, s1],
+                mem: mem.map(|(store, va)| MemRef {
+                    op: if store { MemOp::Store } else { MemOp::Load },
+                    va: VirtAddr::new(va),
+                }),
+                exec_latency: lat,
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(insts in proptest::collection::vec(arb_inst(), 0..200)) {
+            let mut buf = Vec::new();
+            let n = write_trace(&mut buf, insts.clone()).unwrap();
+            prop_assert_eq!(n, insts.len() as u64);
+            let back = read_trace(&buf[..]).unwrap();
+            prop_assert_eq!(back, insts);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(matches!(read_trace(&b"NOTATRACE_______"[..]), Err(TraceFileError::BadMagic)));
+        assert!(matches!(read_trace(&b"short"[..]), Err(TraceFileError::BadMagic)));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let mut buf = Vec::new();
+        let insts = vec![Inst::alu(1, 2, [Some(3), None]); 4];
+        write_trace(&mut buf, insts).unwrap();
+        for cut in [buf.len() - 1, 17, 20] {
+            assert!(
+                matches!(read_trace(&buf[..cut]), Err(TraceFileError::Truncated)),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, vec![Inst::alu(1, 2, [None, None])]).unwrap();
+        buf.push(0xFF);
+        assert!(matches!(read_trace(&buf[..]), Err(TraceFileError::Truncated)));
+    }
+
+    #[test]
+    fn rejects_invalid_flags_and_latency() {
+        // Hand-craft a record with reserved flag bits set.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"SIPTTR01");
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes()); // pc
+        buf.push(0b0010_0000); // reserved bit
+        assert!(matches!(read_trace(&buf[..]), Err(TraceFileError::BadRecord { index: 0 })));
+
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"SIPTTR01");
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.push(0); // no fields
+        buf.push(0); // exec_latency 0 → invalid
+        assert!(matches!(read_trace(&buf[..]), Err(TraceFileError::BadRecord { index: 0 })));
+    }
+
+    #[test]
+    fn errors_display_and_chain() {
+        let e = TraceFileError::from(io::Error::other("x"));
+        assert!(e.to_string().contains("i/o"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&TraceFileError::BadMagic).is_none());
+        assert!(!TraceFileError::Truncated.to_string().is_empty());
+        assert!(!TraceFileError::BadRecord { index: 3 }.to_string().is_empty());
+    }
+
+    #[test]
+    fn generated_trace_roundtrips_through_disk_format() {
+        use crate::{benchmark, TraceGen};
+        use sipt_mem::{AddressSpace, BuddyAllocator, PlacementPolicy};
+        let spec = benchmark("sjeng").unwrap();
+        let mut phys = BuddyAllocator::with_bytes(1 << 30);
+        let mut asp = AddressSpace::new(0, PlacementPolicy::LinuxDefault);
+        let gen = TraceGen::build(&spec, &mut asp, &mut phys, 5_000, 9).unwrap();
+        let insts: Vec<Inst> = gen.collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, insts.clone()).unwrap();
+        assert_eq!(read_trace(&buf[..]).unwrap(), insts);
+        // ~12 bytes per instruction on average: compact enough to ship.
+        assert!(buf.len() < insts.len() * 24);
+    }
+}

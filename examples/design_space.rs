@@ -1,0 +1,52 @@
+//! Design-space exploration: what L1 geometries does SIPT unlock?
+//!
+//! ```text
+//! cargo run --release -p sipt-sim --example design_space
+//! ```
+//!
+//! Walks the paper's Table I space with the CACTI-like model, marks which
+//! configurations are buildable as VIPT with 4 KiB pages, and shows how
+//! many index bits SIPT would need to speculate for the rest — then runs
+//! one workload on the most attractive infeasible point to show the win.
+
+use sipt_cache::CacheGeometry;
+use sipt_core::{baseline_32k_8w_vipt, sipt_64k_4w};
+use sipt_energy::{estimate, ArrayConfig};
+use sipt_sim::{run_benchmark, Condition, SystemKind};
+
+fn main() {
+    println!("L1 design space (normalized to 32KiB 8-way 4-cycle baseline)\n");
+    println!(
+        "{:<8} {:>6} {:>8} {:>10} {:>10} {:>12}",
+        "capacity", "ways", "latency", "energy/acc", "VIPT?", "SIPT bits"
+    );
+    let baseline = estimate(ArrayConfig::simple(32 << 10, 8));
+    for kib in [16u64, 32, 64, 128] {
+        for ways in [2u32, 4, 8] {
+            let geometry = CacheGeometry::new(kib << 10, ways);
+            let e = estimate(ArrayConfig::simple(kib << 10, ways));
+            println!(
+                "{:<8} {:>6} {:>6}cy {:>9.2}x {:>10} {:>12}",
+                format!("{kib}KiB"),
+                ways,
+                e.latency_cycles,
+                e.dynamic_nj / baseline.dynamic_nj,
+                if geometry.vipt_feasible() { "yes" } else { "NO" },
+                geometry.speculative_bits(),
+            );
+        }
+    }
+
+    println!("\nThe 64KiB 4-way 3-cycle point needs 2 speculative bits. Running it:");
+    let cond = Condition::default();
+    let base = run_benchmark("hmmer", baseline_32k_8w_vipt(), SystemKind::OooThreeLevel, &cond);
+    let sipt = run_benchmark("hmmer", sipt_64k_4w(), SystemKind::OooThreeLevel, &cond);
+    println!(
+        "hmmer: IPC {:.3} -> {:.3} ({:+.1}%), L1 hit rate {:.1}% -> {:.1}%",
+        base.ipc(),
+        sipt.ipc(),
+        (sipt.ipc_vs(&base) - 1.0) * 100.0,
+        base.sipt.hit_rate() * 100.0,
+        sipt.sipt.hit_rate() * 100.0,
+    );
+}

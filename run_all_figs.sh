@@ -1,0 +1,10 @@
+#!/bin/bash
+set -u
+cd /root/repo
+for f in tab01 fig01 tab02 tab03 fig05 fig02 fig03 fig06 fig09 fig12 fig13 fig16 fig15 fig18 ablation_bypass ablation_idb ablation_perceptron_size ablation_replay ablation_coloring future_icache; do
+  echo "=== running $f ==="
+  start=$SECONDS
+  cargo run --release -q -p sipt-bench --bin $f > results/$f.txt 2>&1 || echo "FAILED $f"
+  echo "$((SECONDS-start)) s" > results/$f.time
+done
+echo ALL_DONE

@@ -1,0 +1,58 @@
+//! Reproducibility: every layer is seeded, so identical conditions must
+//! produce bit-identical results — the property that makes the paper's
+//! per-figure numbers regenerable.
+
+use sipt_core::{sipt_32k_2w, sipt_64k_4w};
+use sipt_sim::{run_benchmark, run_mix, speculation_profile, Condition, SystemKind};
+
+fn cond() -> Condition {
+    Condition { instructions: 12_000, warmup: 3_000, ..Condition::default() }
+}
+
+#[test]
+fn single_core_runs_are_bit_identical() {
+    let a = run_benchmark("calculix", sipt_32k_2w(), SystemKind::OooThreeLevel, &cond());
+    let b = run_benchmark("calculix", sipt_32k_2w(), SystemKind::OooThreeLevel, &cond());
+    assert_eq!(a.core, b.core);
+    assert_eq!(a.sipt, b.sipt);
+    assert_eq!(a.tlb, b.tlb);
+    assert_eq!(a.llc, b.llc);
+    assert_eq!(a.dram, b.dram);
+    assert_eq!(a.energy, b.energy);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let c1 = cond();
+    let c2 = Condition { seed: 1234, ..c1 };
+    let a = run_benchmark("calculix", sipt_32k_2w(), SystemKind::OooThreeLevel, &c1);
+    let b = run_benchmark("calculix", sipt_32k_2w(), SystemKind::OooThreeLevel, &c2);
+    assert_ne!(a.core.cycles, b.core.cycles, "seed must actually steer the run");
+}
+
+#[test]
+fn profiles_are_deterministic() {
+    let a = speculation_profile("graph500", &cond());
+    let b = speculation_profile("graph500", &cond());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn mix_runs_are_deterministic() {
+    let c = Condition { memory_bytes: 4 << 30, ..cond() };
+    let a = run_mix("mix3", sipt_64k_4w(), &c);
+    let b = run_mix("mix3", sipt_64k_4w(), &c);
+    assert_eq!(a.sum_ipc(), b.sum_ipc());
+    for (x, y) in a.cores.iter().zip(&b.cores) {
+        assert_eq!(x.sipt, y.sipt);
+    }
+}
+
+#[test]
+fn fragmented_runs_are_deterministic() {
+    let c = Condition { fragmented: true, memory_bytes: 2 << 30, ..cond() };
+    let a = run_benchmark("bwaves", sipt_32k_2w(), SystemKind::OooThreeLevel, &c);
+    let b = run_benchmark("bwaves", sipt_32k_2w(), SystemKind::OooThreeLevel, &c);
+    assert_eq!(a.sipt, b.sipt);
+    assert_eq!(a.core.cycles, b.core.cycles);
+}

@@ -1,0 +1,165 @@
+//! End-to-end integration tests spanning every crate: OS memory model →
+//! TLB → SIPT L1 → L2/LLC → DRAM → core timing → energy accounting.
+
+use sipt_core::{
+    baseline_32k_8w_vipt, sipt_32k_2w, small_16k_4w_vipt, table2_sipt_configs, L1Policy,
+};
+use sipt_sim::{run_benchmark, Condition, SystemKind};
+
+fn cond() -> Condition {
+    Condition::quick()
+}
+
+#[test]
+fn policy_ordering_ideal_bounds_sipt_bounds_naive() {
+    // For a misspeculation-heavy workload, the paper's ordering must hold:
+    // ideal ≥ combined ≥ naive in IPC (ties allowed within noise).
+    let c = cond();
+    let system = SystemKind::OooThreeLevel;
+    let base = run_benchmark("calculix", baseline_32k_8w_vipt(), system, &c);
+    let naive = run_benchmark(
+        "calculix",
+        sipt_32k_2w().with_policy(L1Policy::SiptNaive),
+        system,
+        &c,
+    );
+    let combined = run_benchmark("calculix", sipt_32k_2w(), system, &c);
+    let ideal = run_benchmark("calculix", sipt_32k_2w().with_policy(L1Policy::Ideal), system, &c);
+    let (n, s, i) = (naive.ipc_vs(&base), combined.ipc_vs(&base), ideal.ipc_vs(&base));
+    assert!(i + 0.01 >= s, "ideal {i} must bound combined {s}");
+    assert!(s + 0.01 >= n, "combined {s} must bound naive {n}");
+    // And the naive variant must produce strictly more array reads.
+    assert!(naive.sipt.extra_accesses > combined.sipt.extra_accesses);
+}
+
+#[test]
+fn pipt_is_slowest_indexing_policy() {
+    let c = cond();
+    let system = SystemKind::OooThreeLevel;
+    let pipt = run_benchmark("hmmer", sipt_32k_2w().with_policy(L1Policy::Pipt), system, &c);
+    let sipt = run_benchmark("hmmer", sipt_32k_2w(), system, &c);
+    assert!(
+        sipt.ipc() > pipt.ipc(),
+        "SIPT {} must beat PIPT {} at equal geometry",
+        sipt.ipc(),
+        pipt.ipc()
+    );
+}
+
+#[test]
+fn every_table2_config_beats_its_pipt_self() {
+    let c = cond();
+    for cfg in table2_sipt_configs() {
+        let pipt =
+            run_benchmark("sjeng", cfg.clone().with_policy(L1Policy::Pipt), SystemKind::OooThreeLevel, &c);
+        let sipt = run_benchmark("sjeng", cfg.clone(), SystemKind::OooThreeLevel, &c);
+        assert!(
+            sipt.ipc() >= pipt.ipc(),
+            "{}: SIPT {} vs PIPT {}",
+            cfg.name,
+            sipt.ipc(),
+            pipt.ipc()
+        );
+    }
+}
+
+#[test]
+fn energy_accounting_is_consistent() {
+    let c = cond();
+    let m = run_benchmark("libquantum", sipt_32k_2w(), SystemKind::OooThreeLevel, &c);
+    let e = m.energy;
+    assert!(e.total() > 0.0);
+    assert!(e.dynamic() < e.total(), "static energy must be nonzero");
+    // Components are individually non-negative and sum to the total.
+    let sum = e.l1_dynamic + e.l1_static + e.l2_dynamic + e.l2_static + e.llc_dynamic
+        + e.llc_static
+        + e.predictor;
+    assert!((sum - e.total()).abs() < 1e-15);
+    // A speculating config pays a (tiny) predictor charge.
+    assert!(e.predictor > 0.0);
+    assert!(e.predictor < 0.02 * (e.l1_dynamic + e.l1_static));
+}
+
+#[test]
+fn feasible_vipt_configs_never_speculate() {
+    let c = cond();
+    for cfg in [baseline_32k_8w_vipt(), small_16k_4w_vipt()] {
+        let m = run_benchmark("gcc", cfg, SystemKind::OooThreeLevel, &c);
+        assert_eq!(m.sipt.extra_accesses, 0);
+        assert_eq!(m.sipt.fast_accesses, 0, "VIPT accesses are NotSpeculative");
+        assert_eq!(m.sipt.array_reads, m.sipt.accesses);
+        assert_eq!(m.energy.predictor, 0.0);
+    }
+}
+
+#[test]
+fn stats_are_internally_consistent() {
+    let c = cond();
+    for bench in ["mcf", "calculix", "graph500"] {
+        let m = run_benchmark(bench, sipt_32k_2w(), SystemKind::OooThreeLevel, &c);
+        let s = m.sipt;
+        assert_eq!(s.hits + s.misses, s.accesses, "{bench}");
+        // Every demand access does ≥1 array read; extras add exactly one.
+        assert!(s.array_reads >= s.accesses + s.extra_accesses, "{bench}");
+        // Outcome classes partition the accesses for a combined-policy run.
+        assert_eq!(
+            s.correct_speculation + s.idb_hits + s.extra_accesses,
+            s.accesses,
+            "{bench}: combined policy outcomes must partition"
+        );
+        // TLB serviced every demand access exactly once.
+        assert_eq!(m.tlb.total(), s.accesses, "{bench}");
+        // The L2 saw exactly the L1 misses (demand side).
+        assert_eq!(m.l2.unwrap().accesses, s.misses, "{bench}");
+    }
+}
+
+#[test]
+fn in_order_and_ooo_disagree_on_best_config() {
+    // The paper's motivation: OOO prefers the low-latency 32K 2-way;
+    // in-order prefers capacity. At minimum, the in-order speedup of the
+    // larger cache must exceed its OOO speedup relative to the small one.
+    let c = cond();
+    let io_base = run_benchmark("sjeng", baseline_32k_8w_vipt(), SystemKind::InOrderTwoLevel, &c);
+    let io_big = run_benchmark(
+        "sjeng",
+        sipt_core::sipt_64k_4w().with_policy(L1Policy::Ideal),
+        SystemKind::InOrderTwoLevel,
+        &c,
+    );
+    assert!(
+        io_big.ipc_vs(&io_base) > 1.0,
+        "in-order must benefit from a larger L1: {}",
+        io_big.ipc_vs(&io_base)
+    );
+}
+
+#[test]
+fn dram_row_buffer_behaviour_shows_through() {
+    // A streaming workload must enjoy a far better DRAM row-hit rate than
+    // a pointer chaser — checks the whole path down to the DRAM model.
+    let c = cond();
+    let stream = run_benchmark("libquantum", baseline_32k_8w_vipt(), SystemKind::OooThreeLevel, &c);
+    let chase = run_benchmark("mcf", baseline_32k_8w_vipt(), SystemKind::OooThreeLevel, &c);
+    assert!(
+        stream.dram.row_hit_rate() > chase.dram.row_hit_rate(),
+        "stream {} vs chase {}",
+        stream.dram.row_hit_rate(),
+        chase.dram.row_hit_rate()
+    );
+}
+
+#[test]
+fn way_prediction_composes_with_every_policy() {
+    let c = cond();
+    for cfg in [
+        baseline_32k_8w_vipt().with_way_prediction(true),
+        sipt_32k_2w().with_way_prediction(true),
+        sipt_32k_2w().with_policy(L1Policy::SiptNaive).with_way_prediction(true),
+    ] {
+        let m = run_benchmark("sjeng", cfg, SystemKind::OooThreeLevel, &c);
+        let wp = m.way_pred.expect("way predictor enabled");
+        assert!(wp.correct + wp.wrong > 0, "predictions must be recorded");
+        assert!(wp.accuracy() > 0.2);
+    }
+}

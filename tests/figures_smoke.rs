@@ -1,0 +1,135 @@
+//! Smoke tests over every figure driver: each produces well-formed rows
+//! whose internal arithmetic holds (fractions partition, normalizations
+//! positive, tables render). Runs at tiny scale; the shape assertions that
+//! mirror the paper live in the drivers' own unit tests.
+
+use sipt_sim::experiments::{
+    bypass, combined, fig01, ideal, naive, quadcore, sensitivity, speculation, waypred,
+};
+use sipt_sim::Condition;
+
+fn tiny() -> Condition {
+    Condition { instructions: 8_000, warmup: 2_000, ..Condition::default() }
+}
+
+const BENCHES: [&str; 3] = ["libquantum", "calculix", "sjeng"];
+
+#[test]
+fn fig01_rows_are_well_formed() {
+    let rows = fig01::run();
+    assert_eq!(rows.len(), 20);
+    for r in &rows {
+        assert!(r.min <= r.mean && r.mean <= r.max, "{r:?}");
+        assert!(r.min > 0.0);
+    }
+    assert!(!fig01::render(&rows).is_empty());
+}
+
+#[test]
+fn fig02_fig03_normalizations_positive() {
+    for fig in [ideal::fig2(&BENCHES, &tiny()), ideal::fig3(&BENCHES, &tiny())] {
+        assert_eq!(fig.rows.len(), BENCHES.len());
+        for row in &fig.rows {
+            assert_eq!(row.normalized_ipc.len(), 5);
+            for &v in &row.normalized_ipc {
+                assert!(v > 0.3 && v < 3.0, "{}: {v}", row.benchmark);
+            }
+        }
+        assert!(!ideal::render(&fig).is_empty());
+    }
+}
+
+#[test]
+fn fig05_profiles_are_probabilities() {
+    let rows = speculation::fig5(&BENCHES, &tiny());
+    for r in &rows {
+        for &u in &r.profile.unchanged {
+            assert!((0.0..=1.0).contains(&u));
+        }
+        assert!((0.0..=1.0).contains(&r.profile.hugepage));
+        assert!(r.profile.accesses > 0);
+    }
+    assert!(!speculation::render(&rows).is_empty());
+}
+
+#[test]
+fn fig06_07_rows_consistent() {
+    let (rows, summary) = naive::fig6_fig7(&BENCHES, &tiny());
+    for r in &rows {
+        assert!(r.normalized_ipc > 0.3);
+        assert!(r.normalized_energy > 0.2 && r.normalized_energy < 1.5);
+        assert!(r.extra_accesses >= -0.5);
+        assert!((0.0..=1.0).contains(&r.fast_fraction));
+    }
+    assert!(summary.mean_energy > 0.0);
+    assert!(!naive::render(&rows, &summary).is_empty());
+}
+
+#[test]
+fn fig09_outcomes_partition() {
+    for r in bypass::fig9(&BENCHES, &tiny()) {
+        for b in &r.by_bits {
+            let sum =
+                b.correct_speculation + b.correct_bypass + b.opportunity_loss + b.extra_access;
+            assert!((sum - 1.0).abs() < 1e-9, "{}: {sum}", r.benchmark);
+        }
+    }
+}
+
+#[test]
+fn fig12_outcomes_partition() {
+    for r in combined::fig12(&BENCHES, &tiny()) {
+        for b in &r.by_bits {
+            let sum = b.correct_speculation + b.idb_hit + b.slow;
+            assert!((sum - 1.0).abs() < 1e-9, "{}: {sum}", r.benchmark);
+            assert_eq!(b.fast(), b.correct_speculation + b.idb_hit);
+        }
+    }
+}
+
+#[test]
+fn fig13_14_summaries_within_bounds() {
+    let (rows, summary) = combined::fig13_fig14(&BENCHES, &tiny());
+    assert_eq!(rows.len(), 3);
+    assert!(summary.mean_ipc > 0.9 && summary.mean_ipc < 1.5);
+    assert!(summary.mean_energy > 0.3 && summary.mean_energy < 1.1);
+    assert!(!combined::render_fig13_fig14(&rows, &summary).is_empty());
+}
+
+#[test]
+fn fig15_mixes_have_four_speedups() {
+    let c = Condition { memory_bytes: 4 << 30, instructions: 5_000, warmup: 1_000, ..tiny() };
+    let (rows, summary) = quadcore::fig15(&["mix0"], &c);
+    assert_eq!(rows[0].speedup.len(), 4);
+    assert_eq!(summary.mean_speedup.len(), 4);
+    for &s in &rows[0].speedup {
+        assert!(s > 0.5 && s < 2.0);
+    }
+    assert!(!quadcore::render(&rows, &summary).is_empty());
+}
+
+#[test]
+fn fig16_17_accuracies_are_probabilities() {
+    let (rows, summary) = waypred::fig16_fig17(&BENCHES, &tiny());
+    for r in &rows {
+        assert!((0.0..=1.0).contains(&r.base_wp_accuracy), "{r:?}");
+        assert!((0.0..=1.0).contains(&r.sipt_wp_accuracy));
+    }
+    assert!(summary.sipt_accuracy > summary.base_accuracy);
+    assert!(!waypred::render(&rows, &summary).is_empty());
+}
+
+#[test]
+fn fig18_has_eight_groups_of_four() {
+    let groups = sensitivity::fig18(&["libquantum"], &tiny());
+    assert_eq!(groups.len(), 8);
+    for g in &groups {
+        assert_eq!(g.mean_ipc.len(), 4);
+        assert_eq!(g.mean_energy.len(), 4);
+        assert_eq!(g.accuracy.len(), 4);
+        for &a in &g.accuracy {
+            assert!((0.0..=1.0).contains(&a), "{}: {a}", g.label);
+        }
+    }
+    assert!(!sensitivity::render(&groups).is_empty());
+}
