@@ -1,8 +1,12 @@
-//! Criterion wrappers around every figure driver at smoke scale: tracks
+//! Wall-clock wrappers around every figure driver at smoke scale: tracks
 //! the end-to-end cost of regenerating each paper artifact and guards
 //! against simulator performance regressions.
+//!
+//! Runs on the in-tree harness (`sipt_bench::harness`) so the build stays
+//! offline. Invoke with `cargo bench -p sipt-bench --bench figures`; pass
+//! `--json` (or `SIPT_JSON=1`) to write `results/figures-bench.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sipt_bench::harness::Bencher;
 use sipt_sim::experiments::{
     bypass, combined, fig01, ideal, naive, quadcore, sensitivity, speculation, waypred,
 };
@@ -16,48 +20,53 @@ fn tiny() -> Condition {
     Condition { instructions: 8_000, warmup: 2_000, ..Condition::default() }
 }
 
-fn bench_figures(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figures");
-    group.sample_size(10);
+fn main() {
+    let cli = sipt_bench::Cli::from_args();
+    // Figure drivers are heavyweight; one calibrated iteration is enough.
+    let mut b = Bencher::new(1, 1);
 
-    group.bench_function("fig01_latency_model", |b| b.iter(fig01::run));
-    group.bench_function("fig02_ideal_ooo", |b| {
-        b.iter(|| ideal::fig2(&smoke(), &tiny()))
+    b.bench("fig01_latency_model", || {
+        std::hint::black_box(fig01::run());
     });
-    group.bench_function("fig03_ideal_inorder", |b| {
-        b.iter(|| ideal::fig3(&smoke(), &tiny()))
+    b.bench("fig02_ideal_ooo", || {
+        std::hint::black_box(ideal::fig2(&smoke(), &tiny()));
     });
-    group.bench_function("fig05_speculation_profile", |b| {
-        b.iter(|| speculation::fig5(&smoke(), &tiny()))
+    b.bench("fig03_ideal_inorder", || {
+        std::hint::black_box(ideal::fig3(&smoke(), &tiny()));
     });
-    group.bench_function("fig06_07_naive_sipt", |b| {
-        b.iter(|| naive::fig6_fig7(&smoke(), &tiny()))
+    b.bench("fig05_speculation_profile", || {
+        std::hint::black_box(speculation::fig5(&smoke(), &tiny()));
     });
-    group.bench_function("fig09_bypass_outcomes", |b| {
-        b.iter(|| bypass::fig9(&smoke(), &tiny()))
+    b.bench("fig06_07_naive_sipt", || {
+        std::hint::black_box(naive::fig6_fig7(&smoke(), &tiny()));
     });
-    group.bench_function("fig12_combined_accuracy", |b| {
-        b.iter(|| combined::fig12(&smoke(), &tiny()))
+    b.bench("fig09_bypass_outcomes", || {
+        std::hint::black_box(bypass::fig9(&smoke(), &tiny()));
     });
-    group.bench_function("fig13_14_sipt_idb", |b| {
-        b.iter(|| combined::fig13_fig14(&smoke(), &tiny()))
+    b.bench("fig12_combined_accuracy", || {
+        std::hint::black_box(combined::fig12(&smoke(), &tiny()));
     });
-    group.bench_function("fig15_quadcore_mix0", |b| {
-        b.iter(|| {
-            quadcore::fig15(
-                &["mix0"],
-                &Condition { memory_bytes: 4 << 30, ..tiny() },
-            )
-        })
+    b.bench("fig13_14_sipt_idb", || {
+        std::hint::black_box(combined::fig13_fig14(&smoke(), &tiny()));
     });
-    group.bench_function("fig16_17_way_prediction", |b| {
-        b.iter(|| waypred::fig16_fig17(&smoke(), &tiny()))
+    b.bench("fig15_quadcore_mix0", || {
+        std::hint::black_box(quadcore::fig15(
+            &["mix0"],
+            &Condition { memory_bytes: 4 << 30, ..tiny() },
+        ));
     });
-    group.bench_function("fig18_sensitivity", |b| {
-        b.iter(|| sensitivity::fig18(&["libquantum"], &tiny()))
+    b.bench("fig16_17_way_prediction", || {
+        std::hint::black_box(waypred::fig16_fig17(&smoke(), &tiny()));
     });
-    group.finish();
+    b.bench("fig18_sensitivity", || {
+        std::hint::black_box(sensitivity::fig18(&["libquantum"], &tiny()));
+    });
+
+    cli.emit_json(
+        "figures-bench",
+        sipt_telemetry::json::Json::obj([
+            ("artifact", sipt_telemetry::json::Json::str("figures-bench")),
+            ("benchmarks", b.to_json()),
+        ]),
+    );
 }
-
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);

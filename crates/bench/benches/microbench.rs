@@ -1,100 +1,97 @@
-//! Criterion micro-benchmarks of the hot simulator structures: buddy
-//! allocation, predictor lookups, and the full per-access machine path.
+//! Micro-benchmarks of the hot simulator structures: buddy allocation,
+//! predictor lookups, and the full per-access machine path.
+//!
+//! Runs on the in-tree harness (`sipt_bench::harness`) so the build stays
+//! offline. Invoke with `cargo bench -p sipt-bench --bench microbench`;
+//! pass `quick` for a smoke run, `--json` (or `SIPT_JSON=1`) to write
+//! `results/microbench.json`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sipt_bench::harness::Bencher;
 use sipt_core::{sipt_32k_2w, SiptL1};
 use sipt_cpu::{MemOp, MemRef, MemoryPath};
 use sipt_mem::{
-    AddressSpace, BuddyAllocator, PageSize, PhysAddr, PhysFrameNum, PlacementPolicy,
-    Translation, VirtAddr, PAGE_SIZE,
+    AddressSpace, BuddyAllocator, PageSize, PhysAddr, PhysFrameNum, PlacementPolicy, Translation,
+    VirtAddr, PAGE_SIZE,
 };
 use sipt_predictors::{IdbConfig, IndexDeltaBuffer, PerceptronConfig, PerceptronPredictor};
 use sipt_sim::{Machine, SystemKind};
 
-fn bench_buddy(c: &mut Criterion) {
-    c.bench_function("buddy_alloc_free_order0", |b| {
-        b.iter_batched_ref(
-            || BuddyAllocator::new(1 << 16),
-            |buddy| {
-                for _ in 0..64 {
-                    let blk = buddy.alloc(0).unwrap();
-                    buddy.free(blk);
-                }
-            },
-            BatchSize::SmallInput,
-        )
+fn bench_buddy(b: &mut Bencher) {
+    let mut buddy = BuddyAllocator::new(1 << 16);
+    b.bench("buddy_alloc_free_order0", || {
+        for _ in 0..64 {
+            let blk = buddy.alloc(0).unwrap();
+            buddy.free(blk);
+        }
     });
-    c.bench_function("buddy_bulk_alloc_512", |b| {
-        b.iter_batched_ref(
-            || BuddyAllocator::new(1 << 16),
-            |buddy| {
-                let blocks = buddy.alloc_bulk(512).unwrap();
-                for blk in blocks {
-                    buddy.free(blk);
-                }
-            },
-            BatchSize::SmallInput,
-        )
+    let mut buddy = BuddyAllocator::new(1 << 16);
+    b.bench("buddy_bulk_alloc_512", || {
+        let blocks = buddy.alloc_bulk(512).unwrap();
+        for blk in blocks {
+            buddy.free(blk);
+        }
     });
 }
 
-fn bench_predictors(c: &mut Criterion) {
-    c.bench_function("perceptron_predict_update", |b| {
-        let mut p = PerceptronPredictor::new(PerceptronConfig::default());
-        let mut i = 0u64;
-        b.iter(|| {
-            let pc = 0x400000 + (i % 64) * 8;
-            let out = p.predict(pc);
-            p.update(pc, out ^ i.is_multiple_of(7));
-            i += 1;
-        })
+fn bench_predictors(b: &mut Bencher) {
+    let mut p = PerceptronPredictor::new(PerceptronConfig::default());
+    let mut i = 0u64;
+    b.bench("perceptron_predict_update", || {
+        let pc = 0x400000 + (i % 64) * 8;
+        let out = p.predict(pc);
+        p.update(pc, out ^ i.is_multiple_of(7));
+        i += 1;
     });
-    c.bench_function("idb_predict_update", |b| {
-        let mut idb = IndexDeltaBuffer::new(IdbConfig { entries: 64, bits: 3 });
-        let mut i = 0u64;
-        b.iter(|| {
-            let pc = 0x400000 + (i % 64) * 8;
-            let d = idb.predict(pc);
-            idb.update(pc, d + i % 3);
-            i += 1;
-        })
+    let mut idb = IndexDeltaBuffer::new(IdbConfig { entries: 64, bits: 3 });
+    let mut i = 0u64;
+    b.bench("idb_predict_update", || {
+        let pc = 0x400000 + (i % 64) * 8;
+        let d = idb.predict(pc);
+        idb.update(pc, d + i % 3);
+        i += 1;
     });
 }
 
-fn bench_l1_access(c: &mut Criterion) {
-    c.bench_function("sipt_l1_access_hit", |b| {
-        let mut l1 = SiptL1::new(sipt_32k_2w());
-        let va = VirtAddr::new(0x5000);
-        let t = Translation {
-            pa: PhysAddr::new(0x5000),
-            pfn: PhysFrameNum::new(5),
-            page_size: PageSize::Base4K,
-        };
-        l1.fill(sipt_cache::LineAddr::of_phys(t.pa), false);
-        b.iter(|| l1.access(0x400100, va, t, 2, false))
+fn bench_l1_access(b: &mut Bencher) {
+    let mut l1 = SiptL1::new(sipt_32k_2w());
+    let va = VirtAddr::new(0x5000);
+    let t = Translation {
+        pa: PhysAddr::new(0x5000),
+        pfn: PhysFrameNum::new(5),
+        page_size: PageSize::Base4K,
+    };
+    l1.fill(sipt_cache::LineAddr::of_phys(t.pa), false);
+    b.bench("sipt_l1_access_hit", || {
+        std::hint::black_box(l1.access(0x400100, va, t, 2, false));
     });
 }
 
-fn bench_machine(c: &mut Criterion) {
-    c.bench_function("machine_access_warm", |b| {
-        let mut phys = BuddyAllocator::with_bytes(64 << 20);
-        let mut asp = AddressSpace::new(0, PlacementPolicy::LinuxDefault);
-        let region = asp.mmap(4 << 20, &mut phys).unwrap();
-        let mut machine = Machine::new(asp, sipt_32k_2w(), SystemKind::OooThreeLevel);
-        let mut i = 0u64;
-        b.iter(|| {
-            let va = region.start + (i * 64) % (16 * PAGE_SIZE);
-            i += 1;
-            machine.access(0x400100, MemRef { op: MemOp::Load, va }, i)
-        })
+fn bench_machine(b: &mut Bencher) {
+    let mut phys = BuddyAllocator::with_bytes(64 << 20);
+    let mut asp = AddressSpace::new(0, PlacementPolicy::LinuxDefault);
+    let region = asp.mmap(4 << 20, &mut phys).unwrap();
+    let mut machine = Machine::new(asp, sipt_32k_2w(), SystemKind::OooThreeLevel);
+    let mut i = 0u64;
+    b.bench("machine_access_warm", || {
+        let va = region.start + (i * 64) % (16 * PAGE_SIZE);
+        i += 1;
+        std::hint::black_box(machine.access(0x400100, MemRef { op: MemOp::Load, va }, i));
     });
 }
 
-criterion_group!(
-    benches,
-    bench_buddy,
-    bench_predictors,
-    bench_l1_access,
-    bench_machine
-);
-criterion_main!(benches);
+fn main() {
+    let cli = sipt_bench::Cli::from_args();
+    let mut b =
+        if cli.scale == sipt_bench::Scale::Quick { Bencher::quick() } else { Bencher::default() };
+    bench_buddy(&mut b);
+    bench_predictors(&mut b);
+    bench_l1_access(&mut b);
+    bench_machine(&mut b);
+    cli.emit_json(
+        "microbench",
+        sipt_telemetry::json::Json::obj([
+            ("artifact", sipt_telemetry::json::Json::str("microbench")),
+            ("benchmarks", b.to_json()),
+        ]),
+    );
+}

@@ -2,23 +2,24 @@
 //! paper measured ~85% for counters vs >90% for the perceptron, and
 //! inconsistency across applications).
 
-use sipt_bench::Scale;
 use sipt_core::{sipt_32k_2w, BypassKind, L1Policy};
 use sipt_sim::{run_benchmark, SystemKind};
+use sipt_telemetry::json::Json;
 
 fn main() {
-    let scale = Scale::from_args();
+    let cli = sipt_bench::Cli::from_args();
     sipt_bench::header(
         "Ablation: bypass predictor",
         "perceptron vs 2-bit counters, SIPT-bypass policy, 2 speculative bits",
     );
-    let cond = scale.condition();
+    let cond = cli.scale.condition();
     println!(
         "{:<16} {:>12} {:>12} {:>12} {:>12}",
         "benchmark", "perc acc", "ctr acc", "perc extra", "ctr extra"
     );
     let (mut pacc, mut cacc) = (Vec::new(), Vec::new());
-    for bench in scale.benchmarks() {
+    let mut json_rows = Vec::new();
+    for bench in cli.scale.benchmarks() {
         let perc = run_benchmark(
             bench,
             sipt_32k_2w().with_policy(L1Policy::SiptBypass),
@@ -44,12 +45,22 @@ fn main() {
             perc.sipt.extra_access_fraction() * 100.0,
             ctr.sipt.extra_access_fraction() * 100.0,
         );
+        json_rows.push(Json::obj([
+            ("benchmark", Json::str(bench)),
+            ("perceptron_accuracy", Json::num(acc(&perc))),
+            ("counter_accuracy", Json::num(acc(&ctr))),
+            ("perceptron_extra", Json::num(perc.sipt.extra_access_fraction())),
+            ("counter_extra", Json::num(ctr.sipt.extra_access_fraction())),
+        ]));
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-    println!(
-        "{:<16} {:>11.1}% {:>11.1}%",
-        "Average",
-        mean(&pacc) * 100.0,
-        mean(&cacc) * 100.0
+    println!("{:<16} {:>11.1}% {:>11.1}%", "Average", mean(&pacc) * 100.0, mean(&cacc) * 100.0);
+    cli.emit_json(
+        "ablation_bypass",
+        Json::obj([
+            ("rows", Json::arr(json_rows)),
+            ("mean_perceptron_accuracy", Json::num(mean(&pacc))),
+            ("mean_counter_accuracy", Json::num(mean(&cacc))),
+        ]),
     );
 }

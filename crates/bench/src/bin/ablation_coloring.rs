@@ -8,28 +8,26 @@
 //! the combined predictor under the default policy to show prediction
 //! makes coloring unnecessary.
 
-use sipt_bench::Scale;
 use sipt_core::{sipt_32k_2w, L1Policy};
 use sipt_mem::PlacementPolicy;
 use sipt_sim::{run_benchmark, Condition, SystemKind};
+use sipt_telemetry::json::Json;
 
 fn main() {
-    let scale = Scale::from_args();
+    let cli = sipt_bench::Cli::from_args();
     sipt_bench::header(
         "Ablation: page coloring vs prediction",
         "naive SIPT fast-access rate under default vs colored placement; combined \
          predictor needs no OS help",
     );
-    let base_cond = scale.condition();
-    let colored = Condition {
-        placement: PlacementPolicy::Colored { bits: 2 },
-        ..base_cond
-    };
+    let base_cond = cli.scale.condition();
+    let colored = Condition { placement: PlacementPolicy::Colored { bits: 2 }, ..base_cond };
     println!(
         "{:<16} {:>16} {:>16} {:>18}",
         "benchmark", "naive (default)", "naive (colored)", "combined (default)"
     );
-    for bench in scale.benchmarks() {
+    let mut json_rows = Vec::new();
+    for bench in cli.scale.benchmarks() {
         let naive = run_benchmark(
             bench,
             sipt_32k_2w().with_policy(L1Policy::SiptNaive),
@@ -42,13 +40,19 @@ fn main() {
             SystemKind::OooThreeLevel,
             &colored,
         );
-        let combined =
-            run_benchmark(bench, sipt_32k_2w(), SystemKind::OooThreeLevel, &base_cond);
+        let combined = run_benchmark(bench, sipt_32k_2w(), SystemKind::OooThreeLevel, &base_cond);
         println!(
             "{bench:<16} {:>15.1}% {:>15.1}% {:>17.1}%",
             naive.sipt.fast_fraction() * 100.0,
             naive_colored.sipt.fast_fraction() * 100.0,
             combined.sipt.fast_fraction() * 100.0,
         );
+        json_rows.push(Json::obj([
+            ("benchmark", Json::str(bench)),
+            ("naive_default_fast", Json::num(naive.sipt.fast_fraction())),
+            ("naive_colored_fast", Json::num(naive_colored.sipt.fast_fraction())),
+            ("combined_default_fast", Json::num(combined.sipt.fast_fraction())),
+        ]));
     }
+    cli.emit_json("ablation_coloring", Json::obj([("rows", Json::arr(json_rows))]));
 }

@@ -2,22 +2,23 @@
 //! bypass-only converts misspeculations into waits; the IDB converts them
 //! into fast accesses.
 
-use sipt_bench::Scale;
 use sipt_core::{sipt_32k_2w, L1Policy};
 use sipt_sim::{run_benchmark, SystemKind};
+use sipt_telemetry::json::Json;
 
 fn main() {
-    let scale = Scale::from_args();
+    let cli = sipt_bench::Cli::from_args();
     sipt_bench::header(
         "Ablation: IDB contribution",
         "SIPT-bypass (perceptron only) vs SIPT combined (perceptron + IDB)",
     );
-    let cond = scale.condition();
+    let cond = cli.scale.condition();
     println!(
         "{:<16} {:>12} {:>12} {:>12} {:>12}",
         "benchmark", "bypass fast", "comb fast", "bypass IPC", "comb IPC"
     );
-    for bench in scale.benchmarks() {
+    let mut json_rows = Vec::new();
+    for bench in cli.scale.benchmarks() {
         let base = run_benchmark(
             bench,
             sipt_core::baseline_32k_8w_vipt(),
@@ -38,5 +39,13 @@ fn main() {
             byp.ipc_vs(&base),
             comb.ipc_vs(&base),
         );
+        json_rows.push(Json::obj([
+            ("benchmark", Json::str(bench)),
+            ("bypass_fast", Json::num(byp.sipt.fast_fraction())),
+            ("combined_fast", Json::num(comb.sipt.fast_fraction())),
+            ("bypass_ipc", Json::num(byp.ipc_vs(&base))),
+            ("combined_ipc", Json::num(comb.ipc_vs(&base))),
+        ]));
     }
+    cli.emit_json("ablation_idb", Json::obj([("rows", Json::arr(json_rows))]));
 }

@@ -1,18 +1,18 @@
 //! Ablation: perceptron table-size and history-length sensitivity (§V:
 //! "our experiments did not show strong sensitivity to these parameters").
 
-use sipt_bench::Scale;
 use sipt_core::{sipt_32k_2w, L1Policy};
 use sipt_predictors::PerceptronConfig;
 use sipt_sim::{run_benchmark, SystemKind};
+use sipt_telemetry::json::Json;
 
 fn main() {
-    let scale = Scale::from_args();
+    let cli = sipt_bench::Cli::from_args();
     sipt_bench::header(
         "Ablation: perceptron sizing",
         "accuracy vs table entries and history length (paper default: 64 x h=12)",
     );
-    let cond = scale.condition();
+    let cond = cli.scale.condition();
     let variants = [
         ("64 x h12 (paper)", PerceptronConfig { entries: 64, history: 12, weight_bits: 6 }),
         ("32 x h12", PerceptronConfig { entries: 32, history: 12, weight_bits: 6 }),
@@ -21,9 +21,10 @@ fn main() {
         ("64 x h24", PerceptronConfig { entries: 64, history: 24, weight_bits: 6 }),
     ];
     println!("{:<20} {:>12} {:>12}", "config", "mean acc", "storage");
+    let mut json_rows = Vec::new();
     for (label, pcfg) in variants {
         let mut accs = Vec::new();
-        for bench in scale.benchmarks() {
+        for bench in cli.scale.benchmarks() {
             let m = run_benchmark(
                 bench,
                 sipt_32k_2w().with_policy(L1Policy::SiptBypass).with_perceptron(pcfg),
@@ -37,5 +38,13 @@ fn main() {
         }
         let mean = accs.iter().sum::<f64>() / accs.len() as f64;
         println!("{label:<20} {:>11.1}% {:>9} B", mean * 100.0, pcfg.storage_bits() / 8);
+        json_rows.push(Json::obj([
+            ("config", Json::str(label)),
+            ("entries", Json::u64(pcfg.entries as u64)),
+            ("history", Json::u64(pcfg.history as u64)),
+            ("mean_accuracy", Json::num(mean)),
+            ("storage_bytes", Json::u64(pcfg.storage_bits() / 8)),
+        ]));
     }
+    cli.emit_json("ablation_perceptron_size", Json::obj([("rows", Json::arr(json_rows))]));
 }

@@ -3,29 +3,26 @@
 //! replay mechanism barely matters; this sweep quantifies that by charging
 //! 0–16 extra cycles per misspeculation.
 
-use sipt_bench::Scale;
 use sipt_core::{baseline_32k_8w_vipt, sipt_32k_2w};
 use sipt_sim::{harmonic_mean, run_benchmark, SystemKind};
+use sipt_telemetry::json::Json;
 
 fn main() {
-    let scale = Scale::from_args();
+    let cli = sipt_bench::Cli::from_args();
     sipt_bench::header(
         "Ablation: scheduler replay penalty",
         "mean SIPT speedup vs per-misspeculation replay cost (paper §VII.C: rare \
          mispredictions tolerate simple replay)",
     );
-    let cond = scale.condition();
+    let cond = cli.scale.condition();
     println!("{:<10} {:>12} {:>14}", "penalty", "mean speedup", "worst benchmark");
+    let mut json_rows = Vec::new();
     for penalty in [0u64, 2, 4, 8, 16] {
         let mut speedups = Vec::new();
         let mut worst = ("-", f64::INFINITY);
-        for bench in scale.benchmarks() {
-            let base = run_benchmark(
-                bench,
-                baseline_32k_8w_vipt(),
-                SystemKind::OooThreeLevel,
-                &cond,
-            );
+        for bench in cli.scale.benchmarks() {
+            let base =
+                run_benchmark(bench, baseline_32k_8w_vipt(), SystemKind::OooThreeLevel, &cond);
             let sipt = run_benchmark(
                 bench,
                 sipt_32k_2w().with_replay_penalty(penalty),
@@ -38,11 +35,19 @@ fn main() {
             }
             speedups.push(s);
         }
+        let mean_speedup = harmonic_mean(&speedups);
         println!(
             "{penalty:<10} {:>11.1}% {:>9} {:.3}",
-            (harmonic_mean(&speedups) - 1.0) * 100.0,
+            (mean_speedup - 1.0) * 100.0,
             worst.0,
             worst.1
         );
+        json_rows.push(Json::obj([
+            ("penalty_cycles", Json::u64(penalty)),
+            ("mean_speedup", Json::num(mean_speedup)),
+            ("worst_benchmark", Json::str(worst.0)),
+            ("worst_speedup", Json::num(worst.1)),
+        ]));
     }
+    cli.emit_json("ablation_replay", Json::obj([("rows", Json::arr(json_rows))]));
 }

@@ -9,8 +9,8 @@
 //! ```
 
 use sipt_core::{
-    baseline_32k_8w_vipt, sipt_128k_4w, sipt_32k_2w, sipt_32k_4w, sipt_64k_4w,
-    small_16k_4w_vipt, L1Policy,
+    baseline_32k_8w_vipt, sipt_128k_4w, sipt_32k_2w, sipt_32k_4w, sipt_64k_4w, small_16k_4w_vipt,
+    L1Policy,
 };
 use sipt_mem::PlacementPolicy;
 use sipt_sim::{run_benchmark, Condition, SystemKind};
@@ -77,13 +77,20 @@ fn main() -> ExitCode {
         placement,
         fragmented: has_flag("--fragmented"),
         memory_bytes: 2 << 30,
-        instructions: flag_value("--instructions")
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(200_000),
+        instructions: flag_value("--instructions").and_then(|s| s.parse().ok()).unwrap_or(200_000),
         ..Condition::default()
     };
 
     let m = run_benchmark(&bench, l1.clone(), system, &cond);
+    if sipt_telemetry::report::json_requested() {
+        use sipt_telemetry::report;
+        let envelope =
+            report::envelope("explore", sipt_sim::experiments::report::run_summary_json(&m));
+        match report::write_report(&report::results_dir(), "explore", &envelope) {
+            Ok(p) => eprintln!("wrote {}", p.display()),
+            Err(e) => eprintln!("failed to write explore.json: {e}"),
+        }
+    }
     println!("{bench} on {} ({}, {:?}):", l1.name, l1.policy, system);
     println!("  IPC            {:.4}", m.ipc());
     println!("  L1 hit rate    {:.2}%", m.sipt.hit_rate() * 100.0);
@@ -96,7 +103,11 @@ fn main() -> ExitCode {
     println!("  LLC hit rate   {:.2}%", m.llc.hit_rate() * 100.0);
     println!("  DRAM row hits  {:.2}%", m.dram.row_hit_rate() * 100.0);
     println!("  hugepages      {:.2}%", m.huge_fraction * 100.0);
-    println!("  energy         {:.3} mJ (dynamic {:.3} mJ)", m.energy.total() * 1e3, m.energy.dynamic() * 1e3);
+    println!(
+        "  energy         {:.3} mJ (dynamic {:.3} mJ)",
+        m.energy.total() * 1e3,
+        m.energy.dynamic() * 1e3
+    );
     if let Some(wp) = m.way_pred {
         println!("  way-pred acc   {:.2}%", wp.accuracy() * 100.0);
     }

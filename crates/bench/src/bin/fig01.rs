@@ -1,9 +1,10 @@
 //! Fig 1: L1 latency (range and mean) relative to the 32 KiB 8-way
 //! baseline across the Table I design space.
 
-use sipt_sim::experiments::fig01;
+use sipt_sim::experiments::{fig01, report};
 
 fn main() {
+    let cli = sipt_bench::Cli::from_args();
     sipt_bench::header(
         "Fig 1",
         "latency range/mean normalized to 32KiB 8-way; associativity dominates, \
@@ -13,4 +14,5 @@ fn main() {
     print!("{}", fig01::render(&rows));
     let worst = rows.iter().map(|r| r.max).fold(0.0f64, f64::max);
     println!("\nworst-case normalized latency: {worst:.2}x (paper: up to 7.4x)");
+    cli.emit_json("fig01", report::fig1_json(&rows));
 }

@@ -1,14 +1,14 @@
 //! Fig 2: IPC across L1 configurations (ideal indexing) on the OOO core.
 
-use sipt_bench::Scale;
-use sipt_sim::experiments::ideal;
+use sipt_sim::experiments::{ideal, report};
 
 fn main() {
-    let scale = Scale::from_args();
+    let cli = sipt_bench::Cli::from_args();
     sipt_bench::header(
         "Fig 2",
         "IPC vs L1 config, OOO core, normalized to 32KiB 8-way (paper: 32KiB 2-way best, +8.2%)",
     );
-    let fig = ideal::fig2(&scale.benchmarks(), &scale.condition());
+    let fig = ideal::fig2(&cli.scale.benchmarks(), &cli.scale.condition());
     print!("{}", ideal::render(&fig));
+    cli.emit_json("fig02", report::ideal_json(&fig));
 }

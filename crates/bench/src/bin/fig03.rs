@@ -1,14 +1,14 @@
 //! Fig 3: IPC across L1 configurations (ideal indexing) on the in-order core.
 
-use sipt_bench::Scale;
-use sipt_sim::experiments::ideal;
+use sipt_sim::experiments::{ideal, report};
 
 fn main() {
-    let scale = Scale::from_args();
+    let cli = sipt_bench::Cli::from_args();
     sipt_bench::header(
         "Fig 3",
         "IPC vs L1 config, in-order core (paper: 64KiB 4-way best, +13%; 16KiB −11.3%)",
     );
-    let fig = ideal::fig3(&scale.benchmarks(), &scale.condition());
+    let fig = ideal::fig3(&cli.scale.benchmarks(), &cli.scale.condition());
     print!("{}", ideal::render(&fig));
+    cli.emit_json("fig03", report::ideal_json(&fig));
 }

@@ -1,14 +1,14 @@
 //! Fig 5: fraction of correct speculations vs number of speculated bits.
 
-use sipt_bench::Scale;
-use sipt_sim::experiments::speculation;
+use sipt_sim::experiments::{report, speculation};
 
 fn main() {
-    let scale = Scale::from_args();
+    let cli = sipt_bench::Cli::from_args();
     sipt_bench::header(
         "Fig 5",
         "fraction of accesses whose 1/2/3 index bits survive translation + hugepage coverage",
     );
-    let rows = speculation::fig5(&scale.benchmarks(), &scale.condition());
+    let rows = speculation::fig5(&cli.scale.benchmarks(), &cli.scale.condition());
     print!("{}", speculation::render(&rows));
+    cli.emit_json("fig05", report::fig5_json(&rows));
 }

@@ -1,14 +1,14 @@
 //! Figs 6–7: naive SIPT (32KiB/2-way/2-cycle) IPC, extra accesses, energy.
 
-use sipt_bench::Scale;
-use sipt_sim::experiments::naive;
+use sipt_sim::experiments::{naive, report};
 
 fn main() {
-    let scale = Scale::from_args();
+    let cli = sipt_bench::Cli::from_args();
     sipt_bench::header(
         "Figs 6-7",
         "naive SIPT vs baseline and ideal (paper: energy to 74.4%, 8.5% worse than ideal)",
     );
-    let (rows, summary) = naive::fig6_fig7(&scale.benchmarks(), &scale.condition());
+    let (rows, summary) = naive::fig6_fig7(&cli.scale.benchmarks(), &cli.scale.condition());
     print!("{}", naive::render(&rows, &summary));
+    cli.emit_json("fig06", report::naive_json(&rows, &summary));
 }

@@ -1,15 +1,15 @@
 //! Fig 9: perceptron bypass predictor — four-outcome breakdown, 1/2/3 bits.
 
-use sipt_bench::Scale;
-use sipt_sim::experiments::bypass;
+use sipt_sim::experiments::{bypass, report};
 
 fn main() {
-    let scale = Scale::from_args();
+    let cli = sipt_bench::Cli::from_args();
     sipt_bench::header(
         "Fig 9",
         "correct speculation / correct bypass / opportunity loss / extra access \
          (paper: >90% accuracy everywhere)",
     );
-    let rows = bypass::fig9(&scale.benchmarks(), &scale.condition());
+    let rows = bypass::fig9(&cli.scale.benchmarks(), &cli.scale.condition());
     print!("{}", bypass::render(&rows));
+    cli.emit_json("fig09", report::fig9_json(&rows));
 }

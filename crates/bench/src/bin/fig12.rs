@@ -1,14 +1,14 @@
 //! Fig 12: combined bypass + IDB predictor accuracy, 1/2/3 bits.
 
-use sipt_bench::Scale;
-use sipt_sim::experiments::combined;
+use sipt_sim::experiments::{combined, report};
 
 fn main() {
-    let scale = Scale::from_args();
+    let cli = sipt_bench::Cli::from_args();
     sipt_bench::header(
         "Fig 12",
         "fast accesses = perceptron-approved + IDB hits (paper: >90% at 1 bit, >70% at 2-3)",
     );
-    let rows = combined::fig12(&scale.benchmarks(), &scale.condition());
+    let rows = combined::fig12(&cli.scale.benchmarks(), &cli.scale.condition());
     print!("{}", combined::render_fig12(&rows));
+    cli.emit_json("fig12", report::fig12_json(&rows));
 }

@@ -1,14 +1,26 @@
 //! Figs 13–14: SIPT with IDB (32KiB/2-way/2-cycle) IPC and energy.
 
-use sipt_bench::Scale;
-use sipt_sim::experiments::combined;
+use sipt_core::sipt_32k_2w;
+use sipt_sim::experiments::{combined, report};
+use sipt_sim::{run_benchmark, SystemKind};
 
 fn main() {
-    let scale = Scale::from_args();
+    let cli = sipt_bench::Cli::from_args();
     sipt_bench::header(
         "Figs 13-14",
         "SIPT+IDB vs baseline and ideal (paper: +5.9% IPC, 2.3% from ideal; energy 67.8%)",
     );
-    let (rows, summary) = combined::fig13_fig14(&scale.benchmarks(), &scale.condition());
+    let cond = cli.scale.condition();
+    let benches = cli.scale.benchmarks();
+    let (rows, summary) = combined::fig13_fig14(&benches, &cond);
     print!("{}", combined::render_fig13_fig14(&rows, &summary));
+    if cli.json {
+        // The headline artifact also carries one full run summary
+        // (latency/margin/delta histograms, phase profile) so downstream
+        // tooling can drill past the figure-level aggregates.
+        let mut payload = report::fig13_json(&rows, &summary);
+        let sample = run_benchmark(benches[0], sipt_32k_2w(), SystemKind::OooThreeLevel, &cond);
+        payload.insert("sample_run", report::run_summary_json(&sample));
+        cli.emit_json("fig13", payload);
+    }
 }

@@ -1,14 +1,14 @@
 //! Fig 15: quad-core multiprogrammed evaluation over the Table III mixes.
 
-use sipt_bench::Scale;
-use sipt_sim::experiments::quadcore;
+use sipt_sim::experiments::{quadcore, report};
 
 fn main() {
-    let scale = Scale::from_args();
+    let cli = sipt_bench::Cli::from_args();
     sipt_bench::header(
         "Fig 15",
         "sum-of-IPC speedup, extra accesses and energy per mix (paper: +8.1% avg, 32KiB 2-way best)",
     );
-    let (rows, summary) = quadcore::fig15(&scale.mixes(), &scale.quad_condition());
+    let (rows, summary) = quadcore::fig15(&cli.scale.mixes(), &cli.scale.quad_condition());
     print!("{}", quadcore::render(&rows, &summary));
+    cli.emit_json("fig15", report::fig15_json(&rows, &summary));
 }

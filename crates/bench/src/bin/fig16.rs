@@ -1,15 +1,15 @@
 //! Figs 16–17: way prediction on the baseline and on top of SIPT.
 
-use sipt_bench::Scale;
-use sipt_sim::experiments::waypred;
+use sipt_sim::experiments::{report, waypred};
 
 fn main() {
-    let scale = Scale::from_args();
+    let cli = sipt_bench::Cli::from_args();
     sipt_bench::header(
         "Figs 16-17",
         "way prediction accuracy rises 89% -> 97.3% when SIPT lowers associativity; \
          extra 2.2% energy saving on top of SIPT",
     );
-    let (rows, summary) = waypred::fig16_fig17(&scale.benchmarks(), &scale.condition());
+    let (rows, summary) = waypred::fig16_fig17(&cli.scale.benchmarks(), &cli.scale.condition());
     print!("{}", waypred::render(&rows, &summary));
+    cli.emit_json("fig16", report::waypred_json(&rows, &summary));
 }

@@ -1,15 +1,15 @@
 //! Fig 18: sensitivity — fragmented memory, THP off, zero contiguity.
 
-use sipt_bench::Scale;
-use sipt_sim::experiments::sensitivity;
+use sipt_sim::experiments::{report, sensitivity};
 
 fn main() {
-    let scale = Scale::from_args();
+    let cli = sipt_bench::Cli::from_args();
     sipt_bench::header(
         "Fig 18",
         "IPC/energy/accuracy under normal, fragmented (Fu(9)>0.95), THP-off and \
          no->4KiB-contiguity conditions, OOO and in-order",
     );
-    let groups = sensitivity::fig18(&scale.benchmarks(), &scale.condition());
+    let groups = sensitivity::fig18(&cli.scale.benchmarks(), &cli.scale.condition());
     print!("{}", sensitivity::render(&groups));
+    cli.emit_json("fig18", report::fig18_json(&groups));
 }

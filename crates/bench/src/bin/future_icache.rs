@@ -1,16 +1,17 @@
 //! Future-work exploration: SIPT applied to the instruction cache (the
 //! paper defers this, predicting it works "at least as well" as data).
 
-use sipt_bench::Scale;
 use sipt_core::sipt_32k_2w;
-use sipt_sim::experiments::icache;
+use sipt_sim::experiments::{icache, report};
 
 fn main() {
-    let scale = Scale::from_args();
+    let cli = sipt_bench::Cli::from_args();
     sipt_bench::header(
         "Future work: I-cache SIPT",
         "replay each workload's PC stream through a 32KiB/2-way SIPT I-L1",
     );
-    let rows = icache::future_icache(&scale.benchmarks(), &scale.condition(), sipt_32k_2w());
+    let rows =
+        icache::future_icache(&cli.scale.benchmarks(), &cli.scale.condition(), sipt_32k_2w());
     print!("{}", icache::render(&rows));
+    cli.emit_json("future_icache", report::icache_json(&rows));
 }

@@ -1,6 +1,9 @@
 //! Table I: the L1 configuration space explored with the CACTI-like model.
 
+use sipt_telemetry::json::Json;
+
 fn main() {
+    let cli = sipt_bench::Cli::from_args();
     sipt_bench::header("Table I", "L1 cache configurations (32nm, 64B lines)");
     println!("Technology      32 nm (modelled analytically, calibrated to Table II)");
     println!("Cache line size 64 Bytes");
@@ -9,4 +12,16 @@ fn main() {
     println!("Access mode     Parallel data and tag access");
     println!("Ports           1 or 2 for read, 1 for write");
     println!("Banks           1, 2 or 4 banks");
+    cli.emit_json(
+        "tab01",
+        Json::obj([
+            ("technology_nm", Json::u64(32)),
+            ("line_bytes", Json::u64(64)),
+            ("capacities_kib", Json::arr([16u64, 32, 64, 128].map(Json::u64))),
+            ("associativities", Json::arr([2u64, 4, 8, 16, 32].map(Json::u64))),
+            ("read_ports", Json::arr([1u64, 2].map(Json::u64))),
+            ("write_ports", Json::arr([1u64].map(Json::u64))),
+            ("banks", Json::arr([1u64, 2, 4].map(Json::u64))),
+        ]),
+    );
 }

@@ -1,28 +1,43 @@
 //! Table II: the two simulated systems and five L1 operating points.
 
 use sipt_energy::{estimate, ArrayConfig};
+use sipt_telemetry::json::Json;
 
 fn main() {
+    let cli = sipt_bench::Cli::from_args();
     sipt_bench::header("Table II", "simulated system configurations");
     println!("OOO: 6-wide, 192-entry ROB, 3.0 GHz, 3-level cache; In-order: 2-wide, 2-level");
     println!("TLB: L1 64-entry 4KiB + 32-entry 2MiB (2-cycle); L2 1024-entry unified (7-cycle)");
     println!();
     println!("{:<22} {:>7} {:>12} {:>12}", "L1 config", "latency", "energy/acc", "static");
-    for (name, kib, ways) in [
+    let points = [
         ("32KiB 8-way VIPT", 32u64, 8u32),
         ("32KiB 2-way SIPT", 32, 2),
         ("32KiB 4-way SIPT", 32, 4),
         ("64KiB 4-way SIPT", 64, 4),
         ("128KiB 4-way SIPT", 128, 4),
-    ] {
+    ];
+    let mut json_rows = Vec::new();
+    for (name, kib, ways) in points {
         let e = estimate(ArrayConfig::simple(kib << 10, ways));
         println!(
             "{:<22} {:>6}c {:>9.3} nJ {:>9.1} mW",
             name, e.latency_cycles, e.dynamic_nj, e.static_mw
         );
+        json_rows.push(Json::obj([
+            ("name", Json::str(name)),
+            ("kib", Json::u64(kib)),
+            ("ways", Json::u64(u64::from(ways))),
+            ("latency_cycles", Json::u64(e.latency_cycles)),
+            ("dynamic_nj", Json::num(e.dynamic_nj)),
+            ("static_mw", Json::num(e.static_mw)),
+        ]));
     }
     println!();
     println!("L2 (OOO only): 256KiB 8-way 12c, 0.13 nJ, 102 mW");
-    println!("LLC: OOO 2MiB 16-way 25c (0.35 nJ, 578 mW); in-order 1MiB 16-way 20c (0.29 nJ, 532 mW)");
+    println!(
+        "LLC: OOO 2MiB 16-way 25c (0.35 nJ, 578 mW); in-order 1MiB 16-way 20c (0.29 nJ, 532 mW)"
+    );
     println!("DRAM: 8-bank, 4-channel DDR3-like");
+    cli.emit_json("tab02", Json::obj([("l1_points", Json::arr(json_rows))]));
 }

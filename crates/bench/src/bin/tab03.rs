@@ -1,10 +1,24 @@
 //! Table III: the multiprogrammed quad-core workloads.
 
+use sipt_telemetry::json::Json;
 use sipt_workloads::MIXES;
 
 fn main() {
+    let cli = sipt_bench::Cli::from_args();
     sipt_bench::header("Table III", "multi-programmed workloads");
     for (name, apps) in MIXES {
         println!("{name:<6} {}", apps.join(", "));
     }
+    cli.emit_json(
+        "tab03",
+        Json::obj([(
+            "mixes",
+            Json::arr(MIXES.iter().map(|(name, apps)| {
+                Json::obj([
+                    ("name", Json::str(*name)),
+                    ("apps", Json::arr(apps.iter().map(|&a| Json::str(a)))),
+                ])
+            })),
+        )]),
+    );
 }

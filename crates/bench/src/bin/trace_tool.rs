@@ -37,8 +37,7 @@ fn main() -> ExitCode {
                 eprintln!("unknown benchmark {}", args[1]);
                 return ExitCode::FAILURE;
             };
-            let instructions: u64 =
-                args.get(3).and_then(|s| s.parse().ok()).unwrap_or(200_000);
+            let instructions: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(200_000);
             let mut phys = BuddyAllocator::with_bytes(MEMORY);
             let mut asp = AddressSpace::new(0, PlacementPolicy::LinuxDefault);
             let gen = TraceGen::build(&spec, &mut asp, &mut phys, instructions, SEED)
@@ -51,14 +50,9 @@ fn main() -> ExitCode {
         Some("stats") if args.len() >= 2 => {
             let file = File::open(&args[1]).expect("open trace file");
             let insts = read_trace(file).expect("parse trace");
-            let loads = insts
-                .iter()
-                .filter(|i| i.mem.is_some_and(|m| m.op == MemOp::Load))
-                .count();
-            let stores = insts
-                .iter()
-                .filter(|i| i.mem.is_some_and(|m| m.op == MemOp::Store))
-                .count();
+            let loads = insts.iter().filter(|i| i.mem.is_some_and(|m| m.op == MemOp::Load)).count();
+            let stores =
+                insts.iter().filter(|i| i.mem.is_some_and(|m| m.op == MemOp::Store)).count();
             let pcs: std::collections::HashSet<u64> =
                 insts.iter().filter(|i| i.mem.is_some()).map(|i| i.pc).collect();
             println!(
@@ -82,8 +76,7 @@ fn main() -> ExitCode {
             // virtual addresses are mapped.
             let mut phys = BuddyAllocator::with_bytes(MEMORY);
             let mut asp = AddressSpace::new(0, PlacementPolicy::LinuxDefault);
-            let _gen = TraceGen::build(&spec, &mut asp, &mut phys, 0, SEED)
-                .expect("workload fits");
+            let _gen = TraceGen::build(&spec, &mut asp, &mut phys, 0, SEED).expect("workload fits");
             let mut machine = Machine::new(asp, sipt_32k_2w(), SystemKind::OooThreeLevel);
             let n = insts.len() as u64;
             let result = simulate_ooo(OooConfig::default(), insts, &mut machine);

@@ -1,0 +1,123 @@
+//! A tiny wall-clock micro-benchmark harness (replaces Criterion so the
+//! workspace builds offline).
+//!
+//! Each benchmark runs a calibration pass to pick an iteration count that
+//! fills ~`target_ms` of wall time, then reports mean ns/iteration over a
+//! few measurement batches. Results print in a stable aligned format and
+//! can optionally be captured as a [`sipt_telemetry::json::Json`] report.
+
+use sipt_telemetry::json::Json;
+use std::time::Instant;
+
+/// One benchmark's measured result.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Mean nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations per measurement batch.
+    pub iters: u64,
+    /// Number of measurement batches.
+    pub batches: u32,
+}
+
+impl BenchResult {
+    /// This result as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::str(&self.name)),
+            ("ns_per_iter", Json::num(self.ns_per_iter)),
+            ("iters", Json::num(self.iters as f64)),
+            ("batches", Json::num(self.batches as f64)),
+        ])
+    }
+}
+
+/// The harness: accumulates results, prints as it goes.
+#[derive(Debug)]
+pub struct Bencher {
+    target_ms: u64,
+    batches: u32,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Bencher {
+    fn default() -> Self {
+        Self::new(50, 5)
+    }
+}
+
+impl Bencher {
+    /// A harness targeting `target_ms` of measured work per batch over
+    /// `batches` batches.
+    pub fn new(target_ms: u64, batches: u32) -> Self {
+        Self { target_ms, batches, results: Vec::new() }
+    }
+
+    /// Quick settings for smoke runs (CI).
+    pub fn quick() -> Self {
+        Self::new(10, 3)
+    }
+
+    /// Measure `f`, which performs **one** iteration of the workload per
+    /// call, and record/print the result.
+    pub fn bench<F: FnMut()>(&mut self, name: &str, mut f: F) -> &BenchResult {
+        // Calibrate: how many iterations fill the target batch time?
+        let start = Instant::now();
+        let mut calib_iters = 0u64;
+        while start.elapsed().as_millis() < u128::from(self.target_ms.max(1)) {
+            f();
+            calib_iters += 1;
+        }
+        let iters = calib_iters.max(1);
+        // Measure.
+        let mut total_ns = 0u128;
+        for _ in 0..self.batches {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            total_ns += t.elapsed().as_nanos();
+        }
+        let ns_per_iter = total_ns as f64 / (iters as f64 * f64::from(self.batches.max(1)));
+        let result =
+            BenchResult { name: name.to_owned(), ns_per_iter, iters, batches: self.batches };
+        println!(
+            "{name:<40} {ns_per_iter:>12.1} ns/iter  ({iters} iters x {} batches)",
+            self.batches
+        );
+        self.results.push(result);
+        self.results.last().expect("just pushed")
+    }
+
+    /// All results so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// All results as a JSON array.
+    pub fn to_json(&self) -> Json {
+        Json::arr(self.results.iter().map(BenchResult::to_json))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_and_records() {
+        let mut b = Bencher::new(1, 2);
+        let mut acc = 0u64;
+        let r = b.bench("noop_add", || {
+            acc = acc.wrapping_add(std::hint::black_box(1));
+        });
+        assert!(r.ns_per_iter >= 0.0);
+        assert!(r.iters >= 1);
+        assert_eq!(b.results().len(), 1);
+        let json = b.to_json().render();
+        assert!(json.contains("noop_add"));
+        assert!(acc > 0);
+    }
+}

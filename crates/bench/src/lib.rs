@@ -32,7 +32,12 @@
 //! | `ablation_idb` | bypass-only vs combined (IDB contribution) |
 //! | `ablation_perceptron_size` | table-size/history sensitivity |
 
+pub mod harness;
+
 use sipt_sim::Condition;
+use sipt_telemetry::json::Json;
+use sipt_telemetry::report;
+use std::path::PathBuf;
 
 /// Run scale selected on the command line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,14 +51,18 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Parse from the process arguments (`quick` / `full`; anything else —
-    /// including nothing — is the default scale).
+    /// Parse from the process arguments: the first `quick` / `full`
+    /// argument wins (flags like `--json` are skipped); no scale argument
+    /// means the default scale.
     pub fn from_args() -> Self {
-        match std::env::args().nth(1).as_deref() {
-            Some("quick") => Scale::Quick,
-            Some("full") => Scale::Full,
-            _ => Scale::Default,
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "quick" => return Scale::Quick,
+                "full" => return Scale::Full,
+                _ => {}
+            }
         }
+        Scale::Default
     }
 
     /// The single-core simulation condition for this scale.
@@ -104,6 +113,46 @@ pub fn header(artifact: &str, paper_summary: &str) {
     println!("== {artifact} ==");
     println!("paper: {paper_summary}");
     println!();
+}
+
+/// Command-line state shared by every figure/table binary: the run scale
+/// and whether a machine-readable report was requested (`--json` argument
+/// or `SIPT_JSON=1`).
+#[derive(Debug, Clone, Copy)]
+pub struct Cli {
+    /// Run scale (`quick` / default / `full`).
+    pub scale: Scale,
+    /// Whether to write `results/<name>.json`.
+    pub json: bool,
+}
+
+impl Cli {
+    /// Parse scale and JSON switch from the process arguments/environment.
+    pub fn from_args() -> Self {
+        Self { scale: Scale::from_args(), json: report::json_requested() }
+    }
+
+    /// When JSON was requested, wrap `payload` in the standard report
+    /// envelope and write it to `results/<name>.json` (the directory is
+    /// overridable with `SIPT_RESULTS_DIR`). Returns the written path, or
+    /// `None` when JSON is off. Failures print to stderr rather than
+    /// panicking — the text output on stdout is already complete.
+    pub fn emit_json(&self, name: &str, payload: Json) -> Option<PathBuf> {
+        if !self.json {
+            return None;
+        }
+        let envelope = report::envelope(name, payload);
+        match report::write_report(&report::results_dir(), name, &envelope) {
+            Ok(path) => {
+                eprintln!("wrote {}", path.display());
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("failed to write {name}.json: {e}");
+                None
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,76 @@
+//! Integration test for the `--json` machine-readable report switch:
+//! runs the `fig01` binary end-to-end and validates the written report.
+
+use sipt_telemetry::json::{self, Json};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn temp_results_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sipt-json-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+#[test]
+fn fig01_json_flag_writes_valid_enveloped_report() {
+    let dir = temp_results_dir("fig01");
+    let out = Command::new(env!("CARGO_BIN_EXE_fig01"))
+        .arg("quick")
+        .arg("--json")
+        .env("SIPT_RESULTS_DIR", &dir)
+        .output()
+        .expect("fig01 runs");
+    assert!(out.status.success(), "fig01 --json failed: {:?}", out);
+
+    // The human-readable table still goes to stdout.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Fig 1"), "text output kept: {stdout}");
+
+    let path = dir.join("fig01.json");
+    let text = std::fs::read_to_string(&path).expect("fig01.json written");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let parsed = json::parse(&text).expect("valid JSON");
+    assert_eq!(parsed.path("schema_version").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(parsed.path("artifact").and_then(Json::as_str), Some("fig01"));
+    let rows = parsed.path("payload.rows").and_then(Json::as_arr).expect("rows array");
+    assert!(!rows.is_empty(), "payload.rows must not be empty");
+    for row in rows {
+        for key in ["kib", "ways", "min", "mean", "max"] {
+            assert!(
+                row.get(key).and_then(Json::as_f64).is_some(),
+                "row missing numeric {key}: {row:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sipt_json_env_variable_also_enables_reports() {
+    let dir = temp_results_dir("fig01-env");
+    let out = Command::new(env!("CARGO_BIN_EXE_fig01"))
+        .arg("quick")
+        .env("SIPT_JSON", "1")
+        .env("SIPT_RESULTS_DIR", &dir)
+        .output()
+        .expect("fig01 runs");
+    assert!(out.status.success());
+    let written = dir.join("fig01.json").exists();
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(written, "SIPT_JSON=1 must write results/fig01.json");
+}
+
+#[test]
+fn no_json_switch_means_no_report() {
+    let dir = temp_results_dir("fig01-off");
+    let out = Command::new(env!("CARGO_BIN_EXE_fig01"))
+        .arg("quick")
+        .env("SIPT_JSON", "0")
+        .env("SIPT_RESULTS_DIR", &dir)
+        .output()
+        .expect("fig01 runs");
+    assert!(out.status.success());
+    let written = dir.join("fig01.json").exists();
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(!written, "without --json or SIPT_JSON, no report should be written");
+}

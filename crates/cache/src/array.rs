@@ -98,8 +98,7 @@ impl CacheArray {
             .find(|&w| self.ways[self.slot(set, w)].is_none())
             .unwrap_or_else(|| self.repl.victim(set));
         let slot = self.slot(set, way);
-        let evicted =
-            self.ways[slot].map(|old| Evicted { line: old.line, dirty: old.dirty });
+        let evicted = self.ways[slot].map(|old| Evicted { line: old.line, dirty: old.dirty });
         self.ways[slot] = Some(Line { line, dirty });
         self.repl.touch(set, way);
         evicted

@@ -50,7 +50,11 @@ pub struct CacheLevel {
 impl CacheLevel {
     /// Create an empty level with the given access latency (cycles).
     pub fn new(geometry: CacheGeometry, latency: u64, replacement: ReplacementKind) -> Self {
-        Self { array: CacheArray::new(geometry, replacement), latency, stats: LevelStats::default() }
+        Self {
+            array: CacheArray::new(geometry, replacement),
+            latency,
+            stats: LevelStats::default(),
+        }
     }
 
     /// Access latency in cycles.

@@ -4,8 +4,7 @@
 //! ablation points and because tree-PLRU's MRU-tracking is what the simple
 //! way predictor of §VII.A reads.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sipt_rng::{Rng, SeedableRng, StdRng};
 
 /// A replacement policy for one cache array.
 ///
@@ -53,9 +52,7 @@ impl ReplacementPolicy for TrueLru {
     }
 
     fn victim(&mut self, set: u64) -> u32 {
-        (0..self.ways)
-            .min_by_key(|&w| self.last_use[self.slot(set, w)])
-            .expect("at least one way")
+        (0..self.ways).min_by_key(|&w| self.last_use[self.slot(set, w)]).expect("at least one way")
     }
 
     fn mru_way(&self, set: u64) -> Option<u32> {

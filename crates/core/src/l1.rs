@@ -19,9 +19,11 @@
 
 use crate::config::{BypassKind, L1Config, L1Policy};
 use crate::outcome::{L1Access, SiptStats, SpeculationOutcome};
+use crate::telemetry::{AccessRecord, L1Telemetry};
 use sipt_cache::{CacheArray, Evicted, LineAddr, WayPredStats, WayPredictor, LINE_SHIFT};
 use sipt_mem::{Translation, VirtAddr, PAGE_SHIFT};
 use sipt_predictors::{CounterPredictor, IndexDeltaBuffer, PerceptronPredictor};
+use sipt_telemetry::SpecEventKind;
 
 /// The bypass predictor behind a SIPT L1: either implementation exposes
 /// the same predict/update pair.
@@ -45,6 +47,15 @@ impl BypassPredictor {
             BypassPredictor::Counter(c) => c.update(pc, unchanged),
         }
     }
+
+    /// Confidence margin of the most recent prediction for `pc` (call
+    /// between `predict` and `update`).
+    fn margin(&self, pc: u64) -> u64 {
+        match self {
+            BypassPredictor::Perceptron(p) => p.last_margin(),
+            BypassPredictor::Counter(c) => c.margin(pc),
+        }
+    }
 }
 
 /// The SIPT-capable L1 data cache.
@@ -56,6 +67,7 @@ pub struct SiptL1 {
     bypass: BypassPredictor,
     idb: IndexDeltaBuffer,
     stats: SiptStats,
+    telemetry: Option<Box<L1Telemetry>>,
 }
 
 impl SiptL1 {
@@ -74,15 +86,34 @@ impl SiptL1 {
                 .way_prediction
                 .then(|| WayPredictor::new(geometry.sets(), geometry.ways)),
             bypass: match config.bypass {
-                BypassKind::Perceptron =>
-                    BypassPredictor::Perceptron(PerceptronPredictor::new(config.perceptron)),
-                BypassKind::Counter =>
-                    BypassPredictor::Counter(CounterPredictor::new(config.counter)),
+                BypassKind::Perceptron => {
+                    BypassPredictor::Perceptron(PerceptronPredictor::new(config.perceptron))
+                }
+                BypassKind::Counter => {
+                    BypassPredictor::Counter(CounterPredictor::new(config.counter))
+                }
             },
             idb: IndexDeltaBuffer::new(config.idb_config()),
             config,
             stats: SiptStats::default(),
+            telemetry: None,
         }
+    }
+
+    /// Attach per-access telemetry (metrics + event trace retaining at
+    /// most `trace_capacity` events). Replaces any existing attachment.
+    pub fn attach_telemetry(&mut self, trace_capacity: usize) {
+        self.telemetry = Some(Box::new(L1Telemetry::new(trace_capacity)));
+    }
+
+    /// Borrow the attached telemetry, if any.
+    pub fn telemetry(&self) -> Option<&L1Telemetry> {
+        self.telemetry.as_deref()
+    }
+
+    /// Detach and return the telemetry bundle (e.g. at end of run).
+    pub fn take_telemetry(&mut self) -> Option<L1Telemetry> {
+        self.telemetry.take().map(|b| *b)
     }
 
     /// The configuration in force.
@@ -117,6 +148,11 @@ impl SiptL1 {
         let l1 = self.config.latency;
 
         // --- speculation decision & classification -----------------------
+        // `margin`/`used_idb`/`observed_delta` feed the optional telemetry
+        // attachment; they cost a few register writes when it is off.
+        let mut margin = 0u64;
+        let mut used_idb = false;
+        let mut observed_delta = None;
         let (outcome, speculated_bits) = match self.config.policy {
             L1Policy::Vipt | L1Policy::Ideal | L1Policy::Pipt => {
                 (SpeculationOutcome::NotSpeculative, pa_bits)
@@ -131,6 +167,7 @@ impl SiptL1 {
             ),
             L1Policy::SiptBypass => {
                 let speculate = self.bypass.predict(pc);
+                margin = self.bypass.margin(pc);
                 self.bypass.update(pc, unchanged);
                 let outcome = match (speculate, unchanged) {
                     (true, true) => SpeculationOutcome::CorrectSpeculation,
@@ -142,6 +179,8 @@ impl SiptL1 {
             }
             L1Policy::SiptCombined => {
                 let speculate = self.bypass.predict(pc);
+                margin = self.bypass.margin(pc);
+                used_idb = !speculate;
                 let bits = if speculate {
                     va_bits
                 } else if n == 1 {
@@ -153,7 +192,9 @@ impl SiptL1 {
                 };
                 self.bypass.update(pc, unchanged);
                 if n > 1 {
-                    self.idb.update(pc, translation.index_delta(va, n));
+                    let observed = translation.index_delta(va, n);
+                    observed_delta = Some(observed);
+                    self.idb.update(pc, observed);
                 }
                 let outcome = if speculate {
                     if unchanged {
@@ -199,7 +240,6 @@ impl SiptL1 {
             Self::set_from_bits(va, pa_bits, self.array.geometry().index_bits()),
             "home set must equal the offset-bits index combined with PA index bits"
         );
-        let _ = speculated_bits; // timing/energy effect fully captured above
         let hit = match self.array.lookup(home_set, pa_line) {
             Some(way) => {
                 if write {
@@ -221,6 +261,29 @@ impl SiptL1 {
 
         let access = L1Access { hit, latency, array_reads, outcome };
         self.stats.record(&access);
+
+        // --- telemetry ----------------------------------------------------
+        if let Some(t) = &mut self.telemetry {
+            let kind = match outcome {
+                SpeculationOutcome::CorrectSpeculation => SpecEventKind::FastHit,
+                SpeculationOutcome::ExtraAccess if used_idb => SpecEventKind::IdbMispredict,
+                SpeculationOutcome::ExtraAccess => SpecEventKind::Replay,
+                SpeculationOutcome::CorrectBypass => SpecEventKind::BypassWait,
+                SpeculationOutcome::OpportunityLoss => SpecEventKind::OpportunityLoss,
+                SpeculationOutcome::IdbHit => SpecEventKind::IdbCorrected,
+                SpeculationOutcome::NotSpeculative => SpecEventKind::NotSpeculative,
+            };
+            t.record(&AccessRecord {
+                pc,
+                kind,
+                speculated_bits,
+                actual_bits: pa_bits,
+                latency,
+                margin,
+                hit,
+                observed_delta,
+            });
+        }
         access
     }
 
@@ -261,11 +324,16 @@ impl SiptL1 {
         self.way_pred.as_ref().map(WayPredictor::stats)
     }
 
-    /// Reset all statistics (contents and predictor state kept).
+    /// Reset all statistics (contents and predictor state kept). Any
+    /// attached telemetry restarts empty at the same trace capacity, so
+    /// post-warmup metrics cover the measured interval only.
     pub fn reset_stats(&mut self) {
         self.stats = SiptStats::default();
         if let Some(wp) = &mut self.way_pred {
             wp.reset_stats();
+        }
+        if let Some(t) = &mut self.telemetry {
+            **t = L1Telemetry::new(t.tracer.capacity());
         }
     }
 
@@ -412,10 +480,7 @@ mod tests {
             l1.access(0x44, va, xlate(va, vpn + 3), TLB_LAT, false);
         }
         let s = l1.stats();
-        assert!(
-            s.fast_fraction() > 0.9,
-            "constant-delta region must be predicted: {s:?}"
-        );
+        assert!(s.fast_fraction() > 0.9, "constant-delta region must be predicted: {s:?}");
         assert!(s.idb_hits > 150, "IDB hits = {}", s.idb_hits);
     }
 
@@ -482,6 +547,94 @@ mod tests {
         let va_ok = VirtAddr::new(0x5000);
         let ok = l1.access(0, va_ok, xlate(va_ok, 0x5), TLB_LAT, false);
         assert_eq!(ok.latency, 2);
+    }
+
+    #[test]
+    fn telemetry_classifies_naive_outcomes() {
+        let mut l1 = SiptL1::new(sipt_32k_2w().with_policy(L1Policy::SiptNaive));
+        l1.attach_telemetry(64);
+        let va_ok = VirtAddr::new(0x5000);
+        let va_bad = VirtAddr::new(0x1000);
+        l1.access(0x10, va_ok, xlate(va_ok, 0x5), TLB_LAT, false);
+        l1.access(0x20, va_bad, xlate(va_bad, 0b10), TLB_LAT, false);
+        let t = l1.telemetry().unwrap();
+        assert_eq!(t.metrics.counter("l1.accesses"), 2);
+        assert_eq!(t.metrics.counter("l1.fast_hit"), 1);
+        assert_eq!(t.metrics.counter("l1.replay"), 1);
+        assert_eq!(t.metrics.histogram("l1.latency").unwrap().count(), 2);
+        // The replay's latency lands in the replay histogram.
+        let replays = t.metrics.histogram("l1.replay_latency").unwrap();
+        assert_eq!(replays.count(), 1);
+        assert_eq!(replays.max(), Some(4)); // max(2,2) + 2
+                                            // Events carry the speculated-vs-actual bits.
+        let events: Vec<_> = t.tracer.iter().collect();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].speculated_bits, 0b01);
+        assert_eq!(events[1].actual_bits, 0b10);
+        assert_eq!(events[1].kind, SpecEventKind::Replay);
+    }
+
+    #[test]
+    fn telemetry_distinguishes_idb_events_from_replays() {
+        let mut l1 = SiptL1::new(sipt_32k_2w()); // combined, 2 bits
+        l1.attach_telemetry(1024);
+        // Constant-delta region: the IDB learns PFN = VPN + 3.
+        for i in 0..100u64 {
+            let vpn = 0x100 + (i % 16);
+            let va = VirtAddr::new(vpn << PAGE_SHIFT | 0x80);
+            l1.access(0x44, va, xlate(va, vpn + 3), TLB_LAT, false);
+        }
+        let t = l1.telemetry().unwrap();
+        assert!(t.metrics.counter("l1.idb_corrected") > 50, "IDB conversions must be traced");
+        assert_eq!(
+            t.metrics.counter("l1.idb_corrected"),
+            l1.stats().idb_hits,
+            "telemetry and SiptStats must agree"
+        );
+        // The observed-delta histogram saw the constant delta 3.
+        let deltas = t.metrics.histogram("l1.idb_delta").unwrap();
+        assert_eq!(deltas.count(), 100);
+        assert_eq!(deltas.min(), Some(3));
+        assert_eq!(deltas.max(), Some(3));
+        // Margins were recorded for every speculative access.
+        assert_eq!(t.metrics.histogram("l1.margin").unwrap().count(), 100);
+    }
+
+    #[test]
+    fn telemetry_counts_bypass_and_opportunity_loss() {
+        let mut l1 = SiptL1::new(sipt_32k_2w().with_policy(L1Policy::SiptBypass));
+        l1.attach_telemetry(0); // metrics only, no event retention
+        let va_ok = VirtAddr::new(0x5000);
+        let va_bad = VirtAddr::new(0x1000);
+        for _ in 0..100 {
+            l1.access(0x10, va_ok, xlate(va_ok, 0x5), TLB_LAT, false);
+            l1.access(0x20, va_bad, xlate(va_bad, 0b10), TLB_LAT, false);
+        }
+        let t = l1.telemetry().unwrap();
+        let s = l1.stats();
+        assert_eq!(t.metrics.counter("l1.bypass_wait"), s.correct_bypass);
+        assert_eq!(t.metrics.counter("l1.opportunity_loss"), s.opportunity_loss);
+        assert_eq!(t.metrics.counter("l1.fast_hit"), s.correct_speculation);
+        assert!(t.tracer.is_empty(), "capacity 0 retains nothing");
+        assert_eq!(t.tracer.recorded(), 200);
+    }
+
+    #[test]
+    fn telemetry_resets_with_stats_but_survives_detach() {
+        let mut l1 = SiptL1::new(sipt_32k_2w());
+        l1.attach_telemetry(16);
+        let va = VirtAddr::new(0x5040);
+        l1.access(0, va, xlate(va, 0x5), TLB_LAT, false);
+        assert_eq!(l1.telemetry().unwrap().accesses(), 1);
+        l1.reset_stats();
+        assert_eq!(l1.telemetry().unwrap().accesses(), 0, "warmup interval discarded");
+        assert_eq!(l1.telemetry().unwrap().tracer.capacity(), 16, "capacity preserved");
+        l1.access(0, va, xlate(va, 0x5), TLB_LAT, false);
+        let taken = l1.take_telemetry().unwrap();
+        assert_eq!(taken.accesses(), 1);
+        assert!(l1.telemetry().is_none());
+        // With telemetry detached the access path still works.
+        l1.access(0, va, xlate(va, 0x5), TLB_LAT, false);
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! Per-access observability for [`SiptL1`](crate::SiptL1).
+//!
+//! SIPT's evaluation lives in distributions, not just totals: how the
+//! replay penalty is distributed, how confident the perceptron was when
+//! it was wrong, what VA→PA index deltas the IDB actually sees. This
+//! module bundles a [`MetricsRegistry`] and an [`EventTracer`] into one
+//! optional attachment ([`SiptL1::attach_telemetry`]) so the hot path
+//! stays branch-cheap when observability is off (a single `Option`
+//! check) and fully instrumented when it is on.
+//!
+//! Metric names emitted (all under the `l1.` prefix):
+//!
+//! - counters: `l1.accesses`, `l1.hits`, plus one per
+//!   [`SpecEventKind`] (`l1.fast_hit`, `l1.replay`, `l1.bypass_wait`,
+//!   `l1.opportunity_loss`, `l1.idb_corrected`, `l1.idb_mispredict`,
+//!   `l1.not_speculative`);
+//! - histograms: `l1.latency` (every access), `l1.replay_latency`
+//!   (replays and IDB mispredictions only), `l1.margin` (bypass-predictor
+//!   confidence of speculative accesses), `l1.idb_delta` (observed VA→PA
+//!   index-bit delta magnitude).
+//!
+//! [`SiptL1::attach_telemetry`]: crate::SiptL1::attach_telemetry
+
+use sipt_telemetry::{EventTracer, MetricsRegistry, SpecEvent, SpecEventKind};
+
+/// The static counter name for each event kind (`l1.<wire name>`).
+fn counter_name(kind: SpecEventKind) -> &'static str {
+    match kind {
+        SpecEventKind::FastHit => "l1.fast_hit",
+        SpecEventKind::Replay => "l1.replay",
+        SpecEventKind::BypassWait => "l1.bypass_wait",
+        SpecEventKind::OpportunityLoss => "l1.opportunity_loss",
+        SpecEventKind::IdbCorrected => "l1.idb_corrected",
+        SpecEventKind::IdbMispredict => "l1.idb_mispredict",
+        SpecEventKind::NotSpeculative => "l1.not_speculative",
+    }
+}
+
+/// One L1 access, as seen by telemetry (built by `SiptL1::access`).
+#[derive(Debug, Clone, Copy)]
+pub struct AccessRecord {
+    /// Program counter of the memory operation.
+    pub pc: u64,
+    /// Speculation event class of the access.
+    pub kind: SpecEventKind,
+    /// Index bits the cache indexed with (speculated or corrected).
+    pub speculated_bits: u64,
+    /// Post-translation physical index bits.
+    pub actual_bits: u64,
+    /// Latency the core observed, in cycles.
+    pub latency: u64,
+    /// Bypass-predictor confidence margin (0 when not applicable).
+    pub margin: u64,
+    /// Whether the demand probe hit.
+    pub hit: bool,
+    /// Observed VA→PA index delta, when the policy tracks one.
+    pub observed_delta: Option<u64>,
+}
+
+/// Metrics + event trace attached to one [`SiptL1`](crate::SiptL1).
+#[derive(Debug)]
+pub struct L1Telemetry {
+    /// Named counters/histograms (see module docs for the name schema).
+    pub metrics: MetricsRegistry,
+    /// Ring buffer of recent speculation events.
+    pub tracer: EventTracer,
+    /// Access ordinal, used as the event "cycle" — the L1 has no cycle
+    /// clock of its own; callers that do can correlate via the ordinal.
+    ordinal: u64,
+}
+
+impl L1Telemetry {
+    /// Create a telemetry bundle retaining at most `trace_capacity`
+    /// events (0 disables event retention but keeps metrics).
+    pub fn new(trace_capacity: usize) -> Self {
+        Self {
+            metrics: MetricsRegistry::new(),
+            tracer: EventTracer::new(trace_capacity),
+            ordinal: 0,
+        }
+    }
+
+    /// Accesses recorded so far.
+    pub fn accesses(&self) -> u64 {
+        self.ordinal
+    }
+
+    /// Record one access (called from `SiptL1::access`).
+    pub(crate) fn record(&mut self, rec: &AccessRecord) {
+        self.ordinal += 1;
+        self.metrics.incr("l1.accesses");
+        if rec.hit {
+            self.metrics.incr("l1.hits");
+        }
+        self.metrics.incr(counter_name(rec.kind));
+        self.metrics.observe("l1.latency", rec.latency);
+        match rec.kind {
+            SpecEventKind::Replay | SpecEventKind::IdbMispredict => {
+                self.metrics.observe("l1.replay_latency", rec.latency);
+            }
+            SpecEventKind::FastHit
+            | SpecEventKind::BypassWait
+            | SpecEventKind::OpportunityLoss
+            | SpecEventKind::IdbCorrected
+            | SpecEventKind::NotSpeculative => {}
+        }
+        if rec.kind != SpecEventKind::NotSpeculative {
+            self.metrics.observe("l1.margin", rec.margin);
+        }
+        if let Some(delta) = rec.observed_delta {
+            self.metrics.observe("l1.idb_delta", delta);
+        }
+        self.tracer.push(SpecEvent {
+            cycle: self.ordinal,
+            pc: rec.pc,
+            kind: rec.kind,
+            speculated_bits: rec.speculated_bits,
+            actual_bits: rec.actual_bits,
+            latency: rec.latency,
+            margin: rec.margin,
+        });
+    }
+}

@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use sipt_core::{
-    baseline_32k_8w_vipt, sipt_128k_4w, sipt_32k_2w, sipt_32k_4w, sipt_64k_4w, L1Config,
-    L1Policy, SiptL1, SpeculationOutcome,
+    baseline_32k_8w_vipt, sipt_128k_4w, sipt_32k_2w, sipt_32k_4w, sipt_64k_4w, L1Config, L1Policy,
+    SiptL1, SpeculationOutcome,
 };
 use sipt_mem::{PageSize, PhysAddr, PhysFrameNum, Translation, VirtAddr, PAGE_SHIFT};
 

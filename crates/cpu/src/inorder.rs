@@ -150,8 +150,7 @@ mod tests {
                 _now: u64,
             ) -> crate::trace::MemResponse {
                 self.count += 1;
-                let lat =
-                    if self.count.is_multiple_of(self.miss_every) { 200 } else { self.hit };
+                let lat = if self.count.is_multiple_of(self.miss_every) { 200 } else { self.hit };
                 crate::trace::MemResponse::simple(lat)
             }
         }

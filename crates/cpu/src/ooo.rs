@@ -139,7 +139,8 @@ mod tests {
 
     #[test]
     fn ipc_approaches_width_on_alu_stream() {
-        let insts: Vec<Inst> = (0..6000).map(|i| Inst::alu(i, (i % 32) as u8, [None, None])).collect();
+        let insts: Vec<Inst> =
+            (0..6000).map(|i| Inst::alu(i, (i % 32) as u8, [None, None])).collect();
         let mut mem = FixedMemory { latency: 1 };
         let r = simulate_ooo(OooConfig::default(), insts, &mut mem);
         let ipc = r.ipc();
@@ -151,8 +152,13 @@ mod tests {
         // With a tiny ROB, independent long-latency loads can no longer
         // all overlap.
         let mut mem = FixedMemory { latency: 200 };
-        let big = simulate_ooo(OooConfig { rob: 192, ..OooConfig::default() }, loads(400, false), &mut mem);
-        let small = simulate_ooo(OooConfig { rob: 4, ..OooConfig::default() }, loads(400, false), &mut mem);
+        let big = simulate_ooo(
+            OooConfig { rob: 192, ..OooConfig::default() },
+            loads(400, false),
+            &mut mem,
+        );
+        let small =
+            simulate_ooo(OooConfig { rob: 4, ..OooConfig::default() }, loads(400, false), &mut mem);
         assert!(small.cycles > big.cycles * 2, "small {} big {}", small.cycles, big.cycles);
     }
 
@@ -214,8 +220,10 @@ mod tests {
     fn lower_l1_latency_speeds_up_pointer_chase() {
         // The core motivation experiment in miniature: dependent loads at
         // 4-cycle vs 2-cycle L1.
-        let four = simulate_ooo(OooConfig::default(), loads(500, true), &mut FixedMemory { latency: 4 });
-        let two = simulate_ooo(OooConfig::default(), loads(500, true), &mut FixedMemory { latency: 2 });
+        let four =
+            simulate_ooo(OooConfig::default(), loads(500, true), &mut FixedMemory { latency: 4 });
+        let two =
+            simulate_ooo(OooConfig::default(), loads(500, true), &mut FixedMemory { latency: 2 });
         let speedup = four.cycles as f64 / two.cycles as f64;
         assert!(speedup > 1.5, "speedup = {speedup}");
     }

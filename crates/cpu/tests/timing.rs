@@ -9,11 +9,18 @@ fn mixed_trace(n: usize, mem_every: usize) -> Vec<Inst> {
     (0..n)
         .map(|i| {
             if i % mem_every == 0 {
-                Inst::load(0x1000 + (i % 32) as u64 * 4, (i % 8) as u8, None,
-                           VirtAddr::new(0x10_0000 + (i as u64 * 64) % (1 << 20)))
+                Inst::load(
+                    0x1000 + (i % 32) as u64 * 4,
+                    (i % 8) as u8,
+                    None,
+                    VirtAddr::new(0x10_0000 + (i as u64 * 64) % (1 << 20)),
+                )
             } else {
-                Inst::alu(0x2000 + (i % 16) as u64 * 4, (8 + i % 8) as u8,
-                          [Some(((i + 1) % 8) as u8), None])
+                Inst::alu(
+                    0x2000 + (i % 16) as u64 * 4,
+                    (8 + i % 8) as u8,
+                    [Some(((i + 1) % 8) as u8), None],
+                )
             }
         })
         .collect()

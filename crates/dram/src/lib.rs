@@ -4,11 +4,13 @@
 //! # sipt-dram — DDR3-style main-memory timing model
 //!
 //! Replaces the paper's DRAMSim2 backend with a first-order bank/row-buffer
-//! model: the address is interleaved across channels and banks, each bank
-//! keeps one open row, and an access costs a row *hit*, *closed* (empty
-//! row buffer) or *conflict* (precharge + activate) latency plus any
-//! queueing delay while the bank is busy. Defaults model the paper's
-//! "8-bank, 4-channel DDR3, 16 GiB" at a 3 GHz core clock.
+//! model: addresses use the open-page `row:bank:channel:column` layout
+//! (row-offset bits lowest, so contiguous extents fill one bank's row
+//! before moving to the next channel), each bank keeps one open row, and
+//! an access costs a row *hit*, *closed* (empty row buffer) or *conflict*
+//! (precharge + activate) latency plus any queueing delay while the bank
+//! is busy. Defaults model the paper's "8-bank, 4-channel DDR3, 16 GiB"
+//! at a 3 GHz core clock.
 //!
 //! ```
 //! use sipt_dram::{Dram, DramConfig};
@@ -16,7 +18,7 @@
 //!
 //! let mut dram = Dram::new(DramConfig::default());
 //! let first = dram.access(LineAddr(0), false, 0);
-//! // Line 32 lands in the same bank and row (4 channels × 8 banks):
+//! // Line 32 is still inside the same 8 KiB row (128 lines per row):
 //! let second = dram.access(LineAddr(32), false, 1000);
 //! assert!(second < first, "row-buffer hit must be faster");
 //! ```
@@ -140,19 +142,25 @@ impl Dram {
         &self.config
     }
 
-    /// Map a line address to `(flat bank index, row)`. Channel bits are the
-    /// lowest line-address bits (maximizing channel parallelism for
-    /// streams), bank bits next, row above the row-offset bits.
+    /// Map a line address to `(flat bank index, row)` with the classic
+    /// open-page (`row:bank:channel:column`) layout: the row-offset
+    /// (column) bits are the *lowest* line-address bits, so a contiguous
+    /// physical extent stays inside one bank's open row for a full
+    /// `row_bytes`; channel and bank bits sit above it, interleaving
+    /// consecutive rows across channels, then banks. This is what lets
+    /// streaming access patterns harvest row-buffer hits — a
+    /// channel-bits-lowest mapping would scatter sequential lines across
+    /// every bank and destroy row locality for streams.
     fn map(&self, line: LineAddr) -> (usize, u64) {
         let ch_bits = self.config.channels.trailing_zeros();
         let bank_bits = self.config.banks_per_channel.trailing_zeros();
         let lines_per_row = self.config.row_bytes / sipt_cache::LINE_SIZE;
-        let row_bits = lines_per_row.trailing_zeros();
+        let col_bits = lines_per_row.trailing_zeros();
 
         let addr = line.0;
-        let channel = addr & (self.config.channels as u64 - 1);
-        let bank = (addr >> ch_bits) & (self.config.banks_per_channel as u64 - 1);
-        let row = addr >> (ch_bits + bank_bits + row_bits);
+        let channel = (addr >> col_bits) & (self.config.channels as u64 - 1);
+        let bank = (addr >> (col_bits + ch_bits)) & (self.config.banks_per_channel as u64 - 1);
+        let row = addr >> (col_bits + ch_bits + bank_bits);
         ((channel * self.config.banks_per_channel as u64 + bank) as usize, row)
     }
 
@@ -211,8 +219,8 @@ mod tests {
         let mut d = dram();
         let cfg = *d.config();
         assert_eq!(d.access(LineAddr(0), false, 0), cfg.row_closed_latency);
-        // Next line in the same channel/bank/row: stride by
-        // channels*banks lines. Issue late enough that the bank is idle.
+        // A nearby line in the same row (column bits are lowest). Issue
+        // late enough that the bank is idle.
         let same_row = LineAddr((cfg.channels * cfg.banks_per_channel) as u64);
         assert_eq!(d.access(same_row, false, 10_000), cfg.row_hit_latency);
         assert_eq!(d.stats().row_hits, 1);
@@ -224,23 +232,32 @@ mod tests {
         let mut d = dram();
         let cfg = *d.config();
         d.access(LineAddr(0), false, 0);
-        // Same bank, different row: jump by a full row's worth of lines ×
-        // channel × bank interleave.
+        // Same bank, different row: step over the full channel × bank
+        // interleave (one row's worth of lines per bank in between).
         let lines_per_row = cfg.row_bytes / 64;
-        let far =
-            LineAddr(lines_per_row * (cfg.channels * cfg.banks_per_channel) as u64);
+        let far = LineAddr(lines_per_row * (cfg.channels * cfg.banks_per_channel) as u64);
         assert_eq!(d.access(far, false, 10_000), cfg.row_conflict_latency);
         assert_eq!(d.stats().row_conflicts, 1);
     }
 
     #[test]
-    fn adjacent_lines_spread_over_channels() {
+    fn consecutive_rows_spread_over_channels() {
         let d = dram();
-        let mut banks = std::collections::HashSet::new();
+        let cfg = *d.config();
+        let lines_per_row = cfg.row_bytes / 64;
+        // Consecutive lines share a bank (open-page mapping) …
+        let mut same = std::collections::HashSet::new();
         for i in 0..4u64 {
-            banks.insert(d.map(LineAddr(i)).0);
+            same.insert(d.map(LineAddr(i)).0);
         }
-        assert_eq!(banks.len(), 4, "4 consecutive lines must hit 4 distinct channels");
+        assert_eq!(same.len(), 1, "lines within one row must share a bank");
+        // … while consecutive *rows* interleave across channels, then
+        // banks: 32 successive rows cover all 4×8 banks exactly once.
+        let mut banks = std::collections::HashSet::new();
+        for i in 0..(cfg.channels * cfg.banks_per_channel) as u64 {
+            banks.insert(d.map(LineAddr(i * lines_per_row)).0);
+        }
+        assert_eq!(banks.len(), 32, "row-stride sweep must visit every bank");
     }
 
     #[test]
@@ -259,8 +276,9 @@ mod tests {
         let mut d = dram();
         let cfg = *d.config();
         d.access(LineAddr(0), false, 0);
-        // Different channel: no queueing even at the same instant.
-        let lat = d.access(LineAddr(1), false, 0);
+        // Different channel (one row-stride away): no queueing even at
+        // the same instant.
+        let lat = d.access(LineAddr(cfg.row_bytes / 64), false, 0);
         assert_eq!(lat, cfg.row_closed_latency);
         assert_eq!(d.stats().queue_cycles, 0);
     }
@@ -270,7 +288,7 @@ mod tests {
         let mut d = dram();
         assert_eq!(d.stats().row_hit_rate(), 0.0);
         d.access(LineAddr(0), false, 0);
-        d.access(LineAddr(32), true, 10_000); // same bank+row (4ch×8banks)
+        d.access(LineAddr(32), true, 10_000); // same bank+row (line 32 < 128-line row)
         let s = d.stats();
         assert_eq!(s.reads, 1);
         assert_eq!(s.writes, 1);

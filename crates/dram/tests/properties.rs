@@ -40,8 +40,11 @@ fn closed_banks_count_once_each() {
     let cfg = DramConfig::default();
     let mut dram = Dram::new(cfg);
     let banks = (cfg.channels * cfg.banks_per_channel) as u64;
+    // One access per bank: stride by a full row (column bits are lowest
+    // in the open-page mapping, channel/bank bits sit above them).
+    let lines_per_row = cfg.row_bytes / 64;
     for i in 0..banks {
-        dram.access(LineAddr(i), false, i * 1000);
+        dram.access(LineAddr(i * lines_per_row), false, i * 1000);
     }
     assert_eq!(dram.stats().row_closed, banks);
     assert_eq!(dram.stats().row_hits, 0);

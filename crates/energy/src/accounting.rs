@@ -129,14 +129,10 @@ pub fn account(params: &EnergyParams, counts: &ActivityCounts) -> EnergyBreakdow
 
     debug_assert!(counts.l1_waypred_correct <= counts.l1_reads);
     let effective_l1_reads = counts.l1_reads as f64
-        - counts.l1_waypred_correct as f64 * (params.l1_ways as f64 - 1.0)
-            / params.l1_ways as f64;
+        - counts.l1_waypred_correct as f64 * (params.l1_ways as f64 - 1.0) / params.l1_ways as f64;
 
     let predictor = if params.has_predictor {
-        counts.l1_demand_accesses as f64
-            * BASELINE_L1_DYNAMIC_NJ
-            * PREDICTOR_DYNAMIC_FRACTION
-            * NJ
+        counts.l1_demand_accesses as f64 * BASELINE_L1_DYNAMIC_NJ * PREDICTOR_DYNAMIC_FRACTION * NJ
             + mw_to_j(BASELINE_L1_STATIC_MW * PREDICTOR_STATIC_FRACTION)
     } else {
         0.0
@@ -145,9 +141,7 @@ pub fn account(params: &EnergyParams, counts: &ActivityCounts) -> EnergyBreakdow
     EnergyBreakdown {
         l1_dynamic: effective_l1_reads * params.l1.dynamic_nj * NJ,
         l1_static: mw_to_j(params.l1.static_mw),
-        l2_dynamic: counts.l2_accesses as f64
-            * params.l2.map_or(0.0, |l| l.dynamic_nj)
-            * NJ,
+        l2_dynamic: counts.l2_accesses as f64 * params.l2.map_or(0.0, |l| l.dynamic_nj) * NJ,
         l2_static: mw_to_j(params.l2.map_or(0.0, |l| l.static_mw)),
         llc_dynamic: counts.llc_accesses as f64 * params.llc.dynamic_nj * NJ,
         llc_static: mw_to_j(params.llc.static_mw),

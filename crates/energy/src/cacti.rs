@@ -112,8 +112,8 @@ pub fn estimate(config: ArrayConfig) -> ArrayEstimate {
     let calibrated = (config.read_ports == 1 && config.banks == 1)
         .then(|| TABLE2.iter().find(|&&(c, w, ..)| c == kib && w == config.ways))
         .flatten();
-    let access_ns =
-        base_access_ns(config.capacity, config.ways) * port_bank_factor(config.read_ports, config.banks);
+    let access_ns = base_access_ns(config.capacity, config.ways)
+        * port_bank_factor(config.read_ports, config.banks);
     match calibrated {
         Some(&(_, _, cycles, nj, mw)) => ArrayEstimate {
             access_ns: cycles as f64 / CORE_GHZ,
@@ -126,8 +126,7 @@ pub fn estimate(config: ArrayConfig) -> ArrayEstimate {
             latency_cycles: (access_ns * CORE_GHZ).ceil() as u64,
             dynamic_nj: base_dynamic_nj(config.capacity, config.ways)
                 * port_bank_factor(config.read_ports, config.banks),
-            static_mw: base_static_mw(config.capacity, config.ways)
-                * config.read_ports as f64,
+            static_mw: base_static_mw(config.capacity, config.ways) * config.read_ports as f64,
         },
     }
 }

@@ -310,10 +310,7 @@ mod tests {
         assert_eq!(va.align_up(PageSize::Base4K).raw(), 0x2000);
         assert!(VirtAddr::new(0x20_0000).is_aligned(PageSize::Huge2M));
         assert!(!VirtAddr::new(0x10_0000).is_aligned(PageSize::Huge2M));
-        assert_eq!(
-            VirtAddr::new(0x20_0000).align_up(PageSize::Huge2M).raw(),
-            0x20_0000
-        );
+        assert_eq!(VirtAddr::new(0x20_0000).align_up(PageSize::Huge2M).raw(), 0x20_0000);
     }
 
     #[test]

@@ -8,9 +8,7 @@
 //! paper's sensitivity studies (THP off, fragmented, fully scattered) can
 //! be reproduced by swapping the policy rather than patching the OS model.
 
-use crate::addr::{
-    PageSize, Translation, VirtAddr, VirtPageNum, PAGES_PER_HUGE_PAGE, PAGE_SIZE,
-};
+use crate::addr::{PageSize, Translation, VirtAddr, VirtPageNum, PAGES_PER_HUGE_PAGE, PAGE_SIZE};
 use crate::buddy::{BuddyAllocator, FrameBlock, HUGE_PAGE_ORDER};
 use crate::page_table::PageTable;
 use crate::MemError;
@@ -100,7 +98,7 @@ pub struct AddressSpace {
     shared_regions: std::collections::BTreeSet<u64>,
     next_va: u64,
     stats: AddressSpaceStats,
-    rng: rand::rngs::StdRng,
+    rng: sipt_rng::StdRng,
 }
 
 /// Base of the simulated user virtual address range.
@@ -111,7 +109,7 @@ impl AddressSpace {
     /// Placement randomness (only used by [`PlacementPolicy::Scattered`])
     /// is seeded from the ASID so runs are deterministic.
     pub fn new(asid: u16, policy: PlacementPolicy) -> Self {
-        use rand::SeedableRng;
+        use sipt_rng::SeedableRng;
         Self {
             asid,
             policy,
@@ -120,7 +118,7 @@ impl AddressSpace {
             shared_regions: std::collections::BTreeSet::new(),
             next_va: VA_BASE,
             stats: AddressSpaceStats::default(),
-            rng: rand::rngs::StdRng::seed_from_u64(0x51B7_0000 + asid as u64),
+            rng: sipt_rng::StdRng::seed_from_u64(0x51B7_0000 + asid as u64),
         }
     }
 
@@ -224,11 +222,8 @@ impl AddressSpace {
             }
             // Bulk-allocate the span up to the next huge boundary (or the
             // region end) in maximal blocks, mapping consecutively.
-            let next_boundary = if thp {
-                ((vpn / PAGES_PER_HUGE_PAGE) + 1) * PAGES_PER_HUGE_PAGE
-            } else {
-                end
-            };
+            let next_boundary =
+                if thp { ((vpn / PAGES_PER_HUGE_PAGE) + 1) * PAGES_PER_HUGE_PAGE } else { end };
             let span = next_boundary.min(end) - vpn;
             let blocks = phys.alloc_bulk(span)?;
             for block in blocks {
@@ -325,10 +320,7 @@ impl AddressSpace {
         let src_first = VirtPageNum::containing(src_region.start);
         for i in 0..src_region.pages {
             let vpn = src_first + i;
-            let t = src
-                .page_table
-                .translate(vpn.base())
-                .ok_or(MemError::NotMapped { vpn })?;
+            let t = src.page_table.translate(vpn.base()).ok_or(MemError::NotMapped { vpn })?;
             frames.push(t.pfn);
         }
         let start_va = VirtAddr::new(self.next_va).align_up(PageSize::Base4K);
@@ -378,10 +370,9 @@ impl AddressSpace {
 
     fn free_mapping_frames(phys: &mut BuddyAllocator, size: PageSize, first_pfn: u64) {
         match size {
-            PageSize::Base4K => phys.free(FrameBlock {
-                start: crate::addr::PhysFrameNum::new(first_pfn),
-                order: 0,
-            }),
+            PageSize::Base4K => {
+                phys.free(FrameBlock { start: crate::addr::PhysFrameNum::new(first_pfn), order: 0 })
+            }
             PageSize::Huge2M => phys.free(FrameBlock {
                 start: crate::addr::PhysFrameNum::new(first_pfn),
                 order: HUGE_PAGE_ORDER,
@@ -401,11 +392,7 @@ impl AddressSpace {
 
     /// The region containing `va`, if any.
     pub fn region_containing(&self, va: VirtAddr) -> Option<Region> {
-        self.regions
-            .range(..=va.raw())
-            .next_back()
-            .map(|(_, r)| *r)
-            .filter(|r| r.contains(va))
+        self.regions.range(..=va.raw()).next_back().map(|(_, r)| *r).filter(|r| r.contains(va))
     }
 
     /// Iterate over live regions in ascending address order.

@@ -14,7 +14,7 @@
 use crate::addr::PhysFrameNum;
 use crate::indexed_set::IndexedSet;
 use crate::MemError;
-use rand::Rng;
+use sipt_rng::Rng;
 
 /// Largest block order managed by the allocator (2^10 pages = 4 MiB),
 /// matching Linux's `MAX_ORDER` free-list span of 1..=1024 pages described
@@ -404,9 +404,8 @@ impl BuddyAllocator {
         if self.free_frames == 0 {
             return 0.0;
         }
-        let usable: u64 = (j..=MAX_ORDER)
-            .map(|i| (1u64 << i) * self.free_lists[i as usize].len() as u64)
-            .sum();
+        let usable: u64 =
+            (j..=MAX_ORDER).map(|i| (1u64 << i) * self.free_lists[i as usize].len() as u64).sum();
         (self.free_frames - usable) as f64 / self.free_frames as f64
     }
 }
@@ -415,8 +414,7 @@ impl BuddyAllocator {
 mod tests {
     use super::*;
     use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use sipt_rng::{SeedableRng, StdRng};
 
     #[test]
     fn fresh_allocator_is_fully_free_in_max_blocks() {
@@ -431,13 +429,8 @@ mod tests {
     fn non_power_of_two_memory_is_fully_covered() {
         let b = BuddyAllocator::new(1000);
         assert_eq!(b.free_frames(), 1000);
-        let total: u64 = b
-            .stats()
-            .free_blocks_per_order
-            .iter()
-            .enumerate()
-            .map(|(o, k)| (1u64 << o) * k)
-            .sum();
+        let total: u64 =
+            b.stats().free_blocks_per_order.iter().enumerate().map(|(o, k)| (1u64 << o) * k).sum();
         assert_eq!(total, 1000);
     }
 

@@ -8,7 +8,7 @@
 
 use crate::buddy::{BuddyAllocator, FrameBlock};
 use crate::MemError;
-use rand::Rng;
+use sipt_rng::Rng;
 
 /// Frames pinned by the fragmentation injector. They play the role of the
 /// long-running co-tenant processes that shattered memory; release them with
@@ -108,16 +108,14 @@ pub const PAPER_TARGET_FU: f64 = 0.95;
 mod tests {
     use super::*;
     use crate::buddy::HUGE_PAGE_ORDER;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use sipt_rng::{SeedableRng, StdRng};
 
     #[test]
     fn fragmentation_reaches_paper_target() {
         let mut phys = BuddyAllocator::new(1 << 15); // 128 MiB
         let mut rng = StdRng::seed_from_u64(42);
         let hold =
-            fragment_to_target(&mut phys, 0.5, HUGE_PAGE_ORDER, PAPER_TARGET_FU, &mut rng)
-                .unwrap();
+            fragment_to_target(&mut phys, 0.5, HUGE_PAGE_ORDER, PAPER_TARGET_FU, &mut rng).unwrap();
         let fu = phys.unusable_free_space_index(HUGE_PAGE_ORDER);
         assert!(fu > PAPER_TARGET_FU, "Fu(9) = {fu}");
         // Half of memory is still free — fragmentation, not exhaustion.

@@ -84,7 +84,9 @@ impl PageTable {
                 self.stats.base_mappings += 1;
             }
             PageSize::Huge2M => {
-                if !vpn.raw().is_multiple_of(PAGES_PER_HUGE_PAGE) || !pfn.raw().is_multiple_of(PAGES_PER_HUGE_PAGE) {
+                if !vpn.raw().is_multiple_of(PAGES_PER_HUGE_PAGE)
+                    || !pfn.raw().is_multiple_of(PAGES_PER_HUGE_PAGE)
+                {
                     return Err(MemError::Misaligned { vpn, page_size });
                 }
                 // Reject if any base page in the range is mapped.

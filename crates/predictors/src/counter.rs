@@ -80,6 +80,20 @@ impl CounterPredictor {
     pub fn storage_bits(&self) -> u64 {
         self.config.entries as u64 * self.config.bits as u64
     }
+
+    /// Confidence margin of the prediction for `pc`: how many steps the
+    /// counter sits from the decision threshold (0 = weakest state on
+    /// either side, `2^(bits-1) - 1` = fully saturated). The counter
+    /// analogue of [`crate::PerceptronPredictor::last_margin`].
+    pub fn margin(&self, pc: u64) -> u64 {
+        let c = i32::from(self.counters[self.row(pc)]);
+        let threshold = 1i32 << (self.config.bits - 1);
+        if c >= threshold {
+            (c - threshold) as u64
+        } else {
+            (threshold - 1 - c) as u64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -118,6 +132,22 @@ mod tests {
         }
         let acc = correct as f64 / total as f64;
         assert!(acc < 0.7, "counter should struggle with alternation, got {acc}");
+    }
+
+    #[test]
+    fn margin_reflects_counter_distance() {
+        let mut c = CounterPredictor::new(CounterConfig::default());
+        assert_eq!(c.margin(0), 0, "weakly-speculate reset state");
+        for _ in 0..5 {
+            c.update(0, true);
+        }
+        assert_eq!(c.margin(0), 1, "saturated 2-bit counter: one step above threshold");
+        for _ in 0..10 {
+            c.update(0, false);
+        }
+        assert_eq!(c.margin(0), 1, "saturated down: one step below threshold");
+        c.update(0, true);
+        assert_eq!(c.margin(0), 0, "back to the weakest not-speculate state");
     }
 
     #[test]

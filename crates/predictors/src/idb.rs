@@ -120,6 +120,12 @@ impl IndexDeltaBuffer {
         (va_index_bits + delta) & self.mask()
     }
 
+    /// Peek at the delta stored for `pc` without touching prediction
+    /// statistics (telemetry/debug hook). `None` when the entry is cold.
+    pub fn peek(&self, pc: u64) -> Option<u64> {
+        self.deltas[self.row(pc)]
+    }
+
     /// Statistics snapshot.
     pub fn stats(&self) -> IdbStats {
         self.stats
@@ -170,6 +176,16 @@ mod tests {
         // PC 5 aliases PC 1 in a 4-entry table (destructive aliasing, as in
         // a real BTB).
         assert_eq!(idb.predict(5), 0b10);
+    }
+
+    #[test]
+    fn peek_observes_without_counting() {
+        let mut idb = IndexDeltaBuffer::new(IdbConfig::default());
+        assert_eq!(idb.peek(7), None);
+        idb.update(7, 0b10);
+        assert_eq!(idb.peek(7), Some(0b10));
+        assert_eq!(idb.stats().predictions, 0, "peek must not count as a prediction");
+        assert_eq!(idb.stats().cold, 0);
     }
 
     #[test]

@@ -172,14 +172,24 @@ impl PerceptronPredictor {
     pub fn stats(&self) -> PerceptronStats {
         self.stats
     }
+
+    /// Confidence margin `|y|` of the most recent [`predict`] call: the
+    /// distance of the perceptron sum from the decision boundary. Large
+    /// margins mean a confident prediction (|y| > θ also means training
+    /// stops); a margin of 0 is a coin flip. Telemetry correlates this
+    /// against replays to reproduce the paper's accuracy analysis.
+    ///
+    /// [`predict`]: PerceptronPredictor::predict
+    pub fn last_margin(&self) -> u64 {
+        u64::from(self.last_y.unsigned_abs())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use sipt_rng::{Rng, SeedableRng, StdRng};
 
     #[test]
     fn paper_storage_budget() {
@@ -275,6 +285,24 @@ mod tests {
         }
         let acc = correct as f64 / 2000.0;
         assert!((0.35..0.65).contains(&acc), "accuracy on noise = {acc}");
+    }
+
+    #[test]
+    fn margin_grows_with_training_confidence() {
+        let mut p = PerceptronPredictor::new(PerceptronConfig::default());
+        let _ = p.predict(0x9);
+        let cold = p.last_margin();
+        assert_eq!(cold, 0, "zero-initialized perceptron has no confidence");
+        for _ in 0..200 {
+            let _ = p.predict(0x9);
+            p.update(0x9, true);
+        }
+        let _ = p.predict(0x9);
+        assert!(
+            p.last_margin() > PerceptronConfig::default().theta() as u64,
+            "trained margin {} should exceed θ",
+            p.last_margin()
+        );
     }
 
     #[test]

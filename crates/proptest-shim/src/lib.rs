@@ -1,0 +1,355 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # sipt-proptest — an offline property-testing shim
+//!
+//! The workspace's property tests were written against the external
+//! `proptest` crate, which cannot be fetched in the hermetic build
+//! environment. This crate re-implements the (small) subset of the
+//! proptest API those tests use, driven by the in-tree deterministic
+//! generators from [`sipt_rng`], and is wired into each crate's
+//! dev-dependencies under the name `proptest` so the test sources compile
+//! unchanged:
+//!
+//! - the [`proptest!`] macro (`fn name(arg in strategy, ...) { body }`);
+//! - [`prop_assert!`] / [`prop_assert_eq!`];
+//! - strategies: integer ranges (`a..b`, `a..=b`), [`prelude::any`],
+//!   tuples up to arity 6, [`collection::vec`], [`collection::hash_set`],
+//!   [`option::of`], and [`Strategy::prop_map`].
+//!
+//! Unlike real proptest there is no shrinking and no persisted failure
+//! corpus: each property runs a fixed number of deterministically seeded
+//! cases (default 64, override with `SIPT_PROPTEST_CASES`), so failures
+//! reproduce exactly across runs and machines.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+
+pub use sipt_rng::{Rng, SampleRange, SampleUniform, SeedableRng, StdRng};
+
+/// A generator of random values of one type.
+///
+/// The shim's analogue of `proptest::strategy::Strategy`: `sample` draws
+/// one value from the given RNG.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Map generated values through `f` (proptest's `prop_map`).
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+impl<T: SampleUniform + sipt_rng::One> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Types with a full-domain default strategy (proptest's `Arbitrary`).
+pub trait Arbitrary {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`prelude::any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A / a);
+impl_tuple_strategy!(A / a, B / b);
+impl_tuple_strategy!(A / a, B / b, C / c);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f);
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::*;
+
+    /// Strategy for `Vec<T>` with a length drawn from `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// A vector of values from `elem` whose length is uniform in `len`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let n = if self.len.start + 1 == self.len.end {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet<T>` with a *target* size drawn from `size`
+    /// (duplicates collapse, as in proptest).
+    #[derive(Debug, Clone)]
+    pub struct HashSetStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// A hash set of values from `elem` with up to `size` elements.
+    pub fn hash_set<S>(elem: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy { elem, size }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.gen_range(self.size.clone());
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`proptest::option`).
+pub mod option {
+    use super::*;
+
+    /// Strategy for `Option<T>`.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Some` with probability 3/4 (proptest's default weighting), `None`
+    /// otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            if rng.next_u64() & 3 == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
+/// The number of cases each property runs (`SIPT_PROPTEST_CASES`
+/// overrides; default 64).
+pub fn cases() -> u32 {
+    std::env::var("SIPT_PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+}
+
+/// Everything a property-test module imports (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Any, Arbitrary, Strategy};
+
+    /// The default full-domain strategy for `T` (proptest's `any`).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any { _marker: std::marker::PhantomData }
+    }
+}
+
+/// Assert inside a property (no shrinking — identical to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property (identical to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property (identical to `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running [`cases`] deterministically seeded cases.
+/// The case index is folded into the seed so every case sees fresh data,
+/// while reruns see exactly the same stream.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cases = $crate::cases();
+                // Seed from the property name so distinct properties
+                // explore distinct streams.
+                let __seed = {
+                    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                    for b in stringify!($name).bytes() {
+                        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+                    }
+                    h
+                };
+                for __case in 0..__cases {
+                    let mut __rng = <$crate::StdRng as $crate::SeedableRng>::seed_from_u64(
+                        __seed ^ (__case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                    { $body }
+                }
+            }
+        )+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::{collection, option, SeedableRng, StdRng};
+
+    #[test]
+    fn strategies_sample_within_domains() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let v = collection::vec(0u64..10, 1..5).sample(&mut rng);
+            assert!((1..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+            let s = collection::hash_set(0u64..100, 1..8).sample(&mut rng);
+            assert!(s.len() < 8);
+            let o = option::of(1u32..=3).sample(&mut rng);
+            if let Some(x) = o {
+                assert!((1..=3).contains(&x));
+            }
+            let (a, b, c) = (0u8..4, any::<bool>(), 10usize..=11).sample(&mut rng);
+            assert!(a < 4);
+            let _ = b;
+            assert!(c == 10 || c == 11);
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let doubled = (1u64..100).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            let v = doubled.sample(&mut rng);
+            assert_eq!(v % 2, 0);
+            assert!((2..200).contains(&v));
+        }
+    }
+
+    #[test]
+    fn option_of_produces_both_variants() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = option::of(0u64..10);
+        let outcomes: Vec<_> = (0..100).map(|_| s.sample(&mut rng).is_some()).collect();
+        assert!(outcomes.iter().any(|&x| x));
+        assert!(outcomes.iter().any(|&x| !x));
+    }
+
+    // The macro itself, exercised end-to-end.
+    proptest! {
+        #[test]
+        fn macro_generates_running_tests(
+            xs in collection::vec(0u64..50, 1..20),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(!xs.is_empty());
+            prop_assert!(xs.iter().all(|&x| x < 50));
+            let _ = flag;
+            prop_assert_eq!(*xs.iter().max().unwrap(), xs.iter().copied().fold(0, u64::max));
+        }
+    }
+}

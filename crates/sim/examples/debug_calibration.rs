@@ -8,8 +8,7 @@ use sipt_sim::{run_benchmark, speculation_profile, Condition, SystemKind};
 fn main() {
     let cond = Condition::quick();
     for bench in ["sjeng", "hmmer", "libquantum", "mcf", "calculix", "gcc", "graph500"] {
-        let base =
-            run_benchmark(bench, baseline_32k_8w_vipt(), SystemKind::OooThreeLevel, &cond);
+        let base = run_benchmark(bench, baseline_32k_8w_vipt(), SystemKind::OooThreeLevel, &cond);
         let naive = run_benchmark(
             bench,
             sipt_32k_2w().with_policy(L1Policy::SiptNaive),

@@ -83,7 +83,15 @@ pub fn render(rows: &[Fig9Row]) -> String {
         }
     }
     super::report::table(
-        &["benchmark", "bits", "correct spec", "correct bypass", "opp loss", "extra acc", "accuracy"],
+        &[
+            "benchmark",
+            "bits",
+            "correct spec",
+            "correct bypass",
+            "opp loss",
+            "extra acc",
+            "accuracy",
+        ],
         &table_rows,
     )
 }
@@ -98,10 +106,8 @@ mod tests {
         let rows = fig9(&["libquantum", "calculix", "mcf"], &cond);
         for r in &rows {
             for (bits, b) in r.by_bits.iter().enumerate() {
-                let sum = b.correct_speculation
-                    + b.correct_bypass
-                    + b.opportunity_loss
-                    + b.extra_access;
+                let sum =
+                    b.correct_speculation + b.correct_bypass + b.opportunity_loss + b.extra_access;
                 assert!((sum - 1.0).abs() < 1e-9, "{}: fractions sum to {sum}", r.benchmark);
                 // Paper: >90% accuracy in all applications; allow margin
                 // for our short runs.

@@ -94,10 +94,7 @@ pub struct CombinedSummary {
 }
 
 /// Run Figs 13–14 (32 KiB/2-way/2-cycle SIPT with IDB on an OOO core).
-pub fn fig13_fig14(
-    benchmarks: &[&str],
-    cond: &Condition,
-) -> (Vec<CombinedRow>, CombinedSummary) {
+pub fn fig13_fig14(benchmarks: &[&str], cond: &Condition) -> (Vec<CombinedRow>, CombinedSummary) {
     let system = SystemKind::OooThreeLevel;
     let sipt_cfg = sipt_32k_2w(); // SiptCombined by default
     let ideal_cfg = sipt_32k_2w().with_policy(L1Policy::Ideal);
@@ -119,9 +116,7 @@ pub fn fig13_fig14(
     let summary = CombinedSummary {
         mean_ipc: harmonic_mean(&rows.iter().map(|r| r.normalized_ipc).collect::<Vec<_>>()),
         mean_ideal_ipc: harmonic_mean(&rows.iter().map(|r| r.ideal_ipc).collect::<Vec<_>>()),
-        mean_energy: arithmetic_mean(
-            &rows.iter().map(|r| r.normalized_energy).collect::<Vec<_>>(),
-        ),
+        mean_energy: arithmetic_mean(&rows.iter().map(|r| r.normalized_energy).collect::<Vec<_>>()),
         mean_ideal_energy: arithmetic_mean(
             &rows.iter().map(|r| r.ideal_energy).collect::<Vec<_>>(),
         ),
@@ -211,8 +206,7 @@ mod tests {
     #[test]
     fn sipt_idb_approaches_ideal() {
         let cond = Condition::quick();
-        let (rows, summary) =
-            fig13_fig14(&["hmmer", "calculix", "mcf"], &cond);
+        let (rows, summary) = fig13_fig14(&["hmmer", "calculix", "mcf"], &cond);
         assert_eq!(rows.len(), 3);
         // Paper: SIPT+IDB never underperforms baseline and lands close to
         // ideal.

@@ -25,10 +25,7 @@ pub fn render(rows: &[Fig1Row]) -> String {
             ]
         })
         .collect();
-    super::report::table(
-        &["capacity", "assoc", "min", "mean", "max", "feasibility"],
-        &table_rows,
-    )
+    super::report::table(&["capacity", "assoc", "min", "mean", "max", "feasibility"], &table_rows)
 }
 
 #[cfg(test)]

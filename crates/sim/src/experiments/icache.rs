@@ -15,13 +15,9 @@
 //! paper's future-work remark rests on.
 
 use crate::runner::Condition;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use sipt_core::{L1Config, SiptL1};
-use sipt_mem::{
-    fragment_memory, AddressSpace, BuddyAllocator, VirtAddr, VirtPageNum,
-    PAGE_SIZE,
-};
+use sipt_mem::{fragment_memory, AddressSpace, BuddyAllocator, VirtAddr, VirtPageNum, PAGE_SIZE};
+use sipt_rng::{SeedableRng, StdRng};
 use sipt_tlb::{DataTlb, TlbConfig};
 use sipt_workloads::{benchmark, TraceGen};
 
@@ -53,34 +49,27 @@ pub fn future_icache(benchmarks: &[&str], cond: &Condition, l1: L1Config) -> Vec
                 .then(|| fragment_memory(&mut phys, 0.5, &mut rng).expect("fragment"));
             let mut asp = AddressSpace::new(0, cond.placement);
             // Build the data side only to obtain the dynamic PC stream.
-            let trace =
-                TraceGen::build(&spec, &mut asp, &mut phys, cond.instructions, cond.seed)
-                    .expect("fit");
+            let trace = TraceGen::build(&spec, &mut asp, &mut phys, cond.instructions, cond.seed)
+                .expect("fit");
             let pcs: Vec<u64> = trace.map(|inst| inst.pc).collect();
 
             // Map the code: one linear code region sized by the distinct
             // PC pages, allocated through the same OS model (code segments
             // are mapped in one burst at exec time).
-            let mut code_pages: Vec<u64> =
-                pcs.iter().map(|pc| pc / PAGE_SIZE).collect();
+            let mut code_pages: Vec<u64> = pcs.iter().map(|pc| pc / PAGE_SIZE).collect();
             code_pages.sort_unstable();
             code_pages.dedup();
             let code_base = *code_pages.first().expect("nonempty trace");
             let span_pages = code_pages.last().unwrap() - code_base + 1;
-            let code_region = asp
-                .mmap(span_pages * PAGE_SIZE, &mut phys)
-                .expect("code fits");
+            let code_region = asp.mmap(span_pages * PAGE_SIZE, &mut phys).expect("code fits");
 
             // Replay fetches.
             let mut il1 = SiptL1::new(l1.clone());
             let mut itlb = DataTlb::new(TlbConfig::default());
             for pc in &pcs {
-                let va = VirtAddr::new(
-                    code_region.start.raw() + (pc - code_base * PAGE_SIZE),
-                );
+                let va = VirtAddr::new(code_region.start.raw() + (pc - code_base * PAGE_SIZE));
                 let outcome = itlb.translate(va, asp.page_table()).expect("code mapped");
-                let access =
-                    il1.access(*pc, va, outcome.translation, outcome.cycles, false);
+                let access = il1.access(*pc, va, outcome.translation, outcome.cycles, false);
                 if !access.hit {
                     il1.fill(sipt_cache::LineAddr::of_phys(outcome.translation.pa), false);
                 }
@@ -112,10 +101,7 @@ pub fn render(rows: &[ICacheRow]) -> String {
             ]
         })
         .collect();
-    super::report::table(
-        &["benchmark", "code pages", "I-L1 hit", "fast", "I-TLB hit"],
-        &table_rows,
-    )
+    super::report::table(&["benchmark", "code pages", "I-L1 hit", "fast", "I-TLB hit"], &table_rows)
 }
 
 #[cfg(test)]

@@ -7,8 +7,8 @@ use crate::machine::SystemKind;
 use crate::metrics::harmonic_mean;
 use crate::runner::{run_benchmark, Condition};
 use sipt_core::{
-    baseline_32k_8w_vipt, sipt_128k_4w, sipt_32k_2w, sipt_32k_4w, sipt_64k_4w,
-    small_16k_4w_vipt, L1Config, L1Policy,
+    baseline_32k_8w_vipt, sipt_128k_4w, sipt_32k_2w, sipt_32k_4w, sipt_64k_4w, small_16k_4w_vipt,
+    L1Config, L1Policy,
 };
 
 /// The five alternative configurations of Figs 2–3, in legend order.
@@ -45,11 +45,7 @@ pub struct IdealFigure {
     pub average: Vec<f64>,
 }
 
-fn run_system(
-    system: SystemKind,
-    benchmarks: &[&str],
-    cond: &Condition,
-) -> IdealFigure {
+fn run_system(system: SystemKind, benchmarks: &[&str], cond: &Condition) -> IdealFigure {
     let configs = ideal_configs();
     let mut rows = Vec::new();
     for &bench in benchmarks {

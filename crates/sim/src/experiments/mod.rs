@@ -17,9 +17,9 @@
 //! | future work: I-cache SIPT | [`icache`] | [`icache::future_icache`] |
 
 pub mod bypass;
-pub mod icache;
 pub mod combined;
 pub mod fig01;
+pub mod icache;
 pub mod ideal;
 pub mod naive;
 pub mod quadcore;

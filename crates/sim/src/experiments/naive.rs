@@ -69,9 +69,7 @@ pub fn fig6_fig7(benchmarks: &[&str], cond: &Condition) -> (Vec<NaiveRow>, Naive
     let summary = NaiveSummary {
         mean_ipc: harmonic_mean(&rows.iter().map(|r| r.normalized_ipc).collect::<Vec<_>>()),
         mean_ideal_ipc: harmonic_mean(&rows.iter().map(|r| r.ideal_ipc).collect::<Vec<_>>()),
-        mean_energy: arithmetic_mean(
-            &rows.iter().map(|r| r.normalized_energy).collect::<Vec<_>>(),
-        ),
+        mean_energy: arithmetic_mean(&rows.iter().map(|r| r.normalized_energy).collect::<Vec<_>>()),
         mean_ideal_energy: arithmetic_mean(
             &rows.iter().map(|r| r.ideal_energy).collect::<Vec<_>>(),
         ),

@@ -9,8 +9,7 @@ use sipt_core::{baseline_32k_8w_vipt, table2_sipt_configs};
 use sipt_workloads::MIXES;
 
 /// Legend labels for the four SIPT configurations, Fig 15 order.
-pub const CONFIG_LABELS: [&str; 4] =
-    ["32KiB 2-way", "32KiB 4-way", "64KiB 4-way", "128KiB 4-way"];
+pub const CONFIG_LABELS: [&str; 4] = ["32KiB 2-way", "32KiB 4-way", "64KiB 4-way", "128KiB 4-way"];
 
 /// One mix's Fig 15 data.
 #[derive(Debug, Clone, PartialEq)]
@@ -113,11 +112,7 @@ mod tests {
         assert_eq!(rows[0].speedup.len(), 4);
         // The 32 KiB 2-way configuration performs best of all four on
         // average (the paper's conclusion for OOO).
-        let best = summary
-            .mean_speedup
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max);
+        let best = summary.mean_speedup.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         assert!(
             (summary.mean_speedup[0] - best).abs() < 0.05,
             "32K2w should be at/near the top: {:?}",

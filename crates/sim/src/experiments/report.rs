@@ -1,4 +1,13 @@
-//! Plain-text table rendering shared by the figure binaries.
+//! Plain-text table rendering shared by the figure binaries, plus the
+//! machine-readable (JSON) forms of every figure's data — the payloads
+//! behind the binaries' `--json` switch
+//! ([`sipt_telemetry::report::json_requested`]).
+
+use crate::experiments::{
+    bypass, combined, icache, ideal, naive, quadcore, sensitivity, speculation, waypred,
+};
+use crate::metrics::RunMetrics;
+use sipt_telemetry::json::Json;
 
 /// Render an aligned text table. `headers` labels the columns; each row
 /// must have the same arity.
@@ -48,6 +57,317 @@ pub fn pct(v: f64) -> String {
     format!("{:.1}%", v * 100.0)
 }
 
+// ---------------------------------------------------------------------------
+// JSON payloads
+// ---------------------------------------------------------------------------
+
+/// A JSON array of numbers.
+fn nums(vs: &[f64]) -> Json {
+    Json::arr(vs.iter().map(|&v| Json::num(v)))
+}
+
+/// The full machine-readable summary of one run: IPC, speculation
+/// outcomes (including the replay rate), hierarchy behaviour, energy,
+/// wall-clock phase profile, and — when L1 telemetry was attached — the
+/// latency/margin/delta histograms.
+pub fn run_summary_json(m: &RunMetrics) -> Json {
+    let accesses = m.sipt.accesses.max(1) as f64;
+    let mut obj = Json::obj([
+        ("name", Json::str(&m.name)),
+        ("instructions", Json::u64(m.core.instructions)),
+        ("cycles", Json::u64(m.core.cycles)),
+        ("ipc", Json::num(m.ipc())),
+        (
+            "sipt",
+            Json::obj([
+                ("accesses", Json::u64(m.sipt.accesses)),
+                ("hit_rate", Json::num(m.sipt.hit_rate())),
+                ("fast_fraction", Json::num(m.sipt.fast_fraction())),
+                ("replay_rate", Json::num(m.sipt.extra_accesses as f64 / accesses)),
+                ("correct_speculation", Json::u64(m.sipt.correct_speculation)),
+                ("correct_bypass", Json::u64(m.sipt.correct_bypass)),
+                ("opportunity_loss", Json::u64(m.sipt.opportunity_loss)),
+                ("idb_hits", Json::u64(m.sipt.idb_hits)),
+                ("extra_accesses", Json::u64(m.sipt.extra_accesses)),
+                ("array_reads", Json::u64(m.sipt.array_reads)),
+            ]),
+        ),
+        ("dram_row_hit_rate", Json::num(m.dram.row_hit_rate())),
+        (
+            "energy",
+            Json::obj([
+                ("total", Json::num(m.energy.total())),
+                ("dynamic", Json::num(m.energy.dynamic())),
+            ]),
+        ),
+        ("huge_fraction", Json::num(m.huge_fraction)),
+        (
+            "phases",
+            Json::obj([
+                ("allocate_ms", Json::num(m.phases.allocate_ms)),
+                ("warmup_ms", Json::num(m.phases.warmup_ms)),
+                ("measure_ms", Json::num(m.phases.measure_ms)),
+                ("simulated_mips", Json::num(m.phases.simulated_mips)),
+            ]),
+        ),
+    ]);
+    if let Some(snapshot) = &m.l1_metrics {
+        obj.insert("l1", snapshot.to_json());
+    }
+    obj
+}
+
+/// Fig 1 payload: the latency design-space sweep.
+pub fn fig1_json(rows: &[sipt_energy::Fig1Row]) -> Json {
+    Json::obj([(
+        "rows",
+        Json::arr(rows.iter().map(|r| {
+            Json::obj([
+                ("kib", Json::u64(r.kib)),
+                ("ways", Json::u64(u64::from(r.ways))),
+                ("min", Json::num(r.min)),
+                ("mean", Json::num(r.mean)),
+                ("max", Json::num(r.max)),
+                ("vipt_feasible", Json::Bool(r.vipt_feasible)),
+            ])
+        })),
+    )])
+}
+
+/// Figs 2–3 payload: normalized IPC of the ideal configurations.
+pub fn ideal_json(fig: &ideal::IdealFigure) -> Json {
+    Json::obj([
+        ("configs", Json::arr(ideal::CONFIG_LABELS.iter().map(|&l| Json::str(l)))),
+        (
+            "rows",
+            Json::arr(fig.rows.iter().map(|r| {
+                Json::obj([
+                    ("benchmark", Json::str(&r.benchmark)),
+                    ("normalized_ipc", nums(&r.normalized_ipc)),
+                ])
+            })),
+        ),
+        ("average", nums(&fig.average)),
+    ])
+}
+
+/// Fig 5 payload: index-bit survival profiles.
+pub fn fig5_json(rows: &[speculation::Fig5Row]) -> Json {
+    Json::obj([(
+        "rows",
+        Json::arr(rows.iter().map(|r| {
+            Json::obj([
+                ("benchmark", Json::str(&r.benchmark)),
+                ("unchanged", nums(&r.profile.unchanged)),
+                ("hugepage", Json::num(r.profile.hugepage)),
+                ("accesses", Json::u64(r.profile.accesses)),
+            ])
+        })),
+    )])
+}
+
+/// Figs 6–7 payload: naive SIPT vs baseline and ideal.
+pub fn naive_json(rows: &[naive::NaiveRow], summary: &naive::NaiveSummary) -> Json {
+    Json::obj([
+        (
+            "rows",
+            Json::arr(rows.iter().map(|r| {
+                Json::obj([
+                    ("benchmark", Json::str(&r.benchmark)),
+                    ("normalized_ipc", Json::num(r.normalized_ipc)),
+                    ("ideal_ipc", Json::num(r.ideal_ipc)),
+                    ("extra_accesses", Json::num(r.extra_accesses)),
+                    ("normalized_energy", Json::num(r.normalized_energy)),
+                    ("ideal_energy", Json::num(r.ideal_energy)),
+                    ("dynamic_energy", Json::num(r.dynamic_energy)),
+                    ("fast_fraction", Json::num(r.fast_fraction)),
+                ])
+            })),
+        ),
+        (
+            "summary",
+            Json::obj([
+                ("mean_ipc", Json::num(summary.mean_ipc)),
+                ("mean_ideal_ipc", Json::num(summary.mean_ideal_ipc)),
+                ("mean_energy", Json::num(summary.mean_energy)),
+                ("mean_ideal_energy", Json::num(summary.mean_ideal_energy)),
+            ]),
+        ),
+    ])
+}
+
+/// Fig 9 payload: bypass-predictor outcome fractions.
+pub fn fig9_json(rows: &[bypass::Fig9Row]) -> Json {
+    Json::obj([(
+        "rows",
+        Json::arr(rows.iter().map(|r| {
+            Json::obj([
+                ("benchmark", Json::str(&r.benchmark)),
+                (
+                    "by_bits",
+                    Json::arr(r.by_bits.iter().enumerate().map(|(i, b)| {
+                        Json::obj([
+                            ("bits", Json::u64(i as u64 + 1)),
+                            ("correct_speculation", Json::num(b.correct_speculation)),
+                            ("correct_bypass", Json::num(b.correct_bypass)),
+                            ("opportunity_loss", Json::num(b.opportunity_loss)),
+                            ("extra_access", Json::num(b.extra_access)),
+                            ("accuracy", Json::num(b.accuracy())),
+                        ])
+                    })),
+                ),
+            ])
+        })),
+    )])
+}
+
+/// Fig 12 payload: combined predictor effectiveness split.
+pub fn fig12_json(rows: &[combined::Fig12Row]) -> Json {
+    Json::obj([(
+        "rows",
+        Json::arr(rows.iter().map(|r| {
+            Json::obj([
+                ("benchmark", Json::str(&r.benchmark)),
+                (
+                    "by_bits",
+                    Json::arr(r.by_bits.iter().enumerate().map(|(i, b)| {
+                        Json::obj([
+                            ("bits", Json::u64(i as u64 + 1)),
+                            ("correct_speculation", Json::num(b.correct_speculation)),
+                            ("idb_hit", Json::num(b.idb_hit)),
+                            ("slow", Json::num(b.slow)),
+                            ("fast", Json::num(b.fast())),
+                        ])
+                    })),
+                ),
+            ])
+        })),
+    )])
+}
+
+/// Figs 13–14 payload: SIPT+IDB headline results.
+pub fn fig13_json(rows: &[combined::CombinedRow], summary: &combined::CombinedSummary) -> Json {
+    Json::obj([
+        (
+            "rows",
+            Json::arr(rows.iter().map(|r| {
+                Json::obj([
+                    ("benchmark", Json::str(&r.benchmark)),
+                    ("normalized_ipc", Json::num(r.normalized_ipc)),
+                    ("ideal_ipc", Json::num(r.ideal_ipc)),
+                    ("extra_accesses", Json::num(r.extra_accesses)),
+                    ("normalized_energy", Json::num(r.normalized_energy)),
+                    ("ideal_energy", Json::num(r.ideal_energy)),
+                    ("fast_fraction", Json::num(r.fast_fraction)),
+                ])
+            })),
+        ),
+        (
+            "summary",
+            Json::obj([
+                ("mean_ipc", Json::num(summary.mean_ipc)),
+                ("mean_ideal_ipc", Json::num(summary.mean_ideal_ipc)),
+                ("mean_energy", Json::num(summary.mean_energy)),
+                ("mean_ideal_energy", Json::num(summary.mean_ideal_energy)),
+            ]),
+        ),
+    ])
+}
+
+/// Fig 15 payload: quad-core mixes.
+pub fn fig15_json(rows: &[quadcore::Fig15Row], summary: &quadcore::Fig15Summary) -> Json {
+    Json::obj([
+        ("configs", Json::arr(quadcore::CONFIG_LABELS.iter().map(|&l| Json::str(l)))),
+        (
+            "rows",
+            Json::arr(rows.iter().map(|r| {
+                Json::obj([
+                    ("mix", Json::str(&r.mix)),
+                    ("speedup", nums(&r.speedup)),
+                    ("extra_accesses", Json::num(r.extra_accesses)),
+                    ("normalized_energy", Json::num(r.normalized_energy)),
+                ])
+            })),
+        ),
+        (
+            "summary",
+            Json::obj([
+                ("mean_speedup", nums(&summary.mean_speedup)),
+                ("mean_energy", Json::num(summary.mean_energy)),
+            ]),
+        ),
+    ])
+}
+
+/// Figs 16–17 payload: way-prediction interaction.
+pub fn waypred_json(rows: &[waypred::WaypredRow], summary: &waypred::WaypredSummary) -> Json {
+    Json::obj([
+        (
+            "rows",
+            Json::arr(rows.iter().map(|r| {
+                Json::obj([
+                    ("benchmark", Json::str(&r.benchmark)),
+                    ("base_wp_ipc", Json::num(r.base_wp_ipc)),
+                    ("base_wp_accuracy", Json::num(r.base_wp_accuracy)),
+                    ("sipt_ipc", Json::num(r.sipt_ipc)),
+                    ("sipt_wp_ipc", Json::num(r.sipt_wp_ipc)),
+                    ("sipt_wp_accuracy", Json::num(r.sipt_wp_accuracy)),
+                    ("base_wp_energy", Json::num(r.base_wp_energy)),
+                    ("sipt_energy", Json::num(r.sipt_energy)),
+                    ("sipt_wp_energy", Json::num(r.sipt_wp_energy)),
+                ])
+            })),
+        ),
+        (
+            "summary",
+            Json::obj([
+                ("base_accuracy", Json::num(summary.base_accuracy)),
+                ("sipt_accuracy", Json::num(summary.sipt_accuracy)),
+                ("base_wp_ipc", Json::num(summary.base_wp_ipc)),
+                ("sipt_ipc", Json::num(summary.sipt_ipc)),
+                ("sipt_wp_ipc", Json::num(summary.sipt_wp_ipc)),
+                ("base_wp_energy", Json::num(summary.base_wp_energy)),
+                ("sipt_energy", Json::num(summary.sipt_energy)),
+                ("sipt_wp_energy", Json::num(summary.sipt_wp_energy)),
+            ]),
+        ),
+    ])
+}
+
+/// Fig 18 payload: sensitivity groups.
+pub fn fig18_json(groups: &[sensitivity::Fig18Group]) -> Json {
+    Json::obj([
+        ("configs", Json::arr(sensitivity::CONFIG_LABELS.iter().map(|&l| Json::str(l)))),
+        (
+            "groups",
+            Json::arr(groups.iter().map(|g| {
+                Json::obj([
+                    ("label", Json::str(&g.label)),
+                    ("mean_ipc", nums(&g.mean_ipc)),
+                    ("mean_energy", nums(&g.mean_energy)),
+                    ("accuracy", nums(&g.accuracy)),
+                ])
+            })),
+        ),
+    ])
+}
+
+/// Future-work I-cache payload.
+pub fn icache_json(rows: &[icache::ICacheRow]) -> Json {
+    Json::obj([(
+        "rows",
+        Json::arr(rows.iter().map(|r| {
+            Json::obj([
+                ("benchmark", Json::str(&r.benchmark)),
+                ("code_pages", Json::u64(r.code_pages)),
+                ("hit_rate", Json::num(r.hit_rate)),
+                ("fast_fraction", Json::num(r.fast_fraction)),
+                ("itlb_hit_rate", Json::num(r.itlb_hit_rate)),
+            ])
+        })),
+    )])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -56,10 +376,7 @@ mod tests {
     fn renders_aligned_table() {
         let t = table(
             &["bench", "ipc"],
-            &[
-                vec!["mcf".into(), "0.912".into()],
-                vec!["libquantum".into(), "1.204".into()],
-            ],
+            &[vec!["mcf".into(), "0.912".into()], vec!["libquantum".into(), "1.204".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

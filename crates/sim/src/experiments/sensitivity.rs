@@ -9,8 +9,7 @@ use crate::runner::{run_benchmark, Condition};
 use sipt_core::{baseline_32k_8w_vipt, table2_sipt_configs};
 
 /// Legend labels for the four SIPT configurations, Fig 18 order.
-pub const CONFIG_LABELS: [&str; 4] =
-    ["32KiB 2-way", "32KiB 4-way", "64KiB 4-way", "128KiB 4-way"];
+pub const CONFIG_LABELS: [&str; 4] = ["32KiB 2-way", "32KiB 4-way", "64KiB 4-way", "128KiB 4-way"];
 
 /// One condition-group of Fig 18 (e.g. "OOO Fragmented").
 #[derive(Debug, Clone, PartialEq)]
@@ -30,10 +29,9 @@ pub struct Fig18Group {
 pub fn fig18(benchmarks: &[&str], base_cond: &Condition) -> Vec<Fig18Group> {
     let configs = table2_sipt_configs();
     let mut groups = Vec::new();
-    for (system, sys_label) in [
-        (SystemKind::OooThreeLevel, "OOO"),
-        (SystemKind::InOrderTwoLevel, "In-order"),
-    ] {
+    for (system, sys_label) in
+        [(SystemKind::OooThreeLevel, "OOO"), (SystemKind::InOrderTwoLevel, "In-order")]
+    {
         for (cond_label, cond) in Condition::sensitivity_sweep() {
             let cond = Condition {
                 instructions: base_cond.instructions,
@@ -108,7 +106,11 @@ mod tests {
                 scattered.accuracy[i] <= fragged.accuracy[i] + 0.05,
                 "scattered should be the worst condition"
             );
-            assert!(scattered.accuracy[i] > 0.3, "SIPT must keep working: {:?}", scattered.accuracy);
+            assert!(
+                scattered.accuracy[i] > 0.3,
+                "SIPT must keep working: {:?}",
+                scattered.accuracy
+            );
         }
         // IPC stays at-or-above baseline under normal conditions.
         assert!(normal.mean_ipc[0] > 1.0, "normal IPC = {:?}", normal.mean_ipc);

@@ -35,10 +35,7 @@ pub fn render(rows: &[Fig5Row]) -> String {
             ]
         })
         .collect();
-    super::report::table(
-        &["benchmark", "1-bit", "2-bit", "3-bit", "hugepage(9-bit)"],
-        &table_rows,
-    )
+    super::report::table(&["benchmark", "1-bit", "2-bit", "3-bit", "hugepage(9-bit)"], &table_rows)
 }
 
 #[cfg(test)]

@@ -58,15 +58,10 @@ pub fn fig16_fig17(benchmarks: &[&str], cond: &Condition) -> (Vec<WaypredRow>, W
     let mut rows = Vec::new();
     for &bench in benchmarks {
         let base = run_benchmark(bench, baseline_32k_8w_vipt(), system, cond);
-        let base_wp = run_benchmark(
-            bench,
-            baseline_32k_8w_vipt().with_way_prediction(true),
-            system,
-            cond,
-        );
+        let base_wp =
+            run_benchmark(bench, baseline_32k_8w_vipt().with_way_prediction(true), system, cond);
         let sipt = run_benchmark(bench, sipt_32k_2w(), system, cond);
-        let sipt_wp =
-            run_benchmark(bench, sipt_32k_2w().with_way_prediction(true), system, cond);
+        let sipt_wp = run_benchmark(bench, sipt_32k_2w().with_way_prediction(true), system, cond);
         rows.push(WaypredRow {
             benchmark: bench.to_owned(),
             base_wp_ipc: base_wp.ipc_vs(&base),
@@ -89,13 +84,9 @@ pub fn fig16_fig17(benchmarks: &[&str], cond: &Condition) -> (Vec<WaypredRow>, W
         base_wp_ipc: harmonic_mean(&rows.iter().map(|r| r.base_wp_ipc).collect::<Vec<_>>()),
         sipt_ipc: harmonic_mean(&rows.iter().map(|r| r.sipt_ipc).collect::<Vec<_>>()),
         sipt_wp_ipc: harmonic_mean(&rows.iter().map(|r| r.sipt_wp_ipc).collect::<Vec<_>>()),
-        base_wp_energy: arithmetic_mean(
-            &rows.iter().map(|r| r.base_wp_energy).collect::<Vec<_>>(),
-        ),
+        base_wp_energy: arithmetic_mean(&rows.iter().map(|r| r.base_wp_energy).collect::<Vec<_>>()),
         sipt_energy: arithmetic_mean(&rows.iter().map(|r| r.sipt_energy).collect::<Vec<_>>()),
-        sipt_wp_energy: arithmetic_mean(
-            &rows.iter().map(|r| r.sipt_wp_energy).collect::<Vec<_>>(),
-        ),
+        sipt_wp_energy: arithmetic_mean(&rows.iter().map(|r| r.sipt_wp_energy).collect::<Vec<_>>()),
     };
     (rows, summary)
 }

@@ -25,6 +25,8 @@ pub mod multicore;
 pub mod runner;
 
 pub use machine::{Machine, SystemKind};
-pub use metrics::{arithmetic_mean, harmonic_mean, RunMetrics};
+pub use metrics::{
+    arithmetic_mean, harmonic_mean, try_harmonic_mean, NonPositiveValue, PhaseProfile, RunMetrics,
+};
 pub use multicore::{run_mix, MixMetrics};
 pub use runner::{run_benchmark, run_spec, speculation_profile, Condition, SpeculationProfile};

@@ -5,9 +5,7 @@ use sipt_cache::{CacheGeometry, CacheLevel, LineAddr, LowerHierarchy, Replacemen
 use sipt_core::{L1Config, SiptL1};
 use sipt_cpu::{MemOp, MemRef, MemResponse, MemoryPath};
 use sipt_dram::{Dram, DramConfig};
-use sipt_energy::{
-    ActivityCounts, EnergyParams, L2_TABLE2, LLC_INORDER_TABLE2, LLC_OOO_TABLE2,
-};
+use sipt_energy::{ActivityCounts, EnergyParams, L2_TABLE2, LLC_INORDER_TABLE2, LLC_OOO_TABLE2};
 use sipt_mem::AddressSpace;
 use sipt_tlb::{DataTlb, TlbConfig};
 
@@ -25,11 +23,9 @@ impl SystemKind {
     /// 12-cycle).
     pub fn l2(&self) -> Option<CacheLevel> {
         match self {
-            SystemKind::OooThreeLevel => Some(CacheLevel::new(
-                CacheGeometry::new(256 << 10, 8),
-                12,
-                ReplacementKind::Lru,
-            )),
+            SystemKind::OooThreeLevel => {
+                Some(CacheLevel::new(CacheGeometry::new(256 << 10, 8), 12, ReplacementKind::Lru))
+            }
             SystemKind::InOrderTwoLevel => None,
         }
     }
@@ -87,6 +83,12 @@ impl Machine {
     /// The SIPT L1 (statistics, configuration).
     pub fn l1(&self) -> &SiptL1 {
         &self.l1
+    }
+
+    /// Mutable access to the SIPT L1 — used to attach telemetry
+    /// ([`SiptL1::attach_telemetry`]) before a run.
+    pub fn l1_mut(&mut self) -> &mut SiptL1 {
+        &mut self.l1
     }
 
     /// TLB statistics.

@@ -6,7 +6,32 @@ use sipt_core::SiptStats;
 use sipt_cpu::CoreResult;
 use sipt_dram::DramStats;
 use sipt_energy::EnergyBreakdown;
+use sipt_telemetry::MetricsSnapshot;
 use sipt_tlb::TlbStats;
+
+/// Wall-clock profile of one run's phases, plus the simulator's own
+/// throughput — "how long did this experiment take and where" for the
+/// machine-readable reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseProfile {
+    /// Milliseconds spent building the workload (allocation + trace
+    /// generator construction).
+    pub allocate_ms: f64,
+    /// Milliseconds spent in the warmup interval.
+    pub warmup_ms: f64,
+    /// Milliseconds spent in the measured interval.
+    pub measure_ms: f64,
+    /// Simulated instruction throughput of the measured interval, in
+    /// millions of instructions per wall-clock second.
+    pub simulated_mips: f64,
+}
+
+impl PhaseProfile {
+    /// Total wall-clock milliseconds across all phases.
+    pub fn total_ms(&self) -> f64 {
+        self.allocate_ms + self.warmup_ms + self.measure_ms
+    }
+}
 
 /// Everything measured in one single-core simulation.
 #[derive(Debug, Clone)]
@@ -31,6 +56,11 @@ pub struct RunMetrics {
     pub energy: EnergyBreakdown,
     /// Fraction of the workload's pages on 2 MiB mappings.
     pub huge_fraction: f64,
+    /// Wall-clock phase profile of the run (simulator observability).
+    pub phases: PhaseProfile,
+    /// L1 telemetry snapshot of the measured interval, when telemetry was
+    /// attached (see [`sipt_core::SiptL1::attach_telemetry`]).
+    pub l1_metrics: Option<MetricsSnapshot>,
 }
 
 impl RunMetrics {
@@ -61,30 +91,60 @@ impl RunMetrics {
         if baseline.sipt.accesses == 0 {
             return 0.0;
         }
-        (self.sipt.accesses + self.sipt.extra_accesses) as f64
-            / baseline.sipt.accesses as f64
-            - 1.0
+        (self.sipt.accesses + self.sipt.extra_accesses) as f64 / baseline.sipt.accesses as f64 - 1.0
     }
 }
 
+/// Error from [`try_harmonic_mean`]: the offending value and its index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NonPositiveValue {
+    /// Index of the first non-positive value in the input slice.
+    pub index: usize,
+    /// The value itself (≤ 0, or NaN).
+    pub value: f64,
+}
+
+impl std::fmt::Display for NonPositiveValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "harmonic mean requires strictly positive values, got {} at index {}",
+            self.value, self.index
+        )
+    }
+}
+
+impl std::error::Error for NonPositiveValue {}
+
+/// Harmonic mean (the paper's speedup average) without panicking: returns
+/// `Err` carrying the first non-positive (or NaN) value. `Ok(0.0)` for an
+/// empty slice.
+pub fn try_harmonic_mean(values: &[f64]) -> Result<f64, NonPositiveValue> {
+    if values.is_empty() {
+        return Ok(0.0);
+    }
+    let mut sum = 0.0;
+    for (index, &value) in values.iter().enumerate() {
+        if value <= 0.0 || value.is_nan() {
+            return Err(NonPositiveValue { index, value });
+        }
+        sum += 1.0 / value;
+    }
+    Ok(values.len() as f64 / sum)
+}
+
 /// Harmonic mean (the paper's speedup average). Returns 0 for an empty
-/// slice.
+/// slice. Infallible front-end for [`try_harmonic_mean`] — experiment
+/// binaries feed it IPC ratios, which are positive by construction.
 ///
 /// # Panics
 ///
-/// Panics if any value is not strictly positive.
+/// Panics if any value is not strictly positive (including NaN).
 pub fn harmonic_mean(values: &[f64]) -> f64 {
-    if values.is_empty() {
-        return 0.0;
+    match try_harmonic_mean(values) {
+        Ok(m) => m,
+        Err(e) => panic!("{e}"),
     }
-    let sum: f64 = values
-        .iter()
-        .map(|&v| {
-            assert!(v > 0.0, "harmonic mean requires positive values, got {v}");
-            1.0 / v
-        })
-        .sum();
-    values.len() as f64 / sum
 }
 
 /// Arithmetic mean (the paper's energy average). Returns 0 for an empty
@@ -116,8 +176,57 @@ mod tests {
     }
 
     #[test]
+    fn try_harmonic_reports_offender() {
+        assert_eq!(try_harmonic_mean(&[]), Ok(0.0));
+        assert_eq!(try_harmonic_mean(&[2.0, 2.0]), Ok(2.0));
+        let err = try_harmonic_mean(&[1.0, -3.0, 2.0]).unwrap_err();
+        assert_eq!(err.index, 1);
+        assert_eq!(err.value, -3.0);
+        assert!(err.to_string().contains("index 1"));
+        // NaN is not > 0, so it must be rejected rather than poisoning
+        // the mean.
+        let err = try_harmonic_mean(&[1.0, f64::NAN]).unwrap_err();
+        assert_eq!(err.index, 1);
+        assert!(err.value.is_nan());
+    }
+
+    #[test]
     fn harmonic_below_arithmetic() {
         let v = [0.8, 1.0, 1.4];
         assert!(harmonic_mean(&v) < arithmetic_mean(&v));
+    }
+
+    #[test]
+    fn phase_profile_totals() {
+        let p = PhaseProfile {
+            allocate_ms: 1.5,
+            warmup_ms: 2.0,
+            measure_ms: 6.5,
+            simulated_mips: 12.0,
+        };
+        assert!((p.total_ms() - 10.0).abs() < 1e-12);
+        assert_eq!(PhaseProfile::default().total_ms(), 0.0);
+    }
+
+    /// `extra_accesses_vs` must not divide by a zero-access baseline
+    /// (e.g. a run whose measured interval contained no memory ops).
+    #[test]
+    fn extra_accesses_guards_zero_baseline() {
+        let cond = crate::Condition::quick();
+        let mut base = crate::run_benchmark(
+            "hmmer",
+            sipt_core::baseline_32k_8w_vipt(),
+            crate::SystemKind::OooThreeLevel,
+            &cond,
+        );
+        let sipt = crate::run_benchmark(
+            "hmmer",
+            sipt_core::sipt_32k_2w(),
+            crate::SystemKind::OooThreeLevel,
+            &cond,
+        );
+        assert!(sipt.extra_accesses_vs(&base).is_finite());
+        base.sipt.accesses = 0;
+        assert_eq!(sipt.extra_accesses_vs(&base), 0.0, "zero baseline must not divide");
     }
 }

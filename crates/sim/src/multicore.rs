@@ -14,10 +14,9 @@
 use crate::machine::{Machine, SystemKind};
 use crate::metrics::RunMetrics;
 use crate::runner::{collect, run_core, Condition};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use sipt_core::L1Config;
 use sipt_mem::{fragment_memory, AddressSpace, BuddyAllocator};
+use sipt_rng::{SeedableRng, StdRng};
 use sipt_workloads::{benchmark, TraceGen, MIXES};
 
 /// Metrics of one quad-core mix run.
@@ -49,11 +48,7 @@ impl MixMetrics {
 
     /// Mean extra-L1-access fraction across cores, versus a baseline.
     pub fn extra_accesses_vs(&self, baseline: &MixMetrics) -> f64 {
-        self.cores
-            .iter()
-            .zip(&baseline.cores)
-            .map(|(c, b)| c.extra_accesses_vs(b))
-            .sum::<f64>()
+        self.cores.iter().zip(&baseline.cores).map(|(c, b)| c.extra_accesses_vs(b)).sum::<f64>()
             / self.cores.len() as f64
     }
 }
@@ -72,9 +67,8 @@ pub fn run_mix(mix_name: &str, l1: L1Config, cond: &Condition) -> MixMetrics {
 
     let mut phys = BuddyAllocator::with_bytes(cond.memory_bytes);
     let mut rng = StdRng::seed_from_u64(cond.seed ^ 0x4C0E);
-    let _hold = cond
-        .fragmented
-        .then(|| fragment_memory(&mut phys, 0.5, &mut rng).expect("fragmentation"));
+    let _hold =
+        cond.fragmented.then(|| fragment_memory(&mut phys, 0.5, &mut rng).expect("fragmentation"));
 
     // All four processes allocate from the same physical memory, in
     // program order, so later processes see the earlier ones' footprints.
@@ -132,11 +126,7 @@ mod tests {
         let cond = quad_cond();
         let base = run_mix("mix0", baseline_32k_8w_vipt(), &cond);
         let sipt = run_mix("mix0", sipt_32k_2w(), &cond);
-        assert!(
-            sipt.speedup_vs(&base) > 1.0,
-            "mix0 speedup = {}",
-            sipt.speedup_vs(&base)
-        );
+        assert!(sipt.speedup_vs(&base) > 1.0, "mix0 speedup = {}", sipt.speedup_vs(&base));
         assert!(sipt.energy_vs(&base) < 1.0);
     }
 

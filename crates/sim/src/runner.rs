@@ -2,13 +2,20 @@
 //! model, warm the machine, then measure.
 
 use crate::machine::{Machine, SystemKind};
-use crate::metrics::RunMetrics;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use crate::metrics::{PhaseProfile, RunMetrics};
 use sipt_core::L1Config;
 use sipt_cpu::{simulate_inorder, simulate_ooo, CoreResult, InOrderConfig, OooConfig};
 use sipt_mem::{fragment_memory, AddressSpace, BuddyAllocator, PlacementPolicy};
+use sipt_rng::{SeedableRng, StdRng};
 use sipt_workloads::{benchmark, TraceGen, WorkloadSpec};
+use std::time::Instant;
+
+/// Event-trace capacity requested via the `SIPT_TRACE_EVENTS` environment
+/// variable (0 / unset / unparsable → no event retention; metrics are
+/// always recorded when telemetry is attached).
+fn trace_capacity_from_env() -> usize {
+    std::env::var("SIPT_TRACE_EVENTS").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
+}
 
 /// Operating conditions of a run: memory state, placement policy, and
 /// simulation length.
@@ -68,12 +75,7 @@ impl Condition {
 ///
 /// Panics if `name` is not a known benchmark preset or the workload does
 /// not fit in the configured memory.
-pub fn run_benchmark(
-    name: &str,
-    l1: L1Config,
-    system: SystemKind,
-    cond: &Condition,
-) -> RunMetrics {
+pub fn run_benchmark(name: &str, l1: L1Config, system: SystemKind, cond: &Condition) -> RunMetrics {
     let spec = benchmark(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
     run_spec(&spec, l1, system, cond)
 }
@@ -85,27 +87,40 @@ pub fn run_spec(
     system: SystemKind,
     cond: &Condition,
 ) -> RunMetrics {
+    let t0 = Instant::now();
     let mut phys = BuddyAllocator::with_bytes(cond.memory_bytes);
     let mut rng = StdRng::seed_from_u64(cond.seed ^ 0xF7A6);
-    let _hold = cond
-        .fragmented
-        .then(|| fragment_memory(&mut phys, 0.5, &mut rng).expect("fragmentation"));
+    let _hold =
+        cond.fragmented.then(|| fragment_memory(&mut phys, 0.5, &mut rng).expect("fragmentation"));
     let mut asp = AddressSpace::new(0, cond.placement);
-    let mut trace = TraceGen::build(
-        spec,
-        &mut asp,
-        &mut phys,
-        cond.warmup + cond.instructions,
-        cond.seed,
-    )
-    .unwrap_or_else(|e| panic!("{}: workload does not fit: {e}", spec.name));
+    let mut trace =
+        TraceGen::build(spec, &mut asp, &mut phys, cond.warmup + cond.instructions, cond.seed)
+            .unwrap_or_else(|e| panic!("{}: workload does not fit: {e}", spec.name));
     let mut machine = Machine::new(asp, l1, system);
+    machine.l1_mut().attach_telemetry(trace_capacity_from_env());
+    let allocated = Instant::now();
 
     let warm = (&mut trace).take(cond.warmup as usize);
     run_core(system, warm, &mut machine);
     machine.reset_stats();
+    let warmed = Instant::now();
     let core = run_core(system, trace, &mut machine);
-    collect(spec.name, core, &machine)
+    let measured = Instant::now();
+
+    let measure_secs = measured.duration_since(warmed).as_secs_f64();
+    let phases = PhaseProfile {
+        allocate_ms: allocated.duration_since(t0).as_secs_f64() * 1e3,
+        warmup_ms: warmed.duration_since(allocated).as_secs_f64() * 1e3,
+        measure_ms: measure_secs * 1e3,
+        simulated_mips: if measure_secs > 0.0 {
+            core.instructions as f64 / (measure_secs * 1e6)
+        } else {
+            0.0
+        },
+    };
+    let mut metrics = collect(spec.name, core, &machine);
+    metrics.phases = phases;
+    metrics
 }
 
 /// Execute a trace on the system's core model.
@@ -115,13 +130,13 @@ where
 {
     match system {
         SystemKind::OooThreeLevel => simulate_ooo(OooConfig::default(), trace, machine),
-        SystemKind::InOrderTwoLevel => {
-            simulate_inorder(InOrderConfig::default(), trace, machine)
-        }
+        SystemKind::InOrderTwoLevel => simulate_inorder(InOrderConfig::default(), trace, machine),
     }
 }
 
-/// Assemble metrics from a finished machine.
+/// Assemble metrics from a finished machine. The wall-clock `phases`
+/// profile is left default; `run_spec` fills it in (multicore runs keep
+/// the default).
 pub(crate) fn collect(name: &str, core: CoreResult, machine: &Machine) -> RunMetrics {
     let energy = sipt_energy::account(&machine.energy_params(), &machine.activity(core.cycles));
     RunMetrics {
@@ -135,6 +150,8 @@ pub(crate) fn collect(name: &str, core: CoreResult, machine: &Machine) -> RunMet
         dram: machine.lower().backend().stats(),
         energy,
         huge_fraction: machine.address_space().huge_page_fraction(),
+        phases: PhaseProfile::default(),
+        l1_metrics: machine.l1().telemetry().map(|t| t.metrics.snapshot()),
     }
 }
 
@@ -159,9 +176,8 @@ pub fn speculation_profile(name: &str, cond: &Condition) -> SpeculationProfile {
     let spec = benchmark(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
     let mut phys = BuddyAllocator::with_bytes(cond.memory_bytes);
     let mut rng = StdRng::seed_from_u64(cond.seed ^ 0xF7A6);
-    let _hold = cond
-        .fragmented
-        .then(|| fragment_memory(&mut phys, 0.5, &mut rng).expect("fragmentation"));
+    let _hold =
+        cond.fragmented.then(|| fragment_memory(&mut phys, 0.5, &mut rng).expect("fragmentation"));
     let mut asp = AddressSpace::new(0, cond.placement);
     let trace =
         TraceGen::build(&spec, &mut asp, &mut phys, cond.instructions, cond.seed).expect("fit");
@@ -212,12 +228,7 @@ mod tests {
     #[test]
     fn sipt_beats_baseline_on_friendly_workload() {
         let cond = Condition::quick();
-        let base = run_benchmark(
-            "hmmer",
-            baseline_32k_8w_vipt(),
-            SystemKind::OooThreeLevel,
-            &cond,
-        );
+        let base = run_benchmark("hmmer", baseline_32k_8w_vipt(), SystemKind::OooThreeLevel, &cond);
         let sipt = run_benchmark("hmmer", sipt_32k_2w(), SystemKind::OooThreeLevel, &cond);
         assert!(
             sipt.ipc_vs(&base) > 1.0,
@@ -237,8 +248,7 @@ mod tests {
             SystemKind::OooThreeLevel,
             &cond,
         );
-        let combined =
-            run_benchmark("calculix", sipt_32k_2w(), SystemKind::OooThreeLevel, &cond);
+        let combined = run_benchmark("calculix", sipt_32k_2w(), SystemKind::OooThreeLevel, &cond);
         assert!(
             naive.sipt.fast_fraction() < 0.6,
             "calculix must defeat naive speculation: {}",
@@ -261,11 +271,7 @@ mod tests {
         assert!(lib.unchanged[2] > 0.95);
         // Fine-grained allocator → majority of accesses change bits.
         let cal = speculation_profile("calculix", &cond);
-        assert!(
-            cal.unchanged[0] < 0.6,
-            "calculix 1-bit unchanged = {}",
-            cal.unchanged[0]
-        );
+        assert!(cal.unchanged[0] < 0.6, "calculix 1-bit unchanged = {}", cal.unchanged[0]);
         // Monotonic: more bits can only be harder.
         for p in [lib, cal] {
             assert!(p.unchanged[0] >= p.unchanged[1]);
@@ -280,11 +286,7 @@ mod tests {
         let fragged = Condition { fragmented: true, memory_bytes: 2 << 30, ..normal };
         let a = speculation_profile("bwaves", &normal);
         let b = speculation_profile("bwaves", &fragged);
-        assert!(
-            b.hugepage < 0.05,
-            "no huge pages under Fu(9)>0.95 fragmentation: {}",
-            b.hugepage
-        );
+        assert!(b.hugepage < 0.05, "no huge pages under Fu(9)>0.95 fragmentation: {}", b.hugepage);
         assert!(b.unchanged[1] < a.unchanged[1]);
     }
 

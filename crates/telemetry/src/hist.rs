@@ -1,0 +1,308 @@
+//! Log2-bucketed histograms for latency/magnitude distributions.
+//!
+//! Bucket `b` (for `b ≥ 1`) counts values `v` with `floor(log2(v)) + 1 ==
+//! b`, i.e. `2^(b-1) ≤ v < 2^b`; bucket 0 counts zeros. With 65 buckets
+//! the full `u64` domain is covered, so recording can never overflow a
+//! bucket index. The histogram also tracks exact count/sum/min/max, so
+//! means are exact even though bucket boundaries are coarse.
+
+use crate::json::Json;
+
+/// Number of buckets: zeros + one per possible `floor(log2(v))`.
+pub const BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self { buckets: [0; BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// The bucket index a value falls into.
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (64 - value.leading_zeros()) as usize
+        }
+    }
+
+    /// The inclusive `(lo, hi)` value range of bucket `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b >= BUCKETS`.
+    pub fn bucket_range(b: usize) -> (u64, u64) {
+        assert!(b < BUCKETS, "bucket {b} out of range");
+        if b == 0 {
+            (0, 0)
+        } else {
+            (1u64 << (b - 1), (1u64 << (b - 1)).wrapping_mul(2).wrapping_sub(1))
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Record a signed sample's magnitude (used for predictor margins and
+    /// index deltas, whose sign is tracked separately).
+    #[inline]
+    pub fn record_magnitude(&mut self, value: i64) {
+        self.record(value.unsigned_abs());
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Exact mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest sample (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Raw bucket counts.
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// Approximate quantile (0 ≤ q ≤ 1): the upper bound of the bucket
+    /// holding the q-th sample. Returns `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(Self::bucket_range(b).1.min(self.max).max(self.min));
+            }
+        }
+        unreachable!("rank {rank} must be reached with count {}", self.count)
+    }
+
+    /// Merge another histogram into this one (e.g. per-core → machine).
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Subtract a *previous* snapshot of the same histogram (interval
+    /// extraction).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `earlier` is not a prefix of `self`'s history.
+    pub fn diff(&self, earlier: &Log2Histogram) -> Log2Histogram {
+        debug_assert!(self.count >= earlier.count, "diff against a later snapshot");
+        let mut out = Log2Histogram::new();
+        for (i, (a, b)) in self.buckets.iter().zip(earlier.buckets.iter()).enumerate() {
+            out.buckets[i] = a.saturating_sub(*b);
+        }
+        out.count = self.count.saturating_sub(earlier.count);
+        out.sum = self.sum.saturating_sub(earlier.sum);
+        // min/max cannot be un-merged exactly; keep the later window's
+        // bounds (they bound the interval's true extrema).
+        out.min = self.min;
+        out.max = self.max;
+        out
+    }
+
+    /// JSON form: exact summary stats plus the non-empty buckets as
+    /// `[bucket_lo, count]` pairs (sparse, so 65 mostly-empty buckets do
+    /// not bloat reports).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::u64(self.count)),
+            ("sum", Json::num(self.sum as f64)),
+            ("mean", Json::num(self.mean())),
+            ("min", self.min().map_or(Json::Null, Json::u64)),
+            ("max", self.max().map_or(Json::Null, Json::u64)),
+            ("p50", self.quantile(0.5).map_or(Json::Null, Json::u64)),
+            ("p99", self.quantile(0.99).map_or(Json::Null, Json::u64)),
+            (
+                "buckets",
+                Json::arr(
+                    self.buckets.iter().enumerate().filter(|(_, &n)| n > 0).map(|(b, &n)| {
+                        Json::arr([Json::u64(Self::bucket_range(b).0), Json::u64(n)])
+                    }),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 1);
+        assert_eq!(Log2Histogram::bucket_of(2), 2);
+        assert_eq!(Log2Histogram::bucket_of(3), 2);
+        assert_eq!(Log2Histogram::bucket_of(4), 3);
+        assert_eq!(Log2Histogram::bucket_of(7), 3);
+        assert_eq!(Log2Histogram::bucket_of(8), 4);
+        assert_eq!(Log2Histogram::bucket_of(u64::MAX), 64);
+        for b in 1..BUCKETS {
+            let (lo, hi) = Log2Histogram::bucket_range(b);
+            assert_eq!(Log2Histogram::bucket_of(lo), b, "lo of bucket {b}");
+            assert_eq!(Log2Histogram::bucket_of(hi), b, "hi of bucket {b}");
+            if lo > 1 {
+                assert_eq!(Log2Histogram::bucket_of(lo - 1), b - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn records_exact_summary_stats() {
+        let mut h = Log2Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 110);
+        assert!((h.mean() - 110.0 / 6.0).abs() < 1e-12);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(100));
+        assert_eq!(h.buckets()[0], 1); // the zero
+        assert_eq!(h.buckets()[1], 1); // 1
+        assert_eq!(h.buckets()[2], 2); // 2, 3
+        assert_eq!(h.buckets()[3], 1); // 4
+        assert_eq!(h.buckets()[7], 1); // 100 ∈ [64, 127]
+    }
+
+    #[test]
+    fn empty_histogram_is_well_behaved() {
+        let h = Log2Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.quantile(0.5), None);
+        let j = h.to_json();
+        assert_eq!(j.path("count").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(j.path("min"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn quantiles_bracket_the_distribution() {
+        let mut h = Log2Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        // Bucket-upper-bound estimates: p50 ∈ [500, 1023] capped at max.
+        assert!((500..=1000).contains(&p50), "p50 = {p50}");
+        assert!((990..=1000).contains(&p99), "p99 = {p99}");
+        assert!(p50 <= p99);
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(1.0), Some(1000));
+    }
+
+    #[test]
+    fn merge_adds_and_diff_subtracts() {
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        for v in [1u64, 5, 9] {
+            a.record(v);
+        }
+        for v in [2u64, 1000] {
+            b.record(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), 5);
+        assert_eq!(merged.sum(), 15 + 1002);
+        assert_eq!(merged.min(), Some(1));
+        assert_eq!(merged.max(), Some(1000));
+        let back = merged.diff(&a);
+        assert_eq!(back.count(), b.count());
+        assert_eq!(back.sum(), b.sum());
+        assert_eq!(back.buckets()[2], 1); // the 2
+        assert_eq!(back.buckets()[10], 1); // the 1000
+    }
+
+    #[test]
+    fn magnitude_recording_folds_sign() {
+        let mut h = Log2Histogram::new();
+        h.record_magnitude(-37);
+        h.record_magnitude(37);
+        h.record_magnitude(i64::MIN);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.buckets()[6], 2); // |±37| ∈ [32, 63]
+        assert_eq!(h.max(), Some(1u64 << 63));
+    }
+
+    #[test]
+    fn json_buckets_are_sparse_lo_count_pairs() {
+        let mut h = Log2Histogram::new();
+        h.record(6);
+        h.record(6);
+        let j = h.to_json();
+        let buckets = j.path("buckets").and_then(Json::as_arr).unwrap();
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].as_arr().unwrap()[0].as_f64(), Some(4.0));
+        assert_eq!(buckets[0].as_arr().unwrap()[1].as_f64(), Some(2.0));
+        // Round-trip through the in-crate parser.
+        let parsed = crate::json::parse(&j.render()).unwrap();
+        assert_eq!(parsed, j);
+    }
+}

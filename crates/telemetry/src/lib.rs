@@ -1,0 +1,58 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # sipt-telemetry — observability for the SIPT simulator
+//!
+//! SIPT's value proposition lives in *distributions* — how often the
+//! speculated index bits survive translation, what the VA→PA index-delta
+//! distribution looks like, how the perceptron's confidence margin
+//! correlates with replays, what the replay penalty costs per benchmark.
+//! This crate provides the three layers every other crate instruments
+//! against, with zero external dependencies (the build stays offline):
+//!
+//! 1. [`MetricsRegistry`] — named monotonic counters, gauges, and
+//!    log2-bucketed [`Log2Histogram`]s, with
+//!    [`MetricsSnapshot`] snapshot / diff / merge;
+//! 2. [`EventTracer`] — a bounded ring buffer of per-access speculation
+//!    [`SpecEvent`]s (fast hits, replays, bypass waits, IDB corrections,
+//!    …) with cycle timestamps, PCs and speculated-vs-actual index bits,
+//!    dumpable as JSONL;
+//! 3. [`json`] + [`report`] — a hand-rolled (no serde) JSON value type
+//!    with renderer *and* parser, and the `results/<name>.json` report
+//!    envelope used by every `fig*`/`tab*`/`ablation_*` binary behind
+//!    the `--json` / `SIPT_JSON=1` switch.
+//!
+//! ## Example
+//!
+//! ```
+//! use sipt_telemetry::{EventTracer, MetricsRegistry, SpecEvent, SpecEventKind};
+//!
+//! let mut metrics = MetricsRegistry::new();
+//! let mut tracer = EventTracer::new(1024);
+//! // ... per access ...
+//! metrics.incr("l1.replays");
+//! metrics.observe("l1.replay_latency", 14);
+//! tracer.push(SpecEvent {
+//!     cycle: 1000, pc: 0x400abc, kind: SpecEventKind::Replay,
+//!     speculated_bits: 0b01, actual_bits: 0b10, latency: 14, margin: 3,
+//! });
+//! // ... at the end of the run ...
+//! let snap = metrics.snapshot();
+//! assert_eq!(snap.counters["l1.replays"], 1);
+//! let jsonl = tracer.to_jsonl();
+//! assert!(jsonl.contains("\"kind\":\"replay\""));
+//! let report = sipt_telemetry::report::envelope("demo", snap.to_json());
+//! let back = sipt_telemetry::json::parse(&report.render()).unwrap();
+//! assert_eq!(back, report);
+//! ```
+
+pub mod hist;
+pub mod json;
+pub mod registry;
+pub mod report;
+pub mod trace;
+
+pub use hist::{Log2Histogram, BUCKETS};
+pub use json::Json;
+pub use registry::{MetricsRegistry, MetricsSnapshot};
+pub use trace::{EventTracer, SpecEvent, SpecEventKind};

@@ -1,0 +1,233 @@
+//! A lightweight named-metrics registry: monotonic counters, gauges, and
+//! log2 histograms, with snapshot / diff / merge.
+//!
+//! Names are `&'static str` dot-paths by convention (`l1.replays`,
+//! `runner.phase.measure_ms`). The registry is deliberately simple and
+//! single-threaded — the simulator is single-threaded per core, and
+//! per-core registries [`MetricsSnapshot::merge`] into machine-level
+//! ones, mirroring how production metric pipelines aggregate shards.
+
+use crate::hist::Log2Histogram;
+use crate::json::Json;
+use std::collections::BTreeMap;
+
+/// The registry of live metrics.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Log2Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to the named monotonic counter (creating it at 0).
+    pub fn count(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Increment the named counter by one.
+    pub fn incr(&mut self, name: &'static str) {
+        self.count(name, 1);
+    }
+
+    /// Set the named gauge to `value` (creating it).
+    pub fn gauge(&mut self, name: &'static str, value: f64) {
+        self.gauges.insert(name, value);
+    }
+
+    /// Record `value` into the named histogram (creating it).
+    pub fn observe(&mut self, name: &'static str, value: u64) {
+        self.histograms.entry(name).or_default().record(value);
+    }
+
+    /// Record a signed value's magnitude into the named histogram.
+    pub fn observe_magnitude(&mut self, name: &'static str, value: i64) {
+        self.histograms.entry(name).or_default().record_magnitude(value);
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge, if set.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Borrow a histogram, if any values were observed.
+    pub fn histogram(&self, name: &str) -> Option<&Log2Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// An immutable snapshot of everything currently registered.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.iter().map(|(&k, &v)| (k.to_owned(), v)).collect(),
+            gauges: self.gauges.iter().map(|(&k, &v)| (k.to_owned(), v)).collect(),
+            histograms: self.histograms.iter().map(|(&k, v)| (k.to_owned(), v.clone())).collect(),
+        }
+    }
+
+    /// Reset all metrics (e.g. after warmup), keeping nothing.
+    pub fn reset(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+        self.histograms.clear();
+    }
+}
+
+/// A point-in-time copy of a registry's contents.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, Log2Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Counters/histograms accumulated since `earlier` (gauges keep the
+    /// later value). Counters absent from `self` are treated as 0 — the
+    /// diff saturates rather than underflowing.
+    pub fn diff(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, &v)| {
+                (k.clone(), v.saturating_sub(earlier.counters.get(k).copied().unwrap_or(0)))
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, v)| {
+                let d = match earlier.histograms.get(k) {
+                    Some(e) => v.diff(e),
+                    None => v.clone(),
+                };
+                (k.clone(), d)
+            })
+            .collect();
+        MetricsSnapshot { counters, gauges: self.gauges.clone(), histograms }
+    }
+
+    /// Merge another snapshot into this one: counters add, histograms
+    /// merge, gauges take the other's value on collision (last writer
+    /// wins, as when aggregating per-core shards in order).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, &v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, &v) in &other.gauges {
+            self.gauges.insert(k.clone(), v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// JSON form: `{"counters": {...}, "gauges": {...}, "histograms":
+    /// {...}}` with histogram bodies from
+    /// [`Log2Histogram::to_json`].
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("counters", Json::obj(self.counters.iter().map(|(k, &v)| (k.clone(), Json::u64(v))))),
+            ("gauges", Json::obj(self.gauges.iter().map(|(k, &v)| (k.clone(), Json::num(v))))),
+            (
+                "histograms",
+                Json::obj(self.histograms.iter().map(|(k, h)| (k.clone(), h.to_json()))),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_register_lazily() {
+        let mut r = MetricsRegistry::new();
+        r.incr("l1.accesses");
+        r.count("l1.accesses", 4);
+        r.gauge("l1.fast_fraction", 0.9);
+        r.observe("l1.replay_latency", 6);
+        r.observe_magnitude("idb.delta", -3);
+        assert_eq!(r.counter("l1.accesses"), 5);
+        assert_eq!(r.counter("untouched"), 0);
+        assert_eq!(r.gauge_value("l1.fast_fraction"), Some(0.9));
+        assert_eq!(r.histogram("l1.replay_latency").unwrap().count(), 1);
+        assert_eq!(r.histogram("idb.delta").unwrap().max(), Some(3));
+        r.reset();
+        assert_eq!(r.counter("l1.accesses"), 0);
+        assert!(r.histogram("l1.replay_latency").is_none());
+    }
+
+    #[test]
+    fn snapshot_diff_isolates_an_interval() {
+        let mut r = MetricsRegistry::new();
+        r.count("x", 10);
+        r.observe("h", 4);
+        let warm = r.snapshot();
+        r.count("x", 7);
+        r.count("y", 2);
+        r.observe("h", 8);
+        let end = r.snapshot();
+        let d = end.diff(&warm);
+        assert_eq!(d.counters["x"], 7);
+        assert_eq!(d.counters["y"], 2);
+        assert_eq!(d.histograms["h"].count(), 1);
+        assert_eq!(d.histograms["h"].sum(), 8);
+    }
+
+    #[test]
+    fn merge_aggregates_shards() {
+        let mut a = MetricsRegistry::new();
+        a.count("c", 1);
+        a.observe("h", 2);
+        a.gauge("g", 0.25);
+        let mut b = MetricsRegistry::new();
+        b.count("c", 2);
+        b.count("only_b", 5);
+        b.observe("h", 1024);
+        b.gauge("g", 0.75);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counters["c"], 3);
+        assert_eq!(merged.counters["only_b"], 5);
+        assert_eq!(merged.histograms["h"].count(), 2);
+        assert_eq!(merged.gauges["g"], 0.75);
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let mut r = MetricsRegistry::new();
+        r.count("a.b", 3);
+        r.gauge("g", 1.5);
+        r.observe("h", 100);
+        let j = r.snapshot().to_json();
+        let parsed = crate::json::parse(&j.render()).unwrap();
+        assert_eq!(parsed.path("counters.a.b"), None, "dots are not nesting");
+        assert_eq!(
+            parsed.get("counters").and_then(|c| c.get("a.b")).and_then(Json::as_f64),
+            Some(3.0)
+        );
+        assert_eq!(parsed.path("gauges.g").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(
+            parsed
+                .get("histograms")
+                .and_then(|h| h.get("h"))
+                .and_then(|h| h.path("count"))
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
+    }
+}

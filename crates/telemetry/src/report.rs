@@ -1,0 +1,71 @@
+//! Machine-readable run reports: the `--json` / `SIPT_JSON=1` switch and
+//! the `results/<name>.json` writer shared by every figure/table binary.
+
+use crate::json::Json;
+use std::path::{Path, PathBuf};
+
+/// Whether JSON emission was requested, from the process environment:
+/// a literal `--json` argument or `SIPT_JSON=1` (any non-empty value
+/// other than `0`).
+pub fn json_requested() -> bool {
+    if std::env::args().any(|a| a == "--json") {
+        return true;
+    }
+    matches!(std::env::var("SIPT_JSON"), Ok(v) if !v.is_empty() && v != "0")
+}
+
+/// Schema version stamped into every report, bumped on breaking changes.
+pub const REPORT_SCHEMA_VERSION: u32 = 1;
+
+/// Wrap an artifact's payload in the standard report envelope:
+/// `{"schema_version", "artifact", "payload"}`.
+pub fn envelope(artifact: &str, payload: Json) -> Json {
+    Json::obj([
+        ("schema_version", Json::u64(u64::from(REPORT_SCHEMA_VERSION))),
+        ("artifact", Json::str(artifact)),
+        ("payload", payload),
+    ])
+}
+
+/// Write `report` to `<dir>/<name>.json` (pretty-rendered), creating
+/// `dir` if needed. Returns the written path.
+pub fn write_report(dir: &Path, name: &str, report: &Json) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, report.render_pretty())?;
+    Ok(path)
+}
+
+/// The conventional output directory (`results/` under the current
+/// working directory, overridable with `SIPT_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("SIPT_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn envelope_has_stable_keys() {
+        let e = envelope("fig01", Json::obj([("rows", Json::arr([]))]));
+        let parsed = parse(&e.render()).unwrap();
+        assert_eq!(parsed.path("schema_version").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(parsed.path("artifact").and_then(Json::as_str), Some("fig01"));
+        assert!(parsed.path("payload.rows").is_some());
+    }
+
+    #[test]
+    fn write_report_creates_dir_and_file() {
+        let dir = std::env::temp_dir().join(format!("sipt-telemetry-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let report = envelope("smoke", Json::u64(7));
+        let path = write_report(&dir.join("nested"), "smoke", &report).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(parse(&text).unwrap(), report);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,273 @@
+//! Bounded ring-buffer tracing of per-access speculation events.
+//!
+//! The tracer keeps the most recent `capacity` events; older events are
+//! overwritten and counted in [`EventTracer::dropped`]. Events dump as
+//! JSONL (one JSON object per line), the format consumed by the repo's
+//! analysis scripts and documented in EXPERIMENTS.md.
+
+use crate::json::Json;
+use std::collections::VecDeque;
+
+/// The speculation-relevant event classes of one L1 access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecEventKind {
+    /// Speculated with the VA index bits and they survived translation.
+    FastHit,
+    /// Speculated with the wrong bits: the access replayed with the
+    /// physical index (wasted array read + replay penalty).
+    Replay,
+    /// The bypass predictor said "wait for translation" and the bits had
+    /// indeed changed — a correct (necessary) serialization.
+    BypassWait,
+    /// The bypass predictor said "wait" although the bits were unchanged —
+    /// a squandered fast access.
+    OpportunityLoss,
+    /// The IDB (or 1-bit inverted prediction) corrected the index delta:
+    /// a would-be-slow access converted to fast.
+    IdbCorrected,
+    /// The IDB supplied a wrong delta: replayed like a misspeculation.
+    IdbMispredict,
+    /// The policy did not speculate on this access (VIPT/PIPT/ideal).
+    NotSpeculative,
+}
+
+impl SpecEventKind {
+    /// Stable wire name used in JSONL output.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpecEventKind::FastHit => "fast_hit",
+            SpecEventKind::Replay => "replay",
+            SpecEventKind::BypassWait => "bypass_wait",
+            SpecEventKind::OpportunityLoss => "opportunity_loss",
+            SpecEventKind::IdbCorrected => "idb_corrected",
+            SpecEventKind::IdbMispredict => "idb_mispredict",
+            SpecEventKind::NotSpeculative => "not_speculative",
+        }
+    }
+
+    /// All kinds, in wire order (for per-kind counting).
+    pub const ALL: [SpecEventKind; 7] = [
+        SpecEventKind::FastHit,
+        SpecEventKind::Replay,
+        SpecEventKind::BypassWait,
+        SpecEventKind::OpportunityLoss,
+        SpecEventKind::IdbCorrected,
+        SpecEventKind::IdbMispredict,
+        SpecEventKind::NotSpeculative,
+    ];
+}
+
+/// One traced speculation event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpecEvent {
+    /// Cycle (or access ordinal when the caller has no cycle clock) at
+    /// which the access issued.
+    pub cycle: u64,
+    /// Program counter of the memory operation.
+    pub pc: u64,
+    /// Event class.
+    pub kind: SpecEventKind,
+    /// The index bits the cache speculated with (beyond the page offset).
+    pub speculated_bits: u64,
+    /// The post-translation (actual) index bits.
+    pub actual_bits: u64,
+    /// Observed L1 latency of the access, in cycles.
+    pub latency: u64,
+    /// Predictor confidence margin for the access (|y| of the perceptron;
+    /// 0 when not applicable).
+    pub margin: u64,
+}
+
+impl SpecEvent {
+    /// One JSONL line (no trailing newline).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("cycle", Json::u64(self.cycle)),
+            ("pc", Json::str(format!("0x{:x}", self.pc))),
+            ("kind", Json::str(self.kind.name())),
+            ("spec_bits", Json::u64(self.speculated_bits)),
+            ("actual_bits", Json::u64(self.actual_bits)),
+            ("latency", Json::u64(self.latency)),
+            ("margin", Json::u64(self.margin)),
+        ])
+    }
+}
+
+/// A bounded ring buffer of [`SpecEvent`]s.
+#[derive(Debug, Clone)]
+pub struct EventTracer {
+    buf: VecDeque<SpecEvent>,
+    capacity: usize,
+    recorded: u64,
+    dropped: u64,
+}
+
+impl EventTracer {
+    /// A tracer retaining at most `capacity` events. Capacity 0 disables
+    /// recording entirely (every push is counted as dropped).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            buf: VecDeque::with_capacity(capacity.min(1 << 20)),
+            capacity,
+            recorded: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Retention capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Record one event, evicting the oldest when full.
+    pub fn push(&mut self, event: SpecEvent) {
+        self.recorded += 1;
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event);
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &SpecEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events ever pushed.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events lost to wraparound (or to a zero-capacity tracer).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Per-kind counts over the *retained* window.
+    pub fn kind_counts(&self) -> Vec<(SpecEventKind, u64)> {
+        SpecEventKind::ALL
+            .iter()
+            .map(|&k| (k, self.buf.iter().filter(|e| e.kind == k).count() as u64))
+            .collect()
+    }
+
+    /// Clear retained events (counters keep accumulating).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Dump the retained window as JSONL, oldest first.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.buf {
+            out.push_str(&e.to_json().render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the retained window as JSONL to `w`.
+    pub fn dump_jsonl<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        w.write_all(self.to_jsonl().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn ev(cycle: u64, kind: SpecEventKind) -> SpecEvent {
+        SpecEvent {
+            cycle,
+            pc: 0x400000 + cycle,
+            kind,
+            speculated_bits: cycle % 4,
+            actual_bits: (cycle + 1) % 4,
+            latency: 2 + cycle % 3,
+            margin: cycle % 40,
+        }
+    }
+
+    #[test]
+    fn retains_most_recent_events_on_wraparound() {
+        let mut t = EventTracer::new(4);
+        for i in 0..10 {
+            t.push(ev(i, SpecEventKind::FastHit));
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.recorded(), 10);
+        assert_eq!(t.dropped(), 6);
+        let cycles: Vec<u64> = t.iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![6, 7, 8, 9], "oldest first, newest retained");
+    }
+
+    #[test]
+    fn zero_capacity_disables_retention() {
+        let mut t = EventTracer::new(0);
+        t.push(ev(1, SpecEventKind::Replay));
+        assert!(t.is_empty());
+        assert_eq!(t.recorded(), 1);
+        assert_eq!(t.dropped(), 1);
+        assert_eq!(t.to_jsonl(), "");
+    }
+
+    #[test]
+    fn jsonl_lines_parse_individually() {
+        let mut t = EventTracer::new(8);
+        t.push(ev(5, SpecEventKind::Replay));
+        t.push(ev(6, SpecEventKind::IdbCorrected));
+        let dump = t.to_jsonl();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = parse(lines[0]).unwrap();
+        assert_eq!(first.path("kind").and_then(|j| j.as_str()), Some("replay"));
+        assert_eq!(first.path("cycle").and_then(|j| j.as_f64()), Some(5.0));
+        assert_eq!(first.path("pc").and_then(|j| j.as_str()), Some("0x400005"));
+        let second = parse(lines[1]).unwrap();
+        assert_eq!(second.path("kind").and_then(|j| j.as_str()), Some("idb_corrected"));
+    }
+
+    #[test]
+    fn kind_counts_cover_retained_window() {
+        let mut t = EventTracer::new(16);
+        for i in 0..6 {
+            t.push(ev(
+                i,
+                if i % 2 == 0 { SpecEventKind::FastHit } else { SpecEventKind::BypassWait },
+            ));
+        }
+        let counts = t.kind_counts();
+        let get = |k: SpecEventKind| counts.iter().find(|(kk, _)| *kk == k).unwrap().1;
+        assert_eq!(get(SpecEventKind::FastHit), 3);
+        assert_eq!(get(SpecEventKind::BypassWait), 3);
+        assert_eq!(get(SpecEventKind::Replay), 0);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.recorded(), 6, "counters survive clear");
+    }
+
+    #[test]
+    fn dump_jsonl_writes_to_io() {
+        let mut t = EventTracer::new(2);
+        t.push(ev(1, SpecEventKind::NotSpeculative));
+        let mut buf = Vec::new();
+        t.dump_jsonl(&mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("not_speculative"));
+    }
+}

@@ -134,11 +134,7 @@ impl<K: Eq + Hash + Clone, V> LruSetAssoc<K, V> {
     where
         V: Clone,
     {
-        self.sets
-            .iter()
-            .flatten()
-            .map(|w| (w.key.clone(), w.value.clone()))
-            .collect()
+        self.sets.iter().flatten().map(|w| (w.key.clone(), w.value.clone())).collect()
     }
 }
 

@@ -11,8 +11,7 @@ use sipt_tlb::{DataTlb, TlbConfig};
 fn build_table(base_pages: u64, huge_pages: u64) -> PageTable {
     let mut pt = PageTable::new();
     for i in 0..base_pages {
-        pt.map(VirtPageNum::new(i), PhysFrameNum::new(10_000 + i * 7), PageSize::Base4K)
-            .unwrap();
+        pt.map(VirtPageNum::new(i), PhysFrameNum::new(10_000 + i * 7), PageSize::Base4K).unwrap();
     }
     for i in 0..huge_pages {
         let vpn = (1 << 20) + i * PAGES_PER_HUGE_PAGE;

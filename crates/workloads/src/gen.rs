@@ -9,10 +9,9 @@
 //! and giving the PC-indexed SIPT predictors something learnable.
 
 use crate::spec::{AllocPattern, WorkloadSpec};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use sipt_cpu::{Inst, MemOp, MemRef};
 use sipt_mem::{AddressSpace, BuddyAllocator, MemError, Region, VirtAddr, PAGE_SIZE};
+use sipt_rng::{Rng, SeedableRng, StdRng};
 
 /// The workload's view of its memory: the mmap'd regions flattened into
 /// one linear space of `bytes` bytes.
@@ -239,7 +238,7 @@ impl TraceGen {
                 role: Role::Hot { slice_lo: 0, slice_hi: hot_slice.min(bytes), tiny: 256 },
             });
         }
-        let _ = rng.gen::<u64>(); // decouple seed streams
+        let _ = rng.next_u64(); // decouple seed streams
 
         Ok(Self {
             statics,
@@ -288,7 +287,16 @@ impl TraceGen {
     fn gen_mem(&mut self) -> Inst {
         if self.static_run_left == 0 {
             self.cur_static = self.rng.gen_range(0..self.statics.len());
-            self.static_run_left = self.rng.gen_range(4..=16);
+            // Streaming kernels are tight inner loops sweeping long
+            // extents back-to-back, so a streamer PC keeps issuing far
+            // longer before the program moves on; irregular roles
+            // (chases, hash probes, hot structures) have short bodies.
+            // The asymmetry is what lets streams keep a DRAM row open
+            // while a pointer chase keeps paying activations.
+            self.static_run_left = match self.statics[self.cur_static].role {
+                Role::Stream { .. } => self.rng.gen_range(32..=128),
+                _ => self.rng.gen_range(4..=16),
+            };
         }
         self.static_run_left -= 1;
         let idx = self.cur_static;
@@ -303,8 +311,7 @@ impl TraceGen {
                     (s.pc, off.min(bytes - 8), false)
                 }
                 Role::Burst { lo, hi, page, step, burst_left } => {
-                    let off =
-                        Self::burst_step(&mut self.rng, *lo, *hi, page, step, burst_left);
+                    let off = Self::burst_step(&mut self.rng, *lo, *hi, page, step, burst_left);
                     (s.pc, off, false)
                 }
                 Role::AltBurst { lo, hi, pages, step, burst_left, toggle } => {
@@ -328,8 +335,7 @@ impl TraceGen {
                     (s.pc, off, false)
                 }
                 Role::Chase { lo, hi, page, step, burst_left } => {
-                    let off =
-                        Self::burst_step(&mut self.rng, *lo, *hi, page, step, burst_left);
+                    let off = Self::burst_step(&mut self.rng, *lo, *hi, page, step, burst_left);
                     (s.pc, off, true)
                 }
                 Role::Hot { slice_lo, slice_hi, tiny } => {
@@ -468,11 +474,7 @@ mod tests {
         for inst in gen {
             if let Some(mem) = inst.mem {
                 mem_ops += 1;
-                assert!(
-                    asp.translate(mem.va).is_some(),
-                    "unmapped access at {}",
-                    mem.va
-                );
+                assert!(asp.translate(mem.va).is_some(), "unmapped access at {}", mem.va);
             }
         }
         assert!(mem_ops > 5_000, "gcc should be ~36% memory ops, got {mem_ops}");
@@ -528,9 +530,8 @@ mod tests {
     #[test]
     fn chase_instructions_are_self_dependent() {
         let (gen, _asp) = build_for("mcf", 50_000);
-        let chases: Vec<Inst> = gen
-            .filter(|i| i.mem.is_some() && i.dst == Some(CHASE_REG))
-            .collect();
+        let chases: Vec<Inst> =
+            gen.filter(|i| i.mem.is_some() && i.dst == Some(CHASE_REG)).collect();
         assert!(!chases.is_empty(), "mcf must emit pointer chases");
         for c in &chases {
             assert_eq!(c.srcs[0], Some(CHASE_REG), "chase must read its own register");

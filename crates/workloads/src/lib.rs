@@ -31,8 +31,8 @@ pub mod spec;
 pub mod trace_file;
 
 pub use gen::{Layout, TraceGen};
-pub use trace_file::{read_trace, write_trace, TraceFileError};
 pub use spec::{
-    benchmark, AllocPattern, PatternMix, WorkloadSpec, BENCHMARKS, LOW_SPECULATION_APPS,
-    MIXES, MIX_ONLY_BENCHMARKS,
+    benchmark, AllocPattern, PatternMix, WorkloadSpec, BENCHMARKS, LOW_SPECULATION_APPS, MIXES,
+    MIX_ONLY_BENCHMARKS,
 };
+pub use trace_file::{read_trace, write_trace, TraceFileError};

@@ -31,15 +31,10 @@ impl PatternMix {
 
     /// Validate that fractions are sane.
     pub fn validate(&self) {
-        for (name, v) in
-            [("stream", self.stream), ("random", self.random), ("chase", self.chase)]
-        {
+        for (name, v) in [("stream", self.stream), ("random", self.random), ("chase", self.chase)] {
             assert!((0.0..=1.0).contains(&v), "{name} fraction {v} out of range");
         }
-        assert!(
-            self.stream + self.random + self.chase <= 1.0 + 1e-9,
-            "pattern fractions exceed 1"
-        );
+        assert!(self.stream + self.random + self.chase <= 1.0 + 1e-9, "pattern fractions exceed 1");
     }
 }
 
@@ -184,25 +179,14 @@ pub const MIX_ONLY_BENCHMARKS: &[WorkloadSpec] = &[
 
 /// Look up a benchmark by name across both tables.
 pub fn benchmark(name: &str) -> Option<WorkloadSpec> {
-    BENCHMARKS
-        .iter()
-        .chain(MIX_ONLY_BENCHMARKS)
-        .find(|spec| spec.name == name)
-        .copied()
+    BENCHMARKS.iter().chain(MIX_ONLY_BENCHMARKS).find(|spec| spec.name == name).copied()
 }
 
 /// The paper's seven applications with minority fast accesses at one
 /// speculative bit (§IV.A): used by tests and the experiment drivers to
 /// check the reproduction preserves the split.
-pub const LOW_SPECULATION_APPS: &[&str] = &[
-    "deepsjeng_17",
-    "cactusADM",
-    "calculix",
-    "graph500",
-    "ycsb",
-    "xalancbmk_17",
-    "gromacs",
-];
+pub const LOW_SPECULATION_APPS: &[&str] =
+    &["deepsjeng_17", "cactusADM", "calculix", "graph500", "ycsb", "xalancbmk_17", "gromacs"];
 
 /// Table III: the 11 multiprogrammed quad-core workloads.
 pub const MIXES: &[(&str, [&str; 4])] = &[

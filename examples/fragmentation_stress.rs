@@ -17,17 +17,17 @@ use sipt_sim::{run_benchmark, Condition, SystemKind};
 fn main() {
     // First show what the fragmentation injector actually does.
     let mut phys = BuddyAllocator::with_bytes(1 << 30);
-    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+    let mut rng = <sipt_rng::StdRng as sipt_rng::SeedableRng>::seed_from_u64(1);
     println!(
         "fresh memory:      Fu(9) = {:.3}, free = {} MiB",
         phys.unusable_free_space_index(HUGE_PAGE_ORDER),
-        phys.free_frames() * 4096 >> 20
+        (phys.free_frames() * 4096) >> 20
     );
     let hold = fragment_memory(&mut phys, 0.5, &mut rng).expect("fragment");
     println!(
         "after injector:    Fu(9) = {:.3}, free = {} MiB (plenty free, zero contiguity)\n",
         phys.unusable_free_space_index(HUGE_PAGE_ORDER),
-        phys.free_frames() * 4096 >> 20
+        (phys.free_frames() * 4096) >> 20
     );
     hold.release(&mut phys);
 

@@ -1,6 +1,8 @@
 #!/bin/bash
 set -u
-cd /root/repo
+cd "$(dirname "$0")"
+# Every run also writes results/<name>.json (machine-readable report).
+export SIPT_JSON=1
 for f in tab01 fig01 tab02 tab03 fig05 fig02 fig03 fig06 fig09 fig12 fig13 fig16 fig15 fig18 ablation_bypass ablation_idb ablation_perceptron_size ablation_replay ablation_coloring future_icache; do
   echo "=== running $f ==="
   start=$SECONDS

@@ -17,12 +17,8 @@ fn policy_ordering_ideal_bounds_sipt_bounds_naive() {
     let c = cond();
     let system = SystemKind::OooThreeLevel;
     let base = run_benchmark("calculix", baseline_32k_8w_vipt(), system, &c);
-    let naive = run_benchmark(
-        "calculix",
-        sipt_32k_2w().with_policy(L1Policy::SiptNaive),
-        system,
-        &c,
-    );
+    let naive =
+        run_benchmark("calculix", sipt_32k_2w().with_policy(L1Policy::SiptNaive), system, &c);
     let combined = run_benchmark("calculix", sipt_32k_2w(), system, &c);
     let ideal = run_benchmark("calculix", sipt_32k_2w().with_policy(L1Policy::Ideal), system, &c);
     let (n, s, i) = (naive.ipc_vs(&base), combined.ipc_vs(&base), ideal.ipc_vs(&base));
@@ -50,8 +46,12 @@ fn pipt_is_slowest_indexing_policy() {
 fn every_table2_config_beats_its_pipt_self() {
     let c = cond();
     for cfg in table2_sipt_configs() {
-        let pipt =
-            run_benchmark("sjeng", cfg.clone().with_policy(L1Policy::Pipt), SystemKind::OooThreeLevel, &c);
+        let pipt = run_benchmark(
+            "sjeng",
+            cfg.clone().with_policy(L1Policy::Pipt),
+            SystemKind::OooThreeLevel,
+            &c,
+        );
         let sipt = run_benchmark("sjeng", cfg.clone(), SystemKind::OooThreeLevel, &c);
         assert!(
             sipt.ipc() >= pipt.ipc(),
@@ -71,7 +71,11 @@ fn energy_accounting_is_consistent() {
     assert!(e.total() > 0.0);
     assert!(e.dynamic() < e.total(), "static energy must be nonzero");
     // Components are individually non-negative and sum to the total.
-    let sum = e.l1_dynamic + e.l1_static + e.l2_dynamic + e.l2_static + e.llc_dynamic
+    let sum = e.l1_dynamic
+        + e.l1_static
+        + e.l2_dynamic
+        + e.l2_static
+        + e.llc_dynamic
         + e.llc_static
         + e.predictor;
     assert!((sum - e.total()).abs() < 1e-15);
@@ -162,4 +166,46 @@ fn way_prediction_composes_with_every_policy() {
         assert!(wp.correct + wp.wrong > 0, "predictions must be recorded");
         assert!(wp.accuracy() > 0.2);
     }
+}
+
+#[test]
+fn machine_readable_report_round_trips_with_histograms() {
+    // The full telemetry path: run a benchmark, build the standard report
+    // envelope, write it to disk, parse it back, and check the quantities
+    // an external consumer would rely on (IPC, replay rate, histograms).
+    use sipt_sim::experiments::report::run_summary_json;
+    use sipt_telemetry::json::{self, Json};
+    use sipt_telemetry::report;
+
+    let m = run_benchmark("hmmer", sipt_32k_2w(), SystemKind::OooThreeLevel, &cond());
+    let envelope = report::envelope("e2e", run_summary_json(&m));
+    let dir = std::env::temp_dir().join(format!("sipt-e2e-{}", std::process::id()));
+    let path = report::write_report(&dir, "e2e", &envelope).expect("report written");
+    let text = std::fs::read_to_string(&path).expect("report readable");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let parsed = json::parse(&text).expect("report parses back");
+    assert_eq!(parsed.path("schema_version").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(parsed.path("artifact").and_then(Json::as_str), Some("e2e"));
+
+    let ipc = parsed.path("payload.ipc").and_then(Json::as_f64).expect("ipc present");
+    assert!(ipc > 0.0, "ipc must be positive, got {ipc}");
+
+    let replay = parsed
+        .path("payload.sipt.replay_rate")
+        .and_then(Json::as_f64)
+        .expect("replay_rate present");
+    assert!(replay.is_finite() && replay >= 0.0, "replay rate {replay}");
+
+    // The attached L1 telemetry snapshot must carry at least one histogram
+    // (latency is always observed), with buckets and a matching count.
+    // Histogram names contain dots, so walk with `get` rather than `path`.
+    let hist = parsed
+        .path("payload.l1.histograms")
+        .and_then(|h| h.get("l1.latency"))
+        .expect("l1.latency histogram present");
+    let count = hist.get("count").and_then(Json::as_f64).expect("histogram count");
+    assert!(count > 0.0, "latency histogram must be populated");
+    let buckets = hist.get("buckets").and_then(Json::as_arr).expect("buckets array");
+    assert!(!buckets.is_empty());
 }
