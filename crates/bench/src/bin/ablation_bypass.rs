@@ -3,7 +3,7 @@
 //! inconsistency across applications).
 
 use sipt_core::{sipt_32k_2w, BypassKind, L1Policy};
-use sipt_sim::{run_benchmark, SystemKind};
+use sipt_sim::{Sweep, SystemKind};
 use sipt_telemetry::json::Json;
 
 fn main() {
@@ -17,21 +17,28 @@ fn main() {
         "{:<16} {:>12} {:>12} {:>12} {:>12}",
         "benchmark", "perc acc", "ctr acc", "perc extra", "ctr extra"
     );
-    let (mut pacc, mut cacc) = (Vec::new(), Vec::new());
-    let mut json_rows = Vec::new();
-    for bench in cli.scale.benchmarks() {
-        let perc = run_benchmark(
+    let benches = cli.scale.benchmarks();
+    let mut sweep = Sweep::new();
+    for &bench in &benches {
+        sweep.bench(
             bench,
             sipt_32k_2w().with_policy(L1Policy::SiptBypass),
             SystemKind::OooThreeLevel,
             &cond,
         );
-        let ctr = run_benchmark(
+        sweep.bench(
             bench,
             sipt_32k_2w().with_policy(L1Policy::SiptBypass).with_bypass(BypassKind::Counter),
             SystemKind::OooThreeLevel,
             &cond,
         );
+    }
+    let mut runs = sweep.run().into_iter();
+    let (mut pacc, mut cacc) = (Vec::new(), Vec::new());
+    let mut json_rows = Vec::new();
+    for &bench in &benches {
+        let perc = runs.next().expect("perceptron run");
+        let ctr = runs.next().expect("counter run");
         let acc = |m: &sipt_sim::RunMetrics| {
             (m.sipt.correct_speculation + m.sipt.correct_bypass) as f64
                 / m.sipt.accesses.max(1) as f64

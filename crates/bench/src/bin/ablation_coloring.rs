@@ -10,7 +10,7 @@
 
 use sipt_core::{sipt_32k_2w, L1Policy};
 use sipt_mem::PlacementPolicy;
-use sipt_sim::{run_benchmark, Condition, SystemKind};
+use sipt_sim::{Condition, Sweep, SystemKind};
 use sipt_telemetry::json::Json;
 
 fn main() {
@@ -26,21 +26,29 @@ fn main() {
         "{:<16} {:>16} {:>16} {:>18}",
         "benchmark", "naive (default)", "naive (colored)", "combined (default)"
     );
-    let mut json_rows = Vec::new();
-    for bench in cli.scale.benchmarks() {
-        let naive = run_benchmark(
+    let benches = cli.scale.benchmarks();
+    let mut sweep = Sweep::new();
+    for &bench in &benches {
+        sweep.bench(
             bench,
             sipt_32k_2w().with_policy(L1Policy::SiptNaive),
             SystemKind::OooThreeLevel,
             &base_cond,
         );
-        let naive_colored = run_benchmark(
+        sweep.bench(
             bench,
             sipt_32k_2w().with_policy(L1Policy::SiptNaive),
             SystemKind::OooThreeLevel,
             &colored,
         );
-        let combined = run_benchmark(bench, sipt_32k_2w(), SystemKind::OooThreeLevel, &base_cond);
+        sweep.bench(bench, sipt_32k_2w(), SystemKind::OooThreeLevel, &base_cond);
+    }
+    let mut runs = sweep.run().into_iter();
+    let mut json_rows = Vec::new();
+    for &bench in &benches {
+        let naive = runs.next().expect("naive run");
+        let naive_colored = runs.next().expect("colored run");
+        let combined = runs.next().expect("combined run");
         println!(
             "{bench:<16} {:>15.1}% {:>15.1}% {:>17.1}%",
             naive.sipt.fast_fraction() * 100.0,

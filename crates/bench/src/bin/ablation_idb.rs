@@ -3,7 +3,7 @@
 //! into fast accesses.
 
 use sipt_core::{sipt_32k_2w, L1Policy};
-use sipt_sim::{run_benchmark, SystemKind};
+use sipt_sim::{Sweep, SystemKind};
 use sipt_telemetry::json::Json;
 
 fn main() {
@@ -17,21 +17,24 @@ fn main() {
         "{:<16} {:>12} {:>12} {:>12} {:>12}",
         "benchmark", "bypass fast", "comb fast", "bypass IPC", "comb IPC"
     );
-    let mut json_rows = Vec::new();
-    for bench in cli.scale.benchmarks() {
-        let base = run_benchmark(
-            bench,
-            sipt_core::baseline_32k_8w_vipt(),
-            SystemKind::OooThreeLevel,
-            &cond,
-        );
-        let byp = run_benchmark(
+    let benches = cli.scale.benchmarks();
+    let mut sweep = Sweep::new();
+    for &bench in &benches {
+        sweep.bench(bench, sipt_core::baseline_32k_8w_vipt(), SystemKind::OooThreeLevel, &cond);
+        sweep.bench(
             bench,
             sipt_32k_2w().with_policy(L1Policy::SiptBypass),
             SystemKind::OooThreeLevel,
             &cond,
         );
-        let comb = run_benchmark(bench, sipt_32k_2w(), SystemKind::OooThreeLevel, &cond);
+        sweep.bench(bench, sipt_32k_2w(), SystemKind::OooThreeLevel, &cond);
+    }
+    let mut runs = sweep.run().into_iter();
+    let mut json_rows = Vec::new();
+    for &bench in &benches {
+        let base = runs.next().expect("baseline run");
+        let byp = runs.next().expect("bypass run");
+        let comb = runs.next().expect("combined run");
         println!(
             "{bench:<16} {:>11.1}% {:>11.1}% {:>12.3} {:>12.3}",
             byp.sipt.fast_fraction() * 100.0,

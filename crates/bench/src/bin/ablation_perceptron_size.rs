@@ -3,7 +3,7 @@
 
 use sipt_core::{sipt_32k_2w, L1Policy};
 use sipt_predictors::PerceptronConfig;
-use sipt_sim::{run_benchmark, SystemKind};
+use sipt_sim::{Sweep, SystemKind};
 use sipt_telemetry::json::Json;
 
 fn main() {
@@ -21,16 +21,24 @@ fn main() {
         ("64 x h24", PerceptronConfig { entries: 64, history: 24, weight_bits: 6 }),
     ];
     println!("{:<20} {:>12} {:>12}", "config", "mean acc", "storage");
-    let mut json_rows = Vec::new();
-    for (label, pcfg) in variants {
-        let mut accs = Vec::new();
-        for bench in cli.scale.benchmarks() {
-            let m = run_benchmark(
+    let benches = cli.scale.benchmarks();
+    let mut sweep = Sweep::new();
+    for (_, pcfg) in variants {
+        for &bench in &benches {
+            sweep.bench(
                 bench,
                 sipt_32k_2w().with_policy(L1Policy::SiptBypass).with_perceptron(pcfg),
                 SystemKind::OooThreeLevel,
                 &cond,
             );
+        }
+    }
+    let mut runs = sweep.run().into_iter();
+    let mut json_rows = Vec::new();
+    for (label, pcfg) in variants {
+        let mut accs = Vec::new();
+        for _ in &benches {
+            let m = runs.next().expect("variant run");
             accs.push(
                 (m.sipt.correct_speculation + m.sipt.correct_bypass) as f64
                     / m.sipt.accesses.max(1) as f64,

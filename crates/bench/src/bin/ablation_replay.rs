@@ -4,7 +4,7 @@
 //! 0–16 extra cycles per misspeculation.
 
 use sipt_core::{baseline_32k_8w_vipt, sipt_32k_2w};
-use sipt_sim::{harmonic_mean, run_benchmark, SystemKind};
+use sipt_sim::{harmonic_mean, Sweep, SystemKind};
 use sipt_telemetry::json::Json;
 
 fn main() {
@@ -16,19 +16,28 @@ fn main() {
     );
     let cond = cli.scale.condition();
     println!("{:<10} {:>12} {:>14}", "penalty", "mean speedup", "worst benchmark");
-    let mut json_rows = Vec::new();
-    for penalty in [0u64, 2, 4, 8, 16] {
-        let mut speedups = Vec::new();
-        let mut worst = ("-", f64::INFINITY);
-        for bench in cli.scale.benchmarks() {
-            let base =
-                run_benchmark(bench, baseline_32k_8w_vipt(), SystemKind::OooThreeLevel, &cond);
-            let sipt = run_benchmark(
+    let benches = cli.scale.benchmarks();
+    let penalties = [0u64, 2, 4, 8, 16];
+    let mut sweep = Sweep::new();
+    for &penalty in &penalties {
+        for &bench in &benches {
+            sweep.bench(bench, baseline_32k_8w_vipt(), SystemKind::OooThreeLevel, &cond);
+            sweep.bench(
                 bench,
                 sipt_32k_2w().with_replay_penalty(penalty),
                 SystemKind::OooThreeLevel,
                 &cond,
             );
+        }
+    }
+    let mut runs = sweep.run().into_iter();
+    let mut json_rows = Vec::new();
+    for penalty in penalties {
+        let mut speedups = Vec::new();
+        let mut worst = ("-", f64::INFINITY);
+        for &bench in &benches {
+            let base = runs.next().expect("baseline run");
+            let sipt = runs.next().expect("sipt run");
             let s = sipt.ipc_vs(&base);
             if s < worst.1 {
                 worst = (bench, s);

@@ -115,21 +115,63 @@ pub fn header(artifact: &str, paper_summary: &str) {
     println!();
 }
 
-/// Command-line state shared by every figure/table binary: the run scale
-/// and whether a machine-readable report was requested (`--json` argument
-/// or `SIPT_JSON=1`).
+/// Parse `--jobs N` / `--jobs=N` from the process arguments. Returns
+/// `None` when absent; exits with a usage message on malformed values so
+/// a typo can't silently fall back to a different parallelism.
+fn jobs_from_args() -> Option<usize> {
+    parse_jobs_args(std::env::args().skip(1)).unwrap_or_else(|bad| {
+        eprintln!("invalid --jobs value {bad:?}: expected a positive integer");
+        std::process::exit(2);
+    })
+}
+
+/// Pure parser behind [`jobs_from_args`], split out for testing.
+/// `Err(bad)` carries the offending text.
+fn parse_jobs_args<I: Iterator<Item = String>>(mut args: I) -> Result<Option<usize>, String> {
+    while let Some(arg) = args.next() {
+        let value = if arg == "--jobs" {
+            args.next().ok_or_else(|| String::from("<missing>"))?
+        } else if let Some(v) = arg.strip_prefix("--jobs=") {
+            v.to_owned()
+        } else {
+            continue;
+        };
+        return match value.parse::<usize>() {
+            Ok(n) if n > 0 => Ok(Some(n)),
+            _ => Err(value),
+        };
+    }
+    Ok(None)
+}
+
+/// Command-line state shared by every figure/table binary: the run scale,
+/// whether a machine-readable report was requested (`--json` argument or
+/// `SIPT_JSON=1`), and the sweep parallelism (`--jobs N`, `--jobs=N`, or
+/// `SIPT_JOBS=N`; default: all host cores).
 #[derive(Debug, Clone, Copy)]
 pub struct Cli {
     /// Run scale (`quick` / default / `full`).
     pub scale: Scale,
     /// Whether to write `results/<name>.json`.
     pub json: bool,
+    /// Worker threads every sweep in this process will use.
+    pub jobs: usize,
 }
 
 impl Cli {
-    /// Parse scale and JSON switch from the process arguments/environment.
+    /// Parse scale, JSON switch and `--jobs` from the process
+    /// arguments/environment. A `--jobs` argument takes precedence over
+    /// `SIPT_JOBS`; malformed values abort with a usage message rather
+    /// than silently running serial.
     pub fn from_args() -> Self {
-        Self { scale: Scale::from_args(), json: report::json_requested() }
+        if let Some(jobs) = jobs_from_args() {
+            sipt_sim::set_jobs(jobs);
+        }
+        Self {
+            scale: Scale::from_args(),
+            json: report::json_requested(),
+            jobs: sipt_sim::effective_jobs(),
+        }
     }
 
     /// When JSON was requested, wrap `payload` in the standard report
@@ -141,7 +183,10 @@ impl Cli {
         if !self.json {
             return None;
         }
-        let envelope = report::envelope(name, payload);
+        // v2 envelopes carry the sweep parallelism observed so far in this
+        // process (absent when no parallel sweep ran, e.g. tab01/tab02).
+        let envelope =
+            report::envelope_with_parallelism(name, payload, sipt_sim::sweep::parallelism_json());
         match report::write_report(&report::results_dir(), name, &envelope) {
             Ok(path) => {
                 eprintln!("wrote {}", path.display());
@@ -158,6 +203,19 @@ impl Cli {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn jobs_argument_parses_both_forms() {
+        fn args(v: &[&str]) -> std::vec::IntoIter<String> {
+            v.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>().into_iter()
+        }
+        assert_eq!(parse_jobs_args(args(&["quick", "--jobs", "4"])), Ok(Some(4)));
+        assert_eq!(parse_jobs_args(args(&["--jobs=2", "full"])), Ok(Some(2)));
+        assert_eq!(parse_jobs_args(args(&["quick", "--json"])), Ok(None));
+        assert_eq!(parse_jobs_args(args(&["--jobs", "zero"])), Err("zero".to_owned()));
+        assert_eq!(parse_jobs_args(args(&["--jobs=0"])), Err("0".to_owned()));
+        assert_eq!(parse_jobs_args(args(&["--jobs"])), Err("<missing>".to_owned()));
+    }
 
     #[test]
     fn scales_are_ordered() {

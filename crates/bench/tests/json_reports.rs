@@ -31,7 +31,7 @@ fn fig01_json_flag_writes_valid_enveloped_report() {
     std::fs::remove_dir_all(&dir).ok();
 
     let parsed = json::parse(&text).expect("valid JSON");
-    assert_eq!(parsed.path("schema_version").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(parsed.path("schema_version").and_then(Json::as_f64), Some(2.0));
     assert_eq!(parsed.path("artifact").and_then(Json::as_str), Some("fig01"));
     let rows = parsed.path("payload.rows").and_then(Json::as_arr).expect("rows array");
     assert!(!rows.is_empty(), "payload.rows must not be empty");
@@ -58,6 +58,80 @@ fn sipt_json_env_variable_also_enables_reports() {
     let written = dir.join("fig01.json").exists();
     std::fs::remove_dir_all(&dir).ok();
     assert!(written, "SIPT_JSON=1 must write results/fig01.json");
+}
+
+/// Run `fig05 quick --json` under a given `SIPT_JOBS` and return the
+/// parsed report.
+fn fig05_report(tag: &str, jobs: &str) -> Json {
+    let dir = temp_results_dir(tag);
+    let out = Command::new(env!("CARGO_BIN_EXE_fig05"))
+        .arg("quick")
+        .arg("--json")
+        .env("SIPT_JOBS", jobs)
+        .env("SIPT_RESULTS_DIR", &dir)
+        .output()
+        .expect("fig05 runs");
+    assert!(out.status.success(), "fig05 SIPT_JOBS={jobs} failed: {out:?}");
+    let text = std::fs::read_to_string(dir.join("fig05.json")).expect("fig05.json written");
+    std::fs::remove_dir_all(&dir).ok();
+    json::parse(&text).expect("valid JSON")
+}
+
+#[test]
+fn serial_and_parallel_binaries_write_identical_payloads() {
+    let serial = fig05_report("fig05-serial", "1");
+    let parallel = fig05_report("fig05-parallel", "2");
+    // The scientific content must be byte-identical; only the
+    // wall-clock `parallelism` block may differ.
+    assert_eq!(
+        serial.path("payload").map(Json::render),
+        parallel.path("payload").map(Json::render),
+        "payload must not depend on SIPT_JOBS"
+    );
+    assert_eq!(serial.path("schema_version").and_then(Json::as_f64), Some(2.0));
+    assert_eq!(serial.path("parallelism.jobs").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(parallel.path("parallelism.jobs").and_then(Json::as_f64), Some(2.0));
+    for key in ["tasks", "wall_ms", "total_busy_ms", "speedup"] {
+        assert!(
+            parallel.path(&format!("parallelism.{key}")).is_some(),
+            "parallelism block missing {key}"
+        );
+    }
+}
+
+#[test]
+fn jobs_flag_overrides_environment() {
+    let dir = temp_results_dir("fig05-flag");
+    let out = Command::new(env!("CARGO_BIN_EXE_fig05"))
+        .arg("quick")
+        .arg("--json")
+        .arg("--jobs")
+        .arg("3")
+        .env("SIPT_JOBS", "1")
+        .env("SIPT_RESULTS_DIR", &dir)
+        .output()
+        .expect("fig05 runs");
+    assert!(out.status.success(), "--jobs run failed: {out:?}");
+    let text = std::fs::read_to_string(dir.join("fig05.json")).expect("fig05.json written");
+    std::fs::remove_dir_all(&dir).ok();
+    let parsed = json::parse(&text).expect("valid JSON");
+    assert_eq!(
+        parsed.path("parallelism.jobs").and_then(Json::as_f64),
+        Some(3.0),
+        "--jobs must beat SIPT_JOBS"
+    );
+}
+
+#[test]
+fn malformed_jobs_flag_aborts_with_usage() {
+    let out = Command::new(env!("CARGO_BIN_EXE_fig05"))
+        .arg("quick")
+        .arg("--jobs=banana")
+        .output()
+        .expect("fig05 spawns");
+    assert!(!out.status.success(), "malformed --jobs must not run");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--jobs"), "usage message expected, got: {stderr}");
 }
 
 #[test]

@@ -150,41 +150,42 @@ pub struct Fig1Row {
     pub vipt_feasible: bool,
 }
 
-/// Compute the Fig 1 sweep.
-pub fn fig1_sweep() -> Vec<Fig1Row> {
-    let baseline = estimate(ArrayConfig::simple(32 << 10, 8)).access_ns;
-    let mut rows = Vec::new();
+/// The (capacity KiB, ways) grid of the Table I sweep, in figure order,
+/// skipping degenerate points with fewer than one line per way.
+pub fn fig1_grid() -> Vec<(u64, u32)> {
+    let mut grid = Vec::new();
     for kib in [16u64, 32, 64, 128] {
         for ways in [2u32, 4, 8, 16, 32] {
-            if (kib << 10) < ways as u64 * 64 {
-                continue;
+            if (kib << 10) >= ways as u64 * 64 {
+                grid.push((kib, ways));
             }
-            let mut lats = Vec::new();
-            for ports in [1u32, 2] {
-                for banks in [1u32, 2, 4] {
-                    let e = estimate(ArrayConfig {
-                        capacity: kib << 10,
-                        ways,
-                        read_ports: ports,
-                        banks,
-                    });
-                    lats.push(e.access_ns / baseline);
-                }
-            }
-            let min = lats.iter().copied().fold(f64::INFINITY, f64::min);
-            let max = lats.iter().copied().fold(0.0, f64::max);
-            let mean = lats.iter().sum::<f64>() / lats.len() as f64;
-            rows.push(Fig1Row {
-                kib,
-                ways,
-                min,
-                mean,
-                max,
-                vipt_feasible: (kib << 10) / ways as u64 <= 4096,
-            });
         }
     }
-    rows
+    grid
+}
+
+/// Compute a single Fig 1 point: the latency range over the port/bank
+/// sub-sweep at one (capacity, associativity), normalized to the 32 KiB
+/// 8-way single-port single-bank baseline. Pure — callers may evaluate
+/// grid points in any order (or in parallel) without changing results.
+pub fn fig1_point(kib: u64, ways: u32) -> Fig1Row {
+    let baseline = estimate(ArrayConfig::simple(32 << 10, 8)).access_ns;
+    let mut lats = Vec::new();
+    for ports in [1u32, 2] {
+        for banks in [1u32, 2, 4] {
+            let e = estimate(ArrayConfig { capacity: kib << 10, ways, read_ports: ports, banks });
+            lats.push(e.access_ns / baseline);
+        }
+    }
+    let min = lats.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = lats.iter().copied().fold(0.0, f64::max);
+    let mean = lats.iter().sum::<f64>() / lats.len() as f64;
+    Fig1Row { kib, ways, min, mean, max, vipt_feasible: (kib << 10) / ways as u64 <= 4096 }
+}
+
+/// Compute the Fig 1 sweep.
+pub fn fig1_sweep() -> Vec<Fig1Row> {
+    fig1_grid().into_iter().map(|(kib, ways)| fig1_point(kib, ways)).collect()
 }
 
 #[cfg(test)]

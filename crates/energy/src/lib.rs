@@ -28,7 +28,9 @@ pub use accounting::{
     account, ActivityCounts, EnergyBreakdown, EnergyParams, LevelEnergy, L2_TABLE2,
     LLC_INORDER_TABLE2, LLC_OOO_TABLE2,
 };
-pub use cacti::{estimate, fig1_sweep, ArrayConfig, ArrayEstimate, Fig1Row, CORE_GHZ};
+pub use cacti::{
+    estimate, fig1_grid, fig1_point, fig1_sweep, ArrayConfig, ArrayEstimate, Fig1Row, CORE_GHZ,
+};
 
 /// Energy parameters of an L1 geometry straight from the CACTI-like model.
 pub fn l1_energy_of(capacity: u64, ways: u32) -> LevelEnergy {

@@ -76,7 +76,13 @@ impl IndexDeltaBuffer {
 
     #[inline]
     fn row(&self, pc: u64) -> usize {
-        (pc as usize) % self.config.entries
+        // Fold the high PC bits down before the modulo (see
+        // `PerceptronPredictor::row`): raw `pc % entries` with a
+        // power-of-two table maps aligned/strided PCs onto a fraction of
+        // the rows; the xor-fold keeps small-PC behaviour identical while
+        // making every row reachable from aligned code.
+        let folded = pc ^ (pc >> 6);
+        (folded as usize) % self.config.entries
     }
 
     #[inline]
@@ -186,6 +192,22 @@ mod tests {
         assert_eq!(idb.peek(7), Some(0b10));
         assert_eq!(idb.stats().predictions, 0, "peek must not count as a prediction");
         assert_eq!(idb.stats().cold, 0);
+    }
+
+    /// Regression: with the raw `(pc as usize) % entries` row index, a
+    /// stream of 4-byte-aligned PCs could only reach a quarter of a
+    /// 64-entry table; the folded index must make every row reachable.
+    #[test]
+    fn aligned_pcs_reach_every_row() {
+        let idb = IndexDeltaBuffer::new(IdbConfig { entries: 64, bits: 2 });
+        let rows: std::collections::BTreeSet<usize> =
+            (0..256u64).map(|i| idb.row(0x0040_0000 + 4 * i)).collect();
+        assert_eq!(
+            rows.len(),
+            64,
+            "4-byte-aligned PCs must reach all 64 rows, reached {}: {rows:?}",
+            rows.len()
+        );
     }
 
     #[test]

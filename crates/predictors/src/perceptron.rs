@@ -115,7 +115,14 @@ impl PerceptronPredictor {
 
     #[inline]
     fn row(&self, pc: u64) -> usize {
-        (pc as usize) % self.config.entries
+        // Fold the high PC bits down before the modulo: raw
+        // `pc % entries` with a power-of-two table maps 4-byte-aligned
+        // (or strided) PCs onto a quarter of the rows, aliasing
+        // unrelated instructions. The xor-fold keeps small-PC behaviour
+        // identical (pc < 64 folds to itself) while spreading aligned
+        // code over every row.
+        let folded = pc ^ (pc >> 6);
+        (folded as usize) % self.config.entries
     }
 
     #[inline]
@@ -302,6 +309,23 @@ mod tests {
             p.last_margin() > PerceptronConfig::default().theta() as u64,
             "trained margin {} should exceed θ",
             p.last_margin()
+        );
+    }
+
+    /// Regression: with the raw `(pc as usize) % entries` row index, a
+    /// stream of 4-byte-aligned PCs (real instruction addresses) could
+    /// only ever reach a quarter of a 64-entry table. The folded index
+    /// must make every row reachable.
+    #[test]
+    fn aligned_pcs_reach_every_row() {
+        let p = PerceptronPredictor::new(PerceptronConfig::default());
+        let rows: std::collections::BTreeSet<usize> =
+            (0..256u64).map(|i| p.row(0x0040_0000 + 4 * i)).collect();
+        assert_eq!(
+            rows.len(),
+            64,
+            "4-byte-aligned PCs must reach all 64 rows, reached {}: {rows:?}",
+            rows.len()
         );
     }
 

@@ -3,7 +3,8 @@
 //! access), per benchmark, when 1, 2 and 3 index bits are speculated.
 
 use crate::machine::SystemKind;
-use crate::runner::{run_benchmark, Condition};
+use crate::runner::Condition;
+use crate::sweep::Sweep;
 use sipt_core::{sipt_128k_4w, sipt_32k_2w, sipt_32k_4w, L1Config, L1Policy};
 
 /// The geometry used to speculate `bits` index bits (Table II's points).
@@ -47,12 +48,19 @@ pub struct Fig9Row {
 
 /// Run Fig 9.
 pub fn fig9(benchmarks: &[&str], cond: &Condition) -> Vec<Fig9Row> {
+    let mut sweep = Sweep::new();
+    for &bench in benchmarks {
+        for bits in [1u32, 2, 3] {
+            let cfg = config_for_bits(bits).with_policy(L1Policy::SiptBypass);
+            sweep.bench(bench, cfg, SystemKind::OooThreeLevel, cond);
+        }
+    }
+    let mut runs = sweep.run().into_iter();
     benchmarks
         .iter()
         .map(|&bench| {
-            let by_bits = [1u32, 2, 3].map(|bits| {
-                let cfg = config_for_bits(bits).with_policy(L1Policy::SiptBypass);
-                let m = run_benchmark(bench, cfg, SystemKind::OooThreeLevel, cond);
+            let by_bits = [1u32, 2, 3].map(|_| {
+                let m = runs.next().expect("bypass run");
                 let total = m.sipt.accesses.max(1) as f64;
                 OutcomeBreakdown {
                     correct_speculation: m.sipt.correct_speculation as f64 / total,

@@ -11,7 +11,8 @@
 use crate::experiments::bypass::config_for_bits;
 use crate::machine::SystemKind;
 use crate::metrics::{arithmetic_mean, harmonic_mean};
-use crate::runner::{run_benchmark, Condition};
+use crate::runner::Condition;
+use crate::sweep::Sweep;
 use sipt_core::{baseline_32k_8w_vipt, sipt_32k_2w, L1Policy};
 
 /// Fig 12 effectiveness split for one benchmark and bit count.
@@ -43,12 +44,19 @@ pub struct Fig12Row {
 
 /// Run Fig 12.
 pub fn fig12(benchmarks: &[&str], cond: &Condition) -> Vec<Fig12Row> {
+    let mut sweep = Sweep::new();
+    for &bench in benchmarks {
+        for bits in [1u32, 2, 3] {
+            // default policy: SiptCombined
+            sweep.bench(bench, config_for_bits(bits), SystemKind::OooThreeLevel, cond);
+        }
+    }
+    let mut runs = sweep.run().into_iter();
     benchmarks
         .iter()
         .map(|&bench| {
-            let by_bits = [1u32, 2, 3].map(|bits| {
-                let cfg = config_for_bits(bits); // default policy: SiptCombined
-                let m = run_benchmark(bench, cfg, SystemKind::OooThreeLevel, cond);
+            let by_bits = [1u32, 2, 3].map(|_| {
+                let m = runs.next().expect("combined run");
                 let total = m.sipt.accesses.max(1) as f64;
                 CombinedBreakdown {
                     correct_speculation: m.sipt.correct_speculation as f64 / total,
@@ -98,11 +106,18 @@ pub fn fig13_fig14(benchmarks: &[&str], cond: &Condition) -> (Vec<CombinedRow>, 
     let system = SystemKind::OooThreeLevel;
     let sipt_cfg = sipt_32k_2w(); // SiptCombined by default
     let ideal_cfg = sipt_32k_2w().with_policy(L1Policy::Ideal);
+    let mut sweep = Sweep::new();
+    for &bench in benchmarks {
+        sweep.bench(bench, baseline_32k_8w_vipt(), system, cond);
+        sweep.bench(bench, sipt_cfg.clone(), system, cond);
+        sweep.bench(bench, ideal_cfg.clone(), system, cond);
+    }
+    let mut runs = sweep.run().into_iter();
     let mut rows = Vec::new();
     for &bench in benchmarks {
-        let base = run_benchmark(bench, baseline_32k_8w_vipt(), system, cond);
-        let sipt = run_benchmark(bench, sipt_cfg.clone(), system, cond);
-        let ideal = run_benchmark(bench, ideal_cfg.clone(), system, cond);
+        let base = runs.next().expect("baseline run");
+        let sipt = runs.next().expect("sipt run");
+        let ideal = runs.next().expect("ideal run");
         rows.push(CombinedRow {
             benchmark: bench.to_owned(),
             normalized_ipc: sipt.ipc_vs(&base),

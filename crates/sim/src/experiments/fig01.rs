@@ -5,9 +5,16 @@
 
 pub use sipt_energy::Fig1Row;
 
-/// Compute the Fig 1 sweep rows.
+use crate::sweep::run_parallel_default;
+
+/// Compute the Fig 1 sweep rows. Each grid point is evaluated as an
+/// independent task (the model is pure), in figure order.
 pub fn run() -> Vec<Fig1Row> {
-    sipt_energy::fig1_sweep()
+    let tasks: Vec<_> = sipt_energy::fig1_grid()
+        .into_iter()
+        .map(|(kib, ways)| move || sipt_energy::fig1_point(kib, ways))
+        .collect();
+    run_parallel_default(tasks).0
 }
 
 /// Render the sweep as the figure's underlying table.

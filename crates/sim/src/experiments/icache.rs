@@ -15,6 +15,7 @@
 //! paper's future-work remark rests on.
 
 use crate::runner::Condition;
+use crate::sweep::run_parallel_default;
 use sipt_core::{L1Config, SiptL1};
 use sipt_mem::{fragment_memory, AddressSpace, BuddyAllocator, VirtAddr, VirtPageNum, PAGE_SIZE};
 use sipt_rng::{SeedableRng, StdRng};
@@ -38,53 +39,60 @@ pub struct ICacheRow {
 
 /// Replay each benchmark's instruction PCs through an I-SIPT cache.
 pub fn future_icache(benchmarks: &[&str], cond: &Condition, l1: L1Config) -> Vec<ICacheRow> {
-    benchmarks
+    let tasks: Vec<_> = benchmarks
         .iter()
         .map(|&name| {
-            let spec = benchmark(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
-            let mut phys = BuddyAllocator::with_bytes(cond.memory_bytes);
-            let mut rng = StdRng::seed_from_u64(cond.seed ^ 0x1CAC);
-            let _hold = cond
-                .fragmented
-                .then(|| fragment_memory(&mut phys, 0.5, &mut rng).expect("fragment"));
-            let mut asp = AddressSpace::new(0, cond.placement);
-            // Build the data side only to obtain the dynamic PC stream.
-            let trace = TraceGen::build(&spec, &mut asp, &mut phys, cond.instructions, cond.seed)
-                .expect("fit");
-            let pcs: Vec<u64> = trace.map(|inst| inst.pc).collect();
-
-            // Map the code: one linear code region sized by the distinct
-            // PC pages, allocated through the same OS model (code segments
-            // are mapped in one burst at exec time).
-            let mut code_pages: Vec<u64> = pcs.iter().map(|pc| pc / PAGE_SIZE).collect();
-            code_pages.sort_unstable();
-            code_pages.dedup();
-            let code_base = *code_pages.first().expect("nonempty trace");
-            let span_pages = code_pages.last().unwrap() - code_base + 1;
-            let code_region = asp.mmap(span_pages * PAGE_SIZE, &mut phys).expect("code fits");
-
-            // Replay fetches.
-            let mut il1 = SiptL1::new(l1.clone());
-            let mut itlb = DataTlb::new(TlbConfig::default());
-            for pc in &pcs {
-                let va = VirtAddr::new(code_region.start.raw() + (pc - code_base * PAGE_SIZE));
-                let outcome = itlb.translate(va, asp.page_table()).expect("code mapped");
-                let access = il1.access(*pc, va, outcome.translation, outcome.cycles, false);
-                if !access.hit {
-                    il1.fill(sipt_cache::LineAddr::of_phys(outcome.translation.pa), false);
-                }
-            }
-            let _ = VirtPageNum::new(0);
-            let stats = il1.stats();
-            ICacheRow {
-                benchmark: name.to_owned(),
-                code_pages: code_pages.len() as u64,
-                hit_rate: stats.hit_rate(),
-                fast_fraction: stats.fast_fraction(),
-                itlb_hit_rate: itlb.stats().l1_hit_rate(),
-            }
+            let cond = *cond;
+            let l1 = l1.clone();
+            move || replay_one(name, &cond, l1)
         })
-        .collect()
+        .collect();
+    run_parallel_default(tasks).0
+}
+
+/// Replay one benchmark's instruction PCs through an I-side SIPT L1.
+fn replay_one(name: &str, cond: &Condition, l1: L1Config) -> ICacheRow {
+    let spec = benchmark(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let mut phys = BuddyAllocator::with_bytes(cond.memory_bytes);
+    let mut rng = StdRng::seed_from_u64(cond.seed ^ 0x1CAC);
+    let _hold =
+        cond.fragmented.then(|| fragment_memory(&mut phys, 0.5, &mut rng).expect("fragment"));
+    let mut asp = AddressSpace::new(0, cond.placement);
+    // Build the data side only to obtain the dynamic PC stream.
+    let trace =
+        TraceGen::build(&spec, &mut asp, &mut phys, cond.instructions, cond.seed).expect("fit");
+    let pcs: Vec<u64> = trace.map(|inst| inst.pc).collect();
+
+    // Map the code: one linear code region sized by the distinct
+    // PC pages, allocated through the same OS model (code segments
+    // are mapped in one burst at exec time).
+    let mut code_pages: Vec<u64> = pcs.iter().map(|pc| pc / PAGE_SIZE).collect();
+    code_pages.sort_unstable();
+    code_pages.dedup();
+    let code_base = *code_pages.first().expect("nonempty trace");
+    let span_pages = code_pages.last().unwrap() - code_base + 1;
+    let code_region = asp.mmap(span_pages * PAGE_SIZE, &mut phys).expect("code fits");
+
+    // Replay fetches.
+    let mut il1 = SiptL1::new(l1);
+    let mut itlb = DataTlb::new(TlbConfig::default());
+    for pc in &pcs {
+        let va = VirtAddr::new(code_region.start.raw() + (pc - code_base * PAGE_SIZE));
+        let outcome = itlb.translate(va, asp.page_table()).expect("code mapped");
+        let access = il1.access(*pc, va, outcome.translation, outcome.cycles, false);
+        if !access.hit {
+            il1.fill(sipt_cache::LineAddr::of_phys(outcome.translation.pa), false);
+        }
+    }
+    let _ = VirtPageNum::new(0);
+    let stats = il1.stats();
+    ICacheRow {
+        benchmark: name.to_owned(),
+        code_pages: code_pages.len() as u64,
+        hit_rate: stats.hit_rate(),
+        fast_fraction: stats.fast_fraction(),
+        itlb_hit_rate: itlb.stats().l1_hit_rate(),
+    }
 }
 
 /// Render the exploration as a table.

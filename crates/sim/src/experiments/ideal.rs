@@ -5,7 +5,8 @@
 
 use crate::machine::SystemKind;
 use crate::metrics::harmonic_mean;
-use crate::runner::{run_benchmark, Condition};
+use crate::runner::Condition;
+use crate::sweep::Sweep;
 use sipt_core::{
     baseline_32k_8w_vipt, sipt_128k_4w, sipt_32k_2w, sipt_32k_4w, sipt_64k_4w, small_16k_4w_vipt,
     L1Config, L1Policy,
@@ -47,12 +48,22 @@ pub struct IdealFigure {
 
 fn run_system(system: SystemKind, benchmarks: &[&str], cond: &Condition) -> IdealFigure {
     let configs = ideal_configs();
+    // One sweep over all (benchmark × config) runs, baseline first per
+    // bench; results come back in submission order, so the figure is
+    // bit-identical to the old serial loop.
+    let mut sweep = Sweep::new();
+    for &bench in benchmarks {
+        sweep.bench(bench, baseline_32k_8w_vipt(), system, cond);
+        for cfg in &configs {
+            sweep.bench(bench, cfg.clone(), system, cond);
+        }
+    }
+    let mut runs = sweep.run().into_iter();
     let mut rows = Vec::new();
     for &bench in benchmarks {
-        let baseline = run_benchmark(bench, baseline_32k_8w_vipt(), system, cond);
-        let normalized_ipc = configs
-            .iter()
-            .map(|cfg| run_benchmark(bench, cfg.clone(), system, cond).ipc_vs(&baseline))
+        let baseline = runs.next().expect("baseline run");
+        let normalized_ipc = (0..configs.len())
+            .map(|_| runs.next().expect("config run").ipc_vs(&baseline))
             .collect();
         rows.push(IdealRow { benchmark: bench.to_owned(), normalized_ipc });
     }

@@ -5,7 +5,8 @@
 
 use crate::machine::SystemKind;
 use crate::metrics::{arithmetic_mean, harmonic_mean};
-use crate::runner::{run_benchmark, Condition};
+use crate::runner::Condition;
+use crate::sweep::Sweep;
 use sipt_core::{baseline_32k_8w_vipt, sipt_32k_2w, L1Policy};
 
 /// One benchmark's Fig 6 + Fig 7 data.
@@ -49,11 +50,18 @@ pub fn fig6_fig7(benchmarks: &[&str], cond: &Condition) -> (Vec<NaiveRow>, Naive
     let system = SystemKind::OooThreeLevel;
     let naive_cfg = sipt_32k_2w().with_policy(L1Policy::SiptNaive);
     let ideal_cfg = sipt_32k_2w().with_policy(L1Policy::Ideal);
+    let mut sweep = Sweep::new();
+    for &bench in benchmarks {
+        sweep.bench(bench, baseline_32k_8w_vipt(), system, cond);
+        sweep.bench(bench, naive_cfg.clone(), system, cond);
+        sweep.bench(bench, ideal_cfg.clone(), system, cond);
+    }
+    let mut runs = sweep.run().into_iter();
     let mut rows = Vec::new();
     for &bench in benchmarks {
-        let base = run_benchmark(bench, baseline_32k_8w_vipt(), system, cond);
-        let naive = run_benchmark(bench, naive_cfg.clone(), system, cond);
-        let ideal = run_benchmark(bench, ideal_cfg.clone(), system, cond);
+        let base = runs.next().expect("baseline run");
+        let naive = runs.next().expect("naive run");
+        let ideal = runs.next().expect("ideal run");
         rows.push(NaiveRow {
             benchmark: bench.to_owned(),
             normalized_ipc: naive.ipc_vs(&base),

@@ -5,6 +5,7 @@
 use crate::metrics::{arithmetic_mean, harmonic_mean};
 use crate::multicore::run_mix;
 use crate::runner::Condition;
+use crate::sweep::run_parallel_default;
 use sipt_core::{baseline_32k_8w_vipt, table2_sipt_configs};
 use sipt_workloads::MIXES;
 
@@ -37,14 +38,28 @@ pub struct Fig15Summary {
 /// full set).
 pub fn fig15(mixes: &[&str], cond: &Condition) -> (Vec<Fig15Row>, Fig15Summary) {
     let configs = table2_sipt_configs();
+    // Each quad-core mix run is internally serial (the four cores share a
+    // buddy allocator); parallelism comes from fanning out the mix ×
+    // config cross product, baseline included, as one flat task list.
+    let mut tasks = Vec::new();
+    for &mix in mixes {
+        let mut cfgs = vec![baseline_32k_8w_vipt()];
+        cfgs.extend(configs.iter().cloned());
+        for cfg in cfgs {
+            let cond = *cond;
+            tasks.push(move || run_mix(mix, cfg, &cond));
+        }
+    }
+    let (results, _) = run_parallel_default(tasks);
+    let mut runs = results.into_iter();
     let mut rows = Vec::new();
     for &mix in mixes {
-        let base = run_mix(mix, baseline_32k_8w_vipt(), cond);
+        let base = runs.next().expect("baseline mix run");
         let mut speedup = Vec::new();
         let mut extra = 0.0;
         let mut energy = 1.0;
-        for (i, cfg) in configs.iter().enumerate() {
-            let m = run_mix(mix, cfg.clone(), cond);
+        for i in 0..configs.len() {
+            let m = runs.next().expect("config mix run");
             speedup.push(m.speedup_vs(&base));
             if i == 0 {
                 extra = m.extra_accesses_vs(&base);

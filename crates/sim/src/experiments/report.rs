@@ -108,6 +108,7 @@ pub fn run_summary_json(m: &RunMetrics) -> Json {
                 ("warmup_ms", Json::num(m.phases.warmup_ms)),
                 ("measure_ms", Json::num(m.phases.measure_ms)),
                 ("simulated_mips", Json::num(m.phases.simulated_mips)),
+                ("worker", Json::u64(m.phases.worker as u64)),
             ]),
         ),
     ]);

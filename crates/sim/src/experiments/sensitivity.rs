@@ -5,7 +5,8 @@
 
 use crate::machine::SystemKind;
 use crate::metrics::{arithmetic_mean, harmonic_mean};
-use crate::runner::{run_benchmark, Condition};
+use crate::runner::Condition;
+use crate::sweep::Sweep;
 use sipt_core::{baseline_32k_8w_vipt, table2_sipt_configs};
 
 /// Legend labels for the four SIPT configurations, Fig 18 order.
@@ -28,7 +29,11 @@ pub struct Fig18Group {
 /// §VII.B conditions on each of the two systems.
 pub fn fig18(benchmarks: &[&str], base_cond: &Condition) -> Vec<Fig18Group> {
     let configs = table2_sipt_configs();
-    let mut groups = Vec::new();
+    // Enumerate every (system, condition) group first, then submit the
+    // whole cross product as one sweep so all host cores stay busy even
+    // with few benchmarks per group.
+    let mut group_labels = Vec::new();
+    let mut sweep = Sweep::new();
     for (system, sys_label) in
         [(SystemKind::OooThreeLevel, "OOO"), (SystemKind::InOrderTwoLevel, "In-order")]
     {
@@ -40,25 +45,36 @@ pub fn fig18(benchmarks: &[&str], base_cond: &Condition) -> Vec<Fig18Group> {
                 memory_bytes: cond.memory_bytes.max(base_cond.memory_bytes),
                 ..cond
             };
-            let mut per_config_ipc = vec![Vec::new(); configs.len()];
-            let mut per_config_energy = vec![Vec::new(); configs.len()];
-            let mut per_config_acc = vec![Vec::new(); configs.len()];
+            group_labels.push(format!("{sys_label} {cond_label}"));
             for &bench in benchmarks {
-                let base = run_benchmark(bench, baseline_32k_8w_vipt(), system, &cond);
-                for (i, cfg) in configs.iter().enumerate() {
-                    let m = run_benchmark(bench, cfg.clone(), system, &cond);
-                    per_config_ipc[i].push(m.ipc_vs(&base));
-                    per_config_energy[i].push(m.energy_vs(&base));
-                    per_config_acc[i].push(m.sipt.fast_fraction());
+                sweep.bench(bench, baseline_32k_8w_vipt(), system, &cond);
+                for cfg in &configs {
+                    sweep.bench(bench, cfg.clone(), system, &cond);
                 }
             }
-            groups.push(Fig18Group {
-                label: format!("{sys_label} {cond_label}"),
-                mean_ipc: per_config_ipc.iter().map(|v| harmonic_mean(v)).collect(),
-                mean_energy: per_config_energy.iter().map(|v| arithmetic_mean(v)).collect(),
-                accuracy: per_config_acc.iter().map(|v| arithmetic_mean(v)).collect(),
-            });
         }
+    }
+    let mut runs = sweep.run().into_iter();
+    let mut groups = Vec::new();
+    for label in group_labels {
+        let mut per_config_ipc = vec![Vec::new(); configs.len()];
+        let mut per_config_energy = vec![Vec::new(); configs.len()];
+        let mut per_config_acc = vec![Vec::new(); configs.len()];
+        for _ in benchmarks {
+            let base = runs.next().expect("baseline run");
+            for i in 0..configs.len() {
+                let m = runs.next().expect("config run");
+                per_config_ipc[i].push(m.ipc_vs(&base));
+                per_config_energy[i].push(m.energy_vs(&base));
+                per_config_acc[i].push(m.sipt.fast_fraction());
+            }
+        }
+        groups.push(Fig18Group {
+            label,
+            mean_ipc: per_config_ipc.iter().map(|v| harmonic_mean(v)).collect(),
+            mean_energy: per_config_energy.iter().map(|v| arithmetic_mean(v)).collect(),
+            accuracy: per_config_acc.iter().map(|v| arithmetic_mean(v)).collect(),
+        });
     }
     groups
 }

@@ -3,6 +3,7 @@
 //! the huge-page component (9 guaranteed bits).
 
 use crate::runner::{speculation_profile, Condition, SpeculationProfile};
+use crate::sweep::run_parallel_default;
 
 /// One benchmark's Fig 5 bar.
 #[derive(Debug, Clone, PartialEq)]
@@ -15,10 +16,14 @@ pub struct Fig5Row {
 
 /// Compute Fig 5 for the given benchmarks.
 pub fn fig5(benchmarks: &[&str], cond: &Condition) -> Vec<Fig5Row> {
-    benchmarks
+    let cond = *cond;
+    let tasks: Vec<_> = benchmarks
         .iter()
-        .map(|&b| Fig5Row { benchmark: b.to_owned(), profile: speculation_profile(b, cond) })
-        .collect()
+        .map(|&b| {
+            move || Fig5Row { benchmark: b.to_owned(), profile: speculation_profile(b, &cond) }
+        })
+        .collect();
+    run_parallel_default(tasks).0
 }
 
 /// Render the figure as a table.

@@ -5,7 +5,8 @@
 
 use crate::machine::SystemKind;
 use crate::metrics::{arithmetic_mean, harmonic_mean};
-use crate::runner::{run_benchmark, Condition};
+use crate::runner::Condition;
+use crate::sweep::Sweep;
 use sipt_core::{baseline_32k_8w_vipt, sipt_32k_2w};
 
 /// One benchmark's Figs 16–17 data.
@@ -55,13 +56,20 @@ pub struct WaypredSummary {
 /// Run Figs 16–17.
 pub fn fig16_fig17(benchmarks: &[&str], cond: &Condition) -> (Vec<WaypredRow>, WaypredSummary) {
     let system = SystemKind::OooThreeLevel;
+    let mut sweep = Sweep::new();
+    for &bench in benchmarks {
+        sweep.bench(bench, baseline_32k_8w_vipt(), system, cond);
+        sweep.bench(bench, baseline_32k_8w_vipt().with_way_prediction(true), system, cond);
+        sweep.bench(bench, sipt_32k_2w(), system, cond);
+        sweep.bench(bench, sipt_32k_2w().with_way_prediction(true), system, cond);
+    }
+    let mut runs = sweep.run().into_iter();
     let mut rows = Vec::new();
     for &bench in benchmarks {
-        let base = run_benchmark(bench, baseline_32k_8w_vipt(), system, cond);
-        let base_wp =
-            run_benchmark(bench, baseline_32k_8w_vipt().with_way_prediction(true), system, cond);
-        let sipt = run_benchmark(bench, sipt_32k_2w(), system, cond);
-        let sipt_wp = run_benchmark(bench, sipt_32k_2w().with_way_prediction(true), system, cond);
+        let base = runs.next().expect("baseline run");
+        let base_wp = runs.next().expect("baseline+WP run");
+        let sipt = runs.next().expect("sipt run");
+        let sipt_wp = runs.next().expect("sipt+WP run");
         rows.push(WaypredRow {
             benchmark: bench.to_owned(),
             base_wp_ipc: base_wp.ipc_vs(&base),

@@ -23,6 +23,7 @@ pub mod machine;
 pub mod metrics;
 pub mod multicore;
 pub mod runner;
+pub mod sweep;
 
 pub use machine::{Machine, SystemKind};
 pub use metrics::{
@@ -30,3 +31,7 @@ pub use metrics::{
 };
 pub use multicore::{run_mix, MixMetrics};
 pub use runner::{run_benchmark, run_spec, speculation_profile, Condition, SpeculationProfile};
+pub use sweep::{
+    effective_jobs, run_parallel, run_parallel_default, set_jobs, ParallelismProfile, RunRequest,
+    Sweep, SweepResult,
+};

@@ -24,6 +24,9 @@ pub struct PhaseProfile {
     /// Simulated instruction throughput of the measured interval, in
     /// millions of instructions per wall-clock second.
     pub simulated_mips: f64,
+    /// Index of the sweep worker that executed this run (0 for serial
+    /// runs and for runs outside a [`crate::sweep::Sweep`]).
+    pub worker: usize,
 }
 
 impl PhaseProfile {
@@ -203,6 +206,7 @@ mod tests {
             warmup_ms: 2.0,
             measure_ms: 6.5,
             simulated_mips: 12.0,
+            worker: 0,
         };
         assert!((p.total_ms() - 10.0).abs() < 1e-12);
         assert_eq!(PhaseProfile::default().total_ms(), 0.0);

@@ -12,12 +12,13 @@
 //! sum-of-IPC, as in the paper.
 
 use crate::machine::{Machine, SystemKind};
-use crate::metrics::RunMetrics;
+use crate::metrics::{PhaseProfile, RunMetrics};
 use crate::runner::{collect, run_core, Condition};
 use sipt_core::L1Config;
 use sipt_mem::{fragment_memory, AddressSpace, BuddyAllocator};
 use sipt_rng::{SeedableRng, StdRng};
 use sipt_workloads::{benchmark, TraceGen, MIXES};
+use std::time::Instant;
 
 /// Metrics of one quad-core mix run.
 #[derive(Debug, Clone)]
@@ -40,14 +41,24 @@ impl MixMetrics {
     }
 
     /// Total hierarchy energy across cores, normalized to a baseline.
+    /// Returns 0 when the baseline consumed no energy (e.g. an empty
+    /// mix), rather than dividing by zero.
     pub fn energy_vs(&self, baseline: &MixMetrics) -> f64 {
         let e: f64 = self.cores.iter().map(|c| c.energy.total()).sum();
         let b: f64 = baseline.cores.iter().map(|c| c.energy.total()).sum();
-        e / b
+        if b > 0.0 {
+            e / b
+        } else {
+            0.0
+        }
     }
 
     /// Mean extra-L1-access fraction across cores, versus a baseline.
+    /// Returns 0 for an empty mix rather than dividing by zero.
     pub fn extra_accesses_vs(&self, baseline: &MixMetrics) -> f64 {
+        if self.cores.is_empty() {
+            return 0.0;
+        }
         self.cores.iter().zip(&baseline.cores).map(|(c, b)| c.extra_accesses_vs(b)).sum::<f64>()
             / self.cores.len() as f64
     }
@@ -72,8 +83,12 @@ pub fn run_mix(mix_name: &str, l1: L1Config, cond: &Condition) -> MixMetrics {
 
     // All four processes allocate from the same physical memory, in
     // program order, so later processes see the earlier ones' footprints.
+    // Each core's allocate phase is timed individually so the per-core
+    // phase profiles serialize as real measurements (not the zeroed
+    // defaults the JSON reports would otherwise present as data).
     let mut traces = Vec::new();
     for (core_id, app) in apps.iter().enumerate() {
+        let t0 = Instant::now();
         let spec = benchmark(app).unwrap_or_else(|| panic!("unknown app {app}"));
         let mut asp = AddressSpace::new(core_id as u16, cond.placement);
         let trace = TraceGen::build(
@@ -84,17 +99,34 @@ pub fn run_mix(mix_name: &str, l1: L1Config, cond: &Condition) -> MixMetrics {
             cond.seed + core_id as u64,
         )
         .unwrap_or_else(|e| panic!("{mix_name}/{app}: {e}"));
-        traces.push((app, asp, trace));
+        let allocate_ms = t0.elapsed().as_secs_f64() * 1e3;
+        traces.push((app, asp, trace, allocate_ms));
     }
 
     let mut cores = Vec::new();
-    for (app, asp, mut trace) in traces {
+    for (app, asp, mut trace, allocate_ms) in traces {
         let mut machine = Machine::new(asp, l1.clone(), SystemKind::OooThreeLevel);
+        let allocated = Instant::now();
         let warm = (&mut trace).take(cond.warmup as usize);
         run_core(SystemKind::OooThreeLevel, warm, &mut machine);
         machine.reset_stats();
+        let warmed = Instant::now();
         let core = run_core(SystemKind::OooThreeLevel, trace, &mut machine);
-        cores.push(collect(app, core, &machine));
+        let measure_secs = warmed.elapsed().as_secs_f64();
+        let phases = PhaseProfile {
+            allocate_ms,
+            warmup_ms: warmed.duration_since(allocated).as_secs_f64() * 1e3,
+            measure_ms: measure_secs * 1e3,
+            simulated_mips: if measure_secs > 0.0 {
+                core.instructions as f64 / (measure_secs * 1e6)
+            } else {
+                0.0
+            },
+            worker: 0,
+        };
+        let mut metrics = collect(app, core, &machine);
+        metrics.phases = phases;
+        cores.push(metrics);
     }
     MixMetrics { name: mix_name.to_owned(), cores }
 }
@@ -134,6 +166,38 @@ mod tests {
     #[should_panic(expected = "unknown mix")]
     fn unknown_mix_panics() {
         let _ = run_mix("mix99", baseline_32k_8w_vipt(), &quad_cond());
+    }
+
+    /// Regression: quad-core runs used to leave `PhaseProfile::default()`
+    /// (0 ms, 0 MIPS) in every core's metrics, which the JSON reports
+    /// serialized as if they were real measurements.
+    #[test]
+    fn mix_cores_carry_real_phase_profiles() {
+        let m = run_mix("mix0", sipt_32k_2w(), &quad_cond());
+        for core in &m.cores {
+            assert!(
+                core.phases.measure_ms > 0.0,
+                "{}: measure phase must be timed, got {:?}",
+                core.name,
+                core.phases
+            );
+            assert!(core.phases.warmup_ms > 0.0, "{}: warmup must be timed", core.name);
+            assert!(core.phases.allocate_ms > 0.0, "{}: allocation must be timed", core.name);
+            assert!(core.phases.simulated_mips > 0.0, "{}: MIPS must be derived", core.name);
+        }
+    }
+
+    /// Regression: the mix-level ratios used to divide by zero for empty
+    /// mixes and zero-energy baselines.
+    #[test]
+    fn mix_ratios_guard_degenerate_baselines() {
+        let empty = MixMetrics { name: "empty".into(), cores: Vec::new() };
+        assert_eq!(empty.extra_accesses_vs(&empty), 0.0, "empty mix must not divide by zero");
+        assert_eq!(empty.energy_vs(&empty), 0.0, "zero-energy baseline must not divide");
+        let real = run_mix("mix0", sipt_32k_2w(), &quad_cond());
+        assert!(real.extra_accesses_vs(&real).is_finite());
+        assert!((real.energy_vs(&real) - 1.0).abs() < 1e-12);
+        assert_eq!(real.energy_vs(&empty), 0.0);
     }
 
     #[test]

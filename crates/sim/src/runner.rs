@@ -8,13 +8,30 @@ use sipt_cpu::{simulate_inorder, simulate_ooo, CoreResult, InOrderConfig, OooCon
 use sipt_mem::{fragment_memory, AddressSpace, BuddyAllocator, PlacementPolicy};
 use sipt_rng::{SeedableRng, StdRng};
 use sipt_workloads::{benchmark, TraceGen, WorkloadSpec};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 /// Event-trace capacity requested via the `SIPT_TRACE_EVENTS` environment
-/// variable (0 / unset / unparsable → no event retention; metrics are
-/// always recorded when telemetry is attached).
-fn trace_capacity_from_env() -> usize {
-    std::env::var("SIPT_TRACE_EVENTS").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
+/// variable (0 / unset → no event retention; metrics are always recorded
+/// when telemetry is attached).
+///
+/// Parsed exactly once per process: a malformed value warns on stderr
+/// (instead of being silently treated as 0) and every subsequent run —
+/// including every [`crate::sweep::Sweep`] worker — sees the same
+/// capacity.
+pub(crate) fn trace_capacity() -> usize {
+    static PARSED: OnceLock<usize> = OnceLock::new();
+    *PARSED.get_or_init(|| match std::env::var("SIPT_TRACE_EVENTS") {
+        Ok(v) if v.is_empty() => 0,
+        Ok(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!(
+                "warning: malformed SIPT_TRACE_EVENTS={v:?} (not an integer); \
+                 event tracing disabled"
+            );
+            0
+        }),
+        Err(_) => 0,
+    })
 }
 
 /// Operating conditions of a run: memory state, placement policy, and
@@ -80,6 +97,35 @@ pub fn run_benchmark(name: &str, l1: L1Config, system: SystemKind, cond: &Condit
     run_spec(&spec, l1, system, cond)
 }
 
+/// The allocate/fragment/trace-build preamble shared by [`run_spec`] and
+/// [`speculation_profile`]: one buddy allocator, the `cond.seed ^ 0xF7A6`
+/// fragmentation RNG, and a trace covering `warmup + instructions`
+/// instructions — so a profile explains exactly the access window the
+/// timed runs measure.
+pub(crate) struct PreparedRun {
+    /// The workload's address space (owns the page table).
+    pub asp: AddressSpace,
+    /// The workload trace, `warmup + instructions` long.
+    pub trace: TraceGen,
+}
+
+/// Build the run preamble for `spec` under `cond`.
+///
+/// # Panics
+///
+/// Panics if the workload does not fit in the configured memory.
+pub(crate) fn prepare_run(spec: &WorkloadSpec, cond: &Condition) -> PreparedRun {
+    let mut phys = BuddyAllocator::with_bytes(cond.memory_bytes);
+    let mut rng = StdRng::seed_from_u64(cond.seed ^ 0xF7A6);
+    let _hold =
+        cond.fragmented.then(|| fragment_memory(&mut phys, 0.5, &mut rng).expect("fragmentation"));
+    let mut asp = AddressSpace::new(0, cond.placement);
+    let trace =
+        TraceGen::build(spec, &mut asp, &mut phys, cond.warmup + cond.instructions, cond.seed)
+            .unwrap_or_else(|e| panic!("{}: workload does not fit: {e}", spec.name));
+    PreparedRun { asp, trace }
+}
+
 /// Run a workload spec on one L1 configuration and system.
 pub fn run_spec(
     spec: &WorkloadSpec,
@@ -87,17 +133,23 @@ pub fn run_spec(
     system: SystemKind,
     cond: &Condition,
 ) -> RunMetrics {
+    run_spec_with_trace_capacity(spec, l1, system, cond, trace_capacity())
+}
+
+/// [`run_spec`] with an explicit event-trace capacity — the entry point
+/// [`crate::sweep::Sweep`] uses so the capacity is resolved once per sweep
+/// rather than per worker.
+pub(crate) fn run_spec_with_trace_capacity(
+    spec: &WorkloadSpec,
+    l1: L1Config,
+    system: SystemKind,
+    cond: &Condition,
+    trace_events: usize,
+) -> RunMetrics {
     let t0 = Instant::now();
-    let mut phys = BuddyAllocator::with_bytes(cond.memory_bytes);
-    let mut rng = StdRng::seed_from_u64(cond.seed ^ 0xF7A6);
-    let _hold =
-        cond.fragmented.then(|| fragment_memory(&mut phys, 0.5, &mut rng).expect("fragmentation"));
-    let mut asp = AddressSpace::new(0, cond.placement);
-    let mut trace =
-        TraceGen::build(spec, &mut asp, &mut phys, cond.warmup + cond.instructions, cond.seed)
-            .unwrap_or_else(|e| panic!("{}: workload does not fit: {e}", spec.name));
+    let PreparedRun { asp, mut trace } = prepare_run(spec, cond);
     let mut machine = Machine::new(asp, l1, system);
-    machine.l1_mut().attach_telemetry(trace_capacity_from_env());
+    machine.l1_mut().attach_telemetry(trace_events);
     let allocated = Instant::now();
 
     let warm = (&mut trace).take(cond.warmup as usize);
@@ -117,6 +169,7 @@ pub fn run_spec(
         } else {
             0.0
         },
+        worker: 0,
     };
     let mut metrics = collect(spec.name, core, &machine);
     metrics.phases = phases;
@@ -172,19 +225,19 @@ pub struct SpeculationProfile {
 }
 
 /// Profile a benchmark's index-bit stability under the given condition.
+///
+/// Uses the same [`prepare_run`] preamble as [`run_spec`] — identical
+/// allocator state, fragmentation RNG, and trace length — and profiles
+/// only the *measured* window (the trace after `cond.warmup`
+/// instructions), so Fig 5 explains exactly the accesses the timed runs
+/// measure rather than a shorter, warmup-shifted window.
 pub fn speculation_profile(name: &str, cond: &Condition) -> SpeculationProfile {
     let spec = benchmark(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
-    let mut phys = BuddyAllocator::with_bytes(cond.memory_bytes);
-    let mut rng = StdRng::seed_from_u64(cond.seed ^ 0xF7A6);
-    let _hold =
-        cond.fragmented.then(|| fragment_memory(&mut phys, 0.5, &mut rng).expect("fragmentation"));
-    let mut asp = AddressSpace::new(0, cond.placement);
-    let trace =
-        TraceGen::build(&spec, &mut asp, &mut phys, cond.instructions, cond.seed).expect("fit");
+    let PreparedRun { asp, trace } = prepare_run(&spec, cond);
     let mut counts = [0u64; 3];
     let mut huge = 0u64;
     let mut total = 0u64;
-    for inst in trace {
+    for inst in trace.skip(cond.warmup as usize) {
         let Some(mem) = inst.mem else { continue };
         let t = asp.translate(mem.va).expect("mapped");
         total += 1;

@@ -1,0 +1,475 @@
+//! Dependency-free parallel sweep engine.
+//!
+//! Every paper artifact is a benchmark × configuration × condition sweep
+//! whose individual runs are pure functions of their inputs (each run
+//! seeds its own RNGs from the [`Condition`]), so they parallelize
+//! embarrassingly — the same structure trace-driven simulators like
+//! Sniper and gem5's multi-run harnesses exploit. This module provides:
+//!
+//! - [`run_parallel`]: execute a vector of independent closures on a
+//!   [`std::thread::scope`]-based worker pool and return the results in
+//!   **submission order**, so figure rows, harmonic means, and JSON
+//!   reports are bit-identical to a serial run;
+//! - [`Sweep`]: a typed builder over [`RunRequest`]s (benchmark runs
+//!   through [`crate::runner::run_spec`]) for the common single-core case;
+//! - job-count plumbing: `SIPT_JOBS` (parsed once, warning on malformed
+//!   values) overridden by [`set_jobs`] (the `--jobs N` CLI flag), with
+//!   [`std::thread::available_parallelism`] as the default;
+//! - a process-wide [`ParallelismProfile`] accumulator that the report
+//!   writer folds into the schema-v2 `parallelism` block.
+//!
+//! `jobs = 1` is an *exact* serial fallback: no worker threads are
+//! spawned and the tasks run inline on the calling thread, in order.
+
+use crate::machine::SystemKind;
+use crate::metrics::RunMetrics;
+use crate::runner::{run_spec_with_trace_capacity, trace_capacity, Condition};
+use sipt_telemetry::json::Json;
+use sipt_workloads::{benchmark, WorkloadSpec};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Job-count resolution
+// ---------------------------------------------------------------------------
+
+/// Explicit override set by the `--jobs N` CLI flag (0 = unset).
+static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// `SIPT_JOBS`, parsed exactly once for the whole process so every sweep
+/// (and every worker) agrees on it. Malformed values warn on stderr and
+/// fall back to the default rather than being silently treated as 0.
+fn jobs_from_env() -> Option<usize> {
+    static PARSED: OnceLock<Option<usize>> = OnceLock::new();
+    *PARSED.get_or_init(|| match std::env::var("SIPT_JOBS") {
+        Ok(v) if v.is_empty() => None,
+        Ok(v) => match v.parse::<usize>() {
+            Ok(0) => {
+                eprintln!("warning: SIPT_JOBS=0 is invalid (need >= 1); using the default");
+                None
+            }
+            Ok(n) => Some(n),
+            Err(_) => {
+                eprintln!("warning: malformed SIPT_JOBS={v:?} (not an integer); using the default");
+                None
+            }
+        },
+        Err(_) => None,
+    })
+}
+
+/// Set the process-wide job count (the `--jobs N` flag). Takes precedence
+/// over `SIPT_JOBS`. Values of 0 are ignored.
+pub fn set_jobs(jobs: usize) {
+    JOBS_OVERRIDE.store(jobs, Ordering::Relaxed);
+}
+
+/// The job count sweeps use unless given an explicit count: the
+/// [`set_jobs`] override, else `SIPT_JOBS`, else the host's available
+/// parallelism.
+pub fn effective_jobs() -> usize {
+    let explicit = JOBS_OVERRIDE.load(Ordering::Relaxed);
+    if explicit > 0 {
+        return explicit;
+    }
+    jobs_from_env().unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+// ---------------------------------------------------------------------------
+// Parallelism accounting
+// ---------------------------------------------------------------------------
+
+/// Wall-clock accounting of one parallel sweep execution: how many
+/// workers ran, how busy each was, and the resulting speedup over the
+/// serial (sum-of-busy-time) cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelismProfile {
+    /// Worker count actually used (after clamping to the task count).
+    pub jobs: usize,
+    /// Number of tasks executed.
+    pub tasks: usize,
+    /// Wall-clock milliseconds from first submission to last completion.
+    pub wall_ms: f64,
+    /// Per-worker busy milliseconds (time spent inside tasks), indexed by
+    /// worker id. Length equals `jobs`.
+    pub worker_busy_ms: Vec<f64>,
+    /// Which worker executed each task, in submission order.
+    pub assigned_worker: Vec<usize>,
+}
+
+impl ParallelismProfile {
+    /// Total busy milliseconds across workers — the serial cost of the
+    /// same sweep.
+    pub fn total_busy_ms(&self) -> f64 {
+        self.worker_busy_ms.iter().sum()
+    }
+
+    /// Wall-clock speedup versus running the same tasks serially:
+    /// `total_busy_ms / wall_ms` (1.0 when the sweep ran serially).
+    pub fn speedup(&self) -> f64 {
+        if self.wall_ms > 0.0 {
+            self.total_busy_ms() / self.wall_ms
+        } else {
+            1.0
+        }
+    }
+
+    /// This profile as the report-schema `parallelism` object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("jobs", Json::u64(self.jobs as u64)),
+            ("tasks", Json::u64(self.tasks as u64)),
+            ("wall_ms", Json::num(self.wall_ms)),
+            ("worker_busy_ms", Json::arr(self.worker_busy_ms.iter().map(|&v| Json::num(v)))),
+            ("total_busy_ms", Json::num(self.total_busy_ms())),
+            ("speedup", Json::num(self.speedup())),
+        ])
+    }
+}
+
+/// Process-wide accumulation of every sweep executed so far, folded into
+/// the schema-v2 report `parallelism` block by the figure binaries.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct Accumulated {
+    sweeps: usize,
+    jobs_max: usize,
+    tasks: usize,
+    wall_ms: f64,
+    worker_busy_ms: Vec<f64>,
+}
+
+static ACCUMULATED: Mutex<Option<Accumulated>> = Mutex::new(None);
+
+fn record(profile: &ParallelismProfile) {
+    let mut guard = ACCUMULATED.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let acc = guard.get_or_insert_with(Accumulated::default);
+    acc.sweeps += 1;
+    acc.jobs_max = acc.jobs_max.max(profile.jobs);
+    acc.tasks += profile.tasks;
+    acc.wall_ms += profile.wall_ms;
+    if acc.worker_busy_ms.len() < profile.worker_busy_ms.len() {
+        acc.worker_busy_ms.resize(profile.worker_busy_ms.len(), 0.0);
+    }
+    for (total, busy) in acc.worker_busy_ms.iter_mut().zip(&profile.worker_busy_ms) {
+        *total += busy;
+    }
+}
+
+/// The process-wide `parallelism` report block: `None` until the first
+/// sweep has executed. Aggregates every sweep run so far (a figure binary
+/// typically runs several).
+pub fn parallelism_json() -> Option<Json> {
+    let guard = ACCUMULATED.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let acc = guard.as_ref()?;
+    let total_busy: f64 = acc.worker_busy_ms.iter().sum();
+    let speedup = if acc.wall_ms > 0.0 { total_busy / acc.wall_ms } else { 1.0 };
+    Some(Json::obj([
+        ("jobs", Json::u64(acc.jobs_max as u64)),
+        ("sweeps", Json::u64(acc.sweeps as u64)),
+        ("tasks", Json::u64(acc.tasks as u64)),
+        ("wall_ms", Json::num(acc.wall_ms)),
+        ("worker_busy_ms", Json::arr(acc.worker_busy_ms.iter().map(|&v| Json::num(v)))),
+        ("total_busy_ms", Json::num(total_busy)),
+        ("speedup", Json::num(speedup)),
+    ]))
+}
+
+// ---------------------------------------------------------------------------
+// The generic engine
+// ---------------------------------------------------------------------------
+
+/// Run independent tasks on a scoped worker pool and return their results
+/// in **submission order** together with the parallelism profile.
+///
+/// `jobs <= 1` (or a single task) is an exact serial fallback: everything
+/// runs inline on the calling thread, in order, with no pool. Results are
+/// identical either way because each task is an independent pure function
+/// — the pool only changes *when* a task runs, never its inputs.
+pub fn run_parallel<T, F>(tasks: Vec<F>, jobs: usize) -> (Vec<T>, ParallelismProfile)
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = tasks.len();
+    let jobs = jobs.max(1).min(n.max(1));
+    let wall = Instant::now();
+
+    if jobs <= 1 {
+        let t0 = Instant::now();
+        let results: Vec<T> = tasks.into_iter().map(|task| task()).collect();
+        let busy = t0.elapsed().as_secs_f64() * 1e3;
+        let profile = ParallelismProfile {
+            jobs: 1,
+            tasks: n,
+            wall_ms: wall.elapsed().as_secs_f64() * 1e3,
+            worker_busy_ms: vec![busy],
+            assigned_worker: vec![0; n],
+        };
+        record(&profile);
+        return (results, profile);
+    }
+
+    // Work-stealing-by-index: each slot is claimed exactly once via the
+    // shared counter, and each result lands in its submission slot, so
+    // output order is independent of completion order.
+    let task_cells: Vec<Mutex<Option<F>>> =
+        tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let result_cells: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let assigned: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+    let busy: Vec<Mutex<f64>> = (0..jobs).map(|_| Mutex::new(0.0)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for (worker, busy_cell) in busy.iter().enumerate() {
+            let task_cells = &task_cells;
+            let result_cells = &result_cells;
+            let assigned = &assigned;
+            let next = &next;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let task = task_cells[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .take()
+                    .expect("task claimed twice");
+                let t0 = Instant::now();
+                let result = task();
+                let elapsed = t0.elapsed().as_secs_f64() * 1e3;
+                *busy_cell.lock().unwrap_or_else(std::sync::PoisonError::into_inner) += elapsed;
+                assigned[i].store(worker, Ordering::Relaxed);
+                *result_cells[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+                    Some(result);
+            });
+        }
+    });
+
+    let results: Vec<T> = result_cells
+        .into_iter()
+        .map(|cell| {
+            cell.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("worker completed every claimed task")
+        })
+        .collect();
+    let profile = ParallelismProfile {
+        jobs,
+        tasks: n,
+        wall_ms: wall.elapsed().as_secs_f64() * 1e3,
+        worker_busy_ms: busy
+            .into_iter()
+            .map(|cell| cell.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner))
+            .collect(),
+        assigned_worker: assigned.into_iter().map(AtomicUsize::into_inner).collect(),
+    };
+    record(&profile);
+    (results, profile)
+}
+
+/// [`run_parallel`] at the process-default job count ([`effective_jobs`]).
+pub fn run_parallel_default<T, F>(tasks: Vec<F>) -> (Vec<T>, ParallelismProfile)
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    run_parallel(tasks, effective_jobs())
+}
+
+// ---------------------------------------------------------------------------
+// The typed single-core sweep builder
+// ---------------------------------------------------------------------------
+
+/// One single-core benchmark run: the exact inputs of
+/// [`crate::runner::run_spec`], plus a caller label for row assembly and
+/// the event-trace capacity resolved once per sweep so every worker
+/// agrees on it.
+#[derive(Debug, Clone)]
+pub struct RunRequest {
+    /// Workload to run.
+    pub spec: WorkloadSpec,
+    /// L1 configuration.
+    pub l1: sipt_core::L1Config,
+    /// System (core + hierarchy) model.
+    pub system: SystemKind,
+    /// Operating condition.
+    pub cond: Condition,
+    /// Caller label (benchmark name, config label, …) for row assembly.
+    pub label: String,
+}
+
+/// Builder that collects [`RunRequest`]s and executes them on the worker
+/// pool, returning metrics in submission order.
+#[derive(Debug, Default)]
+pub struct Sweep {
+    requests: Vec<RunRequest>,
+}
+
+/// The results of a sweep: one [`RunMetrics`] per request, in submission
+/// order, plus the parallelism profile of the execution.
+#[derive(Debug)]
+pub struct SweepResult {
+    /// Metrics in submission order.
+    pub metrics: Vec<RunMetrics>,
+    /// Wall-clock/parallelism accounting.
+    pub profile: ParallelismProfile,
+}
+
+/// Consuming the results yields [`RunMetrics`] in submission order — the
+/// porting idiom is `let mut runs = sweep.run().into_iter()` followed by
+/// `runs.next().expect("submitted")` in the same order as submission.
+impl IntoIterator for SweepResult {
+    type Item = RunMetrics;
+    type IntoIter = std::vec::IntoIter<RunMetrics>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.metrics.into_iter()
+    }
+}
+
+impl Sweep {
+    /// An empty sweep.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queue a raw request. Returns its submission index.
+    pub fn push(&mut self, request: RunRequest) -> usize {
+        self.requests.push(request);
+        self.requests.len() - 1
+    }
+
+    /// Queue a run of a named benchmark preset (the parallel analogue of
+    /// [`crate::runner::run_benchmark`]). Returns its submission index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a known benchmark preset.
+    pub fn bench(
+        &mut self,
+        name: &str,
+        l1: sipt_core::L1Config,
+        system: SystemKind,
+        cond: &Condition,
+    ) -> usize {
+        let spec = benchmark(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+        self.push(RunRequest { spec, l1, system, cond: *cond, label: name.to_owned() })
+    }
+
+    /// Number of queued requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the sweep is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Execute at the process-default job count ([`effective_jobs`]).
+    pub fn run(self) -> SweepResult {
+        let jobs = effective_jobs();
+        self.run_with_jobs(jobs)
+    }
+
+    /// Execute on exactly `jobs` workers (1 = serial, inline).
+    pub fn run_with_jobs(self, jobs: usize) -> SweepResult {
+        // Resolve the event-trace capacity once, outside the pool, so the
+        // workers cannot disagree (and the env var is only parsed once).
+        let capacity = trace_capacity();
+        let tasks: Vec<_> = self
+            .requests
+            .into_iter()
+            .map(|req| {
+                move || {
+                    run_spec_with_trace_capacity(&req.spec, req.l1, req.system, &req.cond, capacity)
+                }
+            })
+            .collect();
+        let (mut metrics, profile) = run_parallel(tasks, jobs);
+        for (m, &worker) in metrics.iter_mut().zip(&profile.assigned_worker) {
+            m.phases.worker = worker;
+        }
+        SweepResult { metrics, profile }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sipt_core::{baseline_32k_8w_vipt, sipt_32k_2w};
+
+    #[test]
+    fn results_arrive_in_submission_order() {
+        // Tasks with deliberately inverted costs: the first submission is
+        // the slowest, so completion order differs from submission order.
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..8usize)
+            .map(|i| {
+                Box::new(move || {
+                    std::thread::sleep(std::time::Duration::from_millis((8 - i) as u64));
+                    i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let (results, profile) = run_parallel(tasks, 4);
+        assert_eq!(results, (0..8).collect::<Vec<_>>());
+        assert_eq!(profile.jobs, 4);
+        assert_eq!(profile.tasks, 8);
+        assert_eq!(profile.assigned_worker.len(), 8);
+        assert!(profile.worker_busy_ms.iter().all(|&b| b >= 0.0));
+    }
+
+    #[test]
+    fn serial_fallback_spawns_no_pool() {
+        let (results, profile) = run_parallel((0..3).map(|i| move || i * 2).collect(), 1);
+        assert_eq!(results, vec![0, 2, 4]);
+        assert_eq!(profile.jobs, 1);
+        assert_eq!(profile.worker_busy_ms.len(), 1);
+        assert_eq!(profile.assigned_worker, vec![0, 0, 0]);
+        assert!((profile.speedup() - 1.0).abs() < 0.5, "serial speedup ~1");
+    }
+
+    #[test]
+    fn jobs_clamp_to_task_count() {
+        let (results, profile) = run_parallel(vec![|| 7usize], 16);
+        assert_eq!(results, vec![7]);
+        assert_eq!(profile.jobs, 1, "one task needs one worker");
+    }
+
+    #[test]
+    fn empty_sweep_is_fine() {
+        let (results, profile) = run_parallel(Vec::<fn() -> u8>::new(), 4);
+        assert!(results.is_empty());
+        assert_eq!(profile.tasks, 0);
+    }
+
+    #[test]
+    fn sweep_matches_direct_runner_calls() {
+        let cond = Condition::quick();
+        let mut sweep = Sweep::new();
+        sweep.bench("sjeng", baseline_32k_8w_vipt(), SystemKind::OooThreeLevel, &cond);
+        sweep.bench("sjeng", sipt_32k_2w(), SystemKind::OooThreeLevel, &cond);
+        assert_eq!(sweep.len(), 2);
+        let result = sweep.run_with_jobs(2);
+        let direct_base =
+            crate::run_benchmark("sjeng", baseline_32k_8w_vipt(), SystemKind::OooThreeLevel, &cond);
+        let direct_sipt =
+            crate::run_benchmark("sjeng", sipt_32k_2w(), SystemKind::OooThreeLevel, &cond);
+        assert_eq!(result.metrics[0].core, direct_base.core);
+        assert_eq!(result.metrics[0].sipt, direct_base.sipt);
+        assert_eq!(result.metrics[1].core, direct_sipt.core);
+        assert_eq!(result.metrics[1].sipt, direct_sipt.sipt);
+    }
+
+    #[test]
+    fn profile_json_has_required_keys() {
+        let (_, profile) = run_parallel(vec![|| ()], 1);
+        let json = profile.to_json();
+        for key in ["jobs", "tasks", "wall_ms", "worker_busy_ms", "total_busy_ms", "speedup"] {
+            assert!(json.get(key).is_some(), "missing {key}");
+        }
+        assert!(parallelism_json().is_some(), "global accumulator must be primed");
+    }
+}

@@ -15,7 +15,13 @@ pub fn json_requested() -> bool {
 }
 
 /// Schema version stamped into every report, bumped on breaking changes.
-pub const REPORT_SCHEMA_VERSION: u32 = 1;
+///
+/// History:
+/// - **1** — `{schema_version, artifact, payload}`.
+/// - **2** — adds an optional top-level `parallelism` object (sweep job
+///   count, per-worker busy time, wall-clock speedup) and a `worker`
+///   field inside per-run `phases` objects.
+pub const REPORT_SCHEMA_VERSION: u32 = 2;
 
 /// Wrap an artifact's payload in the standard report envelope:
 /// `{"schema_version", "artifact", "payload"}`.
@@ -25,6 +31,17 @@ pub fn envelope(artifact: &str, payload: Json) -> Json {
         ("artifact", Json::str(artifact)),
         ("payload", payload),
     ])
+}
+
+/// Like [`envelope`], with the v2 `parallelism` block when the producer
+/// ran sweeps in parallel (pass `None` to omit the key, e.g. for purely
+/// analytic artifacts).
+pub fn envelope_with_parallelism(artifact: &str, payload: Json, parallelism: Option<Json>) -> Json {
+    let mut e = envelope(artifact, payload);
+    if let Some(p) = parallelism {
+        e.insert("parallelism", p);
+    }
+    e
 }
 
 /// Write `report` to `<dir>/<name>.json` (pretty-rendered), creating
@@ -53,9 +70,23 @@ mod tests {
     fn envelope_has_stable_keys() {
         let e = envelope("fig01", Json::obj([("rows", Json::arr([]))]));
         let parsed = parse(&e.render()).unwrap();
-        assert_eq!(parsed.path("schema_version").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(parsed.path("schema_version").and_then(Json::as_f64), Some(2.0));
         assert_eq!(parsed.path("artifact").and_then(Json::as_str), Some("fig01"));
         assert!(parsed.path("payload.rows").is_some());
+    }
+
+    #[test]
+    fn parallelism_block_is_optional() {
+        let without = envelope_with_parallelism("fig02", Json::u64(1), None);
+        assert!(parse(&without.render()).unwrap().path("parallelism").is_none());
+        let with = envelope_with_parallelism(
+            "fig02",
+            Json::u64(1),
+            Some(Json::obj([("jobs", Json::u64(4))])),
+        );
+        let parsed = parse(&with.render()).unwrap();
+        assert_eq!(parsed.path("parallelism.jobs").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(parsed.path("schema_version").and_then(Json::as_f64), Some(2.0));
     }
 
     #[test]

@@ -1,12 +1,24 @@
 #!/bin/bash
 set -u
 cd "$(dirname "$0")"
-# Every run also writes results/<name>.json (machine-readable report).
+# Every run also writes results/<name>.json (machine-readable report,
+# schema v2 with a `parallelism` block).
 export SIPT_JSON=1
+# Sweep parallelism: --jobs N (or "-j N") on the command line, else
+# SIPT_JOBS from the environment, else all host cores.
+JOBS="${SIPT_JOBS:-$(nproc 2>/dev/null || echo 1)}"
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --jobs|-j) JOBS="$2"; shift 2 ;;
+    --jobs=*) JOBS="${1#--jobs=}"; shift ;;
+    *) echo "usage: $0 [--jobs N]" >&2; exit 2 ;;
+  esac
+done
+echo "sweep parallelism: $JOBS jobs"
 for f in tab01 fig01 tab02 tab03 fig05 fig02 fig03 fig06 fig09 fig12 fig13 fig16 fig15 fig18 ablation_bypass ablation_idb ablation_perceptron_size ablation_replay ablation_coloring future_icache; do
   echo "=== running $f ==="
   start=$SECONDS
-  cargo run --release -q -p sipt-bench --bin $f > results/$f.txt 2>&1 || echo "FAILED $f"
+  cargo run --release -q -p sipt-bench --bin $f -- --jobs "$JOBS" > results/$f.txt 2>&1 || echo "FAILED $f"
   echo "$((SECONDS-start)) s" > results/$f.time
 done
 echo ALL_DONE

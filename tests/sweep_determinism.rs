@@ -1,0 +1,115 @@
+//! The parallel sweep engine must be invisible in the results: the same
+//! submission order must produce bit-identical metrics and reports for
+//! any worker count. Scheduling may only change *when* a run executes,
+//! never its inputs — these tests pin that contract for jobs ∈ {1, 2, 8}.
+
+use sipt_core::{baseline_32k_8w_vipt, sipt_32k_2w, sipt_64k_4w, L1Policy};
+use sipt_sim::experiments::{report::run_summary_json, smoke_benchmarks};
+use sipt_sim::{Condition, RunMetrics, Sweep, SystemKind};
+use sipt_telemetry::json::Json;
+
+/// A sweep shaped like a real figure driver: smoke benchmarks × three
+/// configurations across both system models.
+fn figure_like_sweep() -> Sweep {
+    let cond = Condition::quick();
+    let mut sweep = Sweep::new();
+    for &bench in &smoke_benchmarks() {
+        sweep.bench(bench, baseline_32k_8w_vipt(), SystemKind::OooThreeLevel, &cond);
+        sweep.bench(bench, sipt_32k_2w(), SystemKind::OooThreeLevel, &cond);
+        sweep.bench(
+            bench,
+            sipt_64k_4w().with_policy(L1Policy::Ideal),
+            SystemKind::InOrderTwoLevel,
+            &cond,
+        );
+    }
+    sweep
+}
+
+fn run_with(jobs: usize) -> Vec<RunMetrics> {
+    figure_like_sweep().run_with_jobs(jobs).metrics
+}
+
+/// Everything except the wall-clock phase profile (and the worker id it
+/// carries) must match exactly. Phases measure host time, which any
+/// scheduler legitimately changes.
+fn assert_simulation_identical(a: &[RunMetrics], b: &[RunMetrics], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: run count");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.name, y.name, "{what}: submission order");
+        assert_eq!(x.core, y.core, "{what}: {} core", x.name);
+        assert_eq!(x.sipt, y.sipt, "{what}: {} sipt", x.name);
+        assert_eq!(x.tlb, y.tlb, "{what}: {} tlb", x.name);
+        assert_eq!(x.l2, y.l2, "{what}: {} l2", x.name);
+        assert_eq!(x.llc, y.llc, "{what}: {} llc", x.name);
+        assert_eq!(x.dram, y.dram, "{what}: {} dram", x.name);
+        assert_eq!(x.energy, y.energy, "{what}: {} energy", x.name);
+        assert_eq!(x.way_pred, y.way_pred, "{what}: {} way_pred", x.name);
+        assert_eq!(x.huge_fraction, y.huge_fraction, "{what}: {} hugepages", x.name);
+    }
+}
+
+/// One run's report JSON with the host-time-dependent `phases` object
+/// masked out, rendered to bytes (object keys render in deterministic
+/// order, so equal strings mean equal reports).
+fn comparable_report(m: &RunMetrics) -> String {
+    let mut json = run_summary_json(m);
+    json.insert("phases", Json::str("masked"));
+    json.render()
+}
+
+#[test]
+fn serial_and_two_workers_agree() {
+    let serial = run_with(1);
+    let parallel = run_with(2);
+    assert_simulation_identical(&serial, &parallel, "jobs 1 vs 2");
+}
+
+#[test]
+fn two_and_eight_workers_agree() {
+    // 8 workers on a sweep this size forces heavy interleaving (more
+    // workers than distinct benchmarks), so any shared mutable state
+    // between runs would show up here.
+    let two = run_with(2);
+    let eight = run_with(8);
+    assert_simulation_identical(&two, &eight, "jobs 2 vs 8");
+}
+
+#[test]
+fn report_payloads_are_byte_identical_across_job_counts() {
+    let serial: Vec<String> = run_with(1).iter().map(comparable_report).collect();
+    let eight: Vec<String> = run_with(8).iter().map(comparable_report).collect();
+    assert_eq!(serial, eight, "masked report JSON must not depend on the worker count");
+}
+
+#[test]
+fn oversubscribed_pool_handles_tiny_sweeps() {
+    // Fewer tasks than workers: the pool must clamp, not deadlock or
+    // reorder.
+    let cond = Condition::quick();
+    let mut sweep = Sweep::new();
+    sweep.bench("sjeng", sipt_32k_2w(), SystemKind::OooThreeLevel, &cond);
+    let result = sweep.run_with_jobs(8);
+    assert_eq!(result.metrics.len(), 1);
+    assert_eq!(result.profile.jobs, 1, "one task needs one worker");
+
+    let mut sweep = Sweep::new();
+    sweep.bench("sjeng", sipt_32k_2w(), SystemKind::OooThreeLevel, &cond);
+    let serial = sweep.run_with_jobs(1);
+    assert_simulation_identical(&result.metrics, &serial.metrics, "tiny sweep");
+}
+
+#[test]
+fn profile_accounts_for_every_task() {
+    let result = figure_like_sweep().run_with_jobs(2);
+    let profile = &result.profile;
+    assert_eq!(profile.tasks, result.metrics.len());
+    assert_eq!(profile.assigned_worker.len(), profile.tasks);
+    assert!(profile.assigned_worker.iter().all(|&w| w < profile.jobs));
+    // The recorded worker id is threaded into each run's phase profile.
+    for (m, &w) in result.metrics.iter().zip(&profile.assigned_worker) {
+        assert_eq!(m.phases.worker, w);
+    }
+    assert!(profile.total_busy_ms() > 0.0, "sweep did real work");
+    assert!(profile.wall_ms > 0.0);
+}
