@@ -7,7 +7,7 @@ use sipt_sim::{Sweep, SystemKind};
 use sipt_telemetry::json::Json;
 
 fn main() {
-    let cli = sipt_bench::Cli::from_args();
+    let cli = sipt_bench::Cli::for_artifact("ablation_bypass");
     sipt_bench::header(
         "Ablation: bypass predictor",
         "perceptron vs 2-bit counters, SIPT-bypass policy, 2 speculative bits",
@@ -70,4 +70,5 @@ fn main() {
             ("mean_counter_accuracy", Json::num(mean(&cacc))),
         ]),
     );
+    cli.finish();
 }

@@ -14,7 +14,7 @@ use sipt_sim::{Condition, Sweep, SystemKind};
 use sipt_telemetry::json::Json;
 
 fn main() {
-    let cli = sipt_bench::Cli::from_args();
+    let cli = sipt_bench::Cli::for_artifact("ablation_coloring");
     sipt_bench::header(
         "Ablation: page coloring vs prediction",
         "naive SIPT fast-access rate under default vs colored placement; combined \
@@ -63,4 +63,5 @@ fn main() {
         ]));
     }
     cli.emit_json("ablation_coloring", Json::obj([("rows", Json::arr(json_rows))]));
+    cli.finish();
 }

@@ -7,7 +7,7 @@ use sipt_sim::{Sweep, SystemKind};
 use sipt_telemetry::json::Json;
 
 fn main() {
-    let cli = sipt_bench::Cli::from_args();
+    let cli = sipt_bench::Cli::for_artifact("ablation_idb");
     sipt_bench::header(
         "Ablation: IDB contribution",
         "SIPT-bypass (perceptron only) vs SIPT combined (perceptron + IDB)",
@@ -51,4 +51,5 @@ fn main() {
         ]));
     }
     cli.emit_json("ablation_idb", Json::obj([("rows", Json::arr(json_rows))]));
+    cli.finish();
 }

@@ -7,7 +7,7 @@ use sipt_sim::{Sweep, SystemKind};
 use sipt_telemetry::json::Json;
 
 fn main() {
-    let cli = sipt_bench::Cli::from_args();
+    let cli = sipt_bench::Cli::for_artifact("ablation_perceptron_size");
     sipt_bench::header(
         "Ablation: perceptron sizing",
         "accuracy vs table entries and history length (paper default: 64 x h=12)",
@@ -55,4 +55,5 @@ fn main() {
         ]));
     }
     cli.emit_json("ablation_perceptron_size", Json::obj([("rows", Json::arr(json_rows))]));
+    cli.finish();
 }

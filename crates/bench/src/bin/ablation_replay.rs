@@ -8,7 +8,7 @@ use sipt_sim::{harmonic_mean, Sweep, SystemKind};
 use sipt_telemetry::json::Json;
 
 fn main() {
-    let cli = sipt_bench::Cli::from_args();
+    let cli = sipt_bench::Cli::for_artifact("ablation_replay");
     sipt_bench::header(
         "Ablation: scheduler replay penalty",
         "mean SIPT speedup vs per-misspeculation replay cost (paper §VII.C: rare \
@@ -59,4 +59,5 @@ fn main() {
         ]));
     }
     cli.emit_json("ablation_replay", Json::obj([("rows", Json::arr(json_rows))]));
+    cli.finish();
 }

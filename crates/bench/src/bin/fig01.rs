@@ -4,7 +4,7 @@
 use sipt_sim::experiments::{fig01, report};
 
 fn main() {
-    let cli = sipt_bench::Cli::from_args();
+    let cli = sipt_bench::Cli::for_artifact("fig01");
     sipt_bench::header(
         "Fig 1",
         "latency range/mean normalized to 32KiB 8-way; associativity dominates, \
@@ -15,4 +15,5 @@ fn main() {
     let worst = rows.iter().map(|r| r.max).fold(0.0f64, f64::max);
     println!("\nworst-case normalized latency: {worst:.2}x (paper: up to 7.4x)");
     cli.emit_json("fig01", report::fig1_json(&rows));
+    cli.finish();
 }

@@ -3,7 +3,7 @@
 use sipt_sim::experiments::{ideal, report};
 
 fn main() {
-    let cli = sipt_bench::Cli::from_args();
+    let cli = sipt_bench::Cli::for_artifact("fig02");
     sipt_bench::header(
         "Fig 2",
         "IPC vs L1 config, OOO core, normalized to 32KiB 8-way (paper: 32KiB 2-way best, +8.2%)",
@@ -11,4 +11,5 @@ fn main() {
     let fig = ideal::fig2(&cli.scale.benchmarks(), &cli.scale.condition());
     print!("{}", ideal::render(&fig));
     cli.emit_json("fig02", report::ideal_json(&fig));
+    cli.finish();
 }

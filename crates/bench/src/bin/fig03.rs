@@ -3,7 +3,7 @@
 use sipt_sim::experiments::{ideal, report};
 
 fn main() {
-    let cli = sipt_bench::Cli::from_args();
+    let cli = sipt_bench::Cli::for_artifact("fig03");
     sipt_bench::header(
         "Fig 3",
         "IPC vs L1 config, in-order core (paper: 64KiB 4-way best, +13%; 16KiB −11.3%)",
@@ -11,4 +11,5 @@ fn main() {
     let fig = ideal::fig3(&cli.scale.benchmarks(), &cli.scale.condition());
     print!("{}", ideal::render(&fig));
     cli.emit_json("fig03", report::ideal_json(&fig));
+    cli.finish();
 }

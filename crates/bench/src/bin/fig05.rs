@@ -3,7 +3,7 @@
 use sipt_sim::experiments::{report, speculation};
 
 fn main() {
-    let cli = sipt_bench::Cli::from_args();
+    let cli = sipt_bench::Cli::for_artifact("fig05");
     sipt_bench::header(
         "Fig 5",
         "fraction of accesses whose 1/2/3 index bits survive translation + hugepage coverage",
@@ -11,4 +11,5 @@ fn main() {
     let rows = speculation::fig5(&cli.scale.benchmarks(), &cli.scale.condition());
     print!("{}", speculation::render(&rows));
     cli.emit_json("fig05", report::fig5_json(&rows));
+    cli.finish();
 }

@@ -3,7 +3,7 @@
 use sipt_sim::experiments::{naive, report};
 
 fn main() {
-    let cli = sipt_bench::Cli::from_args();
+    let cli = sipt_bench::Cli::for_artifact("fig06");
     sipt_bench::header(
         "Figs 6-7",
         "naive SIPT vs baseline and ideal (paper: energy to 74.4%, 8.5% worse than ideal)",
@@ -11,4 +11,5 @@ fn main() {
     let (rows, summary) = naive::fig6_fig7(&cli.scale.benchmarks(), &cli.scale.condition());
     print!("{}", naive::render(&rows, &summary));
     cli.emit_json("fig06", report::naive_json(&rows, &summary));
+    cli.finish();
 }

@@ -3,7 +3,7 @@
 use sipt_sim::experiments::{bypass, report};
 
 fn main() {
-    let cli = sipt_bench::Cli::from_args();
+    let cli = sipt_bench::Cli::for_artifact("fig09");
     sipt_bench::header(
         "Fig 9",
         "correct speculation / correct bypass / opportunity loss / extra access \
@@ -12,4 +12,5 @@ fn main() {
     let rows = bypass::fig9(&cli.scale.benchmarks(), &cli.scale.condition());
     print!("{}", bypass::render(&rows));
     cli.emit_json("fig09", report::fig9_json(&rows));
+    cli.finish();
 }

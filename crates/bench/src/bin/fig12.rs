@@ -3,7 +3,7 @@
 use sipt_sim::experiments::{combined, report};
 
 fn main() {
-    let cli = sipt_bench::Cli::from_args();
+    let cli = sipt_bench::Cli::for_artifact("fig12");
     sipt_bench::header(
         "Fig 12",
         "fast accesses = perceptron-approved + IDB hits (paper: >90% at 1 bit, >70% at 2-3)",
@@ -11,4 +11,5 @@ fn main() {
     let rows = combined::fig12(&cli.scale.benchmarks(), &cli.scale.condition());
     print!("{}", combined::render_fig12(&rows));
     cli.emit_json("fig12", report::fig12_json(&rows));
+    cli.finish();
 }

@@ -5,7 +5,7 @@ use sipt_sim::experiments::{combined, report};
 use sipt_sim::{run_benchmark, SystemKind};
 
 fn main() {
-    let cli = sipt_bench::Cli::from_args();
+    let cli = sipt_bench::Cli::for_artifact("fig13");
     sipt_bench::header(
         "Figs 13-14",
         "SIPT+IDB vs baseline and ideal (paper: +5.9% IPC, 2.3% from ideal; energy 67.8%)",
@@ -23,4 +23,5 @@ fn main() {
         payload.insert("sample_run", report::run_summary_json(&sample));
         cli.emit_json("fig13", payload);
     }
+    cli.finish();
 }

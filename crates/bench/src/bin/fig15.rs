@@ -3,7 +3,7 @@
 use sipt_sim::experiments::{quadcore, report};
 
 fn main() {
-    let cli = sipt_bench::Cli::from_args();
+    let cli = sipt_bench::Cli::for_artifact("fig15");
     sipt_bench::header(
         "Fig 15",
         "sum-of-IPC speedup, extra accesses and energy per mix (paper: +8.1% avg, 32KiB 2-way best)",
@@ -11,4 +11,5 @@ fn main() {
     let (rows, summary) = quadcore::fig15(&cli.scale.mixes(), &cli.scale.quad_condition());
     print!("{}", quadcore::render(&rows, &summary));
     cli.emit_json("fig15", report::fig15_json(&rows, &summary));
+    cli.finish();
 }

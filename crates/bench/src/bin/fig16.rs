@@ -3,7 +3,7 @@
 use sipt_sim::experiments::{report, waypred};
 
 fn main() {
-    let cli = sipt_bench::Cli::from_args();
+    let cli = sipt_bench::Cli::for_artifact("fig16");
     sipt_bench::header(
         "Figs 16-17",
         "way prediction accuracy rises 89% -> 97.3% when SIPT lowers associativity; \
@@ -12,4 +12,5 @@ fn main() {
     let (rows, summary) = waypred::fig16_fig17(&cli.scale.benchmarks(), &cli.scale.condition());
     print!("{}", waypred::render(&rows, &summary));
     cli.emit_json("fig16", report::waypred_json(&rows, &summary));
+    cli.finish();
 }

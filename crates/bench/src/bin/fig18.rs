@@ -3,7 +3,7 @@
 use sipt_sim::experiments::{report, sensitivity};
 
 fn main() {
-    let cli = sipt_bench::Cli::from_args();
+    let cli = sipt_bench::Cli::for_artifact("fig18");
     sipt_bench::header(
         "Fig 18",
         "IPC/energy/accuracy under normal, fragmented (Fu(9)>0.95), THP-off and \
@@ -12,4 +12,5 @@ fn main() {
     let groups = sensitivity::fig18(&cli.scale.benchmarks(), &cli.scale.condition());
     print!("{}", sensitivity::render(&groups));
     cli.emit_json("fig18", report::fig18_json(&groups));
+    cli.finish();
 }

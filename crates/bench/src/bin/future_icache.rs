@@ -5,7 +5,7 @@ use sipt_core::sipt_32k_2w;
 use sipt_sim::experiments::{icache, report};
 
 fn main() {
-    let cli = sipt_bench::Cli::from_args();
+    let cli = sipt_bench::Cli::for_artifact("future_icache");
     sipt_bench::header(
         "Future work: I-cache SIPT",
         "replay each workload's PC stream through a 32KiB/2-way SIPT I-L1",
@@ -14,4 +14,5 @@ fn main() {
         icache::future_icache(&cli.scale.benchmarks(), &cli.scale.condition(), sipt_32k_2w());
     print!("{}", icache::render(&rows));
     cli.emit_json("future_icache", report::icache_json(&rows));
+    cli.finish();
 }

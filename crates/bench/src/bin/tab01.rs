@@ -3,7 +3,7 @@
 use sipt_telemetry::json::Json;
 
 fn main() {
-    let cli = sipt_bench::Cli::from_args();
+    let cli = sipt_bench::Cli::for_artifact("tab01");
     sipt_bench::header("Table I", "L1 cache configurations (32nm, 64B lines)");
     println!("Technology      32 nm (modelled analytically, calibrated to Table II)");
     println!("Cache line size 64 Bytes");
@@ -24,4 +24,5 @@ fn main() {
             ("banks", Json::arr([1u64, 2, 4].map(Json::u64))),
         ]),
     );
+    cli.finish();
 }

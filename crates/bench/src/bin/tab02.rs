@@ -4,7 +4,7 @@ use sipt_energy::{estimate, ArrayConfig};
 use sipt_telemetry::json::Json;
 
 fn main() {
-    let cli = sipt_bench::Cli::from_args();
+    let cli = sipt_bench::Cli::for_artifact("tab02");
     sipt_bench::header("Table II", "simulated system configurations");
     println!("OOO: 6-wide, 192-entry ROB, 3.0 GHz, 3-level cache; In-order: 2-wide, 2-level");
     println!("TLB: L1 64-entry 4KiB + 32-entry 2MiB (2-cycle); L2 1024-entry unified (7-cycle)");
@@ -40,4 +40,5 @@ fn main() {
     );
     println!("DRAM: 8-bank, 4-channel DDR3-like");
     cli.emit_json("tab02", Json::obj([("l1_points", Json::arr(json_rows))]));
+    cli.finish();
 }

@@ -4,7 +4,7 @@ use sipt_telemetry::json::Json;
 use sipt_workloads::MIXES;
 
 fn main() {
-    let cli = sipt_bench::Cli::from_args();
+    let cli = sipt_bench::Cli::for_artifact("tab03");
     sipt_bench::header("Table III", "multi-programmed workloads");
     for (name, apps) in MIXES {
         println!("{name:<6} {}", apps.join(", "));
@@ -21,4 +21,5 @@ fn main() {
             })),
         )]),
     );
+    cli.finish();
 }

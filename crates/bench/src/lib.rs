@@ -119,35 +119,69 @@ pub fn header(artifact: &str, paper_summary: &str) {
 /// `None` when absent; exits with a usage message on malformed values so
 /// a typo can't silently fall back to a different parallelism.
 fn jobs_from_args() -> Option<usize> {
-    parse_jobs_args(std::env::args().skip(1)).unwrap_or_else(|bad| {
-        eprintln!("invalid --jobs value {bad:?}: expected a positive integer");
-        std::process::exit(2);
-    })
+    match parse_valued_flag(std::env::args().skip(1), "--jobs") {
+        Ok(v) => v.map(|n| {
+            if n == 0 {
+                eprintln!("invalid --jobs value \"0\": expected a positive integer");
+                std::process::exit(2);
+            }
+            n as usize
+        }),
+        Err(bad) => {
+            eprintln!("invalid --jobs value {bad:?}: expected a positive integer");
+            std::process::exit(2);
+        }
+    }
 }
 
-/// Pure parser behind [`jobs_from_args`], split out for testing.
-/// `Err(bad)` carries the offending text.
-fn parse_jobs_args<I: Iterator<Item = String>>(mut args: I) -> Result<Option<usize>, String> {
+/// Parse `--task-timeout MS` (watchdog) and `--task-retries N` (bounded
+/// re-execution of panicked tasks) from the process arguments, applying
+/// them to the sweep engine's process-wide knobs. Malformed values abort
+/// with a usage message (exit 2).
+fn resilience_flags_from_args() {
+    match parse_valued_flag(std::env::args().skip(1), "--task-timeout") {
+        Ok(Some(ms)) => sipt_sim::resilience::set_task_timeout_ms(ms),
+        Ok(None) => {}
+        Err(bad) => {
+            eprintln!("invalid --task-timeout value {bad:?}: expected milliseconds");
+            std::process::exit(2);
+        }
+    }
+    match parse_valued_flag(std::env::args().skip(1), "--task-retries") {
+        Ok(Some(n)) => sipt_sim::resilience::set_task_retries(n.min(16) as u32),
+        Ok(None) => {}
+        Err(bad) => {
+            eprintln!("invalid --task-retries value {bad:?}: expected a small integer");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Pure parser for `--flag N` / `--flag=N` arguments, split out for
+/// testing. `Err(bad)` carries the offending text.
+fn parse_valued_flag<I: Iterator<Item = String>>(
+    mut args: I,
+    flag: &str,
+) -> Result<Option<u64>, String> {
+    let prefix = format!("{flag}=");
     while let Some(arg) = args.next() {
-        let value = if arg == "--jobs" {
+        let value = if arg == flag {
             args.next().ok_or_else(|| String::from("<missing>"))?
-        } else if let Some(v) = arg.strip_prefix("--jobs=") {
+        } else if let Some(v) = arg.strip_prefix(&prefix) {
             v.to_owned()
         } else {
             continue;
         };
-        return match value.parse::<usize>() {
-            Ok(n) if n > 0 => Ok(Some(n)),
-            _ => Err(value),
-        };
+        return value.parse::<u64>().map(Some).map_err(|_| value);
     }
     Ok(None)
 }
 
 /// Command-line state shared by every figure/table binary: the run scale,
 /// whether a machine-readable report was requested (`--json` argument or
-/// `SIPT_JSON=1`), and the sweep parallelism (`--jobs N`, `--jobs=N`, or
-/// `SIPT_JOBS=N`; default: all host cores).
+/// `SIPT_JSON=1`), the sweep parallelism (`--jobs N`, `--jobs=N`, or
+/// `SIPT_JOBS=N`; default: all host cores), and the resilience switches
+/// (`--resume`, `--task-timeout MS`, `--task-retries N`).
 #[derive(Debug, Clone, Copy)]
 pub struct Cli {
     /// Run scale (`quick` / default / `full`).
@@ -156,22 +190,51 @@ pub struct Cli {
     pub json: bool,
     /// Worker threads every sweep in this process will use.
     pub jobs: usize,
+    /// Whether `--resume` enabled sweep checkpointing.
+    pub resume: bool,
 }
 
 impl Cli {
-    /// Parse scale, JSON switch and `--jobs` from the process
-    /// arguments/environment. A `--jobs` argument takes precedence over
-    /// `SIPT_JOBS`; malformed values abort with a usage message rather
-    /// than silently running serial.
+    /// Parse scale, JSON switch, `--jobs` and the resilience flags from
+    /// the process arguments/environment. A `--jobs` argument takes
+    /// precedence over `SIPT_JOBS`; malformed values abort with a usage
+    /// message rather than silently running serial.
     pub fn from_args() -> Self {
         if let Some(jobs) = jobs_from_args() {
             sipt_sim::set_jobs(jobs);
         }
+        resilience_flags_from_args();
         Self {
             scale: Scale::from_args(),
             json: report::json_requested(),
             jobs: sipt_sim::effective_jobs(),
+            resume: std::env::args().skip(1).any(|a| a == "--resume"),
         }
+    }
+
+    /// [`Cli::from_args`] for a named artifact: additionally arms sweep
+    /// checkpointing when `--resume` was passed. Completed task metrics
+    /// are persisted (bit-exactly) to `results/<name>.checkpoint.json` as
+    /// they finish; a re-run with `--resume` restores them instead of
+    /// re-simulating, and the final report is byte-identical to an
+    /// uninterrupted run. Without `--resume` nothing is written.
+    pub fn for_artifact(name: &str) -> Self {
+        let cli = Self::from_args();
+        if cli.resume {
+            let path = report::results_dir().join(format!("{name}.checkpoint.json"));
+            match sipt_sim::checkpoint::configure(&path, true) {
+                Ok(ckpt) => eprintln!(
+                    "resume: checkpointing to {} ({} task(s) already on file)",
+                    ckpt.path().display(),
+                    ckpt.restored_len()
+                ),
+                Err(e) => {
+                    eprintln!("cannot arm --resume: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        cli
     }
 
     /// When JSON was requested, wrap `payload` in the standard report
@@ -183,10 +246,16 @@ impl Cli {
         if !self.json {
             return None;
         }
-        // v2 envelopes carry the sweep parallelism observed so far in this
-        // process (absent when no parallel sweep ran, e.g. tab01/tab02).
-        let envelope =
-            report::envelope_with_parallelism(name, payload, sipt_sim::sweep::parallelism_json());
+        // v3 envelopes carry the sweep parallelism observed so far in this
+        // process (absent when no parallel sweep ran, e.g. tab01/tab02)
+        // and the resilience block (absent when nothing failed, retried,
+        // resumed or was injected).
+        let envelope = report::envelope_full(
+            name,
+            payload,
+            sipt_sim::sweep::parallelism_json(),
+            sipt_sim::resilience::resilience_json(),
+        );
         match report::write_report(&report::results_dir(), name, &envelope) {
             Ok(path) => {
                 eprintln!("wrote {}", path.display());
@@ -198,23 +267,51 @@ impl Cli {
             }
         }
     }
+
+    /// Final accounting, called at the end of every binary's `main` after
+    /// the report is written: when any sweep task failed (organically or
+    /// by injection), print the failure table to stderr and exit 1 so
+    /// automation notices — the report and text output are already
+    /// complete by then, carrying placeholder metrics for the failed
+    /// slots. A clean run returns normally (exit 0).
+    pub fn finish(&self) {
+        let failures = sipt_sim::resilience::failure_count();
+        if failures > 0 {
+            eprint!("{}", sipt_sim::resilience::failure_table());
+            eprintln!("{failures} sweep task(s) failed; exiting non-zero");
+            std::process::exit(1);
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn args(v: &[&str]) -> std::vec::IntoIter<String> {
+        v.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>().into_iter()
+    }
+
     #[test]
     fn jobs_argument_parses_both_forms() {
-        fn args(v: &[&str]) -> std::vec::IntoIter<String> {
-            v.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>().into_iter()
-        }
-        assert_eq!(parse_jobs_args(args(&["quick", "--jobs", "4"])), Ok(Some(4)));
-        assert_eq!(parse_jobs_args(args(&["--jobs=2", "full"])), Ok(Some(2)));
-        assert_eq!(parse_jobs_args(args(&["quick", "--json"])), Ok(None));
-        assert_eq!(parse_jobs_args(args(&["--jobs", "zero"])), Err("zero".to_owned()));
-        assert_eq!(parse_jobs_args(args(&["--jobs=0"])), Err("0".to_owned()));
-        assert_eq!(parse_jobs_args(args(&["--jobs"])), Err("<missing>".to_owned()));
+        assert_eq!(parse_valued_flag(args(&["quick", "--jobs", "4"]), "--jobs"), Ok(Some(4)));
+        assert_eq!(parse_valued_flag(args(&["--jobs=2", "full"]), "--jobs"), Ok(Some(2)));
+        assert_eq!(parse_valued_flag(args(&["quick", "--json"]), "--jobs"), Ok(None));
+        assert_eq!(parse_valued_flag(args(&["--jobs", "zero"]), "--jobs"), Err("zero".to_owned()));
+        assert_eq!(parse_valued_flag(args(&["--jobs"]), "--jobs"), Err("<missing>".to_owned()));
+    }
+
+    #[test]
+    fn resilience_flags_parse_both_forms() {
+        let f = "--task-timeout";
+        assert_eq!(parse_valued_flag(args(&["quick", f, "5000"]), f), Ok(Some(5000)));
+        assert_eq!(parse_valued_flag(args(&["--task-timeout=250"]), f), Ok(Some(250)));
+        assert_eq!(parse_valued_flag(args(&["--task-retries", "3"]), "--task-retries"), {
+            Ok(Some(3))
+        });
+        assert_eq!(parse_valued_flag(args(&["--task-timeout", "soon"]), f), Err("soon".to_owned()));
+        // Flags are independent: --task-timeout does not satisfy --jobs.
+        assert_eq!(parse_valued_flag(args(&["--task-timeout", "9"]), "--jobs"), Ok(None));
     }
 
     #[test]

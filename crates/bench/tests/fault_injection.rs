@@ -1,0 +1,165 @@
+//! End-to-end resilience tests against the real `fig02` binary: fault
+//! injection, panic isolation, the schema-v3 `resilience` block, exit
+//! codes, checkpoint/resume byte-identity, the watchdog, and the
+//! `SIPT_AUDIT=1` invariant auditor.
+//!
+//! Each test runs the binary in a subprocess with its own
+//! `SIPT_RESULTS_DIR`, so the env-var knobs (parsed once per process)
+//! never leak between tests.
+
+use sipt_telemetry::json::{self, Json};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn temp_results_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sipt-fault-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Run `fig02 quick --json --jobs 2 [extra args]` with extra env vars and
+/// a dedicated results dir; return the process output.
+fn run_fig02(dir: &Path, envs: &[(&str, &str)], extra_args: &[&str]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_fig02"));
+    cmd.arg("quick").arg("--json").arg("--jobs").arg("2").args(extra_args);
+    cmd.env("SIPT_RESULTS_DIR", dir);
+    // Make sure ambient knobs from the outer test environment don't leak in.
+    for var in ["SIPT_FAULT_INJECT", "SIPT_AUDIT", "SIPT_TASK_TIMEOUT_MS", "SIPT_JOBS"] {
+        cmd.env_remove(var);
+    }
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("fig02 spawns")
+}
+
+fn read_report(dir: &Path) -> Json {
+    let text = std::fs::read_to_string(dir.join("fig02.json")).expect("fig02.json written");
+    json::parse(&text).expect("valid JSON")
+}
+
+/// The headline acceptance test: a sweep with one injected panicking task
+/// completes, writes a report whose v3 `resilience.failures` names the
+/// task, exits non-zero — and every *surviving* benchmark row is
+/// byte-identical to the fault-free run.
+#[test]
+fn injected_panic_is_isolated_reported_and_survivors_match() {
+    let clean_dir = temp_results_dir("clean");
+    let clean = run_fig02(&clean_dir, &[], &[]);
+    assert!(clean.status.success(), "clean run must pass: {clean:?}");
+    let clean_report = read_report(&clean_dir);
+    assert!(clean_report.path("resilience").is_none(), "clean run carries no resilience block");
+
+    // Task 1 is the first benchmark's first non-baseline configuration
+    // (submission order: per benchmark, baseline then the five configs),
+    // so exactly one row is poisoned and every other row must survive.
+    let fault_dir = temp_results_dir("panic");
+    let fault = run_fig02(&fault_dir, &[("SIPT_FAULT_INJECT", "panic:1")], &[]);
+    assert!(!fault.status.success(), "injected panic must exit non-zero");
+    assert_eq!(fault.status.code(), Some(1), "failure exit code is 1");
+    let stderr = String::from_utf8_lossy(&fault.stderr);
+    assert!(stderr.contains("task failures"), "failure table on stderr: {stderr}");
+
+    let report = read_report(&fault_dir);
+    assert_eq!(report.path("schema_version").and_then(Json::as_f64), Some(3.0));
+    let failures = report.path("resilience.failures").and_then(Json::as_arr).expect("failures[]");
+    assert_eq!(failures.len(), 1);
+    assert_eq!(failures[0].get("task").and_then(Json::as_f64), Some(1.0));
+    assert!(failures[0]
+        .get("panic_msg")
+        .and_then(Json::as_str)
+        .is_some_and(|m| m.contains("injected fault")));
+
+    // Surviving rows are byte-identical: only row 0 (the poisoned
+    // benchmark) may differ between the two reports.
+    let clean_rows = clean_report.path("payload.rows").and_then(Json::as_arr).expect("rows");
+    let fault_rows = report.path("payload.rows").and_then(Json::as_arr).expect("rows");
+    assert_eq!(clean_rows.len(), fault_rows.len());
+    assert!(clean_rows.len() >= 2, "need survivors to compare");
+    for (i, (c, f)) in clean_rows.iter().zip(fault_rows).enumerate().skip(1) {
+        assert_eq!(c.render(), f.render(), "surviving row {i} must be byte-identical");
+    }
+
+    let _ = std::fs::remove_dir_all(&clean_dir);
+    let _ = std::fs::remove_dir_all(&fault_dir);
+}
+
+/// `--resume` acceptance: an interrupted run (one injected failure) plus
+/// a resumed run reproduce the uninterrupted report's payload
+/// byte-for-byte, restoring completed tasks from the checkpoint.
+#[test]
+fn resume_reproduces_uninterrupted_payload_byte_for_byte() {
+    let clean_dir = temp_results_dir("resume-clean");
+    let clean = run_fig02(&clean_dir, &[], &[]);
+    assert!(clean.status.success());
+    let clean_payload = read_report(&clean_dir).path("payload").expect("payload").render();
+
+    // "Interrupted" run: task 5 fails on every attempt, so its slot is
+    // missing from the checkpoint while every other task is persisted.
+    let dir = temp_results_dir("resume");
+    let broken = run_fig02(&dir, &[("SIPT_FAULT_INJECT", "panic:5")], &["--resume"]);
+    assert!(!broken.status.success(), "faulted run exits non-zero");
+    assert!(dir.join("fig02.checkpoint.json").exists(), "checkpoint written");
+
+    // Resumed run: restores the survivors, re-simulates only the missing
+    // task, and must reproduce the uninterrupted payload exactly.
+    let resumed = run_fig02(&dir, &[], &["--resume"]);
+    assert!(resumed.status.success(), "resumed run passes: {resumed:?}");
+    let stderr = String::from_utf8_lossy(&resumed.stderr);
+    assert!(stderr.contains("restored"), "resume must restore from checkpoint: {stderr}");
+    let report = read_report(&dir);
+    assert_eq!(
+        report.path("payload").expect("payload").render(),
+        clean_payload,
+        "resumed payload must be byte-identical to the uninterrupted run"
+    );
+    // The resilience block records the checkpoint hits (outside payload).
+    let hits = report.path("resilience.checkpoint_hits").and_then(Json::as_f64).unwrap_or(0.0);
+    assert!(hits > 0.0, "resume must report checkpoint hits");
+
+    let _ = std::fs::remove_dir_all(&clean_dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `--task-timeout` arms the watchdog: an injected slow task is flagged
+/// in the report but (without `SIPT_WATCHDOG_KILL`) not killed.
+#[test]
+fn watchdog_flags_slow_tasks_in_the_report() {
+    let dir = temp_results_dir("watchdog");
+    let out = run_fig02(&dir, &[("SIPT_FAULT_INJECT", "slow:0:400")], &["--task-timeout", "100"]);
+    assert!(out.status.success(), "a slow task is flagged, not failed: {out:?}");
+    let report = read_report(&dir);
+    let flags =
+        report.path("resilience.watchdog_flags").and_then(Json::as_arr).expect("watchdog_flags[]");
+    assert!(!flags.is_empty(), "the 400 ms task must trip the 100 ms watchdog");
+    assert_eq!(flags[0].get("task").and_then(Json::as_f64), Some(0.0));
+    assert_eq!(flags[0].get("timeout_ms").and_then(Json::as_f64), Some(100.0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `SIPT_AUDIT=1` catches an injected metrics bit-flip: the
+/// metrics-conservation audit panics inside the isolation boundary, so
+/// the corrupted run is reported as a failure and the binary exits
+/// non-zero while the rest of the sweep survives.
+#[test]
+fn audit_catches_injected_bit_flip() {
+    let dir = temp_results_dir("audit");
+    let out = run_fig02(&dir, &[("SIPT_AUDIT", "1"), ("SIPT_FAULT_INJECT", "flip:2")], &[]);
+    assert!(!out.status.success(), "audited corruption must exit non-zero");
+    let report = read_report(&dir);
+    let failures = report.path("resilience.failures").and_then(Json::as_arr).expect("failures[]");
+    assert_eq!(failures.len(), 1);
+    assert!(
+        failures[0]
+            .get("panic_msg")
+            .and_then(Json::as_str)
+            .is_some_and(|m| m.contains("metrics-conservation")),
+        "audit diagnostic must name the invariant: {failures:?}"
+    );
+    assert!(
+        report.path("resilience.fault_injections").and_then(Json::as_f64).unwrap_or(0.0) > 0.0,
+        "injection accounting must show up"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

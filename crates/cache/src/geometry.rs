@@ -60,19 +60,55 @@ impl CacheGeometry {
     /// Panics unless capacity, ways and line size are powers of two and
     /// `capacity >= ways * line_size`.
     pub fn new(capacity: u64, ways: u32) -> Self {
-        let g = Self { capacity, ways, line_size: LINE_SIZE };
-        g.validate();
-        g
+        Self::try_new(capacity, ways).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    fn validate(&self) {
-        assert!(self.capacity.is_power_of_two(), "capacity must be a power of two");
-        assert!(self.ways.is_power_of_two(), "ways must be a power of two");
-        assert!(self.line_size.is_power_of_two(), "line size must be a power of two");
-        assert!(
-            self.capacity >= self.ways as u64 * self.line_size,
-            "capacity must fit at least one line per way"
-        );
+    /// Construct a geometry from untrusted input, returning a descriptive
+    /// error instead of panicking on an invalid shape.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violated shape rule.
+    pub fn try_new(capacity: u64, ways: u32) -> Result<Self, String> {
+        let g = Self { capacity, ways, line_size: LINE_SIZE };
+        g.try_validate()?;
+        Ok(g)
+    }
+
+    /// Validate the power-of-two shape and the `sets × ways × line ==
+    /// capacity` identity, as a typed error for untrusted configuration.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violated shape rule.
+    pub fn try_validate(&self) -> Result<(), String> {
+        if !self.capacity.is_power_of_two() {
+            return Err(format!("capacity {} must be a power of two", self.capacity));
+        }
+        if self.ways == 0 || !self.ways.is_power_of_two() {
+            return Err(format!("ways {} must be a nonzero power of two", self.ways));
+        }
+        if !self.line_size.is_power_of_two() {
+            return Err(format!("line size {} must be a power of two", self.line_size));
+        }
+        if self.capacity < self.ways as u64 * self.line_size {
+            return Err(format!(
+                "capacity {} must fit at least one {}-byte line per way ({} ways)",
+                self.capacity, self.line_size, self.ways
+            ));
+        }
+        // With all three powers of two this is an identity, but it is the
+        // invariant everything downstream indexes by — check it directly.
+        if self.sets() * self.ways as u64 * self.line_size != self.capacity {
+            return Err(format!(
+                "sets {} × ways {} × line {} != capacity {}",
+                self.sets(),
+                self.ways,
+                self.line_size,
+                self.capacity
+            ));
+        }
+        Ok(())
     }
 
     /// Number of sets.

@@ -111,14 +111,43 @@ impl L1Config {
     /// speculative bits (the very configuration the paper shows is
     /// impossible).
     pub fn validate(&self) {
-        if self.policy == L1Policy::Vipt {
-            assert!(
-                self.geometry.vipt_feasible(),
+        self.try_validate().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`L1Config::validate`] for untrusted configuration: geometry shape,
+    /// the VIPT-feasibility constraint, the 3-bit cap on speculated index
+    /// bits (the paper's largest configuration, 128 KiB 4-way), and
+    /// predictor sizing, as descriptive errors instead of panics.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violated constraint.
+    pub fn try_validate(&self) -> Result<(), String> {
+        self.geometry.try_validate().map_err(|e| format!("{}: {e}", self.name))?;
+        if self.policy == L1Policy::Vipt && !self.geometry.vipt_feasible() {
+            return Err(format!(
                 "{} needs {} speculative bits — not buildable as VIPT",
                 self.geometry,
                 self.speculative_bits()
-            );
+            ));
         }
+        if self.speculative_bits() > 3 {
+            return Err(format!(
+                "{} needs {} speculative bits; the IDB delta encoding supports at most 3",
+                self.geometry,
+                self.speculative_bits()
+            ));
+        }
+        if self.policy.speculates() && self.idb_entries == 0 {
+            return Err(format!(
+                "{}: speculative policy {} requires a nonzero IDB",
+                self.name, self.policy
+            ));
+        }
+        if self.latency == 0 {
+            return Err(format!("{}: L1 latency must be at least one cycle", self.name));
+        }
+        Ok(())
     }
 
     /// Derived IDB configuration (delta width = speculative bits, min 1).

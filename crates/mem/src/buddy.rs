@@ -160,6 +160,13 @@ impl BuddyAllocator {
         self.free_frames
     }
 
+    /// Whether `frame` is currently handed out (false for free frames and
+    /// frames outside managed memory). Used by the `SIPT_AUDIT=1`
+    /// page-table↔allocator ownership check.
+    pub fn is_allocated(&self, frame: PhysFrameNum) -> bool {
+        frame.raw() < self.total_frames && self.allocated.test(frame.raw())
+    }
+
     fn mark_allocated(&mut self, start: u64, order: u32) {
         for f in start..start + (1 << order) {
             debug_assert!(!self.allocated.test(f), "frame {f:#x} allocated twice");
@@ -183,11 +190,13 @@ impl BuddyAllocator {
     /// Panics if `order > MAX_ORDER`.
     pub fn alloc(&mut self, order: u32) -> Result<FrameBlock, MemError> {
         assert!(order <= MAX_ORDER, "order {order} exceeds MAX_ORDER");
-        // Find the smallest order with a free block.
-        let found = (order..=MAX_ORDER)
-            .find(|&o| !self.free_lists[o as usize].is_empty())
+        // Find the smallest order with a free block and pop from it in one
+        // step, so exhaustion is a typed error on every path — there is no
+        // window in which the chosen list can be observed non-empty but
+        // popped empty.
+        let (found, start) = (order..=MAX_ORDER)
+            .find_map(|o| Some((o, self.free_lists[o as usize].pop()?)))
             .ok_or(MemError::OutOfMemory { requested_order: order })?;
-        let start = self.free_lists[found as usize].pop().expect("non-empty list");
         // Split down to the requested order, returning upper halves to the
         // free lists.
         let mut o = found;
@@ -612,6 +621,46 @@ mod tests {
             }
             prop_assert_eq!(b.free_frames(), 1 << 12);
             prop_assert_eq!(b.stats().free_blocks_per_order[MAX_ORDER as usize], 4);
+        }
+
+        /// Driving the allocator to (and past) exhaustion through random
+        /// alloc/free interleavings never panics: every failure is a typed
+        /// `OutOfMemory`, free-frame counts are conserved throughout, and
+        /// the allocated bitmap agrees with the live set.
+        #[test]
+        fn exhaustion_is_typed_not_a_panic(ops in proptest::collection::vec(0u32..=MAX_ORDER, 1..96)) {
+            // Tiny arena (64 frames) so most op sequences actually exhaust it.
+            let mut b = BuddyAllocator::new(64);
+            let mut live: Vec<FrameBlock> = Vec::new();
+            for (i, order) in ops.iter().enumerate() {
+                if i % 5 == 4 && !live.is_empty() {
+                    b.free(live.swap_remove(i % live.len()));
+                } else {
+                    match b.alloc(*order) {
+                        Ok(blk) => {
+                            for f in blk.frames() {
+                                prop_assert!(b.is_allocated(f), "fresh block must be marked");
+                            }
+                            live.push(blk);
+                        }
+                        Err(MemError::OutOfMemory { requested_order }) => {
+                            prop_assert_eq!(requested_order, *order);
+                            // The error is honest: no free block of the order exists.
+                            let usable: u64 = (*order..=MAX_ORDER)
+                                .map(|o| b.stats().free_blocks_per_order[o as usize])
+                                .sum();
+                            prop_assert_eq!(usable, 0, "OOM reported with a usable block free");
+                        }
+                        Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+                    }
+                }
+                let live_frames: u64 = live.iter().map(FrameBlock::len).sum();
+                prop_assert_eq!(b.free_frames() + live_frames, 64);
+            }
+            for blk in live {
+                b.free(blk);
+            }
+            prop_assert_eq!(b.free_frames(), 64);
         }
 
         /// alloc_specific_frame + free always restores a pristine allocator.

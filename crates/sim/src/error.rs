@@ -1,0 +1,115 @@
+//! The typed error layer for untrusted-input paths.
+//!
+//! The simulator's scientific core is allowed to `panic!` on internal
+//! invariant violations (those are bugs), but everything reachable from
+//! *outside* input — benchmark names, workload/geometry configuration,
+//! trace files, memory sizing — surfaces a [`SimError`] instead, so a bad
+//! config or truncated trace produces a diagnostic and a structured
+//! failure rather than a process abort.
+
+use sipt_mem::MemError;
+
+/// Errors on the untrusted-input paths of the simulator: configuration
+/// validation, workload construction, trace parsing, memory exhaustion,
+/// invariant audits, and checkpoint files.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// `name` is not a known benchmark preset.
+    UnknownBenchmark {
+        /// The requested benchmark name.
+        name: String,
+    },
+    /// An L1/geometry/condition configuration failed validation.
+    Config {
+        /// What was wrong.
+        detail: String,
+    },
+    /// The workload does not fit in the configured physical memory.
+    WorkloadTooLarge {
+        /// Workload name.
+        workload: String,
+        /// Underlying description (allocator error, sizes).
+        detail: String,
+    },
+    /// A memory-model operation failed (buddy-allocator OOM, bad
+    /// mapping, …).
+    Mem(MemError),
+    /// An `SIPT_AUDIT=1` invariant check failed.
+    Audit {
+        /// Which invariant was violated.
+        invariant: &'static str,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// A sweep checkpoint file could not be read, parsed, or written.
+    Checkpoint {
+        /// Offending file (or logical location).
+        path: String,
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl SimError {
+    /// Shorthand for a configuration-validation failure.
+    pub fn config(detail: impl Into<String>) -> Self {
+        SimError::Config { detail: detail.into() }
+    }
+
+    /// Shorthand for an audit failure.
+    pub fn audit(invariant: &'static str, detail: impl Into<String>) -> Self {
+        SimError::Audit { invariant, detail: detail.into() }
+    }
+
+    /// Shorthand for a checkpoint failure.
+    pub fn checkpoint(path: impl Into<String>, detail: impl Into<String>) -> Self {
+        SimError::Checkpoint { path: path.into(), detail: detail.into() }
+    }
+}
+
+impl core::fmt::Display for SimError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SimError::UnknownBenchmark { name } => write!(f, "unknown benchmark {name:?}"),
+            SimError::Config { detail } => write!(f, "invalid configuration: {detail}"),
+            SimError::WorkloadTooLarge { workload, detail } => {
+                write!(f, "{workload}: workload does not fit: {detail}")
+            }
+            SimError::Mem(e) => write!(f, "memory model error: {e}"),
+            SimError::Audit { invariant, detail } => {
+                write!(f, "audit failure [{invariant}]: {detail}")
+            }
+            SimError::Checkpoint { path, detail } => {
+                write!(f, "checkpoint error at {path}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<MemError> for SimError {
+    fn from(e: MemError) -> Self {
+        SimError::Mem(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        let e = SimError::UnknownBenchmark { name: "sjong".into() };
+        assert!(e.to_string().contains("sjong"));
+        assert!(SimError::config("spec bits 4 > 3").to_string().contains("spec bits"));
+        let e = SimError::WorkloadTooLarge { workload: "mcf".into(), detail: "oom".into() };
+        assert!(e.to_string().contains("mcf"));
+        let e = SimError::audit("metrics-conservation", "hits+misses != accesses");
+        assert!(e.to_string().contains("metrics-conservation"));
+        let e = SimError::checkpoint("results/x.checkpoint.json", "bad line");
+        assert!(e.to_string().contains("checkpoint"));
+        let e = SimError::from(MemError::OutOfMemory { requested_order: 3 });
+        assert!(e.to_string().contains("memory"));
+    }
+}

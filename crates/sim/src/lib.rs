@@ -18,20 +18,28 @@
 //! println!("mcf speedup: {:.3}", sipt.ipc_vs(&base));
 //! ```
 
+pub mod audit;
+pub mod checkpoint;
+pub mod error;
 pub mod experiments;
 pub mod machine;
 pub mod metrics;
 pub mod multicore;
+pub mod resilience;
 pub mod runner;
 pub mod sweep;
 
+pub use error::SimError;
 pub use machine::{Machine, SystemKind};
 pub use metrics::{
     arithmetic_mean, harmonic_mean, try_harmonic_mean, NonPositiveValue, PhaseProfile, RunMetrics,
 };
 pub use multicore::{run_mix, MixMetrics};
-pub use runner::{run_benchmark, run_spec, speculation_profile, Condition, SpeculationProfile};
+pub use resilience::{TaskFailure, WatchdogFlag};
+pub use runner::{
+    run_benchmark, run_spec, speculation_profile, try_run_benchmark, Condition, SpeculationProfile,
+};
 pub use sweep::{
-    effective_jobs, run_parallel, run_parallel_default, set_jobs, ParallelismProfile, RunRequest,
-    Sweep, SweepResult,
+    effective_jobs, run_parallel, run_parallel_default, run_parallel_isolated, set_jobs,
+    ParallelismProfile, PoolTask, RunRequest, Sweep, SweepResult,
 };

@@ -67,6 +67,32 @@ pub struct RunMetrics {
 }
 
 impl RunMetrics {
+    /// The inert stand-in a [`crate::sweep::Sweep`] substitutes for a task
+    /// that failed every attempt: IPC exactly 1.0 (1 instruction / 1
+    /// cycle) and unit L1 static energy, everything else zero.
+    ///
+    /// The values are chosen so downstream figure assembly survives
+    /// mechanically — normalized-IPC ratios stay strictly positive (the
+    /// harmonic mean rejects zeros) and energy ratios stay finite — while
+    /// the accompanying `TaskFailure` in the report's `failures` block and
+    /// the binary's non-zero exit mark the row as invalid.
+    pub fn failed_placeholder(name: &str) -> Self {
+        RunMetrics {
+            name: name.to_owned(),
+            core: CoreResult { instructions: 1, cycles: 1, mem_ops: 0 },
+            sipt: SiptStats::default(),
+            way_pred: None,
+            tlb: TlbStats::default(),
+            l2: None,
+            llc: LevelStats::default(),
+            dram: DramStats::default(),
+            energy: EnergyBreakdown { l1_static: 1.0, ..Default::default() },
+            huge_fraction: 0.0,
+            phases: PhaseProfile::default(),
+            l1_metrics: None,
+        }
+    }
+
     /// Instructions per cycle.
     pub fn ipc(&self) -> f64 {
         self.core.ipc()

@@ -1,6 +1,13 @@
 //! Single-core experiment runner: allocate a workload through the OS
 //! model, warm the machine, then measure.
+//!
+//! Untrusted inputs — benchmark names, L1/condition configuration, and
+//! workload sizing against physical memory — flow through the `try_*`
+//! entry points, which surface a typed [`SimError`] instead of panicking.
+//! The panicking front-ends remain for trusted callers (the figure
+//! drivers, whose inputs are compiled-in paper constants).
 
+use crate::error::SimError;
 use crate::machine::{Machine, SystemKind};
 use crate::metrics::{PhaseProfile, RunMetrics};
 use sipt_core::L1Config;
@@ -73,6 +80,25 @@ impl Condition {
         Self { instructions: 30_000, warmup: 8_000, ..Self::default() }
     }
 
+    /// Validate this condition as untrusted input.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] when the simulation window is empty or the
+    /// physical memory is smaller than one page.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.instructions == 0 {
+            return Err(SimError::config("measured instructions must be >= 1"));
+        }
+        if self.memory_bytes < 4096 {
+            return Err(SimError::config(format!(
+                "physical memory of {} bytes is smaller than one 4 KiB page",
+                self.memory_bytes
+            )));
+        }
+        Ok(())
+    }
+
     /// The paper's four §VII.B sensitivity conditions, in figure order:
     /// normal, fragmented, THP off, and no >4 KiB contiguity.
     pub fn sensitivity_sweep() -> Vec<(&'static str, Condition)> {
@@ -93,8 +119,46 @@ impl Condition {
 /// Panics if `name` is not a known benchmark preset or the workload does
 /// not fit in the configured memory.
 pub fn run_benchmark(name: &str, l1: L1Config, system: SystemKind, cond: &Condition) -> RunMetrics {
-    let spec = benchmark(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
-    run_spec(&spec, l1, system, cond)
+    try_run_benchmark(name, l1, system, cond).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run_benchmark`] for untrusted inputs: unknown benchmark names,
+/// invalid L1/condition configurations, and workloads that do not fit in
+/// the configured memory surface as a typed [`SimError`] instead of a
+/// panic.
+///
+/// # Errors
+///
+/// [`SimError::UnknownBenchmark`], [`SimError::Config`],
+/// [`SimError::WorkloadTooLarge`], or [`SimError::Audit`] (with
+/// `SIPT_AUDIT=1`).
+pub fn try_run_benchmark(
+    name: &str,
+    l1: L1Config,
+    system: SystemKind,
+    cond: &Condition,
+) -> Result<RunMetrics, SimError> {
+    let spec =
+        benchmark(name).ok_or_else(|| SimError::UnknownBenchmark { name: name.to_owned() })?;
+    try_run_spec(&spec, l1, system, cond)
+}
+
+/// [`run_spec`] with typed errors: validates the L1 configuration and the
+/// condition, then prepares and runs the workload.
+///
+/// # Errors
+///
+/// [`SimError::Config`], [`SimError::WorkloadTooLarge`], or
+/// [`SimError::Audit`] (with `SIPT_AUDIT=1`).
+pub fn try_run_spec(
+    spec: &WorkloadSpec,
+    l1: L1Config,
+    system: SystemKind,
+    cond: &Condition,
+) -> Result<RunMetrics, SimError> {
+    l1.try_validate().map_err(SimError::config)?;
+    cond.validate()?;
+    try_run_spec_with_trace_capacity(spec, l1, system, cond, trace_capacity())
 }
 
 /// The allocate/fragment/trace-build preamble shared by [`run_spec`] and
@@ -115,15 +179,46 @@ pub(crate) struct PreparedRun {
 ///
 /// Panics if the workload does not fit in the configured memory.
 pub(crate) fn prepare_run(spec: &WorkloadSpec, cond: &Condition) -> PreparedRun {
+    try_prepare_run(spec, cond).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`prepare_run`] with typed errors: workload sizing against physical
+/// memory is untrusted input (huge-page mixes under fragmentation can
+/// exhaust a small memory), so exhaustion surfaces as
+/// [`SimError::WorkloadTooLarge`] rather than a process abort. With
+/// `SIPT_AUDIT=1`, the page-table↔allocator ownership audit runs here,
+/// while the allocator is still alive.
+///
+/// # Errors
+///
+/// [`SimError::WorkloadTooLarge`] when allocation fails, or
+/// [`SimError::Audit`] on an ownership violation.
+pub(crate) fn try_prepare_run(
+    spec: &WorkloadSpec,
+    cond: &Condition,
+) -> Result<PreparedRun, SimError> {
     let mut phys = BuddyAllocator::with_bytes(cond.memory_bytes);
     let mut rng = StdRng::seed_from_u64(cond.seed ^ 0xF7A6);
-    let _hold =
-        cond.fragmented.then(|| fragment_memory(&mut phys, 0.5, &mut rng).expect("fragmentation"));
+    let _hold = match cond.fragmented {
+        true => Some(fragment_memory(&mut phys, 0.5, &mut rng).map_err(|e| {
+            SimError::WorkloadTooLarge {
+                workload: spec.name.to_owned(),
+                detail: format!("fragmentation preamble failed: {e}"),
+            }
+        })?),
+        false => None,
+    };
     let mut asp = AddressSpace::new(0, cond.placement);
     let trace =
         TraceGen::build(spec, &mut asp, &mut phys, cond.warmup + cond.instructions, cond.seed)
-            .unwrap_or_else(|e| panic!("{}: workload does not fit: {e}", spec.name));
-    PreparedRun { asp, trace }
+            .map_err(|e| SimError::WorkloadTooLarge {
+                workload: spec.name.to_owned(),
+                detail: e.to_string(),
+            })?;
+    if crate::audit::enabled() {
+        crate::audit::check_ownership(asp.page_table(), &phys)?;
+    }
+    Ok(PreparedRun { asp, trace })
 }
 
 /// Run a workload spec on one L1 configuration and system.
@@ -146,8 +241,20 @@ pub(crate) fn run_spec_with_trace_capacity(
     cond: &Condition,
     trace_events: usize,
 ) -> RunMetrics {
+    try_run_spec_with_trace_capacity(spec, l1, system, cond, trace_events)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// The fallible core of every single-run entry point.
+pub(crate) fn try_run_spec_with_trace_capacity(
+    spec: &WorkloadSpec,
+    l1: L1Config,
+    system: SystemKind,
+    cond: &Condition,
+    trace_events: usize,
+) -> Result<RunMetrics, SimError> {
     let t0 = Instant::now();
-    let PreparedRun { asp, mut trace } = prepare_run(spec, cond);
+    let PreparedRun { asp, mut trace } = try_prepare_run(spec, cond)?;
     let mut machine = Machine::new(asp, l1, system);
     machine.l1_mut().attach_telemetry(trace_events);
     let allocated = Instant::now();
@@ -171,9 +278,12 @@ pub(crate) fn run_spec_with_trace_capacity(
         },
         worker: 0,
     };
+    if crate::audit::enabled() {
+        crate::audit::check_l1(machine.l1())?;
+    }
     let mut metrics = collect(spec.name, core, &machine);
     metrics.phases = phases;
-    metrics
+    Ok(metrics)
 }
 
 /// Execute a trace on the system's core model.

@@ -1,4 +1,4 @@
-//! Dependency-free parallel sweep engine.
+//! Dependency-free parallel sweep engine with panic isolation.
 //!
 //! Every paper artifact is a benchmark × configuration × condition sweep
 //! whose individual runs are pure functions of their inputs (each run
@@ -6,29 +6,39 @@
 //! embarrassingly — the same structure trace-driven simulators like
 //! Sniper and gem5's multi-run harnesses exploit. This module provides:
 //!
-//! - [`run_parallel`]: execute a vector of independent closures on a
-//!   [`std::thread::scope`]-based worker pool and return the results in
-//!   **submission order**, so figure rows, harmonic means, and JSON
-//!   reports are bit-identical to a serial run;
-//! - [`Sweep`]: a typed builder over [`RunRequest`]s (benchmark runs
-//!   through [`crate::runner::run_spec`]) for the common single-core case;
+//! - [`run_parallel_isolated`]: execute independent tasks on a
+//!   [`std::thread::scope`]-based worker pool with **panic isolation** —
+//!   every task runs inside `catch_unwind`, a panicking run is captured
+//!   as a structured [`TaskFailure`] (with a bounded retry budget and an
+//!   optional watchdog timeout) and the rest of the sweep completes
+//!   deterministically, in **submission order**;
+//! - [`run_parallel`]: the legacy all-or-nothing front-end (`Vec<T>` out);
+//!   failures are still isolated, recorded and reported — it panics with
+//!   an aggregate summary only *after* every other task has finished;
+//! - [`Sweep`]: a typed builder over [`RunRequest`]s with
+//!   checkpoint/resume: completed task metrics are persisted to
+//!   `results/<name>.checkpoint.json` as they finish and restored
+//!   (bit-exactly) on `--resume`, and failed tasks are replaced by inert
+//!   placeholders so figure assembly survives;
 //! - job-count plumbing: `SIPT_JOBS` (parsed once, warning on malformed
 //!   values) overridden by [`set_jobs`] (the `--jobs N` CLI flag), with
 //!   [`std::thread::available_parallelism`] as the default;
 //! - a process-wide [`ParallelismProfile`] accumulator that the report
-//!   writer folds into the schema-v2 `parallelism` block.
+//!   writer folds into the `parallelism` block.
 //!
 //! `jobs = 1` is an *exact* serial fallback: no worker threads are
 //! spawned and the tasks run inline on the calling thread, in order.
 
+use crate::checkpoint;
 use crate::machine::SystemKind;
 use crate::metrics::RunMetrics;
+use crate::resilience::{self, TaskFailure, WatchdogFlag};
 use crate::runner::{run_spec_with_trace_capacity, trace_capacity, Condition};
 use sipt_telemetry::json::Json;
 use sipt_workloads::{benchmark, WorkloadSpec};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
 // Job-count resolution
@@ -91,8 +101,8 @@ pub struct ParallelismProfile {
     pub tasks: usize,
     /// Wall-clock milliseconds from first submission to last completion.
     pub wall_ms: f64,
-    /// Per-worker busy milliseconds (time spent inside tasks), indexed by
-    /// worker id. Length equals `jobs`.
+    /// Per-worker busy milliseconds (time spent inside tasks, including
+    /// failed attempts), indexed by worker id. Length equals `jobs`.
     pub worker_busy_ms: Vec<f64>,
     /// Which worker executed each task, in submission order.
     pub assigned_worker: Vec<usize>,
@@ -129,7 +139,7 @@ impl ParallelismProfile {
 }
 
 /// Process-wide accumulation of every sweep executed so far, folded into
-/// the schema-v2 report `parallelism` block by the figure binaries.
+/// the report `parallelism` block by the figure binaries.
 #[derive(Debug, Clone, Default, PartialEq)]
 struct Accumulated {
     sweeps: usize,
@@ -176,29 +186,187 @@ pub fn parallelism_json() -> Option<Json> {
 }
 
 // ---------------------------------------------------------------------------
-// The generic engine
+// The watchdog
 // ---------------------------------------------------------------------------
 
-/// Run independent tasks on a scoped worker pool and return their results
-/// in **submission order** together with the parallelism profile.
+/// Per-worker in-flight state shared with the watchdog monitor thread.
+type InflightSlots = Arc<Vec<Mutex<Option<(usize, Instant)>>>>;
+
+/// A watchdog monitoring the pool's in-flight tasks against the
+/// configured `--task-timeout`. When no timeout is configured this is a
+/// no-op (no thread is spawned).
+struct Watchdog {
+    slots: InflightSlots,
+    done: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Watchdog {
+    fn start(workers: usize) -> Self {
+        let slots: InflightSlots = Arc::new((0..workers).map(|_| Mutex::new(None)).collect());
+        let done = Arc::new(AtomicBool::new(false));
+        let handle = resilience::task_timeout_ms().map(|timeout_ms| {
+            let slots = Arc::clone(&slots);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let poll = Duration::from_millis((timeout_ms / 4).clamp(5, 50));
+                let mut flagged = std::collections::HashSet::new();
+                while !done.load(Ordering::Relaxed) {
+                    std::thread::sleep(poll);
+                    for slot in slots.iter() {
+                        let inflight =
+                            *slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                        if let Some((task, start)) = inflight {
+                            let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+                            if elapsed_ms > timeout_ms as f64 && flagged.insert(task) {
+                                resilience::record_watchdog_flag(WatchdogFlag {
+                                    task,
+                                    elapsed_ms,
+                                    timeout_ms,
+                                });
+                                if resilience::watchdog_kill() {
+                                    eprintln!(
+                                        "watchdog: SIPT_WATCHDOG_KILL=1 — aborting (exit 124)"
+                                    );
+                                    std::process::exit(124);
+                                }
+                            }
+                        }
+                    }
+                }
+            })
+        });
+        Self { slots, done, handle }
+    }
+
+    fn begin(slots: &InflightSlots, worker: usize, task: usize) {
+        *slots[worker].lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+            Some((task, Instant::now()));
+    }
+
+    fn finish(slots: &InflightSlots, worker: usize) {
+        *slots[worker].lock().unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+    }
+
+    fn stop(mut self) {
+        self.done.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The isolated engine
+// ---------------------------------------------------------------------------
+
+/// One pool task: a process-global id (assigned at submission via
+/// [`resilience::allocate_task_ids`], so fault injection and failure
+/// reports are deterministic regardless of worker scheduling), a caller
+/// label, and the work itself. The closure receives the executing worker
+/// id; it must be `FnMut` so the retry policy can re-invoke it.
+pub struct PoolTask<F> {
+    /// Process-global task id.
+    pub id: usize,
+    /// Caller label for failure reporting.
+    pub label: String,
+    /// The work. Re-invoked on retry.
+    pub task: F,
+}
+
+/// Execute one task with panic capture, fault injection, and a bounded
+/// attempt budget. Returns the result (or the final failure) plus the
+/// total busy milliseconds across attempts.
+fn execute_attempts<T, F: FnMut(usize) -> T>(
+    id: usize,
+    label: &str,
+    worker: usize,
+    max_attempts: u32,
+    f: &mut F,
+) -> (Result<T, TaskFailure>, f64) {
+    let max_attempts = max_attempts.max(1);
+    let mut busy = 0.0;
+    let mut last: Option<(String, f64)> = None;
+    for attempt in 0..max_attempts {
+        let t0 = Instant::now();
+        let outcome = resilience::catch_task_panic(|| {
+            resilience::inject_at_task_start(id, attempt);
+            f(worker)
+        });
+        let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+        busy += elapsed_ms;
+        match outcome {
+            Ok(value) => return (Ok(value), busy),
+            Err(panic_msg) => {
+                if attempt + 1 < max_attempts {
+                    resilience::record_retry();
+                    eprintln!(
+                        "sweep task {id} ({label}) panicked (attempt {}/{max_attempts}): \
+                         {panic_msg}; retrying",
+                        attempt + 1
+                    );
+                }
+                last = Some((panic_msg, elapsed_ms));
+            }
+        }
+    }
+    let (panic_msg, elapsed_ms) = last.expect("at least one attempt ran");
+    let failure = TaskFailure {
+        task: id,
+        label: label.to_owned(),
+        worker,
+        panic_msg,
+        elapsed_ms,
+        attempts: max_attempts,
+    };
+    (Err(failure), busy)
+}
+
+/// Run independent tasks on a scoped worker pool with panic isolation and
+/// return their outcomes in **submission order** together with the
+/// parallelism profile.
+///
+/// Each task runs inside `catch_unwind` with up to `max_attempts`
+/// executions; a task that panics on every attempt yields
+/// `Err(TaskFailure)` in its slot while every other task still completes.
+/// The caller decides what to do with failures (record, substitute,
+/// re-panic). A configured `--task-timeout` arms a watchdog thread that
+/// flags (or, with `SIPT_WATCHDOG_KILL=1`, aborts on) overrunning tasks.
 ///
 /// `jobs <= 1` (or a single task) is an exact serial fallback: everything
 /// runs inline on the calling thread, in order, with no pool. Results are
 /// identical either way because each task is an independent pure function
 /// — the pool only changes *when* a task runs, never its inputs.
-pub fn run_parallel<T, F>(tasks: Vec<F>, jobs: usize) -> (Vec<T>, ParallelismProfile)
+pub fn run_parallel_isolated<T, F>(
+    tasks: Vec<PoolTask<F>>,
+    jobs: usize,
+    max_attempts: u32,
+) -> (Vec<Result<T, TaskFailure>>, ParallelismProfile)
 where
     T: Send,
-    F: FnOnce() -> T + Send,
+    F: FnMut(usize) -> T + Send,
 {
+    resilience::install_quiet_panic_hook();
     let n = tasks.len();
     let jobs = jobs.max(1).min(n.max(1));
     let wall = Instant::now();
 
     if jobs <= 1 {
-        let t0 = Instant::now();
-        let results: Vec<T> = tasks.into_iter().map(|task| task()).collect();
-        let busy = t0.elapsed().as_secs_f64() * 1e3;
+        let watchdog = Watchdog::start(1);
+        let slots = Arc::clone(&watchdog.slots);
+        let mut results = Vec::with_capacity(n);
+        // The inline loop *is* the worker: its whole duration is busy
+        // time (per-attempt timing still feeds failure reports).
+        let loop_start = Instant::now();
+        for mut entry in tasks {
+            Watchdog::begin(&slots, 0, entry.id);
+            let (result, _task_busy) =
+                execute_attempts(entry.id, &entry.label, 0, max_attempts, &mut entry.task);
+            Watchdog::finish(&slots, 0);
+            results.push(result);
+        }
+        let busy = loop_start.elapsed().as_secs_f64() * 1e3;
+        watchdog.stop();
         let profile = ParallelismProfile {
             jobs: 1,
             tasks: n,
@@ -211,43 +379,50 @@ where
     }
 
     // Work-stealing-by-index: each slot is claimed exactly once via the
-    // shared counter, and each result lands in its submission slot, so
+    // shared counter, and each outcome lands in its submission slot, so
     // output order is independent of completion order.
-    let task_cells: Vec<Mutex<Option<F>>> =
-        tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let result_cells: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let ids: Vec<usize> = tasks.iter().map(|t| t.id).collect();
+    let task_cells: Vec<Mutex<Option<(String, F)>>> =
+        tasks.into_iter().map(|t| Mutex::new(Some((t.label, t.task)))).collect();
+    let result_cells: Vec<Mutex<Option<Result<T, TaskFailure>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
     let assigned: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
     let busy: Vec<Mutex<f64>> = (0..jobs).map(|_| Mutex::new(0.0)).collect();
     let next = AtomicUsize::new(0);
+    let watchdog = Watchdog::start(jobs);
 
     std::thread::scope(|scope| {
         for (worker, busy_cell) in busy.iter().enumerate() {
             let task_cells = &task_cells;
             let result_cells = &result_cells;
             let assigned = &assigned;
+            let ids = &ids;
             let next = &next;
+            let slots = Arc::clone(&watchdog.slots);
             scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
-                let task = task_cells[i]
+                let (label, mut task) = task_cells[i]
                     .lock()
                     .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .take()
                     .expect("task claimed twice");
-                let t0 = Instant::now();
-                let result = task();
-                let elapsed = t0.elapsed().as_secs_f64() * 1e3;
-                *busy_cell.lock().unwrap_or_else(std::sync::PoisonError::into_inner) += elapsed;
+                Watchdog::begin(&slots, worker, ids[i]);
+                let (result, task_busy) =
+                    execute_attempts(ids[i], &label, worker, max_attempts, &mut task);
+                Watchdog::finish(&slots, worker);
+                *busy_cell.lock().unwrap_or_else(std::sync::PoisonError::into_inner) += task_busy;
                 assigned[i].store(worker, Ordering::Relaxed);
                 *result_cells[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
                     Some(result);
             });
         }
     });
+    watchdog.stop();
 
-    let results: Vec<T> = result_cells
+    let results: Vec<Result<T, TaskFailure>> = result_cells
         .into_iter()
         .map(|cell| {
             cell.into_inner()
@@ -266,6 +441,56 @@ where
         assigned_worker: assigned.into_iter().map(AtomicUsize::into_inner).collect(),
     };
     record(&profile);
+    (results, profile)
+}
+
+/// Run independent tasks on the pool and return plain results in
+/// submission order — the legacy all-or-nothing front-end.
+///
+/// Panic isolation still applies: a panicking task no longer aborts the
+/// pool mid-flight. Every other task completes first, each failure is
+/// recorded in the process-wide resilience registry, and only then does
+/// this function panic with an aggregate summary (callers that need the
+/// per-task outcomes use [`run_parallel_isolated`]).
+///
+/// # Panics
+///
+/// Panics (after completing all other tasks) if any task panicked.
+pub fn run_parallel<T, F>(tasks: Vec<F>, jobs: usize) -> (Vec<T>, ParallelismProfile)
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = tasks.len();
+    let base = resilience::allocate_task_ids(n);
+    let pool_tasks: Vec<PoolTask<_>> = tasks
+        .into_iter()
+        .enumerate()
+        .map(|(i, f)| {
+            let mut cell = Some(f);
+            PoolTask {
+                id: base + i,
+                label: format!("task-{}", base + i),
+                task: move |_worker: usize| (cell.take().expect("single attempt"))(),
+            }
+        })
+        .collect();
+    // FnOnce tasks cannot be retried, so the attempt budget is 1.
+    let (outcomes, profile) = run_parallel_isolated(pool_tasks, jobs, 1);
+    let mut results = Vec::with_capacity(n);
+    let mut failures: Vec<TaskFailure> = Vec::new();
+    for outcome in outcomes {
+        match outcome {
+            Ok(v) => results.push(v),
+            Err(f) => {
+                resilience::record_failure(f.clone());
+                failures.push(f);
+            }
+        }
+    }
+    if let Some(first) = failures.first() {
+        panic!("{} of {n} parallel tasks failed; first: {first}", failures.len());
+    }
     (results, profile)
 }
 
@@ -300,6 +525,22 @@ pub struct RunRequest {
     pub label: String,
 }
 
+impl RunRequest {
+    /// Deterministic content fingerprint of this request, used to match
+    /// checkpoint entries against the sweep that produced them.
+    pub fn fingerprint(&self) -> u64 {
+        // Debug formatting of the full input tuple is deterministic
+        // (f64's Debug prints the shortest round-trip representation) and
+        // covers every field that influences the run.
+        checkpoint::fnv1a64(
+            format!("{:?}|{:?}|{:?}|{:?}|{}", self.spec, self.l1, self.system, self.cond, {
+                &self.label
+            })
+            .as_bytes(),
+        )
+    }
+}
+
 /// Builder that collects [`RunRequest`]s and executes them on the worker
 /// pool, returning metrics in submission order.
 #[derive(Debug, Default)]
@@ -307,14 +548,30 @@ pub struct Sweep {
     requests: Vec<RunRequest>,
 }
 
+/// Process-global sweep sequence number: sweeps execute in deterministic
+/// program order on the main thread, so `(sweep seq, task index)` is a
+/// stable checkpoint key across runs of the same binary.
+fn next_sweep_seq() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
 /// The results of a sweep: one [`RunMetrics`] per request, in submission
-/// order, plus the parallelism profile of the execution.
+/// order, plus the parallelism profile and any captured task failures.
+///
+/// A failed task's slot holds [`RunMetrics::failed_placeholder`] — inert
+/// values (IPC 1.0, zero counters) that keep downstream figure assembly
+/// alive — and the corresponding [`TaskFailure`] appears both here and in
+/// the process-wide resilience registry (so the binary's failure table,
+/// report block, and non-zero exit all fire).
 #[derive(Debug)]
 pub struct SweepResult {
     /// Metrics in submission order.
     pub metrics: Vec<RunMetrics>,
     /// Wall-clock/parallelism accounting.
     pub profile: ParallelismProfile,
+    /// Captured failures (empty on a clean sweep).
+    pub failures: Vec<TaskFailure>,
 }
 
 /// Consuming the results yields [`RunMetrics`] in submission order — the
@@ -344,9 +601,28 @@ impl Sweep {
     /// Queue a run of a named benchmark preset (the parallel analogue of
     /// [`crate::runner::run_benchmark`]). Returns its submission index.
     ///
+    /// # Errors
+    ///
+    /// [`crate::SimError::UnknownBenchmark`] if `name` is not a known
+    /// benchmark preset.
+    pub fn try_bench(
+        &mut self,
+        name: &str,
+        l1: sipt_core::L1Config,
+        system: SystemKind,
+        cond: &Condition,
+    ) -> Result<usize, crate::SimError> {
+        let spec = benchmark(name)
+            .ok_or_else(|| crate::SimError::UnknownBenchmark { name: name.to_owned() })?;
+        Ok(self.push(RunRequest { spec, l1, system, cond: *cond, label: name.to_owned() }))
+    }
+
+    /// Queue a run of a named benchmark preset.
+    ///
     /// # Panics
     ///
-    /// Panics if `name` is not a known benchmark preset.
+    /// Panics if `name` is not a known benchmark preset — use
+    /// [`Sweep::try_bench`] on untrusted names.
     pub fn bench(
         &mut self,
         name: &str,
@@ -354,8 +630,7 @@ impl Sweep {
         system: SystemKind,
         cond: &Condition,
     ) -> usize {
-        let spec = benchmark(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
-        self.push(RunRequest { spec, l1, system, cond: *cond, label: name.to_owned() })
+        self.try_bench(name, l1, system, cond).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Number of queued requests.
@@ -379,20 +654,97 @@ impl Sweep {
         // Resolve the event-trace capacity once, outside the pool, so the
         // workers cannot disagree (and the env var is only parsed once).
         let capacity = trace_capacity();
-        let tasks: Vec<_> = self
-            .requests
-            .into_iter()
-            .map(|req| {
-                move || {
-                    run_spec_with_trace_capacity(&req.spec, req.l1, req.system, &req.cond, capacity)
+        let n = self.requests.len();
+        let sweep_seq = next_sweep_seq();
+        // Global ids are allocated for *every* slot — including ones that
+        // resume from a checkpoint — so fault-injection task ids stay
+        // stable whether or not a resume skipped work.
+        let base_id = resilience::allocate_task_ids(n);
+
+        // Restore completed tasks from the checkpoint, when resuming.
+        let ckpt = checkpoint::active();
+        let mut slots: Vec<Option<RunMetrics>> = (0..n).map(|_| None).collect();
+        let mut restored = 0u64;
+        if let Some(ckpt) = &ckpt {
+            for (i, req) in self.requests.iter().enumerate() {
+                let key = checkpoint::task_key(sweep_seq, i);
+                if let Some(metrics) = ckpt.restore(&key, req.fingerprint()) {
+                    slots[i] = Some(metrics);
+                    restored += 1;
                 }
-            })
-            .collect();
-        let (mut metrics, profile) = run_parallel(tasks, jobs);
-        for (m, &worker) in metrics.iter_mut().zip(&profile.assigned_worker) {
-            m.phases.worker = worker;
+            }
+            if restored > 0 {
+                resilience::record_checkpoint_hits(restored);
+                eprintln!(
+                    "resume: sweep {sweep_seq} restored {restored}/{n} task(s) from {}",
+                    ckpt.path().display()
+                );
+            }
         }
-        SweepResult { metrics, profile }
+
+        // Build pool tasks for the slots that still need to run. The
+        // closure does the full per-task pipeline inside the isolation
+        // boundary: simulate, stamp the worker id, apply any injected
+        // metric corruption, audit, and append to the checkpoint.
+        let mut pending: Vec<usize> = Vec::new();
+        let mut tasks: Vec<PoolTask<_>> = Vec::new();
+        for (i, req) in self.requests.into_iter().enumerate() {
+            if slots[i].is_some() {
+                continue;
+            }
+            pending.push(i);
+            let id = base_id + i;
+            let label = req.label.clone();
+            let key = checkpoint::task_key(sweep_seq, i);
+            let fingerprint = req.fingerprint();
+            let ckpt = ckpt.clone();
+            tasks.push(PoolTask {
+                id,
+                label,
+                task: move |worker: usize| {
+                    let mut metrics = run_spec_with_trace_capacity(
+                        &req.spec,
+                        req.l1.clone(),
+                        req.system,
+                        &req.cond,
+                        capacity,
+                    );
+                    metrics.phases.worker = worker;
+                    if resilience::inject_bit_flip(id) {
+                        metrics.sipt.accesses ^= 1;
+                    }
+                    if crate::audit::enabled() {
+                        if let Err(e) = crate::audit::check_metrics(&metrics) {
+                            panic!("{e}");
+                        }
+                    }
+                    if let Some(ckpt) = &ckpt {
+                        ckpt.append(&key, fingerprint, &metrics);
+                    }
+                    metrics
+                },
+            });
+        }
+
+        let attempts = resilience::task_retries() + 1;
+        let (outcomes, profile) = run_parallel_isolated(tasks, jobs, attempts);
+
+        let mut failures = Vec::new();
+        for (slot, outcome) in pending.into_iter().zip(outcomes) {
+            match outcome {
+                Ok(metrics) => slots[slot] = Some(metrics),
+                Err(failure) => {
+                    resilience::record_failure(failure.clone());
+                    slots[slot] = Some(RunMetrics::failed_placeholder(&failure.label));
+                    failures.push(failure);
+                }
+            }
+        }
+        let metrics = slots
+            .into_iter()
+            .map(|slot| slot.expect("every slot restored, computed, or placeholdered"))
+            .collect();
+        SweepResult { metrics, profile, failures }
     }
 }
 
@@ -453,6 +805,7 @@ mod tests {
         sweep.bench("sjeng", sipt_32k_2w(), SystemKind::OooThreeLevel, &cond);
         assert_eq!(sweep.len(), 2);
         let result = sweep.run_with_jobs(2);
+        assert!(result.failures.is_empty());
         let direct_base =
             crate::run_benchmark("sjeng", baseline_32k_8w_vipt(), SystemKind::OooThreeLevel, &cond);
         let direct_sipt =
@@ -471,5 +824,86 @@ mod tests {
             assert!(json.get(key).is_some(), "missing {key}");
         }
         assert!(parallelism_json().is_some(), "global accumulator must be primed");
+    }
+
+    #[test]
+    fn isolated_pool_captures_panics_and_finishes_the_rest() {
+        let base = resilience::allocate_task_ids(6);
+        let tasks: Vec<PoolTask<_>> = (0..6usize)
+            .map(|i| PoolTask {
+                id: base + i,
+                label: format!("iso-{i}"),
+                task: move |_w: usize| {
+                    if i == 2 {
+                        panic!("kaboom {i}");
+                    }
+                    i * 10
+                },
+            })
+            .collect();
+        let (outcomes, profile) = run_parallel_isolated(tasks, 3, 2);
+        assert_eq!(profile.tasks, 6);
+        for (i, outcome) in outcomes.iter().enumerate() {
+            if i == 2 {
+                let failure = outcome.as_ref().unwrap_err();
+                assert_eq!(failure.task, base + 2);
+                assert_eq!(failure.label, "iso-2");
+                assert_eq!(failure.attempts, 2, "retry budget spent");
+                assert!(failure.panic_msg.contains("kaboom"));
+            } else {
+                assert_eq!(*outcome.as_ref().unwrap(), i * 10);
+            }
+        }
+    }
+
+    #[test]
+    fn retry_recovers_transient_panics() {
+        let base = resilience::allocate_task_ids(1);
+        let attempts = std::sync::Arc::new(AtomicUsize::new(0));
+        let seen = std::sync::Arc::clone(&attempts);
+        let tasks = vec![PoolTask {
+            id: base,
+            label: "flaky".to_owned(),
+            task: move |_w: usize| {
+                if seen.fetch_add(1, Ordering::Relaxed) == 0 {
+                    panic!("transient");
+                }
+                99usize
+            },
+        }];
+        let (outcomes, _) = run_parallel_isolated(tasks, 1, 3);
+        assert_eq!(*outcomes[0].as_ref().unwrap(), 99);
+        assert_eq!(attempts.load(Ordering::Relaxed), 2, "second attempt succeeded");
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel tasks failed")]
+    fn legacy_front_end_panics_after_completion() {
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            vec![Box::new(|| 1), Box::new(|| panic!("legacy boom")), Box::new(|| 3)];
+        let _ = run_parallel(tasks, 2);
+    }
+
+    #[test]
+    fn request_fingerprints_discriminate_inputs() {
+        let cond = Condition::quick();
+        let mut sweep = Sweep::new();
+        sweep.bench("sjeng", baseline_32k_8w_vipt(), SystemKind::OooThreeLevel, &cond);
+        sweep.bench("sjeng", sipt_32k_2w(), SystemKind::OooThreeLevel, &cond);
+        let a = sweep.requests[0].fingerprint();
+        let b = sweep.requests[1].fingerprint();
+        assert_ne!(a, b, "different configs must fingerprint differently");
+        assert_eq!(a, sweep.requests[0].fingerprint(), "fingerprints are stable");
+    }
+
+    #[test]
+    fn try_bench_reports_unknown_names() {
+        let cond = Condition::quick();
+        let mut sweep = Sweep::new();
+        let err = sweep
+            .try_bench("not-a-benchmark", baseline_32k_8w_vipt(), SystemKind::OooThreeLevel, &cond)
+            .unwrap_err();
+        assert!(matches!(err, crate::SimError::UnknownBenchmark { .. }));
+        assert!(sweep.is_empty());
     }
 }

@@ -108,6 +108,27 @@ impl Log2Histogram {
         &self.buckets
     }
 
+    /// The raw internal state `(buckets, count, sum, min, max)`, exactly
+    /// as stored — including the `min = u64::MAX` empty sentinel. Used by
+    /// bit-exact persistence (sweep checkpoints).
+    pub fn raw_parts(&self) -> (&[u64; BUCKETS], u64, u128, u64, u64) {
+        (&self.buckets, self.count, self.sum, self.min, self.max)
+    }
+
+    /// Rebuild a histogram from [`Log2Histogram::raw_parts`] output. The
+    /// caller is trusted to pass state produced by `raw_parts` (the
+    /// checkpoint codec); mismatched fields would corrupt derived stats
+    /// but cannot cause unsafety.
+    pub fn from_raw_parts(
+        buckets: [u64; BUCKETS],
+        count: u64,
+        sum: u128,
+        min: u64,
+        max: u64,
+    ) -> Self {
+        Self { buckets, count, sum, min, max }
+    }
+
     /// Approximate quantile (0 ≤ q ≤ 1): the upper bound of the bucket
     /// holding the q-th sample. Returns `None` when empty.
     ///

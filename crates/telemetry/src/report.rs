@@ -21,7 +21,12 @@ pub fn json_requested() -> bool {
 /// - **2** — adds an optional top-level `parallelism` object (sweep job
 ///   count, per-worker busy time, wall-clock speedup) and a `worker`
 ///   field inside per-run `phases` objects.
-pub const REPORT_SCHEMA_VERSION: u32 = 2;
+/// - **3** — adds an optional top-level `resilience` object (captured
+///   task `failures[]`, `watchdog_flags[]`, retry/checkpoint counters,
+///   fault-injection accounting). Present only when something
+///   resilience-related actually happened, so fault-free payloads are
+///   byte-identical to v2 payloads modulo the version number.
+pub const REPORT_SCHEMA_VERSION: u32 = 3;
 
 /// Wrap an artifact's payload in the standard report envelope:
 /// `{"schema_version", "artifact", "payload"}`.
@@ -37,9 +42,24 @@ pub fn envelope(artifact: &str, payload: Json) -> Json {
 /// ran sweeps in parallel (pass `None` to omit the key, e.g. for purely
 /// analytic artifacts).
 pub fn envelope_with_parallelism(artifact: &str, payload: Json, parallelism: Option<Json>) -> Json {
+    envelope_full(artifact, payload, parallelism, None)
+}
+
+/// The full v3 envelope: optional `parallelism` (v2) and `resilience`
+/// (v3) blocks. `None` omits the key, so clean runs carry no extra
+/// weight.
+pub fn envelope_full(
+    artifact: &str,
+    payload: Json,
+    parallelism: Option<Json>,
+    resilience: Option<Json>,
+) -> Json {
     let mut e = envelope(artifact, payload);
     if let Some(p) = parallelism {
         e.insert("parallelism", p);
+    }
+    if let Some(r) = resilience {
+        e.insert("resilience", r);
     }
     e
 }
@@ -70,7 +90,7 @@ mod tests {
     fn envelope_has_stable_keys() {
         let e = envelope("fig01", Json::obj([("rows", Json::arr([]))]));
         let parsed = parse(&e.render()).unwrap();
-        assert_eq!(parsed.path("schema_version").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(parsed.path("schema_version").and_then(Json::as_f64), Some(3.0));
         assert_eq!(parsed.path("artifact").and_then(Json::as_str), Some("fig01"));
         assert!(parsed.path("payload.rows").is_some());
     }
@@ -86,7 +106,22 @@ mod tests {
         );
         let parsed = parse(&with.render()).unwrap();
         assert_eq!(parsed.path("parallelism.jobs").and_then(Json::as_f64), Some(4.0));
-        assert_eq!(parsed.path("schema_version").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(parsed.path("schema_version").and_then(Json::as_f64), Some(3.0));
+    }
+
+    #[test]
+    fn resilience_block_is_optional_and_v3() {
+        let clean = envelope_full("fig02", Json::u64(1), None, None);
+        assert!(parse(&clean.render()).unwrap().path("resilience").is_none());
+        let faulty = envelope_full(
+            "fig02",
+            Json::u64(1),
+            None,
+            Some(Json::obj([("failures", Json::arr([Json::obj([("task", Json::u64(3))])]))])),
+        );
+        let parsed = parse(&faulty.render()).unwrap();
+        assert_eq!(parsed.path("schema_version").and_then(Json::as_f64), Some(3.0));
+        assert!(parsed.path("resilience.failures").is_some());
     }
 
     #[test]

@@ -38,6 +38,15 @@ pub enum TraceFileError {
     BadMagic,
     /// The file ended before the advertised instruction count.
     Truncated,
+    /// The header advertises more instructions than the body could
+    /// possibly hold (each record is at least 10 bytes), so the count is
+    /// corrupt — rejected before any allocation or record parsing.
+    OversizedCount {
+        /// Advertised instruction count.
+        count: u64,
+        /// The most instructions the body could actually contain.
+        max_possible: u64,
+    },
     /// An instruction record had an invalid encoding.
     BadRecord {
         /// Index of the offending instruction.
@@ -51,6 +60,11 @@ impl core::fmt::Display for TraceFileError {
             TraceFileError::Io(e) => write!(f, "trace i/o error: {e}"),
             TraceFileError::BadMagic => write!(f, "not a SIPT trace file"),
             TraceFileError::Truncated => write!(f, "trace file truncated"),
+            TraceFileError::OversizedCount { count, max_possible } => write!(
+                f,
+                "trace header advertises {count} instructions but the body can hold at most \
+                 {max_possible}"
+            ),
             TraceFileError::BadRecord { index } => {
                 write!(f, "invalid instruction record at index {index}")
             }
@@ -140,8 +154,17 @@ pub fn read_trace<R: Read>(mut r: R) -> Result<Vec<Inst>, TraceFileError> {
         return Err(TraceFileError::BadMagic);
     }
     let count = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
+    // Plausibility-check the advertised count against the body size before
+    // allocating or parsing anything: the smallest record (no dst/srcs, no
+    // memory reference) is pc[8] + flags[1] + exec_latency[1] = 10 bytes,
+    // so a count beyond body_len/10 is corrupt by construction.
+    const MIN_RECORD_BYTES: u64 = 10;
+    let max_possible = (buf.len() as u64 - 16) / MIN_RECORD_BYTES;
+    if count > max_possible {
+        return Err(TraceFileError::OversizedCount { count, max_possible });
+    }
     let mut pos = 16usize;
-    let mut out = Vec::with_capacity(count.min(1 << 24) as usize);
+    let mut out = Vec::with_capacity(count as usize);
     let take = |pos: &mut usize, n: usize| -> Result<&[u8], TraceFileError> {
         let s = buf.get(*pos..*pos + n).ok_or(TraceFileError::Truncated)?;
         *pos += n;
@@ -215,6 +238,41 @@ mod tests {
             let back = read_trace(&buf[..]).unwrap();
             prop_assert_eq!(back, insts);
         }
+
+        /// Fuzz-style robustness: start from a valid trace, then flip a
+        /// byte, truncate, or splice garbage. The reader must return a
+        /// typed error or a (possibly different) valid trace — never
+        /// panic, never mis-round-trip what it accepted.
+        #[test]
+        fn mutated_byte_streams_never_panic(
+            insts in proptest::collection::vec(arb_inst(), 1..40),
+            flip_at in any::<u64>(),
+            flip_bits in 1u8..=255,
+            cut in any::<u64>(),
+            splice in proptest::collection::vec(any::<u8>(), 0..32),
+        ) {
+            let mut buf = Vec::new();
+            write_trace(&mut buf, insts).unwrap();
+            // Mutation 1: flip bits in one byte.
+            let mut flipped = buf.clone();
+            let at = (flip_at % flipped.len() as u64) as usize;
+            flipped[at] ^= flip_bits;
+            // Mutation 2: truncate at an arbitrary point.
+            let mut cut_buf = buf.clone();
+            cut_buf.truncate((cut % (buf.len() as u64 + 1)) as usize);
+            // Mutation 3: append arbitrary garbage.
+            let mut spliced = buf.clone();
+            spliced.extend_from_slice(&splice);
+            for mutant in [flipped, cut_buf, spliced] {
+                // A typed verdict either way; round-trip only obligated
+                // for accepted inputs.
+                if let Ok(parsed) = read_trace(&mutant[..]) {
+                    let mut rewritten = Vec::new();
+                    write_trace(&mut rewritten, parsed.clone()).unwrap();
+                    prop_assert_eq!(read_trace(&rewritten[..]).unwrap(), parsed);
+                }
+            }
+        }
     }
 
     #[test]
@@ -228,12 +286,44 @@ mod tests {
         let mut buf = Vec::new();
         let insts = vec![Inst::alu(1, 2, [Some(3), None]); 4];
         write_trace(&mut buf, insts).unwrap();
-        for cut in [buf.len() - 1, 17, 20] {
+        // Cutting a record mid-body is reported as truncation; cutting so
+        // deep that the count itself becomes implausible is reported as an
+        // oversized count — either way the reader refuses, with no panic.
+        assert!(matches!(read_trace(&buf[..buf.len() - 1]), Err(TraceFileError::Truncated)));
+        for cut in [17, 20] {
             assert!(
-                matches!(read_trace(&buf[..cut]), Err(TraceFileError::Truncated)),
+                matches!(
+                    read_trace(&buf[..cut]),
+                    Err(TraceFileError::Truncated | TraceFileError::OversizedCount { .. })
+                ),
                 "cut at {cut}"
             );
         }
+    }
+
+    #[test]
+    fn rejects_oversized_count_before_allocating() {
+        // A header advertising u64::MAX instructions over a 10-byte body
+        // must be rejected up front (no with_capacity explosion, no parse).
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"SIPTTR01");
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 10]);
+        match read_trace(&buf[..]) {
+            Err(TraceFileError::OversizedCount { count, max_possible }) => {
+                assert_eq!(count, u64::MAX);
+                assert_eq!(max_possible, 1);
+            }
+            other => panic!("expected OversizedCount, got {other:?}"),
+        }
+        // Exactly-plausible counts still parse (1 minimal record).
+        let mut ok = Vec::new();
+        ok.extend_from_slice(b"SIPTTR01");
+        ok.extend_from_slice(&1u64.to_le_bytes());
+        ok.extend_from_slice(&7u64.to_le_bytes()); // pc
+        ok.push(0); // flags: no fields
+        ok.push(3); // exec_latency
+        assert_eq!(read_trace(&ok[..]).unwrap().len(), 1);
     }
 
     #[test]
@@ -252,6 +342,7 @@ mod tests {
         buf.extend_from_slice(&1u64.to_le_bytes());
         buf.extend_from_slice(&0u64.to_le_bytes()); // pc
         buf.push(0b0010_0000); // reserved bit
+        buf.push(1); // exec_latency (body now plausibly holds one record)
         assert!(matches!(read_trace(&buf[..]), Err(TraceFileError::BadRecord { index: 0 })));
 
         let mut buf = Vec::new();
