@@ -1,0 +1,149 @@
+//! Sweep perf baseline: runs every figure driver once at smoke scale and
+//! writes `results/BENCH_sweeps.json` — per-artifact wall-clock, true
+//! simulated MIPS (instructions retired over measured host time, from
+//! [`sipt_sim::simulation_totals`]), and the workload-preparation cache
+//! hit rate. This file is the perf trajectory: keep the sample names
+//! stable so successive runs diff cleanly.
+//!
+//! ```text
+//! cargo bench -p sipt-bench --bench sweeps             # cache on (default)
+//! cargo bench -p sipt-bench --bench sweeps -- --no-prep-cache
+//! ```
+//!
+//! The JSON is written unconditionally (the report *is* the artifact);
+//! `--json` additionally has no extra effect here. Wall-clock numbers are
+//! host-dependent by nature; the scientific payloads these drivers
+//! produce are unaffected by the cache (see
+//! `tests/prep_cache_determinism.rs`).
+
+use sipt_sim::experiments::{
+    bypass, combined, fig01, ideal, naive, quadcore, sensitivity, speculation, waypred,
+};
+use sipt_sim::{prep_cache, Condition};
+use sipt_telemetry::json::Json;
+use sipt_telemetry::report;
+use std::time::Instant;
+
+fn smoke() -> Vec<&'static str> {
+    vec!["libquantum", "calculix"]
+}
+
+fn tiny() -> Condition {
+    Condition { instructions: 8_000, warmup: 2_000, ..Condition::default() }
+}
+
+/// Run one driver, sampling wall-clock, simulation totals and prep-cache
+/// counters around it, and append the sample as a JSON row.
+fn measure(samples: &mut Vec<Json>, name: &str, f: impl FnOnce()) {
+    let cache_before = prep_cache::stats();
+    let (instr_before, measure_ms_before) = sipt_sim::simulation_totals();
+    let t = Instant::now();
+    f();
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    let (instr_after, measure_ms_after) = sipt_sim::simulation_totals();
+    let cache_after = prep_cache::stats();
+
+    let instructions = instr_after - instr_before;
+    let measure_ms = measure_ms_after - measure_ms_before;
+    let simulated_mips =
+        if measure_ms > 0.0 { instructions as f64 / (measure_ms * 1e3) } else { 0.0 };
+    let hits = cache_after.hits - cache_before.hits;
+    let misses = cache_after.misses - cache_before.misses;
+    let lookups = hits + misses;
+    let hit_rate = if lookups > 0 { hits as f64 / lookups as f64 } else { 0.0 };
+
+    println!(
+        "{name:<28} {wall_ms:>9.1} ms  {simulated_mips:>8.2} MIPS  prep-cache {hits}/{lookups} hits"
+    );
+    samples.push(Json::obj([
+        ("name", Json::str(name)),
+        ("wall_ms", Json::num(wall_ms)),
+        ("simulated_instructions", Json::u64(instructions)),
+        ("simulated_mips", Json::num(simulated_mips)),
+        ("prep_cache_hits", Json::u64(hits)),
+        ("prep_cache_misses", Json::u64(misses)),
+        ("prep_cache_hit_rate", Json::num(hit_rate)),
+    ]));
+}
+
+fn main() {
+    let cli = sipt_bench::Cli::from_args();
+    println!(
+        "BENCH_sweeps: smoke-scale figure drivers (prep cache {})",
+        if prep_cache::stats().enabled { "on" } else { "off" }
+    );
+    println!();
+
+    let mut samples = Vec::new();
+    measure(&mut samples, "fig01_latency_model", || {
+        std::hint::black_box(fig01::run());
+    });
+    measure(&mut samples, "fig02_ideal_ooo", || {
+        std::hint::black_box(ideal::fig2(&smoke(), &tiny()));
+    });
+    measure(&mut samples, "fig03_ideal_inorder", || {
+        std::hint::black_box(ideal::fig3(&smoke(), &tiny()));
+    });
+    measure(&mut samples, "fig05_speculation_profile", || {
+        std::hint::black_box(speculation::fig5(&smoke(), &tiny()));
+    });
+    measure(&mut samples, "fig06_07_naive_sipt", || {
+        std::hint::black_box(naive::fig6_fig7(&smoke(), &tiny()));
+    });
+    measure(&mut samples, "fig09_bypass_outcomes", || {
+        std::hint::black_box(bypass::fig9(&smoke(), &tiny()));
+    });
+    measure(&mut samples, "fig12_combined_accuracy", || {
+        std::hint::black_box(combined::fig12(&smoke(), &tiny()));
+    });
+    measure(&mut samples, "fig13_14_sipt_idb", || {
+        std::hint::black_box(combined::fig13_fig14(&smoke(), &tiny()));
+    });
+    measure(&mut samples, "fig15_quadcore_mix0", || {
+        std::hint::black_box(quadcore::fig15(
+            &["mix0"],
+            &Condition { memory_bytes: 4 << 30, ..tiny() },
+        ));
+    });
+    measure(&mut samples, "fig16_17_way_prediction", || {
+        std::hint::black_box(waypred::fig16_fig17(&smoke(), &tiny()));
+    });
+    measure(&mut samples, "fig18_sensitivity", || {
+        std::hint::black_box(sensitivity::fig18(&["libquantum"], &tiny()));
+    });
+
+    let (total_instr, total_measure_ms) = sipt_sim::simulation_totals();
+    let payload = Json::obj([
+        ("samples", Json::arr(samples)),
+        ("prep_cache", prep_cache::stats_json()),
+        (
+            "totals",
+            Json::obj([
+                ("simulated_instructions", Json::u64(total_instr)),
+                ("measure_ms", Json::num(total_measure_ms)),
+                (
+                    "simulated_mips",
+                    Json::num(if total_measure_ms > 0.0 {
+                        total_instr as f64 / (total_measure_ms * 1e3)
+                    } else {
+                        0.0
+                    }),
+                ),
+            ]),
+        ),
+    ]);
+    let envelope = report::envelope_full(
+        "BENCH_sweeps",
+        payload,
+        sipt_sim::sweep::parallelism_json(),
+        sipt_sim::resilience::resilience_json(),
+    );
+    match report::write_report(&report::results_dir(), "BENCH_sweeps", &envelope) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write BENCH_sweeps.json: {e}");
+            std::process::exit(1);
+        }
+    }
+    cli.finish();
+}

@@ -180,8 +180,11 @@ fn parse_valued_flag<I: Iterator<Item = String>>(
 /// Command-line state shared by every figure/table binary: the run scale,
 /// whether a machine-readable report was requested (`--json` argument or
 /// `SIPT_JSON=1`), the sweep parallelism (`--jobs N`, `--jobs=N`, or
-/// `SIPT_JOBS=N`; default: all host cores), and the resilience switches
-/// (`--resume`, `--task-timeout MS`, `--task-retries N`).
+/// `SIPT_JOBS=N`; default: all host cores), the resilience switches
+/// (`--resume`, `--task-timeout MS`, `--task-retries N`), and the
+/// workload-preparation cache switch (`--no-prep-cache` or
+/// `SIPT_PREP_CACHE=0`; the cache is on by default and does not change
+/// payload bytes, only wall-clock).
 #[derive(Debug, Clone, Copy)]
 pub struct Cli {
     /// Run scale (`quick` / default / `full`).
@@ -204,6 +207,9 @@ impl Cli {
             sipt_sim::set_jobs(jobs);
         }
         resilience_flags_from_args();
+        if std::env::args().skip(1).any(|a| a == "--no-prep-cache") {
+            sipt_sim::prep_cache::set_enabled(false);
+        }
         Self {
             scale: Scale::from_args(),
             json: report::json_requested(),

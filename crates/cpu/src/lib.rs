@@ -35,5 +35,6 @@ pub mod trace;
 pub use inorder::{simulate_inorder, InOrderConfig};
 pub use ooo::{simulate_ooo, OooConfig};
 pub use trace::{
-    CoreResult, FixedMemory, Inst, MemOp, MemRef, MemResponse, MemoryPath, Reg, NUM_REGS,
+    meta_has_mem, pack_inst_meta, unpack_inst_meta, CoreResult, FixedMemory, Inst, MemOp, MemRef,
+    MemResponse, MemoryPath, Reg, META_HAS_MEM, NUM_REGS,
 };

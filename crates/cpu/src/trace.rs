@@ -80,6 +80,87 @@ impl Inst {
     }
 }
 
+/// Packed-metadata bit: set when the instruction references memory.
+///
+/// Compact trace encodings (the structure-of-arrays
+/// `MaterializedTrace` in `sipt-workloads`) store everything about an
+/// [`Inst`] except its PC and memory address in one `u32`:
+///
+/// ```text
+/// bits  0..=5   dst register        bit  6  dst present
+/// bits  7..=12  src0 register       bit 13  src0 present
+/// bits 14..=19  src1 register       bit 20  src1 present
+/// bit  21       references memory   bit 22  memory op is a store
+/// bits 23..=30  exec_latency (1..=255)
+/// ```
+///
+/// Six bits per register is exactly [`NUM_REGS`] = 64; the layout lives
+/// here, next to the ISA, so the two stay in sync.
+pub const META_HAS_MEM: u32 = 1 << 21;
+
+/// Pack the non-address fields of `inst` into one metadata word.
+///
+/// # Panics
+///
+/// Panics if `exec_latency` is outside `1..=255` or a register is out of
+/// range — both impossible for generator-produced traces.
+pub fn pack_inst_meta(inst: &Inst) -> u32 {
+    assert!(
+        (1..=255).contains(&inst.exec_latency),
+        "exec_latency {} does not fit the packed encoding",
+        inst.exec_latency
+    );
+    let mut m = 0u32;
+    if let Some(d) = inst.dst {
+        assert!((d as usize) < NUM_REGS, "register {d} out of range");
+        m |= (d as u32) | (1 << 6);
+    }
+    if let Some(s) = inst.srcs[0] {
+        assert!((s as usize) < NUM_REGS, "register {s} out of range");
+        m |= ((s as u32) << 7) | (1 << 13);
+    }
+    if let Some(s) = inst.srcs[1] {
+        assert!((s as usize) < NUM_REGS, "register {s} out of range");
+        m |= ((s as u32) << 14) | (1 << 20);
+    }
+    if let Some(mem) = inst.mem {
+        m |= META_HAS_MEM;
+        if mem.op == MemOp::Store {
+            m |= 1 << 22;
+        }
+    }
+    m | ((inst.exec_latency as u32) << 23)
+}
+
+/// Whether a packed metadata word references memory (i.e. whether
+/// [`unpack_inst_meta`] needs a virtual address).
+pub fn meta_has_mem(meta: u32) -> bool {
+    meta & META_HAS_MEM != 0
+}
+
+/// Reconstruct the [`Inst`] encoded by `meta` (from [`pack_inst_meta`])
+/// with program counter `pc` and — iff [`meta_has_mem`] — address `va`.
+///
+/// # Panics
+///
+/// Panics if the word references memory but no `va` was supplied.
+pub fn unpack_inst_meta(meta: u32, pc: u64, va: Option<VirtAddr>) -> Inst {
+    let reg = |shift: u32, present: u32| -> Option<Reg> {
+        (meta & (1 << present) != 0).then(|| ((meta >> shift) & 0x3F) as Reg)
+    };
+    let mem = (meta & META_HAS_MEM != 0).then(|| MemRef {
+        op: if meta & (1 << 22) != 0 { MemOp::Store } else { MemOp::Load },
+        va: va.expect("packed instruction references memory but no VA was supplied"),
+    });
+    Inst {
+        pc,
+        dst: reg(0, 6),
+        srcs: [reg(7, 13), reg(14, 20)],
+        mem,
+        exec_latency: ((meta >> 23) & 0xFF) as u64,
+    }
+}
+
 /// The response of the memory path to one load/store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemResponse {
@@ -164,6 +245,47 @@ mod tests {
         let r = CoreResult { instructions: 100, cycles: 50, mem_ops: 10 };
         assert_eq!(r.ipc(), 2.0);
         assert_eq!(CoreResult::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn packed_meta_roundtrips_every_shape() {
+        let samples = [
+            Inst::alu(0x18, 4, [Some(3), Some(2)]),
+            Inst::alu(0x1C, 63, [None, Some(63)]),
+            Inst::load(0x10, 3, Some(1), VirtAddr::new(0x1000)),
+            Inst::load(0x10, 0, None, VirtAddr::new(0xFFFF_F000)),
+            Inst::store(0x14, Some(2), Some(1), VirtAddr::new(0x1008)),
+            Inst::store(0x14, None, None, VirtAddr::new(0x8)),
+            Inst {
+                pc: u64::MAX,
+                dst: Some(16),
+                srcs: [Some(16), None],
+                mem: Some(MemRef { op: MemOp::Load, va: VirtAddr::new(7) }),
+                exec_latency: 255,
+            },
+            Inst { pc: 0, dst: None, srcs: [None, None], mem: None, exec_latency: 3 },
+        ];
+        for inst in samples {
+            let meta = pack_inst_meta(&inst);
+            assert_eq!(meta_has_mem(meta), inst.mem.is_some());
+            let back = unpack_inst_meta(meta, inst.pc, inst.mem.map(|m| m.va));
+            assert_eq!(back, inst, "meta {meta:#x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn packed_meta_rejects_oversized_latency() {
+        let mut inst = Inst::alu(0, 0, [None, None]);
+        inst.exec_latency = 256;
+        let _ = pack_inst_meta(&inst);
+    }
+
+    #[test]
+    #[should_panic(expected = "no VA was supplied")]
+    fn unpack_requires_va_for_mem_ops() {
+        let meta = pack_inst_meta(&Inst::load(0, 1, None, VirtAddr::new(0)));
+        let _ = unpack_inst_meta(meta, 0, None);
     }
 
     #[test]

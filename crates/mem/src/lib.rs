@@ -39,6 +39,7 @@ pub mod buddy;
 pub mod frag;
 pub mod indexed_set;
 pub mod page_table;
+pub mod translation_cache;
 
 pub use addr::{
     PageSize, PhysAddr, PhysFrameNum, Translation, VirtAddr, VirtPageNum, HUGE_PAGE_SHIFT,
@@ -48,6 +49,7 @@ pub use address_space::{AddressSpace, AddressSpaceStats, PlacementPolicy, Region
 pub use buddy::{BuddyAllocator, BuddyStats, FrameBlock, HUGE_PAGE_ORDER, MAX_ORDER};
 pub use frag::{fragment_memory, fragment_to_target, FragmentHold, PAPER_TARGET_FU};
 pub use page_table::{Mapping, PageTable, PageTableStats};
+pub use translation_cache::{TranslationCache, DEFAULT_XLAT_ENTRIES};
 
 use core::fmt;
 

@@ -1,0 +1,179 @@
+//! A software translation cache for the simulator's hot path.
+//!
+//! [`PageTable::translate`] costs a `HashMap` probe (sometimes two) per
+//! call — fine for OS-model bookkeeping, but it sits on the
+//! per-memory-access path of every simulated run: TLB walks and the
+//! speculation-profile loop both call it millions of times against an
+//! address space that is **immutable during replay**. [`TranslationCache`]
+//! is a small direct-mapped VPN→frame array in front of the page table:
+//! one index + compare on a hit, no hashing, no invalidation protocol
+//! (immutability makes stale entries impossible; call
+//! [`TranslationCache::clear`] if an address space ever does change
+//! between replays).
+//!
+//! This is simulator infrastructure, not modelled hardware: it changes
+//! *wall-clock* cost only. The returned [`Translation`]s are exactly what
+//! the backing page table would have produced, so simulated behaviour is
+//! bit-identical with or without it.
+
+use crate::addr::{
+    PageSize, PhysAddr, PhysFrameNum, Translation, VirtAddr, VirtPageNum, PAGE_SHIFT,
+};
+use crate::page_table::PageTable;
+
+/// Default number of direct-mapped entries (must be a power of two).
+///
+/// 4096 entries cover a 16 MiB resident set at 4 KiB pages — larger than
+/// the hot working set of every benchmark preset — in 64 KiB of host
+/// memory.
+pub const DEFAULT_XLAT_ENTRIES: usize = 4096;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    vpn: u64,
+    pfn: PhysFrameNum,
+    page_size: PageSize,
+}
+
+/// Direct-mapped software cache of 4 KiB-granule translations.
+///
+/// ```
+/// use sipt_mem::{PageTable, TranslationCache, VirtAddr, VirtPageNum, PhysFrameNum, PageSize};
+/// let mut pt = PageTable::new();
+/// pt.map(VirtPageNum::new(0x10), PhysFrameNum::new(0x42), PageSize::Base4K).unwrap();
+/// let mut xlat = TranslationCache::new();
+/// let va = VirtAddr::new(0x10_123);
+/// assert_eq!(xlat.translate(&pt, va), pt.translate(va)); // miss + fill
+/// assert_eq!(xlat.translate(&pt, va), pt.translate(va)); // hit
+/// ```
+#[derive(Debug, Clone)]
+pub struct TranslationCache {
+    entries: Vec<Option<Entry>>,
+    mask: u64,
+}
+
+impl Default for TranslationCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TranslationCache {
+    /// A cache with [`DEFAULT_XLAT_ENTRIES`] entries.
+    pub fn new() -> Self {
+        Self::with_entries(DEFAULT_XLAT_ENTRIES)
+    }
+
+    /// A cache with `entries` direct-mapped slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `entries` is a non-zero power of two.
+    pub fn with_entries(entries: usize) -> Self {
+        assert!(entries.is_power_of_two(), "entry count {entries} must be a power of two");
+        Self { entries: vec![None; entries], mask: entries as u64 - 1 }
+    }
+
+    /// Translate `va`, consulting the cache before `page_table`.
+    ///
+    /// Returns exactly what [`PageTable::translate`] would return; `None`
+    /// (unmapped) is never cached, so faults always reach the page table.
+    #[inline]
+    pub fn translate(&mut self, page_table: &PageTable, va: VirtAddr) -> Option<Translation> {
+        let vpn = VirtPageNum::containing(va).raw();
+        let slot = (vpn & self.mask) as usize;
+        if let Some(e) = self.entries[slot] {
+            if e.vpn == vpn {
+                let pa = PhysAddr::new((e.pfn.raw() << PAGE_SHIFT) | va.page_offset());
+                return Some(Translation { pa, pfn: e.pfn, page_size: e.page_size });
+            }
+        }
+        let t = page_table.translate(va)?;
+        self.entries[slot] = Some(Entry { vpn, pfn: t.pfn, page_size: t.page_size });
+        Some(t)
+    }
+
+    /// Drop every cached entry (required if the backing address space is
+    /// mutated between replays).
+    pub fn clear(&mut self) {
+        self.entries.iter_mut().for_each(|e| *e = None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PAGES_PER_HUGE_PAGE;
+
+    fn table() -> PageTable {
+        let mut pt = PageTable::new();
+        pt.map(VirtPageNum::new(5), PhysFrameNum::new(9), PageSize::Base4K).unwrap();
+        pt.map(
+            VirtPageNum::new(PAGES_PER_HUGE_PAGE),
+            PhysFrameNum::new(4 * PAGES_PER_HUGE_PAGE),
+            PageSize::Huge2M,
+        )
+        .unwrap();
+        pt
+    }
+
+    #[test]
+    fn agrees_with_page_table_for_base_and_huge() {
+        let pt = table();
+        let mut xlat = TranslationCache::with_entries(64);
+        let vas = [
+            VirtAddr::new((5 << PAGE_SHIFT) + 0xabc),
+            VirtAddr::new((PAGES_PER_HUGE_PAGE << PAGE_SHIFT) + 0x10),
+            VirtAddr::new(((PAGES_PER_HUGE_PAGE + 37) << PAGE_SHIFT) + 0x7),
+        ];
+        for va in vas {
+            // Miss then hit: both must equal the uncached translation.
+            assert_eq!(xlat.translate(&pt, va), pt.translate(va), "miss path for {va}");
+            assert_eq!(xlat.translate(&pt, va), pt.translate(va), "hit path for {va}");
+        }
+    }
+
+    #[test]
+    fn unmapped_is_none_and_never_cached() {
+        let pt = table();
+        let mut xlat = TranslationCache::with_entries(64);
+        let hole = VirtAddr::new(123 << PAGE_SHIFT);
+        assert_eq!(xlat.translate(&pt, hole), None);
+        // A later mapping at the same VPN must be visible (no negative
+        // caching).
+        let mut pt = pt;
+        pt.map(VirtPageNum::new(123), PhysFrameNum::new(77), PageSize::Base4K).unwrap();
+        assert_eq!(xlat.translate(&pt, hole), pt.translate(hole));
+    }
+
+    #[test]
+    fn conflicting_vpns_evict_without_corruption() {
+        let mut pt = PageTable::new();
+        // VPNs 3 and 3+64 collide in a 64-entry cache.
+        pt.map(VirtPageNum::new(3), PhysFrameNum::new(30), PageSize::Base4K).unwrap();
+        pt.map(VirtPageNum::new(3 + 64), PhysFrameNum::new(40), PageSize::Base4K).unwrap();
+        let mut xlat = TranslationCache::with_entries(64);
+        let a = VirtAddr::new(3 << PAGE_SHIFT);
+        let b = VirtAddr::new((3 + 64) << PAGE_SHIFT);
+        for _ in 0..3 {
+            assert_eq!(xlat.translate(&pt, a), pt.translate(a));
+            assert_eq!(xlat.translate(&pt, b), pt.translate(b));
+        }
+    }
+
+    #[test]
+    fn clear_resets_entries() {
+        let pt = table();
+        let mut xlat = TranslationCache::with_entries(64);
+        let va = VirtAddr::new(5 << PAGE_SHIFT);
+        let _ = xlat.translate(&pt, va);
+        xlat.clear();
+        assert_eq!(xlat.translate(&pt, va), pt.translate(va));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = TranslationCache::with_entries(48);
+    }
+}

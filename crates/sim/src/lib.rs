@@ -25,6 +25,7 @@ pub mod experiments;
 pub mod machine;
 pub mod metrics;
 pub mod multicore;
+pub mod prep_cache;
 pub mod resilience;
 pub mod runner;
 pub mod sweep;
@@ -32,9 +33,11 @@ pub mod sweep;
 pub use error::SimError;
 pub use machine::{Machine, SystemKind};
 pub use metrics::{
-    arithmetic_mean, harmonic_mean, try_harmonic_mean, NonPositiveValue, PhaseProfile, RunMetrics,
+    arithmetic_mean, harmonic_mean, record_simulation, simulation_totals, try_harmonic_mean,
+    NonPositiveValue, PhaseProfile, RunMetrics,
 };
 pub use multicore::{run_mix, MixMetrics};
+pub use prep_cache::{PrepCacheStats, PreparedMix, PreparedMixCore, PreparedWorkload};
 pub use resilience::{TaskFailure, WatchdogFlag};
 pub use runner::{
     run_benchmark, run_spec, speculation_profile, try_run_benchmark, Condition, SpeculationProfile,

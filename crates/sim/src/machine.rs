@@ -6,8 +6,9 @@ use sipt_core::{L1Config, SiptL1};
 use sipt_cpu::{MemOp, MemRef, MemResponse, MemoryPath};
 use sipt_dram::{Dram, DramConfig};
 use sipt_energy::{ActivityCounts, EnergyParams, L2_TABLE2, LLC_INORDER_TABLE2, LLC_OOO_TABLE2};
-use sipt_mem::AddressSpace;
+use sipt_mem::{AddressSpace, TranslationCache};
 use sipt_tlb::{DataTlb, TlbConfig};
+use std::sync::Arc;
 
 /// Which of Table II's two systems is being simulated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -60,8 +61,12 @@ impl SystemKind {
 /// timing models.
 #[derive(Debug)]
 pub struct Machine {
-    asp: AddressSpace,
+    asp: Arc<AddressSpace>,
     tlb: DataTlb,
+    /// Software (wall-clock-only) cache in front of the page-table walk:
+    /// address spaces are immutable during replay, so no invalidation is
+    /// ever needed. Does not change simulated behaviour.
+    xlat: TranslationCache,
     l1: SiptL1,
     lower: LowerHierarchy<Dram>,
     system: SystemKind,
@@ -71,9 +76,17 @@ impl Machine {
     /// Assemble a machine around an address space whose workload memory is
     /// already mapped.
     pub fn new(asp: AddressSpace, l1_config: L1Config, system: SystemKind) -> Self {
+        Self::new_shared(Arc::new(asp), l1_config, system)
+    }
+
+    /// [`Machine::new`] over a *shared* address space — the prep-cache
+    /// path, where N machines replay the same prepared workload without
+    /// cloning its page table.
+    pub fn new_shared(asp: Arc<AddressSpace>, l1_config: L1Config, system: SystemKind) -> Self {
         Self {
             asp,
             tlb: DataTlb::new(TlbConfig::default()),
+            xlat: TranslationCache::new(),
             l1: SiptL1::new(l1_config),
             lower: LowerHierarchy::new(system.l2(), system.llc(), Dram::new(DramConfig::default())),
             system,
@@ -155,20 +168,22 @@ impl Machine {
 
 impl MemoryPath for Machine {
     fn access(&mut self, pc: u64, mem: MemRef, now: u64) -> MemResponse {
-        let outcome = self
-            .tlb
-            .translate(mem.va, self.asp.page_table())
+        // Disjoint field borrows: the TLB walk closure consults the
+        // software translation cache in front of the page table.
+        let Machine { asp, tlb, xlat, l1, lower, .. } = self;
+        let outcome = tlb
+            .translate_with(mem.va, |va| xlat.translate(asp.page_table(), va))
             .unwrap_or_else(|f| panic!("workload accessed unmapped memory: {f}"));
         let is_store = mem.op == MemOp::Store;
-        let access = self.l1.access(pc, mem.va, outcome.translation, outcome.cycles, is_store);
+        let access = l1.access(pc, mem.va, outcome.translation, outcome.cycles, is_store);
         let mut latency = access.latency;
         if !access.hit {
             let line = LineAddr::of_phys(outcome.translation.pa);
-            let service = self.lower.access(line, is_store, now + latency);
+            let service = lower.access(line, is_store, now + latency);
             latency += service.latency;
-            if let Some(evicted) = self.l1.fill(line, is_store) {
+            if let Some(evicted) = l1.fill(line, is_store) {
                 if evicted.dirty {
-                    self.lower.writeback(evicted.line);
+                    lower.writeback(evicted.line);
                 }
             }
         }

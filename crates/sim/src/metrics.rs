@@ -185,9 +185,53 @@ pub fn arithmetic_mean(values: &[f64]) -> f64 {
     values.iter().sum::<f64>() / values.len() as f64
 }
 
+/// Process-wide simulation accounting, fed by every measured run
+/// (single-core and per mix core) and read by the perf harness
+/// (`cargo bench -p sipt-bench --bench sweeps`) to derive true
+/// simulated-MIPS figures per artifact. Wall-clock bookkeeping only —
+/// never serialized into a scientific payload.
+mod sim_totals {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static INSTRUCTIONS: AtomicU64 = AtomicU64::new(0);
+    /// Microseconds, so an atomic integer suffices.
+    static MEASURE_US: AtomicU64 = AtomicU64::new(0);
+
+    pub(super) fn record(instructions: u64, measure_secs: f64) {
+        INSTRUCTIONS.fetch_add(instructions, Ordering::Relaxed);
+        MEASURE_US.fetch_add((measure_secs * 1e6).max(0.0) as u64, Ordering::Relaxed);
+    }
+
+    pub(super) fn totals() -> (u64, f64) {
+        (INSTRUCTIONS.load(Ordering::Relaxed), MEASURE_US.load(Ordering::Relaxed) as f64 / 1e3)
+    }
+}
+
+/// Record one measured simulation interval (instructions retired over
+/// `measure_secs` of host wall time) into the process-wide totals.
+pub fn record_simulation(instructions: u64, measure_secs: f64) {
+    sim_totals::record(instructions, measure_secs);
+}
+
+/// The process-wide simulation totals so far: `(instructions,
+/// measure_ms)`. Monotonically increasing; callers interested in one
+/// interval snapshot before/after and subtract.
+pub fn simulation_totals() -> (u64, f64) {
+    sim_totals::totals()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn simulation_totals_accumulate() {
+        let (i0, m0) = simulation_totals();
+        record_simulation(1_000, 0.002);
+        let (i1, m1) = simulation_totals();
+        assert!(i1 >= i0 + 1_000);
+        assert!(m1 >= m0 + 1.9, "2ms must register, got {} -> {}", m0, m1);
+    }
 
     #[test]
     fn means() {

@@ -13,11 +13,13 @@
 
 use crate::machine::{Machine, SystemKind};
 use crate::metrics::{PhaseProfile, RunMetrics};
+use crate::prep_cache::{self, PreparedMix, PreparedMixCore};
 use crate::runner::{collect, run_core, Condition};
 use sipt_core::L1Config;
 use sipt_mem::{fragment_memory, AddressSpace, BuddyAllocator};
 use sipt_rng::{SeedableRng, StdRng};
-use sipt_workloads::{benchmark, TraceGen, MIXES};
+use sipt_workloads::{benchmark, MaterializedTrace, TraceGen, MIXES};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Metrics of one quad-core mix run.
@@ -76,45 +78,29 @@ pub fn run_mix(mix_name: &str, l1: L1Config, cond: &Condition) -> MixMetrics {
         .find(|(name, _)| *name == mix_name)
         .unwrap_or_else(|| panic!("unknown mix {mix_name}"));
 
-    let mut phys = BuddyAllocator::with_bytes(cond.memory_bytes);
-    let mut rng = StdRng::seed_from_u64(cond.seed ^ 0x4C0E);
-    let _hold =
-        cond.fragmented.then(|| fragment_memory(&mut phys, 0.5, &mut rng).expect("fragmentation"));
-
-    // All four processes allocate from the same physical memory, in
-    // program order, so later processes see the earlier ones' footprints.
-    // Each core's allocate phase is timed individually so the per-core
-    // phase profiles serialize as real measurements (not the zeroed
-    // defaults the JSON reports would otherwise present as data).
-    let mut traces = Vec::new();
-    for (core_id, app) in apps.iter().enumerate() {
-        let t0 = Instant::now();
-        let spec = benchmark(app).unwrap_or_else(|| panic!("unknown app {app}"));
-        let mut asp = AddressSpace::new(core_id as u16, cond.placement);
-        let trace = TraceGen::build(
-            &spec,
-            &mut asp,
-            &mut phys,
-            cond.warmup + cond.instructions,
-            cond.seed + core_id as u64,
-        )
-        .unwrap_or_else(|e| panic!("{mix_name}/{app}: {e}"));
-        let allocate_ms = t0.elapsed().as_secs_f64() * 1e3;
-        traces.push((app, asp, trace, allocate_ms));
-    }
+    // Mixes cache as a *unit*: the four processes allocate from one
+    // shared buddy allocator in program order, so the interleaving (the
+    // part that matters to SIPT) is a property of the whole mix, not of
+    // any one `(spec, cond)`.
+    let prepared = prep_cache::get_or_prepare_mix(mix_name, cond, || {
+        Arc::new(prepare_mix(mix_name, apps, cond))
+    });
 
     let mut cores = Vec::new();
-    for (app, asp, mut trace, allocate_ms) in traces {
-        let mut machine = Machine::new(asp, l1.clone(), SystemKind::OooThreeLevel);
+    for prep in &prepared.cores {
+        let mut machine =
+            Machine::new_shared(Arc::clone(&prep.asp), l1.clone(), SystemKind::OooThreeLevel);
         let allocated = Instant::now();
-        let warm = (&mut trace).take(cond.warmup as usize);
+        let mut cursor = prep.trace.cursor();
+        let warm = (&mut cursor).take(cond.warmup as usize);
         run_core(SystemKind::OooThreeLevel, warm, &mut machine);
         machine.reset_stats();
         let warmed = Instant::now();
-        let core = run_core(SystemKind::OooThreeLevel, trace, &mut machine);
+        let core = run_core(SystemKind::OooThreeLevel, cursor, &mut machine);
         let measure_secs = warmed.elapsed().as_secs_f64();
+        crate::metrics::record_simulation(core.instructions, measure_secs);
         let phases = PhaseProfile {
-            allocate_ms,
+            allocate_ms: prep.allocate_ms,
             warmup_ms: warmed.duration_since(allocated).as_secs_f64() * 1e3,
             measure_ms: measure_secs * 1e3,
             simulated_mips: if measure_secs > 0.0 {
@@ -124,11 +110,48 @@ pub fn run_mix(mix_name: &str, l1: L1Config, cond: &Condition) -> MixMetrics {
             },
             worker: 0,
         };
-        let mut metrics = collect(app, core, &machine);
+        let mut metrics = collect(&prep.app, core, &machine);
         metrics.phases = phases;
         cores.push(metrics);
     }
     MixMetrics { name: mix_name.to_owned(), cores }
+}
+
+/// Allocate and generate a whole mix against one shared physical memory.
+///
+/// All four processes allocate in program order, so later processes see
+/// the earlier ones' footprints. Each core's allocate phase is timed
+/// individually so the per-core phase profiles serialize as real
+/// measurements (not the zeroed defaults the JSON reports would
+/// otherwise present as data); replays reuse the preparation-time cost.
+fn prepare_mix(mix_name: &str, apps: &[&str], cond: &Condition) -> PreparedMix {
+    let mut phys = BuddyAllocator::with_bytes(cond.memory_bytes);
+    let mut rng = StdRng::seed_from_u64(cond.seed ^ 0x4C0E);
+    let _hold =
+        cond.fragmented.then(|| fragment_memory(&mut phys, 0.5, &mut rng).expect("fragmentation"));
+
+    let mut cores = Vec::new();
+    for (core_id, app) in apps.iter().enumerate() {
+        let t0 = Instant::now();
+        let spec = benchmark(app).unwrap_or_else(|| panic!("unknown app {app}"));
+        let mut asp = AddressSpace::new(core_id as u16, cond.placement);
+        let gen = TraceGen::build(
+            &spec,
+            &mut asp,
+            &mut phys,
+            cond.warmup + cond.instructions,
+            cond.seed + core_id as u64,
+        )
+        .unwrap_or_else(|e| panic!("{mix_name}/{app}: {e}"));
+        let trace = MaterializedTrace::from_gen(gen);
+        cores.push(PreparedMixCore {
+            app: (*app).to_owned(),
+            asp: Arc::new(asp),
+            trace,
+            allocate_ms: t0.elapsed().as_secs_f64() * 1e3,
+        });
+    }
+    PreparedMix { cores }
 }
 
 #[cfg(test)]

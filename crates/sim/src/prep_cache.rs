@@ -1,0 +1,427 @@
+//! Workload preparation cache: prepare once, replay everywhere.
+//!
+//! Every figure driver sweeps many L1 configurations over the *same*
+//! `(WorkloadSpec, Condition)` pair, yet preparation — buddy allocator
+//! construction, the fragmentation preamble, and generating the full
+//! instruction stream — used to be repeated for every single task, and
+//! `speculation_profile` repeated it yet again. This module caches the
+//! prepared state as an [`Arc<PreparedWorkload>`] keyed by a content
+//! fingerprint of `(spec, condition)` (the same FNV-1a machinery the
+//! checkpoint layer uses), so N configs × one workload prepare **once**.
+//!
+//! Correctness rests on two facts:
+//!
+//! - preparation is deterministic in `(spec, cond)` — it seeds its own
+//!   RNGs from `cond.seed` and never consults ambient state — so a cached
+//!   entry is bit-identical to a fresh preparation, and
+//! - the prepared state is immutable during replay — the address space is
+//!   only read and the [`sipt_workloads::MaterializedTrace`] replays
+//!   through cursors — so sharing one copy across concurrent pool workers
+//!   cannot change results.
+//!
+//! Cached and uncached runs therefore produce byte-identical scientific
+//! payloads; only wall-clock differs. The cache is on by default; disable
+//! it with `SIPT_PREP_CACHE=0` or the figure binaries' `--no-prep-cache`
+//! flag (see [`set_enabled`]). Hit/miss counters feed the report's
+//! `parallelism.prep_cache` block (schema v4).
+//!
+//! Concurrency: the map lock is held only to look up or insert a per-key
+//! cell; preparation itself runs under the cell's own mutex, so workers
+//! preparing *different* workloads proceed in parallel while workers
+//! racing on the *same* workload block until the first finishes. A
+//! panicking preparation poisons only its cell, which is recovered and
+//! retried — one injected fault cannot wedge the cache.
+
+use crate::checkpoint::fnv1a64;
+use crate::error::SimError;
+use crate::runner::{try_prepare_run, Condition, PreparedRun};
+use sipt_mem::AddressSpace;
+use sipt_telemetry::json::Json;
+use sipt_workloads::{MaterializedTrace, WorkloadSpec};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// A fully prepared, immutable, replayable workload: the address space
+/// (page table included) plus the materialized instruction stream
+/// covering `warmup + instructions`.
+#[derive(Debug)]
+pub struct PreparedWorkload {
+    /// The workload's address space (owns the page table); shared by
+    /// every machine replaying this workload.
+    pub asp: Arc<AddressSpace>,
+    /// The drained, replayable trace.
+    pub trace: MaterializedTrace,
+}
+
+/// One prepared core of a multiprogrammed mix: the per-process address
+/// space and trace, plus the wall-clock cost of preparing it (attributed
+/// to the core's `allocate` phase on every replay).
+#[derive(Debug)]
+pub struct PreparedMixCore {
+    /// Benchmark name of the app on this core.
+    pub app: String,
+    /// The process's address space.
+    pub asp: Arc<AddressSpace>,
+    /// The core's replayable trace.
+    pub trace: MaterializedTrace,
+    /// Wall-clock milliseconds spent allocating + generating this core's
+    /// workload at preparation time.
+    pub allocate_ms: f64,
+}
+
+/// A fully prepared quad-core mix. Mixes are cached as a unit — the four
+/// processes allocate from *one shared* buddy allocator in program
+/// order, so per-`(spec, cond)` sharing with single-core runs would be
+/// wrong (the interleaving is the point).
+#[derive(Debug)]
+pub struct PreparedMix {
+    /// Per-core prepared state, in mix order.
+    pub cores: Vec<PreparedMixCore>,
+}
+
+type CacheResult = Result<Arc<PreparedWorkload>, SimError>;
+/// One per-key slot: `None` until the first claimant finishes preparing.
+type Cell = Arc<Mutex<Option<CacheResult>>>;
+type MixCell = Arc<Mutex<Option<Arc<PreparedMix>>>>;
+
+#[derive(Default)]
+struct CacheState {
+    map: HashMap<u64, Cell>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<u64>,
+}
+
+static CACHE: Mutex<Option<CacheState>> = Mutex::new(None);
+static MIX_CACHE: Mutex<Option<HashMap<u64, MixCell>>> = Mutex::new(None);
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Runtime enable state: 0 = follow `SIPT_PREP_CACHE`, 1 = forced on,
+/// 2 = forced off (the `--no-prep-cache` flag).
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Maximum number of live cache entries before FIFO eviction (in-flight
+/// users keep their `Arc`s, so eviction never affects running tasks).
+fn capacity() -> usize {
+    static PARSED: OnceLock<usize> = OnceLock::new();
+    *PARSED.get_or_init(|| match std::env::var("SIPT_PREP_CACHE_CAP") {
+        Ok(v) => v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+            eprintln!(
+                "warning: malformed SIPT_PREP_CACHE_CAP={v:?} (not a positive integer); \
+                 using the default of 64"
+            );
+            64
+        }),
+        Err(_) => 64,
+    })
+}
+
+fn env_default() -> bool {
+    static PARSED: OnceLock<bool> = OnceLock::new();
+    *PARSED.get_or_init(|| match std::env::var("SIPT_PREP_CACHE") {
+        Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | "no"),
+        Err(_) => true,
+    })
+}
+
+/// Force the cache on or off for the rest of the process, overriding
+/// `SIPT_PREP_CACHE`. The figure binaries' `--no-prep-cache` flag calls
+/// `set_enabled(false)`.
+pub fn set_enabled(on: bool) {
+    OVERRIDE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+/// Whether the cache is currently consulted.
+pub fn enabled() -> bool {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => env_default(),
+    }
+}
+
+/// Content fingerprint of a `(spec, cond)` pair — FNV-1a over the full
+/// `Debug` rendering, like the checkpoint layer's request fingerprints.
+pub fn fingerprint(spec: &WorkloadSpec, cond: &Condition) -> u64 {
+    fnv1a64(format!("prep|{spec:?}|{cond:?}").as_bytes())
+}
+
+fn prepare_fresh(spec: &WorkloadSpec, cond: &Condition) -> CacheResult {
+    let PreparedRun { asp, trace } = try_prepare_run(spec, cond)?;
+    Ok(Arc::new(PreparedWorkload { asp: Arc::new(asp), trace: MaterializedTrace::from_gen(trace) }))
+}
+
+/// The prepared workload for `(spec, cond)`: cached when the cache is
+/// enabled, freshly prepared otherwise. Either way the returned state is
+/// bit-identical — the cache changes wall-clock only.
+///
+/// # Errors
+///
+/// Propagates the preparation's [`SimError`] (workload too large, audit
+/// violation). Failed preparations are cached too: every config of an
+/// impossible workload reports the same error without re-failing the
+/// expensive preparation.
+pub fn get_or_prepare(spec: &WorkloadSpec, cond: &Condition) -> CacheResult {
+    if !enabled() {
+        return prepare_fresh(spec, cond);
+    }
+    let key = fingerprint(spec, cond);
+    let cell = {
+        let mut guard = CACHE.lock().unwrap_or_else(PoisonError::into_inner);
+        let state = guard.get_or_insert_with(CacheState::default);
+        match state.map.get(&key) {
+            Some(cell) => {
+                HITS.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(cell)
+            }
+            None => {
+                MISSES.fetch_add(1, Ordering::Relaxed);
+                let cell: Cell = Arc::new(Mutex::new(None));
+                state.map.insert(key, Arc::clone(&cell));
+                state.order.push_back(key);
+                while state.map.len() > capacity() {
+                    if let Some(old) = state.order.pop_front() {
+                        state.map.remove(&old);
+                    }
+                }
+                cell
+            }
+        }
+    };
+    // Prepare (or wait for the preparing worker) under the cell's own
+    // lock. A poisoned cell means a previous claimant panicked before
+    // publishing a result; recover the guard and retry the preparation.
+    let mut slot = cell.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(result) = slot.as_ref() {
+        return result.clone();
+    }
+    let result = prepare_fresh(spec, cond);
+    *slot = Some(result.clone());
+    result
+}
+
+/// The prepared state of a whole mix, cached under
+/// `(mix_name, cond)`; `prepare` runs only on a miss (or whenever the
+/// cache is disabled). Used by [`crate::multicore::run_mix`].
+///
+/// The closure-based shape keeps mix preparation (shared buddy
+/// allocator, per-process traces) in the multicore module while the
+/// caching/concurrency policy lives here, shared with the single-core
+/// path.
+pub(crate) fn get_or_prepare_mix(
+    mix_name: &str,
+    cond: &Condition,
+    prepare: impl FnOnce() -> Arc<PreparedMix>,
+) -> Arc<PreparedMix> {
+    if !enabled() {
+        return prepare();
+    }
+    let key = fnv1a64(format!("mix|{mix_name}|{cond:?}").as_bytes());
+    let cell = {
+        let mut guard = MIX_CACHE.lock().unwrap_or_else(PoisonError::into_inner);
+        let map = guard.get_or_insert_with(HashMap::new);
+        match map.get(&key) {
+            Some(cell) => {
+                HITS.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(cell)
+            }
+            None => {
+                MISSES.fetch_add(1, Ordering::Relaxed);
+                let cell: MixCell = Arc::new(Mutex::new(None));
+                map.insert(key, Arc::clone(&cell));
+                cell
+            }
+        }
+    };
+    let mut slot = cell.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(mix) = slot.as_ref() {
+        return Arc::clone(mix);
+    }
+    let mix = prepare();
+    *slot = Some(Arc::clone(&mix));
+    mix
+}
+
+/// Counter snapshot for reports and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrepCacheStats {
+    /// Lookups that found an existing entry (including one still being
+    /// prepared by another worker).
+    pub hits: u64,
+    /// Lookups that created a new entry (distinct workloads prepared).
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Whether lookups currently consult the cache.
+    pub enabled: bool,
+}
+
+/// Snapshot the cache counters. `entries` counts single-core *and* mix
+/// entries.
+pub fn stats() -> PrepCacheStats {
+    let singles =
+        CACHE.lock().unwrap_or_else(PoisonError::into_inner).as_ref().map_or(0, |s| s.map.len());
+    let mixes =
+        MIX_CACHE.lock().unwrap_or_else(PoisonError::into_inner).as_ref().map_or(0, HashMap::len);
+    PrepCacheStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        entries: singles + mixes,
+        enabled: enabled(),
+    }
+}
+
+/// The `prep_cache` object of the report's `parallelism` block
+/// (schema v4).
+pub fn stats_json() -> Json {
+    let s = stats();
+    Json::obj([
+        ("enabled", Json::Bool(s.enabled)),
+        ("hits", Json::u64(s.hits)),
+        ("misses", Json::u64(s.misses)),
+        ("entries", Json::u64(s.entries as u64)),
+    ])
+}
+
+/// Drop all entries and zero the counters (tests and long-lived drivers
+/// that want isolated accounting).
+pub fn clear() {
+    *CACHE.lock().unwrap_or_else(PoisonError::into_inner) = None;
+    *MIX_CACHE.lock().unwrap_or_else(PoisonError::into_inner) = None;
+    HITS.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sipt_workloads::benchmark;
+
+    /// The whole suite shares one process, so these tests serialize on a
+    /// lock and restore the default state afterwards.
+    fn with_clean_cache<R>(f: impl FnOnce() -> R) -> R {
+        static GATE: Mutex<()> = Mutex::new(());
+        let _gate = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+        clear();
+        set_enabled(true);
+        let out = f();
+        clear();
+        OVERRIDE.store(0, Ordering::Relaxed);
+        out
+    }
+
+    #[test]
+    fn second_lookup_hits_and_shares_the_arc() {
+        with_clean_cache(|| {
+            let spec = benchmark("sjeng").unwrap();
+            let cond = Condition::quick();
+            let a = get_or_prepare(&spec, &cond).unwrap();
+            let b = get_or_prepare(&spec, &cond).unwrap();
+            assert!(Arc::ptr_eq(&a, &b), "hit must share the prepared state");
+            let s = stats();
+            assert_eq!((s.hits, s.misses), (1, 1));
+            assert_eq!(s.entries, 1);
+        });
+    }
+
+    #[test]
+    fn cached_state_is_bit_identical_to_fresh_preparation() {
+        with_clean_cache(|| {
+            let spec = benchmark("mcf").unwrap();
+            let cond = Condition::quick();
+            let cached = get_or_prepare(&spec, &cond).unwrap();
+            let fresh = prepare_fresh(&spec, &cond).unwrap();
+            assert_eq!(cached.trace, fresh.trace);
+            let c: Vec<_> = cached.trace.cursor().collect();
+            let f: Vec<_> = fresh.trace.cursor().collect();
+            assert_eq!(c, f);
+        });
+    }
+
+    #[test]
+    fn distinct_conditions_are_distinct_entries() {
+        with_clean_cache(|| {
+            let spec = benchmark("sjeng").unwrap();
+            let a = Condition::quick();
+            let b = Condition { seed: 43, ..a };
+            assert_ne!(fingerprint(&spec, &a), fingerprint(&spec, &b));
+            let _ = get_or_prepare(&spec, &a).unwrap();
+            let _ = get_or_prepare(&spec, &b).unwrap();
+            assert_eq!(stats().misses, 2);
+        });
+    }
+
+    #[test]
+    fn disabled_cache_prepares_fresh_and_counts_nothing() {
+        with_clean_cache(|| {
+            set_enabled(false);
+            let spec = benchmark("sjeng").unwrap();
+            let cond = Condition::quick();
+            let a = get_or_prepare(&spec, &cond).unwrap();
+            let b = get_or_prepare(&spec, &cond).unwrap();
+            assert!(!Arc::ptr_eq(&a, &b));
+            let s = stats();
+            assert_eq!((s.hits, s.misses, s.entries), (0, 0, 0));
+            assert!(!s.enabled);
+        });
+    }
+
+    #[test]
+    fn failed_preparation_is_cached() {
+        with_clean_cache(|| {
+            let spec = benchmark("mcf").unwrap(); // 1.7 GiB footprint
+            let cond = Condition { memory_bytes: 1 << 20, ..Condition::quick() };
+            let a = get_or_prepare(&spec, &cond).unwrap_err();
+            let b = get_or_prepare(&spec, &cond).unwrap_err();
+            assert_eq!(a, b);
+            let s = stats();
+            assert_eq!((s.hits, s.misses), (1, 1));
+        });
+    }
+
+    #[test]
+    fn concurrent_lookups_prepare_once() {
+        with_clean_cache(|| {
+            let spec = benchmark("gcc").unwrap();
+            let cond = Condition::quick();
+            let prepared: Vec<_> = std::thread::scope(|scope| {
+                let handles: Vec<_> =
+                    (0..8).map(|_| scope.spawn(|| get_or_prepare(&spec, &cond).unwrap())).collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            for p in &prepared[1..] {
+                assert!(Arc::ptr_eq(&prepared[0], p));
+            }
+            let s = stats();
+            assert_eq!(s.misses, 1, "one preparation for eight workers");
+            assert_eq!(s.hits, 7);
+        });
+    }
+
+    #[test]
+    fn fifo_eviction_bounds_entries() {
+        with_clean_cache(|| {
+            // Capacity is process-wide (default 64): insert 65 distinct
+            // keys and watch the count stay bounded.
+            let spec = benchmark("sjeng").unwrap();
+            for seed in 0..65u64 {
+                let cond = Condition { seed, instructions: 50, warmup: 10, ..Condition::quick() };
+                let _ = get_or_prepare(&spec, &cond).unwrap();
+            }
+            assert!(stats().entries <= 64, "entries = {}", stats().entries);
+            assert_eq!(stats().misses, 65);
+        });
+    }
+
+    #[test]
+    fn stats_json_shape() {
+        with_clean_cache(|| {
+            let rendered = stats_json().render();
+            for field in ["\"enabled\"", "\"hits\"", "\"misses\"", "\"entries\""] {
+                assert!(rendered.contains(field), "{rendered}");
+            }
+        });
+    }
+}

@@ -168,7 +168,9 @@ fn record(profile: &ParallelismProfile) {
 
 /// The process-wide `parallelism` report block: `None` until the first
 /// sweep has executed. Aggregates every sweep run so far (a figure binary
-/// typically runs several).
+/// typically runs several). Since schema v4 it also carries the
+/// workload-preparation-cache counters (`prep_cache`) — wall-clock
+/// accounting only, never part of the scientific payload.
 pub fn parallelism_json() -> Option<Json> {
     let guard = ACCUMULATED.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     let acc = guard.as_ref()?;
@@ -182,7 +184,16 @@ pub fn parallelism_json() -> Option<Json> {
         ("worker_busy_ms", Json::arr(acc.worker_busy_ms.iter().map(|&v| Json::num(v)))),
         ("total_busy_ms", Json::num(total_busy)),
         ("speedup", Json::num(speedup)),
+        ("prep_cache", crate::prep_cache::stats_json()),
     ]))
+}
+
+/// Snapshot of the process-wide sweep accounting: `(tasks, wall_ms)`
+/// across every sweep executed so far. Used by the perf harness to
+/// derive per-figure simulated-MIPS without re-parsing reports.
+pub fn accumulated_totals() -> Option<(usize, f64)> {
+    let guard = ACCUMULATED.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    guard.as_ref().map(|acc| (acc.tasks, acc.wall_ms))
 }
 
 // ---------------------------------------------------------------------------

@@ -26,7 +26,11 @@ pub fn json_requested() -> bool {
 ///   fault-injection accounting). Present only when something
 ///   resilience-related actually happened, so fault-free payloads are
 ///   byte-identical to v2 payloads modulo the version number.
-pub const REPORT_SCHEMA_VERSION: u32 = 3;
+/// - **4** — additive: the `parallelism` block gains a `prep_cache`
+///   object (`{enabled, hits, misses, entries}`) accounting for the
+///   workload-preparation cache. Wall-clock bookkeeping only; the
+///   scientific `payload` is byte-identical to v3 payloads.
+pub const REPORT_SCHEMA_VERSION: u32 = 4;
 
 /// Wrap an artifact's payload in the standard report envelope:
 /// `{"schema_version", "artifact", "payload"}`.
@@ -90,7 +94,7 @@ mod tests {
     fn envelope_has_stable_keys() {
         let e = envelope("fig01", Json::obj([("rows", Json::arr([]))]));
         let parsed = parse(&e.render()).unwrap();
-        assert_eq!(parsed.path("schema_version").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(parsed.path("schema_version").and_then(Json::as_f64), Some(4.0));
         assert_eq!(parsed.path("artifact").and_then(Json::as_str), Some("fig01"));
         assert!(parsed.path("payload.rows").is_some());
     }
@@ -106,7 +110,7 @@ mod tests {
         );
         let parsed = parse(&with.render()).unwrap();
         assert_eq!(parsed.path("parallelism.jobs").and_then(Json::as_f64), Some(4.0));
-        assert_eq!(parsed.path("schema_version").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(parsed.path("schema_version").and_then(Json::as_f64), Some(4.0));
     }
 
     #[test]
@@ -120,7 +124,7 @@ mod tests {
             Some(Json::obj([("failures", Json::arr([Json::obj([("task", Json::u64(3))])]))])),
         );
         let parsed = parse(&faulty.render()).unwrap();
-        assert_eq!(parsed.path("schema_version").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(parsed.path("schema_version").and_then(Json::as_f64), Some(4.0));
         assert!(parsed.path("resilience.failures").is_some());
     }
 

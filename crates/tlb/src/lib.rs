@@ -196,6 +196,24 @@ impl DataTlb {
         va: VirtAddr,
         page_table: &PageTable,
     ) -> Result<TlbOutcome, PageFault> {
+        self.translate_with(va, |va| page_table.translate(va))
+    }
+
+    /// Like [`DataTlb::translate`], but the page-table walk is performed
+    /// by `walk` — letting callers interpose a software translation cache
+    /// (`sipt_mem::TranslationCache`) on the walk path without changing
+    /// what the TLB models. `walk` is invoked only on an L2 miss and must
+    /// behave exactly like [`PageTable::translate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PageFault`] when `walk` yields no translation; the fault
+    /// is also counted in [`TlbStats::faults`].
+    pub fn translate_with(
+        &mut self,
+        va: VirtAddr,
+        walk: impl FnOnce(VirtAddr) -> Option<Translation>,
+    ) -> Result<TlbOutcome, PageFault> {
         let vpn = VirtPageNum::containing(va);
         let huge_page = vpn.raw() / PAGES_PER_HUGE_PAGE;
 
@@ -237,7 +255,7 @@ impl DataTlb {
         }
 
         // Page walk.
-        let translation = match page_table.translate(va) {
+        let translation = match walk(va) {
             Some(t) => t,
             None => {
                 self.stats.faults += 1;
@@ -387,6 +405,25 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn translate_with_translation_cache_is_equivalent() {
+        // Interposing the software translation cache on the walk path
+        // must not change outcomes, latencies, or TLB statistics.
+        let pt = table_with_pages(128);
+        let mut plain = DataTlb::new(TlbConfig::default());
+        let mut cached = DataTlb::new(TlbConfig::default());
+        let mut xlat = sipt_mem::TranslationCache::with_entries(64);
+        let mut i = 7u64;
+        for _ in 0..2_000 {
+            i = (i.wrapping_mul(25) + 13) % 128; // deterministic scramble
+            let va = VirtAddr::new((i << PAGE_SHIFT) | 0x20);
+            let a = plain.translate(va, &pt).unwrap();
+            let b = cached.translate_with(va, |va| xlat.translate(&pt, va)).unwrap();
+            assert_eq!(a, b, "page {i}");
+        }
+        assert_eq!(plain.stats(), cached.stats());
     }
 
     #[test]

@@ -436,7 +436,14 @@ impl Iterator for TraceGen {
             Some(self.gen_alu())
         }
     }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining as usize;
+        (n, Some(n))
+    }
 }
+
+impl ExactSizeIterator for TraceGen {}
 
 #[cfg(test)]
 mod tests {

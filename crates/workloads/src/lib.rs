@@ -27,10 +27,12 @@
 //! ```
 
 pub mod gen;
+pub mod materialized;
 pub mod spec;
 pub mod trace_file;
 
 pub use gen::{Layout, TraceGen};
+pub use materialized::{MaterializedTrace, TraceCursor};
 pub use spec::{
     benchmark, AllocPattern, PatternMix, WorkloadSpec, BENCHMARKS, LOW_SPECULATION_APPS, MIXES,
     MIX_ONLY_BENCHMARKS,
