@@ -5,9 +5,24 @@
 //! always checking the full tag on a lookup" — and makes a speculative
 //! probe of the wrong set miss naturally instead of falsely hitting on a
 //! truncated tag match.
+//!
+//! # Data-oriented layout
+//!
+//! The array is a structure-of-arrays: one packed `Vec<u64>` of full line
+//! addresses (`sets × ways`, row-major, so one set's tags are a contiguous
+//! slice), plus one `u64` *valid* bitmask word and one *dirty* bitmask
+//! word per set (bit `w` = way `w`). A probe loads the set's valid word
+//! once and walks its set bits over the contiguous tag slice —
+//! branch-light, no `Option` discriminants, no per-way 16-byte tagged
+//! slots. Replacement state is the monomorphized
+//! [`Replacement`](crate::replacement::Replacement) enum, so the
+//! touch/victim on every access is a static call. The observable
+//! behaviour (hits, victims, evictions, dirty bits, MRU) is bit-identical
+//! to the previous `Vec<Option<Line>>` representation — pinned by the
+//! differential property test in `tests/soa_differential.rs`.
 
 use crate::geometry::{CacheGeometry, LineAddr};
-use crate::replacement::{ReplacementKind, ReplacementPolicy};
+use crate::replacement::{Replacement, ReplacementKind};
 
 /// One resident cache line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,22 +43,43 @@ pub struct Evicted {
 }
 
 /// A set-associative array of cache lines with a pluggable replacement
-/// policy.
+/// policy, stored structure-of-arrays.
 #[derive(Debug)]
 pub struct CacheArray {
     geometry: CacheGeometry,
-    ways: Vec<Option<Line>>, // sets × ways, row-major
-    repl: Box<dyn ReplacementPolicy + Send>,
+    ways: u32,
+    /// Full-mask of the low `ways` bits (`ways` ≤ 64).
+    way_mask: u64,
+    /// Packed full line addresses, sets × ways row-major. A slot's value
+    /// is meaningful only when its valid bit is set.
+    tags: Vec<u64>,
+    /// One valid bitmask word per set (bit `w` = way `w`).
+    valid: Vec<u64>,
+    /// One dirty bitmask word per set.
+    dirty: Vec<u64>,
+    repl: Replacement,
 }
 
 impl CacheArray {
     /// Create an empty array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry has more than 64 ways (valid/dirty state is
+    /// one bitmask word per set).
     pub fn new(geometry: CacheGeometry, replacement: ReplacementKind) -> Self {
         let sets = geometry.sets();
+        let ways = geometry.ways;
+        assert!(ways <= 64, "CacheArray packs per-set valid/dirty state into u64 words");
+        let way_mask = if ways == 64 { u64::MAX } else { (1u64 << ways) - 1 };
         Self {
             geometry,
-            ways: vec![None; (sets * geometry.ways as u64) as usize],
-            repl: replacement.build(sets, geometry.ways),
+            ways,
+            way_mask,
+            tags: vec![0; (sets * ways as u64) as usize],
+            valid: vec![0; sets as usize],
+            dirty: vec![0; sets as usize],
+            repl: replacement.build(sets, ways),
         }
     }
 
@@ -53,8 +89,8 @@ impl CacheArray {
     }
 
     #[inline]
-    fn slot(&self, set: u64, way: u32) -> usize {
-        (set * self.geometry.ways as u64 + way as u64) as usize
+    fn base(&self, set: u64) -> usize {
+        (set * self.ways as u64) as usize
     }
 
     /// The set a (physical) line address maps to.
@@ -64,14 +100,28 @@ impl CacheArray {
     }
 
     /// Probe `set` for `line` without updating replacement state.
+    #[inline]
     pub fn probe(&self, set: u64, line: LineAddr) -> Option<u32> {
-        (0..self.geometry.ways)
-            .find(|&w| self.ways[self.slot(set, w)].map(|l| l.line) == Some(line))
+        let base = self.base(set);
+        let tags = &self.tags[base..base + self.ways as usize];
+        let mut live = self.valid[set as usize];
+        // Walk the set bits of the valid word in ascending way order over
+        // the contiguous tag slice. At most one way can match (lines are
+        // unique per set), so the walk order does not affect the result.
+        while live != 0 {
+            let w = live.trailing_zeros();
+            if tags[w as usize] == line.0 {
+                return Some(w);
+            }
+            live &= live - 1;
+        }
+        None
     }
 
     /// Look up `line` in `set`, updating replacement state on a hit.
     /// The caller chooses the set — for SIPT this may be a *speculative*
     /// set that differs from [`CacheArray::home_set`]; such probes miss.
+    #[inline]
     pub fn lookup(&mut self, set: u64, line: LineAddr) -> Option<u32> {
         let way = self.probe(set, line)?;
         self.repl.touch(set, way);
@@ -83,33 +133,65 @@ impl CacheArray {
     /// # Panics
     ///
     /// Panics if the way is invalid.
+    #[inline]
     pub fn set_dirty(&mut self, set: u64, way: u32) {
-        let slot = self.slot(set, way);
-        self.ways[slot].as_mut().expect("set_dirty on invalid way").dirty = true;
+        assert!(
+            (self.valid[set as usize] >> way) & 1 == 1,
+            "set_dirty on invalid way: set {set} way {way}"
+        );
+        self.dirty[set as usize] |= 1u64 << way;
     }
 
     /// Fill `line` into its home set, evicting if necessary. Returns the
-    /// evicted line, if one had to make room.
+    /// evicted line, if one had to make room. See
+    /// [`CacheArray::fill_with_way`] for the variant that also reports the
+    /// chosen way.
+    #[inline]
     pub fn fill(&mut self, line: LineAddr, dirty: bool) -> Option<Evicted> {
+        self.fill_with_way(line, dirty).1
+    }
+
+    /// [`CacheArray::fill`], additionally returning the way the line was
+    /// placed in — callers training a way predictor need it and would
+    /// otherwise re-probe the set.
+    #[inline]
+    pub fn fill_with_way(&mut self, line: LineAddr, dirty: bool) -> (u32, Option<Evicted>) {
         let set = self.home_set(line);
         debug_assert!(self.probe(set, line).is_none(), "double fill of {line}");
-        // Prefer an invalid way.
-        let way = (0..self.geometry.ways)
-            .find(|&w| self.ways[self.slot(set, w)].is_none())
-            .unwrap_or_else(|| self.repl.victim(set));
-        let slot = self.slot(set, way);
-        let evicted = self.ways[slot].map(|old| Evicted { line: old.line, dirty: old.dirty });
-        self.ways[slot] = Some(Line { line, dirty });
+        let valid = self.valid[set as usize];
+        // Prefer the lowest invalid way; otherwise ask the policy.
+        let free = !valid & self.way_mask;
+        let way = if free != 0 { free.trailing_zeros() } else { self.repl.victim(set) };
+        let slot = self.base(set) + way as usize;
+        let way_bit = 1u64 << way;
+        let evicted = if valid & way_bit != 0 {
+            Some(Evicted {
+                line: LineAddr(self.tags[slot]),
+                dirty: self.dirty[set as usize] & way_bit != 0,
+            })
+        } else {
+            None
+        };
+        self.tags[slot] = line.0;
+        self.valid[set as usize] |= way_bit;
+        if dirty {
+            self.dirty[set as usize] |= way_bit;
+        } else {
+            self.dirty[set as usize] &= !way_bit;
+        }
         self.repl.touch(set, way);
-        evicted
+        (way, evicted)
     }
 
     /// Invalidate `line` wherever it resides (its home set), returning it.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<Line> {
         let set = self.home_set(line);
         let way = self.probe(set, line)?;
-        let slot = self.slot(set, way);
-        self.ways[slot].take()
+        let way_bit = 1u64 << way;
+        let was_dirty = self.dirty[set as usize] & way_bit != 0;
+        self.valid[set as usize] &= !way_bit;
+        self.dirty[set as usize] &= !way_bit;
+        Some(Line { line, dirty: was_dirty })
     }
 
     /// The most-recently-used way of `set` according to the replacement
@@ -120,17 +202,25 @@ impl CacheArray {
 
     /// The line resident in `way` of `set`, if valid.
     pub fn line_at(&self, set: u64, way: u32) -> Option<Line> {
-        self.ways[self.slot(set, way)]
+        let way_bit = 1u64 << way;
+        if self.valid[set as usize] & way_bit == 0 {
+            return None;
+        }
+        Some(Line {
+            line: LineAddr(self.tags[self.base(set) + way as usize]),
+            dirty: self.dirty[set as usize] & way_bit != 0,
+        })
     }
 
     /// Number of valid lines in the whole array.
     pub fn resident_lines(&self) -> usize {
-        self.ways.iter().filter(|w| w.is_some()).count()
+        self.valid.iter().map(|v| v.count_ones() as usize).sum()
     }
 
     /// Iterate over all resident lines.
     pub fn iter(&self) -> impl Iterator<Item = Line> + '_ {
-        self.ways.iter().flatten().copied()
+        (0..self.geometry.sets())
+            .flat_map(move |set| (0..self.ways).filter_map(move |w| self.line_at(set, w)))
     }
 }
 
@@ -209,6 +299,19 @@ mod tests {
     }
 
     #[test]
+    fn refill_after_dirty_invalidate_starts_clean() {
+        // The dirty bitmask must be scrubbed on invalidate and on clean
+        // refill — a stale bit would fabricate writebacks.
+        let mut a = tiny();
+        a.fill(LineAddr(5), true);
+        a.invalidate(LineAddr(5)).unwrap();
+        a.fill(LineAddr(5), false);
+        let set = a.home_set(LineAddr(5));
+        let way = a.probe(set, LineAddr(5)).unwrap();
+        assert!(!a.line_at(set, way).unwrap().dirty, "refilled line must be clean");
+    }
+
+    #[test]
     fn mru_way_tracks_touches() {
         let mut a = tiny();
         a.fill(LineAddr(0), false);
@@ -217,6 +320,34 @@ mod tests {
         a.lookup(set, LineAddr(0));
         let mru = a.mru_way(set).unwrap();
         assert_eq!(a.line_at(set, mru).unwrap().line, LineAddr(0));
+    }
+
+    #[test]
+    fn mru_way_is_none_for_untouched_lru_set() {
+        let a = tiny();
+        for set in 0..a.geometry().sets() {
+            assert_eq!(a.mru_way(set), None, "empty LRU set {set} must have no MRU way");
+        }
+    }
+
+    #[test]
+    fn fill_with_way_reports_placement() {
+        let mut a = tiny();
+        let (w0, ev0) = a.fill_with_way(LineAddr(0), false);
+        assert!(ev0.is_none());
+        let (w1, ev1) = a.fill_with_way(LineAddr(4), false);
+        assert!(ev1.is_none());
+        assert_ne!(w0, w1, "two lines in one 2-way set occupy distinct ways");
+        let set = a.home_set(LineAddr(0));
+        assert_eq!(a.probe(set, LineAddr(0)), Some(w0));
+        assert_eq!(a.probe(set, LineAddr(4)), Some(w1));
+    }
+
+    #[test]
+    #[should_panic(expected = "set_dirty on invalid way")]
+    fn set_dirty_panics_on_invalid_way() {
+        let mut a = tiny();
+        a.set_dirty(0, 1);
     }
 
     proptest! {

@@ -69,6 +69,7 @@ impl CacheLevel {
 
     /// Demand access: look up `line` in its home set, marking dirty on a
     /// write hit. Returns whether it hit.
+    #[inline]
     pub fn access(&mut self, line: LineAddr, write: bool) -> bool {
         self.stats.accesses += 1;
         let set = self.array.home_set(line);
@@ -89,6 +90,7 @@ impl CacheLevel {
 
     /// Fill `line`; returns the eviction (if dirty, the caller forwards it
     /// down as a writeback — this level only counts it).
+    #[inline]
     pub fn fill(&mut self, line: LineAddr, dirty: bool) -> Option<Evicted> {
         self.stats.fills += 1;
         let evicted = self.array.fill(line, dirty);
@@ -100,6 +102,7 @@ impl CacheLevel {
 
     /// Write-back absorb: mark `line` dirty if resident, else report false
     /// so the writeback continues to the next level.
+    #[inline]
     pub fn absorb_writeback(&mut self, line: LineAddr) -> bool {
         let set = self.array.home_set(line);
         match self.array.lookup(set, line) {

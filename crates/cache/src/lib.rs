@@ -39,5 +39,7 @@ pub use hierarchy::{
     FixedLatencyBackend, LowerHierarchy, MemoryBackend, ServiceLevel, ServiceResult,
 };
 pub use level::{CacheLevel, LevelStats};
-pub use replacement::{RandomRepl, ReplacementKind, ReplacementPolicy, TreePlru, TrueLru};
+pub use replacement::{
+    RandomRepl, Replacement, ReplacementKind, ReplacementPolicy, TreePlru, TrueLru,
+};
 pub use waypred::{WayPredStats, WayPredictor};

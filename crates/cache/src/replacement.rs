@@ -3,13 +3,23 @@
 //! The paper's caches use LRU; tree-PLRU and random are provided both as
 //! ablation points and because tree-PLRU's MRU-tracking is what the simple
 //! way predictor of §VII.A reads.
+//!
+//! The hot path is **monomorphized**: [`CacheArray`](crate::CacheArray)
+//! holds a [`Replacement`] enum, so every `touch`/`victim` on the
+//! per-access kernel is a static, inlinable match instead of a
+//! `Box<dyn ReplacementPolicy>` virtual call. The [`ReplacementPolicy`]
+//! trait remains for callers that want dynamic dispatch (reference models,
+//! tests); the concrete policies implement both.
 
 use sipt_rng::{Rng, SeedableRng, StdRng};
 
-/// A replacement policy for one cache array.
+/// A replacement policy for one cache array (dynamic-dispatch facade).
 ///
 /// Implementations are per-array objects: they are told the array shape at
 /// construction and receive touch/fill/victim callbacks per set and way.
+/// The simulator's own arrays use the monomorphized [`Replacement`] enum
+/// instead; this trait exists for reference models and ablation harnesses
+/// that want to plug in policies at runtime.
 pub trait ReplacementPolicy: core::fmt::Debug {
     /// Record an access (hit or fill) to `way` of `set`.
     fn touch(&mut self, set: u64, way: u32);
@@ -22,6 +32,64 @@ pub trait ReplacementPolicy: core::fmt::Debug {
     /// The MRU way predictor consults this; policies that cannot answer
     /// return `None` and way prediction degrades to way 0.
     fn mru_way(&self, set: u64) -> Option<u32>;
+}
+
+/// Monomorphized replacement state: one enum, statically dispatched on the
+/// per-access kernel. Constructed via [`ReplacementKind::build`].
+#[derive(Debug)]
+pub enum Replacement {
+    /// Exact least-recently-used (timestamps).
+    Lru(TrueLru),
+    /// Tree pseudo-LRU (packed bit tree).
+    TreePlru(TreePlru),
+    /// Uniform random (deterministic seed).
+    Random(RandomRepl),
+}
+
+impl Replacement {
+    /// Record an access (hit or fill) to `way` of `set`.
+    #[inline]
+    pub fn touch(&mut self, set: u64, way: u32) {
+        match self {
+            Replacement::Lru(p) => p.touch(set, way),
+            Replacement::TreePlru(p) => p.touch(set, way),
+            Replacement::Random(p) => p.touch(set, way),
+        }
+    }
+
+    /// Choose the victim way for `set` (only called on a full set).
+    #[inline]
+    pub fn victim(&mut self, set: u64) -> u32 {
+        match self {
+            Replacement::Lru(p) => p.victim(set),
+            Replacement::TreePlru(p) => p.victim(set),
+            Replacement::Random(p) => p.victim(set),
+        }
+    }
+
+    /// The most-recently-used way of `set`, if tracked.
+    #[inline]
+    pub fn mru_way(&self, set: u64) -> Option<u32> {
+        match self {
+            Replacement::Lru(p) => p.mru_way(set),
+            Replacement::TreePlru(p) => p.mru_way(set),
+            Replacement::Random(p) => p.mru_way(set),
+        }
+    }
+}
+
+impl ReplacementPolicy for Replacement {
+    fn touch(&mut self, set: u64, way: u32) {
+        Replacement::touch(self, set, way);
+    }
+
+    fn victim(&mut self, set: u64) -> u32 {
+        Replacement::victim(self, set)
+    }
+
+    fn mru_way(&self, set: u64) -> Option<u32> {
+        Replacement::mru_way(self, set)
+    }
 }
 
 /// True-LRU: exact recency order per set via timestamps.
@@ -42,31 +110,80 @@ impl TrueLru {
     fn slot(&self, set: u64, way: u32) -> usize {
         (set * self.ways as u64 + way as u64) as usize
     }
-}
 
-impl ReplacementPolicy for TrueLru {
-    fn touch(&mut self, set: u64, way: u32) {
+    /// Record an access to `way` of `set`.
+    #[inline]
+    pub fn touch(&mut self, set: u64, way: u32) {
         self.clock += 1;
         let slot = self.slot(set, way);
         self.last_use[slot] = self.clock;
     }
 
+    /// Least-recently-used way of `set` (ties — never-touched ways — break
+    /// toward the lowest way index, matching `Iterator::min_by_key`).
+    #[inline]
+    pub fn victim(&mut self, set: u64) -> u32 {
+        let base = self.slot(set, 0);
+        let stamps = &self.last_use[base..base + self.ways as usize];
+        let mut best_way = 0u32;
+        let mut best = stamps[0];
+        for (w, &t) in stamps.iter().enumerate().skip(1) {
+            // Strict `<`: the first minimum wins, as min_by_key guarantees.
+            if t < best {
+                best = t;
+                best_way = w as u32;
+            }
+        }
+        best_way
+    }
+
+    /// Most-recently-used way of `set`, or `None` if the set has never
+    /// been touched. (Timestamps are unique after a touch, so no
+    /// tie-breaking is ever needed among real accesses — but a fabricated
+    /// MRU for an untouched set would make the §VII.A way predictor
+    /// "predict" a way in an empty set.)
+    #[inline]
+    pub fn mru_way(&self, set: u64) -> Option<u32> {
+        let base = self.slot(set, 0);
+        let stamps = &self.last_use[base..base + self.ways as usize];
+        let mut best_way = None;
+        let mut best = 0u64;
+        for (w, &t) in stamps.iter().enumerate() {
+            // Strictly positive: timestamp 0 means "never touched".
+            if t > best {
+                best = t;
+                best_way = Some(w as u32);
+            }
+        }
+        best_way
+    }
+}
+
+impl ReplacementPolicy for TrueLru {
+    fn touch(&mut self, set: u64, way: u32) {
+        TrueLru::touch(self, set, way);
+    }
+
     fn victim(&mut self, set: u64) -> u32 {
-        (0..self.ways).min_by_key(|&w| self.last_use[self.slot(set, w)]).expect("at least one way")
+        TrueLru::victim(self, set)
     }
 
     fn mru_way(&self, set: u64) -> Option<u32> {
-        (0..self.ways).max_by_key(|&w| self.last_use[self.slot(set, w)])
+        TrueLru::mru_way(self, set)
     }
 }
 
 /// Tree-PLRU: the classic pseudo-LRU binary tree, one bit per internal
 /// node. Matches what commercial L1s actually implement.
+///
+/// The `ways - 1` tree bits of each set are packed into one `u64` word
+/// (bit *i* = within-tree node *i*), so a touch or victim walk reads and
+/// writes a single word instead of chasing a `Vec<bool>`.
 #[derive(Debug, Clone)]
 pub struct TreePlru {
     ways: u32,
-    /// One tree of `ways - 1` bits per set, flattened.
-    bits: Vec<bool>,
+    /// One packed tree word per set: bit `i` is within-tree node `i`.
+    bits: Vec<u64>,
     /// Last touched way per set (for `mru_way`).
     mru: Vec<u32>,
 }
@@ -76,69 +193,86 @@ impl TreePlru {
     ///
     /// # Panics
     ///
-    /// Panics unless `ways` is a power of two.
+    /// Panics unless `ways` is a power of two no larger than 64 (so the
+    /// `ways - 1` tree bits fit one word).
     pub fn new(sets: u64, ways: u32) -> Self {
         assert!(ways.is_power_of_two(), "tree-PLRU needs power-of-two ways");
-        Self {
-            ways,
-            bits: vec![false; (sets * (ways as u64 - 1).max(1)) as usize],
-            mru: vec![0; sets as usize],
-        }
+        assert!(ways <= 64, "tree-PLRU packs each set's tree into one u64 word");
+        Self { ways, bits: vec![0; sets as usize], mru: vec![0; sets as usize] }
     }
 
+    /// Record an access to `way` of `set`: every node on the root-to-leaf
+    /// path is pointed *away* from the touched way.
     #[inline]
-    fn tree_base(&self, set: u64) -> usize {
-        (set * (self.ways as u64 - 1).max(1)) as usize
-    }
-}
-
-impl ReplacementPolicy for TreePlru {
-    fn touch(&mut self, set: u64, way: u32) {
+    pub fn touch(&mut self, set: u64, way: u32) {
         self.mru[set as usize] = way;
         if self.ways == 1 {
             return;
         }
-        // Walk from root to the leaf `way`, pointing each node AWAY from it.
-        let base = self.tree_base(set);
-        let mut node = 0usize; // within-tree index
+        let mut word = self.bits[set as usize];
+        let mut node = 0u32; // within-tree index
         let mut lo = 0u32;
         let mut hi = self.ways;
         while hi - lo > 1 {
             let mid = (lo + hi) / 2;
             let goes_right = way >= mid;
-            self.bits[base + node] = !goes_right; // point to the other half
-            node = 2 * node + if goes_right { 2 } else { 1 };
+            // Point the node to the other half: set the bit when the
+            // touched way went left, clear it when it went right.
             if goes_right {
+                word &= !(1u64 << node);
+                node = 2 * node + 2;
                 lo = mid;
             } else {
+                word |= 1u64 << node;
+                node = 2 * node + 1;
                 hi = mid;
             }
         }
+        self.bits[set as usize] = word;
     }
 
-    fn victim(&mut self, set: u64) -> u32 {
+    /// Follow the tree bits from the root to the pseudo-LRU leaf.
+    #[inline]
+    pub fn victim(&mut self, set: u64) -> u32 {
         if self.ways == 1 {
             return 0;
         }
-        let base = self.tree_base(set);
-        let mut node = 0usize;
+        let word = self.bits[set as usize];
+        let mut node = 0u32;
         let mut lo = 0u32;
         let mut hi = self.ways;
         while hi - lo > 1 {
             let mid = (lo + hi) / 2;
-            let go_right = self.bits[base + node];
-            node = 2 * node + if go_right { 2 } else { 1 };
+            let go_right = (word >> node) & 1 == 1;
             if go_right {
+                node = 2 * node + 2;
                 lo = mid;
             } else {
+                node = 2 * node + 1;
                 hi = mid;
             }
         }
         lo
     }
 
-    fn mru_way(&self, set: u64) -> Option<u32> {
+    /// The last touched way of `set`.
+    #[inline]
+    pub fn mru_way(&self, set: u64) -> Option<u32> {
         Some(self.mru[set as usize])
+    }
+}
+
+impl ReplacementPolicy for TreePlru {
+    fn touch(&mut self, set: u64, way: u32) {
+        TreePlru::touch(self, set, way);
+    }
+
+    fn victim(&mut self, set: u64) -> u32 {
+        TreePlru::victim(self, set)
+    }
+
+    fn mru_way(&self, set: u64) -> Option<u32> {
+        TreePlru::mru_way(self, set)
     }
 }
 
@@ -156,20 +290,39 @@ impl RandomRepl {
     pub fn new(sets: u64, ways: u32) -> Self {
         Self { ways, mru: vec![0; sets as usize], rng: StdRng::seed_from_u64(0xCAC4E) }
     }
-}
 
-impl ReplacementPolicy for RandomRepl {
-    fn touch(&mut self, set: u64, way: u32) {
+    /// Record an access to `way` of `set` (tracks MRU only).
+    #[inline]
+    pub fn touch(&mut self, set: u64, way: u32) {
         self.mru[set as usize] = way;
     }
 
-    fn victim(&mut self, set: u64) -> u32 {
+    /// Draw a uniform victim way (one RNG draw per call; the sequence is
+    /// part of the simulated behaviour and must not be reordered).
+    #[inline]
+    pub fn victim(&mut self, set: u64) -> u32 {
         let _ = set;
         self.rng.gen_range(0..self.ways)
     }
 
-    fn mru_way(&self, set: u64) -> Option<u32> {
+    /// The last touched way of `set`.
+    #[inline]
+    pub fn mru_way(&self, set: u64) -> Option<u32> {
         Some(self.mru[set as usize])
+    }
+}
+
+impl ReplacementPolicy for RandomRepl {
+    fn touch(&mut self, set: u64, way: u32) {
+        RandomRepl::touch(self, set, way);
+    }
+
+    fn victim(&mut self, set: u64) -> u32 {
+        RandomRepl::victim(self, set)
+    }
+
+    fn mru_way(&self, set: u64) -> Option<u32> {
+        RandomRepl::mru_way(self, set)
     }
 }
 
@@ -186,8 +339,19 @@ pub enum ReplacementKind {
 }
 
 impl ReplacementKind {
-    /// Instantiate policy state for an array of `sets` × `ways`.
-    pub fn build(self, sets: u64, ways: u32) -> Box<dyn ReplacementPolicy + Send> {
+    /// Instantiate monomorphized policy state for an array of
+    /// `sets` × `ways` — this is what [`crate::CacheArray`] embeds.
+    pub fn build(self, sets: u64, ways: u32) -> Replacement {
+        match self {
+            ReplacementKind::Lru => Replacement::Lru(TrueLru::new(sets, ways)),
+            ReplacementKind::TreePlru => Replacement::TreePlru(TreePlru::new(sets, ways)),
+            ReplacementKind::Random => Replacement::Random(RandomRepl::new(sets, ways)),
+        }
+    }
+
+    /// Instantiate boxed, dynamically-dispatched policy state (reference
+    /// models and harnesses that need runtime plugging).
+    pub fn build_dyn(self, sets: u64, ways: u32) -> Box<dyn ReplacementPolicy + Send> {
         match self {
             ReplacementKind::Lru => Box::new(TrueLru::new(sets, ways)),
             ReplacementKind::TreePlru => Box::new(TreePlru::new(sets, ways)),
@@ -211,6 +375,27 @@ mod tests {
         assert_eq!(lru.mru_way(0), Some(0));
         // Other set untouched: victim is way 0 (all timestamps zero).
         assert_eq!(lru.victim(1), 0);
+    }
+
+    #[test]
+    fn true_lru_mru_way_is_none_until_first_touch() {
+        // Regression: a never-touched set must not fabricate an MRU way
+        // (the way predictor would otherwise "predict" into an empty set).
+        let lru = TrueLru::new(4, 8);
+        for set in 0..4 {
+            assert_eq!(lru.mru_way(set), None, "untouched set {set} has no MRU way");
+        }
+        let mut lru = TrueLru::new(4, 8);
+        lru.touch(2, 5);
+        assert_eq!(lru.mru_way(2), Some(5));
+        assert_eq!(lru.mru_way(0), None, "other sets remain untouched");
+        // The monomorphized enum and the dyn facade agree.
+        let mut e = ReplacementKind::Lru.build(2, 4);
+        assert_eq!(e.mru_way(0), None);
+        e.touch(0, 3);
+        assert_eq!(e.mru_way(0), Some(3));
+        let d = ReplacementKind::Lru.build_dyn(2, 4);
+        assert_eq!(d.mru_way(1), None);
     }
 
     #[test]
@@ -238,6 +423,59 @@ mod tests {
     }
 
     #[test]
+    fn tree_plru_packed_bits_match_boolean_reference() {
+        // The packed u64 tree must walk exactly like the old Vec<bool>
+        // tree. Reference: same touch algorithm over explicit booleans.
+        #[derive(Debug)]
+        struct BoolTree {
+            ways: u32,
+            bits: Vec<bool>,
+        }
+        impl BoolTree {
+            fn touch(&mut self, way: u32) {
+                let (mut node, mut lo, mut hi) = (0usize, 0u32, self.ways);
+                while hi - lo > 1 {
+                    let mid = (lo + hi) / 2;
+                    let goes_right = way >= mid;
+                    self.bits[node] = !goes_right;
+                    node = 2 * node + if goes_right { 2 } else { 1 };
+                    if goes_right {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+            }
+            fn victim(&self) -> u32 {
+                let (mut node, mut lo, mut hi) = (0usize, 0u32, self.ways);
+                while hi - lo > 1 {
+                    let mid = (lo + hi) / 2;
+                    let go_right = self.bits[node];
+                    node = 2 * node + if go_right { 2 } else { 1 };
+                    if go_right {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                lo
+            }
+        }
+        for ways in [2u32, 4, 8, 16, 64] {
+            let mut packed = TreePlru::new(1, ways);
+            let mut reference = BoolTree { ways, bits: vec![false; ways as usize - 1] };
+            let mut x = 0x9E37u64;
+            for _ in 0..200 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let way = (x >> 33) as u32 % ways;
+                packed.touch(0, way);
+                reference.touch(way);
+                assert_eq!(packed.victim(0), reference.victim(), "ways={ways} way={way}");
+            }
+        }
+    }
+
+    #[test]
     fn random_replacement_stays_in_range() {
         let mut r = RandomRepl::new(4, 8);
         for set in 0..4 {
@@ -256,6 +494,9 @@ mod tests {
             p.touch(0, 2);
             assert!(p.victim(0) < 4);
             assert!(!format!("{p:?}").is_empty());
+            let mut d = kind.build_dyn(4, 4);
+            d.touch(0, 2);
+            assert!(d.victim(0) < 4);
         }
         assert_eq!(ReplacementKind::default(), ReplacementKind::Lru);
     }

@@ -302,10 +302,9 @@ impl SiptL1 {
     /// Fill a line after the lower hierarchy serviced a miss. Returns the
     /// evicted line (the caller forwards dirty evictions as writebacks).
     pub fn fill(&mut self, line: LineAddr, dirty: bool) -> Option<Evicted> {
-        let evicted = self.array.fill(line, dirty);
+        let (way, evicted) = self.array.fill_with_way(line, dirty);
         if let Some(wp) = &mut self.way_pred {
             let set = self.array.home_set(line);
-            let way = self.array.probe(set, line).expect("line was just filled");
             wp.record_miss(set, way);
         }
         if evicted.is_some_and(|e| e.dirty) {
@@ -558,12 +557,13 @@ mod tests {
         l1.access(0x10, va_ok, xlate(va_ok, 0x5), TLB_LAT, false);
         l1.access(0x20, va_bad, xlate(va_bad, 0b10), TLB_LAT, false);
         let t = l1.telemetry().unwrap();
-        assert_eq!(t.metrics.counter("l1.accesses"), 2);
-        assert_eq!(t.metrics.counter("l1.fast_hit"), 1);
-        assert_eq!(t.metrics.counter("l1.replay"), 1);
-        assert_eq!(t.metrics.histogram("l1.latency").unwrap().count(), 2);
+        let m = t.metrics();
+        assert_eq!(m.counter("l1.accesses"), 2);
+        assert_eq!(m.counter("l1.fast_hit"), 1);
+        assert_eq!(m.counter("l1.replay"), 1);
+        assert_eq!(m.histogram("l1.latency").unwrap().count(), 2);
         // The replay's latency lands in the replay histogram.
-        let replays = t.metrics.histogram("l1.replay_latency").unwrap();
+        let replays = m.histogram("l1.replay_latency").unwrap();
         assert_eq!(replays.count(), 1);
         assert_eq!(replays.max(), Some(4)); // max(2,2) + 2
                                             // Events carry the speculated-vs-actual bits.
@@ -585,19 +585,20 @@ mod tests {
             l1.access(0x44, va, xlate(va, vpn + 3), TLB_LAT, false);
         }
         let t = l1.telemetry().unwrap();
-        assert!(t.metrics.counter("l1.idb_corrected") > 50, "IDB conversions must be traced");
+        assert!(t.metrics().counter("l1.idb_corrected") > 50, "IDB conversions must be traced");
         assert_eq!(
-            t.metrics.counter("l1.idb_corrected"),
+            t.metrics().counter("l1.idb_corrected"),
             l1.stats().idb_hits,
             "telemetry and SiptStats must agree"
         );
         // The observed-delta histogram saw the constant delta 3.
-        let deltas = t.metrics.histogram("l1.idb_delta").unwrap();
+        let m = t.metrics();
+        let deltas = m.histogram("l1.idb_delta").unwrap();
         assert_eq!(deltas.count(), 100);
         assert_eq!(deltas.min(), Some(3));
         assert_eq!(deltas.max(), Some(3));
         // Margins were recorded for every speculative access.
-        assert_eq!(t.metrics.histogram("l1.margin").unwrap().count(), 100);
+        assert_eq!(m.histogram("l1.margin").unwrap().count(), 100);
     }
 
     #[test]
@@ -612,9 +613,9 @@ mod tests {
         }
         let t = l1.telemetry().unwrap();
         let s = l1.stats();
-        assert_eq!(t.metrics.counter("l1.bypass_wait"), s.correct_bypass);
-        assert_eq!(t.metrics.counter("l1.opportunity_loss"), s.opportunity_loss);
-        assert_eq!(t.metrics.counter("l1.fast_hit"), s.correct_speculation);
+        assert_eq!(t.metrics().counter("l1.bypass_wait"), s.correct_bypass);
+        assert_eq!(t.metrics().counter("l1.opportunity_loss"), s.opportunity_loss);
+        assert_eq!(t.metrics().counter("l1.fast_hit"), s.correct_speculation);
         assert!(t.tracer.is_empty(), "capacity 0 retains nothing");
         assert_eq!(t.tracer.recorded(), 200);
     }

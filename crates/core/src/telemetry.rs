@@ -3,10 +3,20 @@
 //! SIPT's evaluation lives in distributions, not just totals: how the
 //! replay penalty is distributed, how confident the perceptron was when
 //! it was wrong, what VA→PA index deltas the IDB actually sees. This
-//! module bundles a [`MetricsRegistry`] and an [`EventTracer`] into one
+//! module bundles hot-path accumulators and an [`EventTracer`] into one
 //! optional attachment ([`SiptL1::attach_telemetry`]) so the hot path
 //! stays branch-cheap when observability is off (a single `Option`
 //! check) and fully instrumented when it is on.
+//!
+//! ## Hot-path layout
+//!
+//! [`L1Telemetry::record`] runs on **every** access of an instrumented
+//! run, so it accumulates into plain `u64` fields and inline
+//! [`Log2Histogram`]s — no per-record map lookups. The named
+//! [`MetricsRegistry`] view is materialized lazily by
+//! [`L1Telemetry::metrics`]; its snapshot is byte-identical to what
+//! per-record `incr`/`observe` calls would have produced (names absent
+//! until first touched, same values, same key order).
 //!
 //! Metric names emitted (all under the `l1.` prefix):
 //!
@@ -21,7 +31,32 @@
 //!
 //! [`SiptL1::attach_telemetry`]: crate::SiptL1::attach_telemetry
 
-use sipt_telemetry::{EventTracer, MetricsRegistry, SpecEvent, SpecEventKind};
+use sipt_telemetry::{EventTracer, Log2Histogram, MetricsRegistry, SpecEvent, SpecEventKind};
+
+/// Every event kind, in a fixed order matching the accumulator array.
+const KINDS: [SpecEventKind; 7] = [
+    SpecEventKind::FastHit,
+    SpecEventKind::Replay,
+    SpecEventKind::BypassWait,
+    SpecEventKind::OpportunityLoss,
+    SpecEventKind::IdbCorrected,
+    SpecEventKind::IdbMispredict,
+    SpecEventKind::NotSpeculative,
+];
+
+/// The accumulator-array slot of each event kind.
+#[inline]
+fn kind_index(kind: SpecEventKind) -> usize {
+    match kind {
+        SpecEventKind::FastHit => 0,
+        SpecEventKind::Replay => 1,
+        SpecEventKind::BypassWait => 2,
+        SpecEventKind::OpportunityLoss => 3,
+        SpecEventKind::IdbCorrected => 4,
+        SpecEventKind::IdbMispredict => 5,
+        SpecEventKind::NotSpeculative => 6,
+    }
+}
 
 /// The static counter name for each event kind (`l1.<wire name>`).
 fn counter_name(kind: SpecEventKind) -> &'static str {
@@ -60,13 +95,23 @@ pub struct AccessRecord {
 /// Metrics + event trace attached to one [`SiptL1`](crate::SiptL1).
 #[derive(Debug)]
 pub struct L1Telemetry {
-    /// Named counters/histograms (see module docs for the name schema).
-    pub metrics: MetricsRegistry,
     /// Ring buffer of recent speculation events.
     pub tracer: EventTracer,
     /// Access ordinal, used as the event "cycle" — the L1 has no cycle
     /// clock of its own; callers that do can correlate via the ordinal.
     ordinal: u64,
+    /// Demand-probe hits.
+    hits: u64,
+    /// Per-kind event counts, indexed by [`kind_index`].
+    kind_counts: [u64; 7],
+    /// `l1.latency`: every access.
+    latency: Log2Histogram,
+    /// `l1.replay_latency`: replays and IDB mispredictions only.
+    replay_latency: Log2Histogram,
+    /// `l1.margin`: speculative accesses only.
+    margin: Log2Histogram,
+    /// `l1.idb_delta`: observed VA→PA index deltas.
+    idb_delta: Log2Histogram,
 }
 
 impl L1Telemetry {
@@ -74,9 +119,14 @@ impl L1Telemetry {
     /// events (0 disables event retention but keeps metrics).
     pub fn new(trace_capacity: usize) -> Self {
         Self {
-            metrics: MetricsRegistry::new(),
             tracer: EventTracer::new(trace_capacity),
             ordinal: 0,
+            hits: 0,
+            kind_counts: [0; 7],
+            latency: Log2Histogram::default(),
+            replay_latency: Log2Histogram::default(),
+            margin: Log2Histogram::default(),
+            idb_delta: Log2Histogram::default(),
         }
     }
 
@@ -85,30 +135,53 @@ impl L1Telemetry {
         self.ordinal
     }
 
+    /// The named-metrics view of everything recorded so far, materialized
+    /// on demand. Names appear only once their value has been touched —
+    /// exactly as if every [`L1Telemetry::record`] had gone through the
+    /// registry directly — so snapshots and report JSON are unchanged by
+    /// the hot-path accumulator layout.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        if self.ordinal > 0 {
+            m.count("l1.accesses", self.ordinal);
+        }
+        if self.hits > 0 {
+            m.count("l1.hits", self.hits);
+        }
+        for kind in KINDS {
+            let n = self.kind_counts[kind_index(kind)];
+            if n > 0 {
+                m.count(counter_name(kind), n);
+            }
+        }
+        for (name, hist) in [
+            ("l1.latency", &self.latency),
+            ("l1.replay_latency", &self.replay_latency),
+            ("l1.margin", &self.margin),
+            ("l1.idb_delta", &self.idb_delta),
+        ] {
+            if hist.count() > 0 {
+                m.set_histogram(name, hist.clone());
+            }
+        }
+        m
+    }
+
     /// Record one access (called from `SiptL1::access`).
+    #[inline]
     pub(crate) fn record(&mut self, rec: &AccessRecord) {
         self.ordinal += 1;
-        self.metrics.incr("l1.accesses");
-        if rec.hit {
-            self.metrics.incr("l1.hits");
-        }
-        self.metrics.incr(counter_name(rec.kind));
-        self.metrics.observe("l1.latency", rec.latency);
-        match rec.kind {
-            SpecEventKind::Replay | SpecEventKind::IdbMispredict => {
-                self.metrics.observe("l1.replay_latency", rec.latency);
-            }
-            SpecEventKind::FastHit
-            | SpecEventKind::BypassWait
-            | SpecEventKind::OpportunityLoss
-            | SpecEventKind::IdbCorrected
-            | SpecEventKind::NotSpeculative => {}
+        self.hits += u64::from(rec.hit);
+        self.kind_counts[kind_index(rec.kind)] += 1;
+        self.latency.record(rec.latency);
+        if matches!(rec.kind, SpecEventKind::Replay | SpecEventKind::IdbMispredict) {
+            self.replay_latency.record(rec.latency);
         }
         if rec.kind != SpecEventKind::NotSpeculative {
-            self.metrics.observe("l1.margin", rec.margin);
+            self.margin.record(rec.margin);
         }
         if let Some(delta) = rec.observed_delta {
-            self.metrics.observe("l1.idb_delta", delta);
+            self.idb_delta.record(delta);
         }
         self.tracer.push(SpecEvent {
             cycle: self.ordinal,
@@ -119,5 +192,81 @@ impl L1Telemetry {
             latency: rec.latency,
             margin: rec.margin,
         });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The materialized registry must be indistinguishable from one fed
+    /// per-record `incr`/`observe` calls — same names, same values, same
+    /// absent-until-touched behaviour.
+    #[test]
+    fn materialized_metrics_match_direct_registry_feed() {
+        let mut t = L1Telemetry::new(8);
+        let mut direct = MetricsRegistry::new();
+        let kinds = [
+            (SpecEventKind::FastHit, true, 2, 3, None),
+            (SpecEventKind::Replay, false, 9, 1, None),
+            (SpecEventKind::IdbCorrected, true, 4, 2, Some(1)),
+            (SpecEventKind::NotSpeculative, true, 6, 0, None),
+            (SpecEventKind::Replay, true, 11, 2, Some(3)),
+        ];
+        for (i, &(kind, hit, latency, margin, delta)) in kinds.iter().enumerate() {
+            t.record(&AccessRecord {
+                pc: i as u64,
+                kind,
+                speculated_bits: 0,
+                actual_bits: 0,
+                latency,
+                margin,
+                hit,
+                observed_delta: delta,
+            });
+            direct.incr("l1.accesses");
+            if hit {
+                direct.incr("l1.hits");
+            }
+            direct.incr(counter_name(kind));
+            direct.observe("l1.latency", latency);
+            if matches!(kind, SpecEventKind::Replay | SpecEventKind::IdbMispredict) {
+                direct.observe("l1.replay_latency", latency);
+            }
+            if kind != SpecEventKind::NotSpeculative {
+                direct.observe("l1.margin", margin);
+            }
+            if let Some(d) = delta {
+                direct.observe("l1.idb_delta", d);
+            }
+        }
+        assert_eq!(t.metrics().snapshot(), direct.snapshot());
+        assert_eq!(t.metrics().snapshot().to_json().render(), direct.snapshot().to_json().render());
+    }
+
+    /// Untouched names stay absent (the lazily-created-entry contract).
+    #[test]
+    fn untouched_metrics_stay_absent() {
+        let t = L1Telemetry::new(4);
+        let snap = t.metrics().snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.histograms.is_empty());
+
+        let mut t = L1Telemetry::new(4);
+        t.record(&AccessRecord {
+            pc: 0,
+            kind: SpecEventKind::NotSpeculative,
+            speculated_bits: 0,
+            actual_bits: 0,
+            latency: 4,
+            margin: 0,
+            hit: false,
+            observed_delta: None,
+        });
+        let snap = t.metrics().snapshot();
+        assert_eq!(snap.counters.get("l1.accesses"), Some(&1));
+        assert!(!snap.counters.contains_key("l1.hits"));
+        assert!(!snap.histograms.contains_key("l1.margin"));
+        assert!(snap.histograms.contains_key("l1.latency"));
     }
 }

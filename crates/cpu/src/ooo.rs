@@ -11,7 +11,6 @@
 //! fraction of a full pipeline model's cost.
 
 use crate::trace::{CoreResult, Inst, MemOp, MemoryPath, NUM_REGS};
-use std::collections::VecDeque;
 
 /// OOO core configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,8 +41,12 @@ where
 {
     assert!(config.width > 0 && config.rob > 0 && config.mem_ports > 0);
     let mut reg_ready = [0u64; NUM_REGS];
-    // Retire times of the last `rob` instructions (for ROB occupancy).
-    let mut rob_retire: VecDeque<u64> = VecDeque::with_capacity(config.rob);
+    // Retire times of the last `rob` instructions (for ROB occupancy),
+    // kept as a flat ring: instruction `i` reads and then overwrites slot
+    // `i % rob`, which is exactly the pop-front/push-back FIFO of a
+    // `VecDeque` bounded at `rob` entries — without the deque's wrap
+    // arithmetic and branchy len tracking on the hot path.
+    let mut rob_retire: Vec<u64> = vec![0u64; config.rob];
     // Commit bookkeeping in 1/width-cycle slots: enforces in-order retire
     // at no more than `width` instructions per cycle.
     let mut retire_slot = 0u64;
@@ -58,13 +61,13 @@ where
 
     for (i, inst) in insts.into_iter().enumerate() {
         let i = i as u64;
-        // Dispatch: fetch bandwidth + ROB space.
+        // Dispatch: fetch bandwidth + ROB space. The ring slot holds the
+        // retire time of instruction `i - rob` (0 while the ROB is still
+        // filling, because the ring starts zeroed and `retire_slot/width`
+        // of real instructions is never needed before `i >= rob`).
         let fetch_time = i / config.width as u64;
-        let rob_free = if rob_retire.len() == config.rob {
-            rob_retire.pop_front().expect("rob non-empty")
-        } else {
-            0
-        };
+        let ring_slot = (i as usize) % config.rob;
+        let rob_free = if i >= config.rob as u64 { rob_retire[ring_slot] } else { 0 };
         let dispatch = fetch_time.max(rob_free);
 
         // Operand readiness.
@@ -100,7 +103,7 @@ where
 
         // In-order retirement at commit width.
         retire_slot = (complete * width).max(retire_slot + 1);
-        rob_retire.push_back(retire_slot / width);
+        rob_retire[ring_slot] = retire_slot / width;
         n += 1;
     }
 

@@ -134,6 +134,7 @@ pub fn pack_inst_meta(inst: &Inst) -> u32 {
 
 /// Whether a packed metadata word references memory (i.e. whether
 /// [`unpack_inst_meta`] needs a virtual address).
+#[inline]
 pub fn meta_has_mem(meta: u32) -> bool {
     meta & META_HAS_MEM != 0
 }
@@ -144,6 +145,7 @@ pub fn meta_has_mem(meta: u32) -> bool {
 /// # Panics
 ///
 /// Panics if the word references memory but no `va` was supplied.
+#[inline]
 pub fn unpack_inst_meta(meta: u32, pc: u64, va: Option<VirtAddr>) -> Inst {
     let reg = |shift: u32, present: u32| -> Option<Reg> {
         (meta & (1 << present) != 0).then(|| ((meta >> shift) & 0x3F) as Reg)

@@ -167,6 +167,7 @@ impl Machine {
 }
 
 impl MemoryPath for Machine {
+    #[inline]
     fn access(&mut self, pc: u64, mem: MemRef, now: u64) -> MemResponse {
         // Disjoint field borrows: the TLB walk closure consults the
         // software translation cache in front of the page table.

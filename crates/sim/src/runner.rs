@@ -316,7 +316,7 @@ pub(crate) fn collect(name: &str, core: CoreResult, machine: &Machine) -> RunMet
         energy,
         huge_fraction: machine.address_space().huge_page_fraction(),
         phases: PhaseProfile::default(),
-        l1_metrics: machine.l1().telemetry().map(|t| t.metrics.snapshot()),
+        l1_metrics: machine.l1().telemetry().map(|t| t.metrics().snapshot()),
     }
 }
 

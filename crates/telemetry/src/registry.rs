@@ -50,6 +50,16 @@ impl MetricsRegistry {
         self.histograms.entry(name).or_default().record_magnitude(value);
     }
 
+    /// Install a pre-accumulated histogram under `name`, replacing any
+    /// existing one. Producers that accumulate into a plain
+    /// [`Log2Histogram`] on their hot path (avoiding the per-record map
+    /// lookup) use this to materialize the registry lazily; the snapshot
+    /// is indistinguishable from one built with per-record
+    /// [`MetricsRegistry::observe`] calls.
+    pub fn set_histogram(&mut self, name: &'static str, hist: Log2Histogram) {
+        self.histograms.insert(name, hist);
+    }
+
     /// Current value of a counter (0 if never touched).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)

@@ -120,6 +120,7 @@ impl EventTracer {
     }
 
     /// Record one event, evicting the oldest when full.
+    #[inline]
     pub fn push(&mut self, event: SpecEvent) {
         self.recorded += 1;
         if self.capacity == 0 {

@@ -209,6 +209,7 @@ impl DataTlb {
     ///
     /// Returns [`PageFault`] when `walk` yields no translation; the fault
     /// is also counted in [`TlbStats::faults`].
+    #[inline]
     pub fn translate_with(
         &mut self,
         va: VirtAddr,
@@ -218,6 +219,8 @@ impl DataTlb {
         let huge_page = vpn.raw() / PAGES_PER_HUGE_PAGE;
 
         // L1 probes (both granularities probed in parallel in hardware).
+        // This is the hot path: for the dominant L1-TLB-hit access it does
+        // one flat-slab key scan and a handful of shifts — no heap traffic.
         if let Some(entry) = self.l1_base.get(&vpn.raw()).copied() {
             let translation = Self::materialize(va, vpn, entry.first_pfn, PageSize::Base4K);
             self.stats.l1_hits += 1;
@@ -236,7 +239,19 @@ impl DataTlb {
                 cycles: self.config.l1_latency,
             });
         }
+        self.translate_slow(va, vpn, huge_page, walk)
+    }
 
+    /// The L1-miss continuation of [`DataTlb::translate_with`], kept out of
+    /// line so the L1-hit fast path stays small enough to inline.
+    #[cold]
+    fn translate_slow(
+        &mut self,
+        va: VirtAddr,
+        vpn: VirtPageNum,
+        huge_page: u64,
+        walk: impl FnOnce(VirtAddr) -> Option<Translation>,
+    ) -> Result<TlbOutcome, PageFault> {
         // L2 probe (either granularity).
         for key in [
             TlbKey { page: vpn.raw(), size: PageSize::Base4K },
@@ -279,6 +294,7 @@ impl DataTlb {
         })
     }
 
+    #[inline]
     fn fill_l1(&mut self, native_page: u64, entry: TlbEntry, size: PageSize) {
         match size {
             PageSize::Base4K => {
@@ -290,6 +306,7 @@ impl DataTlb {
         }
     }
 
+    #[inline]
     fn materialize(va: VirtAddr, vpn: VirtPageNum, first_pfn: u64, size: PageSize) -> Translation {
         let pfn = match size {
             PageSize::Base4K => first_pfn,

@@ -2,6 +2,25 @@
 //! shared by the TLB levels. (The data caches in `sipt-cache` have their
 //! own richer array model with dirty bits and pluggable replacement; this
 //! one is deliberately minimal.)
+//!
+//! ## Data-oriented layout
+//!
+//! Storage is a single flat slab of `sets × ways` slots with a per-set
+//! occupancy count, instead of a `Vec<Vec<Way>>` of per-set heap vectors.
+//! Each set's ways live in one contiguous, compact run (`0..len`), so a
+//! probe is a short linear key scan over adjacent memory with no second
+//! pointer dereference. The behavioural contract is unchanged and
+//! bit-compatible with the nested layout:
+//!
+//! - keys map to sets by `DefaultHasher(key) % sets` (the eviction and
+//!   conflict patterns depend on this, so it is part of simulated
+//!   behaviour and must not change),
+//! - the logical clock increments on every [`LruSetAssoc::get`] (hit *or*
+//!   miss) and every [`LruSetAssoc::insert`], giving each touch a unique
+//!   timestamp,
+//! - eviction picks the minimum `last_use` in the full set — unique
+//!   timestamps make the choice independent of way order, which is the
+//!   only thing the flat layout permutes.
 
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -31,7 +50,10 @@ struct Way<K, V> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct LruSetAssoc<K, V> {
-    sets: Vec<Vec<Way<K, V>>>,
+    /// Flat `sets × ways` slab; set `s` owns `slots[s*ways .. (s+1)*ways]`,
+    /// compact: occupied slots are exactly `0..lens[s]` of that run.
+    slots: Vec<Option<Way<K, V>>>,
+    lens: Vec<u32>,
     ways: usize,
     clock: u64,
 }
@@ -45,88 +67,117 @@ impl<K: Eq + Hash + Clone, V> LruSetAssoc<K, V> {
     pub fn new(sets: usize, ways: usize) -> Self {
         assert!(sets > 0, "at least one set required");
         assert!(ways > 0, "at least one way required");
-        Self { sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(), ways, clock: 0 }
+        Self {
+            slots: (0..sets * ways).map(|_| None).collect(),
+            lens: vec![0; sets],
+            ways,
+            clock: 0,
+        }
     }
 
     /// Total capacity in entries.
     pub fn capacity(&self) -> usize {
-        self.sets.len() * self.ways
+        self.slots.len()
     }
 
     /// Number of live entries.
     pub fn len(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.lens.iter().map(|&l| l as usize).sum()
     }
 
     /// Whether the structure holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.lens.iter().all(|&l| l == 0)
     }
 
+    /// The set a key indexes. `DefaultHasher(key) % sets` is part of the
+    /// simulated behaviour (it decides conflicts and evictions) and must
+    /// stay bit-for-bit stable across layout changes.
+    #[inline]
     fn set_of(&self, key: &K) -> usize {
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
         use std::hash::Hasher;
         key.hash(&mut hasher);
-        (hasher.finish() % self.sets.len() as u64) as usize
+        (hasher.finish() % self.lens.len() as u64) as usize
     }
 
     /// Look up `key`, updating LRU state on a hit.
+    #[inline]
     pub fn get(&mut self, key: &K) -> Option<&V> {
         self.clock += 1;
         let clock = self.clock;
         let set = self.set_of(key);
-        self.sets[set].iter_mut().find(|w| &w.key == key).map(|w| {
+        let base = set * self.ways;
+        let live = &mut self.slots[base..base + self.lens[set] as usize];
+        live.iter_mut().flatten().find(|w| &w.key == key).map(|w| {
             w.last_use = clock;
             &w.value
         })
     }
 
     /// Look up `key` without touching LRU state.
+    #[inline]
     pub fn peek(&self, key: &K) -> Option<&V> {
         let set = self.set_of(key);
-        self.sets[set].iter().find(|w| &w.key == key).map(|w| &w.value)
+        let base = set * self.ways;
+        let live = &self.slots[base..base + self.lens[set] as usize];
+        live.iter().flatten().find(|w| &w.key == key).map(|w| &w.value)
     }
 
     /// Insert or update `key`, evicting the set's LRU way if full. Returns
     /// the evicted `(key, value)` pair, if any.
+    #[inline]
     pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
         self.clock += 1;
         let clock = self.clock;
-        let set_idx = self.set_of(&key);
-        let set = &mut self.sets[set_idx];
-        if let Some(w) = set.iter_mut().find(|w| w.key == key) {
+        let set = self.set_of(&key);
+        let base = set * self.ways;
+        let len = self.lens[set] as usize;
+        let live = &mut self.slots[base..base + len];
+        if let Some(w) = live.iter_mut().flatten().find(|w| w.key == key) {
             w.value = value;
             w.last_use = clock;
             return None;
         }
-        let mut evicted = None;
-        if set.len() == self.ways {
-            let lru = set
+        if len == self.ways {
+            // Full set: victimize the unique minimum-timestamp way.
+            let lru = live
                 .iter()
                 .enumerate()
-                .min_by_key(|(_, w)| w.last_use)
+                .min_by_key(|(_, w)| w.as_ref().expect("compact occupancy").last_use)
                 .map(|(i, _)| i)
                 .expect("set is full, so non-empty");
-            let w = set.swap_remove(lru);
-            evicted = Some((w.key, w.value));
+            let old = self.slots[base + lru]
+                .replace(Way { key, value, last_use: clock })
+                .expect("victim slot was occupied");
+            return Some((old.key, old.value));
         }
-        set.push(Way { key, value, last_use: clock });
-        evicted
+        self.slots[base + len] = Some(Way { key, value, last_use: clock });
+        self.lens[set] = (len + 1) as u32;
+        None
     }
 
     /// Remove `key`, returning its value.
     pub fn remove(&mut self, key: &K) -> Option<V> {
-        let set_idx = self.set_of(key);
-        let set = &mut self.sets[set_idx];
-        let pos = set.iter().position(|w| &w.key == key)?;
-        Some(set.swap_remove(pos).value)
+        let set = self.set_of(key);
+        let base = set * self.ways;
+        let len = self.lens[set] as usize;
+        let pos = self.slots[base..base + len]
+            .iter()
+            .position(|w| w.as_ref().is_some_and(|w| &w.key == key))?;
+        // Keep the run compact: move the last occupied slot into the gap.
+        self.slots.swap(base + pos, base + len - 1);
+        let removed = self.slots[base + len - 1].take().expect("occupied by swap");
+        self.lens[set] = (len - 1) as u32;
+        Some(removed.value)
     }
 
     /// Remove every entry.
     pub fn clear(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
+        for slot in &mut self.slots {
+            *slot = None;
         }
+        self.lens.fill(0);
     }
 
     /// Snapshot all `(key, value)` pairs into a map (for assertions/tests).
@@ -134,7 +185,7 @@ impl<K: Eq + Hash + Clone, V> LruSetAssoc<K, V> {
     where
         V: Clone,
     {
-        self.sets.iter().flatten().map(|w| (w.key.clone(), w.value.clone())).collect()
+        self.slots.iter().flatten().map(|w| (w.key.clone(), w.value.clone())).collect()
     }
 }
 
@@ -190,6 +241,22 @@ mod tests {
         assert_eq!(t.capacity(), 8);
     }
 
+    #[test]
+    fn remove_keeps_set_compact_and_probeable() {
+        // Three keys in one set; removing the middle one must keep the
+        // others reachable and allow a fresh insert without eviction.
+        let mut t: LruSetAssoc<u64, u64> = LruSetAssoc::new(1, 3);
+        t.insert(1, 10);
+        t.insert(2, 20);
+        t.insert(3, 30);
+        assert_eq!(t.remove(&2), Some(20));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.peek(&1), Some(&10));
+        assert_eq!(t.peek(&3), Some(&30));
+        assert_eq!(t.insert(4, 40), None, "freed way must absorb the insert");
+        assert_eq!(t.len(), 3);
+    }
+
     proptest! {
         /// Never exceeds capacity; most-recently-inserted key is always
         /// resident.
@@ -201,6 +268,81 @@ mod tests {
                 prop_assert!(t.len() <= t.capacity());
                 prop_assert_eq!(t.peek(&k), Some(&(k * 2)));
             }
+        }
+
+        /// Differential check against the reference nested-vec model: the
+        /// flat slab must report identical get results, eviction victims,
+        /// and final contents for any interleaving of inserts/gets/removes.
+        #[test]
+        fn flat_slab_matches_nested_reference(
+            ops in proptest::collection::vec((0u8..3, 0u64..64), 1..300)
+        ) {
+            let mut flat: LruSetAssoc<u64, u64> = LruSetAssoc::new(4, 2);
+            let mut reference = NestedRef::new(4, 2);
+            for &(op, k) in &ops {
+                match op {
+                    0 => prop_assert_eq!(flat.insert(k, k + 100), reference.insert(k, k + 100)),
+                    1 => prop_assert_eq!(flat.get(&k).copied(), reference.get(&k)),
+                    _ => prop_assert_eq!(flat.remove(&k), reference.remove(&k)),
+                }
+            }
+            prop_assert_eq!(flat.to_map(), reference.to_map());
+        }
+    }
+
+    /// The pre-rewrite `Vec<Vec<Way>>` model, kept as a test oracle.
+    struct NestedRef {
+        sets: Vec<Vec<(u64, u64, u64)>>, // (key, value, last_use)
+        ways: usize,
+        clock: u64,
+    }
+
+    impl NestedRef {
+        fn new(sets: usize, ways: usize) -> Self {
+            Self { sets: vec![Vec::new(); sets], ways, clock: 0 }
+        }
+        fn set_of(&self, key: &u64) -> usize {
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            use std::hash::Hasher;
+            key.hash(&mut hasher);
+            (hasher.finish() % self.sets.len() as u64) as usize
+        }
+        fn get(&mut self, key: &u64) -> Option<u64> {
+            self.clock += 1;
+            let clock = self.clock;
+            let set = self.set_of(key);
+            self.sets[set].iter_mut().find(|w| &w.0 == key).map(|w| {
+                w.2 = clock;
+                w.1
+            })
+        }
+        fn insert(&mut self, key: u64, value: u64) -> Option<(u64, u64)> {
+            self.clock += 1;
+            let clock = self.clock;
+            let set_idx = self.set_of(&key);
+            let set = &mut self.sets[set_idx];
+            if let Some(w) = set.iter_mut().find(|w| w.0 == key) {
+                w.1 = value;
+                w.2 = clock;
+                return None;
+            }
+            let mut evicted = None;
+            if set.len() == self.ways {
+                let lru = set.iter().enumerate().min_by_key(|(_, w)| w.2).map(|(i, _)| i).unwrap();
+                let w = set.swap_remove(lru);
+                evicted = Some((w.0, w.1));
+            }
+            set.push((key, value, clock));
+            evicted
+        }
+        fn remove(&mut self, key: &u64) -> Option<u64> {
+            let set_idx = self.set_of(key);
+            let set = &mut self.sets[set_idx];
+            let pos = set.iter().position(|w| &w.0 == key)?;
+            Some(set.swap_remove(pos).1)
+        }
+        fn to_map(&self) -> HashMap<u64, u64> {
+            self.sets.iter().flatten().map(|w| (w.0, w.1)).collect()
         }
     }
 }

@@ -113,6 +113,7 @@ pub struct TraceCursor<'a> {
 impl Iterator for TraceCursor<'_> {
     type Item = Inst;
 
+    #[inline]
     fn next(&mut self) -> Option<Inst> {
         let meta = *self.trace.meta.get(self.idx)?;
         let pc = self.trace.pcs[self.idx];

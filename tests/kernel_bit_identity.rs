@@ -1,0 +1,125 @@
+//! Golden-fingerprint pin for the per-access kernel.
+//!
+//! The data-oriented hot path (packed SoA cache arrays, monomorphized
+//! replacement, inlined TLB fast path) is a *wall-clock* optimization: it
+//! must keep every simulated metric bit-identical. This test renders the
+//! exact payload bytes of fig02 (ideal-config IPC sweep) and of a
+//! bypass-predictor ablation at smoke scale, hashes them, and compares
+//! against fingerprints recorded from the pre-rewrite pointer-chasing
+//! kernel. A future kernel change that alters simulated behaviour — a
+//! different victim, a different latency, a reordered RNG draw — fails
+//! loudly here instead of silently shifting the science.
+//!
+//! If a change *intends* to alter simulated behaviour, regenerate the
+//! constants below (the failure message prints the observed values) and
+//! say so in the commit message.
+
+use sipt_core::{sipt_32k_2w, BypassKind, L1Policy};
+use sipt_sim::experiments::{ideal, report, smoke_benchmarks};
+use sipt_sim::{prep_cache, set_jobs, Condition, RunMetrics, Sweep, SystemKind};
+use sipt_telemetry::json::Json;
+use std::sync::{Mutex, PoisonError};
+
+/// FNV-1a 64-bit, stable across platforms — the fingerprint function.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Serialize on one gate (jobs and the prep cache are process-wide) and
+/// restore defaults afterwards, mirroring `prep_cache_determinism.rs`.
+fn with_exclusive_state<R>(f: impl FnOnce() -> R) -> R {
+    static GATE: Mutex<()> = Mutex::new(());
+    let _gate = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+    prep_cache::clear();
+    prep_cache::set_enabled(true);
+    let out = f();
+    prep_cache::clear();
+    prep_cache::set_enabled(true);
+    set_jobs(1);
+    out
+}
+
+/// fig02's exact payload bytes at smoke scale.
+fn fig02_payload() -> String {
+    report::ideal_json(&ideal::fig2(&smoke_benchmarks(), &Condition::quick())).render()
+}
+
+/// Per-run summaries of the bypass-predictor ablation (perceptron vs
+/// counter), with the host-time-dependent `phases` object masked.
+fn ablation_payload() -> String {
+    let cond = Condition::quick();
+    let mut sweep = Sweep::new();
+    for &bench in &smoke_benchmarks() {
+        sweep.bench(
+            bench,
+            sipt_32k_2w().with_policy(L1Policy::SiptBypass),
+            SystemKind::OooThreeLevel,
+            &cond,
+        );
+        sweep.bench(
+            bench,
+            sipt_32k_2w().with_policy(L1Policy::SiptBypass).with_bypass(BypassKind::Counter),
+            SystemKind::OooThreeLevel,
+            &cond,
+        );
+    }
+    sweep.run().metrics.iter().map(masked_report).collect::<Vec<_>>().join("\n")
+}
+
+fn masked_report(m: &RunMetrics) -> String {
+    let mut json = report::run_summary_json(m);
+    json.insert("phases", Json::str("masked"));
+    json.render()
+}
+
+/// Golden fingerprints recorded from the pre-SoA kernel (PR 4 tree).
+/// Simulated payloads must never drift from these without an explicit,
+/// intentional re-pin.
+const FIG02_GOLDEN_FNV1A: u64 = 0xF633_03AE_7922_41E7;
+const ABLATION_GOLDEN_FNV1A: u64 = 0x1FC8_C2BB_ABEE_D104;
+
+#[test]
+fn fig02_payload_matches_golden_fingerprint() {
+    with_exclusive_state(|| {
+        set_jobs(1);
+        let payload = fig02_payload();
+        let got = fnv1a(payload.as_bytes());
+        assert_eq!(
+            got, FIG02_GOLDEN_FNV1A,
+            "fig02 payload fingerprint drifted: observed {got:#018x} \
+             (expected {FIG02_GOLDEN_FNV1A:#018x}). The kernel changed simulated \
+             behaviour; payload was:\n{payload}"
+        );
+    });
+}
+
+#[test]
+fn ablation_payload_matches_golden_fingerprint() {
+    with_exclusive_state(|| {
+        set_jobs(1);
+        let payload = ablation_payload();
+        let got = fnv1a(payload.as_bytes());
+        assert_eq!(
+            got, ABLATION_GOLDEN_FNV1A,
+            "ablation payload fingerprint drifted: observed {got:#018x} \
+             (expected {ABLATION_GOLDEN_FNV1A:#018x}). The kernel changed simulated \
+             behaviour; payload was:\n{payload}"
+        );
+    });
+}
+
+/// The fingerprints must be jobs-independent: a parallel sweep replays the
+/// same simulations in the same submission order.
+#[test]
+fn fig02_fingerprint_is_jobs_independent() {
+    with_exclusive_state(|| {
+        set_jobs(4);
+        let got = fnv1a(fig02_payload().as_bytes());
+        assert_eq!(got, FIG02_GOLDEN_FNV1A, "fig02 payload drifted under --jobs 4");
+    });
+}
