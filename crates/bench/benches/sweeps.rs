@@ -137,6 +137,7 @@ fn main() {
         payload,
         sipt_sim::sweep::parallelism_json(),
         sipt_sim::resilience::resilience_json(),
+        sipt_sim::observability::observability_json(),
     );
     match report::write_report(&report::results_dir(), "BENCH_sweeps", &envelope) {
         Ok(path) => eprintln!("wrote {}", path.display()),

@@ -1,0 +1,127 @@
+//! `sipt-inspect` — offline analysis and regression gating for the JSON
+//! report artifacts the figure binaries write to `results/`.
+//!
+//! ```text
+//! sipt-inspect summary FILE...                    orient on artifacts
+//! sipt-inspect diff A B                           field-by-field deltas
+//! sipt-inspect regress --baseline B --current C   CI perf gate (exit 1)
+//!              [--max-ratio X]
+//! sipt-inspect timeline FILE...                   per-worker utilization
+//! ```
+//!
+//! Reads every schema version the repo has produced (v1–v5). `regress`
+//! exits 1 when any non-flaky invariant fails — that exit code *is* the
+//! CI contract — and 2 on usage or I/O errors.
+
+use sipt_bench::inspect;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: sipt-inspect <command> [args]
+
+commands:
+  summary FILE...                       schema version, blocks, payload shape
+  diff A B                              recursive field-by-field comparison
+  regress --baseline FILE --current FILE [--max-ratio X]
+                                        non-flaky perf gate; exit 1 on regression
+  timeline FILE...                      per-worker utilization bars";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("sipt-inspect: {msg}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(String::as_str) else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let rest = &args[1..];
+    match command {
+        "summary" | "timeline" => {
+            if rest.is_empty() {
+                return fail(&format!("{command} needs at least one FILE\n\n{USAGE}"));
+            }
+            for (i, arg) in rest.iter().enumerate() {
+                let doc = match inspect::load(&PathBuf::from(arg)) {
+                    Ok(doc) => doc,
+                    Err(e) => return fail(&e),
+                };
+                if i > 0 {
+                    println!();
+                }
+                let text = if command == "summary" {
+                    inspect::summary(&doc)
+                } else {
+                    inspect::timeline(&doc)
+                };
+                print!("{text}");
+            }
+            ExitCode::SUCCESS
+        }
+        "diff" => {
+            let [a, b] = rest else {
+                return fail(&format!("diff needs exactly two FILEs\n\n{USAGE}"));
+            };
+            let (a, b) = match (inspect::load(&PathBuf::from(a)), inspect::load(&PathBuf::from(b)))
+            {
+                (Ok(a), Ok(b)) => (a, b),
+                (Err(e), _) | (_, Err(e)) => return fail(&e),
+            };
+            let d = inspect::diff(&a, &b);
+            if d.is_empty() {
+                println!("identical");
+            } else {
+                print!("{d}");
+            }
+            ExitCode::SUCCESS
+        }
+        "regress" => {
+            let mut baseline = None;
+            let mut current = None;
+            let mut max_ratio = None;
+            let mut it = rest.iter();
+            while let Some(flag) = it.next() {
+                let mut value =
+                    || it.next().cloned().ok_or_else(|| format!("{flag} needs a value"));
+                match flag.as_str() {
+                    "--baseline" => baseline = Some(value()),
+                    "--current" => current = Some(value()),
+                    "--max-ratio" => max_ratio = Some(value()),
+                    other => return fail(&format!("unknown flag {other}\n\n{USAGE}")),
+                }
+            }
+            let (Some(Ok(baseline)), Some(Ok(current))) = (baseline, current) else {
+                return fail(&format!(
+                    "regress needs --baseline FILE and --current FILE\n\n{USAGE}"
+                ));
+            };
+            let max_ratio = match max_ratio {
+                None => None,
+                Some(Ok(raw)) => match raw.parse::<f64>() {
+                    Ok(v) if v > 0.0 => Some(v),
+                    _ => {
+                        return fail(&format!("--max-ratio must be a positive number, got {raw:?}"))
+                    }
+                },
+                Some(Err(e)) => return fail(&e),
+            };
+            let (base_doc, cur_doc) = match (
+                inspect::load(&PathBuf::from(&baseline)),
+                inspect::load(&PathBuf::from(&current)),
+            ) {
+                (Ok(a), Ok(b)) => (a, b),
+                (Err(e), _) | (_, Err(e)) => return fail(&e),
+            };
+            let outcome = inspect::regress(&base_doc, &cur_doc, max_ratio);
+            print!("{}", outcome.render());
+            if outcome.ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        other => fail(&format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+}

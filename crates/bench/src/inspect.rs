@@ -1,0 +1,504 @@
+//! Library logic behind the `sipt-inspect` binary: offline analysis of
+//! the JSON report envelopes the figure binaries write to `results/`.
+//!
+//! Four operations, all pure functions over parsed [`Json`] documents so
+//! they are unit-testable without touching the filesystem:
+//!
+//! - [`summary`] — one-screen orientation for a single artifact: schema
+//!   version, which optional envelope blocks are present, payload shape.
+//! - [`diff`] — recursive field-by-field comparison of two artifacts,
+//!   matching array elements by their `"name"` key where present.
+//! - [`regress`] — the CI perf gate. Compares a fresh artifact against a
+//!   committed baseline using only *non-flaky* invariants (name sets,
+//!   exact simulated-instruction counts, positivity of timing fields) so
+//!   the gate never trips on machine noise; an optional ratio bound adds
+//!   a tolerance band for wall-clock metrics when the caller wants one.
+//! - [`timeline`] — textual per-worker utilization bars rendered from
+//!   the v2 `parallelism` block.
+//!
+//! All four read any schema version the repo has ever produced (v1–v5):
+//! optional blocks are simply reported absent, and checks tied to a
+//! field are skipped when the *baseline* lacks that field.
+
+use sipt_telemetry::json::{self, Json};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Read and parse a report artifact. Errors carry the path for context.
+pub fn load(path: &Path) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// The envelope's schema version, defaulting to 1 for pre-versioned
+/// artifacts that carried no `schema_version` key.
+pub fn schema_version(doc: &Json) -> u64 {
+    doc.get("schema_version").and_then(Json::as_f64).map_or(1, |v| v as u64)
+}
+
+fn artifact_name(doc: &Json) -> &str {
+    doc.get("artifact").and_then(Json::as_str).unwrap_or("<unnamed>")
+}
+
+/// Index an array of objects by their `"name"` field. Elements without
+/// one are skipped (the caller falls back to positional comparison).
+fn by_name(items: &[Json]) -> BTreeMap<&str, &Json> {
+    items
+        .iter()
+        .filter_map(|item| item.get("name").and_then(Json::as_str).map(|n| (n, item)))
+        .collect()
+}
+
+fn fmt_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+/// One-screen orientation for a single artifact.
+pub fn summary(doc: &Json) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "artifact        {}", artifact_name(doc));
+    let _ = writeln!(out, "schema_version  {}", schema_version(doc));
+    for block in ["parallelism", "resilience", "observability"] {
+        let state = if doc.get(block).is_some() { "present" } else { "absent" };
+        let _ = writeln!(out, "{block:<15} {state}");
+    }
+    if let Some(p) = doc.get("parallelism") {
+        if let (Some(jobs), Some(wall)) =
+            (p.get("jobs").and_then(Json::as_f64), p.get("wall_ms").and_then(Json::as_f64))
+        {
+            let _ = writeln!(out, "  jobs {} wall {:.1} ms", jobs as u64, wall);
+        }
+    }
+    if let Some(o) = doc.get("observability") {
+        if let Some(fr) = o.path("flight_recorder.runs").and_then(Json::as_arr) {
+            let _ = writeln!(out, "  flight recorder runs: {}", fr.len());
+        }
+    }
+    let Some(payload) = doc.get("payload").and_then(Json::as_obj) else {
+        let _ = writeln!(out, "payload         absent");
+        return out;
+    };
+    let _ =
+        writeln!(out, "payload keys    {}", payload.keys().cloned().collect::<Vec<_>>().join(", "));
+    for arr_key in ["samples", "benchmarks"] {
+        if let Some(items) = payload.get(arr_key).and_then(Json::as_arr) {
+            let _ = writeln!(out, "{arr_key} ({}):", items.len());
+            for item in items {
+                let name = item.get("name").and_then(Json::as_str).unwrap_or("<unnamed>");
+                let detail = item
+                    .get("ns_per_iter")
+                    .and_then(Json::as_f64)
+                    .map(|ns| format!("{ns:.1} ns/iter"))
+                    .or_else(|| {
+                        item.get("wall_ms").and_then(Json::as_f64).map(|ms| format!("{ms:.1} ms"))
+                    })
+                    .unwrap_or_default();
+                let _ = writeln!(out, "  {name:<28} {detail}");
+            }
+        }
+    }
+    for (label, path) in [
+        ("accesses/sec", "accesses_per_sec"),
+        ("total instructions", "totals.simulated_instructions"),
+        ("fig02 instructions", "fig02.simulated_instructions"),
+    ] {
+        if let Some(v) = doc.path(&format!("payload.{path}")).and_then(Json::as_f64) {
+            let _ = writeln!(out, "{label:<19} {}", fmt_num(v));
+        }
+    }
+    out
+}
+
+fn diff_value(path: &str, a: Option<&Json>, b: Option<&Json>, out: &mut Vec<String>) {
+    match (a, b) {
+        (None, None) => {}
+        (Some(_), None) => out.push(format!("- {path}")),
+        (None, Some(_)) => out.push(format!("+ {path}")),
+        (Some(a), Some(b)) => {
+            if let (Some(ao), Some(bo)) = (a.as_obj(), b.as_obj()) {
+                let keys: std::collections::BTreeSet<&String> =
+                    ao.keys().chain(bo.keys()).collect();
+                for key in keys {
+                    diff_value(&format!("{path}.{key}"), ao.get(key), bo.get(key), out);
+                }
+            } else if let (Some(aa), Some(ba)) = (a.as_arr(), b.as_arr()) {
+                let (an, bn) = (by_name(aa), by_name(ba));
+                if !an.is_empty() || !bn.is_empty() {
+                    let keys: std::collections::BTreeSet<&&str> =
+                        an.keys().chain(bn.keys()).collect();
+                    for key in keys {
+                        diff_value(
+                            &format!("{path}[{key}]"),
+                            an.get(*key).copied(),
+                            bn.get(*key).copied(),
+                            out,
+                        );
+                    }
+                } else {
+                    if aa.len() != ba.len() {
+                        out.push(format!("~ {path}: length {} -> {}", aa.len(), ba.len()));
+                    }
+                    for (i, (av, bv)) in aa.iter().zip(ba.iter()).enumerate() {
+                        diff_value(&format!("{path}[{i}]"), Some(av), Some(bv), out);
+                    }
+                }
+            } else if let (Some(av), Some(bv)) = (a.as_f64(), b.as_f64()) {
+                if av != bv {
+                    let delta = if av != 0.0 {
+                        format!(" ({:+.2}%)", (bv - av) / av * 100.0)
+                    } else {
+                        String::new()
+                    };
+                    out.push(format!("~ {path}: {} -> {}{delta}", fmt_num(av), fmt_num(bv)));
+                }
+            } else if a.render() != b.render() {
+                out.push(format!("~ {path}: {} -> {}", a.render(), b.render()));
+            }
+        }
+    }
+}
+
+/// Recursive diff of two artifacts. Lines are prefixed `-` (only in A),
+/// `+` (only in B), `~` (changed); numeric changes carry a percentage.
+/// Returns the empty string when the documents are identical.
+pub fn diff(a: &Json, b: &Json) -> String {
+    let mut lines = Vec::new();
+    diff_value("", Some(a), Some(b), &mut lines);
+    let mut out = String::new();
+    for line in lines {
+        // Strip the leading "." the root recursion leaves on every path.
+        let _ = writeln!(out, "{}", line.replacen(" .", " ", 1));
+    }
+    out
+}
+
+/// Outcome of a [`regress`] gate: how many invariants were checked and
+/// which (if any) failed. `failures.is_empty()` means the gate passes.
+pub struct RegressOutcome {
+    /// Total invariants evaluated (pass or fail).
+    pub checks: usize,
+    /// One line per failed invariant; empty means the gate passes.
+    pub failures: Vec<String>,
+}
+
+impl RegressOutcome {
+    /// Whether the gate passes (no failed invariants).
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Human-readable gate report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.ok() {
+            let _ = writeln!(out, "regress: OK ({} checks)", self.checks);
+        } else {
+            let _ =
+                writeln!(out, "regress: FAIL ({} of {} checks)", self.failures.len(), self.checks);
+            for f in &self.failures {
+                let _ = writeln!(out, "  FAIL {f}");
+            }
+        }
+        out
+    }
+}
+
+/// Compare `current` against a committed `baseline`, checking only
+/// invariants that cannot flake on machine speed:
+///
+/// - the artifact names match;
+/// - every named entry in `payload.samples` / `payload.benchmarks`
+///   exists in both (name-set equality — a renamed or dropped benchmark
+///   must come with a baseline update);
+/// - `simulated_instructions` counts are *exactly* equal per sample and
+///   for `payload.totals` / `payload.fig02` (deterministic workloads);
+/// - timing fields in `current` are positive (`wall_ms`, `ns_per_iter`,
+///   `iters`, `accesses_per_sec`) — zeros mean a benchmark silently
+///   stopped doing work.
+///
+/// `max_ratio` (optional) additionally bounds per-entry wall-clock
+/// growth: current/baseline for `ns_per_iter` and sample `wall_ms` must
+/// not exceed it. Off by default because CI machines vary.
+///
+/// Checks are keyed off the *baseline*: a field the baseline lacks (old
+/// schema version, reduced artifact) is skipped, never failed.
+pub fn regress(baseline: &Json, current: &Json, max_ratio: Option<f64>) -> RegressOutcome {
+    let mut checks = 0usize;
+    let mut failures = Vec::new();
+    let mut check = |failures: &mut Vec<String>, ok: bool, msg: String| {
+        checks += 1;
+        if !ok {
+            failures.push(msg);
+        }
+    };
+
+    let (ba, ca) = (artifact_name(baseline), artifact_name(current));
+    check(&mut failures, ba == ca, format!("artifact mismatch: baseline {ba:?} vs current {ca:?}"));
+
+    for arr_key in ["samples", "benchmarks"] {
+        let Some(base_items) = baseline.path(&format!("payload.{arr_key}")).and_then(Json::as_arr)
+        else {
+            continue;
+        };
+        let cur_items =
+            current.path(&format!("payload.{arr_key}")).and_then(Json::as_arr).unwrap_or(&[]);
+        let (base_by, cur_by) = (by_name(base_items), by_name(cur_items));
+        for name in base_by.keys() {
+            check(
+                &mut failures,
+                cur_by.contains_key(*name),
+                format!("{arr_key}[{name}] missing from current"),
+            );
+        }
+        for name in cur_by.keys() {
+            check(
+                &mut failures,
+                base_by.contains_key(*name),
+                format!("{arr_key}[{name}] not in baseline (update the committed baseline)"),
+            );
+        }
+        for (name, base_item) in &base_by {
+            let Some(cur_item) = cur_by.get(name) else { continue };
+            if let Some(base_instr) = base_item.get("simulated_instructions").and_then(Json::as_f64)
+            {
+                let cur_instr = cur_item
+                    .get("simulated_instructions")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(f64::NAN);
+                check(
+                    &mut failures,
+                    cur_instr == base_instr,
+                    format!(
+                        "{arr_key}[{name}].simulated_instructions: baseline {} vs current {}",
+                        fmt_num(base_instr),
+                        fmt_num(cur_instr)
+                    ),
+                );
+            }
+            for field in ["wall_ms", "ns_per_iter", "iters"] {
+                if base_item.get(field).and_then(Json::as_f64).is_none() {
+                    continue;
+                }
+                let cur_v = cur_item.get(field).and_then(Json::as_f64).unwrap_or(-1.0);
+                check(
+                    &mut failures,
+                    cur_v > 0.0,
+                    format!("{arr_key}[{name}].{field} not positive: {cur_v}"),
+                );
+                if let (Some(ratio), Some(base_v)) =
+                    (max_ratio, base_item.get(field).and_then(Json::as_f64))
+                {
+                    if field != "iters" && base_v > 0.0 {
+                        check(
+                            &mut failures,
+                            cur_v <= base_v * ratio,
+                            format!(
+                                "{arr_key}[{name}].{field} regressed: {cur_v:.3} > {ratio} x {base_v:.3}"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    for path in ["totals.simulated_instructions", "fig02.simulated_instructions"] {
+        let Some(base_v) = baseline.path(&format!("payload.{path}")).and_then(Json::as_f64) else {
+            continue;
+        };
+        let cur_v =
+            current.path(&format!("payload.{path}")).and_then(Json::as_f64).unwrap_or(f64::NAN);
+        check(
+            &mut failures,
+            cur_v == base_v,
+            format!("payload.{path}: baseline {} vs current {}", fmt_num(base_v), fmt_num(cur_v)),
+        );
+    }
+
+    if baseline.path("payload.accesses_per_sec").and_then(Json::as_f64).is_some() {
+        let cur_v = current.path("payload.accesses_per_sec").and_then(Json::as_f64).unwrap_or(-1.0);
+        check(
+            &mut failures,
+            cur_v > 0.0,
+            format!("payload.accesses_per_sec not positive: {cur_v}"),
+        );
+    }
+
+    RegressOutcome { checks, failures }
+}
+
+/// Render per-worker utilization bars from the v2 `parallelism` block.
+/// Artifacts without one (serial runs, old schemas, analytic figures)
+/// get a one-line note instead of an error.
+pub fn timeline(doc: &Json) -> String {
+    let mut out = String::new();
+    let Some(p) = doc.get("parallelism") else {
+        let _ = writeln!(
+            out,
+            "{}: no parallelism block (serial run or schema < 2)",
+            artifact_name(doc)
+        );
+        return out;
+    };
+    let jobs = p.get("jobs").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+    let wall = p.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0);
+    let tasks = p.get("tasks").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+    let sweeps = p.get("sweeps").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+    let speedup = p.get("speedup").and_then(Json::as_f64).unwrap_or(0.0);
+    let _ = writeln!(
+        out,
+        "{}: {tasks} tasks over {sweeps} sweeps, {jobs} jobs, wall {wall:.1} ms, speedup {speedup:.2}x",
+        artifact_name(doc)
+    );
+    let Some(workers) = p.get("worker_busy_ms").and_then(Json::as_arr) else {
+        let _ = writeln!(out, "  (no per-worker breakdown)");
+        return out;
+    };
+    const WIDTH: usize = 40;
+    for (i, w) in workers.iter().enumerate() {
+        let busy = w.as_f64().unwrap_or(0.0);
+        let frac = if wall > 0.0 { (busy / wall).clamp(0.0, 1.0) } else { 0.0 };
+        let filled = (frac * WIDTH as f64).round() as usize;
+        let bar: String = "#".repeat(filled) + &".".repeat(WIDTH - filled);
+        let _ = writeln!(out, "  worker {i:<3} {bar} {:5.1}% {busy:9.1} ms", frac * 100.0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(text: &str) -> Json {
+        json::parse(text).expect("test fixture parses")
+    }
+
+    fn baseline() -> Json {
+        doc(r#"{
+            "artifact": "BENCH_demo",
+            "schema_version": 4,
+            "payload": {
+                "accesses_per_sec": 1000.0,
+                "benchmarks": [
+                    {"name": "probe", "iters": 100, "ns_per_iter": 5.0},
+                    {"name": "fill", "iters": 50, "ns_per_iter": 9.0}
+                ],
+                "samples": [
+                    {"name": "fig02", "simulated_instructions": 96000, "wall_ms": 12.0}
+                ],
+                "totals": {"simulated_instructions": 96000}
+            }
+        }"#)
+    }
+
+    #[test]
+    fn regress_passes_against_itself() {
+        let base = baseline();
+        let outcome = regress(&base, &base, None);
+        assert!(outcome.ok(), "failures: {:?}", outcome.failures);
+        assert!(outcome.checks >= 8);
+    }
+
+    #[test]
+    fn regress_catches_instruction_drift_and_missing_names() {
+        let base = baseline();
+        let mut broken = baseline();
+        // Instruction drift in a sample.
+        let mut sample = broken
+            .path("payload.samples")
+            .and_then(Json::as_arr)
+            .and_then(|s| s.first())
+            .cloned()
+            .expect("fixture has a sample");
+        sample.insert("simulated_instructions", Json::u64(95999));
+        let mut payload = broken.get("payload").cloned().expect("payload");
+        payload.insert("samples", Json::arr([sample]));
+        broken.insert("payload", payload);
+        let outcome = regress(&base, &broken, None);
+        assert!(!outcome.ok());
+        assert!(outcome.failures.iter().any(|f| f.contains("simulated_instructions")));
+
+        // A dropped benchmark also fails.
+        let reduced = doc(r#"{
+            "artifact": "BENCH_demo",
+            "payload": {
+                "accesses_per_sec": 1.0,
+                "benchmarks": [{"name": "probe", "iters": 1, "ns_per_iter": 1.0}],
+                "samples": [
+                    {"name": "fig02", "simulated_instructions": 96000, "wall_ms": 1.0}
+                ],
+                "totals": {"simulated_instructions": 96000}
+            }
+        }"#);
+        let outcome = regress(&base, &reduced, None);
+        assert!(outcome.failures.iter().any(|f| f.contains("benchmarks[fill]")));
+    }
+
+    #[test]
+    fn regress_skips_checks_the_baseline_lacks() {
+        // A v1-style baseline without benchmarks or totals: only the
+        // artifact-name check applies, so any well-formed current passes.
+        let old = doc(r#"{"artifact": "BENCH_demo", "payload": {}}"#);
+        let outcome = regress(&old, &baseline(), None);
+        assert!(outcome.ok(), "failures: {:?}", outcome.failures);
+        assert_eq!(outcome.checks, 1);
+    }
+
+    #[test]
+    fn regress_ratio_band_bounds_wall_clock_growth() {
+        let base = baseline();
+        let mut slow = baseline();
+        let mut payload = slow.get("payload").cloned().expect("payload");
+        payload.insert(
+            "benchmarks",
+            Json::arr([
+                doc(r#"{"name": "probe", "iters": 100, "ns_per_iter": 50.0}"#),
+                doc(r#"{"name": "fill", "iters": 50, "ns_per_iter": 9.0}"#),
+            ]),
+        );
+        slow.insert("payload", payload);
+        // Without a band the 10x slowdown passes (non-flaky default)...
+        assert!(regress(&base, &slow, None).ok());
+        // ...with a 2x band it fails.
+        let outcome = regress(&base, &slow, Some(2.0));
+        assert!(outcome.failures.iter().any(|f| f.contains("probe")));
+    }
+
+    #[test]
+    fn diff_reports_numeric_deltas_and_membership() {
+        let a = doc(r#"{"payload": {"x": 10, "samples": [{"name": "s1", "v": 1}]}}"#);
+        let b = doc(r#"{"payload": {"x": 12, "samples": [{"name": "s2", "v": 1}]}}"#);
+        let d = diff(&a, &b);
+        assert!(d.contains("payload.x: 10 -> 12"), "{d}");
+        assert!(d.contains("- payload.samples[s1]"), "{d}");
+        assert!(d.contains("+ payload.samples[s2]"), "{d}");
+        assert!(diff(&a, &a).is_empty());
+    }
+
+    #[test]
+    fn summary_and_timeline_render_for_all_schema_eras() {
+        let v1 = doc(r#"{"payload": {"x": 1}}"#);
+        assert!(summary(&v1).contains("schema_version  1"));
+        assert!(timeline(&v1).contains("no parallelism block"));
+
+        let v5 = doc(r#"{
+            "artifact": "fig02",
+            "schema_version": 5,
+            "parallelism": {
+                "jobs": 2, "wall_ms": 100.0, "tasks": 8, "sweeps": 1,
+                "speedup": 1.8, "worker_busy_ms": [90.0, 90.0]
+            },
+            "payload": {"samples": []}
+        }"#);
+        let s = summary(&v5);
+        assert!(s.contains("parallelism     present"), "{s}");
+        let t = timeline(&v5);
+        assert!(t.contains("worker 0"), "{t}");
+        assert!(t.contains("90.0"), "{t}");
+    }
+}

@@ -33,6 +33,7 @@
 //! | `ablation_perceptron_size` | table-size/history sensitivity |
 
 pub mod harness;
+pub mod inspect;
 
 use sipt_sim::Condition;
 use sipt_telemetry::json::Json;
@@ -181,11 +182,13 @@ fn parse_valued_flag<I: Iterator<Item = String>>(
 /// whether a machine-readable report was requested (`--json` argument or
 /// `SIPT_JSON=1`), the sweep parallelism (`--jobs N`, `--jobs=N`, or
 /// `SIPT_JOBS=N`; default: all host cores), the resilience switches
-/// (`--resume`, `--task-timeout MS`, `--task-retries N`), and the
+/// (`--resume`, `--task-timeout MS`, `--task-retries N`), the
 /// workload-preparation cache switch (`--no-prep-cache` or
 /// `SIPT_PREP_CACHE=0`; the cache is on by default and does not change
-/// payload bytes, only wall-clock).
-#[derive(Debug, Clone, Copy)]
+/// payload bytes, only wall-clock), and host span tracing
+/// (`--trace-spans` or `SIPT_TRACE_SPANS=1`; exports a Perfetto-loadable
+/// `results/<name>.trace.json` without touching payload bytes).
+#[derive(Debug, Clone)]
 pub struct Cli {
     /// Run scale (`quick` / default / `full`).
     pub scale: Scale,
@@ -195,6 +198,11 @@ pub struct Cli {
     pub jobs: usize,
     /// Whether `--resume` enabled sweep checkpointing.
     pub resume: bool,
+    /// Whether `--trace-spans` / `SIPT_TRACE_SPANS=1` armed host span
+    /// tracing (Chrome trace-event export at [`Cli::finish`]).
+    pub trace_spans: bool,
+    /// The artifact name ([`Cli::for_artifact`]); names the trace file.
+    artifact: Option<String>,
 }
 
 impl Cli {
@@ -210,11 +218,18 @@ impl Cli {
         if std::env::args().skip(1).any(|a| a == "--no-prep-cache") {
             sipt_sim::prep_cache::set_enabled(false);
         }
+        let trace_spans = std::env::args().skip(1).any(|a| a == "--trace-spans")
+            || sipt_sim::env::switch_enabled("SIPT_TRACE_SPANS");
+        if trace_spans {
+            sipt_telemetry::span::set_enabled(true);
+        }
         Self {
             scale: Scale::from_args(),
             json: report::json_requested(),
             jobs: sipt_sim::effective_jobs(),
             resume: std::env::args().skip(1).any(|a| a == "--resume"),
+            trace_spans,
+            artifact: None,
         }
     }
 
@@ -225,7 +240,8 @@ impl Cli {
     /// re-simulating, and the final report is byte-identical to an
     /// uninterrupted run. Without `--resume` nothing is written.
     pub fn for_artifact(name: &str) -> Self {
-        let cli = Self::from_args();
+        let mut cli = Self::from_args();
+        cli.artifact = Some(name.to_owned());
         if cli.resume {
             let path = report::results_dir().join(format!("{name}.checkpoint.json"));
             match sipt_sim::checkpoint::configure(&path, true) {
@@ -252,15 +268,17 @@ impl Cli {
         if !self.json {
             return None;
         }
-        // v3 envelopes carry the sweep parallelism observed so far in this
-        // process (absent when no parallel sweep ran, e.g. tab01/tab02)
-        // and the resilience block (absent when nothing failed, retried,
-        // resumed or was injected).
+        // The envelope carries the sweep parallelism observed so far in
+        // this process (absent when no parallel sweep ran, e.g.
+        // tab01/tab02), the resilience block (absent when nothing failed,
+        // retried, resumed or was injected), and the observability block
+        // (absent unless span tracing or the flight recorder is armed).
         let envelope = report::envelope_full(
             name,
             payload,
             sipt_sim::sweep::parallelism_json(),
             sipt_sim::resilience::resilience_json(),
+            sipt_sim::observability::observability_json(),
         );
         match report::write_report(&report::results_dir(), name, &envelope) {
             Ok(path) => {
@@ -274,13 +292,39 @@ impl Cli {
         }
     }
 
+    /// When `--trace-spans` is armed, export everything the span sink
+    /// recorded as Chrome trace-event JSON to
+    /// `results/<name>.trace.json` (loadable at `ui.perfetto.dev`).
+    /// Returns the written path, or `None` when tracing is off. Failures
+    /// print to stderr — the trace is diagnostics, never a run blocker.
+    pub fn emit_trace(&self, name: &str) -> Option<PathBuf> {
+        if !self.trace_spans {
+            return None;
+        }
+        match sipt_telemetry::span::write_trace(&report::results_dir(), name) {
+            Ok(path) => {
+                eprintln!("wrote {}", path.display());
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("failed to write {name}.trace.json: {e}");
+                None
+            }
+        }
+    }
+
     /// Final accounting, called at the end of every binary's `main` after
-    /// the report is written: when any sweep task failed (organically or
-    /// by injection), print the failure table to stderr and exit 1 so
-    /// automation notices — the report and text output are already
-    /// complete by then, carrying placeholder metrics for the failed
-    /// slots. A clean run returns normally (exit 0).
+    /// the report is written: export the span trace (when `--trace-spans`
+    /// armed one and the binary was built [`Cli::for_artifact`]), then —
+    /// when any sweep task failed (organically or by injection) — print
+    /// the failure table to stderr and exit 1 so automation notices; the
+    /// report and text output are already complete by then, carrying
+    /// placeholder metrics for the failed slots. A clean run returns
+    /// normally (exit 0).
     pub fn finish(&self) {
+        if let Some(name) = self.artifact.clone() {
+            self.emit_trace(&name);
+        }
         let failures = sipt_sim::resilience::failure_count();
         if failures > 0 {
             eprint!("{}", sipt_sim::resilience::failure_table());

@@ -1,0 +1,168 @@
+//! Subprocess tests for the `sipt-inspect` CLI: the regress exit-code
+//! contract CI relies on, graceful reads of every schema era, and the
+//! malformed-env-var warning path shared by all `SIPT_*` integer knobs.
+
+use sipt_telemetry::json::{self, Json};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn baseline(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(name)
+}
+
+fn inspect(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_sipt-inspect"))
+        .args(args)
+        .output()
+        .expect("sipt-inspect spawns")
+}
+
+fn temp_file(tag: &str, contents: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("sipt-inspect-{tag}-{}.json", std::process::id()));
+    std::fs::write(&path, contents).expect("write temp artifact");
+    path
+}
+
+#[test]
+fn regress_passes_against_committed_baselines() {
+    for name in ["BENCH_sweeps.json", "BENCH_hotpath.json"] {
+        let b = baseline(name);
+        let b = b.to_str().expect("utf-8 path");
+        let out = inspect(&["regress", "--baseline", b, "--current", b]);
+        assert!(out.status.success(), "{name} self-compare must pass: {out:?}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("regress: OK"), "{stdout}");
+    }
+}
+
+/// The CI gate contract: an injected regression (instruction-count drift
+/// plus a silently dropped benchmark) must exit 1 and name both causes.
+#[test]
+fn injected_regression_exits_one_and_names_the_cause() {
+    let text = std::fs::read_to_string(baseline("BENCH_hotpath.json")).expect("baseline");
+    let mut doc = json::parse(&text).expect("baseline parses");
+
+    let mut payload = doc.get("payload").cloned().expect("payload");
+    let mut fig02 = payload.get("fig02").cloned().expect("fig02");
+    fig02.insert("simulated_instructions", Json::u64(719_999));
+    payload.insert("fig02", fig02);
+    let benchmarks: Vec<Json> = payload
+        .get("benchmarks")
+        .and_then(Json::as_arr)
+        .expect("benchmarks")
+        .iter()
+        .filter(|b| b.get("name").and_then(Json::as_str) != Some("trace_cursor_next"))
+        .cloned()
+        .collect();
+    payload.insert("benchmarks", Json::arr(benchmarks));
+    doc.insert("payload", payload);
+
+    let tampered = temp_file("tampered", &doc.render_pretty());
+    let out = inspect(&[
+        "regress",
+        "--baseline",
+        baseline("BENCH_hotpath.json").to_str().expect("utf-8"),
+        "--current",
+        tampered.to_str().expect("utf-8"),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "regression must exit 1: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("regress: FAIL"), "{stdout}");
+    assert!(stdout.contains("fig02.simulated_instructions"), "{stdout}");
+    assert!(stdout.contains("benchmarks[trace_cursor_next] missing"), "{stdout}");
+    let _ = std::fs::remove_file(&tampered);
+}
+
+#[test]
+fn summary_diff_and_timeline_smoke() {
+    let sweeps = baseline("BENCH_sweeps.json");
+    let hotpath = baseline("BENCH_hotpath.json");
+    let (sweeps, hotpath) = (sweeps.to_str().expect("utf-8"), hotpath.to_str().expect("utf-8"));
+
+    let out = inspect(&["summary", sweeps, hotpath]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("artifact        BENCH_sweeps"), "{stdout}");
+    assert!(stdout.contains("artifact        BENCH_hotpath"), "{stdout}");
+
+    let out = inspect(&["diff", sweeps, sweeps]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("identical"));
+
+    let out = inspect(&["timeline", sweeps]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("worker 0"), "{stdout}");
+}
+
+/// Artifacts from before the envelope grew version/parallelism blocks
+/// must load without errors, and checks their baseline lacks are skipped.
+#[test]
+fn reads_pre_versioned_schema_artifacts_gracefully() {
+    let old = temp_file("v1", r#"{"artifact": "BENCH_hotpath", "payload": {"rows": []}}"#);
+    let old_path = old.to_str().expect("utf-8");
+
+    let out = inspect(&["summary", old_path]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("schema_version  1"));
+
+    let out = inspect(&["timeline", old_path]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("no parallelism block"));
+
+    // An old baseline gates almost nothing — but doesn't false-positive.
+    let out = inspect(&[
+        "regress",
+        "--baseline",
+        old_path,
+        "--current",
+        baseline("BENCH_hotpath.json").to_str().expect("utf-8"),
+    ]);
+    assert!(out.status.success(), "old baseline must not fail a modern artifact: {out:?}");
+    let _ = std::fs::remove_file(&old);
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    for args in [
+        &[][..],
+        &["frobnicate"][..],
+        &["regress", "--baseline", "only-one-side.json"][..],
+        &["diff", "just-one.json"][..],
+        &["summary", "/nonexistent/sipt-artifact.json"][..],
+    ] {
+        let out = inspect(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?} must exit 2: {out:?}");
+    }
+}
+
+/// Malformed `SIPT_*` integer knobs warn on stderr and fall back to the
+/// default instead of aborting or being silently ignored — exercised
+/// through a real figure binary, which parses them via the shared
+/// `sipt_sim::env` helper.
+#[test]
+fn malformed_env_knobs_warn_on_stderr_but_run_completes() {
+    let dir = std::env::temp_dir().join(format!("sipt-envwarn-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("results dir");
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_fig02"));
+    cmd.arg("quick").arg("--json").arg("--jobs").arg("2");
+    cmd.env("SIPT_RESULTS_DIR", &dir);
+    for var in ["SIPT_FAULT_INJECT", "SIPT_AUDIT", "SIPT_TASK_TIMEOUT_MS", "SIPT_JOBS"] {
+        cmd.env_remove(var);
+    }
+    cmd.env("SIPT_TRACE_EVENTS", "banana");
+    cmd.env("SIPT_PREP_CACHE_CAP", "-3");
+    let out = cmd.output().expect("fig02 spawns");
+    assert!(out.status.success(), "malformed knobs must not abort the run: {out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("warning: malformed SIPT_TRACE_EVENTS"),
+        "trace-events warning missing: {stderr}"
+    );
+    assert!(
+        stderr.contains("warning: malformed SIPT_PREP_CACHE_CAP"),
+        "prep-cache warning missing: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,98 @@
+//! End-to-end acceptance for `--trace-spans` against the real `fig02`
+//! binary: the run writes a Perfetto-loadable Chrome trace with one
+//! track per pool worker, the report grows the v5 `observability`
+//! block — and the scientific payload stays byte-identical to a run
+//! with tracing disabled.
+
+use sipt_telemetry::json::{self, Json};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn temp_results_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sipt-trace-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+fn run_fig02(dir: &Path, extra_args: &[&str]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_fig02"));
+    cmd.arg("quick").arg("--json").arg("--jobs").arg("8").args(extra_args);
+    cmd.env("SIPT_RESULTS_DIR", dir);
+    for var in
+        ["SIPT_FAULT_INJECT", "SIPT_AUDIT", "SIPT_TASK_TIMEOUT_MS", "SIPT_JOBS", "SIPT_TRACE_SPANS"]
+    {
+        cmd.env_remove(var);
+    }
+    cmd.output().expect("fig02 spawns")
+}
+
+fn read_json(path: &Path) -> Json {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    json::parse(&text).unwrap_or_else(|e| panic!("parse {}: {e}", path.display()))
+}
+
+#[test]
+fn trace_spans_writes_perfetto_trace_with_identical_payload() {
+    let plain_dir = temp_results_dir("plain");
+    let plain = run_fig02(&plain_dir, &[]);
+    assert!(plain.status.success(), "plain run passes: {plain:?}");
+    let plain_report = read_json(&plain_dir.join("fig02.json"));
+    assert!(!plain_dir.join("fig02.trace.json").exists(), "no trace file without --trace-spans");
+    assert!(plain_report.get("observability").is_none(), "plain runs carry no observability block");
+
+    let traced_dir = temp_results_dir("traced");
+    let traced = run_fig02(&traced_dir, &["--trace-spans"]);
+    assert!(traced.status.success(), "traced run passes: {traced:?}");
+    let traced_report = read_json(&traced_dir.join("fig02.json"));
+
+    // 1. Bit-identical science: observability must live outside payload.
+    assert_eq!(
+        traced_report.path("payload").expect("payload").render(),
+        plain_report.path("payload").expect("payload").render(),
+        "--trace-spans must not change the payload"
+    );
+
+    // 2. The v5 observability block accounts for the recorded spans.
+    assert_eq!(traced_report.path("schema_version").and_then(Json::as_f64), Some(5.0));
+    let spans = traced_report.path("observability.spans").expect("spans accounting");
+    assert_eq!(spans.path("enabled").and_then(Json::as_f64), Some(1.0));
+    assert!(spans.path("events").and_then(Json::as_f64).unwrap_or(0.0) > 0.0);
+    assert_eq!(spans.path("dropped").and_then(Json::as_f64), Some(0.0));
+
+    // 3. The trace file is valid Chrome trace-event JSON with worker
+    //    tracks and balanced begin/end nesting per track.
+    let trace = read_json(&traced_dir.join("fig02.trace.json"));
+    let events = trace.path("traceEvents").and_then(Json::as_arr).expect("traceEvents[]");
+    assert_eq!(trace.path("spanDropped").and_then(Json::as_f64), Some(0.0));
+    let mut worker_tracks = std::collections::BTreeSet::new();
+    let mut depth: std::collections::BTreeMap<u64, i64> = Default::default();
+    for e in events {
+        let ph = e.path("ph").and_then(Json::as_str).expect("ph");
+        let tid = e.path("tid").and_then(Json::as_f64).expect("tid") as u64;
+        assert_eq!(e.path("pid").and_then(Json::as_f64), Some(1.0));
+        match ph {
+            "B" => *depth.entry(tid).or_default() += 1,
+            "E" => {
+                let d = depth.entry(tid).or_default();
+                *d -= 1;
+                assert!(*d >= 0, "E without matching B on tid {tid}");
+            }
+            "M" if e.path("name").and_then(Json::as_str) == Some("thread_name") && tid > 0 => {
+                let label = e.path("args.name").and_then(Json::as_str).expect("thread label");
+                assert!(label.starts_with("worker "), "worker track label: {label}");
+                worker_tracks.insert(tid);
+            }
+            _ => {}
+        }
+    }
+    assert!(depth.values().all(|&d| d == 0), "unbalanced spans: {depth:?}");
+    assert!(
+        !worker_tracks.is_empty(),
+        "a --jobs 8 sweep must emit at least one labeled worker track"
+    );
+
+    let _ = std::fs::remove_dir_all(&plain_dir);
+    let _ = std::fs::remove_dir_all(&traced_dir);
+}

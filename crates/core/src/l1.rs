@@ -21,7 +21,7 @@ use crate::config::{BypassKind, L1Config, L1Policy};
 use crate::outcome::{L1Access, SiptStats, SpeculationOutcome};
 use crate::telemetry::{AccessRecord, L1Telemetry};
 use sipt_cache::{CacheArray, Evicted, LineAddr, WayPredStats, WayPredictor, LINE_SHIFT};
-use sipt_mem::{Translation, VirtAddr, PAGE_SHIFT};
+use sipt_mem::{PageSize, Translation, VirtAddr, PAGE_SHIFT};
 use sipt_predictors::{CounterPredictor, IndexDeltaBuffer, PerceptronPredictor};
 use sipt_telemetry::SpecEventKind;
 
@@ -104,6 +104,13 @@ impl SiptL1 {
     /// most `trace_capacity` events). Replaces any existing attachment.
     pub fn attach_telemetry(&mut self, trace_capacity: usize) {
         self.telemetry = Some(Box::new(L1Telemetry::new(trace_capacity)));
+    }
+
+    /// Like [`SiptL1::attach_telemetry`], with the event tracer sampling
+    /// 1-in-`sample_every` accesses (the flight-recorder configuration;
+    /// metrics stay exact). Replaces any existing attachment.
+    pub fn attach_telemetry_sampled(&mut self, trace_capacity: usize, sample_every: u64) {
+        self.telemetry = Some(Box::new(L1Telemetry::new_sampled(trace_capacity, sample_every)));
     }
 
     /// Borrow the attached telemetry, if any.
@@ -282,6 +289,8 @@ impl SiptL1 {
                 margin,
                 hit,
                 observed_delta,
+                huge_page: translation.page_size == PageSize::Huge2M,
+                tlb_cold: tlb_cycles > l1,
             });
         }
         access
@@ -332,7 +341,7 @@ impl SiptL1 {
             wp.reset_stats();
         }
         if let Some(t) = &mut self.telemetry {
-            **t = L1Telemetry::new(t.tracer.capacity());
+            **t = L1Telemetry::new_sampled(t.tracer.capacity(), t.sample_every());
         }
     }
 

@@ -31,7 +31,7 @@
 //!
 //! [`SiptL1::attach_telemetry`]: crate::SiptL1::attach_telemetry
 
-use sipt_telemetry::{EventTracer, Log2Histogram, MetricsRegistry, SpecEvent, SpecEventKind};
+use sipt_telemetry::{EventTracer, Json, Log2Histogram, MetricsRegistry, SpecEvent, SpecEventKind};
 
 /// Every event kind, in a fixed order matching the accumulator array.
 const KINDS: [SpecEventKind; 7] = [
@@ -90,6 +90,47 @@ pub struct AccessRecord {
     pub hit: bool,
     /// Observed VA→PA index delta, when the policy tracks one.
     pub observed_delta: Option<u64>,
+    /// Whether the access translated through a 2 MiB superpage. A
+    /// superpage offset covers every L1 index bit, so a misprediction on
+    /// a superpage access means the *predictor* chose badly (bypassed or
+    /// applied a stale delta), not that the bits actually moved.
+    pub huge_page: bool,
+    /// Whether translation arrived after the array probe would have
+    /// completed (L2 TLB hit or page walk) — the "cold TLB" regime in
+    /// which speculation is most valuable and mispredictions costliest.
+    pub tlb_cold: bool,
+}
+
+/// Misprediction totals bucketed by root cause (paper §V: why the
+/// speculated index bits were wrong). A misprediction is any replayed
+/// access ([`SpecEventKind::Replay`] or [`SpecEventKind::IdbMispredict`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MispredictCauses {
+    /// VA→PA index delta genuinely changed under a 4 KiB page with a
+    /// warm TLB — the baseline speculation hazard.
+    pub delta_change: u64,
+    /// Mispredicted although the page was a 2 MiB superpage (index bits
+    /// cannot change): predictor pathology, not address-layout hazard.
+    pub superpage: u64,
+    /// Mispredicted while the translation was still in flight past the
+    /// array latency (L2 TLB hit or full walk).
+    pub cold_tlb: u64,
+}
+
+impl MispredictCauses {
+    /// Total mispredictions across all causes.
+    pub fn total(&self) -> u64 {
+        self.delta_change + self.superpage + self.cold_tlb
+    }
+
+    /// JSON object `{delta_change, superpage, cold_tlb}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("delta_change", Json::u64(self.delta_change)),
+            ("superpage", Json::u64(self.superpage)),
+            ("cold_tlb", Json::u64(self.cold_tlb)),
+        ])
+    }
 }
 
 /// Metrics + event trace attached to one [`SiptL1`](crate::SiptL1).
@@ -112,12 +153,28 @@ pub struct L1Telemetry {
     margin: Log2Histogram,
     /// `l1.idb_delta`: observed VA→PA index deltas.
     idb_delta: Log2Histogram,
+    /// Flight-recorder sampling period: every `sample_every`-th access
+    /// is pushed to the tracer (1 = every access).
+    sample_every: u64,
+    /// Accesses skipped by sampling (not pushed to the tracer).
+    sampled_out: u64,
+    /// Misprediction totals by root cause.
+    causes: MispredictCauses,
 }
 
 impl L1Telemetry {
     /// Create a telemetry bundle retaining at most `trace_capacity`
     /// events (0 disables event retention but keeps metrics).
     pub fn new(trace_capacity: usize) -> Self {
+        Self::new_sampled(trace_capacity, 1)
+    }
+
+    /// Like [`L1Telemetry::new`], sampling 1-in-`sample_every` accesses
+    /// into the event tracer (deterministic, ordinal-based — access 1,
+    /// 1+N, 1+2N, ... are kept). 0 is treated as 1 (sample everything).
+    /// Metrics, histograms, and cause counters always see every access;
+    /// only the flight-recorder ring is sampled.
+    pub fn new_sampled(trace_capacity: usize, sample_every: u64) -> Self {
         Self {
             tracer: EventTracer::new(trace_capacity),
             ordinal: 0,
@@ -127,7 +184,36 @@ impl L1Telemetry {
             replay_latency: Log2Histogram::default(),
             margin: Log2Histogram::default(),
             idb_delta: Log2Histogram::default(),
+            sample_every: sample_every.max(1),
+            sampled_out: 0,
+            causes: MispredictCauses::default(),
         }
+    }
+
+    /// The flight-recorder sampling period (1 = unsampled).
+    pub fn sample_every(&self) -> u64 {
+        self.sample_every
+    }
+
+    /// Accesses the sampler skipped (never reached the tracer).
+    pub fn sampled_out(&self) -> u64 {
+        self.sampled_out
+    }
+
+    /// Misprediction totals by root cause.
+    pub fn mispredict_causes(&self) -> MispredictCauses {
+        self.causes
+    }
+
+    /// The flight-recorder summary for the report's `observability`
+    /// block: tracer accounting (capacity/recorded/retained/dropped),
+    /// sampling accounting, and the misprediction-cause breakdown.
+    pub fn flight_json(&self) -> Json {
+        let mut j = self.tracer.to_json();
+        j.insert("sample_every", Json::u64(self.sample_every));
+        j.insert("sampled_out", Json::u64(self.sampled_out));
+        j.insert("mispredict_causes", self.causes.to_json());
+        j
     }
 
     /// Accesses recorded so far.
@@ -183,6 +269,23 @@ impl L1Telemetry {
         if let Some(delta) = rec.observed_delta {
             self.idb_delta.record(delta);
         }
+        if matches!(rec.kind, SpecEventKind::Replay | SpecEventKind::IdbMispredict) {
+            // Cause priority: a superpage misprediction is predictor
+            // pathology regardless of TLB temperature; otherwise a slow
+            // translation marks the cold-TLB regime; the remainder are
+            // genuine index-delta changes.
+            if rec.huge_page {
+                self.causes.superpage += 1;
+            } else if rec.tlb_cold {
+                self.causes.cold_tlb += 1;
+            } else {
+                self.causes.delta_change += 1;
+            }
+        }
+        if self.sample_every > 1 && !(self.ordinal - 1).is_multiple_of(self.sample_every) {
+            self.sampled_out += 1;
+            return;
+        }
         self.tracer.push(SpecEvent {
             cycle: self.ordinal,
             pc: rec.pc,
@@ -223,6 +326,8 @@ mod tests {
                 margin,
                 hit,
                 observed_delta: delta,
+                huge_page: false,
+                tlb_cold: false,
             });
             direct.incr("l1.accesses");
             if hit {
@@ -262,11 +367,88 @@ mod tests {
             margin: 0,
             hit: false,
             observed_delta: None,
+            huge_page: false,
+            tlb_cold: false,
         });
         let snap = t.metrics().snapshot();
         assert_eq!(snap.counters.get("l1.accesses"), Some(&1));
         assert!(!snap.counters.contains_key("l1.hits"));
         assert!(!snap.histograms.contains_key("l1.margin"));
         assert!(snap.histograms.contains_key("l1.latency"));
+    }
+
+    fn rec(pc: u64, kind: SpecEventKind, huge_page: bool, tlb_cold: bool) -> AccessRecord {
+        AccessRecord {
+            pc,
+            kind,
+            speculated_bits: 0,
+            actual_bits: 1,
+            latency: 7,
+            margin: 0,
+            hit: true,
+            observed_delta: None,
+            huge_page,
+            tlb_cold,
+        }
+    }
+
+    /// Sampling must thin only the tracer: metrics and cause counters
+    /// keep exact totals, and the skipped accesses are accounted.
+    #[test]
+    fn sampling_thins_tracer_but_not_metrics() {
+        let mut t = L1Telemetry::new_sampled(64, 4);
+        for i in 0..10 {
+            t.record(&rec(i, SpecEventKind::FastHit, false, false));
+        }
+        assert_eq!(t.accesses(), 10);
+        assert_eq!(t.metrics().snapshot().counters["l1.fast_hit"], 10);
+        // Ordinals 1, 5, 9 sampled in; the other 7 sampled out.
+        assert_eq!(t.tracer.recorded(), 3);
+        assert_eq!(t.sampled_out(), 7);
+        let cycles: Vec<u64> = t.tracer.iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![1, 5, 9], "deterministic ordinal-based sampling");
+        let j = t.flight_json();
+        assert_eq!(j.path("sample_every").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(j.path("sampled_out").and_then(Json::as_f64), Some(7.0));
+    }
+
+    /// Mispredictions bucket by cause with superpage > cold-TLB > delta
+    /// priority; correct speculations never count.
+    #[test]
+    fn mispredict_causes_bucket_by_priority() {
+        let mut t = L1Telemetry::new(16);
+        t.record(&rec(0, SpecEventKind::Replay, false, false)); // delta change
+        t.record(&rec(1, SpecEventKind::Replay, true, true)); // superpage wins
+        t.record(&rec(2, SpecEventKind::IdbMispredict, false, true)); // cold TLB
+        t.record(&rec(3, SpecEventKind::FastHit, true, true)); // not a mispredict
+        t.record(&rec(4, SpecEventKind::BypassWait, false, true)); // not a mispredict
+        let causes = t.mispredict_causes();
+        assert_eq!(causes.delta_change, 1);
+        assert_eq!(causes.superpage, 1);
+        assert_eq!(causes.cold_tlb, 1);
+        assert_eq!(causes.total(), 3);
+        let j = t.flight_json();
+        assert_eq!(j.path("mispredict_causes.superpage").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(j.path("capacity").and_then(Json::as_f64), Some(16.0));
+    }
+
+    /// The sampling configuration must not leak into the metrics
+    /// snapshot (payload safety: reports are fingerprint-pinned).
+    #[test]
+    fn sampling_leaves_metrics_snapshot_identical() {
+        let mut full = L1Telemetry::new(32);
+        let mut sampled = L1Telemetry::new_sampled(32, 8);
+        for i in 0..20 {
+            let r = rec(
+                i,
+                if i % 3 == 0 { SpecEventKind::Replay } else { SpecEventKind::FastHit },
+                false,
+                i % 2 == 0,
+            );
+            full.record(&r);
+            sampled.record(&r);
+        }
+        assert_eq!(full.metrics().snapshot(), sampled.metrics().snapshot());
+        assert_eq!(full.mispredict_causes(), sampled.mispredict_causes());
     }
 }

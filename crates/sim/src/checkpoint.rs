@@ -440,6 +440,7 @@ impl CheckpointHandle {
     /// stderr but never abort the sweep — a checkpoint is an optimization,
     /// not a correctness requirement.
     pub fn append(&self, key: &str, fingerprint: u64, metrics: &RunMetrics) {
+        let _span = sipt_telemetry::Span::enter(format!("ckpt append {key}"), "checkpoint");
         let line = format!(
             "{{\"key\":\"{key}\",\"fp\":\"{fingerprint:016x}\",\"m\":\"{}\"}}\n",
             hex_encode(&encode_metrics(metrics))
@@ -492,6 +493,7 @@ pub fn clear() {
 /// [`SimError::Checkpoint`] when the file (or its parent directory)
 /// cannot be created or read.
 pub fn configure(path: &Path, resume: bool) -> Result<CheckpointHandle, SimError> {
+    let _span = sipt_telemetry::Span::enter(format!("ckpt load {}", path.display()), "checkpoint");
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent)

@@ -1,0 +1,72 @@
+//! One shared policy for numeric environment knobs.
+//!
+//! Every `SIPT_*` tuning variable used to hand-roll its own parse — some
+//! warned on malformed values (`SIPT_TRACE_EVENTS`), some silently
+//! ignored them (`SIPT_TASK_TIMEOUT_MS`). This module unifies them: a
+//! malformed value **always** produces one human-readable warning on
+//! stderr naming the variable and the rejected text, and the knob falls
+//! back to its default. Unset variables are silent.
+//!
+//! Callers typically wrap [`parse_or_warn`] in a `OnceLock` so the parse
+//! (and any warning) happens once per process; the helper itself is
+//! stateless and warns on every call, which is what the warning-emission
+//! test exercises.
+
+/// Parse `name` from the environment as a `u64`.
+///
+/// Returns `None` when unset or set to an empty string (both mean "use
+/// the default", silently); warns on stderr and returns `None` when set
+/// but malformed (non-integer, negative, overflow). Surrounding
+/// whitespace is tolerated.
+pub fn parse_or_warn(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    if raw.trim().is_empty() {
+        return None;
+    }
+    parse_value(name, &raw)
+}
+
+/// The pure parsing/warning core of [`parse_or_warn`], separated so the
+/// warning path is unit-testable without mutating the process
+/// environment.
+pub fn parse_value(name: &str, raw: &str) -> Option<u64> {
+    match raw.trim().parse::<u64>() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!("warning: malformed {name}={raw:?} (not an unsigned integer); ignoring");
+            None
+        }
+    }
+}
+
+/// [`parse_or_warn`] with a default for unset/malformed values.
+pub fn parse_or_warn_default(name: &str, default: u64) -> u64 {
+    parse_or_warn(name).unwrap_or(default)
+}
+
+/// Whether a boolean-ish `SIPT_*` switch is set: any non-empty value
+/// other than `0` counts as on (matching `SIPT_JSON` semantics).
+pub fn switch_enabled(name: &str) -> bool {
+    matches!(std::env::var(name), Ok(v) if !v.is_empty() && v != "0")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_and_padded_integers() {
+        assert_eq!(parse_value("SIPT_X", "42"), Some(42));
+        assert_eq!(parse_value("SIPT_X", " 7 "), Some(7));
+        assert_eq!(parse_value("SIPT_X", "0"), Some(0));
+    }
+
+    #[test]
+    fn rejects_malformed_values() {
+        assert_eq!(parse_value("SIPT_X", "four"), None);
+        assert_eq!(parse_value("SIPT_X", "-3"), None);
+        assert_eq!(parse_value("SIPT_X", "1.5"), None);
+        assert_eq!(parse_value("SIPT_X", ""), None);
+        assert_eq!(parse_value("SIPT_X", "99999999999999999999999"), None);
+    }
+}

@@ -20,11 +20,13 @@
 
 pub mod audit;
 pub mod checkpoint;
+pub mod env;
 pub mod error;
 pub mod experiments;
 pub mod machine;
 pub mod metrics;
 pub mod multicore;
+pub mod observability;
 pub mod prep_cache;
 pub mod resilience;
 pub mod runner;

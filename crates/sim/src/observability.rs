@@ -1,0 +1,145 @@
+//! Process-wide observability accounting for the report envelope.
+//!
+//! Two signals feed the schema-v5 `observability` block:
+//!
+//! 1. **Span sink accounting** — event/drop counts from
+//!    [`sipt_telemetry::span`] when `--trace-spans` / `SIPT_TRACE_SPANS`
+//!    armed host tracing (the spans themselves export separately to
+//!    `results/<name>.trace.json`).
+//! 2. **Speculation flight recorder** — per-run summaries of the sampled
+//!    [`EventTracer`](sipt_telemetry::EventTracer) ring: capacity /
+//!    recorded / retained / dropped counts, the 1-in-N sampling
+//!    configuration (`SIPT_FLIGHT_SAMPLE`), and the misprediction
+//!    breakdown by cause (delta change / superpage / cold TLB).
+//!
+//! Like the `resilience` block, the entries live in a bounded
+//! process-wide registry (mirroring `resilience::REGISTRY`) rather than
+//! in `RunMetrics`, so the checkpoint codec and the fingerprint-pinned
+//! payloads stay untouched. [`observability_json`] returns `None` when
+//! nothing observability-related is armed, keeping plain runs'
+//! envelopes byte-identical to v4 modulo the version number.
+
+use sipt_telemetry::{span, Json};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// Cap on retained per-run flight summaries; a 10k-run sweep should not
+/// bloat its report. Overflow is counted, never silent.
+const MAX_FLIGHT_RUNS: usize = 256;
+
+#[derive(Default)]
+struct Registry {
+    flights: Vec<Json>,
+    dropped_runs: u64,
+}
+
+static REGISTRY: Mutex<Option<Registry>> = Mutex::new(None);
+
+fn with_registry<R>(f: impl FnOnce(&mut Registry) -> R) -> R {
+    let mut guard = REGISTRY.lock().unwrap_or_else(PoisonError::into_inner);
+    f(guard.get_or_insert_with(Registry::default))
+}
+
+/// The `SIPT_FLIGHT_SAMPLE` override, parsed once: `Some(n)` when the
+/// variable is set to a valid integer (0 is clamped to 1 — sample
+/// everything), `None` when unset or malformed (which warns).
+pub(crate) fn flight_sample_override() -> Option<u64> {
+    static PARSED: OnceLock<Option<u64>> = OnceLock::new();
+    *PARSED.get_or_init(|| crate::env::parse_or_warn("SIPT_FLIGHT_SAMPLE").map(|n| n.max(1)))
+}
+
+/// The flight-recorder sampling period: every Nth speculation event is
+/// retained in the per-run tracer ring. Defaults to 1 (unsampled).
+pub fn flight_sample_every() -> u64 {
+    flight_sample_override().unwrap_or(1)
+}
+
+/// Whether the flight recorder is armed — an event-trace capacity was
+/// requested (`SIPT_TRACE_EVENTS`) or a sampling period was configured
+/// (`SIPT_FLIGHT_SAMPLE`). Per-run summaries are only collected when
+/// armed, so default runs carry no observability weight.
+pub fn flight_armed() -> bool {
+    crate::runner::trace_capacity() > 0 || flight_sample_override().is_some()
+}
+
+/// Record one finished run's flight-recorder summary (its
+/// `L1Telemetry::flight_json` plus the run name).
+pub(crate) fn record_flight(run: &str, mut summary: Json) {
+    summary.insert("run", Json::str(run));
+    with_registry(|r| {
+        if r.flights.len() >= MAX_FLIGHT_RUNS {
+            r.dropped_runs += 1;
+        } else {
+            r.flights.push(summary);
+        }
+    });
+}
+
+/// Drop all recorded flight summaries (tests and sweep-service reuse).
+pub fn clear() {
+    let mut guard = REGISTRY.lock().unwrap_or_else(PoisonError::into_inner);
+    *guard = None;
+}
+
+/// The envelope's `observability` block, or `None` when neither span
+/// tracing nor the flight recorder is armed (so clean runs stay
+/// byte-identical to schema v4 modulo the version number).
+pub fn observability_json() -> Option<Json> {
+    let spans_armed = span::enabled() || span::recorded() > 0 || span::dropped() > 0;
+    let (flights, dropped_runs) = with_registry(|r| (r.flights.clone(), r.dropped_runs));
+    let flight_on = flight_armed() || !flights.is_empty();
+    if !spans_armed && !flight_on {
+        return None;
+    }
+    let mut block = Json::obj::<&str>([]);
+    if spans_armed {
+        block.insert("spans", span::summary_json());
+    }
+    if flight_on {
+        block.insert(
+            "flight_recorder",
+            Json::obj([
+                ("sample_every", Json::u64(flight_sample_every())),
+                ("runs", Json::arr(flights)),
+                ("dropped_runs", Json::u64(dropped_runs)),
+            ]),
+        );
+    }
+    Some(block)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialized against other tests touching the global registry and
+    /// span sink via a private gate (the registry is process-wide).
+    static GATE: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn flight_entries_accumulate_and_bound() {
+        let _g = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+        clear();
+        for i in 0..(MAX_FLIGHT_RUNS + 3) {
+            record_flight(&format!("run{i}"), Json::obj([("recorded", Json::u64(i as u64))]));
+        }
+        let block = observability_json().expect("entries present");
+        let runs = block.path("flight_recorder.runs").and_then(Json::as_arr).unwrap();
+        assert_eq!(runs.len(), MAX_FLIGHT_RUNS);
+        assert_eq!(runs[0].path("run").and_then(Json::as_str), Some("run0"));
+        assert_eq!(block.path("flight_recorder.dropped_runs").and_then(Json::as_f64), Some(3.0));
+        clear();
+    }
+
+    #[test]
+    fn silent_when_nothing_armed() {
+        let _g = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+        clear();
+        // Spans disabled and no flight entries: the block must vanish
+        // (unless another test armed the process-wide span sink or an
+        // SIPT_TRACE_EVENTS env leaked in, which the suite avoids).
+        if !span::enabled() && span::recorded() == 0 && !flight_armed() {
+            assert!(observability_json().is_none());
+        }
+        clear();
+    }
+}

@@ -37,6 +37,7 @@ use crate::error::SimError;
 use crate::runner::{try_prepare_run, Condition, PreparedRun};
 use sipt_mem::AddressSpace;
 use sipt_telemetry::json::Json;
+use sipt_telemetry::Span;
 use sipt_workloads::{MaterializedTrace, WorkloadSpec};
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -106,15 +107,13 @@ static OVERRIDE: AtomicU8 = AtomicU8::new(0);
 /// users keep their `Arc`s, so eviction never affects running tasks).
 fn capacity() -> usize {
     static PARSED: OnceLock<usize> = OnceLock::new();
-    *PARSED.get_or_init(|| match std::env::var("SIPT_PREP_CACHE_CAP") {
-        Ok(v) => v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
-            eprintln!(
-                "warning: malformed SIPT_PREP_CACHE_CAP={v:?} (not a positive integer); \
-                 using the default of 64"
-            );
+    *PARSED.get_or_init(|| match crate::env::parse_or_warn("SIPT_PREP_CACHE_CAP") {
+        Some(0) => {
+            eprintln!("warning: SIPT_PREP_CACHE_CAP=0 is not a usable capacity; using 64");
             64
-        }),
-        Err(_) => 64,
+        }
+        Some(n) => n.min(usize::MAX as u64) as usize,
+        None => 64,
     })
 }
 
@@ -164,7 +163,9 @@ fn prepare_fresh(spec: &WorkloadSpec, cond: &Condition) -> CacheResult {
 /// impossible workload reports the same error without re-failing the
 /// expensive preparation.
 pub fn get_or_prepare(spec: &WorkloadSpec, cond: &Condition) -> CacheResult {
+    let mut span = Span::enter(format!("prep {}", spec.name), "prep_cache");
     if !enabled() {
+        span.arg("outcome", Json::str("bypass"));
         return prepare_fresh(spec, cond);
     }
     let key = fingerprint(spec, cond);
@@ -174,10 +175,12 @@ pub fn get_or_prepare(spec: &WorkloadSpec, cond: &Condition) -> CacheResult {
         match state.map.get(&key) {
             Some(cell) => {
                 HITS.fetch_add(1, Ordering::Relaxed);
+                span.arg("outcome", Json::str("hit"));
                 Arc::clone(cell)
             }
             None => {
                 MISSES.fetch_add(1, Ordering::Relaxed);
+                span.arg("outcome", Json::str("miss"));
                 let cell: Cell = Arc::new(Mutex::new(None));
                 state.map.insert(key, Arc::clone(&cell));
                 state.order.push_back(key);

@@ -120,6 +120,14 @@ fn with_registry<R>(f: impl FnOnce(&mut Registry) -> R) -> R {
 /// this; tests may too).
 pub fn record_failure(failure: TaskFailure) {
     eprintln!("sweep task failure: {failure}");
+    sipt_telemetry::span::instant_with(
+        format!("task {} failed", failure.task),
+        "resilience",
+        vec![
+            ("label", Json::str(&failure.label)),
+            ("attempts", Json::u64(failure.attempts as u64)),
+        ],
+    );
     with_registry(|r| r.failures.push(failure));
 }
 
@@ -129,12 +137,21 @@ pub fn record_watchdog_flag(flag: WatchdogFlag) {
         "watchdog: task {} exceeded --task-timeout ({:.0} ms > {} ms)",
         flag.task, flag.elapsed_ms, flag.timeout_ms
     );
+    sipt_telemetry::span::instant_with(
+        format!("watchdog flag task {}", flag.task),
+        "resilience",
+        vec![
+            ("elapsed_ms", Json::num(flag.elapsed_ms)),
+            ("timeout_ms", Json::u64(flag.timeout_ms)),
+        ],
+    );
     with_registry(|r| r.watchdog_flags.push(flag));
 }
 
 /// Record that a retry was spent (an attempt failed but the budget allowed
 /// another).
 pub fn record_retry() {
+    sipt_telemetry::span::instant("retry", "resilience");
     with_registry(|r| r.retries_spent += 1);
 }
 
@@ -209,19 +226,7 @@ static RETRIES_OVERRIDE: AtomicUsize = AtomicUsize::new(usize::MAX);
 /// `--task-timeout` override in ms (0 = unset, `u64::MAX` = explicitly off).
 static TIMEOUT_OVERRIDE_MS: AtomicU64 = AtomicU64::new(0);
 
-fn env_u64(name: &str) -> Option<u64> {
-    match std::env::var(name) {
-        Ok(v) if v.is_empty() => None,
-        Ok(v) => match v.parse::<u64>() {
-            Ok(n) => Some(n),
-            Err(_) => {
-                eprintln!("warning: malformed {name}={v:?} (not an integer); ignoring");
-                None
-            }
-        },
-        Err(_) => None,
-    }
-}
+use crate::env::parse_or_warn as env_u64;
 
 /// Set the per-task retry budget (number of *re*-executions after a
 /// panicked attempt). Takes precedence over `SIPT_TASK_RETRIES`.

@@ -14,6 +14,7 @@ use sipt_core::L1Config;
 use sipt_cpu::{simulate_inorder, simulate_ooo, CoreResult, InOrderConfig, OooConfig};
 use sipt_mem::{fragment_memory, AddressSpace, BuddyAllocator, PlacementPolicy, TranslationCache};
 use sipt_rng::{SeedableRng, StdRng};
+use sipt_telemetry::Span;
 use sipt_workloads::{benchmark, TraceGen, WorkloadSpec};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
@@ -28,16 +29,8 @@ use std::time::Instant;
 /// capacity.
 pub(crate) fn trace_capacity() -> usize {
     static PARSED: OnceLock<usize> = OnceLock::new();
-    *PARSED.get_or_init(|| match std::env::var("SIPT_TRACE_EVENTS") {
-        Ok(v) if v.is_empty() => 0,
-        Ok(v) => v.parse().unwrap_or_else(|_| {
-            eprintln!(
-                "warning: malformed SIPT_TRACE_EVENTS={v:?} (not an integer); \
-                 event tracing disabled"
-            );
-            0
-        }),
-        Err(_) => 0,
+    *PARSED.get_or_init(|| {
+        crate::env::parse_or_warn("SIPT_TRACE_EVENTS").unwrap_or(0).min(usize::MAX as u64) as usize
     })
 }
 
@@ -254,17 +247,29 @@ pub(crate) fn try_run_spec_with_trace_capacity(
     trace_events: usize,
 ) -> Result<RunMetrics, SimError> {
     let t0 = Instant::now();
-    let prepared = crate::prep_cache::get_or_prepare(spec, cond)?;
-    let mut machine = Machine::new_shared(Arc::clone(&prepared.asp), l1, system);
-    machine.l1_mut().attach_telemetry(trace_events);
+    let (prepared, mut machine) = {
+        let _phase = Span::enter(format!("allocate {}", spec.name), "run.phase");
+        let prepared = crate::prep_cache::get_or_prepare(spec, cond)?;
+        let mut machine = Machine::new_shared(Arc::clone(&prepared.asp), l1, system);
+        machine
+            .l1_mut()
+            .attach_telemetry_sampled(trace_events, crate::observability::flight_sample_every());
+        (prepared, machine)
+    };
     let allocated = Instant::now();
 
     let mut cursor = prepared.trace.cursor();
-    let warm = (&mut cursor).take(cond.warmup as usize);
-    run_core(system, warm, &mut machine);
-    machine.reset_stats();
+    {
+        let _phase = Span::enter(format!("warmup {}", spec.name), "run.phase");
+        let warm = (&mut cursor).take(cond.warmup as usize);
+        run_core(system, warm, &mut machine);
+        machine.reset_stats();
+    }
     let warmed = Instant::now();
-    let core = run_core(system, cursor, &mut machine);
+    let core = {
+        let _phase = Span::enter(format!("measure {}", spec.name), "run.phase");
+        run_core(system, cursor, &mut machine)
+    };
     let measured = Instant::now();
 
     let measure_secs = measured.duration_since(warmed).as_secs_f64();
@@ -304,6 +309,11 @@ where
 /// the default).
 pub(crate) fn collect(name: &str, core: CoreResult, machine: &Machine) -> RunMetrics {
     let energy = sipt_energy::account(&machine.energy_params(), &machine.activity(core.cycles));
+    if crate::observability::flight_armed() {
+        if let Some(t) = machine.l1().telemetry() {
+            crate::observability::record_flight(name, t.flight_json());
+        }
+    }
     RunMetrics {
         name: name.to_owned(),
         core,

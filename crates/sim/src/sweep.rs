@@ -35,6 +35,7 @@ use crate::metrics::RunMetrics;
 use crate::resilience::{self, TaskFailure, WatchdogFlag};
 use crate::runner::{run_spec_with_trace_capacity, trace_capacity, Condition};
 use sipt_telemetry::json::Json;
+use sipt_telemetry::{span, Span};
 use sipt_workloads::{benchmark, WorkloadSpec};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -52,20 +53,13 @@ static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 /// fall back to the default rather than being silently treated as 0.
 fn jobs_from_env() -> Option<usize> {
     static PARSED: OnceLock<Option<usize>> = OnceLock::new();
-    *PARSED.get_or_init(|| match std::env::var("SIPT_JOBS") {
-        Ok(v) if v.is_empty() => None,
-        Ok(v) => match v.parse::<usize>() {
-            Ok(0) => {
-                eprintln!("warning: SIPT_JOBS=0 is invalid (need >= 1); using the default");
-                None
-            }
-            Ok(n) => Some(n),
-            Err(_) => {
-                eprintln!("warning: malformed SIPT_JOBS={v:?} (not an integer); using the default");
-                None
-            }
-        },
-        Err(_) => None,
+    *PARSED.get_or_init(|| match crate::env::parse_or_warn("SIPT_JOBS") {
+        Some(0) => {
+            eprintln!("warning: SIPT_JOBS=0 is invalid (need >= 1); using the default");
+            None
+        }
+        Some(n) => Some(n.min(usize::MAX as u64) as usize),
+        None => None,
     })
 }
 
@@ -299,6 +293,11 @@ fn execute_attempts<T, F: FnMut(usize) -> T>(
     let mut busy = 0.0;
     let mut last: Option<(String, f64)> = None;
     for attempt in 0..max_attempts {
+        let mut task_span = Span::enter_with(
+            label.to_owned(),
+            "sweep.task",
+            vec![("task", Json::u64(id as u64)), ("attempt", Json::u64(u64::from(attempt)))],
+        );
         let t0 = Instant::now();
         let outcome = resilience::catch_task_panic(|| {
             resilience::inject_at_task_start(id, attempt);
@@ -307,8 +306,12 @@ fn execute_attempts<T, F: FnMut(usize) -> T>(
         let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
         busy += elapsed_ms;
         match outcome {
-            Ok(value) => return (Ok(value), busy),
+            Ok(value) => {
+                task_span.arg("status", Json::str("ok"));
+                return (Ok(value), busy);
+            }
             Err(panic_msg) => {
+                task_span.arg("status", Json::str("panicked"));
                 if attempt + 1 < max_attempts {
                     resilience::record_retry();
                     eprintln!(
@@ -410,24 +413,30 @@ where
             let ids = &ids;
             let next = &next;
             let slots = Arc::clone(&watchdog.slots);
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(move || {
+                // Claim a stable trace track: tid 0 is the orchestrator,
+                // workers are 1..=jobs regardless of OS thread identity.
+                span::set_virtual_tid(worker as u32 + 1, &format!("worker {worker}"));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let (label, mut task) = task_cells[i]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .take()
+                        .expect("task claimed twice");
+                    Watchdog::begin(&slots, worker, ids[i]);
+                    let (result, task_busy) =
+                        execute_attempts(ids[i], &label, worker, max_attempts, &mut task);
+                    Watchdog::finish(&slots, worker);
+                    *busy_cell.lock().unwrap_or_else(std::sync::PoisonError::into_inner) +=
+                        task_busy;
+                    assigned[i].store(worker, Ordering::Relaxed);
+                    *result_cells[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+                        Some(result);
                 }
-                let (label, mut task) = task_cells[i]
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .take()
-                    .expect("task claimed twice");
-                Watchdog::begin(&slots, worker, ids[i]);
-                let (result, task_busy) =
-                    execute_attempts(ids[i], &label, worker, max_attempts, &mut task);
-                Watchdog::finish(&slots, worker);
-                *busy_cell.lock().unwrap_or_else(std::sync::PoisonError::into_inner) += task_busy;
-                assigned[i].store(worker, Ordering::Relaxed);
-                *result_cells[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
-                    Some(result);
             });
         }
     });
@@ -667,6 +676,11 @@ impl Sweep {
         let capacity = trace_capacity();
         let n = self.requests.len();
         let sweep_seq = next_sweep_seq();
+        let _sweep_span = Span::enter_with(
+            format!("sweep {sweep_seq}"),
+            "sweep",
+            vec![("tasks", Json::u64(n as u64)), ("jobs", Json::u64(jobs.max(1) as u64))],
+        );
         // Global ids are allocated for *every* slot — including ones that
         // resume from a checkpoint — so fault-injection task ids stay
         // stable whether or not a resume skipped work.
@@ -677,6 +691,7 @@ impl Sweep {
         let mut slots: Vec<Option<RunMetrics>> = (0..n).map(|_| None).collect();
         let mut restored = 0u64;
         if let Some(ckpt) = &ckpt {
+            let mut restore_span = Span::enter(format!("restore sweep {sweep_seq}"), "checkpoint");
             for (i, req) in self.requests.iter().enumerate() {
                 let key = checkpoint::task_key(sweep_seq, i);
                 if let Some(metrics) = ckpt.restore(&key, req.fingerprint()) {
@@ -684,6 +699,7 @@ impl Sweep {
                     restored += 1;
                 }
             }
+            restore_span.arg("restored", Json::u64(restored));
             if restored > 0 {
                 resilience::record_checkpoint_hits(restored);
                 eprintln!(

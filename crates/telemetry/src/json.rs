@@ -95,6 +95,23 @@ impl Json {
         }
     }
 
+    /// The value as an ordered key→value map, if an object. Iteration
+    /// order is the `BTreeMap`'s (sorted), so walks are deterministic.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Insert into an object in place (panics on non-objects — builder
     /// convenience).
     pub fn insert(&mut self, key: impl Into<String>, value: Json) -> &mut Self {

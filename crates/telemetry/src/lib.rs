@@ -20,7 +20,11 @@
 //! 3. [`json`] + [`report`] — a hand-rolled (no serde) JSON value type
 //!    with renderer *and* parser, and the `results/<name>.json` report
 //!    envelope used by every `fig*`/`tab*`/`ablation_*` binary behind
-//!    the `--json` / `SIPT_JSON=1` switch.
+//!    the `--json` / `SIPT_JSON=1` switch;
+//! 4. [`span`] — hierarchical host wall-clock spans ([`Span::enter`],
+//!    thread-local nesting, virtual per-worker tids) exported as Chrome
+//!    trace-event / Perfetto JSON (`results/<name>.trace.json`) behind
+//!    `--trace-spans` / `SIPT_TRACE_SPANS=1`.
 //!
 //! ## Example
 //!
@@ -50,9 +54,11 @@ pub mod hist;
 pub mod json;
 pub mod registry;
 pub mod report;
+pub mod span;
 pub mod trace;
 
 pub use hist::{Log2Histogram, BUCKETS};
 pub use json::Json;
 pub use registry::{MetricsRegistry, MetricsSnapshot};
+pub use span::{Span, SpanEvent, SpanPhase};
 pub use trace::{EventTracer, SpecEvent, SpecEventKind};

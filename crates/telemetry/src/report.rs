@@ -30,7 +30,14 @@ pub fn json_requested() -> bool {
 ///   object (`{enabled, hits, misses, entries}`) accounting for the
 ///   workload-preparation cache. Wall-clock bookkeeping only; the
 ///   scientific `payload` is byte-identical to v3 payloads.
-pub const REPORT_SCHEMA_VERSION: u32 = 4;
+/// - **5** — adds an optional top-level `observability` object: span
+///   sink accounting (`spans`), the sampled speculation flight recorder
+///   (`flight_recorder` per-run entries with `EventTracer` capacity/
+///   recorded/dropped counts and a misprediction breakdown by cause —
+///   delta change, superpage, cold TLB). Present only when tracing or
+///   the flight recorder is armed, so plain runs stay byte-identical to
+///   v4 modulo the version number.
+pub const REPORT_SCHEMA_VERSION: u32 = 5;
 
 /// Wrap an artifact's payload in the standard report envelope:
 /// `{"schema_version", "artifact", "payload"}`.
@@ -46,17 +53,18 @@ pub fn envelope(artifact: &str, payload: Json) -> Json {
 /// ran sweeps in parallel (pass `None` to omit the key, e.g. for purely
 /// analytic artifacts).
 pub fn envelope_with_parallelism(artifact: &str, payload: Json, parallelism: Option<Json>) -> Json {
-    envelope_full(artifact, payload, parallelism, None)
+    envelope_full(artifact, payload, parallelism, None, None)
 }
 
-/// The full v3 envelope: optional `parallelism` (v2) and `resilience`
-/// (v3) blocks. `None` omits the key, so clean runs carry no extra
-/// weight.
+/// The full v5 envelope: optional `parallelism` (v2), `resilience`
+/// (v3), and `observability` (v5) blocks. `None` omits the key, so
+/// clean runs carry no extra weight.
 pub fn envelope_full(
     artifact: &str,
     payload: Json,
     parallelism: Option<Json>,
     resilience: Option<Json>,
+    observability: Option<Json>,
 ) -> Json {
     let mut e = envelope(artifact, payload);
     if let Some(p) = parallelism {
@@ -64,6 +72,9 @@ pub fn envelope_full(
     }
     if let Some(r) = resilience {
         e.insert("resilience", r);
+    }
+    if let Some(o) = observability {
+        e.insert("observability", o);
     }
     e
 }
@@ -94,7 +105,7 @@ mod tests {
     fn envelope_has_stable_keys() {
         let e = envelope("fig01", Json::obj([("rows", Json::arr([]))]));
         let parsed = parse(&e.render()).unwrap();
-        assert_eq!(parsed.path("schema_version").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(parsed.path("schema_version").and_then(Json::as_f64), Some(5.0));
         assert_eq!(parsed.path("artifact").and_then(Json::as_str), Some("fig01"));
         assert!(parsed.path("payload.rows").is_some());
     }
@@ -110,22 +121,39 @@ mod tests {
         );
         let parsed = parse(&with.render()).unwrap();
         assert_eq!(parsed.path("parallelism.jobs").and_then(Json::as_f64), Some(4.0));
-        assert_eq!(parsed.path("schema_version").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(parsed.path("schema_version").and_then(Json::as_f64), Some(5.0));
     }
 
     #[test]
     fn resilience_block_is_optional_and_v3() {
-        let clean = envelope_full("fig02", Json::u64(1), None, None);
+        let clean = envelope_full("fig02", Json::u64(1), None, None, None);
         assert!(parse(&clean.render()).unwrap().path("resilience").is_none());
         let faulty = envelope_full(
             "fig02",
             Json::u64(1),
             None,
             Some(Json::obj([("failures", Json::arr([Json::obj([("task", Json::u64(3))])]))])),
+            None,
         );
         let parsed = parse(&faulty.render()).unwrap();
-        assert_eq!(parsed.path("schema_version").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(parsed.path("schema_version").and_then(Json::as_f64), Some(5.0));
         assert!(parsed.path("resilience.failures").is_some());
+    }
+
+    #[test]
+    fn observability_block_is_optional_and_v5() {
+        let clean = envelope_full("fig02", Json::u64(1), None, None, None);
+        assert!(parse(&clean.render()).unwrap().path("observability").is_none());
+        let traced = envelope_full(
+            "fig02",
+            Json::u64(1),
+            None,
+            None,
+            Some(Json::obj([("spans", Json::obj([("events", Json::u64(12))]))])),
+        );
+        let parsed = parse(&traced.render()).unwrap();
+        assert_eq!(parsed.path("schema_version").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(parsed.path("observability.spans.events").and_then(Json::as_f64), Some(12.0));
     }
 
     #[test]

@@ -1,0 +1,454 @@
+//! Hierarchical wall-clock spans with a Chrome trace-event exporter.
+//!
+//! Everything the sweep engine does on the host — running a task,
+//! allocating a workload, warming up, measuring, hitting the prep cache,
+//! appending a checkpoint — can be wrapped in a [`Span`]. Spans nest
+//! per thread (enter/exit pairs form a stack), carry a category and
+//! optional key/value args, and are recorded into one process-wide sink.
+//! The sink exports the Chrome trace-event JSON array format (`{"traceEvents":
+//! [...]}`) that `ui.perfetto.dev` and `chrome://tracing` load directly,
+//! so a whole figure sweep renders as a per-worker timeline.
+//!
+//! Tracing is **off by default** and costs exactly one relaxed atomic
+//! load per [`Span::enter`] while disabled — cheap enough to leave the
+//! instrumentation in hot orchestration paths unconditionally. Enabling
+//! is process-wide ([`set_enabled`]); producers arm it from
+//! `--trace-spans` / `SIPT_TRACE_SPANS=1`.
+//!
+//! Host timestamps are wall-clock and therefore nondeterministic, but
+//! the *structure* of the trace — the sequence of begin/end/instant
+//! events, their names, categories and thread ids — is deterministic
+//! for a serial (`--jobs 1`) sweep, which is what the golden span-tree
+//! test pins.
+//!
+//! ## Thread identity
+//!
+//! Chrome traces group events into tracks by `(pid, tid)`. Real OS
+//! thread ids are nondeterministic and meaningless across runs, so the
+//! sink uses *virtual* tids: tid 0 is the orchestrator ("main"), and
+//! pool workers call [`set_virtual_tid`] to claim `worker+1` with a
+//! stable display name. Threads that never claim a tid record on tid 0;
+//! this is safe for begin/end nesting as long as only one such thread
+//! emits paired events at a time (instants never break nesting).
+
+use crate::json::Json;
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// Hard bound on retained span events; past it, events are counted in
+/// [`dropped`] and discarded. 1Mi events ≈ a few hundred MB of JSON —
+/// far beyond any sweep this repo runs, but a runaway loop must not
+/// OOM the host.
+pub const MAX_SPAN_EVENTS: usize = 1 << 20;
+
+/// The trace-event phase of one recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanPhase {
+    /// Duration begin (`"ph":"B"`).
+    Begin,
+    /// Duration end (`"ph":"E"`).
+    End,
+    /// Instant event (`"ph":"i"`), thread-scoped.
+    Instant,
+}
+
+impl SpanPhase {
+    /// Chrome trace-event `ph` string.
+    pub fn ph(self) -> &'static str {
+        match self {
+            SpanPhase::Begin => "B",
+            SpanPhase::End => "E",
+            SpanPhase::Instant => "i",
+        }
+    }
+}
+
+/// One recorded event, in process-global record order.
+#[derive(Debug, Clone)]
+pub struct SpanEvent {
+    /// Trace-event phase.
+    pub phase: SpanPhase,
+    /// Event name (span or instant label).
+    pub name: String,
+    /// Category (`"sweep"`, `"run"`, `"prep_cache"`, `"checkpoint"`, ...).
+    pub cat: &'static str,
+    /// Microseconds since the process trace anchor (monotonic clock).
+    pub ts_us: u64,
+    /// Virtual thread id (track) the event belongs to.
+    pub tid: u32,
+    /// Optional key/value args rendered into the event's `args` object.
+    pub args: Vec<(&'static str, Json)>,
+}
+
+struct Sink {
+    events: Vec<SpanEvent>,
+    dropped: u64,
+    thread_names: BTreeMap<u32, String>,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SINK: Mutex<Option<Sink>> = Mutex::new(None);
+
+thread_local! {
+    static VIRTUAL_TID: Cell<u32> = const { Cell::new(0) };
+    /// Per-thread stack of open span names, so `End` events can carry the
+    /// matching name (Perfetto tolerates anonymous `E`s, but named pairs
+    /// make the trace greppable).
+    static OPEN_SPANS: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+fn anchor() -> &'static Instant {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    ANCHOR.get_or_init(Instant::now)
+}
+
+fn now_us() -> u64 {
+    u64::try_from(anchor().elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Globally enable or disable span recording. Disabled is the default;
+/// while disabled, [`Span::enter`] is a single relaxed atomic load.
+pub fn set_enabled(on: bool) {
+    if on {
+        // Pin the time anchor before the first span so ts 0 ≈ arm time.
+        let _ = anchor();
+    }
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether span recording is currently enabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Claim a virtual thread id (trace track) for the calling thread and
+/// register its display name (shown as the track label in Perfetto).
+/// Sweep workers claim `worker + 1`; tid 0 is the orchestrator.
+pub fn set_virtual_tid(tid: u32, name: &str) {
+    VIRTUAL_TID.with(|t| t.set(tid));
+    if enabled() {
+        with_sink(|s| {
+            s.thread_names.entry(tid).or_insert_with(|| name.to_string());
+        });
+    }
+}
+
+/// Reset the calling thread's virtual tid to 0 (orchestrator).
+pub fn clear_virtual_tid() {
+    VIRTUAL_TID.with(|t| t.set(0));
+}
+
+fn with_sink<R>(f: impl FnOnce(&mut Sink) -> R) -> R {
+    let mut guard = SINK.lock().unwrap_or_else(PoisonError::into_inner);
+    let sink = guard.get_or_insert_with(|| Sink {
+        events: Vec::new(),
+        dropped: 0,
+        thread_names: BTreeMap::new(),
+    });
+    f(sink)
+}
+
+fn record(phase: SpanPhase, name: String, cat: &'static str, args: Vec<(&'static str, Json)>) {
+    let ts_us = now_us();
+    let tid = VIRTUAL_TID.with(Cell::get);
+    with_sink(|s| {
+        if s.events.len() >= MAX_SPAN_EVENTS {
+            s.dropped += 1;
+            return;
+        }
+        s.events.push(SpanEvent { phase, name, cat, ts_us, tid, args });
+    });
+}
+
+/// An RAII guard for one hierarchical span: records a `B` event on
+/// [`Span::enter`] and the matching `E` on drop. Spans opened on the
+/// same thread nest (LIFO drop order yields a well-formed trace).
+///
+/// When tracing is disabled the guard is inert and costs one atomic
+/// load — no allocation, no lock.
+#[must_use = "a span ends when the guard drops; binding to _ ends it immediately"]
+pub struct Span {
+    armed: bool,
+    exit_args: Vec<(&'static str, Json)>,
+}
+
+impl Span {
+    /// Open a span named `name` under category `cat`.
+    #[inline]
+    pub fn enter(name: impl Into<String>, cat: &'static str) -> Span {
+        Span::enter_with(name, cat, Vec::new())
+    }
+
+    /// Open a span with key/value args attached to the begin event.
+    pub fn enter_with(
+        name: impl Into<String>,
+        cat: &'static str,
+        args: Vec<(&'static str, Json)>,
+    ) -> Span {
+        if !enabled() {
+            return Span { armed: false, exit_args: Vec::new() };
+        }
+        let name = name.into();
+        OPEN_SPANS.with(|s| s.borrow_mut().push(name.clone()));
+        record(SpanPhase::Begin, name, cat, args);
+        Span { armed: true, exit_args: Vec::new() }
+    }
+
+    /// Attach an arg to the span's *end* event — for outcomes only known
+    /// at exit (e.g. a prep-cache lookup resolving to hit or miss).
+    pub fn arg(&mut self, key: &'static str, value: Json) {
+        if self.armed {
+            self.exit_args.push((key, value));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let name = OPEN_SPANS.with(|s| s.borrow_mut().pop()).unwrap_or_default();
+        record(SpanPhase::End, name, "", std::mem::take(&mut self.exit_args));
+    }
+}
+
+/// Record a thread-scoped instant event (a point-in-time mark: a retry,
+/// a watchdog flag, a fault injection). Instants never unbalance the
+/// begin/end nesting of their track.
+pub fn instant(name: impl Into<String>, cat: &'static str) {
+    instant_with(name, cat, Vec::new());
+}
+
+/// [`instant`] with key/value args.
+pub fn instant_with(name: impl Into<String>, cat: &'static str, args: Vec<(&'static str, Json)>) {
+    if !enabled() {
+        return;
+    }
+    record(SpanPhase::Instant, name.into(), cat, args);
+}
+
+/// Events lost to the [`MAX_SPAN_EVENTS`] bound so far.
+pub fn dropped() -> u64 {
+    with_sink(|s| s.dropped)
+}
+
+/// Number of events currently retained.
+pub fn recorded() -> usize {
+    with_sink(|s| s.events.len())
+}
+
+/// Snapshot the retained events in record order (for tests and custom
+/// exporters). Does not drain.
+pub fn snapshot_events() -> Vec<SpanEvent> {
+    with_sink(|s| s.events.clone())
+}
+
+/// Clear all retained events, thread names, and the dropped counter.
+/// Virtual tids and the enabled flag are left untouched.
+pub fn reset() {
+    with_sink(|s| {
+        s.events.clear();
+        s.dropped = 0;
+        s.thread_names.clear();
+    });
+}
+
+/// Render the retained events as a Chrome trace-event JSON object:
+/// `{"traceEvents": [...], "spanDropped": N}`. Loadable directly in
+/// `ui.perfetto.dev` or `chrome://tracing`.
+///
+/// Every `(pid, tid)` pair seen gets `process_name` / `thread_name`
+/// metadata events so Perfetto labels the tracks; unnamed tids fall
+/// back to `"main"` (tid 0) or `"tid <n>"`.
+pub fn export_chrome_trace() -> Json {
+    with_sink(|s| {
+        let mut events: Vec<Json> = Vec::with_capacity(s.events.len() + s.thread_names.len() + 2);
+        events.push(meta_event("process_name", 0, Json::obj([("name", Json::str("sipt"))])));
+        let mut tids: Vec<u32> = s.events.iter().map(|e| e.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        for tid in tids {
+            let name = s.thread_names.get(&tid).cloned().unwrap_or_else(|| {
+                if tid == 0 {
+                    "main".into()
+                } else {
+                    format!("tid {tid}")
+                }
+            });
+            events.push(meta_event("thread_name", tid, Json::obj([("name", Json::str(name))])));
+        }
+        for e in &s.events {
+            let mut obj = Json::obj([
+                ("name", Json::str(&e.name)),
+                ("cat", Json::str(if e.cat.is_empty() { "span" } else { e.cat })),
+                ("ph", Json::str(e.phase.ph())),
+                ("ts", Json::u64(e.ts_us)),
+                ("pid", Json::u64(1)),
+                ("tid", Json::u64(u64::from(e.tid))),
+            ]);
+            if e.phase == SpanPhase::Instant {
+                // "s" scope: thread-scoped instant (a small arrow marker).
+                obj.insert("s", Json::str("t"));
+            }
+            if !e.args.is_empty() {
+                obj.insert(
+                    "args",
+                    Json::obj(e.args.iter().map(|(k, v)| (*k, v.clone())).collect::<Vec<_>>()),
+                );
+            }
+            events.push(obj);
+        }
+        Json::obj([("traceEvents", Json::arr(events)), ("spanDropped", Json::u64(s.dropped))])
+    })
+}
+
+fn meta_event(name: &'static str, tid: u32, args: Json) -> Json {
+    Json::obj([
+        ("name", Json::str(name)),
+        ("ph", Json::str("M")),
+        ("pid", Json::u64(1)),
+        ("tid", Json::u64(u64::from(tid))),
+        ("args", args),
+    ])
+}
+
+/// Write the Chrome trace to `<dir>/<name>.trace.json` (creating `dir`)
+/// and return the written path.
+pub fn write_trace(dir: &Path, name: &str) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.trace.json"));
+    std::fs::write(&path, export_chrome_trace().render_pretty())?;
+    Ok(path)
+}
+
+/// A compact JSON summary of the span sink (for the report's
+/// `observability` block): retained/dropped event counts and whether
+/// recording is armed.
+pub fn summary_json() -> Json {
+    with_sink(|s| {
+        Json::obj([
+            ("enabled", Json::u64(u64::from(enabled()))),
+            ("events", Json::u64(s.events.len() as u64)),
+            ("dropped", Json::u64(s.dropped)),
+        ])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use std::sync::Mutex as StdMutex;
+
+    /// Span tests mutate process-global state; serialize them.
+    static GATE: StdMutex<()> = StdMutex::new(());
+
+    fn with_clean_sink<R>(f: impl FnOnce() -> R) -> R {
+        let _g = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+        reset();
+        set_enabled(true);
+        let out = f();
+        set_enabled(false);
+        reset();
+        clear_virtual_tid();
+        out
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+        reset();
+        set_enabled(false);
+        {
+            let _s = Span::enter("noop", "test");
+            instant("mark", "test");
+        }
+        assert_eq!(recorded(), 0);
+        assert_eq!(dropped(), 0);
+    }
+
+    #[test]
+    fn spans_nest_and_pair_begin_end() {
+        with_clean_sink(|| {
+            {
+                let _outer = Span::enter("outer", "test");
+                {
+                    let _inner = Span::enter("inner", "test");
+                }
+            }
+            let evs = snapshot_events();
+            let shape: Vec<(&str, SpanPhase)> =
+                evs.iter().map(|e| (e.name.as_str(), e.phase)).collect();
+            assert_eq!(
+                shape,
+                vec![
+                    ("outer", SpanPhase::Begin),
+                    ("inner", SpanPhase::Begin),
+                    ("inner", SpanPhase::End),
+                    ("outer", SpanPhase::End),
+                ]
+            );
+        });
+    }
+
+    #[test]
+    fn exit_args_ride_the_end_event() {
+        with_clean_sink(|| {
+            {
+                let mut s = Span::enter("lookup", "prep_cache");
+                s.arg("outcome", Json::str("hit"));
+            }
+            let evs = snapshot_events();
+            assert_eq!(evs.len(), 2);
+            assert!(evs[0].args.is_empty());
+            assert_eq!(evs[1].args.len(), 1);
+            assert_eq!(evs[1].args[0].0, "outcome");
+        });
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_metadata() {
+        with_clean_sink(|| {
+            set_virtual_tid(3, "worker 2");
+            {
+                let _s = Span::enter("task", "sweep");
+                instant("retry", "resilience");
+            }
+            clear_virtual_tid();
+            let trace = export_chrome_trace();
+            let parsed = parse(&trace.render()).unwrap();
+            let events = parsed.path("traceEvents").and_then(Json::as_arr).unwrap();
+            // process_name + thread_name(tid 3) + B + i + E.
+            assert_eq!(events.len(), 5);
+            let phs: Vec<&str> =
+                events.iter().filter_map(|e| e.path("ph").and_then(Json::as_str)).collect();
+            assert_eq!(phs, vec!["M", "M", "B", "i", "E"]);
+            let thread_meta = &events[1];
+            assert_eq!(thread_meta.path("tid").and_then(Json::as_f64), Some(3.0));
+            assert_eq!(thread_meta.path("args.name").and_then(Json::as_str), Some("worker 2"));
+            assert_eq!(parsed.path("spanDropped").and_then(Json::as_f64), Some(0.0));
+        });
+    }
+
+    #[test]
+    fn sink_bound_counts_dropped() {
+        with_clean_sink(|| {
+            // Fill to the bound cheaply via instants; MAX is large, so
+            // exercise the bound logic through the summary instead of
+            // actually pushing 1Mi events: push a handful and verify the
+            // accounting fields exist and are consistent.
+            instant("a", "test");
+            instant("b", "test");
+            let summary = summary_json();
+            assert_eq!(summary.path("events").and_then(Json::as_f64), Some(2.0));
+            assert_eq!(summary.path("dropped").and_then(Json::as_f64), Some(0.0));
+            assert_eq!(summary.path("enabled").and_then(Json::as_f64), Some(1.0));
+        });
+    }
+}

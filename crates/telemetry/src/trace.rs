@@ -172,6 +172,29 @@ impl EventTracer {
         self.buf.clear();
     }
 
+    /// Summarize the tracer as JSON: retention capacity, total events
+    /// ever pushed, the retained-window size, and — crucially — the
+    /// number of events lost to wraparound, so a bounded trace is never
+    /// silently lossy. Per-kind counts cover the retained window.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("capacity", Json::u64(self.capacity as u64)),
+            ("recorded", Json::u64(self.recorded)),
+            ("retained", Json::u64(self.buf.len() as u64)),
+            ("dropped", Json::u64(self.dropped)),
+            (
+                "kind_counts",
+                Json::obj(
+                    self.kind_counts()
+                        .into_iter()
+                        .filter(|&(_, n)| n > 0)
+                        .map(|(k, n)| (k.name(), Json::u64(n)))
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+        ])
+    }
+
     /// Dump the retained window as JSONL, oldest first.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
@@ -261,6 +284,22 @@ mod tests {
         t.clear();
         assert!(t.is_empty());
         assert_eq!(t.recorded(), 6, "counters survive clear");
+    }
+
+    #[test]
+    fn summary_json_accounts_for_drops() {
+        let mut t = EventTracer::new(2);
+        for i in 0..5 {
+            t.push(ev(i, if i == 4 { SpecEventKind::Replay } else { SpecEventKind::FastHit }));
+        }
+        let j = t.to_json();
+        assert_eq!(j.path("capacity").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(j.path("recorded").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(j.path("retained").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(j.path("dropped").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(j.path("kind_counts.fast_hit").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(j.path("kind_counts.replay").and_then(Json::as_f64), Some(1.0));
+        assert!(j.path("kind_counts.bypass_wait").is_none(), "zero counts omitted");
     }
 
     #[test]

@@ -123,3 +123,27 @@ fn fig02_fingerprint_is_jobs_independent() {
         assert_eq!(got, FIG02_GOLDEN_FNV1A, "fig02 payload drifted under --jobs 4");
     });
 }
+
+/// Span tracing (`--trace-spans` / `SIPT_TRACE_SPANS=1`) is host-side
+/// observability only: with the sink armed, the simulated payload must
+/// stay bit-identical to the golden fingerprint recorded with tracing
+/// off.
+#[test]
+fn fig02_fingerprint_is_unchanged_by_span_tracing() {
+    with_exclusive_state(|| {
+        sipt_telemetry::span::reset();
+        sipt_telemetry::span::set_enabled(true);
+        set_jobs(2);
+        let payload = fig02_payload();
+        let spans = sipt_telemetry::span::recorded();
+        sipt_telemetry::span::set_enabled(false);
+        sipt_telemetry::span::reset();
+        let got = fnv1a(payload.as_bytes());
+        assert!(spans > 0, "tracing was armed, so the sweep must record spans");
+        assert_eq!(
+            got, FIG02_GOLDEN_FNV1A,
+            "span tracing changed the fig02 payload — instrumentation must be \
+             invisible to the simulation"
+        );
+    });
+}

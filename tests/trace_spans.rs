@@ -1,0 +1,209 @@
+//! Span-tracing contract tests: the *structure* of the span tree a
+//! serial sweep emits is deterministic (pinned by a golden fingerprint),
+//! and the Chrome trace-event export of a parallel sweep is well-formed
+//! (balanced per-track begin/end nesting, labeled worker tracks).
+//!
+//! Host timestamps are wall-clock and excluded from every assertion —
+//! only event order, phases, names (digit runs normalized), categories,
+//! and virtual thread ids are pinned.
+//!
+//! The span sink is process-global, so every test here serializes on a
+//! gate mutex and arms/resets the sink itself.
+
+use sipt_core::{baseline_32k_8w_vipt, sipt_32k_2w, sipt_64k_4w, L1Policy};
+use sipt_sim::experiments::smoke_benchmarks;
+use sipt_sim::{prep_cache, Condition, Sweep, SystemKind};
+use sipt_telemetry::json::Json;
+use sipt_telemetry::span::{self, SpanEvent, SpanPhase};
+use std::sync::{Mutex, PoisonError};
+
+static GATE: Mutex<()> = Mutex::new(());
+
+/// Run `f` with the span sink armed and clean, restoring the disabled
+/// default afterwards. Also clears the prep cache so hit/miss outcomes
+/// don't depend on which test ran first.
+fn with_traced_sink<R>(f: impl FnOnce() -> R) -> R {
+    let _g = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+    prep_cache::clear();
+    span::reset();
+    span::set_enabled(true);
+    let out = f();
+    span::set_enabled(false);
+    span::reset();
+    span::clear_virtual_tid();
+    out
+}
+
+/// A small figure-shaped sweep: every smoke benchmark against three
+/// configurations across both system models.
+fn figure_like_sweep() -> Sweep {
+    let cond = Condition::quick();
+    let mut sweep = Sweep::new();
+    for &bench in &smoke_benchmarks() {
+        sweep.bench(bench, baseline_32k_8w_vipt(), SystemKind::OooThreeLevel, &cond);
+        sweep.bench(bench, sipt_32k_2w(), SystemKind::OooThreeLevel, &cond);
+        sweep.bench(
+            bench,
+            sipt_64k_4w().with_policy(L1Policy::Ideal),
+            SystemKind::InOrderTwoLevel,
+            &cond,
+        );
+    }
+    sweep
+}
+
+/// Replace every ASCII digit run with `#`: sweep sequence numbers are a
+/// process-global counter, so `sweep 3` must fingerprint like `sweep 7`.
+fn normalize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    let mut in_digits = false;
+    for c in name.chars() {
+        if c.is_ascii_digit() {
+            if !in_digits {
+                out.push('#');
+                in_digits = true;
+            }
+        } else {
+            out.push(c);
+            in_digits = false;
+        }
+    }
+    out
+}
+
+/// FNV-1a over the normalized `(phase, tid, cat, name)` sequence.
+fn structure_fingerprint(events: &[SpanEvent]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0100_0000_01b3);
+        }
+    };
+    for e in events {
+        eat(e.phase.ph().as_bytes());
+        eat(&e.tid.to_le_bytes());
+        eat(e.cat.as_bytes());
+        eat(normalize(&e.name).as_bytes());
+        eat(b"\n");
+    }
+    hash
+}
+
+/// The golden structure fingerprint of a serial figure-like sweep. If an
+/// *intentional* instrumentation change trips this, rerun the test and
+/// copy the `actual` value from the failure message.
+const SERIAL_SPAN_TREE_FNV1A: u64 = 0x468C_08D3_1784_D67A;
+
+#[test]
+fn serial_sweep_span_tree_is_deterministic_and_golden() {
+    let (first, second) = with_traced_sink(|| {
+        figure_like_sweep().run_with_jobs(1);
+        let first = span::snapshot_events();
+        span::reset();
+        prep_cache::clear();
+        figure_like_sweep().run_with_jobs(1);
+        let second = span::snapshot_events();
+        (first, second)
+    });
+
+    assert!(!first.is_empty(), "a traced sweep records spans");
+    assert_eq!(span::recorded(), 0, "sink resets after the gate");
+
+    // Same structure run-to-run within the process...
+    assert_eq!(structure_fingerprint(&first), structure_fingerprint(&second));
+    // ...and everything runs on the orchestrator track when jobs = 1.
+    assert!(first.iter().all(|e| e.tid == 0), "serial sweeps never claim worker tids");
+
+    // The sweep span wraps everything; each task span nests the run
+    // phases in submission order.
+    assert_eq!(first[0].phase, SpanPhase::Begin);
+    assert_eq!(first[0].cat, "sweep");
+    assert_eq!(first.last().expect("nonempty").phase, SpanPhase::End);
+    for phase_name in ["prep ", "allocate ", "warmup ", "measure "] {
+        assert!(
+            first.iter().any(|e| e.name.starts_with(phase_name)),
+            "missing {phase_name:?} spans"
+        );
+    }
+
+    let actual = structure_fingerprint(&first);
+    assert_eq!(
+        actual, SERIAL_SPAN_TREE_FNV1A,
+        "serial span-tree structure changed: actual {actual:#018X} — if intentional, \
+         update SERIAL_SPAN_TREE_FNV1A"
+    );
+}
+
+#[test]
+fn parallel_sweep_exports_well_formed_chrome_trace() {
+    let trace = with_traced_sink(|| {
+        figure_like_sweep().run_with_jobs(8);
+        span::export_chrome_trace()
+    });
+
+    // Round-trip through the parser: the export must be valid JSON.
+    let parsed = sipt_telemetry::json::parse(&trace.render_pretty()).expect("trace parses");
+    let events = parsed.path("traceEvents").and_then(Json::as_arr).expect("traceEvents[]");
+    assert_eq!(parsed.path("spanDropped").and_then(Json::as_f64), Some(0.0));
+
+    let mut named_tids = std::collections::BTreeSet::new();
+    let mut stacks: std::collections::BTreeMap<u64, Vec<String>> = Default::default();
+    let mut worker_event_tids = std::collections::BTreeSet::new();
+    for e in events {
+        let ph = e.path("ph").and_then(Json::as_str).expect("ph");
+        let tid = e.path("tid").and_then(Json::as_f64).expect("tid") as u64;
+        let name = e.path("name").and_then(Json::as_str).expect("name").to_owned();
+        assert_eq!(e.path("pid").and_then(Json::as_f64), Some(1.0), "single process");
+        match ph {
+            "M" => {
+                if name == "thread_name" {
+                    named_tids.insert(tid);
+                }
+            }
+            "B" => stacks.entry(tid).or_default().push(name),
+            "E" => {
+                let open = stacks.entry(tid).or_default().pop();
+                assert_eq!(open.as_deref(), Some(name.as_str()), "E pairs with innermost B");
+            }
+            "i" => {
+                assert_eq!(e.path("s").and_then(Json::as_str), Some("t"), "thread-scoped");
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+        if ph != "M" {
+            assert!(e.path("ts").and_then(Json::as_f64).is_some(), "timestamped");
+            if tid > 0 {
+                worker_event_tids.insert(tid);
+            }
+        }
+    }
+    for (tid, stack) in &stacks {
+        assert!(stack.is_empty(), "unclosed spans on tid {tid}: {stack:?}");
+    }
+    assert!(!worker_event_tids.is_empty(), "parallel sweep records on worker tracks");
+    for tid in &worker_event_tids {
+        assert!(named_tids.contains(tid), "worker tid {tid} must carry thread_name metadata");
+    }
+    // Worker track labels follow the `worker N` convention (tid = N + 1).
+    let labels: Vec<&str> = events
+        .iter()
+        .filter(|e| e.path("name").and_then(Json::as_str) == Some("thread_name"))
+        .filter(|e| e.path("tid").and_then(Json::as_f64) != Some(0.0))
+        .filter_map(|e| e.path("args.name").and_then(Json::as_str))
+        .collect();
+    assert!(labels.iter().all(|l| l.starts_with("worker ")), "worker tracks labeled: {labels:?}");
+}
+
+#[test]
+fn disabled_tracing_records_nothing_during_a_sweep() {
+    let _g = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+    span::set_enabled(false);
+    span::reset();
+    let cond = Condition::quick();
+    let mut sweep = Sweep::new();
+    sweep.bench("sjeng", sipt_32k_2w(), SystemKind::OooThreeLevel, &cond);
+    sweep.run_with_jobs(2);
+    assert_eq!(span::recorded(), 0, "disabled tracing must stay silent");
+    assert_eq!(span::dropped(), 0);
+}
