@@ -12,12 +12,13 @@
 //! 32 KiB 2-way SIPT machine and prints IPC.
 
 use sipt_core::sipt_32k_2w;
-use sipt_cpu::{simulate_ooo, MemOp, OooConfig};
+use sipt_cpu::MemOp;
 use sipt_mem::{AddressSpace, BuddyAllocator, PlacementPolicy};
-use sipt_sim::{Machine, SystemKind};
-use sipt_workloads::{benchmark, read_trace, write_trace, TraceGen};
+use sipt_sim::{replay_trace, resilience, Machine, SystemKind, TaskFailure};
+use sipt_workloads::{benchmark, read_trace, write_trace, MaterializedTrace, TraceGen};
 use std::fs::File;
 use std::process::ExitCode;
+use std::time::Instant;
 
 const SEED: u64 = 42;
 const MEMORY: u64 = 1 << 30;
@@ -78,15 +79,40 @@ fn main() -> ExitCode {
             let mut asp = AddressSpace::new(0, PlacementPolicy::LinuxDefault);
             let _gen = TraceGen::build(&spec, &mut asp, &mut phys, 0, SEED).expect("workload fits");
             let mut machine = Machine::new(asp, sipt_32k_2w(), SystemKind::OooThreeLevel);
-            let n = insts.len() as u64;
-            let result = simulate_ooo(OooConfig::default(), insts, &mut machine);
-            println!(
-                "replayed {n} instructions: IPC {:.3}, L1 hit {:.1}%, fast {:.1}%",
-                result.ipc(),
-                machine.l1().stats().hit_rate() * 100.0,
-                machine.l1().stats().fast_fraction() * 100.0
-            );
-            ExitCode::SUCCESS
+            let trace = MaterializedTrace::from_insts(insts);
+            let n = trace.len() as u64;
+            // Trace files are untrusted input: a trace whose VAs don't
+            // resolve in the rebuilt address space (wrong benchmark, stale
+            // seed, corrupted file) is a deterministic input error, so it
+            // surfaces as a structured, *non-retried* failure — the same
+            // registry + failure table + exit-1 contract the sweep
+            // binaries use — never as a raw panic.
+            let label = format!("replay:{}", args[1]);
+            let t0 = Instant::now();
+            match replay_trace(SystemKind::OooThreeLevel, &mut machine, &trace, &label) {
+                Ok(result) => {
+                    println!(
+                        "replayed {n} instructions: IPC {:.3}, L1 hit {:.1}%, fast {:.1}%",
+                        result.ipc(),
+                        machine.l1().stats().hit_rate() * 100.0,
+                        machine.l1().stats().fast_fraction() * 100.0
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    resilience::record_failure(TaskFailure {
+                        task: 0,
+                        label,
+                        worker: 0,
+                        panic_msg: e.to_string(),
+                        elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
+                        attempts: 1,
+                    });
+                    eprint!("{}", resilience::failure_table());
+                    eprintln!("1 trace replay failed; exiting non-zero");
+                    ExitCode::FAILURE
+                }
+            }
         }
         _ => usage(),
     }

@@ -1,0 +1,78 @@
+//! End-to-end contract test for `trace_tool replay` on a bad trace: an
+//! unmapped virtual address must surface as a *structured, non-retried*
+//! task failure (registry entry + failure table + exit 1), never as a raw
+//! panic — and a retry budget must not re-execute the deterministic
+//! failure (`retries_spent` stays 0, observable as the absence of any
+//! "retrying" attempt on stderr).
+
+use sipt_cpu::Inst;
+use sipt_mem::VirtAddr;
+use sipt_workloads::write_trace;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn temp_trace(tag: &str, insts: Vec<Inst>) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("sipt-trace-{tag}-{}.bin", std::process::id()));
+    let file = std::fs::File::create(&path).expect("create trace file");
+    write_trace(file, insts).expect("write trace");
+    path
+}
+
+fn run_trace_tool(args: &[&str], envs: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_trace_tool"));
+    cmd.args(args);
+    for var in ["SIPT_TASK_RETRIES", "SIPT_REPLAY_BATCH", "SIPT_JOBS"] {
+        cmd.env_remove(var);
+    }
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("trace_tool spawns")
+}
+
+/// The satellite's acceptance: a trace referencing unmapped memory, run
+/// with a generous retry budget, produces the structured failure table and
+/// exit code 1 with zero retries and no panic output.
+#[test]
+fn unmapped_va_is_a_structured_nonretried_failure() {
+    // One load far outside any workload mapping: deterministic page fault.
+    let path = temp_trace(
+        "unmapped",
+        vec![
+            Inst::alu(0x10, 1, [None, None]),
+            Inst::load(0x40, 2, None, VirtAddr::new(0xdead_0000_0000)),
+        ],
+    );
+    let out = run_trace_tool(
+        &["replay", "mcf", path.to_str().unwrap()],
+        // A deterministic input error must not consume this budget.
+        &[("SIPT_TASK_RETRIES", "8")],
+    );
+    let _ = std::fs::remove_file(&path);
+
+    assert!(!out.status.success(), "bad trace must fail: {out:?}");
+    assert_eq!(out.status.code(), Some(1), "failure exit code is 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("task failures"), "failure table on stderr: {stderr}");
+    assert!(stderr.contains("bad trace"), "typed SimError::Trace text: {stderr}");
+    assert!(stderr.contains("page fault"), "diagnostic names the fault: {stderr}");
+    assert!(stderr.contains("1 attempt"), "exactly one attempt: {stderr}");
+    assert!(!stderr.contains("retrying"), "no retry of a deterministic error: {stderr}");
+    assert!(!stderr.contains("panicked"), "no raw panic text: {stderr}");
+    assert!(!stderr.contains("RUST_BACKTRACE"), "no panic backtrace hint: {stderr}");
+}
+
+/// Control: the record → replay round trip against the matching benchmark
+/// still succeeds and prints the summary line.
+#[test]
+fn recorded_trace_replays_cleanly() {
+    let path = std::env::temp_dir().join(format!("sipt-trace-ok-{}.bin", std::process::id()));
+    let rec = run_trace_tool(&["record", "mcf", path.to_str().unwrap(), "20000"], &[]);
+    assert!(rec.status.success(), "record must pass: {rec:?}");
+    let out = run_trace_tool(&["replay", "mcf", path.to_str().unwrap()], &[]);
+    let _ = std::fs::remove_file(&path);
+    assert!(out.status.success(), "matching replay must pass: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("replayed 20000 instructions"), "summary line: {stdout}");
+    assert!(stdout.contains("IPC"), "IPC reported: {stdout}");
+}

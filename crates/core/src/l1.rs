@@ -58,6 +58,40 @@ impl BypassPredictor {
     }
 }
 
+/// Compile-time selection of an [`L1Policy`].
+///
+/// [`SiptL1::access_mono`] is generic over this trait; a block-replay
+/// kernel matches on the runtime policy once per run and instantiates its
+/// inner loop with the corresponding [`policy_tags`] ZST, removing the
+/// per-access policy dispatch. (Replacement is already monomorphized
+/// inside `sipt_cache::CacheArray` via its `Replacement` enum.)
+pub trait PolicyTag {
+    /// The policy this tag selects.
+    const POLICY: L1Policy;
+}
+
+/// Zero-sized [`PolicyTag`] types, one per [`L1Policy`] variant.
+pub mod policy_tags {
+    use super::{L1Policy, PolicyTag};
+
+    macro_rules! tag {
+        ($(#[$doc:meta])* $name:ident => $variant:ident) => {
+            $(#[$doc])*
+            #[derive(Debug, Clone, Copy)]
+            pub struct $name;
+            impl PolicyTag for $name {
+                const POLICY: L1Policy = L1Policy::$variant;
+            }
+        };
+    }
+    tag!(/** Tag for [`L1Policy::Vipt`]. */ Vipt => Vipt);
+    tag!(/** Tag for [`L1Policy::Ideal`]. */ Ideal => Ideal);
+    tag!(/** Tag for [`L1Policy::Pipt`]. */ Pipt => Pipt);
+    tag!(/** Tag for [`L1Policy::SiptNaive`]. */ SiptNaive => SiptNaive);
+    tag!(/** Tag for [`L1Policy::SiptBypass`]. */ SiptBypass => SiptBypass);
+    tag!(/** Tag for [`L1Policy::SiptCombined`]. */ SiptCombined => SiptCombined);
+}
+
 /// The SIPT-capable L1 data cache.
 #[derive(Debug)]
 pub struct SiptL1 {
@@ -148,6 +182,40 @@ impl SiptL1 {
         tlb_cycles: u64,
         write: bool,
     ) -> L1Access {
+        self.access_impl(self.config.policy, pc, va, translation, tlb_cycles, write)
+    }
+
+    /// [`SiptL1::access`] with the policy fixed at compile time via a
+    /// [`PolicyTag`]. Block-replay kernels dispatch once per run and call
+    /// this in their inner loop, so the two policy matches below
+    /// constant-fold away. Behaviour is identical to [`SiptL1::access`];
+    /// the tag must match the configured policy (debug-asserted).
+    #[inline]
+    pub fn access_mono<P: PolicyTag>(
+        &mut self,
+        pc: u64,
+        va: VirtAddr,
+        translation: Translation,
+        tlb_cycles: u64,
+        write: bool,
+    ) -> L1Access {
+        debug_assert_eq!(P::POLICY, self.config.policy, "policy tag must match the configuration");
+        self.access_impl(P::POLICY, pc, va, translation, tlb_cycles, write)
+    }
+
+    /// The shared body of [`SiptL1::access`] / [`SiptL1::access_mono`]:
+    /// `policy` always equals `self.config.policy`, passed explicitly so
+    /// the monomorphized entry makes it a compile-time constant.
+    #[inline(always)]
+    fn access_impl(
+        &mut self,
+        policy: L1Policy,
+        pc: u64,
+        va: VirtAddr,
+        translation: Translation,
+        tlb_cycles: u64,
+        write: bool,
+    ) -> L1Access {
         let n = self.speculative_bits();
         let va_bits = va.index_bits(n);
         let pa_bits = translation.pa.index_bits(n);
@@ -160,7 +228,7 @@ impl SiptL1 {
         let mut margin = 0u64;
         let mut used_idb = false;
         let mut observed_delta = None;
-        let (outcome, speculated_bits) = match self.config.policy {
+        let (outcome, speculated_bits) = match policy {
             L1Policy::Vipt | L1Policy::Ideal | L1Policy::Pipt => {
                 (SpeculationOutcome::NotSpeculative, pa_bits)
             }
@@ -219,7 +287,7 @@ impl SiptL1 {
         };
 
         // --- timing -------------------------------------------------------
-        let mut latency = match self.config.policy {
+        let mut latency = match policy {
             L1Policy::Pipt => tlb_cycles + l1,
             L1Policy::Vipt | L1Policy::Ideal => l1.max(tlb_cycles),
             _ => match outcome {
@@ -645,6 +713,45 @@ mod tests {
         assert!(l1.telemetry().is_none());
         // With telemetry detached the access path still works.
         l1.access(0, va, xlate(va, 0x5), TLB_LAT, false);
+    }
+
+    #[test]
+    fn mono_access_matches_dynamic_dispatch_for_every_policy() {
+        fn run<P: PolicyTag>(cfg: L1Config) {
+            let mut dynamic = SiptL1::new(cfg.clone());
+            let mut mono = SiptL1::new(cfg);
+            for i in 0..500u64 {
+                let vpn = 0x40 + (i % 24);
+                let va = VirtAddr::new((vpn << PAGE_SHIFT) | ((i % 32) * 0x40));
+                // A mix of unchanged and shifted index bits.
+                let pfn = if i % 3 == 0 { vpn } else { vpn + 2 };
+                let t = xlate(va, pfn);
+                let pc = 0x100 + (i % 8) * 4;
+                let a = dynamic.access(pc, va, t, TLB_LAT, i % 5 == 0);
+                let b = mono.access_mono::<P>(pc, va, t, TLB_LAT, i % 5 == 0);
+                assert_eq!(a, b, "access {i}");
+                if !a.hit {
+                    dynamic.fill(LineAddr::of_phys(t.pa), false);
+                    mono.fill(LineAddr::of_phys(t.pa), false);
+                }
+            }
+            assert_eq!(dynamic.stats(), mono.stats());
+        }
+        run::<policy_tags::Vipt>(baseline_32k_8w_vipt());
+        run::<policy_tags::Ideal>(sipt_32k_2w().with_policy(L1Policy::Ideal));
+        run::<policy_tags::Pipt>(sipt_32k_2w().with_policy(L1Policy::Pipt));
+        run::<policy_tags::SiptNaive>(sipt_32k_2w().with_policy(L1Policy::SiptNaive));
+        run::<policy_tags::SiptBypass>(sipt_32k_2w().with_policy(L1Policy::SiptBypass));
+        run::<policy_tags::SiptCombined>(sipt_32k_2w());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "policy tag must match")]
+    fn mono_access_rejects_mismatched_tag_in_debug() {
+        let mut l1 = SiptL1::new(sipt_32k_2w().with_policy(L1Policy::Pipt));
+        let va = VirtAddr::new(0x5000);
+        let _ = l1.access_mono::<policy_tags::Vipt>(0, va, xlate(va, 0x5), TLB_LAT, false);
     }
 
     #[test]

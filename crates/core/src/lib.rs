@@ -47,6 +47,6 @@ pub use config::{
     baseline_32k_8w_vipt, sipt_128k_4w, sipt_32k_2w, sipt_32k_4w, sipt_64k_4w, small_16k_4w_vipt,
     table2_sipt_configs, BypassKind, L1Config, L1Policy,
 };
-pub use l1::SiptL1;
+pub use l1::{policy_tags, PolicyTag, SiptL1};
 pub use outcome::{L1Access, SiptStats, SpeculationOutcome};
 pub use telemetry::{L1Telemetry, MispredictCauses};

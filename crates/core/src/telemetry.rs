@@ -253,8 +253,10 @@ impl L1Telemetry {
         m
     }
 
-    /// Record one access (called from `SiptL1::access`).
-    #[inline]
+    /// Record one access (called from `SiptL1::access`). Forced inline:
+    /// at monomorphized call sites the event kind is a constant, so the
+    /// kind-conditional branches below fold away entirely.
+    #[inline(always)]
     pub(crate) fn record(&mut self, rec: &AccessRecord) {
         self.ordinal += 1;
         self.hits += u64::from(rec.hit);

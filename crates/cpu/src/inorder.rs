@@ -8,7 +8,7 @@
 //! paper finds in-order cores prefer larger L1s (capacity) over the OOO
 //! cores' preference for lower latency.
 
-use crate::trace::{CoreResult, Inst, MemOp, MemoryPath, NUM_REGS};
+use crate::trace::{CoreResult, Inst, MemOp, MemResponse, MemoryPath, NUM_REGS};
 
 /// In-order core configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,54 +31,139 @@ where
     I: IntoIterator<Item = Inst>,
     M: MemoryPath + ?Sized,
 {
-    assert!(config.width > 0 && config.mem_ports > 0);
-    let width = config.width as u64;
-    let ports = config.mem_ports as u64;
-    let mut reg_ready = [0u64; NUM_REGS];
-    let mut issue_slot = 0u64; // in 1/width-cycle units, strictly in order
-    let mut port_slot = 0u64; // in 1/ports-cycle units
-    let mut last_issue = 0u64;
-    let mut finish = 0u64;
-    let mut n = 0u64;
-    let mut mem_ops = 0u64;
-
+    let mut engine = InOrderEngine::new(config);
     for inst in insts {
-        // Sources must be ready at issue (stall-at-use), and issue is in
-        // program order.
-        let mut ready = last_issue;
-        for src in inst.srcs.into_iter().flatten() {
-            ready = ready.max(reg_ready[src as usize]);
-        }
-        let mut slot = (ready * width).max(issue_slot + 1);
-        let mut issue = slot / width;
+        let mem_store = inst.mem.map(|m| m.op == MemOp::Store);
+        engine.step(inst.dst, inst.srcs, mem_store, inst.exec_latency, |now| {
+            mem.access(inst.pc, inst.mem.expect("closure only runs for memory insts"), now)
+        });
+    }
+    engine.finish()
+}
 
-        let complete = match inst.mem {
-            None => issue + inst.exec_latency,
-            Some(mem_ref) => {
-                mem_ops += 1;
-                // Also wait for a free L1 port.
-                let pslot = (issue * ports).max(port_slot + 1);
-                issue = pslot / ports;
-                slot = slot.max(issue * width);
-                let response = mem.access(inst.pc, mem_ref, issue);
-                port_slot = pslot + (response.port_slots.saturating_sub(1)) as u64;
-                match mem_ref.op {
-                    MemOp::Load => issue + response.latency,
-                    MemOp::Store => issue + 1, // write buffer
+/// The incremental form of [`simulate_inorder`], mirroring
+/// [`crate::OooEngine`]: identical scoreboard algebra with the loop state
+/// in a struct so block-replay kernels can step decoded SoA instructions.
+/// [`simulate_inorder`] is a thin wrapper over this type.
+#[derive(Debug)]
+pub struct InOrderEngine {
+    width: u64,
+    ports: u64,
+    // Index `NUM_REGS` is an always-zero sentinel slot so absent
+    // operands/destinations index the array unconditionally instead of
+    // branching on presence (see [`crate::OooEngine`]).
+    reg_ready: [u64; NUM_REGS + 1],
+    // `issue_slot` (1/width-cycle units, strictly in order) tracked as
+    // quotient/remainder against `width` (`issue_slot = q*width + r`,
+    // `r < width`), so the per-step `slot / width` needs no divide: the
+    // slot either jumps to an exact multiple of `width` or advances by
+    // one with carry.
+    issue_q: u64,
+    issue_r: u64,
+    // `port_slot` (1/ports-cycle units) in the same (q, r) form.
+    port_q: u64,
+    port_r: u64,
+    last_issue: u64,
+    finish: u64,
+    n: u64,
+    mem_ops: u64,
+}
+
+impl InOrderEngine {
+    /// Fresh engine state for one instruction stream.
+    pub fn new(config: InOrderConfig) -> Self {
+        assert!(config.width > 0 && config.mem_ports > 0);
+        Self {
+            width: config.width as u64,
+            ports: config.mem_ports as u64,
+            reg_ready: [0u64; NUM_REGS + 1],
+            issue_q: 0,
+            issue_r: 0,
+            port_q: 0,
+            port_r: 0,
+            last_issue: 0,
+            finish: 0,
+            n: 0,
+            mem_ops: 0,
+        }
+    }
+
+    /// Advance the model by one decoded instruction; same contract as
+    /// [`crate::OooEngine::step`].
+    #[inline(always)]
+    pub fn step<F>(
+        &mut self,
+        dst: Option<u8>,
+        srcs: [Option<u8>; 2],
+        mem_store: Option<bool>,
+        exec_latency: u64,
+        mut mem: F,
+    ) where
+        F: FnMut(u64) -> MemResponse,
+    {
+        // Sources must be ready at issue (stall-at-use), and issue is in
+        // program order. Absent operands read the always-zero sentinel
+        // slot — no presence branches.
+        let s0 = srcs[0].map_or(NUM_REGS, usize::from);
+        let s1 = srcs[1].map_or(NUM_REGS, usize::from);
+        let ready = self.last_issue.max(self.reg_ready[s0]).max(self.reg_ready[s1]);
+        // `slot = (ready*width).max(issue_slot + 1)`, `issue = slot/width`
+        // in (q, r) form: the max takes the left arm iff `ready > q` (the
+        // slot lands on an exact multiple of `width`, remainder 0 — so the
+        // carry is vacuously false and `issue = q` in both arms); otherwise
+        // the slot advances by one with carry into the quotient. Selects,
+        // not branches: the jump/advance pattern is workload data.
+        let jump = ready > self.issue_q;
+        let r = if jump { 0 } else { self.issue_r + 1 };
+        let carry = r == self.width;
+        let q = (if jump { ready } else { self.issue_q }) + u64::from(carry);
+        self.issue_q = q;
+        self.issue_r = if carry { 0 } else { r };
+        let mut issue = q;
+
+        let complete = match mem_store {
+            None => issue + exec_latency,
+            Some(is_store) => {
+                self.mem_ops += 1;
+                // Also wait for a free L1 port: the same (q, r) algebra
+                // against `ports` for `pslot`/`port_slot`.
+                let pjump = issue > self.port_q;
+                let pr = if pjump { 0 } else { self.port_r + 1 };
+                let pcarry = pr == self.ports;
+                let pq = (if pjump { issue } else { self.port_q }) + u64::from(pcarry);
+                self.port_q = pq;
+                self.port_r = if pcarry { 0 } else { pr };
+                issue = pq;
+                // `slot = slot.max(issue*width)`: the port wait either
+                // pushed `issue` past the issue quotient (slot jumps to a
+                // multiple of `width`) or left it equal (no-op).
+                let ajump = issue > self.issue_q;
+                self.issue_q = if ajump { issue } else { self.issue_q };
+                self.issue_r = if ajump { 0 } else { self.issue_r };
+                let response = mem(issue);
+                self.port_r += (response.port_slots.saturating_sub(1)) as u64;
+                while self.port_r >= self.ports {
+                    self.port_r -= self.ports;
+                    self.port_q += 1;
                 }
+                issue + if is_store { 1 } else { response.latency }
             }
         };
 
-        if let Some(dst) = inst.dst {
-            reg_ready[dst as usize] = complete;
-        }
-        issue_slot = slot;
-        last_issue = issue;
-        finish = finish.max(complete);
-        n += 1;
+        // Absent destinations write the sentinel slot, re-zeroed
+        // unconditionally.
+        let d = dst.map_or(NUM_REGS, usize::from);
+        self.reg_ready[d] = complete;
+        self.reg_ready[NUM_REGS] = 0;
+        self.last_issue = issue;
+        self.finish = self.finish.max(complete);
+        self.n += 1;
     }
 
-    CoreResult { instructions: n, cycles: finish.max(1), mem_ops }
+    /// Final counts for the stream stepped so far.
+    pub fn finish(&self) -> CoreResult {
+        CoreResult { instructions: self.n, cycles: self.finish.max(1), mem_ops: self.mem_ops }
+    }
 }
 
 #[cfg(test)]

@@ -32,9 +32,9 @@ pub mod inorder;
 pub mod ooo;
 pub mod trace;
 
-pub use inorder::{simulate_inorder, InOrderConfig};
-pub use ooo::{simulate_ooo, OooConfig};
+pub use inorder::{simulate_inorder, InOrderConfig, InOrderEngine};
+pub use ooo::{simulate_ooo, OooConfig, OooEngine};
 pub use trace::{
-    meta_has_mem, pack_inst_meta, unpack_inst_meta, CoreResult, FixedMemory, Inst, MemOp, MemRef,
-    MemResponse, MemoryPath, Reg, META_HAS_MEM, NUM_REGS,
+    meta_has_mem, pack_inst_meta, unpack_inst_meta, unpack_meta_fields, CoreResult, FixedMemory,
+    Inst, MemOp, MemRef, MemResponse, MemoryPath, Reg, META_HAS_MEM, NUM_REGS,
 };

@@ -10,7 +10,7 @@
 //! ROB window, and L1 port contention from SIPT replays — at a small
 //! fraction of a full pipeline model's cost.
 
-use crate::trace::{CoreResult, Inst, MemOp, MemoryPath, NUM_REGS};
+use crate::trace::{CoreResult, Inst, MemOp, MemResponse, MemoryPath, NUM_REGS};
 
 /// OOO core configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,75 +39,181 @@ where
     I: IntoIterator<Item = Inst>,
     M: MemoryPath + ?Sized,
 {
-    assert!(config.width > 0 && config.rob > 0 && config.mem_ports > 0);
-    let mut reg_ready = [0u64; NUM_REGS];
+    let mut engine = OooEngine::new(config);
+    for inst in insts {
+        let mem_store = inst.mem.map(|m| m.op == MemOp::Store);
+        engine.step(inst.dst, inst.srcs, mem_store, inst.exec_latency, |now| {
+            mem.access(inst.pc, inst.mem.expect("closure only runs for memory insts"), now)
+        });
+    }
+    engine.finish()
+}
+
+/// The incremental form of [`simulate_ooo`]: the same timestamp-dataflow
+/// algebra with the loop state lifted into a struct, so block-replay
+/// kernels can feed decoded SoA instructions directly without first
+/// materializing `Inst` values. [`simulate_ooo`] is a thin wrapper over
+/// this type, keeping the two bit-identical by construction.
+#[derive(Debug)]
+pub struct OooEngine {
+    width: u64,
+    rob: usize,
+    ports: u64,
+    // One extra slot: index `NUM_REGS` is a sentinel that always reads 0,
+    // so absent operands/destinations become unconditional array accesses
+    // (a select on the index) instead of data-dependent branches — the
+    // src/dst presence pattern of a real trace is what branch predictors
+    // are worst at.
+    reg_ready: [u64; NUM_REGS + 1],
     // Retire times of the last `rob` instructions (for ROB occupancy),
     // kept as a flat ring: instruction `i` reads and then overwrites slot
     // `i % rob`, which is exactly the pop-front/push-back FIFO of a
     // `VecDeque` bounded at `rob` entries — without the deque's wrap
     // arithmetic and branchy len tracking on the hot path.
-    let mut rob_retire: Vec<u64> = vec![0u64; config.rob];
+    rob_retire: Vec<u64>,
     // Commit bookkeeping in 1/width-cycle slots: enforces in-order retire
-    // at no more than `width` instructions per cycle.
-    let mut retire_slot = 0u64;
-    let width = config.width as u64;
+    // at no more than `width` instructions per cycle. Tracked as
+    // quotient/remainder against `width` (`retire_slot = q*width + r`,
+    // `r < width`) so the per-step `retire_slot / width` needs no divide:
+    // the slot either jumps to an exact multiple of `width` or advances
+    // by one, and both cases update (q, r) with adds and compares.
+    retire_q: u64,
+    retire_r: u64,
     // L1 port bookkeeping: a rolling "next free slot" expressed in
-    // port-slot units (width `mem_ports` per cycle).
-    let mut port_slot_time = 0u64; // in units of 1/mem_ports cycles
-    let ports = config.mem_ports as u64;
+    // port-slot units (width `mem_ports` per cycle), tracked as
+    // quotient/remainder against `ports` for the same reason.
+    port_q: u64,
+    port_r: u64,
+    // `i / width` and `i % rob` maintained incrementally (division-free):
+    // the fetch-cycle counter with its sub-cycle remainder, and the ring
+    // cursor with explicit wraparound.
+    fetch_time: u64,
+    fetch_rem: u64,
+    ring_slot: usize,
+    i: u64,
+    mem_ops: u64,
+}
 
-    let mut n: u64 = 0;
-    let mut mem_ops: u64 = 0;
+impl OooEngine {
+    /// Fresh engine state for one instruction stream.
+    pub fn new(config: OooConfig) -> Self {
+        assert!(config.width > 0 && config.rob > 0 && config.mem_ports > 0);
+        Self {
+            width: config.width as u64,
+            rob: config.rob,
+            ports: config.mem_ports as u64,
+            reg_ready: [0u64; NUM_REGS + 1],
+            rob_retire: vec![0u64; config.rob],
+            retire_q: 0,
+            retire_r: 0,
+            port_q: 0,
+            port_r: 0,
+            fetch_time: 0,
+            fetch_rem: 0,
+            ring_slot: 0,
+            i: 0,
+            mem_ops: 0,
+        }
+    }
 
-    for (i, inst) in insts.into_iter().enumerate() {
-        let i = i as u64;
+    /// Advance the model by one decoded instruction. Memory instructions
+    /// pass `mem_store = Some(is_store)` plus a `mem` closure mapping the
+    /// access start cycle to its serviced response; for non-memory
+    /// instructions `mem` is never called.
+    #[inline(always)]
+    pub fn step<F>(
+        &mut self,
+        dst: Option<u8>,
+        srcs: [Option<u8>; 2],
+        mem_store: Option<bool>,
+        exec_latency: u64,
+        mut mem: F,
+    ) where
+        F: FnMut(u64) -> MemResponse,
+    {
         // Dispatch: fetch bandwidth + ROB space. The ring slot holds the
         // retire time of instruction `i - rob` (0 while the ROB is still
-        // filling, because the ring starts zeroed and `retire_slot/width`
-        // of real instructions is never needed before `i >= rob`).
-        let fetch_time = i / config.width as u64;
-        let ring_slot = (i as usize) % config.rob;
-        let rob_free = if i >= config.rob as u64 { rob_retire[ring_slot] } else { 0 };
-        let dispatch = fetch_time.max(rob_free);
+        // filling: those slots were never written and the ring starts
+        // zeroed, so reading unconditionally equals the old `i >= rob`
+        // guard). `fetch_time` is `i / width` maintained incrementally.
+        let ring_slot = self.ring_slot;
+        let rob_free = self.rob_retire[ring_slot];
+        let dispatch = self.fetch_time.max(rob_free);
 
-        // Operand readiness.
-        let mut ready = dispatch;
-        for src in inst.srcs.into_iter().flatten() {
-            ready = ready.max(reg_ready[src as usize]);
-        }
+        // Operand readiness: absent operands read the always-zero sentinel
+        // slot (0 never raises the max past `dispatch`), so there is no
+        // per-operand presence branch.
+        let s0 = srcs[0].map_or(NUM_REGS, usize::from);
+        let s1 = srcs[1].map_or(NUM_REGS, usize::from);
+        let ready = dispatch.max(self.reg_ready[s0]).max(self.reg_ready[s1]);
 
         // Execute.
-        let complete = match inst.mem {
-            None => ready + inst.exec_latency,
-            Some(mem_ref) => {
-                mem_ops += 1;
+        let complete = match mem_store {
+            None => ready + exec_latency,
+            Some(is_store) => {
+                self.mem_ops += 1;
                 // Claim L1 port slot(s): the access starts no earlier than
-                // both its operands and a free port.
-                let earliest_slot = ready * ports;
-                let slot = port_slot_time.max(earliest_slot);
-                let start = slot / ports;
-                let response = mem.access(inst.pc, mem_ref, start);
-                port_slot_time = slot + response.port_slots as u64;
-                match mem_ref.op {
-                    MemOp::Load => start + response.latency,
-                    // Stores drain through the write buffer: they occupy
-                    // the port but do not stall dependents.
-                    MemOp::Store => start + 1,
+                // both its operands and a free port. With `port_slot_time`
+                // as (q, r): `ready*ports >= port_slot_time` iff
+                // `ready > q`, or `ready == q` with no sub-cycle residue.
+                // Non-short-circuiting `|` and selects keep the claim
+                // branch-free (the outcome is data-dependent).
+                let claim = (ready > self.port_q) | ((ready == self.port_q) & (self.port_r == 0));
+                let start = if claim { ready } else { self.port_q };
+                self.port_q = start;
+                self.port_r = if claim { 0 } else { self.port_r };
+                let response = mem(start);
+                self.port_r += response.port_slots as u64;
+                while self.port_r >= self.ports {
+                    self.port_r -= self.ports;
+                    self.port_q += 1;
                 }
+                // Stores drain through the write buffer: they occupy the
+                // port but do not stall dependents.
+                start + if is_store { 1 } else { response.latency }
             }
         };
 
-        if let Some(dst) = inst.dst {
-            reg_ready[dst as usize] = complete;
-        }
+        // Absent destinations write the sentinel slot, which is re-zeroed
+        // unconditionally — one dead store instead of a presence branch.
+        let d = dst.map_or(NUM_REGS, usize::from);
+        self.reg_ready[d] = complete;
+        self.reg_ready[NUM_REGS] = 0;
 
-        // In-order retirement at commit width.
-        retire_slot = (complete * width).max(retire_slot + 1);
-        rob_retire[ring_slot] = retire_slot / width;
-        n += 1;
+        // In-order retirement at commit width:
+        // `retire_slot = (complete*width).max(retire_slot + 1)`. In the
+        // (q, r) form the max takes the left arm iff `complete > q` (then
+        // the slot lands on an exact multiple of `width`); otherwise the
+        // slot advances by one with carry into the quotient. Selects, not
+        // branches: whether a retire jumps tracks the workload's latency
+        // pattern and mispredicts heavily as a branch.
+        let jump = complete > self.retire_q;
+        let mut q = if jump { complete } else { self.retire_q };
+        let r = if jump { 0 } else { self.retire_r + 1 };
+        let carry = r == self.width;
+        q += u64::from(carry);
+        self.retire_q = q;
+        self.retire_r = if carry { 0 } else { r };
+        self.rob_retire[ring_slot] = q;
+
+        // Advance the incremental `i / width` and `i % rob` counters.
+        let wrap = self.fetch_rem + 1 == self.width;
+        self.fetch_time += u64::from(wrap);
+        self.fetch_rem = if wrap { 0 } else { self.fetch_rem + 1 };
+        self.ring_slot = if ring_slot + 1 == self.rob { 0 } else { ring_slot + 1 };
+        self.i += 1;
     }
 
-    CoreResult { instructions: n, cycles: retire_slot.div_ceil(width).max(1), mem_ops }
+    /// Final counts for the stream stepped so far.
+    pub fn finish(&self) -> CoreResult {
+        // `retire_slot.div_ceil(width)` in (q, r) form: q, plus one if any
+        // sub-cycle residue remains.
+        CoreResult {
+            instructions: self.i,
+            cycles: (self.retire_q + u64::from(self.retire_r > 0)).max(1),
+            mem_ops: self.mem_ops,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -163,6 +163,20 @@ pub fn unpack_inst_meta(meta: u32, pc: u64, va: Option<VirtAddr>) -> Inst {
     }
 }
 
+/// Decode the engine-facing fields of a packed metadata word — `(dst,
+/// srcs, Some(is_store)` for memory instructions`, exec_latency)` —
+/// without materializing an [`Inst`]. Block-replay kernels feed these
+/// straight into [`crate::OooEngine::step`] /
+/// [`crate::InOrderEngine::step`].
+#[inline(always)]
+pub fn unpack_meta_fields(meta: u32) -> (Option<Reg>, [Option<Reg>; 2], Option<bool>, u64) {
+    let reg = |shift: u32, present: u32| -> Option<Reg> {
+        (meta & (1 << present) != 0).then(|| ((meta >> shift) & 0x3F) as Reg)
+    };
+    let mem_store = (meta & META_HAS_MEM != 0).then_some(meta & (1 << 22) != 0);
+    (reg(0, 6), [reg(7, 13), reg(14, 20)], mem_store, ((meta >> 23) & 0xFF) as u64)
+}
+
 /// The response of the memory path to one load/store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemResponse {
@@ -272,6 +286,12 @@ mod tests {
             assert_eq!(meta_has_mem(meta), inst.mem.is_some());
             let back = unpack_inst_meta(meta, inst.pc, inst.mem.map(|m| m.va));
             assert_eq!(back, inst, "meta {meta:#x}");
+            // The field-wise decoder must agree with the Inst decoder.
+            let (dst, srcs, mem_store, lat) = unpack_meta_fields(meta);
+            assert_eq!(dst, inst.dst);
+            assert_eq!(srcs, inst.srcs);
+            assert_eq!(mem_store, inst.mem.map(|m| m.op == MemOp::Store));
+            assert_eq!(lat, inst.exec_latency);
         }
     }
 

@@ -194,6 +194,25 @@ addr_type! {
     PhysAddr
 }
 
+impl VirtAddr {
+    /// The enclosing 4 KiB virtual page number.
+    ///
+    /// This is the block-replay kernel's run-coalescing key: consecutive
+    /// accesses whose `vpn()` matches share one TLB probe, because a
+    /// repeated probe of an entry that is already MRU of its set cannot
+    /// change TLB state.
+    ///
+    /// ```
+    /// use sipt_mem::{VirtAddr, VirtPageNum};
+    /// assert_eq!(VirtAddr::new(0x7f00_1234).vpn(), VirtPageNum::new(0x7f001));
+    /// assert_eq!(VirtAddr::new(0x7f00_1fff).vpn(), VirtAddr::new(0x7f00_1000).vpn());
+    /// ```
+    #[inline]
+    pub const fn vpn(self) -> VirtPageNum {
+        VirtPageNum::containing(self)
+    }
+}
+
 macro_rules! page_num_type {
     ($(#[$doc:meta])* $name:ident => $addr:ident) => {
         $(#[$doc])*

@@ -46,8 +46,18 @@ pub fn parse_or_warn_default(name: &str, default: u64) -> u64 {
 
 /// Whether a boolean-ish `SIPT_*` switch is set: any non-empty value
 /// other than `0` counts as on (matching `SIPT_JSON` semantics).
+/// Surrounding whitespace is tolerated, like [`parse_or_warn`], so
+/// `SIPT_TRACE_SPANS=" 0"` stays off.
 pub fn switch_enabled(name: &str) -> bool {
-    matches!(std::env::var(name), Ok(v) if !v.is_empty() && v != "0")
+    matches!(std::env::var(name), Ok(v) if switch_value(&v))
+}
+
+/// The pure comparison core of [`switch_enabled`], separated so the
+/// whitespace handling is unit-testable without mutating the process
+/// environment.
+pub fn switch_value(raw: &str) -> bool {
+    let trimmed = raw.trim();
+    !trimmed.is_empty() && trimmed != "0"
 }
 
 #[cfg(test)]
@@ -59,6 +69,18 @@ mod tests {
         assert_eq!(parse_value("SIPT_X", "42"), Some(42));
         assert_eq!(parse_value("SIPT_X", " 7 "), Some(7));
         assert_eq!(parse_value("SIPT_X", "0"), Some(0));
+    }
+
+    #[test]
+    fn switch_tolerates_whitespace_like_parse_or_warn() {
+        assert!(switch_value("1"));
+        assert!(switch_value(" 1 "));
+        assert!(switch_value("yes"));
+        assert!(!switch_value("0"));
+        assert!(!switch_value(" 0"), "padded zero must stay off");
+        assert!(!switch_value("0 "), "padded zero must stay off");
+        assert!(!switch_value(""));
+        assert!(!switch_value("   "), "whitespace-only means unset");
     }
 
     #[test]

@@ -41,6 +41,17 @@ pub enum SimError {
         /// Human-readable description of the violation.
         detail: String,
     },
+    /// A trace-driven workload referenced memory its address space never
+    /// mapped — an untrusted trace file replayed against the wrong
+    /// benchmark's mappings, or a truncated/corrupted recording. This is
+    /// a property of the *input*, so it is deterministic and must never
+    /// be retried by the resilience layer.
+    Trace {
+        /// Workload (or trace file) name.
+        workload: String,
+        /// What went wrong (e.g. the faulting virtual address).
+        detail: String,
+    },
     /// A sweep checkpoint file could not be read, parsed, or written.
     Checkpoint {
         /// Offending file (or logical location).
@@ -61,6 +72,11 @@ impl SimError {
         SimError::Audit { invariant, detail: detail.into() }
     }
 
+    /// Shorthand for a bad-trace failure.
+    pub fn trace(workload: impl Into<String>, detail: impl Into<String>) -> Self {
+        SimError::Trace { workload: workload.into(), detail: detail.into() }
+    }
+
     /// Shorthand for a checkpoint failure.
     pub fn checkpoint(path: impl Into<String>, detail: impl Into<String>) -> Self {
         SimError::Checkpoint { path: path.into(), detail: detail.into() }
@@ -78,6 +94,9 @@ impl core::fmt::Display for SimError {
             SimError::Mem(e) => write!(f, "memory model error: {e}"),
             SimError::Audit { invariant, detail } => {
                 write!(f, "audit failure [{invariant}]: {detail}")
+            }
+            SimError::Trace { workload, detail } => {
+                write!(f, "{workload}: bad trace: {detail}")
             }
             SimError::Checkpoint { path, detail } => {
                 write!(f, "checkpoint error at {path}: {detail}")
@@ -109,6 +128,9 @@ mod tests {
         assert!(e.to_string().contains("metrics-conservation"));
         let e = SimError::checkpoint("results/x.checkpoint.json", "bad line");
         assert!(e.to_string().contains("checkpoint"));
+        let e = SimError::trace("replay:mcf", "page fault at VA 0xdead000");
+        assert!(e.to_string().contains("bad trace"));
+        assert!(e.to_string().contains("0xdead000"));
         let e = SimError::from(MemError::OutOfMemory { requested_order: 3 });
         assert!(e.to_string().contains("memory"));
     }

@@ -19,6 +19,7 @@
 //! ```
 
 pub mod audit;
+pub mod block;
 pub mod checkpoint;
 pub mod env;
 pub mod error;
@@ -32,6 +33,7 @@ pub mod resilience;
 pub mod runner;
 pub mod sweep;
 
+pub use block::{replay_batch, replay_trace, set_replay_batch, DEFAULT_REPLAY_BATCH};
 pub use error::SimError;
 pub use machine::{Machine, SystemKind};
 pub use metrics::{
@@ -42,7 +44,8 @@ pub use multicore::{run_mix, MixMetrics};
 pub use prep_cache::{PrepCacheStats, PreparedMix, PreparedMixCore, PreparedWorkload};
 pub use resilience::{TaskFailure, WatchdogFlag};
 pub use runner::{
-    run_benchmark, run_spec, speculation_profile, try_run_benchmark, Condition, SpeculationProfile,
+    run_benchmark, run_spec, run_spec_per_access, speculation_profile, try_run_benchmark,
+    Condition, SpeculationProfile,
 };
 pub use sweep::{
     effective_jobs, run_parallel, run_parallel_default, run_parallel_isolated, set_jobs,

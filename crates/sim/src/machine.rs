@@ -7,7 +7,7 @@ use sipt_cpu::{MemOp, MemRef, MemResponse, MemoryPath};
 use sipt_dram::{Dram, DramConfig};
 use sipt_energy::{ActivityCounts, EnergyParams, L2_TABLE2, LLC_INORDER_TABLE2, LLC_OOO_TABLE2};
 use sipt_mem::{AddressSpace, TranslationCache};
-use sipt_tlb::{DataTlb, TlbConfig};
+use sipt_tlb::{DataTlb, PageFault, TlbConfig};
 use std::sync::Arc;
 
 /// Which of Table II's two systems is being simulated.
@@ -61,15 +61,21 @@ impl SystemKind {
 /// timing models.
 #[derive(Debug)]
 pub struct Machine {
-    asp: Arc<AddressSpace>,
-    tlb: DataTlb,
+    pub(crate) asp: Arc<AddressSpace>,
+    pub(crate) tlb: DataTlb,
     /// Software (wall-clock-only) cache in front of the page-table walk:
     /// address spaces are immutable during replay, so no invalidation is
     /// ever needed. Does not change simulated behaviour.
-    xlat: TranslationCache,
-    l1: SiptL1,
-    lower: LowerHierarchy<Dram>,
+    pub(crate) xlat: TranslationCache,
+    pub(crate) l1: SiptL1,
+    pub(crate) lower: LowerHierarchy<Dram>,
     system: SystemKind,
+    /// First page fault hit by the memory path, latched for the runner.
+    /// Traces come from outside (trace files), so an unmapped VA is input
+    /// badness, not a simulator bug: [`MemoryPath::access`] records it
+    /// here and returns a unit-latency response instead of panicking, and
+    /// the replay loop turns it into a typed [`crate::SimError::Trace`].
+    fault: Option<PageFault>,
 }
 
 impl Machine {
@@ -90,7 +96,15 @@ impl Machine {
             l1: SiptL1::new(l1_config),
             lower: LowerHierarchy::new(system.l2(), system.llc(), Dram::new(DramConfig::default())),
             system,
+            fault: None,
         }
+    }
+
+    /// Take (and clear) the first page fault the memory path recorded, if
+    /// any. Replay drivers must check this after a run: a `Some` means the
+    /// trace referenced unmapped memory and the run's metrics are invalid.
+    pub fn take_fault(&mut self) -> Option<PageFault> {
+        self.fault.take()
     }
 
     /// The SIPT L1 (statistics, configuration).
@@ -171,10 +185,17 @@ impl MemoryPath for Machine {
     fn access(&mut self, pc: u64, mem: MemRef, now: u64) -> MemResponse {
         // Disjoint field borrows: the TLB walk closure consults the
         // software translation cache in front of the page table.
-        let Machine { asp, tlb, xlat, l1, lower, .. } = self;
-        let outcome = tlb
-            .translate_with(mem.va, |va| xlat.translate(asp.page_table(), va))
-            .unwrap_or_else(|f| panic!("workload accessed unmapped memory: {f}"));
+        let Machine { asp, tlb, xlat, l1, lower, fault, .. } = self;
+        let outcome = match tlb.translate_with(mem.va, |va| xlat.translate(asp.page_table(), va)) {
+            Ok(outcome) => outcome,
+            Err(f) => {
+                // Unmapped VA: latch the first fault and keep the timing
+                // model alive with a unit response; the driver surfaces
+                // the typed error after the run.
+                fault.get_or_insert(f);
+                return MemResponse { latency: 1, port_slots: 1 };
+            }
+        };
         let is_store = mem.op == MemOp::Store;
         let access = l1.access(pc, mem.va, outcome.translation, outcome.cycles, is_store);
         let mut latency = access.latency;

@@ -14,7 +14,7 @@
 use crate::machine::{Machine, SystemKind};
 use crate::metrics::{PhaseProfile, RunMetrics};
 use crate::prep_cache::{self, PreparedMix, PreparedMixCore};
-use crate::runner::{collect, run_core, Condition};
+use crate::runner::{collect, Condition};
 use sipt_core::L1Config;
 use sipt_mem::{fragment_memory, AddressSpace, BuddyAllocator};
 use sipt_rng::{SeedableRng, StdRng};
@@ -86,35 +86,77 @@ pub fn run_mix(mix_name: &str, l1: L1Config, cond: &Condition) -> MixMetrics {
         Arc::new(prepare_mix(mix_name, apps, cond))
     });
 
-    let mut cores = Vec::new();
-    for prep in &prepared.cores {
-        let mut machine =
-            Machine::new_shared(Arc::clone(&prep.asp), l1.clone(), SystemKind::OooThreeLevel);
-        let allocated = Instant::now();
-        let mut cursor = prep.trace.cursor();
-        let warm = (&mut cursor).take(cond.warmup as usize);
-        run_core(SystemKind::OooThreeLevel, warm, &mut machine);
-        machine.reset_stats();
-        let warmed = Instant::now();
-        let core = run_core(SystemKind::OooThreeLevel, cursor, &mut machine);
-        let measure_secs = warmed.elapsed().as_secs_f64();
-        crate::metrics::record_simulation(core.instructions, measure_secs);
-        let phases = PhaseProfile {
-            allocate_ms: prep.allocate_ms,
-            warmup_ms: warmed.duration_since(allocated).as_secs_f64() * 1e3,
-            measure_ms: measure_secs * 1e3,
-            simulated_mips: if measure_secs > 0.0 {
-                core.instructions as f64 / (measure_secs * 1e6)
-            } else {
-                0.0
-            },
-            worker: 0,
-        };
-        let mut metrics = collect(&prep.app, core, &machine);
-        metrics.phases = phases;
-        cores.push(metrics);
-    }
+    // The paper's quad-core mixes share no state at runtime (private
+    // L1/L2, per-core LLC share, immutable prepared traces), so the four
+    // cores are independent replays and can run on their own threads
+    // *within* one mix run. Sharding is gated off inside sweep-pool tasks
+    // (fig15 runs whole mixes as pool tasks — worker counts must not
+    // multiply) and under `jobs = 1` (exact serial contract). Results are
+    // bit-identical either way: each core owns its machine and cursor, and
+    // the process-wide simulation totals accumulate order-independently.
+    let shard = !crate::resilience::in_pool_task()
+        && crate::sweep::effective_jobs() > 1
+        && prepared.cores.len() > 1;
+    let cores: Vec<RunMetrics> = if shard {
+        std::thread::scope(|scope| {
+            let l1 = &l1;
+            let handles: Vec<_> = prepared
+                .cores
+                .iter()
+                .map(|prep| scope.spawn(move || run_mix_core(prep, l1.clone(), cond)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|panic| std::panic::resume_unwind(panic)))
+                .collect()
+        })
+    } else {
+        prepared.cores.iter().map(|prep| run_mix_core(prep, l1.clone(), cond)).collect()
+    };
     MixMetrics { name: mix_name.to_owned(), cores }
+}
+
+/// Replay one prepared core of a mix: warmup, reset, measure, collect.
+/// Mixes are generated workloads (always fully mapped), so a trace error
+/// here is a simulator bug and panics like the other trusted-input paths.
+fn run_mix_core(prep: &PreparedMixCore, l1: L1Config, cond: &Condition) -> RunMetrics {
+    let mut machine = Machine::new_shared(Arc::clone(&prep.asp), l1, SystemKind::OooThreeLevel);
+    let allocated = Instant::now();
+    let mut cursor = prep.trace.cursor();
+    crate::block::replay(
+        SystemKind::OooThreeLevel,
+        &mut machine,
+        &mut cursor,
+        cond.warmup as usize,
+        &prep.app,
+    )
+    .unwrap_or_else(|e| panic!("{e}"));
+    machine.reset_stats();
+    let warmed = Instant::now();
+    let core = crate::block::replay(
+        SystemKind::OooThreeLevel,
+        &mut machine,
+        &mut cursor,
+        usize::MAX,
+        &prep.app,
+    )
+    .unwrap_or_else(|e| panic!("{e}"));
+    let measure_secs = warmed.elapsed().as_secs_f64();
+    crate::metrics::record_simulation(core.instructions, measure_secs);
+    let phases = PhaseProfile {
+        allocate_ms: prep.allocate_ms,
+        warmup_ms: warmed.duration_since(allocated).as_secs_f64() * 1e3,
+        measure_ms: measure_secs * 1e3,
+        simulated_mips: if measure_secs > 0.0 {
+            core.instructions as f64 / (measure_secs * 1e6)
+        } else {
+            0.0
+        },
+        worker: 0,
+    };
+    let mut metrics = collect(&prep.app, core, &machine);
+    metrics.phases = phases;
+    metrics
 }
 
 /// Allocate and generate a whole mix against one shared physical memory.
@@ -221,6 +263,29 @@ mod tests {
         assert!(real.extra_accesses_vs(&real).is_finite());
         assert!((real.energy_vs(&real) - 1.0).abs() < 1e-12);
         assert_eq!(real.energy_vs(&empty), 0.0);
+    }
+
+    /// Intra-run core sharding must be a pure wall-clock optimization:
+    /// the scientific payload (core counts, cache/TLB stats, energy) of a
+    /// sharded mix run is bit-identical to a serial one.
+    #[test]
+    fn sharded_mix_matches_serial_mix() {
+        let cond = quad_cond();
+        let prev = crate::sweep::effective_jobs();
+        crate::sweep::set_jobs(1);
+        let serial = run_mix("mix1", sipt_32k_2w(), &cond);
+        crate::sweep::set_jobs(4);
+        let sharded = run_mix("mix1", sipt_32k_2w(), &cond);
+        crate::sweep::set_jobs(prev);
+        assert_eq!(serial.cores.len(), sharded.cores.len());
+        for (a, b) in serial.cores.iter().zip(&sharded.cores) {
+            assert_eq!(a.name, b.name, "core order is submission order");
+            assert_eq!(a.core, b.core, "{}: core counts must match", a.name);
+            assert_eq!(a.sipt, b.sipt, "{}: L1 stats must match", a.name);
+            assert_eq!(a.tlb, b.tlb, "{}: TLB stats must match", a.name);
+            assert_eq!(a.llc, b.llc, "{}: LLC stats must match", a.name);
+            assert_eq!(a.energy, b.energy, "{}: energy must match", a.name);
+        }
     }
 
     #[test]

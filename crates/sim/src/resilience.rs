@@ -427,6 +427,14 @@ pub fn install_quiet_panic_hook() {
     });
 }
 
+/// Whether the current thread is executing inside a pool task (including
+/// the serial inline path). Used to gate nested parallelism: quad-core
+/// mixes shard their cores across threads only when *not* already running
+/// under the sweep pool, so worker counts never multiply.
+pub fn in_pool_task() -> bool {
+    IN_POOL_TASK.with(std::cell::Cell::get)
+}
+
 /// Run `f` with panics captured: returns `Err(panic message)` instead of
 /// unwinding past the caller. Marks the thread as "in pool task" so the
 /// quiet hook suppresses the default stderr trace.

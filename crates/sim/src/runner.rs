@@ -246,6 +246,48 @@ pub(crate) fn try_run_spec_with_trace_capacity(
     cond: &Condition,
     trace_events: usize,
 ) -> Result<RunMetrics, SimError> {
+    try_run_prepared(spec, l1, system, cond, trace_events, ReplayKernel::Block)
+}
+
+/// Which replay loop executes the warmup/measure phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReplayKernel {
+    /// The block-replay kernel ([`crate::block`]) — the production path.
+    Block,
+    /// The original per-access loop over [`sipt_cpu::Inst`] values —
+    /// kept as the independent reference the differential tests compare
+    /// the block kernel against.
+    PerAccess,
+}
+
+/// [`try_run_spec`] forced onto the per-access reference loop. Same
+/// inputs, same validation, bit-identical outputs — exists so tests can
+/// diff the block kernel against an implementation that shares none of
+/// its batching, coalescing, or monomorphization machinery.
+///
+/// # Errors
+///
+/// As [`try_run_spec`], plus [`SimError::Trace`] when the workload's
+/// stream references unmapped memory.
+pub fn run_spec_per_access(
+    spec: &WorkloadSpec,
+    l1: L1Config,
+    system: SystemKind,
+    cond: &Condition,
+) -> Result<RunMetrics, SimError> {
+    l1.try_validate().map_err(SimError::config)?;
+    cond.validate()?;
+    try_run_prepared(spec, l1, system, cond, trace_capacity(), ReplayKernel::PerAccess)
+}
+
+fn try_run_prepared(
+    spec: &WorkloadSpec,
+    l1: L1Config,
+    system: SystemKind,
+    cond: &Condition,
+    trace_events: usize,
+    kernel: ReplayKernel,
+) -> Result<RunMetrics, SimError> {
     let t0 = Instant::now();
     let (prepared, mut machine) = {
         let _phase = Span::enter(format!("allocate {}", spec.name), "run.phase");
@@ -258,17 +300,36 @@ pub(crate) fn try_run_spec_with_trace_capacity(
     };
     let allocated = Instant::now();
 
+    // One replay phase: `limit` instructions through the selected kernel.
+    // The per-access loop keeps the timing model alive across an unmapped
+    // VA (the machine latches the fault), so it is checked after the run;
+    // the block kernel surfaces the fault directly.
+    let run_phase = |machine: &mut Machine,
+                     cursor: &mut sipt_workloads::TraceCursor<'_>,
+                     limit: usize|
+     -> Result<sipt_cpu::CoreResult, SimError> {
+        match kernel {
+            ReplayKernel::Block => crate::block::replay(system, machine, cursor, limit, spec.name),
+            ReplayKernel::PerAccess => {
+                let core = run_core(system, (&mut *cursor).take(limit), machine);
+                match machine.take_fault() {
+                    None => Ok(core),
+                    Some(fault) => Err(SimError::trace(spec.name, fault.to_string())),
+                }
+            }
+        }
+    };
+
     let mut cursor = prepared.trace.cursor();
     {
         let _phase = Span::enter(format!("warmup {}", spec.name), "run.phase");
-        let warm = (&mut cursor).take(cond.warmup as usize);
-        run_core(system, warm, &mut machine);
+        run_phase(&mut machine, &mut cursor, cond.warmup as usize)?;
         machine.reset_stats();
     }
     let warmed = Instant::now();
     let core = {
         let _phase = Span::enter(format!("measure {}", spec.name), "run.phase");
-        run_core(system, cursor, &mut machine)
+        run_phase(&mut machine, &mut cursor, usize::MAX)?
     };
     let measured = Instant::now();
 

@@ -33,7 +33,7 @@ use crate::checkpoint;
 use crate::machine::SystemKind;
 use crate::metrics::RunMetrics;
 use crate::resilience::{self, TaskFailure, WatchdogFlag};
-use crate::runner::{run_spec_with_trace_capacity, trace_capacity, Condition};
+use crate::runner::{trace_capacity, Condition};
 use sipt_telemetry::json::Json;
 use sipt_telemetry::{span, Span};
 use sipt_workloads::{benchmark, WorkloadSpec};
@@ -722,20 +722,42 @@ impl Sweep {
             pending.push(i);
             let id = base_id + i;
             let label = req.label.clone();
+            let err_label = req.label.clone();
             let key = checkpoint::task_key(sweep_seq, i);
             let fingerprint = req.fingerprint();
             let ckpt = ckpt.clone();
             tasks.push(PoolTask {
                 id,
                 label,
-                task: move |worker: usize| {
-                    let mut metrics = run_spec_with_trace_capacity(
+                // The closure returns `Result`: a typed SimError (bad
+                // trace, unknown benchmark, oversized workload) is a
+                // deterministic property of the *inputs*, so it is wrapped
+                // as a TaskFailure immediately — the retry budget (which
+                // exists for injected/transient panics) never spends an
+                // attempt re-running it. Panics (including audit
+                // violations) still unwind into the pool's catch and stay
+                // retryable.
+                task: move |worker: usize| -> Result<RunMetrics, TaskFailure> {
+                    let t0 = Instant::now();
+                    let mut metrics = match crate::runner::try_run_spec_with_trace_capacity(
                         &req.spec,
                         req.l1.clone(),
                         req.system,
                         &req.cond,
                         capacity,
-                    );
+                    ) {
+                        Ok(metrics) => metrics,
+                        Err(e) => {
+                            return Err(TaskFailure {
+                                task: id,
+                                label: err_label.clone(),
+                                worker,
+                                panic_msg: e.to_string(),
+                                elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
+                                attempts: 1,
+                            });
+                        }
+                    };
                     metrics.phases.worker = worker;
                     if resilience::inject_bit_flip(id) {
                         metrics.sipt.accesses ^= 1;
@@ -748,7 +770,7 @@ impl Sweep {
                     if let Some(ckpt) = &ckpt {
                         ckpt.append(&key, fingerprint, &metrics);
                     }
-                    metrics
+                    Ok(metrics)
                 },
             });
         }
@@ -758,7 +780,10 @@ impl Sweep {
 
         let mut failures = Vec::new();
         for (slot, outcome) in pending.into_iter().zip(outcomes) {
-            match outcome {
+            // Two failure planes: Err(_) from the pool (panic exhausted
+            // the retry budget) and Ok(Err(_)) from the task itself (typed
+            // error, attempts == 1, zero retries spent).
+            match outcome.and_then(|typed| typed) {
                 Ok(metrics) => slots[slot] = Some(metrics),
                 Err(failure) => {
                     resilience::record_failure(failure.clone());

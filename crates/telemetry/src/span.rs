@@ -88,6 +88,8 @@ struct Sink {
     events: Vec<SpanEvent>,
     dropped: u64,
     thread_names: BTreeMap<u32, String>,
+    /// Retention bound; [`MAX_SPAN_EVENTS`] except in saturation tests.
+    cap: usize,
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -149,6 +151,7 @@ fn with_sink<R>(f: impl FnOnce(&mut Sink) -> R) -> R {
         events: Vec::new(),
         dropped: 0,
         thread_names: BTreeMap::new(),
+        cap: MAX_SPAN_EVENTS,
     });
     f(sink)
 }
@@ -157,7 +160,7 @@ fn record(phase: SpanPhase, name: String, cat: &'static str, args: Vec<(&'static
     let ts_us = now_us();
     let tid = VIRTUAL_TID.with(Cell::get);
     with_sink(|s| {
-        if s.events.len() >= MAX_SPAN_EVENTS {
+        if s.events.len() >= s.cap {
             s.dropped += 1;
             return;
         }
@@ -249,14 +252,24 @@ pub fn snapshot_events() -> Vec<SpanEvent> {
     with_sink(|s| s.events.clone())
 }
 
-/// Clear all retained events, thread names, and the dropped counter.
-/// Virtual tids and the enabled flag are left untouched.
+/// Clear all retained events, thread names, and the dropped counter, and
+/// restore the retention bound to [`MAX_SPAN_EVENTS`]. Virtual tids and
+/// the enabled flag are left untouched.
 pub fn reset() {
     with_sink(|s| {
         s.events.clear();
         s.dropped = 0;
         s.thread_names.clear();
+        s.cap = MAX_SPAN_EVENTS;
     });
+}
+
+/// Shrink the retention bound (testing only: lets saturation tests hit
+/// the cap without pushing [`MAX_SPAN_EVENTS`] real events). [`reset`]
+/// restores the default bound.
+#[cfg(test)]
+fn set_cap_for_tests(cap: usize) {
+    with_sink(|s| s.cap = cap);
 }
 
 /// Render the retained events as a Chrome trace-event JSON object:
@@ -266,6 +279,13 @@ pub fn reset() {
 /// Every `(pid, tid)` pair seen gets `process_name` / `thread_name`
 /// metadata events so Perfetto labels the tracks; unnamed tids fall
 /// back to `"main"` (tid 0) or `"tid <n>"`.
+///
+/// When the sink saturated mid-span, `E` events were dropped after their
+/// `B` was already retained, which would render as never-ending spans.
+/// The exporter synthesizes the missing closers (per-tid LIFO order, at
+/// the trace's final timestamp) so the emitted trace is always
+/// begin/end-balanced; `spanSynthesizedEnds` counts them (0 for a
+/// balanced trace, where this pass is a no-op).
 pub fn export_chrome_trace() -> Json {
     with_sink(|s| {
         let mut events: Vec<Json> = Vec::with_capacity(s.events.len() + s.thread_names.len() + 2);
@@ -283,7 +303,17 @@ pub fn export_chrome_trace() -> Json {
             });
             events.push(meta_event("thread_name", tid, Json::obj([("name", Json::str(name))])));
         }
+        let mut open: BTreeMap<u32, Vec<&str>> = BTreeMap::new();
+        let mut last_ts = 0u64;
         for e in &s.events {
+            last_ts = last_ts.max(e.ts_us);
+            match e.phase {
+                SpanPhase::Begin => open.entry(e.tid).or_default().push(&e.name),
+                SpanPhase::End => {
+                    open.entry(e.tid).or_default().pop();
+                }
+                SpanPhase::Instant => {}
+            }
             let mut obj = Json::obj([
                 ("name", Json::str(&e.name)),
                 ("cat", Json::str(if e.cat.is_empty() { "span" } else { e.cat })),
@@ -304,7 +334,28 @@ pub fn export_chrome_trace() -> Json {
             }
             events.push(obj);
         }
-        Json::obj([("traceEvents", Json::arr(events)), ("spanDropped", Json::u64(s.dropped))])
+        // Close any span whose `E` was lost to the retention bound.
+        // Retained events are a record-order prefix, so only unmatched
+        // `B`s are possible — never an `E` without its `B`.
+        let mut synthesized = 0u64;
+        for (tid, stack) in &open {
+            for name in stack.iter().rev() {
+                synthesized += 1;
+                events.push(Json::obj([
+                    ("name", Json::str(*name)),
+                    ("cat", Json::str("span")),
+                    ("ph", Json::str("E")),
+                    ("ts", Json::u64(last_ts)),
+                    ("pid", Json::u64(1)),
+                    ("tid", Json::u64(u64::from(*tid))),
+                ]));
+            }
+        }
+        Json::obj([
+            ("traceEvents", Json::arr(events)),
+            ("spanDropped", Json::u64(s.dropped)),
+            ("spanSynthesizedEnds", Json::u64(synthesized)),
+        ])
     })
 }
 
@@ -433,6 +484,73 @@ mod tests {
             assert_eq!(thread_meta.path("tid").and_then(Json::as_f64), Some(3.0));
             assert_eq!(thread_meta.path("args.name").and_then(Json::as_str), Some("worker 2"));
             assert_eq!(parsed.path("spanDropped").and_then(Json::as_f64), Some(0.0));
+        });
+    }
+
+    /// Per-tid begin/end balance of a rendered trace: +1 per `B`, -1 per
+    /// `E`; every prefix must stay non-negative and every track ends at 0.
+    fn assert_balanced(trace: &Json) {
+        let parsed = parse(&trace.render()).unwrap();
+        let events = parsed.path("traceEvents").and_then(Json::as_arr).unwrap();
+        let mut depth: std::collections::BTreeMap<u64, i64> = std::collections::BTreeMap::new();
+        for e in events {
+            let tid = e.path("tid").and_then(Json::as_f64).unwrap() as u64;
+            match e.path("ph").and_then(Json::as_str).unwrap() {
+                "B" => *depth.entry(tid).or_default() += 1,
+                "E" => {
+                    let d = depth.entry(tid).or_default();
+                    *d -= 1;
+                    assert!(*d >= 0, "tid {tid}: E without a matching B");
+                }
+                _ => {}
+            }
+        }
+        for (tid, d) in depth {
+            assert_eq!(d, 0, "tid {tid}: {d} unmatched B events in exported trace");
+        }
+    }
+
+    #[test]
+    fn saturated_sink_exports_balanced_trace() {
+        with_clean_sink(|| {
+            set_cap_for_tests(4);
+            {
+                let _outer = Span::enter("outer", "test");
+                let _mid = Span::enter("mid", "test");
+                {
+                    let _inner = Span::enter("inner", "test");
+                    instant("mark", "test"); // 4th event: fills the sink
+                }
+                // The three `E`s all land past the cap and are dropped.
+            }
+            assert_eq!(recorded(), 4);
+            assert_eq!(dropped(), 3, "the three E events must be dropped");
+            let trace = export_chrome_trace();
+            assert_balanced(&trace);
+            let parsed = parse(&trace.render()).unwrap();
+            assert_eq!(parsed.path("spanSynthesizedEnds").and_then(Json::as_f64), Some(3.0));
+            assert_eq!(parsed.path("spanDropped").and_then(Json::as_f64), Some(3.0));
+            // Synthesized closers unwind LIFO: inner before mid before outer.
+            let events = parsed.path("traceEvents").and_then(Json::as_arr).unwrap();
+            let tail: Vec<&str> = events[events.len() - 3..]
+                .iter()
+                .map(|e| e.path("name").and_then(Json::as_str).unwrap())
+                .collect();
+            assert_eq!(tail, vec!["inner", "mid", "outer"]);
+        });
+    }
+
+    #[test]
+    fn balanced_trace_synthesizes_nothing() {
+        with_clean_sink(|| {
+            {
+                let _s = Span::enter("task", "sweep");
+                instant("retry", "resilience");
+            }
+            let trace = export_chrome_trace();
+            assert_balanced(&trace);
+            let parsed = parse(&trace.render()).unwrap();
+            assert_eq!(parsed.path("spanSynthesizedEnds").and_then(Json::as_f64), Some(0.0));
         });
     }
 

@@ -25,6 +25,79 @@
 use std::collections::HashMap;
 use std::hash::Hash;
 
+/// A key usable in [`LruSetAssoc`]: hashable, with a `set_hash` that is
+/// **defined** as `DefaultHasher(key)` — the default method computes
+/// exactly that. Keys on the replay hot path (the TLB L1 probes' `u64`
+/// page numbers) override it with [`siphash13_u64`], an inlined
+/// single-block SipHash-1-3 that produces the identical value without the
+/// `Hasher` buffering machinery; `fast_u64_hash_matches_default_hasher`
+/// pins the equivalence.
+pub trait SetIndexKey: Eq + Hash + Clone {
+    /// The set-index hash of this key. Must equal what
+    /// `DefaultHasher::new()` + `self.hash()` + `finish()` produces.
+    #[inline]
+    fn set_hash(&self) -> u64 {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        use std::hash::Hasher;
+        self.hash(&mut hasher);
+        hasher.finish()
+    }
+}
+
+impl SetIndexKey for u64 {
+    #[inline]
+    fn set_hash(&self) -> u64 {
+        siphash13_u64(*self)
+    }
+}
+
+/// SipHash-1-3 with zero keys over a single little-endian `u64` block —
+/// the exact computation `DefaultHasher` performs for one `write_u64`,
+/// with the rounds laid out inline so the whole hash constant-folds into
+/// ~20 ALU ops instead of a buffered `Hasher` round trip.
+#[inline]
+pub fn siphash13_u64(m: u64) -> u64 {
+    #[inline(always)]
+    fn sipround(v: &mut [u64; 4]) {
+        v[0] = v[0].wrapping_add(v[1]);
+        v[1] = v[1].rotate_left(13);
+        v[1] ^= v[0];
+        v[0] = v[0].rotate_left(32);
+        v[2] = v[2].wrapping_add(v[3]);
+        v[3] = v[3].rotate_left(16);
+        v[3] ^= v[2];
+        v[0] = v[0].wrapping_add(v[3]);
+        v[3] = v[3].rotate_left(21);
+        v[3] ^= v[0];
+        v[2] = v[2].wrapping_add(v[1]);
+        v[1] = v[1].rotate_left(17);
+        v[1] ^= v[2];
+        v[2] = v[2].rotate_left(32);
+    }
+    // Initial state for k0 = k1 = 0 (DefaultHasher's keys).
+    let mut v = [
+        0x736f_6d65_7073_6575u64,
+        0x646f_7261_6e64_6f6du64,
+        0x6c79_6765_6e65_7261u64,
+        0x7465_6462_7974_6573u64,
+    ];
+    // One full 8-byte block: c = 1 compression round.
+    v[3] ^= m;
+    sipround(&mut v);
+    v[0] ^= m;
+    // Final block: empty tail, total length 8 in the top byte.
+    let b = 8u64 << 56;
+    v[3] ^= b;
+    sipround(&mut v);
+    v[0] ^= b;
+    // Finalization: d = 3 rounds.
+    v[2] ^= 0xff;
+    sipround(&mut v);
+    sipround(&mut v);
+    sipround(&mut v);
+    v[0] ^ v[1] ^ v[2] ^ v[3]
+}
+
 /// One way of a set: key, value, and last-use timestamp.
 #[derive(Debug, Clone)]
 struct Way<K, V> {
@@ -58,7 +131,7 @@ pub struct LruSetAssoc<K, V> {
     clock: u64,
 }
 
-impl<K: Eq + Hash + Clone, V> LruSetAssoc<K, V> {
+impl<K: SetIndexKey, V> LruSetAssoc<K, V> {
     /// Create a structure with `sets` sets of `ways` ways each.
     ///
     /// # Panics
@@ -92,13 +165,16 @@ impl<K: Eq + Hash + Clone, V> LruSetAssoc<K, V> {
 
     /// The set a key indexes. `DefaultHasher(key) % sets` is part of the
     /// simulated behaviour (it decides conflicts and evictions) and must
-    /// stay bit-for-bit stable across layout changes.
+    /// stay bit-for-bit stable across layout changes — [`SetIndexKey`]
+    /// implementations are contractually equal to it. Every TLB geometry
+    /// has a power-of-two set count, where the modulo reduces to a mask
+    /// (same value, no hardware divide on the probe path).
     #[inline]
     fn set_of(&self, key: &K) -> usize {
-        let mut hasher = std::collections::hash_map::DefaultHasher::new();
-        use std::hash::Hasher;
-        key.hash(&mut hasher);
-        (hasher.finish() % self.lens.len() as u64) as usize
+        let h = key.set_hash();
+        let sets = self.lens.len() as u64;
+        let set = if sets.is_power_of_two() { h & (sets - 1) } else { h % sets };
+        set as usize
     }
 
     /// Look up `key`, updating LRU state on a hit.
@@ -257,7 +333,33 @@ mod tests {
         assert_eq!(t.len(), 3);
     }
 
+    /// The load-bearing equivalence: the inlined SipHash-1-3 must produce
+    /// exactly `DefaultHasher`'s value for every `u64`, because the
+    /// hash→set mapping decides TLB conflicts and is pinned by the golden
+    /// fingerprints.
+    #[test]
+    fn fast_u64_hash_matches_default_hasher() {
+        use std::hash::Hasher;
+        let samples = (0..4096u64)
+            .chain((0..64u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+            .chain([u64::MAX, u64::MAX - 1, 1 << 63, 0xdead_beef_cafe_f00d]);
+        for k in samples {
+            let mut reference = std::collections::hash_map::DefaultHasher::new();
+            k.hash(&mut reference);
+            assert_eq!(siphash13_u64(k), reference.finish(), "key {k:#x}");
+        }
+    }
+
     proptest! {
+        /// `siphash13_u64` == `DefaultHasher` on arbitrary keys.
+        #[test]
+        fn fast_u64_hash_matches_default_hasher_prop(k in any::<u64>()) {
+            use std::hash::Hasher;
+            let mut reference = std::collections::hash_map::DefaultHasher::new();
+            k.hash(&mut reference);
+            prop_assert_eq!(siphash13_u64(k), reference.finish());
+        }
+
         /// Never exceeds capacity; most-recently-inserted key is always
         /// resident.
         #[test]

@@ -32,7 +32,7 @@ pub mod spec;
 pub mod trace_file;
 
 pub use gen::{Layout, TraceGen};
-pub use materialized::{MaterializedTrace, TraceCursor};
+pub use materialized::{InstBlock, MaterializedTrace, TraceCursor};
 pub use spec::{
     benchmark, AllocPattern, PatternMix, WorkloadSpec, BENCHMARKS, LOW_SPECULATION_APPS, MIXES,
     MIX_ONLY_BENCHMARKS,

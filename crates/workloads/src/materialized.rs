@@ -110,6 +110,59 @@ pub struct TraceCursor<'a> {
     mem_idx: usize,
 }
 
+/// A borrowed view of up to one batch of consecutive instructions in
+/// structure-of-arrays form, yielded by [`TraceCursor::next_block`].
+///
+/// `pcs` and `meta` are parallel (one entry per instruction); `mem_vas`
+/// holds the block's memory references in stream order, one per `meta`
+/// word with the mem bit set. Block-replay kernels decode `meta` with
+/// `sipt_cpu::unpack_meta_fields` and batch-translate `mem_vas` without
+/// materializing `Inst` values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstBlock<'a> {
+    /// Program counter of each instruction in the block.
+    pub pcs: &'a [u64],
+    /// Packed non-address metadata, parallel to `pcs`.
+    pub meta: &'a [u32],
+    /// Virtual addresses of the block's memory references, in order.
+    pub mem_vas: &'a [u64],
+}
+
+impl InstBlock<'_> {
+    /// Number of instructions in the block.
+    pub fn len(&self) -> usize {
+        self.pcs.len()
+    }
+
+    /// Whether the block holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.pcs.is_empty()
+    }
+}
+
+impl<'a> TraceCursor<'a> {
+    /// Yield the next block of at most `max` instructions as raw SoA
+    /// slices, advancing the cursor past them. Returns `None` when the
+    /// trace is exhausted (or `max == 0`). Interleaves freely with
+    /// `Iterator::next`: both consume the same position.
+    pub fn next_block(&mut self, max: usize) -> Option<InstBlock<'a>> {
+        if self.idx >= self.trace.len() || max == 0 {
+            return None;
+        }
+        let end = (self.idx + max).min(self.trace.len());
+        let meta = &self.trace.meta[self.idx..end];
+        let n_mem = meta.iter().filter(|&&m| meta_has_mem(m)).count();
+        let block = InstBlock {
+            pcs: &self.trace.pcs[self.idx..end],
+            meta,
+            mem_vas: &self.trace.mem_vas[self.mem_idx..self.mem_idx + n_mem],
+        };
+        self.idx = end;
+        self.mem_idx += n_mem;
+        Some(block)
+    }
+}
+
 impl Iterator for TraceCursor<'_> {
     type Item = Inst;
 
@@ -184,6 +237,45 @@ mod tests {
         assert_eq!(cursor.len(), 100);
         let _ = cursor.next();
         assert_eq!(cursor.len(), 99);
+    }
+
+    #[test]
+    fn blocks_cover_the_stream_exactly() {
+        let trace = MaterializedTrace::from_gen(gen_for("mcf", 5_000));
+        let whole: Vec<Inst> = trace.cursor().collect();
+        for batch in [1usize, 7, 256, 10_000] {
+            let mut cursor = trace.cursor();
+            let mut rebuilt: Vec<Inst> = Vec::new();
+            while let Some(block) = cursor.next_block(batch) {
+                assert!(block.len() <= batch && !block.is_empty());
+                let mut mem_i = 0;
+                for (k, &meta) in block.meta.iter().enumerate() {
+                    let va = meta_has_mem(meta).then(|| {
+                        let raw = block.mem_vas[mem_i];
+                        mem_i += 1;
+                        VirtAddr::new(raw)
+                    });
+                    rebuilt.push(unpack_inst_meta(meta, block.pcs[k], va));
+                }
+                assert_eq!(mem_i, block.mem_vas.len());
+            }
+            assert_eq!(rebuilt, whole, "batch {batch}");
+        }
+    }
+
+    #[test]
+    fn blocks_interleave_with_scalar_iteration() {
+        let trace = MaterializedTrace::from_gen(gen_for("gcc", 3_000));
+        let whole: Vec<Inst> = trace.cursor().collect();
+        let mut cursor = trace.cursor();
+        let head: Vec<Inst> = (&mut cursor).take(1_000).collect();
+        let block = cursor.next_block(500).unwrap();
+        assert_eq!(head.as_slice(), &whole[..1_000]);
+        assert_eq!(block.pcs.len(), 500);
+        assert_eq!(block.pcs[0], whole[1_000].pc);
+        let tail: Vec<Inst> = (&mut cursor).collect();
+        assert_eq!(tail.as_slice(), &whole[1_500..]);
+        assert_eq!(cursor.next_block(1), None, "drained cursor yields no blocks");
     }
 
     #[test]

@@ -16,7 +16,10 @@
 
 use sipt_core::{sipt_32k_2w, BypassKind, L1Policy};
 use sipt_sim::experiments::{ideal, report, smoke_benchmarks};
-use sipt_sim::{prep_cache, set_jobs, Condition, RunMetrics, Sweep, SystemKind};
+use sipt_sim::{
+    prep_cache, run_mix, set_jobs, set_replay_batch, Condition, RunMetrics, Sweep, SystemKind,
+    DEFAULT_REPLAY_BATCH,
+};
 use sipt_telemetry::json::Json;
 use std::sync::{Mutex, PoisonError};
 
@@ -41,6 +44,7 @@ fn with_exclusive_state<R>(f: impl FnOnce() -> R) -> R {
     prep_cache::clear();
     prep_cache::set_enabled(true);
     set_jobs(1);
+    set_replay_batch(DEFAULT_REPLAY_BATCH);
     out
 }
 
@@ -121,6 +125,82 @@ fn fig02_fingerprint_is_jobs_independent() {
         set_jobs(4);
         let got = fnv1a(fig02_payload().as_bytes());
         assert_eq!(got, FIG02_GOLDEN_FNV1A, "fig02 payload drifted under --jobs 4");
+    });
+}
+
+/// The block-replay kernel's batch size shapes only *when* translations
+/// are computed, never *what* they compute: every batch size, crossed
+/// with serial and parallel sweeps, must reproduce the per-access
+/// golden fingerprint byte for byte.
+#[test]
+fn fig02_fingerprint_is_batch_size_independent() {
+    with_exclusive_state(|| {
+        for batch in [1, 7, 256] {
+            for jobs in [1, 8] {
+                set_replay_batch(batch);
+                set_jobs(jobs);
+                let got = fnv1a(fig02_payload().as_bytes());
+                assert_eq!(
+                    got, FIG02_GOLDEN_FNV1A,
+                    "fig02 payload drifted at replay batch {batch}, jobs {jobs}"
+                );
+            }
+        }
+    });
+}
+
+/// Same batch-size sweep over the ablation payload, which exercises the
+/// bypass-predictor policies (SiptBypass × perceptron/counter) the fig02
+/// ideal sweep does not.
+#[test]
+fn ablation_fingerprint_is_batch_size_independent() {
+    with_exclusive_state(|| {
+        for batch in [1, 7, 256] {
+            set_replay_batch(batch);
+            set_jobs(1);
+            let got = fnv1a(ablation_payload().as_bytes());
+            assert_eq!(
+                got, ABLATION_GOLDEN_FNV1A,
+                "ablation payload drifted at replay batch {batch}"
+            );
+        }
+    });
+}
+
+/// Quad-core mix payload (per-core masked summaries) at quick scale.
+fn mix_payload() -> String {
+    let cond = Condition {
+        memory_bytes: 4 << 30,
+        instructions: 15_000,
+        warmup: 5_000,
+        ..Condition::default()
+    };
+    let m = run_mix("mix0", sipt_32k_2w(), &cond);
+    m.cores.iter().map(masked_report).collect::<Vec<_>>().join("\n")
+}
+
+/// Golden fingerprint of the quad-core mix0 payload, recorded from the
+/// serial (jobs = 1) core loop.
+const MIX0_GOLDEN_FNV1A: u64 = 0xDA94_3467_A785_4105;
+
+/// Intra-run core sharding (each core of a quad-core mix on its own
+/// thread) must reproduce the serial golden fingerprint: private
+/// hierarchies share no state, so the payload is bit-identical by
+/// construction — and pinned here so it stays that way.
+#[test]
+fn quadcore_mix_fingerprint_is_sharding_independent() {
+    with_exclusive_state(|| {
+        set_jobs(1);
+        let serial = mix_payload();
+        let got = fnv1a(serial.as_bytes());
+        assert_eq!(
+            got, MIX0_GOLDEN_FNV1A,
+            "serial mix0 payload fingerprint drifted: observed {got:#018x} \
+             (expected {MIX0_GOLDEN_FNV1A:#018x}); payload was:\n{serial}"
+        );
+        set_jobs(8);
+        let sharded = fnv1a(mix_payload().as_bytes());
+        assert_eq!(sharded, MIX0_GOLDEN_FNV1A, "intra-run core sharding changed the mix0 payload");
     });
 }
 
