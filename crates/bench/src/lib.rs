@@ -158,6 +158,38 @@ fn resilience_flags_from_args() {
     }
 }
 
+/// Parse `--isolation thread|process` from the process arguments and
+/// apply it to the sweep engine. The flag wins over `SIPT_ISOLATION`;
+/// an unknown value aborts with a usage message (exit 2) rather than
+/// silently running in the default mode.
+fn isolation_from_args() {
+    if let Some(value) = parse_string_flag(std::env::args().skip(1), "--isolation") {
+        match sipt_sim::Isolation::parse(&value) {
+            Some(mode) => sipt_sim::set_isolation(mode),
+            None => {
+                eprintln!("invalid --isolation value {value:?}: expected thread or process");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// Pure parser for string-valued `--flag VALUE` / `--flag=VALUE`
+/// arguments. A flag with a missing value returns the empty string so
+/// the caller's validation rejects it with a usage message.
+fn parse_string_flag<I: Iterator<Item = String>>(mut args: I, flag: &str) -> Option<String> {
+    let prefix = format!("{flag}=");
+    while let Some(arg) = args.next() {
+        if arg == flag {
+            return Some(args.next().unwrap_or_default());
+        }
+        if let Some(v) = arg.strip_prefix(&prefix) {
+            return Some(v.to_owned());
+        }
+    }
+    None
+}
+
 /// Pure parser for `--flag N` / `--flag=N` arguments, split out for
 /// testing. `Err(bad)` carries the offending text.
 fn parse_valued_flag<I: Iterator<Item = String>>(
@@ -181,7 +213,10 @@ fn parse_valued_flag<I: Iterator<Item = String>>(
 /// Command-line state shared by every figure/table binary: the run scale,
 /// whether a machine-readable report was requested (`--json` argument or
 /// `SIPT_JSON=1`), the sweep parallelism (`--jobs N`, `--jobs=N`, or
-/// `SIPT_JOBS=N`; default: all host cores), the resilience switches
+/// `SIPT_JOBS=N`; default: all host cores), the sweep isolation mode
+/// (`--isolation thread|process` or `SIPT_ISOLATION`; `process` runs
+/// sweep shards in supervised child processes that survive aborts and
+/// segfaults), the resilience switches
 /// (`--resume`, `--task-timeout MS`, `--task-retries N`), the
 /// workload-preparation cache switch (`--no-prep-cache` or
 /// `SIPT_PREP_CACHE=0`; the cache is on by default and does not change
@@ -206,28 +241,39 @@ pub struct Cli {
 }
 
 impl Cli {
-    /// Parse scale, JSON switch, `--jobs` and the resilience flags from
-    /// the process arguments/environment. A `--jobs` argument takes
-    /// precedence over `SIPT_JOBS`; malformed values abort with a usage
-    /// message rather than silently running serial.
+    /// Parse scale, JSON switch, `--jobs`, `--isolation` and the
+    /// resilience flags from the process arguments/environment. A
+    /// `--jobs` argument takes precedence over `SIPT_JOBS` (likewise
+    /// `--isolation` over `SIPT_ISOLATION`); malformed values abort with
+    /// a usage message rather than silently running serial. Also installs
+    /// the SIGTERM/SIGINT drain handlers so an interrupted sweep flushes
+    /// its checkpoint and exits with resume instructions instead of dying
+    /// mid-write. In `--worker-shard` re-executions (spawned by the
+    /// process-isolation supervisor) the JSON report and `--resume`
+    /// checkpointing are suppressed: the worker streams its results over
+    /// the wire protocol and must never overwrite the parent's artifacts.
     pub fn from_args() -> Self {
+        sipt_sim::install_drain_handlers();
         if let Some(jobs) = jobs_from_args() {
             sipt_sim::set_jobs(jobs);
         }
         resilience_flags_from_args();
+        isolation_from_args();
         if std::env::args().skip(1).any(|a| a == "--no-prep-cache") {
             sipt_sim::prep_cache::set_enabled(false);
         }
-        let trace_spans = std::env::args().skip(1).any(|a| a == "--trace-spans")
-            || sipt_sim::env::switch_enabled("SIPT_TRACE_SPANS");
+        let worker = sipt_sim::supervisor::worker_mode();
+        let trace_spans = !worker
+            && (std::env::args().skip(1).any(|a| a == "--trace-spans")
+                || sipt_sim::env::switch_enabled("SIPT_TRACE_SPANS"));
         if trace_spans {
             sipt_telemetry::span::set_enabled(true);
         }
         Self {
             scale: Scale::from_args(),
-            json: report::json_requested(),
+            json: report::json_requested() && !worker,
             jobs: sipt_sim::effective_jobs(),
-            resume: std::env::args().skip(1).any(|a| a == "--resume"),
+            resume: !worker && std::env::args().skip(1).any(|a| a == "--resume"),
             trace_spans,
             artifact: None,
         }
@@ -362,6 +408,18 @@ mod tests {
         assert_eq!(parse_valued_flag(args(&["--task-timeout", "soon"]), f), Err("soon".to_owned()));
         // Flags are independent: --task-timeout does not satisfy --jobs.
         assert_eq!(parse_valued_flag(args(&["--task-timeout", "9"]), "--jobs"), Ok(None));
+    }
+
+    #[test]
+    fn isolation_flag_parses_both_forms() {
+        let f = "--isolation";
+        assert_eq!(parse_string_flag(args(&["quick", f, "process"]), f), Some("process".into()));
+        assert_eq!(parse_string_flag(args(&["--isolation=thread"]), f), Some("thread".into()));
+        assert_eq!(parse_string_flag(args(&["quick", "--json"]), f), None);
+        // Missing value surfaces as an empty string the validator rejects.
+        assert_eq!(parse_string_flag(args(&[f]), f), Some(String::new()));
+        assert!(sipt_sim::Isolation::parse("process").is_some());
+        assert!(sipt_sim::Isolation::parse("container").is_none());
     }
 
     #[test]

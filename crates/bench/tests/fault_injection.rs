@@ -62,7 +62,7 @@ fn injected_panic_is_isolated_reported_and_survivors_match() {
     assert!(stderr.contains("task failures"), "failure table on stderr: {stderr}");
 
     let report = read_report(&fault_dir);
-    assert_eq!(report.path("schema_version").and_then(Json::as_f64), Some(5.0));
+    assert_eq!(report.path("schema_version").and_then(Json::as_f64), Some(6.0));
     let failures = report.path("resilience.failures").and_then(Json::as_arr).expect("failures[]");
     assert_eq!(failures.len(), 1);
     assert_eq!(failures[0].get("task").and_then(Json::as_f64), Some(1.0));

@@ -31,7 +31,7 @@ fn fig01_json_flag_writes_valid_enveloped_report() {
     std::fs::remove_dir_all(&dir).ok();
 
     let parsed = json::parse(&text).expect("valid JSON");
-    assert_eq!(parsed.path("schema_version").and_then(Json::as_f64), Some(5.0));
+    assert_eq!(parsed.path("schema_version").and_then(Json::as_f64), Some(6.0));
     assert_eq!(parsed.path("artifact").and_then(Json::as_str), Some("fig01"));
     assert!(parsed.path("resilience").is_none(), "clean run must omit the resilience block");
     let rows = parsed.path("payload.rows").and_then(Json::as_arr).expect("rows array");
@@ -89,7 +89,7 @@ fn serial_and_parallel_binaries_write_identical_payloads() {
         parallel.path("payload").map(Json::render),
         "payload must not depend on SIPT_JOBS"
     );
-    assert_eq!(serial.path("schema_version").and_then(Json::as_f64), Some(5.0));
+    assert_eq!(serial.path("schema_version").and_then(Json::as_f64), Some(6.0));
     assert_eq!(serial.path("parallelism.jobs").and_then(Json::as_f64), Some(1.0));
     assert_eq!(parallel.path("parallelism.jobs").and_then(Json::as_f64), Some(2.0));
     for key in ["tasks", "wall_ms", "total_busy_ms", "speedup"] {

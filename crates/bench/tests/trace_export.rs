@@ -55,7 +55,7 @@ fn trace_spans_writes_perfetto_trace_with_identical_payload() {
     );
 
     // 2. The v5 observability block accounts for the recorded spans.
-    assert_eq!(traced_report.path("schema_version").and_then(Json::as_f64), Some(5.0));
+    assert_eq!(traced_report.path("schema_version").and_then(Json::as_f64), Some(6.0));
     let spans = traced_report.path("observability.spans").expect("spans accounting");
     assert_eq!(spans.path("enabled").and_then(Json::as_f64), Some(1.0));
     assert!(spans.path("events").and_then(Json::as_f64).unwrap_or(0.0) > 0.0);

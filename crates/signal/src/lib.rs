@@ -1,0 +1,130 @@
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+//! # sipt-signal — the drain flag
+//!
+//! The one thing the sweep engine needs from the operating system that
+//! safe Rust cannot provide: *notice* a `SIGTERM`/`SIGINT` without dying,
+//! so a long sweep can flush its checkpoint, merge partial results, print
+//! resume instructions, and exit deliberately (exit code
+//! [`EXIT_DRAINED`]) instead of vanishing mid-write.
+//!
+//! The workspace is hermetic (no registry dependencies, every other crate
+//! is `#![forbid(unsafe_code)]`), so this crate holds the **only**
+//! `unsafe` in the tree: an `extern "C"` binding to the C library's
+//! `signal(2)`, which is already linked into every Rust binary on Unix —
+//! no new dependency, no new linkage. The handler does the minimum that
+//! is async-signal-safe: it stores into process-global atomics. Everyone
+//! else polls [`drain_requested`] at task boundaries.
+//!
+//! On non-Unix targets the handler install is a no-op and the flag can
+//! still be raised programmatically via [`request_drain`] (the worker
+//! wire protocol's `drain` command uses that path on every platform).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Exit code of a run that shut down gracefully after SIGTERM/SIGINT —
+/// the conventional `128 + SIGINT` so wrappers treat it as interrupted.
+pub const EXIT_DRAINED: i32 = 130;
+
+static DRAIN: AtomicBool = AtomicBool::new(false);
+static SIGNALS_SEEN: AtomicU64 = AtomicU64::new(0);
+
+#[cfg(unix)]
+mod imp {
+    use super::{Ordering, DRAIN, SIGNALS_SEEN};
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    type SigHandler = extern "C" fn(i32);
+
+    extern "C" {
+        /// `signal(2)` from the platform C library, which every Rust
+        /// binary already links. Binding the symbol directly keeps the
+        /// workspace free of external crates.
+        fn signal(signum: i32, handler: SigHandler) -> usize;
+    }
+
+    /// The handler: async-signal-safe by construction (two lock-free
+    /// atomic stores, nothing else).
+    extern "C" fn on_signal(_signum: i32) {
+        DRAIN.store(true, Ordering::SeqCst);
+        SIGNALS_SEEN.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        // SAFETY: `signal` is the C library's own entry point with the
+        // documented `(int, void (*)(int))` ABI, and `on_signal` is a
+        // matching `extern "C"` function that only touches lock-free
+        // atomics (async-signal-safe). Replacing the disposition of
+        // SIGINT/SIGTERM cannot invalidate any Rust invariant.
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// Non-Unix fallback: signals cannot be hooked without a platform
+    /// crate, but the programmatic drain path still works.
+    pub fn install() {}
+}
+
+/// Install the SIGTERM/SIGINT handlers (idempotent; no-op off Unix).
+/// Call early in `main`, before the first sweep.
+pub fn install_drain_handlers() {
+    imp::install();
+}
+
+/// Whether a drain was requested (by signal or [`request_drain`]). The
+/// sweep engine polls this at task boundaries: once set, no new task
+/// starts, in-flight work finishes, checkpoints flush, and the process
+/// exits [`EXIT_DRAINED`].
+pub fn drain_requested() -> bool {
+    DRAIN.load(Ordering::SeqCst)
+}
+
+/// Raise the drain flag programmatically — the supervisor's `drain`
+/// stdin command uses this inside workers, and tests use it to exercise
+/// drain paths without process-level signals.
+pub fn request_drain() {
+    DRAIN.store(true, Ordering::SeqCst);
+}
+
+/// Number of drain signals observed so far (0 when the flag was raised
+/// only programmatically).
+pub fn signals_seen() -> u64 {
+    SIGNALS_SEEN.load(Ordering::SeqCst)
+}
+
+/// Clear the drain flag. Test-only escape hatch: production code treats
+/// the flag as latching.
+pub fn reset_for_tests() {
+    DRAIN.store(false, Ordering::SeqCst);
+    SIGNALS_SEEN.store(0, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programmatic_drain_latches() {
+        reset_for_tests();
+        assert!(!drain_requested());
+        request_drain();
+        assert!(drain_requested());
+        assert_eq!(signals_seen(), 0, "no OS signal was involved");
+        reset_for_tests();
+        assert!(!drain_requested());
+    }
+
+    #[test]
+    fn install_is_idempotent() {
+        install_drain_handlers();
+        install_drain_handlers();
+    }
+}

@@ -373,7 +373,7 @@ pub fn decode_metrics(bytes: &[u8]) -> Option<RunMetrics> {
     })
 }
 
-fn hex_encode(bytes: &[u8]) -> String {
+pub(crate) fn hex_encode(bytes: &[u8]) -> String {
     const HEX: &[u8; 16] = b"0123456789abcdef";
     let mut out = String::with_capacity(bytes.len() * 2);
     for &b in bytes {
@@ -383,7 +383,7 @@ fn hex_encode(bytes: &[u8]) -> String {
     out
 }
 
-fn hex_decode(s: &str) -> Option<Vec<u8>> {
+pub(crate) fn hex_decode(s: &str) -> Option<Vec<u8>> {
     if !s.len().is_multiple_of(2) {
         return None;
     }
@@ -504,6 +504,7 @@ pub fn configure(path: &Path, resume: bool) -> Result<CheckpointHandle, SimError
     if resume {
         match std::fs::read_to_string(path) {
             Ok(contents) => {
+                let mut corrupt = 0u64;
                 for (lineno, line) in contents.lines().enumerate() {
                     if line.trim().is_empty() {
                         continue;
@@ -512,12 +513,27 @@ pub fn configure(path: &Path, resume: bool) -> Result<CheckpointHandle, SimError
                         Some((fp, metrics)) => {
                             restored.insert(fp, metrics);
                         }
-                        None => eprintln!(
-                            "warning: skipping malformed checkpoint line {} in {}",
-                            lineno + 1,
-                            path.display()
-                        ),
+                        None => {
+                            corrupt += 1;
+                            eprintln!(
+                                "warning: skipping malformed checkpoint line {} in {}",
+                                lineno + 1,
+                                path.display()
+                            );
+                        }
                     }
+                }
+                // Corruption is tolerated (the affected tasks simply
+                // re-run) but never silent: the count lands in the
+                // resilience report block alongside the per-line warnings.
+                if corrupt > 0 {
+                    crate::resilience::record_corrupt_checkpoint_lines(corrupt);
+                    eprintln!(
+                        "warning: {} corrupt checkpoint line(s) in {} were skipped; \
+                         the affected task(s) will re-run",
+                        corrupt,
+                        path.display()
+                    );
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
@@ -641,8 +657,13 @@ mod tests {
             let mut f = OpenOptions::new().append(true).open(&path).unwrap();
             write!(f, "{{\"key\":\"s0.t1\",\"fp\":\"0000000000000001\",\"m\":\"01ab").unwrap();
         }
+        let corrupt_before = crate::resilience::corrupt_checkpoint_lines();
         let handle = configure(&path, true).expect("resume");
         assert_eq!(handle.restored_len(), 1, "torn line skipped, good line kept");
+        assert!(
+            crate::resilience::corrupt_checkpoint_lines() > corrupt_before,
+            "the torn line must be counted, not just warned about"
+        );
         let back = handle.restore("s9.t9", 0xdead_beef).expect("fingerprint hit");
         assert_eq!(encode_metrics(&back), encode_metrics(&m), "bit-exact restore");
         assert!(handle.restore("s0.t0", 0x1234).is_none(), "unknown fingerprint misses");

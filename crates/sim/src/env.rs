@@ -44,6 +44,30 @@ pub fn parse_or_warn_default(name: &str, default: u64) -> u64 {
     parse_or_warn(name).unwrap_or(default)
 }
 
+/// Parse `name` from the environment as one of a closed set of choices
+/// (trimmed, exact match). Unset/empty means "use the default" (silently,
+/// `None`); any other value warns on stderr naming the accepted choices
+/// and returns `None`.
+pub fn choice_or_warn(name: &str, choices: &[&str]) -> Option<String> {
+    let raw = std::env::var(name).ok()?;
+    choice_value(name, &raw, choices)
+}
+
+/// The pure parsing/warning core of [`choice_or_warn`], separated so the
+/// warning path is unit-testable without mutating the process
+/// environment.
+pub fn choice_value(name: &str, raw: &str, choices: &[&str]) -> Option<String> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return None;
+    }
+    if choices.contains(&trimmed) {
+        return Some(trimmed.to_owned());
+    }
+    eprintln!("warning: malformed {name}={raw:?} (expected one of {choices:?}); ignoring");
+    None
+}
+
 /// Whether a boolean-ish `SIPT_*` switch is set: any non-empty value
 /// other than `0` counts as on (matching `SIPT_JSON` semantics).
 /// Surrounding whitespace is tolerated, like [`parse_or_warn`], so
@@ -81,6 +105,16 @@ mod tests {
         assert!(!switch_value("0 "), "padded zero must stay off");
         assert!(!switch_value(""));
         assert!(!switch_value("   "), "whitespace-only means unset");
+    }
+
+    #[test]
+    fn choice_accepts_known_values_only() {
+        let choices = &["thread", "process"];
+        assert_eq!(choice_value("SIPT_ISOLATION", "process", choices), Some("process".into()));
+        assert_eq!(choice_value("SIPT_ISOLATION", " thread ", choices), Some("thread".into()));
+        assert_eq!(choice_value("SIPT_ISOLATION", "fork", choices), None);
+        assert_eq!(choice_value("SIPT_ISOLATION", "", choices), None);
+        assert_eq!(choice_value("SIPT_ISOLATION", "  ", choices), None);
     }
 
     #[test]

@@ -59,6 +59,13 @@ pub enum SimError {
         /// What went wrong.
         detail: String,
     },
+    /// The process-isolation sweep supervisor could not be started (e.g.
+    /// the current executable path is unresolvable for re-exec). The
+    /// sweep engine reports this and falls back to thread isolation.
+    Supervisor {
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 impl SimError {
@@ -81,6 +88,11 @@ impl SimError {
     pub fn checkpoint(path: impl Into<String>, detail: impl Into<String>) -> Self {
         SimError::Checkpoint { path: path.into(), detail: detail.into() }
     }
+
+    /// Shorthand for a sweep-supervisor failure.
+    pub fn supervisor(detail: impl Into<String>) -> Self {
+        SimError::Supervisor { detail: detail.into() }
+    }
 }
 
 impl core::fmt::Display for SimError {
@@ -100,6 +112,9 @@ impl core::fmt::Display for SimError {
             }
             SimError::Checkpoint { path, detail } => {
                 write!(f, "checkpoint error at {path}: {detail}")
+            }
+            SimError::Supervisor { detail } => {
+                write!(f, "sweep supervisor error: {detail}")
             }
         }
     }
@@ -133,5 +148,8 @@ mod tests {
         assert!(e.to_string().contains("0xdead000"));
         let e = SimError::from(MemError::OutOfMemory { requested_order: 3 });
         assert!(e.to_string().contains("memory"));
+        let e = SimError::supervisor("cannot resolve current executable");
+        assert!(e.to_string().contains("supervisor"));
+        assert!(e.to_string().contains("executable"));
     }
 }

@@ -31,7 +31,9 @@ pub mod observability;
 pub mod prep_cache;
 pub mod resilience;
 pub mod runner;
+pub mod supervisor;
 pub mod sweep;
+pub mod wire;
 
 pub use block::{replay_batch, replay_trace, set_replay_batch, DEFAULT_REPLAY_BATCH};
 pub use error::SimError;
@@ -47,6 +49,7 @@ pub use runner::{
     run_benchmark, run_spec, run_spec_per_access, speculation_profile, try_run_benchmark,
     Condition, SpeculationProfile,
 };
+pub use supervisor::{install_drain_handlers, set_isolation, supervisor_json, Isolation};
 pub use sweep::{
     effective_jobs, run_parallel, run_parallel_default, run_parallel_isolated, set_jobs,
     ParallelismProfile, PoolTask, RunRequest, Sweep, SweepResult,

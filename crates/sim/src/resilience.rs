@@ -18,11 +18,15 @@
 //!   faults, and a deterministic panic fails every attempt).
 //! - `SIPT_TASK_TIMEOUT_MS` / [`set_task_timeout_ms`] (the `--task-timeout`
 //!   CLI flag) — a watchdog flags tasks running longer than this; with
-//!   `SIPT_WATCHDOG_KILL=1` it aborts the process (exit 124) instead of
-//!   waiting forever.
+//!   `SIPT_WATCHDOG_KILL=1` it kills overrunning work instead of waiting
+//!   forever. Under `--isolation process` the kill is scoped to the
+//!   offending *worker process* (the task is failed, the sweep continues);
+//!   in thread mode the only containable unit is the whole process, so it
+//!   aborts with exit 124 (the documented fallback).
 //! - `SIPT_FAULT_INJECT=<spec>` — deterministic fault injection for
 //!   proving the isolation/retry/audit machinery actually fires (see
-//!   [`FaultSpec`]).
+//!   [`FaultSpec`]). `abort:` directives take down the whole process —
+//!   only `--isolation process` (see [`crate::supervisor`]) survives them.
 
 use sipt_telemetry::json::Json;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -107,6 +111,7 @@ struct Registry {
     watchdog_flags: Vec<WatchdogFlag>,
     retries_spent: u64,
     checkpoint_hits: u64,
+    corrupt_checkpoint_lines: u64,
 }
 
 static REGISTRY: Mutex<Option<Registry>> = Mutex::new(None);
@@ -161,6 +166,19 @@ pub fn record_checkpoint_hits(n: u64) {
     with_registry(|r| r.checkpoint_hits += n);
 }
 
+/// Record that `n` corrupt (unparseable) lines were skipped while loading
+/// a sweep checkpoint. Each line was already warned about individually on
+/// stderr; the count surfaces in the `resilience` report block so silent
+/// checkpoint corruption is visible in artifacts, not just scrollback.
+pub fn record_corrupt_checkpoint_lines(n: u64) {
+    with_registry(|r| r.corrupt_checkpoint_lines += n);
+}
+
+/// Number of corrupt checkpoint lines skipped so far.
+pub fn corrupt_checkpoint_lines() -> u64 {
+    with_registry(|r| r.corrupt_checkpoint_lines)
+}
+
 /// All failures captured so far, in capture order.
 pub fn failures() -> Vec<TaskFailure> {
     with_registry(|r| r.failures.clone())
@@ -176,16 +194,33 @@ pub fn watchdog_flags() -> Vec<WatchdogFlag> {
     with_registry(|r| r.watchdog_flags.clone())
 }
 
-/// The schema-v3 `resilience` report block: `None` until something worth
-/// reporting happened (a failure, a watchdog flag, a retry, a checkpoint
-/// restore, or fault injection being armed). Scientific payloads are
-/// unchanged when no fault occurs — the block is simply absent.
+/// The `resilience` report block (schema v3, extended in v6 with
+/// `corrupt_checkpoint_lines` and the `supervisor` sub-block): `None`
+/// until something worth reporting happened (a failure, a watchdog flag,
+/// a retry, a checkpoint restore, checkpoint corruption, fault injection
+/// being armed, or a process-isolation sweep having run). Scientific
+/// payloads are unchanged when no fault occurs — the block is simply
+/// absent.
 pub fn resilience_json() -> Option<Json> {
-    let (failures, flags, retries, ckpt) = with_registry(|r| {
-        (r.failures.clone(), r.watchdog_flags.clone(), r.retries_spent, r.checkpoint_hits)
+    let (failures, flags, retries, ckpt, corrupt) = with_registry(|r| {
+        (
+            r.failures.clone(),
+            r.watchdog_flags.clone(),
+            r.retries_spent,
+            r.checkpoint_hits,
+            r.corrupt_checkpoint_lines,
+        )
     });
     let injected = injected_fault_count();
-    if failures.is_empty() && flags.is_empty() && retries == 0 && ckpt == 0 && injected == 0 {
+    let supervisor = crate::supervisor::supervisor_json();
+    if failures.is_empty()
+        && flags.is_empty()
+        && retries == 0
+        && ckpt == 0
+        && corrupt == 0
+        && injected == 0
+        && supervisor.is_none()
+    {
         return None;
     }
     Some(Json::obj([
@@ -193,9 +228,11 @@ pub fn resilience_json() -> Option<Json> {
         ("watchdog_flags", Json::arr(flags.iter().map(WatchdogFlag::to_json))),
         ("retries_spent", Json::u64(retries)),
         ("checkpoint_hits", Json::u64(ckpt)),
+        ("corrupt_checkpoint_lines", Json::u64(corrupt)),
         ("fault_injections", Json::u64(injected)),
         ("task_retries", Json::u64(u64::from(task_retries()))),
         ("task_timeout_ms", task_timeout_ms().map_or(Json::Null, Json::u64)),
+        ("supervisor", supervisor.unwrap_or(Json::Null)),
     ]))
 }
 
@@ -282,6 +319,11 @@ pub fn watchdog_kill() -> bool {
 /// ```text
 /// panic:<task>          panic on every attempt of global task <task>
 /// panic:<task>:once     panic only on the first attempt (retry recovers)
+/// abort:<task>          call std::process::abort() at the start of task
+///                       <task> — a fault catch_unwind CANNOT contain;
+///                       only --isolation process survives it
+/// abort:<task>:once     abort only on the very first attempt (a respawned
+///                       worker then completes the task)
 /// slow:<task>:<ms>      sleep <ms> at the start of task <task> (trips the watchdog)
 /// flip:<task>           XOR 1 into the task's SIPT access counter after the
 ///                       run (metrics-conservation audit must catch it)
@@ -289,7 +331,9 @@ pub fn watchdog_kill() -> bool {
 ///
 /// Task ids are process-global submission indices (0-based, across all
 /// sweeps in the process), so injection is deterministic regardless of
-/// worker scheduling.
+/// worker scheduling. `:once` counts attempts across worker *respawns*
+/// too: a shard worker re-executed after a crash carries an attempt
+/// offset ([`set_attempt_offset`]) so the fault does not re-fire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultSpec {
     /// Panic inside the task.
@@ -297,6 +341,16 @@ pub enum FaultSpec {
         /// Global task id.
         task: usize,
         /// Inject only on the first attempt (retries then recover).
+        once: bool,
+    },
+    /// Abort the whole process at task start (`std::process::abort()`),
+    /// modelling the fault class `catch_unwind` cannot contain: SIGABRT,
+    /// segfaults, OOM kills.
+    Abort {
+        /// Global task id.
+        task: usize,
+        /// Inject only on the first (effective) attempt — a respawned
+        /// shard worker then completes the task.
         once: bool,
     },
     /// Sleep at task start.
@@ -325,6 +379,10 @@ pub fn parse_fault_spec(spec: &str) -> Result<Vec<FaultSpec>, String> {
             ["panic", task] => out.push(FaultSpec::Panic { task: parse_task(task)?, once: false }),
             ["panic", task, "once"] => {
                 out.push(FaultSpec::Panic { task: parse_task(task)?, once: true });
+            }
+            ["abort", task] => out.push(FaultSpec::Abort { task: parse_task(task)?, once: false }),
+            ["abort", task, "once"] => {
+                out.push(FaultSpec::Abort { task: parse_task(task)?, once: true });
             }
             ["slow", task, ms] => out.push(FaultSpec::Slow {
                 task: parse_task(task)?,
@@ -360,19 +418,37 @@ pub fn injected_fault_count() -> u64 {
     INJECTED.load(Ordering::Relaxed)
 }
 
-/// Fault-injection hook at task start: sleeps for `slow` directives and
-/// panics for matching `panic` directives. Called by the pool inside the
-/// `catch_unwind` boundary.
+/// Attempts already spent on this process's tasks in *previous* worker
+/// spawns (shard workers respawned after a crash). Added to the in-process
+/// attempt number so `:once` faults are once per task, not once per spawn.
+static ATTEMPT_OFFSET: AtomicU64 = AtomicU64::new(0);
+
+/// Set the cross-spawn attempt offset (shard workers call this with
+/// `spawn_attempt × attempts_per_spawn` before executing).
+pub fn set_attempt_offset(offset: u32) {
+    ATTEMPT_OFFSET.store(u64::from(offset), Ordering::Relaxed);
+}
+
+/// Fault-injection hook at task start: sleeps for `slow` directives,
+/// panics for matching `panic` directives, and aborts the process for
+/// `abort` directives. Called by the pool inside the `catch_unwind`
+/// boundary (which contains the panics but, by design, not the aborts).
 pub fn inject_at_task_start(task: usize, attempt: u32) {
+    let attempt_eff = u64::from(attempt) + ATTEMPT_OFFSET.load(Ordering::Relaxed);
     for fault in armed_faults() {
         match *fault {
             FaultSpec::Slow { task: t, ms } if t == task => {
                 INJECTED.fetch_add(1, Ordering::Relaxed);
                 std::thread::sleep(std::time::Duration::from_millis(ms));
             }
-            FaultSpec::Panic { task: t, once } if t == task && (!once || attempt == 0) => {
+            FaultSpec::Panic { task: t, once } if t == task && (!once || attempt_eff == 0) => {
                 INJECTED.fetch_add(1, Ordering::Relaxed);
                 panic!("injected fault: panic at task {task} (attempt {attempt})");
+            }
+            FaultSpec::Abort { task: t, once } if t == task && (!once || attempt_eff == 0) => {
+                INJECTED.fetch_add(1, Ordering::Relaxed);
+                eprintln!("injected fault: abort at task {task} (attempt {attempt_eff})");
+                std::process::abort();
             }
             _ => {}
         }
@@ -462,20 +538,35 @@ mod tests {
 
     #[test]
     fn fault_spec_parses_all_directives() {
-        let faults = parse_fault_spec("panic:3, panic:4:once, slow:2:250, flip:7").unwrap();
+        let faults =
+            parse_fault_spec("panic:3, panic:4:once, abort:5, abort:6:once, slow:2:250, flip:7")
+                .unwrap();
         assert_eq!(
             faults,
             vec![
                 FaultSpec::Panic { task: 3, once: false },
                 FaultSpec::Panic { task: 4, once: true },
+                FaultSpec::Abort { task: 5, once: false },
+                FaultSpec::Abort { task: 6, once: true },
                 FaultSpec::Slow { task: 2, ms: 250 },
                 FaultSpec::BitFlip { task: 7 },
             ]
         );
         assert_eq!(parse_fault_spec("").unwrap(), vec![]);
         assert!(parse_fault_spec("panic:x").is_err());
+        assert!(parse_fault_spec("abort:x").is_err());
+        assert!(parse_fault_spec("abort:1:twice").is_err());
         assert!(parse_fault_spec("melt:3").is_err());
         assert!(parse_fault_spec("slow:1:fast").is_err());
+    }
+
+    #[test]
+    fn attempt_offset_shifts_once_semantics() {
+        // With an offset, attempt 0 of a respawned worker is no longer
+        // "the first attempt" — a `:once` panic must not re-fire.
+        set_attempt_offset(2);
+        inject_at_task_start(987_654, 0); // would panic if offset ignored
+        set_attempt_offset(0);
     }
 
     #[test]

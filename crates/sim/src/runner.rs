@@ -6,6 +6,13 @@
 //! entry points, which surface a typed [`SimError`] instead of panicking.
 //! The panicking front-ends remain for trusted callers (the figure
 //! drivers, whose inputs are compiled-in paper constants).
+//!
+//! A run is location-transparent: the same entry points execute on the
+//! in-process sweep pool (thread isolation) and inside `--worker-shard`
+//! re-executions under the process-isolation supervisor
+//! ([`crate::supervisor`]). Every simulated bit derives from the run's
+//! own seeded RNG and configuration, never from process identity, which
+//! is what makes sharded results byte-identical to in-process ones.
 
 use crate::error::SimError;
 use crate::machine::{Machine, SystemKind};

@@ -145,7 +145,9 @@ struct Accumulated {
 
 static ACCUMULATED: Mutex<Option<Accumulated>> = Mutex::new(None);
 
-fn record(profile: &ParallelismProfile) {
+/// Fold one executed profile into the process-wide accumulator (the
+/// supervisor records its sharded profiles through this too).
+pub(crate) fn record_profile(profile: &ParallelismProfile) {
     let mut guard = ACCUMULATED.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     let acc = guard.get_or_insert_with(Accumulated::default);
     acc.sweeps += 1;
@@ -230,8 +232,14 @@ impl Watchdog {
                                     timeout_ms,
                                 });
                                 if resilience::watchdog_kill() {
+                                    // Thread-mode fallback: an in-process
+                                    // task cannot be killed individually, so
+                                    // the whole run aborts with exit 124.
+                                    // `--isolation process` scopes the kill
+                                    // to the offending worker instead.
                                     eprintln!(
-                                        "watchdog: SIPT_WATCHDOG_KILL=1 — aborting (exit 124)"
+                                        "watchdog: SIPT_WATCHDOG_KILL=1 — aborting (exit 124; \
+                                         use --isolation process to kill only the stuck worker)"
                                     );
                                     std::process::exit(124);
                                 }
@@ -262,6 +270,32 @@ impl Watchdog {
 }
 
 // ---------------------------------------------------------------------------
+// Graceful drain
+// ---------------------------------------------------------------------------
+
+/// Marker panic message of a drain placeholder: the slot was never
+/// executed because a SIGTERM/SIGINT drain stopped the pool. Drain
+/// placeholders are never recorded as real failures — the sweep layer
+/// recognises them and exits through the drain path instead.
+pub(crate) const DRAIN_MARKER: &str = "graceful drain: task not executed";
+
+fn drain_placeholder(id: usize) -> TaskFailure {
+    TaskFailure {
+        task: id,
+        label: format!("task-{id}"),
+        worker: 0,
+        panic_msg: DRAIN_MARKER.to_owned(),
+        elapsed_ms: 0.0,
+        attempts: 0,
+    }
+}
+
+/// Whether a failure is a drain placeholder rather than a real fault.
+pub(crate) fn is_drain_placeholder(f: &TaskFailure) -> bool {
+    f.attempts == 0 && f.panic_msg == DRAIN_MARKER
+}
+
+// ---------------------------------------------------------------------------
 // The isolated engine
 // ---------------------------------------------------------------------------
 
@@ -281,8 +315,9 @@ pub struct PoolTask<F> {
 
 /// Execute one task with panic capture, fault injection, and a bounded
 /// attempt budget. Returns the result (or the final failure) plus the
-/// total busy milliseconds across attempts.
-fn execute_attempts<T, F: FnMut(usize) -> T>(
+/// total busy milliseconds across attempts. Shared with the supervisor's
+/// worker executor so in-process and sharded attempts behave identically.
+pub(crate) fn execute_attempts<T, F: FnMut(usize) -> T>(
     id: usize,
     label: &str,
     worker: usize,
@@ -373,6 +408,13 @@ where
         // time (per-attempt timing still feeds failure reports).
         let loop_start = Instant::now();
         for mut entry in tasks {
+            // Graceful drain: stop claiming new work, fill the remaining
+            // slots with drain placeholders (the caller exits through the
+            // drain path, never treating them as results).
+            if sipt_signal::drain_requested() {
+                results.push(Err(drain_placeholder(entry.id)));
+                continue;
+            }
             Watchdog::begin(&slots, 0, entry.id);
             let (result, _task_busy) =
                 execute_attempts(entry.id, &entry.label, 0, max_attempts, &mut entry.task);
@@ -388,7 +430,7 @@ where
             worker_busy_ms: vec![busy],
             assigned_worker: vec![0; n],
         };
-        record(&profile);
+        record_profile(&profile);
         return (results, profile);
     }
 
@@ -421,6 +463,16 @@ where
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
+                    }
+                    // Graceful drain: in-flight tasks finish (they hold
+                    // earlier indices), unclaimed slots become drain
+                    // placeholders so every result cell is still filled.
+                    if sipt_signal::drain_requested() {
+                        *result_cells[i]
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner) =
+                            Some(Err(drain_placeholder(ids[i])));
+                        continue;
                     }
                     let (label, mut task) = task_cells[i]
                         .lock()
@@ -460,7 +512,7 @@ where
             .collect(),
         assigned_worker: assigned.into_iter().map(AtomicUsize::into_inner).collect(),
     };
-    record(&profile);
+    record_profile(&profile);
     (results, profile)
 }
 
@@ -499,14 +551,22 @@ where
     let (outcomes, profile) = run_parallel_isolated(pool_tasks, jobs, 1);
     let mut results = Vec::with_capacity(n);
     let mut failures: Vec<TaskFailure> = Vec::new();
+    let mut drained = false;
     for outcome in outcomes {
         match outcome {
             Ok(v) => results.push(v),
+            Err(f) if is_drain_placeholder(&f) => drained = true,
             Err(f) => {
                 resilience::record_failure(f.clone());
                 failures.push(f);
             }
         }
+    }
+    if drained {
+        // A SIGTERM/SIGINT drain stopped the pool: this front-end cannot
+        // return a partial Vec<T>, so exit through the drain path (the
+        // checkpoint, when armed, already holds everything completed).
+        crate::supervisor::exit_for_drain(results.len(), n);
     }
     if let Some(first) = failures.first() {
         panic!("{} of {n} parallel tasks failed; first: {first}", failures.len());
@@ -670,16 +730,48 @@ impl Sweep {
     }
 
     /// Execute on exactly `jobs` workers (1 = serial, inline).
+    ///
+    /// Under `--isolation process` (parent side) the pending slots are
+    /// handed to the [`crate::supervisor`], which re-execs this binary in
+    /// worker mode per shard; merged results are byte-identical to the
+    /// in-process path because workers stream metrics in the checkpoint
+    /// byte codec. In a worker process this call either returns inert
+    /// placeholders (sweeps before the assigned one — the replay skips
+    /// them) or executes the assigned shard and exits, never returning.
     pub fn run_with_jobs(self, jobs: usize) -> SweepResult {
         // Resolve the event-trace capacity once, outside the pool, so the
         // workers cannot disagree (and the env var is only parsed once).
         let capacity = trace_capacity();
         let n = self.requests.len();
         let sweep_seq = next_sweep_seq();
+
+        // Worker mode: the replay of the binary's main up to the target
+        // sweep. Ids are still allocated (so fault-injection ids line up
+        // with the supervisor's), but only the assigned shard executes.
+        if let Some(shard) = crate::supervisor::worker_shard() {
+            let local_base = resilience::allocate_task_ids(n);
+            if sweep_seq < shard.sweep_seq {
+                return crate::supervisor::skipped_sweep_result(&self.requests);
+            }
+            if local_base != shard.base_id {
+                eprintln!(
+                    "warning: worker replay allocated task base {local_base} but the \
+                     supervisor assigned {}; using the supervisor's ids",
+                    shard.base_id
+                );
+            }
+            crate::supervisor::run_worker_shard(self.requests, shard, capacity, sweep_seq);
+        }
+
+        let isolation = crate::supervisor::isolation();
         let _sweep_span = Span::enter_with(
             format!("sweep {sweep_seq}"),
             "sweep",
-            vec![("tasks", Json::u64(n as u64)), ("jobs", Json::u64(jobs.max(1) as u64))],
+            vec![
+                ("tasks", Json::u64(n as u64)),
+                ("jobs", Json::u64(jobs.max(1) as u64)),
+                ("isolation", Json::str(isolation.name())),
+            ],
         );
         // Global ids are allocated for *every* slot — including ones that
         // resume from a checkpoint — so fault-injection task ids stay
@@ -709,88 +801,149 @@ impl Sweep {
             }
         }
 
-        // Build pool tasks for the slots that still need to run. The
-        // closure does the full per-task pipeline inside the isolation
-        // boundary: simulate, stamp the worker id, apply any injected
-        // metric corruption, audit, and append to the checkpoint.
-        let mut pending: Vec<usize> = Vec::new();
-        let mut tasks: Vec<PoolTask<_>> = Vec::new();
+        // Slots that still need to run, with their requests.
+        let mut pending: Vec<(usize, RunRequest)> = Vec::new();
         for (i, req) in self.requests.into_iter().enumerate() {
-            if slots[i].is_some() {
-                continue;
+            if slots[i].is_none() {
+                pending.push((i, req));
             }
-            pending.push(i);
-            let id = base_id + i;
-            let label = req.label.clone();
-            let err_label = req.label.clone();
-            let key = checkpoint::task_key(sweep_seq, i);
-            let fingerprint = req.fingerprint();
-            let ckpt = ckpt.clone();
-            tasks.push(PoolTask {
-                id,
-                label,
-                // The closure returns `Result`: a typed SimError (bad
-                // trace, unknown benchmark, oversized workload) is a
-                // deterministic property of the *inputs*, so it is wrapped
-                // as a TaskFailure immediately — the retry budget (which
-                // exists for injected/transient panics) never spends an
-                // attempt re-running it. Panics (including audit
-                // violations) still unwind into the pool's catch and stay
-                // retryable.
-                task: move |worker: usize| -> Result<RunMetrics, TaskFailure> {
-                    let t0 = Instant::now();
-                    let mut metrics = match crate::runner::try_run_spec_with_trace_capacity(
-                        &req.spec,
-                        req.l1.clone(),
-                        req.system,
-                        &req.cond,
-                        capacity,
-                    ) {
-                        Ok(metrics) => metrics,
-                        Err(e) => {
-                            return Err(TaskFailure {
-                                task: id,
-                                label: err_label.clone(),
-                                worker,
-                                panic_msg: e.to_string(),
-                                elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
-                                attempts: 1,
-                            });
-                        }
-                    };
-                    metrics.phases.worker = worker;
-                    if resilience::inject_bit_flip(id) {
-                        metrics.sipt.accesses ^= 1;
-                    }
-                    if crate::audit::enabled() {
-                        if let Err(e) = crate::audit::check_metrics(&metrics) {
-                            panic!("{e}");
-                        }
-                    }
-                    if let Some(ckpt) = &ckpt {
-                        ckpt.append(&key, fingerprint, &metrics);
-                    }
-                    Ok(metrics)
-                },
-            });
         }
 
         let attempts = resilience::task_retries() + 1;
-        let (outcomes, profile) = run_parallel_isolated(tasks, jobs, attempts);
-
         let mut failures = Vec::new();
-        for (slot, outcome) in pending.into_iter().zip(outcomes) {
-            // Two failure planes: Err(_) from the pool (panic exhausted
-            // the retry budget) and Ok(Err(_)) from the task itself (typed
-            // error, attempts == 1, zero retries spent).
-            match outcome.and_then(|typed| typed) {
-                Ok(metrics) => slots[slot] = Some(metrics),
-                Err(failure) => {
-                    resilience::record_failure(failure.clone());
-                    slots[slot] = Some(RunMetrics::failed_placeholder(&failure.label));
-                    failures.push(failure);
+        let mut drained = false;
+        let mut profile: Option<ParallelismProfile> = None;
+
+        // Process isolation: hand the pending slots to the supervisor,
+        // which shards them across re-exec'd worker processes. A
+        // supervisor that cannot start at all degrades to the thread
+        // pool with a warning rather than failing the sweep.
+        if isolation == crate::supervisor::Isolation::Process && !pending.is_empty() {
+            match crate::supervisor::run_sharded(
+                &pending,
+                sweep_seq,
+                base_id,
+                jobs.max(1),
+                ckpt.as_ref(),
+            ) {
+                Ok((outcomes, sharded_profile)) => {
+                    for (slot, outcome) in outcomes {
+                        match outcome {
+                            Ok(metrics) => slots[slot] = Some(metrics),
+                            Err(failure) => {
+                                resilience::record_failure(failure.clone());
+                                slots[slot] = Some(RunMetrics::failed_placeholder(&failure.label));
+                                failures.push(failure);
+                            }
+                        }
+                    }
+                    drained = sipt_signal::drain_requested();
+                    profile = Some(sharded_profile);
+                }
+                Err(e) => {
+                    eprintln!(
+                        "warning: {e}; falling back to thread isolation for sweep {sweep_seq}"
+                    );
                 }
             }
+        }
+
+        // Thread isolation (the default, the worker-mode path, and the
+        // supervisor-unavailable fallback): pool tasks with the full
+        // per-task pipeline inside the isolation boundary — simulate,
+        // stamp the worker id, apply any injected metric corruption,
+        // audit, and append to the checkpoint.
+        let profile = match profile {
+            Some(profile) => profile,
+            None => {
+                let order: Vec<usize> = pending.iter().map(|&(i, _)| i).collect();
+                let tasks: Vec<PoolTask<_>> = pending
+                    .into_iter()
+                    .map(|(i, req)| {
+                        let id = base_id + i;
+                        let label = req.label.clone();
+                        let err_label = req.label.clone();
+                        let key = checkpoint::task_key(sweep_seq, i);
+                        let fingerprint = req.fingerprint();
+                        let ckpt = ckpt.clone();
+                        PoolTask {
+                            id,
+                            label,
+                            // The closure returns `Result`: a typed SimError
+                            // (bad trace, unknown benchmark, oversized
+                            // workload) is a deterministic property of the
+                            // *inputs*, so it is wrapped as a TaskFailure
+                            // immediately — the retry budget (which exists
+                            // for injected/transient panics) never spends an
+                            // attempt re-running it. Panics (including audit
+                            // violations) still unwind into the pool's catch
+                            // and stay retryable.
+                            task: move |worker: usize| -> Result<RunMetrics, TaskFailure> {
+                                let t0 = Instant::now();
+                                let mut metrics =
+                                    match crate::runner::try_run_spec_with_trace_capacity(
+                                        &req.spec,
+                                        req.l1.clone(),
+                                        req.system,
+                                        &req.cond,
+                                        capacity,
+                                    ) {
+                                        Ok(metrics) => metrics,
+                                        Err(e) => {
+                                            return Err(TaskFailure {
+                                                task: id,
+                                                label: err_label.clone(),
+                                                worker,
+                                                panic_msg: e.to_string(),
+                                                elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
+                                                attempts: 1,
+                                            });
+                                        }
+                                    };
+                                metrics.phases.worker = worker;
+                                if resilience::inject_bit_flip(id) {
+                                    metrics.sipt.accesses ^= 1;
+                                }
+                                if crate::audit::enabled() {
+                                    if let Err(e) = crate::audit::check_metrics(&metrics) {
+                                        panic!("{e}");
+                                    }
+                                }
+                                if let Some(ckpt) = &ckpt {
+                                    ckpt.append(&key, fingerprint, &metrics);
+                                }
+                                Ok(metrics)
+                            },
+                        }
+                    })
+                    .collect();
+
+                let (outcomes, profile) = run_parallel_isolated(tasks, jobs, attempts);
+                for (slot, outcome) in order.into_iter().zip(outcomes) {
+                    // Two failure planes: Err(_) from the pool (panic
+                    // exhausted the retry budget) and Ok(Err(_)) from the
+                    // task itself (typed error, attempts == 1, zero retries
+                    // spent). Drain placeholders are neither — they mark
+                    // slots a graceful shutdown never executed.
+                    match outcome.and_then(|typed| typed) {
+                        Ok(metrics) => slots[slot] = Some(metrics),
+                        Err(failure) if is_drain_placeholder(&failure) => drained = true,
+                        Err(failure) => {
+                            resilience::record_failure(failure.clone());
+                            slots[slot] = Some(RunMetrics::failed_placeholder(&failure.label));
+                            failures.push(failure);
+                        }
+                    }
+                }
+                profile
+            }
+        };
+
+        if drained {
+            // Completed results are flushed to the checkpoint (when armed);
+            // report what was saved and exit through the drain path.
+            let done = slots.iter().filter(|slot| slot.is_some()).count();
+            crate::supervisor::exit_for_drain(done, n);
         }
         let metrics = slots
             .into_iter()

@@ -37,7 +37,15 @@ pub fn json_requested() -> bool {
 ///   delta change, superpage, cold TLB). Present only when tracing or
 ///   the flight recorder is armed, so plain runs stay byte-identical to
 ///   v4 modulo the version number.
-pub const REPORT_SCHEMA_VERSION: u32 = 5;
+/// - **6** — additive: the `resilience` block gains a
+///   `corrupt_checkpoint_lines` counter (checkpoint lines skipped on
+///   `--resume` because they failed to parse) and a `supervisor` object
+///   (process-isolation sweep accounting: shards, spawns, respawns,
+///   worker deaths, quarantines, watchdog kills, drain state; `null`
+///   when sweeps ran in the default thread isolation). Fault-free
+///   thread-mode payloads are byte-identical to v5 modulo the version
+///   number.
+pub const REPORT_SCHEMA_VERSION: u32 = 6;
 
 /// Wrap an artifact's payload in the standard report envelope:
 /// `{"schema_version", "artifact", "payload"}`.
@@ -105,7 +113,7 @@ mod tests {
     fn envelope_has_stable_keys() {
         let e = envelope("fig01", Json::obj([("rows", Json::arr([]))]));
         let parsed = parse(&e.render()).unwrap();
-        assert_eq!(parsed.path("schema_version").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(parsed.path("schema_version").and_then(Json::as_f64), Some(6.0));
         assert_eq!(parsed.path("artifact").and_then(Json::as_str), Some("fig01"));
         assert!(parsed.path("payload.rows").is_some());
     }
@@ -121,7 +129,7 @@ mod tests {
         );
         let parsed = parse(&with.render()).unwrap();
         assert_eq!(parsed.path("parallelism.jobs").and_then(Json::as_f64), Some(4.0));
-        assert_eq!(parsed.path("schema_version").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(parsed.path("schema_version").and_then(Json::as_f64), Some(6.0));
     }
 
     #[test]
@@ -136,7 +144,7 @@ mod tests {
             None,
         );
         let parsed = parse(&faulty.render()).unwrap();
-        assert_eq!(parsed.path("schema_version").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(parsed.path("schema_version").and_then(Json::as_f64), Some(6.0));
         assert!(parsed.path("resilience.failures").is_some());
     }
 
@@ -152,7 +160,7 @@ mod tests {
             Some(Json::obj([("spans", Json::obj([("events", Json::u64(12))]))])),
         );
         let parsed = parse(&traced.render()).unwrap();
-        assert_eq!(parsed.path("schema_version").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(parsed.path("schema_version").and_then(Json::as_f64), Some(6.0));
         assert_eq!(parsed.path("observability.spans.events").and_then(Json::as_f64), Some(12.0));
     }
 

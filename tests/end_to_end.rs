@@ -185,7 +185,7 @@ fn machine_readable_report_round_trips_with_histograms() {
     std::fs::remove_dir_all(&dir).ok();
 
     let parsed = json::parse(&text).expect("report parses back");
-    assert_eq!(parsed.path("schema_version").and_then(Json::as_f64), Some(5.0));
+    assert_eq!(parsed.path("schema_version").and_then(Json::as_f64), Some(6.0));
     assert_eq!(parsed.path("artifact").and_then(Json::as_str), Some("e2e"));
 
     let ipc = parsed.path("payload.ipc").and_then(Json::as_f64).expect("ipc present");
