@@ -24,7 +24,17 @@ commands:
   diff A B                              recursive field-by-field comparison
   regress --baseline FILE --current FILE [--max-ratio X]
                                         non-flaky perf gate; exit 1 on regression
+                                        (per-entry wall-clock ratio gate defaults
+                                        to 32; --max-ratio 0 disables it)
   timeline FILE...                      per-worker utilization bars";
+
+/// Default per-entry wall-clock growth bound for `regress`. Deliberately
+/// generous: shared CI runners jitter by integer factors, so the gate is
+/// calibrated to catch catastrophic regressions (an accidentally
+/// deoptimized kernel, a debug build) without flaking on load noise.
+/// `--max-ratio 0` disables the band entirely; any positive value
+/// overrides it.
+const DEFAULT_MAX_RATIO: f64 = 32.0;
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("sipt-inspect: {msg}");
@@ -98,11 +108,14 @@ fn main() -> ExitCode {
                 ));
             };
             let max_ratio = match max_ratio {
-                None => None,
+                None => Some(DEFAULT_MAX_RATIO),
                 Some(Ok(raw)) => match raw.parse::<f64>() {
+                    Ok(0.0) => None,
                     Ok(v) if v > 0.0 => Some(v),
                     _ => {
-                        return fail(&format!("--max-ratio must be a positive number, got {raw:?}"))
+                        return fail(&format!(
+                            "--max-ratio must be a positive number (or 0 to disable), got {raw:?}"
+                        ))
                     }
                 },
                 Some(Err(e)) => return fail(&e),

@@ -24,6 +24,147 @@
 use crate::geometry::{CacheGeometry, LineAddr};
 use crate::replacement::{Replacement, ReplacementKind};
 
+/// Wide (multi-way) tag comparison: the branchless heart of
+/// [`CacheArray::probe`].
+///
+/// [`eq_mask`](simd::eq_mask) compares every tag slot of one set against a
+/// needle in chunks of four `u64` lanes and reduces the result to a bitmask
+/// (bit `w` set ⇔ `tags[w] == needle`). The mask is then ANDed with the
+/// set's valid word, so stale tag values in invalid slots can never match.
+/// On x86-64 an AVX2 path (`_mm256_cmpeq_epi64` + `movemask`) is selected
+/// by cached runtime feature detection — or statically when compiled with
+/// `-Ctarget-feature=+avx2` — with the portable chunked path as the
+/// always-correct fallback. Both paths are pinned bit-identical to each
+/// other and to the scalar bit-walk ([`CacheArray::probe_scalar`]) by
+/// differential property tests.
+pub mod simd {
+    /// Portable chunked lane compare: four branchless `u64` compares per
+    /// chunk, ORed into the hit mask, with a scalar tail for `ways % 4`.
+    #[inline(always)]
+    pub fn eq_mask_portable(tags: &[u64], needle: u64) -> u64 {
+        debug_assert!(tags.len() <= 64);
+        let mut mask = 0u64;
+        let mut lane = 0u32;
+        let mut chunks = tags.chunks_exact(4);
+        for c in &mut chunks {
+            let m = (c[0] == needle) as u64
+                | (((c[1] == needle) as u64) << 1)
+                | (((c[2] == needle) as u64) << 2)
+                | (((c[3] == needle) as u64) << 3);
+            mask |= m << lane;
+            lane += 4;
+        }
+        for &t in chunks.remainder() {
+            mask |= ((t == needle) as u64) << lane;
+            lane += 1;
+        }
+        mask
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    mod avx2 {
+        #![allow(unsafe_code)]
+        use core::arch::x86_64::{
+            __m256i, _mm256_castsi256_pd, _mm256_cmpeq_epi64, _mm256_loadu_si256,
+            _mm256_movemask_pd, _mm256_set1_epi64x,
+        };
+
+        /// AVX2 lane compare: one 4-lane `cmpeq` + `movemask` per chunk.
+        ///
+        /// # Safety
+        ///
+        /// The caller must have verified AVX2 support (runtime detection or
+        /// a static `target_feature`) before calling.
+        #[target_feature(enable = "avx2")]
+        pub(super) unsafe fn eq_mask(tags: &[u64], needle: u64) -> u64 {
+            let splat = _mm256_set1_epi64x(needle as i64);
+            let mut mask = 0u64;
+            let mut lane = 0u32;
+            let mut chunks = tags.chunks_exact(4);
+            for c in &mut chunks {
+                // SAFETY: `c` is a 4-element `u64` chunk, so reading 32
+                // unaligned bytes from its base pointer stays in bounds.
+                let v = unsafe { _mm256_loadu_si256(c.as_ptr() as *const __m256i) };
+                let eq = _mm256_cmpeq_epi64(v, splat);
+                let m = _mm256_movemask_pd(_mm256_castsi256_pd(eq)) as u32 as u64;
+                mask |= m << lane;
+                lane += 4;
+            }
+            for &t in chunks.remainder() {
+                mask |= ((t == needle) as u64) << lane;
+                lane += 1;
+            }
+            mask
+        }
+    }
+
+    /// Whether the AVX2 path is in use (compiled in, or detected at
+    /// runtime). Always `false` off x86-64.
+    #[inline]
+    pub fn avx2_active() -> bool {
+        #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+        {
+            true
+        }
+        #[cfg(all(target_arch = "x86_64", not(target_feature = "avx2")))]
+        {
+            use std::sync::atomic::{AtomicU8, Ordering};
+            // 0 = unprobed, 1 = available, 2 = unavailable. Races are
+            // benign: every prober stores the same answer.
+            static AVX2: AtomicU8 = AtomicU8::new(0);
+            match AVX2.load(Ordering::Relaxed) {
+                1 => true,
+                2 => false,
+                _ => {
+                    let has = std::arch::is_x86_feature_detected!("avx2");
+                    AVX2.store(if has { 1 } else { 2 }, Ordering::Relaxed);
+                    has
+                }
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    }
+
+    /// Minimum slot count for the *runtime-dispatched* AVX2 path. A
+    /// `#[target_feature]` function cannot inline into a caller compiled
+    /// without the feature, so the dynamic path costs a real call plus
+    /// the cached-detection load; the inlined portable compare wins below
+    /// ~16 lanes (L1 arrays are 2–8-way — only the 16-way LLC clears the
+    /// bar). Irrelevant when AVX2 is compiled in (`-C
+    /// target-feature=+avx2`): then the intrinsics inline statically and
+    /// every width takes the vector path.
+    pub const DYNAMIC_SIMD_MIN_LANES: usize = 16;
+
+    /// Compare every slot of `tags` against `needle`, returning the lane
+    /// bitmask (bit `w` set ⇔ `tags[w] == needle`). Uses AVX2 statically
+    /// when compiled in, by runtime detection for wide arrays
+    /// ([`DYNAMIC_SIMD_MIN_LANES`]), and the portable chunked compare
+    /// otherwise.
+    #[inline]
+    pub fn eq_mask(tags: &[u64], needle: u64) -> u64 {
+        #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+        {
+            #![allow(unsafe_code)]
+            // SAFETY: AVX2 is a compile-time target feature of this
+            // build, so the whole binary requires it.
+            return unsafe { avx2::eq_mask(tags, needle) };
+        }
+        #[cfg(all(target_arch = "x86_64", not(target_feature = "avx2")))]
+        {
+            #![allow(unsafe_code)]
+            if tags.len() >= DYNAMIC_SIMD_MIN_LANES && avx2_active() {
+                // SAFETY: AVX2 presence established by `avx2_active`.
+                return unsafe { avx2::eq_mask(tags, needle) };
+            }
+        }
+        #[allow(unreachable_code)]
+        eq_mask_portable(tags, needle)
+    }
+}
+
 /// One resident cache line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Line {
@@ -100,8 +241,29 @@ impl CacheArray {
     }
 
     /// Probe `set` for `line` without updating replacement state.
+    ///
+    /// Wide probe: all ways of the set are compared at once via
+    /// [`simd::eq_mask`] and reduced to a hit mask, which is ANDed with
+    /// the set's valid word (invalid slots hold stale tag values and must
+    /// never match). Lines are unique per set, so at most one valid bit
+    /// survives and `trailing_zeros` recovers the hit way.
     #[inline]
     pub fn probe(&self, set: u64, line: LineAddr) -> Option<u32> {
+        let base = self.base(set);
+        let tags = &self.tags[base..base + self.ways as usize];
+        let hits = simd::eq_mask(tags, line.0) & self.valid[set as usize];
+        if hits != 0 {
+            Some(hits.trailing_zeros())
+        } else {
+            None
+        }
+    }
+
+    /// Scalar bit-walk probe — the pre-wide-probe implementation, retained
+    /// as the reference oracle for the differential tests pinning
+    /// [`CacheArray::probe`].
+    #[inline]
+    pub fn probe_scalar(&self, set: u64, line: LineAddr) -> Option<u32> {
         let base = self.base(set);
         let tags = &self.tags[base..base + self.ways as usize];
         let mut live = self.valid[set as usize];
@@ -348,6 +510,107 @@ mod tests {
     fn set_dirty_panics_on_invalid_way() {
         let mut a = tiny();
         a.set_dirty(0, 1);
+    }
+
+    /// One step of the wide-probe differential driver.
+    #[derive(Debug, Clone, Copy)]
+    enum ProbeOp {
+        /// Look up (and fill on miss) the line with this raw address.
+        Access(u64),
+        /// Invalidate the line with this raw address.
+        Invalidate(u64),
+    }
+
+    fn probe_op() -> impl Strategy<Value = ProbeOp> {
+        // A small address universe (~4× capacity) forces evictions;
+        // 1 in 5 ops invalidates, the rest access-and-fill.
+        (0u64..512 * 5).prop_map(|v| {
+            if v % 5 == 4 {
+                ProbeOp::Invalidate(v / 5)
+            } else {
+                ProbeOp::Access(v / 5)
+            }
+        })
+    }
+
+    proptest! {
+        /// Differential: the wide probe (portable or SIMD, whichever the
+        /// host dispatches to) agrees with the scalar bit-walk on every
+        /// probe of every set across random fill/evict/invalidate
+        /// sequences, for all three replacement kinds. Associativity spans
+        /// 1–8 ways so both the 4-lane chunked compare and the scalar tail
+        /// (ways % 4 ≠ 0) are exercised.
+        #[test]
+        fn wide_probe_matches_scalar_walk(
+            ops in proptest::collection::vec(probe_op(), 1..200),
+            kind_sel in 0u32..3,
+            ways_log2 in 0u32..4,
+        ) {
+            let kind = match kind_sel {
+                0 => ReplacementKind::Lru,
+                1 => ReplacementKind::TreePlru,
+                _ => ReplacementKind::Random,
+            };
+            let ways = 1u32 << ways_log2;
+            let mut a = CacheArray::new(CacheGeometry::new(8 * u64::from(ways) * 64, ways), kind);
+            for &op in &ops {
+                match op {
+                    ProbeOp::Access(raw) => {
+                        let line = LineAddr(raw);
+                        let set = a.home_set(line);
+                        if a.lookup(set, line).is_none() {
+                            a.fill(line, false);
+                        }
+                    }
+                    ProbeOp::Invalidate(raw) => {
+                        a.invalidate(LineAddr(raw));
+                    }
+                }
+                // After every mutation, wide and scalar probes agree for
+                // every (set, line) pair in the universe — including
+                // wrong-set speculative probes, which must miss in both.
+                for raw in 0..512u64 {
+                    let line = LineAddr(raw);
+                    for set in 0..a.geometry().sets() {
+                        prop_assert_eq!(a.probe(set, line), a.probe_scalar(set, line));
+                    }
+                }
+            }
+        }
+
+        /// The dispatched `eq_mask` (SIMD when the host has it) and the
+        /// portable chunked path produce identical masks for arbitrary
+        /// tag slices of every length 0..=64, including needle-absent,
+        /// needle-duplicated, and all-equal slices.
+        #[test]
+        fn eq_mask_simd_matches_portable(
+            raw_tags in proptest::collection::vec(0u64..8, 0..64),
+            needle in 0u64..8,
+        ) {
+            let mut tags = raw_tags;
+            prop_assert_eq!(
+                simd::eq_mask(&tags, needle),
+                simd::eq_mask_portable(&tags, needle)
+            );
+            // Force at least one match lane when non-empty.
+            if let Some(slot) = tags.first_mut() {
+                *slot = needle;
+                prop_assert_eq!(
+                    simd::eq_mask(&tags, needle),
+                    simd::eq_mask_portable(&tags, needle)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eq_mask_reports_every_matching_lane() {
+        let tags = [7u64, 3, 7, 7, 1, 7];
+        let mask = simd::eq_mask(&tags, 7);
+        assert_eq!(mask, 0b101101);
+        assert_eq!(simd::eq_mask_portable(&tags, 7), 0b101101);
+        assert_eq!(simd::eq_mask(&tags, 9), 0);
+        assert_eq!(simd::eq_mask(&[], 9), 0);
     }
 
     proptest! {

@@ -1,4 +1,7 @@
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the wide-probe SIMD path in `array::simd`
+// carries a single scoped `#![allow(unsafe_code)]` for the AVX2 intrinsics
+// behind runtime feature detection. Everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # sipt-cache — set-associative cache substrate for the SIPT reproduction

@@ -19,7 +19,7 @@
 
 use crate::config::{BypassKind, L1Config, L1Policy};
 use crate::outcome::{L1Access, SiptStats, SpeculationOutcome};
-use crate::telemetry::{AccessRecord, L1Telemetry};
+use crate::telemetry::{AccessRecord, BlockTelemetry, L1Telemetry};
 use sipt_cache::{CacheArray, Evicted, LineAddr, WayPredStats, WayPredictor, LINE_SHIFT};
 use sipt_mem::{PageSize, Translation, VirtAddr, PAGE_SHIFT};
 use sipt_predictors::{CounterPredictor, IndexDeltaBuffer, PerceptronPredictor};
@@ -203,6 +203,50 @@ impl SiptL1 {
         self.access_impl(P::POLICY, pc, va, translation, tlb_cycles, write)
     }
 
+    /// [`SiptL1::access_mono`] for the block-replay kernel's telemetry
+    /// block mode: the access is recorded into the caller's block-local
+    /// [`BlockTelemetry`] instead of the attached [`L1Telemetry`], which
+    /// the kernel flushes once per block via
+    /// [`SiptL1::flush_block_telemetry`]. Only valid while
+    /// [`SiptL1::telemetry_block_eligible`] holds (debug-asserted);
+    /// the combination is byte-identical to [`SiptL1::access_mono`].
+    #[inline]
+    pub fn access_mono_block<P: PolicyTag>(
+        &mut self,
+        pc: u64,
+        va: VirtAddr,
+        translation: Translation,
+        tlb_cycles: u64,
+        write: bool,
+        blk: &mut BlockTelemetry,
+    ) -> L1Access {
+        debug_assert_eq!(P::POLICY, self.config.policy, "policy tag must match the configuration");
+        debug_assert!(
+            self.telemetry_block_eligible(),
+            "block-mode access without an eligible telemetry attachment"
+        );
+        let (access, record) = self.access_core(P::POLICY, pc, va, translation, tlb_cycles, write);
+        blk.record(&record);
+        access
+    }
+
+    /// Whether the attached telemetry (if any) can be fed in block mode:
+    /// zero-capacity tracer and no sampling, so per-block accumulation
+    /// loses nothing. `false` when no telemetry is attached (there is
+    /// nothing to accumulate into — use plain [`SiptL1::access_mono`]).
+    pub fn telemetry_block_eligible(&self) -> bool {
+        self.telemetry.as_deref().is_some_and(L1Telemetry::block_mode_eligible)
+    }
+
+    /// Drain a block accumulator into the attached telemetry (no-op
+    /// without an attachment — but block mode is only entered when
+    /// [`SiptL1::telemetry_block_eligible`], which requires one).
+    pub fn flush_block_telemetry(&mut self, blk: &mut BlockTelemetry) {
+        if let Some(t) = &mut self.telemetry {
+            t.merge_block(blk);
+        }
+    }
+
     /// The shared body of [`SiptL1::access`] / [`SiptL1::access_mono`]:
     /// `policy` always equals `self.config.policy`, passed explicitly so
     /// the monomorphized entry makes it a compile-time constant.
@@ -216,6 +260,27 @@ impl SiptL1 {
         tlb_cycles: u64,
         write: bool,
     ) -> L1Access {
+        let (access, record) = self.access_core(policy, pc, va, translation, tlb_cycles, write);
+        if let Some(t) = &mut self.telemetry {
+            t.record(&record);
+        }
+        access
+    }
+
+    /// The policy/timing/array body shared by every access entry point.
+    /// Returns the access result together with its telemetry record; the
+    /// record is a handful of register writes and folds away entirely at
+    /// call sites that discard it.
+    #[inline(always)]
+    fn access_core(
+        &mut self,
+        policy: L1Policy,
+        pc: u64,
+        va: VirtAddr,
+        translation: Translation,
+        tlb_cycles: u64,
+        write: bool,
+    ) -> (L1Access, AccessRecord) {
         let n = self.speculative_bits();
         let va_bits = va.index_bits(n);
         let pa_bits = translation.pa.index_bits(n);
@@ -337,31 +402,28 @@ impl SiptL1 {
         let access = L1Access { hit, latency, array_reads, outcome };
         self.stats.record(&access);
 
-        // --- telemetry ----------------------------------------------------
-        if let Some(t) = &mut self.telemetry {
-            let kind = match outcome {
-                SpeculationOutcome::CorrectSpeculation => SpecEventKind::FastHit,
-                SpeculationOutcome::ExtraAccess if used_idb => SpecEventKind::IdbMispredict,
-                SpeculationOutcome::ExtraAccess => SpecEventKind::Replay,
-                SpeculationOutcome::CorrectBypass => SpecEventKind::BypassWait,
-                SpeculationOutcome::OpportunityLoss => SpecEventKind::OpportunityLoss,
-                SpeculationOutcome::IdbHit => SpecEventKind::IdbCorrected,
-                SpeculationOutcome::NotSpeculative => SpecEventKind::NotSpeculative,
-            };
-            t.record(&AccessRecord {
-                pc,
-                kind,
-                speculated_bits,
-                actual_bits: pa_bits,
-                latency,
-                margin,
-                hit,
-                observed_delta,
-                huge_page: translation.page_size == PageSize::Huge2M,
-                tlb_cold: tlb_cycles > l1,
-            });
-        }
-        access
+        let kind = match outcome {
+            SpeculationOutcome::CorrectSpeculation => SpecEventKind::FastHit,
+            SpeculationOutcome::ExtraAccess if used_idb => SpecEventKind::IdbMispredict,
+            SpeculationOutcome::ExtraAccess => SpecEventKind::Replay,
+            SpeculationOutcome::CorrectBypass => SpecEventKind::BypassWait,
+            SpeculationOutcome::OpportunityLoss => SpecEventKind::OpportunityLoss,
+            SpeculationOutcome::IdbHit => SpecEventKind::IdbCorrected,
+            SpeculationOutcome::NotSpeculative => SpecEventKind::NotSpeculative,
+        };
+        let record = AccessRecord {
+            pc,
+            kind,
+            speculated_bits,
+            actual_bits: pa_bits,
+            latency,
+            margin,
+            hit,
+            observed_delta,
+            huge_page: translation.page_size == PageSize::Huge2M,
+            tlb_cold: tlb_cycles > l1,
+        };
+        (access, record)
     }
 
     /// Reconstruct the set index from the page-offset part of `va` and

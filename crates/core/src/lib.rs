@@ -49,4 +49,4 @@ pub use config::{
 };
 pub use l1::{policy_tags, PolicyTag, SiptL1};
 pub use outcome::{L1Access, SiptStats, SpeculationOutcome};
-pub use telemetry::{L1Telemetry, MispredictCauses};
+pub use telemetry::{BlockTelemetry, L1Telemetry, MispredictCauses};

@@ -300,6 +300,125 @@ impl L1Telemetry {
     }
 }
 
+/// Block-local telemetry accumulator for the block-replay kernel.
+///
+/// Holds exactly the plain-counter state of [`L1Telemetry`] — hit/kind
+/// counts, the four histograms, cause buckets — with no ordinal and no
+/// tracer. The kernel records every access of a run into one reusable
+/// `BlockTelemetry` on the stack and flushes it into the attached
+/// [`L1Telemetry`] once per block via `SiptL1::flush_block_telemetry`,
+/// keeping per-access work down to local field updates.
+///
+/// Only valid when the tracer retains nothing and sampling is off
+/// (`trace_capacity == 0`, `sample_every == 1` — the runner's default
+/// attachment): then the deferred tracer bookkeeping is a pure count
+/// ([`EventTracer::account_unretained`]) and the merged state is
+/// field-for-field identical to per-access recording, which
+/// `block_merge_matches_sequential_recording` pins.
+#[derive(Debug)]
+pub struct BlockTelemetry {
+    count: u64,
+    hits: u64,
+    kind_counts: [u64; 7],
+    latency: Log2Histogram,
+    replay_latency: Log2Histogram,
+    margin: Log2Histogram,
+    idb_delta: Log2Histogram,
+    causes: MispredictCauses,
+}
+
+impl Default for BlockTelemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BlockTelemetry {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            hits: 0,
+            kind_counts: [0; 7],
+            latency: Log2Histogram::default(),
+            replay_latency: Log2Histogram::default(),
+            margin: Log2Histogram::default(),
+            idb_delta: Log2Histogram::default(),
+            causes: MispredictCauses::default(),
+        }
+    }
+
+    /// Accesses accumulated since the last flush.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Record one access — [`L1Telemetry::record`] minus ordinal and
+    /// tracer, same kind-conditional structure so monomorphized call
+    /// sites fold the branches identically.
+    #[inline(always)]
+    pub(crate) fn record(&mut self, rec: &AccessRecord) {
+        self.count += 1;
+        self.hits += u64::from(rec.hit);
+        self.kind_counts[kind_index(rec.kind)] += 1;
+        self.latency.record(rec.latency);
+        if matches!(rec.kind, SpecEventKind::Replay | SpecEventKind::IdbMispredict) {
+            self.replay_latency.record(rec.latency);
+        }
+        if rec.kind != SpecEventKind::NotSpeculative {
+            self.margin.record(rec.margin);
+        }
+        if let Some(delta) = rec.observed_delta {
+            self.idb_delta.record(delta);
+        }
+        if matches!(rec.kind, SpecEventKind::Replay | SpecEventKind::IdbMispredict) {
+            if rec.huge_page {
+                self.causes.superpage += 1;
+            } else if rec.tlb_cold {
+                self.causes.cold_tlb += 1;
+            } else {
+                self.causes.delta_change += 1;
+            }
+        }
+    }
+}
+
+impl L1Telemetry {
+    /// Whether this telemetry attachment can be fed via
+    /// [`BlockTelemetry`]: nothing is retained per access (zero-capacity
+    /// tracer) and sampling is off, so deferred bookkeeping loses no
+    /// information.
+    pub fn block_mode_eligible(&self) -> bool {
+        self.tracer.capacity() == 0 && self.sample_every == 1
+    }
+
+    /// Drain `blk` into this telemetry. Field-for-field identical to
+    /// having recorded each access directly (histogram merge is exact;
+    /// the ordinal advances by the block count; the zero-capacity tracer
+    /// counts every access as recorded-and-dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) unless [`L1Telemetry::block_mode_eligible`].
+    pub(crate) fn merge_block(&mut self, blk: &mut BlockTelemetry) {
+        debug_assert!(self.block_mode_eligible(), "block flush into an ineligible telemetry");
+        self.ordinal += blk.count;
+        self.hits += blk.hits;
+        for (a, b) in self.kind_counts.iter_mut().zip(blk.kind_counts) {
+            *a += b;
+        }
+        self.latency.merge(&blk.latency);
+        self.replay_latency.merge(&blk.replay_latency);
+        self.margin.merge(&blk.margin);
+        self.idb_delta.merge(&blk.idb_delta);
+        self.causes.delta_change += blk.causes.delta_change;
+        self.causes.superpage += blk.causes.superpage;
+        self.causes.cold_tlb += blk.causes.cold_tlb;
+        self.tracer.account_unretained(blk.count);
+        *blk = BlockTelemetry::new();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -432,6 +551,66 @@ mod tests {
         let j = t.flight_json();
         assert_eq!(j.path("mispredict_causes.superpage").and_then(Json::as_f64), Some(1.0));
         assert_eq!(j.path("capacity").and_then(Json::as_f64), Some(16.0));
+    }
+
+    /// Block-accumulated recording flushed per block must be
+    /// indistinguishable from per-access recording: metrics snapshot,
+    /// cause buckets, accesses, and tracer accounting all byte-identical.
+    #[test]
+    fn block_merge_matches_sequential_recording() {
+        let mut direct = L1Telemetry::new(0);
+        let mut blocked = L1Telemetry::new(0);
+        assert!(blocked.block_mode_eligible());
+        let mut blk = BlockTelemetry::new();
+        let kinds = [
+            SpecEventKind::FastHit,
+            SpecEventKind::Replay,
+            SpecEventKind::IdbMispredict,
+            SpecEventKind::NotSpeculative,
+            SpecEventKind::BypassWait,
+        ];
+        for i in 0..97u64 {
+            let r = AccessRecord {
+                pc: 0x1000 + i,
+                kind: kinds[(i % 5) as usize],
+                speculated_bits: i % 4,
+                actual_bits: (i + 1) % 4,
+                latency: 2 + i % 19,
+                margin: i % 7,
+                hit: i % 3 != 0,
+                observed_delta: (i % 4 == 1).then_some(i % 5),
+                huge_page: i % 6 == 2,
+                tlb_cold: i % 4 == 3,
+            };
+            direct.record(&r);
+            blk.record(&r);
+            // Uneven block boundaries, including a 1-access block.
+            if i % 17 == 0 {
+                blocked.merge_block(&mut blk);
+                assert_eq!(blk.count(), 0, "flush drains the accumulator");
+            }
+        }
+        blocked.merge_block(&mut blk);
+        assert_eq!(direct.accesses(), blocked.accesses());
+        assert_eq!(direct.metrics().snapshot(), blocked.metrics().snapshot());
+        assert_eq!(
+            direct.metrics().snapshot().to_json().render(),
+            blocked.metrics().snapshot().to_json().render()
+        );
+        assert_eq!(direct.mispredict_causes(), blocked.mispredict_causes());
+        assert_eq!(direct.tracer.recorded(), blocked.tracer.recorded());
+        assert_eq!(direct.tracer.dropped(), blocked.tracer.dropped());
+        assert_eq!(direct.sampled_out(), blocked.sampled_out());
+        assert_eq!(direct.flight_json().render(), blocked.flight_json().render());
+    }
+
+    /// Retention or sampling disqualifies block mode.
+    #[test]
+    fn block_mode_eligibility_requires_silent_tracer() {
+        assert!(L1Telemetry::new(0).block_mode_eligible());
+        assert!(!L1Telemetry::new(16).block_mode_eligible());
+        assert!(!L1Telemetry::new_sampled(0, 4).block_mode_eligible());
+        assert!(L1Telemetry::new_sampled(0, 0).block_mode_eligible(), "0 normalizes to 1");
     }
 
     /// The sampling configuration must not leak into the metrics

@@ -56,7 +56,14 @@ impl CounterPredictor {
 
     #[inline]
     fn row(&self, pc: u64) -> usize {
-        (pc as usize) % self.config.entries
+        // Mask instead of modulo for power-of-two tables (the default),
+        // keeping integer division off the per-access path.
+        let entries = self.config.entries;
+        if entries.is_power_of_two() {
+            (pc as usize) & (entries - 1)
+        } else {
+            (pc as usize) % entries
+        }
     }
 
     #[inline]

@@ -82,7 +82,14 @@ impl IndexDeltaBuffer {
         // the rows; the xor-fold keeps small-PC behaviour identical while
         // making every row reachable from aligned code.
         let folded = pc ^ (pc >> 6);
-        (folded as usize) % self.config.entries
+        let entries = self.config.entries;
+        // Power-of-two tables (the default, 128) index with a mask — no
+        // integer division on the per-access path.
+        if entries.is_power_of_two() {
+            (folded as usize) & (entries - 1)
+        } else {
+            (folded as usize) % entries
+        }
     }
 
     #[inline]

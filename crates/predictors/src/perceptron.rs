@@ -80,6 +80,12 @@ pub struct PerceptronStats {
 #[derive(Debug, Clone)]
 pub struct PerceptronPredictor {
     config: PerceptronConfig,
+    // θ and the weight saturation bounds are pure functions of the
+    // config; caching them here keeps the f64 θ formula and the shift
+    // arithmetic out of the per-access update path.
+    theta: i32,
+    min_w: i32,
+    max_w: i32,
     /// `entries × (history + 1)` weights, row-major; weight 0 is the bias.
     weights: Vec<i32>,
     /// Global history of speculation outcomes, most recent in bit 0
@@ -99,8 +105,12 @@ impl PerceptronPredictor {
     pub fn new(config: PerceptronConfig) -> Self {
         assert!(config.entries > 0, "need at least one perceptron");
         assert!(config.history <= 63, "history must fit a u64");
+        let (min_w, max_w) = config.weight_range();
         Self {
             weights: vec![0; config.entries * (config.history + 1)],
+            theta: config.theta(),
+            min_w,
+            max_w,
             config,
             history: 0,
             last_y: 0,
@@ -122,26 +132,66 @@ impl PerceptronPredictor {
         // identical (pc < 64 folds to itself) while spreading aligned
         // code over every row.
         let folded = pc ^ (pc >> 6);
-        (folded as usize) % self.config.entries
+        let entries = self.config.entries;
+        // The default table (64) is a power of two: strength-reduce the
+        // modulo to a mask so the hot path carries no integer division.
+        if entries.is_power_of_two() {
+            (folded as usize) & (entries - 1)
+        } else {
+            (folded as usize) % entries
+        }
     }
 
+    /// `y = w0 + Σ xi·wi` over one row. The bipolar multiply is a
+    /// branchless sign-select: history bit set (+1) adds the weight,
+    /// clear (−1) subtracts it — `(w ^ 0) - 0 = w`, `(w ^ -1) - (-1) =
+    /// -w` in two's complement. Identical sums to the bipolar multiply,
+    /// but the loop autovectorizes instead of branching per history bit.
+    /// `H` is the compile-time history length so the default
+    /// configuration's loop fully unrolls; `dot` dispatches on it.
     #[inline]
-    fn x(&self, i: usize) -> i32 {
-        // History bit i-1 (1-based weights), bipolar.
-        if (self.history >> (i - 1)) & 1 == 1 {
-            1
-        } else {
-            -1
+    fn dot_n<const H: usize>(w: &[i32], history: u64) -> i32 {
+        let w = &w[..H + 1];
+        let mut y = w[0]; // bias w0 (input hardwired to 1)
+        for (i, &wi) in w.iter().enumerate().skip(1) {
+            let m = (((history >> (i - 1)) & 1) as i32).wrapping_sub(1);
+            y += (wi ^ m) - m;
+        }
+        y
+    }
+
+    /// One training step over a row — the bipolar delta uses the same
+    /// branchless sign-select as [`Self::dot_n`]: agreement (+1) nudges
+    /// toward `t`, disagreement (−1) away — identical deltas, and the
+    /// constant-length clamp loop vectorizes.
+    #[inline]
+    fn train_n<const H: usize>(w: &mut [i32], history: u64, t: i32, min_w: i32, max_w: i32) {
+        let w = &mut w[..H + 1];
+        w[0] = (w[0] + t).clamp(min_w, max_w);
+        for (i, wi) in w.iter_mut().enumerate().skip(1) {
+            let m = (((history >> (i - 1)) & 1) as i32).wrapping_sub(1);
+            let delta = (t ^ m) - m;
+            *wi = (*wi + delta).clamp(min_w, max_w);
         }
     }
 
     fn dot(&self, pc: u64) -> i32 {
-        let base = self.row(pc) * (self.config.history + 1);
-        let mut y = self.weights[base]; // bias w0 (input hardwired to 1)
-        for i in 1..=self.config.history {
-            y += self.weights[base + i] * self.x(i);
+        let h = self.config.history;
+        let base = self.row(pc) * (h + 1);
+        let w = &self.weights[base..base + h + 1];
+        match h {
+            // The paper configuration (h = 12): constant trip count,
+            // fully unrolled/vectorized.
+            12 => Self::dot_n::<12>(w, self.history),
+            _ => {
+                let mut y = w[0];
+                for (i, &wi) in w.iter().enumerate().skip(1) {
+                    let m = (((self.history >> (i - 1)) & 1) as i32).wrapping_sub(1);
+                    y += (wi ^ m) - m;
+                }
+                y
+            }
         }
-        y
     }
 
     /// Predict whether to speculate for the access at `pc`. `true` means
@@ -162,14 +212,23 @@ impl PerceptronPredictor {
     pub fn update(&mut self, pc: u64, unchanged: bool) {
         let t: i32 = if unchanged { 1 } else { -1 };
         let predicted_taken = self.last_y >= 0;
-        if predicted_taken != unchanged || self.last_y.abs() <= self.config.theta() {
+        if predicted_taken != unchanged || self.last_y.abs() <= self.theta {
             self.stats.trainings += 1;
-            let (min_w, max_w) = self.config.weight_range();
-            let base = self.row(pc) * (self.config.history + 1);
-            self.weights[base] = (self.weights[base] + t).clamp(min_w, max_w);
-            for i in 1..=self.config.history {
-                let delta = t * self.x(i);
-                self.weights[base + i] = (self.weights[base + i] + delta).clamp(min_w, max_w);
+            let (min_w, max_w) = (self.min_w, self.max_w);
+            let h = self.config.history;
+            let base = self.row(pc) * (h + 1);
+            let w = &mut self.weights[base..base + h + 1];
+            match h {
+                12 => Self::train_n::<12>(w, self.history, t, min_w, max_w),
+                _ => {
+                    w[0] = (w[0] + t).clamp(min_w, max_w);
+                    let history = self.history;
+                    for (i, wi) in w.iter_mut().enumerate().skip(1) {
+                        let m = (((history >> (i - 1)) & 1) as i32).wrapping_sub(1);
+                        let delta = (t ^ m) - m;
+                        *wi = (*wi + delta).clamp(min_w, max_w);
+                    }
+                }
             }
         }
         self.history = (self.history << 1) | (unchanged as u64);

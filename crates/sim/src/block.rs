@@ -6,15 +6,21 @@
 //! This module restructures the loop around fixed-size blocks of packed
 //! structure-of-arrays instructions ([`sipt_workloads::InstBlock`]):
 //!
-//! 1. **Batched translation with VPN-run coalescing** — each block's
+//! 1. **Batched translation with per-set MRU guards** — each block's
 //!    memory VAs are translated *before* the timing loop. Consecutive
 //!    accesses to the same 4 KiB page skip the set-associative TLB probe
-//!    entirely via [`sipt_tlb::DataTlb::translate_repeat`] (the repeated
-//!    entry is already MRU of its set, so skipping the probe preserves
-//!    every replacement decision). Translation state (TLB + translation
-//!    cache) is disjoint from the cache hierarchy and translations are
-//!    time-independent, so hoisting them out of the timing loop is
-//!    bit-identical by construction.
+//!    entirely via [`sipt_tlb::DataTlb::translate_repeat`], and
+//!    *non-consecutive* repeats within the run are short-circuited by
+//!    [`sipt_tlb::TlbBatch`]: one guard slot per L1-TLB set remembers the
+//!    set's MRU page, so any re-reference of a set-MRU page skips the
+//!    probe too (the skipped `get` would only refresh an already-MRU
+//!    entry, so every future replacement decision is unchanged — see the
+//!    `TlbBatch` docs for the proof sketch). Translation state (TLB +
+//!    translation cache) is disjoint from the cache hierarchy and
+//!    translations are time-independent, so hoisting them out of the
+//!    timing loop is bit-identical by construction. `SIPT_TLB_BATCH=0`
+//!    (or [`set_tlb_batch`]`(false)`, the figure binaries'
+//!    `--no-tlb-batch`) falls back to the plain probe-per-page path.
 //! 2. **Monomorphized policy dispatch** — the `(SystemKind, L1Policy)`
 //!    pair is matched *once per run*; the inner loop calls
 //!    [`sipt_core::SiptL1::access_mono`] with a zero-sized
@@ -24,6 +30,14 @@
 //!    [`sipt_cpu::InOrderEngine`] carry the timestamp-dataflow state, so the
 //!    kernel steps decoded fields (`unpack_meta_fields`) without building
 //!    `Inst` values.
+//! 4. **Per-block telemetry accumulation** — when the attached
+//!    [`sipt_core::L1Telemetry`] retains no events and samples every
+//!    access (the runner's default), the timing loop records into a
+//!    stack-local [`sipt_core::BlockTelemetry`] and merges it into the
+//!    shared sink once per block, keeping the ring-buffer and sampling
+//!    machinery off the per-access path. Snapshots, flight summaries and
+//!    tracer drop-accounting stay byte-identical (pinned by
+//!    `block_merge_matches_sequential_recording` in `sipt-core`).
 //!
 //! A translation fault (an unmapped VA — possible only for *external*
 //! traces, never for generated workloads) surfaces as a typed
@@ -36,15 +50,16 @@
 
 use crate::error::SimError;
 use crate::machine::{Machine, SystemKind};
-use sipt_cache::LineAddr;
-use sipt_core::{policy_tags, L1Policy, PolicyTag};
+use sipt_cache::{LineAddr, LowerHierarchy};
+use sipt_core::{policy_tags, BlockTelemetry, L1Policy, PolicyTag, SiptL1};
 use sipt_cpu::{
     unpack_meta_fields, CoreResult, InOrderConfig, InOrderEngine, MemResponse, OooConfig, OooEngine,
 };
+use sipt_dram::Dram;
 use sipt_mem::{VirtAddr, VirtPageNum};
-use sipt_tlb::TlbOutcome;
-use sipt_workloads::{MaterializedTrace, TraceCursor};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use sipt_tlb::{TlbBatch, TlbOutcome};
+use sipt_workloads::{InstBlock, MaterializedTrace, TraceCursor};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 // ---------------------------------------------------------------------------
@@ -84,6 +99,43 @@ pub fn replay_batch() -> usize {
         Some(n) => n.min(usize::MAX as u64) as usize,
         None => DEFAULT_REPLAY_BATCH,
     })
+}
+
+// ---------------------------------------------------------------------------
+// TLB-batching knob
+// ---------------------------------------------------------------------------
+
+/// Runtime enable state for guarded TLB batching: 0 = follow
+/// `SIPT_TLB_BATCH`, 1 = forced on, 2 = forced off (the figure binaries'
+/// `--no-tlb-batch` flag).
+static TLB_BATCH_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+fn tlb_batch_env_default() -> bool {
+    static PARSED: OnceLock<bool> = OnceLock::new();
+    *PARSED.get_or_init(|| match std::env::var("SIPT_TLB_BATCH") {
+        // Unset or blank keeps the default (on); otherwise the shared
+        // switch semantics apply, so `SIPT_TLB_BATCH=0` disables.
+        Ok(v) => v.trim().is_empty() || crate::env::switch_value(&v),
+        Err(_) => true,
+    })
+}
+
+/// Force guarded TLB batching on or off for the rest of the process,
+/// overriding `SIPT_TLB_BATCH`. Batching is a pure wall-clock
+/// optimization — payloads are bit-identical either way (pinned by the
+/// golden-fingerprint and escape-hatch tests) — so the escape hatch
+/// exists for triage, not correctness.
+pub fn set_tlb_batch(on: bool) {
+    TLB_BATCH_OVERRIDE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+/// Whether the translation phase uses [`TlbBatch`] MRU guards.
+pub fn tlb_batch_enabled() -> bool {
+    match TLB_BATCH_OVERRIDE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => tlb_batch_env_default(),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -236,6 +288,16 @@ fn replay_mono<E: BlockEngine, P: PolicyTag>(
     let batch = replay_batch();
     let mut engine = E::fresh();
     let mut xbuf: Vec<TlbOutcome> = Vec::with_capacity(batch.min(1 << 16));
+    // Per-set MRU guards, fresh per replay call: nothing mutates the
+    // L1-TLB arrays between blocks of one call except the translation
+    // phase itself, so the guards stay valid across blocks.
+    let batching = tlb_batch_enabled();
+    let mut guards = TlbBatch::for_tlb(machine.tlb());
+    // Telemetry mode is a property of the attachment, fixed for the run:
+    // block accumulation when the tracer retains nothing and sampling is
+    // 1:1 (the runner's default), per-access recording otherwise.
+    let block_tlm = machine.l1().telemetry_block_eligible();
+    let mut blk = BlockTelemetry::new();
     let mut remaining = limit;
     while remaining > 0 {
         let Some(block) = cursor.next_block(batch.min(remaining)) else { break };
@@ -246,7 +308,8 @@ fn replay_mono<E: BlockEngine, P: PolicyTag>(
         let Machine { asp, tlb, xlat, l1, lower, .. } = machine;
 
         // Phase 1: batch-translate the block's memory VAs. `prev_vpn`
-        // tracks VPN runs; the previous outcome is xbuf's last entry.
+        // tracks VPN runs (the previous outcome is xbuf's last entry);
+        // non-consecutive set-MRU repeats fall to the guard check.
         xbuf.clear();
         let mut prev_vpn: Option<VirtPageNum> = None;
         for &raw in block.mem_vas {
@@ -255,6 +318,9 @@ fn replay_mono<E: BlockEngine, P: PolicyTag>(
             let outcome = if prev_vpn == Some(vpn) {
                 let prev = xbuf.last().expect("a VPN run starts with a full translation");
                 tlb.translate_repeat(prev, va)
+            } else if batching {
+                tlb.translate_batched(&mut guards, va, |va| xlat.translate(asp.page_table(), va))
+                    .map_err(|fault| SimError::trace(workload, fault.to_string()))?
             } else {
                 tlb.translate_with(va, |va| xlat.translate(asp.page_table(), va))
                     .map_err(|fault| SimError::trace(workload, fault.to_string()))?
@@ -263,47 +329,73 @@ fn replay_mono<E: BlockEngine, P: PolicyTag>(
             xbuf.push(outcome);
         }
 
-        // Phase 2: step the timing engine over the block. Memory
-        // instructions consume pre-translated outcomes in order; the
-        // closure is the body of `Machine::access` minus the TLB probe.
-        let mut mem_iter = block.mem_vas.iter().zip(xbuf.iter());
-        for (&meta, &pc) in block.meta.iter().zip(block.pcs) {
-            let (dst, srcs, mem_store, exec_latency) = unpack_meta_fields(meta);
-            match mem_store {
-                None => engine.step_inst(dst, srcs, None, exec_latency, |_now| {
-                    unreachable!("non-memory instructions never access memory")
-                }),
-                Some(is_store) => {
-                    let (&raw, &outcome) =
-                        mem_iter.next().expect("one pre-translated outcome per memory inst");
-                    let va = VirtAddr::new(raw);
-                    engine.step_inst(dst, srcs, Some(is_store), exec_latency, |now| {
-                        let access = l1.access_mono::<P>(
+        // Phase 2: step the timing engine over the block, then drain the
+        // block-local telemetry (if engaged) in one merge.
+        if block_tlm {
+            step_block::<E, P, true>(&mut engine, l1, lower, &block, &xbuf, &mut blk);
+            l1.flush_block_telemetry(&mut blk);
+        } else {
+            step_block::<E, P, false>(&mut engine, l1, lower, &block, &xbuf, &mut blk);
+        }
+    }
+    Ok(engine.result())
+}
+
+/// Phase 2 of the kernel: step the timing engine over one block. Memory
+/// instructions consume pre-translated outcomes in order; the memory
+/// closure is the body of `Machine::access` minus the TLB probe. `BLK_TLM`
+/// selects block-local telemetry accumulation at compile time, so the
+/// per-access path carries no telemetry-mode branch in either instance.
+#[inline]
+fn step_block<E: BlockEngine, P: PolicyTag, const BLK_TLM: bool>(
+    engine: &mut E,
+    l1: &mut SiptL1,
+    lower: &mut LowerHierarchy<Dram>,
+    block: &InstBlock<'_>,
+    xbuf: &[TlbOutcome],
+    blk: &mut BlockTelemetry,
+) {
+    let mut mem_idx = 0usize;
+    for (&meta, &pc) in block.meta.iter().zip(block.pcs) {
+        let (dst, srcs, mem_store, exec_latency) = unpack_meta_fields(meta);
+        match mem_store {
+            None => engine.step_inst(dst, srcs, None, exec_latency, |_now| {
+                unreachable!("non-memory instructions never access memory")
+            }),
+            Some(is_store) => {
+                let va = VirtAddr::new(block.mem_vas[mem_idx]);
+                let outcome = xbuf[mem_idx];
+                mem_idx += 1;
+                engine.step_inst(dst, srcs, Some(is_store), exec_latency, |now| {
+                    let access = if BLK_TLM {
+                        l1.access_mono_block::<P>(
                             pc,
                             va,
                             outcome.translation,
                             outcome.cycles,
                             is_store,
-                        );
-                        let mut latency = access.latency;
-                        if !access.hit {
-                            let line = LineAddr::of_phys(outcome.translation.pa);
-                            let service = lower.access(line, is_store, now + latency);
-                            latency += service.latency;
-                            if let Some(evicted) = l1.fill(line, is_store) {
-                                if evicted.dirty {
-                                    lower.writeback(evicted.line);
-                                }
+                            blk,
+                        )
+                    } else {
+                        l1.access_mono::<P>(pc, va, outcome.translation, outcome.cycles, is_store)
+                    };
+                    let mut latency = access.latency;
+                    if !access.hit {
+                        let line = LineAddr::of_phys(outcome.translation.pa);
+                        let service = lower.access(line, is_store, now + latency);
+                        latency += service.latency;
+                        if let Some(evicted) = l1.fill(line, is_store) {
+                            if evicted.dirty {
+                                lower.writeback(evicted.line);
                             }
                         }
-                        MemResponse { latency, port_slots: access.array_reads.max(1) }
-                    });
-                }
+                    }
+                    MemResponse { latency, port_slots: access.array_reads.max(1) }
+                });
             }
         }
-        debug_assert_eq!(mem_iter.count(), 0, "every memory VA consumed");
     }
-    Ok(engine.result())
+    debug_assert_eq!(mem_idx, xbuf.len(), "every memory VA consumed");
 }
 
 #[cfg(test)]
@@ -371,20 +463,25 @@ mod tests {
             let (ref_core, ref_machine) =
                 run_per_access(system, l1.clone(), asp_ref, &trace, 3_000);
             for batch in [1usize, 7, 256] {
-                set_replay_batch(batch);
-                let (asp, trace2) = prepared("mcf", 12_000);
-                assert_eq!(trace2, trace, "preparation is deterministic");
-                let (core, machine) = run_block(system, l1.clone(), asp, &trace2, 3_000);
-                assert_eq!(core, ref_core, "{system:?}/{policy:?} batch {batch}");
-                assert_eq!(machine.l1().stats(), ref_machine.l1().stats(), "batch {batch}");
-                assert_eq!(machine.tlb().stats(), ref_machine.tlb().stats(), "batch {batch}");
-                assert_eq!(
-                    machine.lower().llc_stats(),
-                    ref_machine.lower().llc_stats(),
-                    "batch {batch}"
-                );
+                for batching in [true, false] {
+                    set_replay_batch(batch);
+                    set_tlb_batch(batching);
+                    let (asp, trace2) = prepared("mcf", 12_000);
+                    assert_eq!(trace2, trace, "preparation is deterministic");
+                    let (core, machine) = run_block(system, l1.clone(), asp, &trace2, 3_000);
+                    let tag = format!("{system:?}/{policy:?} batch {batch} tlb_batch {batching}");
+                    assert_eq!(core, ref_core, "{tag}");
+                    assert_eq!(machine.l1().stats(), ref_machine.l1().stats(), "{tag}");
+                    assert_eq!(machine.tlb().stats(), ref_machine.tlb().stats(), "{tag}");
+                    assert_eq!(
+                        machine.lower().llc_stats(),
+                        ref_machine.lower().llc_stats(),
+                        "{tag}"
+                    );
+                }
             }
             set_replay_batch(DEFAULT_REPLAY_BATCH);
+            set_tlb_batch(true);
         }
     }
 
@@ -425,5 +522,13 @@ mod tests {
         set_replay_batch(0); // clears the override back to env/default
         set_replay_batch(DEFAULT_REPLAY_BATCH);
         assert_eq!(replay_batch(), DEFAULT_REPLAY_BATCH);
+    }
+
+    #[test]
+    fn tlb_batch_override_wins_over_env() {
+        set_tlb_batch(false);
+        assert!(!tlb_batch_enabled());
+        set_tlb_batch(true);
+        assert!(tlb_batch_enabled());
     }
 }

@@ -35,7 +35,10 @@ pub mod supervisor;
 pub mod sweep;
 pub mod wire;
 
-pub use block::{replay_batch, replay_trace, set_replay_batch, DEFAULT_REPLAY_BATCH};
+pub use block::{
+    replay_batch, replay_trace, set_replay_batch, set_tlb_batch, tlb_batch_enabled,
+    DEFAULT_REPLAY_BATCH,
+};
 pub use error::SimError;
 pub use machine::{Machine, SystemKind};
 pub use metrics::{

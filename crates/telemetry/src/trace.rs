@@ -134,6 +134,23 @@ impl EventTracer {
         self.buf.push_back(event);
     }
 
+    /// Account for `n` events that were observed but never materialized —
+    /// the bulk flush of a zero-capacity tracer, where per-block telemetry
+    /// accumulates plain counters and defers tracer bookkeeping. Each of
+    /// the `n` events counts as recorded *and* dropped, exactly as `n`
+    /// individual [`EventTracer::push`] calls at capacity 0 would.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the tracer has retention capacity — retained
+    /// events cannot be bulk-accounted, they must be pushed.
+    #[inline]
+    pub fn account_unretained(&mut self, n: u64) {
+        debug_assert_eq!(self.capacity, 0, "bulk accounting requires a zero-capacity tracer");
+        self.recorded += n;
+        self.dropped += n;
+    }
+
     /// Events currently retained, oldest first.
     pub fn iter(&self) -> impl Iterator<Item = &SpecEvent> {
         self.buf.iter()

@@ -51,29 +51,31 @@ impl SetIndexKey for u64 {
     }
 }
 
+// One SipRound — shared by the one- and two-block fast hashes below.
+#[inline(always)]
+fn sipround(v: &mut [u64; 4]) {
+    v[0] = v[0].wrapping_add(v[1]);
+    v[1] = v[1].rotate_left(13);
+    v[1] ^= v[0];
+    v[0] = v[0].rotate_left(32);
+    v[2] = v[2].wrapping_add(v[3]);
+    v[3] = v[3].rotate_left(16);
+    v[3] ^= v[2];
+    v[0] = v[0].wrapping_add(v[3]);
+    v[3] = v[3].rotate_left(21);
+    v[3] ^= v[0];
+    v[2] = v[2].wrapping_add(v[1]);
+    v[1] = v[1].rotate_left(17);
+    v[1] ^= v[2];
+    v[2] = v[2].rotate_left(32);
+}
+
 /// SipHash-1-3 with zero keys over a single little-endian `u64` block —
 /// the exact computation `DefaultHasher` performs for one `write_u64`,
 /// with the rounds laid out inline so the whole hash constant-folds into
 /// ~20 ALU ops instead of a buffered `Hasher` round trip.
 #[inline]
 pub fn siphash13_u64(m: u64) -> u64 {
-    #[inline(always)]
-    fn sipround(v: &mut [u64; 4]) {
-        v[0] = v[0].wrapping_add(v[1]);
-        v[1] = v[1].rotate_left(13);
-        v[1] ^= v[0];
-        v[0] = v[0].rotate_left(32);
-        v[2] = v[2].wrapping_add(v[3]);
-        v[3] = v[3].rotate_left(16);
-        v[3] ^= v[2];
-        v[0] = v[0].wrapping_add(v[3]);
-        v[3] = v[3].rotate_left(21);
-        v[3] ^= v[0];
-        v[2] = v[2].wrapping_add(v[1]);
-        v[1] = v[1].rotate_left(17);
-        v[1] ^= v[2];
-        v[2] = v[2].rotate_left(32);
-    }
     // Initial state for k0 = k1 = 0 (DefaultHasher's keys).
     let mut v = [
         0x736f_6d65_7073_6575u64,
@@ -87,6 +89,42 @@ pub fn siphash13_u64(m: u64) -> u64 {
     v[0] ^= m;
     // Final block: empty tail, total length 8 in the top byte.
     let b = 8u64 << 56;
+    v[3] ^= b;
+    sipround(&mut v);
+    v[0] ^= b;
+    // Finalization: d = 3 rounds.
+    v[2] ^= 0xff;
+    sipround(&mut v);
+    sipround(&mut v);
+    sipround(&mut v);
+    v[0] ^ v[1] ^ v[2] ^ v[3]
+}
+
+/// SipHash-1-3 with zero keys over two little-endian `u64` blocks — the
+/// exact computation `DefaultHasher` performs for two consecutive
+/// `write_u64`s (16 buffered bytes, no tail). The unified-L2 TLB key is
+/// `(page, granularity-discriminant)`, whose derived `Hash` emits exactly
+/// that write sequence; `fast_2xu64_hash_matches_default_hasher` pins the
+/// equivalence so the set index (and therefore every eviction decision)
+/// is bit-identical to the buffered path.
+#[inline]
+pub fn siphash13_2xu64(m0: u64, m1: u64) -> u64 {
+    // Initial state for k0 = k1 = 0 (DefaultHasher's keys).
+    let mut v = [
+        0x736f_6d65_7073_6575u64,
+        0x646f_7261_6e64_6f6du64,
+        0x6c79_6765_6e65_7261u64,
+        0x7465_6462_7974_6573u64,
+    ];
+    // Two full 8-byte blocks: c = 1 compression round each.
+    v[3] ^= m0;
+    sipround(&mut v);
+    v[0] ^= m0;
+    v[3] ^= m1;
+    sipround(&mut v);
+    v[0] ^= m1;
+    // Final block: empty tail, total length 16 in the top byte.
+    let b = 16u64 << 56;
     v[3] ^= b;
     sipround(&mut v);
     v[0] ^= b;
@@ -347,6 +385,26 @@ mod tests {
             let mut reference = std::collections::hash_map::DefaultHasher::new();
             k.hash(&mut reference);
             assert_eq!(siphash13_u64(k), reference.finish(), "key {k:#x}");
+        }
+    }
+
+    /// Same equivalence for the two-block variant: it must match
+    /// `DefaultHasher` fed two `u64` writes, because the unified-L2 TLB
+    /// key hashes exactly that way.
+    #[test]
+    fn fast_2xu64_hash_matches_default_hasher() {
+        use std::hash::Hasher;
+        let samples = (0..256u64).map(|i| (i.wrapping_mul(0x9e37_79b9_7f4a_7c15), i & 1)).chain([
+            (u64::MAX, 0),
+            (u64::MAX, 1),
+            (0, u64::MAX),
+            (1 << 63, 7),
+        ]);
+        for (m0, m1) in samples {
+            let mut reference = std::collections::hash_map::DefaultHasher::new();
+            m0.hash(&mut reference);
+            m1.hash(&mut reference);
+            assert_eq!(siphash13_2xu64(m0, m1), reference.finish(), "key ({m0:#x}, {m1:#x})");
         }
     }
 

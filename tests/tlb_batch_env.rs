@@ -1,0 +1,90 @@
+//! Subprocess proof that the `SIPT_TLB_BATCH=0` escape hatch is
+//! payload-invariant.
+//!
+//! The in-process golden tests (`kernel_bit_identity.rs`) flip the knob
+//! through [`sipt_sim::set_tlb_batch`]; this test exercises the *other*
+//! half of the contract — the environment parse that a triage session
+//! would actually use — by re-executing this test binary as a worker with
+//! the variable set, and comparing the fig02 payload fingerprint printed
+//! by each child. Both children must agree with each other and with the
+//! committed golden, byte for byte.
+
+use sipt_sim::experiments::{ideal, report, smoke_benchmarks};
+use sipt_sim::{set_jobs, tlb_batch_enabled, Condition};
+use std::process::Command;
+
+/// FNV-1a 64-bit — same fingerprint function as `kernel_bit_identity.rs`.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// fig02 golden fingerprint, mirrored from `kernel_bit_identity.rs` (the
+/// two constants are re-pinned together when behaviour intentionally
+/// changes).
+const FIG02_GOLDEN_FNV1A: u64 = 0xF633_03AE_7922_41E7;
+
+/// Worker half: inert in a normal test run; under `SIPT_TLB_BATCH_WORKER`
+/// it computes the serial fig02 payload in a fresh process (so the
+/// environment parse, not the programmatic override, decides the mode)
+/// and prints machine-readable marker lines for the parent.
+#[test]
+fn tlb_batch_payload_worker() {
+    if std::env::var("SIPT_TLB_BATCH_WORKER").is_err() {
+        return;
+    }
+    set_jobs(1);
+    let payload = report::ideal_json(&ideal::fig2(&smoke_benchmarks(), &Condition::quick()));
+    println!("TLB_BATCH_MODE={}", u8::from(tlb_batch_enabled()));
+    println!("PAYLOAD_FNV={:#018x}", fnv1a(payload.render().as_bytes()));
+}
+
+/// Re-exec the worker with and without `SIPT_TLB_BATCH=0` and require
+/// byte-identical payloads that match the committed golden.
+#[test]
+fn env_guard_disables_batching_without_changing_payload_bytes() {
+    let exe = std::env::current_exe().expect("test binary path");
+    let run = |batch_env: Option<&str>| -> (bool, u64) {
+        let mut cmd = Command::new(&exe);
+        cmd.args(["tlb_batch_payload_worker", "--exact", "--nocapture"])
+            .env("SIPT_TLB_BATCH_WORKER", "1");
+        if let Some(v) = batch_env {
+            cmd.env("SIPT_TLB_BATCH", v);
+        } else {
+            cmd.env_remove("SIPT_TLB_BATCH");
+        }
+        let out = cmd.output().expect("spawn worker");
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        assert!(
+            out.status.success(),
+            "worker failed (SIPT_TLB_BATCH={batch_env:?}):\n{stdout}\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        // The libtest harness may glue its "test ... " progress prefix
+        // onto the worker's first line, so match the key mid-line.
+        let find = |key: &str| {
+            stdout
+                .lines()
+                .find_map(|l| l.split(key).nth(1))
+                .unwrap_or_else(|| panic!("worker printed no {key} line:\n{stdout}"))
+                .trim()
+                .to_owned()
+        };
+        let mode = find("TLB_BATCH_MODE=") == "1";
+        let fnv_hex = find("PAYLOAD_FNV=");
+        let fnv = u64::from_str_radix(fnv_hex.trim_start_matches("0x"), 16)
+            .unwrap_or_else(|e| panic!("bad PAYLOAD_FNV {fnv_hex:?}: {e}"));
+        (mode, fnv)
+    };
+
+    let (default_mode, default_fnv) = run(None);
+    let (disabled_mode, disabled_fnv) = run(Some("0"));
+    assert!(default_mode, "batching must default on in a fresh process");
+    assert!(!disabled_mode, "SIPT_TLB_BATCH=0 must disable batching");
+    assert_eq!(default_fnv, disabled_fnv, "disabling TLB batching changed the fig02 payload bytes");
+    assert_eq!(default_fnv, FIG02_GOLDEN_FNV1A, "fig02 payload drifted from the committed golden");
+}
