@@ -58,6 +58,24 @@ fn bench_array(b: &mut Bencher) {
         });
     }
 
+    // 16-way LLC shape: the wide-compare path behind the MRU-hint scalar
+    // short-circuit (re-touching a set's hot line is the LLC common case).
+    let g16 = CacheGeometry::new(2 << 20, 16);
+    let sets16 = g16.sets();
+    let mut a = CacheArray::new(g16, ReplacementKind::TreePlru);
+    for s in 0..sets16 {
+        for w in 0..16u64 {
+            a.fill(LineAddr(s + w * sets16), false);
+        }
+    }
+    let mut i = 0u64;
+    b.bench("array_probe_hit_llc16", || {
+        let line = LineAddr(i % sets16);
+        let set = a.home_set(line);
+        std::hint::black_box(a.lookup(set, line));
+        i += 1;
+    });
+
     let mut a = CacheArray::new(g, ReplacementKind::Lru);
     let mut i = 0u64;
     b.bench("array_fill_evict_lru", || {

@@ -5,7 +5,7 @@
 //! sipt-inspect summary FILE...                    orient on artifacts
 //! sipt-inspect diff A B                           field-by-field deltas
 //! sipt-inspect regress --baseline B --current C   CI perf gate (exit 1)
-//!              [--max-ratio X]
+//!              [--max-ratio [NAME=]X]...
 //! sipt-inspect timeline FILE...                   per-worker utilization
 //! ```
 //!
@@ -22,10 +22,13 @@ const USAGE: &str = "usage: sipt-inspect <command> [args]
 commands:
   summary FILE...                       schema version, blocks, payload shape
   diff A B                              recursive field-by-field comparison
-  regress --baseline FILE --current FILE [--max-ratio X]
+  regress --baseline FILE --current FILE [--max-ratio [NAME=]X]...
                                         non-flaky perf gate; exit 1 on regression
                                         (per-entry wall-clock ratio gate defaults
-                                        to 32; --max-ratio 0 disables it)
+                                        to 32; --max-ratio 0 disables it; repeat
+                                        with NAME=X for per-benchmark bounds,
+                                        e.g. --max-ratio block_replay_mips=4 —
+                                        named throughput fields gate downward)
   timeline FILE...                      per-worker utilization bars";
 
 /// Default per-entry wall-clock growth bound for `regress`. Deliberately
@@ -90,7 +93,7 @@ fn main() -> ExitCode {
         "regress" => {
             let mut baseline = None;
             let mut current = None;
-            let mut max_ratio = None;
+            let mut limits = inspect::RatioLimits::uniform(Some(DEFAULT_MAX_RATIO));
             let mut it = rest.iter();
             while let Some(flag) = it.next() {
                 let mut value =
@@ -98,7 +101,32 @@ fn main() -> ExitCode {
                 match flag.as_str() {
                     "--baseline" => baseline = Some(value()),
                     "--current" => current = Some(value()),
-                    "--max-ratio" => max_ratio = Some(value()),
+                    "--max-ratio" => {
+                        let raw = match value() {
+                            Ok(raw) => raw,
+                            Err(e) => return fail(&e),
+                        };
+                        // `NAME=X` overrides one entry; bare `X` replaces
+                        // the global default. `0` disables either band.
+                        let (name, num) = match raw.split_once('=') {
+                            Some((name, num)) if !name.is_empty() => (Some(name), num),
+                            _ => (None, raw.as_str()),
+                        };
+                        let bound = match num.parse::<f64>() {
+                            Ok(0.0) => None,
+                            Ok(v) if v > 0.0 => Some(v),
+                            _ => {
+                                return fail(&format!(
+                                    "--max-ratio takes [NAME=]X with X a positive \
+                                     number (or 0 to disable), got {raw:?}"
+                                ))
+                            }
+                        };
+                        match name {
+                            Some(name) => limits.per_name.push((name.to_string(), bound)),
+                            None => limits.default = bound,
+                        }
+                    }
                     other => return fail(&format!("unknown flag {other}\n\n{USAGE}")),
                 }
             }
@@ -107,19 +135,6 @@ fn main() -> ExitCode {
                     "regress needs --baseline FILE and --current FILE\n\n{USAGE}"
                 ));
             };
-            let max_ratio = match max_ratio {
-                None => Some(DEFAULT_MAX_RATIO),
-                Some(Ok(raw)) => match raw.parse::<f64>() {
-                    Ok(0.0) => None,
-                    Ok(v) if v > 0.0 => Some(v),
-                    _ => {
-                        return fail(&format!(
-                            "--max-ratio must be a positive number (or 0 to disable), got {raw:?}"
-                        ))
-                    }
-                },
-                Some(Err(e)) => return fail(&e),
-            };
             let (base_doc, cur_doc) = match (
                 inspect::load(&PathBuf::from(&baseline)),
                 inspect::load(&PathBuf::from(&current)),
@@ -127,7 +142,7 @@ fn main() -> ExitCode {
                 (Ok(a), Ok(b)) => (a, b),
                 (Err(e), _) | (_, Err(e)) => return fail(&e),
             };
-            let outcome = inspect::regress(&base_doc, &cur_doc, max_ratio);
+            let outcome = inspect::regress(&base_doc, &cur_doc, &limits);
             print!("{}", outcome.render());
             if outcome.ok() {
                 ExitCode::SUCCESS

@@ -208,6 +208,43 @@ impl RegressOutcome {
     }
 }
 
+/// Wall-clock ratio limits for [`regress`]: one optional global bound
+/// plus named per-entry overrides (`--max-ratio block_replay_mips=4`).
+///
+/// Named overrides also unlock the *throughput* gates: scalar payload
+/// fields measured in work-per-time (`block_replay_mips`,
+/// `accesses_per_sec`, `fig02.simulated_mips` under the name
+/// `fig02_smoke_end_to_end`) are bounded below by `baseline / ratio` —
+/// but only when named explicitly, so the generous catch-all default
+/// never starts gating fields that historic invocations left unchecked.
+#[derive(Debug, Default, Clone)]
+pub struct RatioLimits {
+    /// Bound applied to every time-like entry without a named override;
+    /// `None` disables the band.
+    pub default: Option<f64>,
+    /// Named `(entry, bound)` overrides, later entries winning; a `None`
+    /// bound disables the band for that entry (`name=0` on the CLI).
+    pub per_name: Vec<(String, Option<f64>)>,
+}
+
+impl RatioLimits {
+    /// Limits with only the global bound set (the pre-override behaviour).
+    pub fn uniform(default: Option<f64>) -> Self {
+        Self { default, per_name: Vec::new() }
+    }
+
+    /// The bound for `name`: the last matching override, else the global
+    /// default.
+    pub fn for_name(&self, name: &str) -> Option<f64> {
+        self.per_name.iter().rev().find(|(n, _)| n == name).map_or(self.default, |(_, r)| *r)
+    }
+
+    /// The bound for `name` only if an override names it explicitly.
+    pub fn named_only(&self, name: &str) -> Option<f64> {
+        self.per_name.iter().rev().find(|(n, _)| n == name).and_then(|(_, r)| *r)
+    }
+}
+
 /// Compare `current` against a committed `baseline`, checking only
 /// invariants that cannot flake on machine speed:
 ///
@@ -221,13 +258,14 @@ impl RegressOutcome {
 ///   `iters`, `accesses_per_sec`) — zeros mean a benchmark silently
 ///   stopped doing work.
 ///
-/// `max_ratio` (optional) additionally bounds per-entry wall-clock
-/// growth: current/baseline for `ns_per_iter` and sample `wall_ms` must
-/// not exceed it. Off by default because CI machines vary.
+/// `limits` additionally bounds per-entry wall-clock growth:
+/// current/baseline for `ns_per_iter` and sample `wall_ms` must not
+/// exceed the entry's bound ([`RatioLimits::for_name`]); explicitly
+/// named throughput fields are bounded below by `baseline / bound`.
 ///
 /// Checks are keyed off the *baseline*: a field the baseline lacks (old
 /// schema version, reduced artifact) is skipped, never failed.
-pub fn regress(baseline: &Json, current: &Json, max_ratio: Option<f64>) -> RegressOutcome {
+pub fn regress(baseline: &Json, current: &Json, limits: &RatioLimits) -> RegressOutcome {
     let mut checks = 0usize;
     let mut failures = Vec::new();
     let mut check = |failures: &mut Vec<String>, ok: bool, msg: String| {
@@ -291,7 +329,7 @@ pub fn regress(baseline: &Json, current: &Json, max_ratio: Option<f64>) -> Regre
                     format!("{arr_key}[{name}].{field} not positive: {cur_v}"),
                 );
                 if let (Some(ratio), Some(base_v)) =
-                    (max_ratio, base_item.get(field).and_then(Json::as_f64))
+                    (limits.for_name(name), base_item.get(field).and_then(Json::as_f64))
                 {
                     if field != "iters" && base_v > 0.0 {
                         check(
@@ -326,6 +364,26 @@ pub fn regress(baseline: &Json, current: &Json, max_ratio: Option<f64>) -> Regre
             &mut failures,
             cur_v > 0.0,
             format!("payload.accesses_per_sec not positive: {cur_v}"),
+        );
+    }
+
+    // Throughput fields (work per time, higher is better) gate only on
+    // explicit named bounds: current must stay above baseline / bound.
+    for (name, path) in [
+        ("block_replay_mips", "payload.block_replay_mips"),
+        ("accesses_per_sec", "payload.accesses_per_sec"),
+        ("fig02_smoke_end_to_end", "payload.fig02.simulated_mips"),
+    ] {
+        let Some(bound) = limits.named_only(name) else { continue };
+        let Some(base_v) = baseline.path(path).and_then(Json::as_f64) else { continue };
+        if base_v <= 0.0 {
+            continue;
+        }
+        let cur_v = current.path(path).and_then(Json::as_f64).unwrap_or(0.0);
+        check(
+            &mut failures,
+            cur_v >= base_v / bound,
+            format!("{path} regressed: {cur_v:.3} < {base_v:.3} / {bound}"),
         );
     }
 
@@ -399,7 +457,7 @@ mod tests {
     #[test]
     fn regress_passes_against_itself() {
         let base = baseline();
-        let outcome = regress(&base, &base, None);
+        let outcome = regress(&base, &base, &RatioLimits::default());
         assert!(outcome.ok(), "failures: {:?}", outcome.failures);
         assert!(outcome.checks >= 8);
     }
@@ -419,7 +477,7 @@ mod tests {
         let mut payload = broken.get("payload").cloned().expect("payload");
         payload.insert("samples", Json::arr([sample]));
         broken.insert("payload", payload);
-        let outcome = regress(&base, &broken, None);
+        let outcome = regress(&base, &broken, &RatioLimits::default());
         assert!(!outcome.ok());
         assert!(outcome.failures.iter().any(|f| f.contains("simulated_instructions")));
 
@@ -435,7 +493,7 @@ mod tests {
                 "totals": {"simulated_instructions": 96000}
             }
         }"#);
-        let outcome = regress(&base, &reduced, None);
+        let outcome = regress(&base, &reduced, &RatioLimits::default());
         assert!(outcome.failures.iter().any(|f| f.contains("benchmarks[fill]")));
     }
 
@@ -444,7 +502,7 @@ mod tests {
         // A v1-style baseline without benchmarks or totals: only the
         // artifact-name check applies, so any well-formed current passes.
         let old = doc(r#"{"artifact": "BENCH_demo", "payload": {}}"#);
-        let outcome = regress(&old, &baseline(), None);
+        let outcome = regress(&old, &baseline(), &RatioLimits::default());
         assert!(outcome.ok(), "failures: {:?}", outcome.failures);
         assert_eq!(outcome.checks, 1);
     }
@@ -463,10 +521,62 @@ mod tests {
         );
         slow.insert("payload", payload);
         // Without a band the 10x slowdown passes (non-flaky default)...
-        assert!(regress(&base, &slow, None).ok());
+        assert!(regress(&base, &slow, &RatioLimits::default()).ok());
         // ...with a 2x band it fails.
-        let outcome = regress(&base, &slow, Some(2.0));
+        let outcome = regress(&base, &slow, &RatioLimits::uniform(Some(2.0)));
         assert!(outcome.failures.iter().any(|f| f.contains("probe")));
+    }
+
+    #[test]
+    fn regress_per_name_override_beats_the_global_band() {
+        let base = baseline();
+        let mut slow = baseline();
+        let mut payload = slow.get("payload").cloned().expect("payload");
+        payload.insert(
+            "benchmarks",
+            Json::arr([
+                doc(r#"{"name": "probe", "iters": 100, "ns_per_iter": 50.0}"#),
+                doc(r#"{"name": "fill", "iters": 50, "ns_per_iter": 9.0}"#),
+            ]),
+        );
+        slow.insert("payload", payload);
+        // A 2x global band trips on probe's 10x, but a named 16x override
+        // for probe absorbs it.
+        let mut limits = RatioLimits::uniform(Some(2.0));
+        limits.per_name.push(("probe".into(), Some(16.0)));
+        assert!(regress(&base, &slow, &limits).ok());
+        // A named override *tighter* than the global default also wins.
+        let mut limits = RatioLimits::uniform(Some(32.0));
+        limits.per_name.push(("probe".into(), Some(4.0)));
+        let outcome = regress(&base, &slow, &limits);
+        assert!(outcome.failures.iter().any(|f| f.contains("probe")));
+        // `name=0` disables the band for that entry alone.
+        let mut limits = RatioLimits::uniform(Some(2.0));
+        limits.per_name.push(("probe".into(), None));
+        assert!(regress(&base, &slow, &limits).ok());
+        // Later overrides win over earlier ones.
+        let mut limits = RatioLimits::uniform(Some(32.0));
+        limits.per_name.push(("probe".into(), Some(4.0)));
+        limits.per_name.push(("probe".into(), None));
+        assert!(regress(&base, &slow, &limits).ok());
+    }
+
+    #[test]
+    fn regress_named_throughput_fields_gate_downward() {
+        let base = doc(r#"{"artifact": "BENCH_demo", "payload": {"block_replay_mips": 60.0,
+                "fig02": {"simulated_mips": 40.0}}}"#);
+        let slow = doc(r#"{"artifact": "BENCH_demo", "payload": {"block_replay_mips": 10.0,
+                "fig02": {"simulated_mips": 39.0}}}"#);
+        // The global default never gates throughput fields...
+        assert!(regress(&base, &slow, &RatioLimits::uniform(Some(2.0))).ok());
+        // ...a named bound does: 10 < 60/4 fails, 39 >= 40/4 passes.
+        let mut limits = RatioLimits::default();
+        limits.per_name.push(("block_replay_mips".into(), Some(4.0)));
+        limits.per_name.push(("fig02_smoke_end_to_end".into(), Some(4.0)));
+        let outcome = regress(&base, &slow, &limits);
+        assert!(!outcome.ok());
+        assert!(outcome.failures.iter().any(|f| f.contains("block_replay_mips")));
+        assert!(!outcome.failures.iter().any(|f| f.contains("simulated_mips")));
     }
 
     #[test]

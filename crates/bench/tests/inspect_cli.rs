@@ -73,6 +73,82 @@ fn injected_regression_exits_one_and_names_the_cause() {
     let _ = std::fs::remove_file(&tampered);
 }
 
+/// Per-benchmark `--max-ratio NAME=X` overrides: a named bound tighter
+/// than the generous global default trips on that entry alone, and named
+/// throughput fields (`block_replay_mips`) gate downward.
+#[test]
+fn regress_per_benchmark_max_ratio_overrides() {
+    let text = std::fs::read_to_string(baseline("BENCH_hotpath.json")).expect("baseline");
+    let mut doc = json::parse(&text).expect("baseline parses");
+
+    let mut payload = doc.get("payload").cloned().expect("payload");
+    // An 8x MIPS collapse and a 10x ns_per_iter inflation on one kernel —
+    // both inside the global 32x band.
+    let mips = payload.get("block_replay_mips").and_then(Json::as_f64).expect("mips");
+    payload.insert("block_replay_mips", Json::num(mips / 8.0));
+    let benchmarks: Vec<Json> = payload
+        .get("benchmarks")
+        .and_then(Json::as_arr)
+        .expect("benchmarks")
+        .iter()
+        .map(|b| {
+            let mut b = b.clone();
+            if b.get("name").and_then(Json::as_str) == Some("trace_cursor_next") {
+                let ns = b.get("ns_per_iter").and_then(Json::as_f64).expect("ns");
+                b.insert("ns_per_iter", Json::num(ns * 10.0));
+            }
+            b
+        })
+        .collect();
+    payload.insert("benchmarks", Json::arr(benchmarks));
+    doc.insert("payload", payload);
+
+    let tampered = temp_file("overrides", &doc.render_pretty());
+    let base = baseline("BENCH_hotpath.json");
+    let (base, cur) = (base.to_str().expect("utf-8"), tampered.to_str().expect("utf-8"));
+
+    // Default bands: passes (throughput never gated, 10x < 32x).
+    let out = inspect(&["regress", "--baseline", base, "--current", cur]);
+    assert!(out.status.success(), "default bands must absorb both: {out:?}");
+
+    // Named bounds: each override trips on exactly its own entry.
+    let out = inspect(&[
+        "regress",
+        "--baseline",
+        base,
+        "--current",
+        cur,
+        "--max-ratio",
+        "block_replay_mips=4",
+        "--max-ratio",
+        "trace_cursor_next=4",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "named bounds must trip: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("block_replay_mips"), "{stdout}");
+    assert!(stdout.contains("trace_cursor_next"), "{stdout}");
+
+    // Generous named bounds absorb the same deltas.
+    let out = inspect(&[
+        "regress",
+        "--baseline",
+        base,
+        "--current",
+        cur,
+        "--max-ratio",
+        "block_replay_mips=16",
+        "--max-ratio",
+        "trace_cursor_next=16",
+    ]);
+    assert!(out.status.success(), "16x named bounds must pass: {out:?}");
+
+    // Malformed override values exit 2 (usage error).
+    let out =
+        inspect(&["regress", "--baseline", base, "--current", cur, "--max-ratio", "probe=-1"]);
+    assert_eq!(out.status.code(), Some(2), "negative bound is a usage error: {out:?}");
+    let _ = std::fs::remove_file(&tampered);
+}
+
 #[test]
 fn summary_diff_and_timeline_smoke() {
     let sweeps = baseline("BENCH_sweeps.json");

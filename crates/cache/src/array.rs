@@ -165,6 +165,12 @@ pub mod simd {
     }
 }
 
+/// Widest associativity [`CacheArray::probe`] resolves with the plain
+/// scalar bit-walk. L1s are 2–8-way, where the wide compare's slice setup
+/// outweighs a few predicted compares; wider arrays (the 16-way LLC) take
+/// the MRU-hint scalar compare backed by [`simd::eq_mask`].
+const SCALAR_PROBE_MAX_WAYS: u32 = 8;
+
 /// One resident cache line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Line {
@@ -198,6 +204,17 @@ pub struct CacheArray {
     valid: Vec<u64>,
     /// One dirty bitmask word per set.
     dirty: Vec<u64>,
+    /// Most-recently-touched way per set — the replacement policies' MRU
+    /// way, cached O(1) where `TrueLru::mru_way` would rescan timestamps.
+    /// Feeds the hybrid probe's single scalar compare before the wide
+    /// mask on arrays above [`SCALAR_PROBE_MAX_WAYS`]; `u8::MAX` (or a
+    /// stale way with its valid bit since cleared, or a refilled way with
+    /// another tag) simply falls through to the wide compare, so the hint
+    /// can never change a result. Empty for narrow arrays: their scalar
+    /// walk is already ≤ 8 predicted compares, and measuring showed even
+    /// the unconditional hint *store* in `lookup` costs more than the walk
+    /// (it forces per-iteration reloads of the array fields).
+    mru_hint: Vec<u8>,
     repl: Replacement,
 }
 
@@ -220,6 +237,11 @@ impl CacheArray {
             tags: vec![0; (sets * ways as u64) as usize],
             valid: vec![0; sets as usize],
             dirty: vec![0; sets as usize],
+            mru_hint: if ways > SCALAR_PROBE_MAX_WAYS {
+                vec![u8::MAX; sets as usize]
+            } else {
+                Vec::new()
+            },
             repl: replacement.build(sets, ways),
         }
     }
@@ -242,20 +264,65 @@ impl CacheArray {
 
     /// Probe `set` for `line` without updating replacement state.
     ///
-    /// Wide probe: all ways of the set are compared at once via
-    /// [`simd::eq_mask`] and reduced to a hit mask, which is ANDed with
-    /// the set's valid word (invalid slots hold stale tag values and must
-    /// never match). Lines are unique per set, so at most one valid bit
-    /// survives and `trailing_zeros` recovers the hit way.
+    /// Hybrid probe, split by associativity:
+    ///
+    /// - **Narrow** (≤ [`SCALAR_PROBE_MAX_WAYS`], every L1 shape): walk
+    ///   the set bits of the valid word over the contiguous tag slice —
+    ///   at most 8 predicted compares, cheaper than the wide compare's
+    ///   slice setup.
+    /// - **Wide** (the 16-way LLC): the set's cached MRU way gets one
+    ///   scalar compare first — hit-heavy streams re-touch the same line,
+    ///   so most probes resolve without forming the wide mask. On an MRU
+    ///   miss (or a cold/stale hint) all ways are compared at once via
+    ///   [`simd::eq_mask`], reduced to a hit mask, and ANDed with the
+    ///   set's valid word (invalid slots hold stale tag values and must
+    ///   never match).
+    ///
+    /// Lines are unique per set, so at most one valid way can match and
+    /// every path returns the same answer — all three (walk, MRU
+    /// short-circuit, wide mask) are pinned to
+    /// [`CacheArray::probe_scalar`] by the differential property test.
     #[inline]
     pub fn probe(&self, set: u64, line: LineAddr) -> Option<u32> {
         let base = self.base(set);
         let tags = &self.tags[base..base + self.ways as usize];
-        let hits = simd::eq_mask(tags, line.0) & self.valid[set as usize];
+        let valid = self.valid[set as usize];
+        if self.ways <= SCALAR_PROBE_MAX_WAYS {
+            let mut live = valid;
+            while live != 0 {
+                let w = live.trailing_zeros();
+                if tags[w as usize] == line.0 {
+                    return Some(w);
+                }
+                live &= live - 1;
+            }
+            return None;
+        }
+        let mru = u32::from(self.mru_hint[set as usize]);
+        if mru < self.ways && (valid >> mru) & 1 != 0 && tags[mru as usize] == line.0 {
+            return Some(mru);
+        }
+        Self::probe_wide(tags, valid, line)
+    }
+
+    /// The wide-compare arm of [`CacheArray::probe`], out of line so the
+    /// hot narrow-set body stays small enough to inline into callers.
+    #[inline(never)]
+    fn probe_wide(tags: &[u64], valid: u64, line: LineAddr) -> Option<u32> {
+        let hits = simd::eq_mask(tags, line.0) & valid;
         if hits != 0 {
             Some(hits.trailing_zeros())
         } else {
             None
+        }
+    }
+
+    /// Record `way` as `set`'s most-recently-touched way (wide arrays
+    /// only — narrow arrays keep no hint; see [`CacheArray::probe`]).
+    #[inline]
+    fn note_mru(&mut self, set: u64, way: u32) {
+        if self.ways > SCALAR_PROBE_MAX_WAYS {
+            self.mru_hint[set as usize] = way as u8;
         }
     }
 
@@ -287,6 +354,7 @@ impl CacheArray {
     pub fn lookup(&mut self, set: u64, line: LineAddr) -> Option<u32> {
         let way = self.probe(set, line)?;
         self.repl.touch(set, way);
+        self.note_mru(set, way);
         Some(way)
     }
 
@@ -342,6 +410,7 @@ impl CacheArray {
             self.dirty[set as usize] &= !way_bit;
         }
         self.repl.touch(set, way);
+        self.note_mru(set, way);
         (way, evicted)
     }
 
@@ -512,6 +581,31 @@ mod tests {
         a.set_dirty(0, 1);
     }
 
+    #[test]
+    fn stale_mru_hint_never_resurrects_an_invalidated_line() {
+        // The wide-array probe's MRU hint is left stale by invalidate; the
+        // valid-bit guard (and, after a refill into the same way, the tag
+        // compare) must make it fall through to the wide compare. 16 ways
+        // so the hint path (not the narrow scalar walk) is exercised.
+        let mut a = CacheArray::new(CacheGeometry::new(16 << 10, 16), ReplacementKind::Lru);
+        a.fill(LineAddr(0), false);
+        a.fill(LineAddr(16), false);
+        let set = a.home_set(LineAddr(0));
+        let way0 = a.lookup(set, LineAddr(0)).unwrap(); // hint -> way of line 0
+        a.invalidate(LineAddr(0)).unwrap();
+        assert_eq!(a.probe(set, LineAddr(0)), None, "stale hint, valid bit clear");
+        assert_eq!(a.probe(set, LineAddr(16)), a.probe_scalar(set, LineAddr(16)));
+        // Refill a different line; the free-way preference reuses way0,
+        // so the old hint's way is valid again but holds another tag.
+        let (way_new, _) = a.fill_with_way(LineAddr(32), false);
+        assert_eq!(way_new, way0);
+        assert_eq!(a.probe(set, LineAddr(0)), None, "stale hint, tag mismatch");
+        assert_eq!(a.probe(set, LineAddr(32)), Some(way_new));
+        // MRU re-probe resolves through the hint short-circuit.
+        assert_eq!(a.lookup(set, LineAddr(32)), Some(way_new));
+        assert_eq!(a.probe(set, LineAddr(32)), a.probe_scalar(set, LineAddr(32)));
+    }
+
     /// One step of the wide-probe differential driver.
     #[derive(Debug, Clone, Copy)]
     enum ProbeOp {
@@ -538,13 +632,14 @@ mod tests {
         /// host dispatches to) agrees with the scalar bit-walk on every
         /// probe of every set across random fill/evict/invalidate
         /// sequences, for all three replacement kinds. Associativity spans
-        /// 1–8 ways so both the 4-lane chunked compare and the scalar tail
-        /// (ways % 4 ≠ 0) are exercised.
+        /// 1–16 ways so the narrow scalar walk, the 16-way MRU-hint
+        /// short-circuit, and the wide compare (4-lane chunks plus the
+        /// scalar tail) are all exercised.
         #[test]
         fn wide_probe_matches_scalar_walk(
             ops in proptest::collection::vec(probe_op(), 1..200),
             kind_sel in 0u32..3,
-            ways_log2 in 0u32..4,
+            ways_log2 in 0u32..5,
         ) {
             let kind = match kind_sel {
                 0 => ReplacementKind::Lru,

@@ -22,41 +22,8 @@ use crate::outcome::{L1Access, SiptStats, SpeculationOutcome};
 use crate::telemetry::{AccessRecord, BlockTelemetry, L1Telemetry};
 use sipt_cache::{CacheArray, Evicted, LineAddr, WayPredStats, WayPredictor, LINE_SHIFT};
 use sipt_mem::{PageSize, Translation, VirtAddr, PAGE_SHIFT};
-use sipt_predictors::{CounterPredictor, IndexDeltaBuffer, PerceptronPredictor};
+use sipt_predictors::{BlockPredictions, PredictorBank, StagedAccess};
 use sipt_telemetry::SpecEventKind;
-
-/// The bypass predictor behind a SIPT L1: either implementation exposes
-/// the same predict/update pair.
-#[derive(Debug)]
-enum BypassPredictor {
-    Perceptron(PerceptronPredictor),
-    Counter(CounterPredictor),
-}
-
-impl BypassPredictor {
-    fn predict(&mut self, pc: u64) -> bool {
-        match self {
-            BypassPredictor::Perceptron(p) => p.predict(pc),
-            BypassPredictor::Counter(c) => c.predict(pc),
-        }
-    }
-
-    fn update(&mut self, pc: u64, unchanged: bool) {
-        match self {
-            BypassPredictor::Perceptron(p) => p.update(pc, unchanged),
-            BypassPredictor::Counter(c) => c.update(pc, unchanged),
-        }
-    }
-
-    /// Confidence margin of the most recent prediction for `pc` (call
-    /// between `predict` and `update`).
-    fn margin(&self, pc: u64) -> u64 {
-        match self {
-            BypassPredictor::Perceptron(p) => p.last_margin(),
-            BypassPredictor::Counter(c) => c.margin(pc),
-        }
-    }
-}
 
 /// Compile-time selection of an [`L1Policy`].
 ///
@@ -93,13 +60,17 @@ pub mod policy_tags {
 }
 
 /// The SIPT-capable L1 data cache.
+///
+/// All PC-indexed predictor state (bypass perceptron or counter, plus the
+/// IDB) lives in one fused [`PredictorBank`]: each speculative access
+/// hashes the PC once and touches a single interleaved row instead of
+/// chasing three separately-hashed tables.
 #[derive(Debug)]
 pub struct SiptL1 {
     config: L1Config,
     array: CacheArray,
     way_pred: Option<WayPredictor>,
-    bypass: BypassPredictor,
-    idb: IndexDeltaBuffer,
+    bank: PredictorBank,
     stats: SiptStats,
     telemetry: Option<Box<L1Telemetry>>,
 }
@@ -119,15 +90,7 @@ impl SiptL1 {
             way_pred: config
                 .way_prediction
                 .then(|| WayPredictor::new(geometry.sets(), geometry.ways)),
-            bypass: match config.bypass {
-                BypassKind::Perceptron => {
-                    BypassPredictor::Perceptron(PerceptronPredictor::new(config.perceptron))
-                }
-                BypassKind::Counter => {
-                    BypassPredictor::Counter(CounterPredictor::new(config.counter))
-                }
-            },
-            idb: IndexDeltaBuffer::new(config.idb_config()),
+            bank: PredictorBank::new(config.perceptron, config.idb_config(), config.counter),
             config,
             stats: SiptStats::default(),
             telemetry: None,
@@ -203,6 +166,29 @@ impl SiptL1 {
         self.access_impl(P::POLICY, pc, va, translation, tlb_cycles, write)
     }
 
+    /// [`SiptL1::access_mono`] with an optional staged-prediction record
+    /// from a preceding [`SiptL1::stage_block`] sweep. `staged` is a pure
+    /// acceleration hint: the result is bit-identical with or without it
+    /// (pinned by the staging differential tests).
+    #[inline]
+    pub fn access_mono_staged<P: PolicyTag>(
+        &mut self,
+        pc: u64,
+        va: VirtAddr,
+        translation: Translation,
+        tlb_cycles: u64,
+        write: bool,
+        staged: Option<&StagedAccess>,
+    ) -> L1Access {
+        debug_assert_eq!(P::POLICY, self.config.policy, "policy tag must match the configuration");
+        let (access, record) =
+            self.access_core(P::POLICY, pc, va, translation, tlb_cycles, write, staged);
+        if let Some(t) = &mut self.telemetry {
+            t.record(&record);
+        }
+        access
+    }
+
     /// [`SiptL1::access_mono`] for the block-replay kernel's telemetry
     /// block mode: the access is recorded into the caller's block-local
     /// [`BlockTelemetry`] instead of the attached [`L1Telemetry`], which
@@ -210,7 +196,12 @@ impl SiptL1 {
     /// [`SiptL1::flush_block_telemetry`]. Only valid while
     /// [`SiptL1::telemetry_block_eligible`] holds (debug-asserted);
     /// the combination is byte-identical to [`SiptL1::access_mono`].
+    ///
+    /// `staged` optionally carries this access's record from a preceding
+    /// [`SiptL1::stage_block`] sweep; it is a pure acceleration hint —
+    /// the access result is bit-identical with or without it.
     #[inline]
+    #[allow(clippy::too_many_arguments)] // the per-access hot-path signature; grouping would cost a construction per access
     pub fn access_mono_block<P: PolicyTag>(
         &mut self,
         pc: u64,
@@ -218,6 +209,7 @@ impl SiptL1 {
         translation: Translation,
         tlb_cycles: u64,
         write: bool,
+        staged: Option<&StagedAccess>,
         blk: &mut BlockTelemetry,
     ) -> L1Access {
         debug_assert_eq!(P::POLICY, self.config.policy, "policy tag must match the configuration");
@@ -225,9 +217,41 @@ impl SiptL1 {
             self.telemetry_block_eligible(),
             "block-mode access without an eligible telemetry attachment"
         );
-        let (access, record) = self.access_core(P::POLICY, pc, va, translation, tlb_cycles, write);
+        let (access, record) =
+            self.access_core(P::POLICY, pc, va, translation, tlb_cycles, write, staged);
         blk.record(&record);
         access
+    }
+
+    /// Whether [`SiptL1::stage_block`] has anything to precompute for the
+    /// configured policy: staging covers the perceptron + IDB front-end,
+    /// so only perceptron-bypass SIPT policies qualify.
+    pub fn staging_eligible(&self) -> bool {
+        matches!(self.config.policy, L1Policy::SiptBypass | L1Policy::SiptCombined)
+            && self.config.bypass == BypassKind::Perceptron
+    }
+
+    /// Stage a window of a block's memory accesses ahead of the timing
+    /// loop: `pcs` and `unchanged` describe consecutive memory references
+    /// in program order starting at block-level access index `base`
+    /// (`unchanged[k]` = speculative index bits identical between VA and
+    /// PA, as the batched translation pass already knows). The per-access
+    /// records land in `out`, to be passed back through
+    /// [`SiptL1::access_mono_block`]'s `staged` parameter keyed by the
+    /// same block-level index. Read-only on the predictor state — the
+    /// bank must be exactly current at the window start; see
+    /// [`PredictorBank::stage_block`] for the exactness argument.
+    pub fn stage_block(
+        &self,
+        pcs: &[u64],
+        unchanged: &[bool],
+        base: usize,
+        out: &mut BlockPredictions,
+    ) {
+        debug_assert!(self.staging_eligible(), "staging an ineligible policy");
+        let idb_active =
+            self.config.policy == L1Policy::SiptCombined && self.speculative_bits() > 1;
+        self.bank.stage_block(pcs, unchanged, idb_active, base, out);
     }
 
     /// Whether the attached telemetry (if any) can be fed in block mode:
@@ -260,7 +284,8 @@ impl SiptL1 {
         tlb_cycles: u64,
         write: bool,
     ) -> L1Access {
-        let (access, record) = self.access_core(policy, pc, va, translation, tlb_cycles, write);
+        let (access, record) =
+            self.access_core(policy, pc, va, translation, tlb_cycles, write, None);
         if let Some(t) = &mut self.telemetry {
             t.record(&record);
         }
@@ -272,6 +297,7 @@ impl SiptL1 {
     /// record is a handful of register writes and folds away entirely at
     /// call sites that discard it.
     #[inline(always)]
+    #[allow(clippy::too_many_arguments)] // the per-access hot-path signature; grouping would cost a construction per access
     fn access_core(
         &mut self,
         policy: L1Policy,
@@ -280,6 +306,7 @@ impl SiptL1 {
         translation: Translation,
         tlb_cycles: u64,
         write: bool,
+        staged: Option<&StagedAccess>,
     ) -> (L1Access, AccessRecord) {
         let n = self.speculative_bits();
         let va_bits = va.index_bits(n);
@@ -290,6 +317,9 @@ impl SiptL1 {
         // --- speculation decision & classification -----------------------
         // `margin`/`used_idb`/`observed_delta` feed the optional telemetry
         // attachment; they cost a few register writes when it is off.
+        // Each predictor-driven arm funnels through one fused bank entry
+        // (single row hash, predict+train in one call); operation order
+        // and statistics match the historical scalar composition exactly.
         let mut margin = 0u64;
         let mut used_idb = false;
         let mut observed_delta = None;
@@ -306,9 +336,11 @@ impl SiptL1 {
                 va_bits,
             ),
             L1Policy::SiptBypass => {
-                let speculate = self.bypass.predict(pc);
-                margin = self.bypass.margin(pc);
-                self.bypass.update(pc, unchanged);
+                let (speculate, m) = match self.config.bypass {
+                    BypassKind::Perceptron => self.bank.perceptron_access(pc, unchanged, staged),
+                    BypassKind::Counter => self.bank.counter_access(pc, unchanged),
+                };
+                margin = m;
                 let outcome = match (speculate, unchanged) {
                     (true, true) => SpeculationOutcome::CorrectSpeculation,
                     (true, false) => SpeculationOutcome::ExtraAccess,
@@ -318,8 +350,30 @@ impl SiptL1 {
                 (outcome, if speculate { va_bits } else { pa_bits })
             }
             L1Policy::SiptCombined => {
-                let speculate = self.bypass.predict(pc);
-                margin = self.bypass.margin(pc);
+                let want_idb = n > 1;
+                let observed = if want_idb { translation.index_delta(va, n) } else { 0 };
+                let (speculate, delta) = match self.config.bypass {
+                    BypassKind::Perceptron => {
+                        let out =
+                            self.bank.combined_access(pc, unchanged, want_idb, observed, staged);
+                        margin = out.margin;
+                        (out.speculate, out.delta)
+                    }
+                    BypassKind::Counter => {
+                        // The counter and IDB are independent tables, so
+                        // fusing the counter's predict/update around the
+                        // IDB operations commutes with the historical
+                        // interleaving.
+                        let (speculate, m) = self.bank.counter_access(pc, unchanged);
+                        margin = m;
+                        let delta =
+                            if !speculate && want_idb { self.bank.idb_predict(pc) } else { 0 };
+                        if want_idb {
+                            self.bank.idb_update(pc, observed);
+                        }
+                        (speculate, delta)
+                    }
+                };
                 used_idb = !speculate;
                 let bits = if speculate {
                     va_bits
@@ -327,14 +381,10 @@ impl SiptL1 {
                     // Reversed bypass prediction: flip the single bit.
                     va_bits ^ 1
                 } else {
-                    let delta = self.idb.predict(pc);
-                    self.idb.apply(va_bits, delta)
+                    self.bank.idb_apply(va_bits, delta)
                 };
-                self.bypass.update(pc, unchanged);
-                if n > 1 {
-                    let observed = translation.index_delta(va, n);
+                if want_idb {
                     observed_delta = Some(observed);
-                    self.idb.update(pc, observed);
                 }
                 let outcome = if speculate {
                     if unchanged {

@@ -1,0 +1,185 @@
+//! Differential tests for the engines' run fast-forward
+//! (`step_run`): stepping a stream one instruction at a time must be
+//! bit-identical to feeding its non-memory runs through `step_run`,
+//! under every observable — final counts *and* the cycle at which every
+//! memory access is issued (which exposes the register/port/retire state
+//! the fast path advances in closed form).
+
+use proptest::prelude::*;
+use sipt_cpu::*;
+
+/// One synthetic instruction: packed meta plus the latency its memory
+/// access (if any) will report.
+#[derive(Debug, Clone, Copy)]
+struct SynthInst {
+    meta: u32,
+    mem_latency: u64,
+    port_slots: u32,
+}
+
+/// One instruction biased toward the shapes that matter: long ALU runs
+/// with disjoint registers (fast-forwardable), tight dependence chains
+/// (RAW fallback), and occasional long-latency loads that push
+/// retirement far ahead of fetch — the state in which the fast path
+/// actually fires.
+fn inst_strategy() -> impl Strategy<Value = SynthInst> {
+    (
+        (0u8..8, 0u8..4, 1u32..=2), // shape selector, latency selector, port slots
+        (
+            proptest::option::of(0u8..64),       // dst
+            proptest::option::of(0u8..64),       // src0
+            proptest::option::of(0u8..64),       // src1
+            proptest::option::of(any::<bool>()), // mem: None | Some(is_store)
+            1u64..=8,                            // exec latency
+        ),
+    )
+        .prop_map(|((shape, lsel, port_slots), (dst, s0, s1, mem, lat))| {
+            let inst = match shape {
+                // Arbitrary mix, memory included.
+                0..=3 => Inst {
+                    pc: 0x1000,
+                    dst,
+                    srcs: [s0, s1],
+                    mem: mem.map(|is_store| MemRef {
+                        op: if is_store { MemOp::Store } else { MemOp::Load },
+                        va: sipt_mem::VirtAddr::new(0x10_0000),
+                    }),
+                    exec_latency: lat,
+                },
+                // Dense ALU filler with disjoint registers: RAW-free runs.
+                4..=6 => {
+                    let r = s0.unwrap_or(0) % 8;
+                    let mut i = Inst::alu(0x2000, 32 + r, [Some(r), None]);
+                    i.exec_latency = 1 + lat % 3;
+                    i
+                }
+                // Tight dependence chain: reads a just-written register.
+                _ => Inst::alu(0x3000, 5, [Some(5), None]),
+            };
+            let mem_latency = [2u64, 4, 40, 300][lsel as usize];
+            SynthInst { meta: pack_inst_meta(&inst), mem_latency, port_slots }
+        })
+}
+
+fn stream_strategy() -> impl Strategy<Value = Vec<SynthInst>> {
+    proptest::collection::vec(inst_strategy(), 0..400)
+}
+
+/// Replay `stream` on both engine variants. `runs = false` steps every
+/// instruction; `runs = true` batches maximal non-memory runs through
+/// `step_run`. Returns the final counts and every memory issue cycle.
+fn replay_ooo(stream: &[SynthInst], runs: bool) -> (CoreResult, Vec<u64>) {
+    let mut engine = OooEngine::new(OooConfig::default());
+    let mut issued = Vec::new();
+    let mut i = 0;
+    while i < stream.len() {
+        if runs && !meta_has_mem(stream[i].meta) {
+            let start = i;
+            while i < stream.len() && !meta_has_mem(stream[i].meta) {
+                i += 1;
+            }
+            let metas: Vec<u32> = stream[start..i].iter().map(|s| s.meta).collect();
+            engine.step_run(&metas);
+            continue;
+        }
+        let s = stream[i];
+        let (dst, srcs, mem_store, lat) = unpack_meta_fields(s.meta);
+        engine.step(dst, srcs, mem_store, lat, |now| {
+            issued.push(now);
+            MemResponse { latency: s.mem_latency, port_slots: s.port_slots }
+        });
+        i += 1;
+    }
+    (engine.finish(), issued)
+}
+
+fn replay_inorder(stream: &[SynthInst], runs: bool) -> (CoreResult, Vec<u64>) {
+    let mut engine = InOrderEngine::new(InOrderConfig::default());
+    let mut issued = Vec::new();
+    let mut i = 0;
+    while i < stream.len() {
+        if runs && !meta_has_mem(stream[i].meta) {
+            let start = i;
+            while i < stream.len() && !meta_has_mem(stream[i].meta) {
+                i += 1;
+            }
+            let metas: Vec<u32> = stream[start..i].iter().map(|s| s.meta).collect();
+            engine.step_run(&metas);
+            continue;
+        }
+        let s = stream[i];
+        let (dst, srcs, mem_store, lat) = unpack_meta_fields(s.meta);
+        engine.step(dst, srcs, mem_store, lat, |now| {
+            issued.push(now);
+            MemResponse { latency: s.mem_latency, port_slots: s.port_slots }
+        });
+        i += 1;
+    }
+    (engine.finish(), issued)
+}
+
+proptest! {
+    #[test]
+    fn ooo_step_run_matches_per_inst(stream in stream_strategy()) {
+        let (a, ia) = replay_ooo(&stream, false);
+        let (b, ib) = replay_ooo(&stream, true);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(ia, ib);
+    }
+
+    #[test]
+    fn inorder_step_run_matches_per_inst(stream in stream_strategy()) {
+        let (a, ia) = replay_inorder(&stream, false);
+        let (b, ib) = replay_inorder(&stream, true);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(ia, ib);
+    }
+}
+
+/// The canonical fast-path scenario — a DRAM-class miss pushing
+/// retirement hundreds of cycles ahead of an ALU stream beneath it —
+/// must stay bit-identical (and the post-run load exposes any drift in
+/// register/retire/fetch state).
+#[test]
+fn post_miss_alu_run_is_exact() {
+    let mut stream = vec![SynthInst {
+        meta: pack_inst_meta(&Inst::load(0x10, 1, None, sipt_mem::VirtAddr::new(0x1000))),
+        mem_latency: 400,
+        port_slots: 1,
+    }];
+    for i in 0..300u64 {
+        let mut inst = Inst::alu(0x100 + i, (8 + (i % 16)) as u8, [Some((i % 8) as u8), None]);
+        inst.exec_latency = 1 + i % 3;
+        stream.push(SynthInst { meta: pack_inst_meta(&inst), mem_latency: 2, port_slots: 1 });
+    }
+    stream.push(SynthInst {
+        meta: pack_inst_meta(&Inst::load(0x20, 2, Some(17), sipt_mem::VirtAddr::new(0x2000))),
+        mem_latency: 2,
+        port_slots: 1,
+    });
+    let (a, ia) = replay_ooo(&stream, false);
+    let (b, ib) = replay_ooo(&stream, true);
+    assert_eq!(a, b);
+    assert_eq!(ia, ib);
+    let (a, ia) = replay_inorder(&stream, false);
+    let (b, ib) = replay_inorder(&stream, true);
+    assert_eq!(a, b);
+    assert_eq!(ia, ib);
+}
+
+/// Chunking boundary: runs longer than the ROB must still be exact.
+#[test]
+fn run_longer_than_rob_is_exact() {
+    let mut stream = Vec::new();
+    for i in 0..1000u64 {
+        stream.push(SynthInst {
+            meta: pack_inst_meta(&Inst::alu(0x100 + i, (i % 64) as u8, [None, None])),
+            mem_latency: 2,
+            port_slots: 1,
+        });
+    }
+    let (a, ia) = replay_ooo(&stream, false);
+    let (b, ib) = replay_ooo(&stream, true);
+    assert_eq!(a, b);
+    assert_eq!(ia, ib);
+}

@@ -1,0 +1,723 @@
+//! The fused predictor bank: perceptron + IDB + counter in one
+//! plane-interleaved SoA, plus the block-staged front-end.
+//!
+//! The three scalar predictors ([`PerceptronPredictor`],
+//! [`IndexDeltaBuffer`], [`CounterPredictor`]) are all PC-indexed tables
+//! that the combined SIPT policy hashes and chases independently on every
+//! access: two xor-folded row hashes for the perceptron (predict *and*
+//! update re-hash), one more for the IDB predict, another for the IDB
+//! update, and separate heap allocations whose rows never share a cache
+//! line. [`PredictorBank`] merges them into a single row-major plane:
+//!
+//! ```text
+//! row r (stride = (h+3).next_power_of_two() i32 slots; h=12 → 16 = 64 B):
+//!   [ w0 w1 … wh | idb | ctr | pad ]
+//!     perceptron   §VI   §V-alt
+//! ```
+//!
+//! One shared xor-fold (`pc ^ (pc >> 6)`) feeds the perceptron and IDB
+//! row masks (the counter keeps its historical raw-PC index so the
+//! ablation goldens are untouched), each fused access entry hashes once
+//! and touches one cache line, and predict/update pairs run in a single
+//! call so the row offset is never recomputed. Every entry point is
+//! bit-identical — decisions, margins, *and* statistics — to the scalar
+//! composition in the order the SIPT L1 invokes it; the scalar types are
+//! retained as differential oracles (`tests/bank_differential.rs`).
+//!
+//! # Block staging
+//!
+//! [`PredictorBank::stage_block`] sweeps a block's packed `pc[]` array
+//! *before* the timing loop: it computes row indices, perceptron
+//! dot-products (reusing the const-generic h=12 unroll over the
+//! contiguous weight plane), and IDB delta peeks into a per-block scratch
+//! ([`BlockPredictions`]), so the in-loop path collapses to a load plus a
+//! branchless select with the training deferred to the fused update.
+//!
+//! Staging is exact, not heuristic, because every input the predictors
+//! consume is known before the timing loop runs:
+//!
+//! - the *outcome* stream (`unchanged` per access) derives from the
+//!   block's pre-batched translations, never from timing;
+//! - the global history therefore evolves deterministically during the
+//!   sweep (`update` shifts it on **every** access, trained or not), so
+//!   each staged dot-product uses the exact history its access will see;
+//! - only *weight mutations* (trainings) can invalidate a staged row.
+//!   `stage_block` emits per-row generation stamps: a row is stamped as
+//!   soon as an earlier access in the block trains it — or *may* train it
+//!   (an access whose own row was already stamped has an unknowable
+//!   `y`, so its training decision is unknowable too and its row is
+//!   stamped conservatively). The hot loop falls back to the scalar
+//!   dot-product on stamp mismatch, which is always correct.
+//!
+//! The same stamping guards IDB peeks: every IDB update (unconditional
+//! when the combined policy runs with >1 speculative bit) stamps its row,
+//! so a staged peek is used only when no earlier access in the block
+//! could have rewritten the entry.
+
+use crate::counter::CounterConfig;
+use crate::idb::{IdbConfig, IdbStats};
+use crate::perceptron::{PerceptronConfig, PerceptronPredictor, PerceptronStats};
+
+/// One staged memory access: the precomputed rows, dot-product, and IDB
+/// peek [`PredictorBank::stage_block`] derived before the timing loop.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StagedAccess {
+    /// Perceptron sum from the staged sweep (valid iff
+    /// [`StagedAccess::P_VALID`]).
+    pub y: i32,
+    /// Perceptron row index (always valid — row hashing is stateless).
+    pub prow: u32,
+    /// IDB row index (always valid).
+    pub irow: u32,
+    /// Staged IDB delta (meaningful iff [`StagedAccess::I_VALID`] and
+    /// [`StagedAccess::I_PRESENT`]).
+    pub delta: u16,
+    /// Validity flags ([`StagedAccess::P_VALID`] | [`StagedAccess::I_VALID`]
+    /// | [`StagedAccess::I_PRESENT`]).
+    pub flags: u8,
+}
+
+impl StagedAccess {
+    /// The staged perceptron sum is valid: no earlier access in the block
+    /// trained (or may have trained) this row.
+    pub const P_VALID: u8 = 1 << 0;
+    /// The staged IDB peek is valid: no earlier access in the block
+    /// updated this IDB row.
+    pub const I_VALID: u8 = 1 << 1;
+    /// The staged IDB entry was populated (cold entries predict delta 0).
+    pub const I_PRESENT: u8 = 1 << 2;
+}
+
+/// Per-block scratch for staged predictions: one [`StagedAccess`] per
+/// memory access plus the per-row generation stamps. Reused across blocks
+/// (the stamp arrays are epoch-tagged, so re-staging never clears them).
+#[derive(Debug, Default)]
+pub struct BlockPredictions {
+    entries: Vec<StagedAccess>,
+    pgen: Vec<u32>,
+    igen: Vec<u32>,
+    epoch: u32,
+    /// Block-level index of the first staged access: the consumer indexes
+    /// [`BlockPredictions::get`] with its running memory-access counter,
+    /// and windowed staging re-stages a bounded slice at a time (keeping
+    /// the scratch L1-cache-resident) rather than the whole block.
+    base: usize,
+    active: bool,
+}
+
+impl BlockPredictions {
+    /// Empty, inactive scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reset for a new staged window over a bank with `rows` rows.
+    fn begin(&mut self, rows: usize, base: usize) {
+        self.entries.clear();
+        self.base = base;
+        self.active = false;
+        if self.pgen.len() != rows {
+            self.pgen = vec![0; rows];
+            self.igen = vec![0; rows];
+            self.epoch = 0;
+        }
+        if self.epoch == u32::MAX {
+            self.pgen.fill(0);
+            self.igen.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    /// The staged record for the block's `k`-th memory access, or `None`
+    /// when staging is inactive (disabled policy/knob) or `k` falls
+    /// outside the currently staged window.
+    #[inline]
+    pub fn get(&self, k: usize) -> Option<&StagedAccess> {
+        if self.active {
+            self.entries.get(k.wrapping_sub(self.base))
+        } else {
+            None
+        }
+    }
+
+    /// Whether the scratch holds staged predictions for the current block.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Number of staged accesses in the current block.
+    pub fn len(&self) -> usize {
+        if self.active {
+            self.entries.len()
+        } else {
+            0
+        }
+    }
+
+    /// Whether no staged predictions are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop any staged predictions (ineligible policy or knob off).
+    pub fn deactivate(&mut self) {
+        self.active = false;
+        self.entries.clear();
+    }
+}
+
+/// The outcome of one fused combined-policy access (perceptron bypass +
+/// IDB), mirroring exactly what the SIPT L1's `SiptCombined` arm needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CombinedOutcome {
+    /// Bypass prediction: speculate with the virtual index bits.
+    pub speculate: bool,
+    /// Confidence margin `|y|` of the bypass prediction.
+    pub margin: u64,
+    /// IDB-predicted delta — meaningful only when the IDB was consulted
+    /// (`!speculate` and the caller passed `want_idb`); 0 otherwise.
+    pub delta: u64,
+}
+
+/// The fused, plane-interleaved predictor bank. See the module docs.
+#[derive(Debug, Clone)]
+pub struct PredictorBank {
+    pcfg: PerceptronConfig,
+    icfg: IdbConfig,
+    ccfg: CounterConfig,
+    // Derived constants cached out of the per-access path, as the scalar
+    // predictors do.
+    theta: i32,
+    min_w: i32,
+    max_w: i32,
+    cmax: i32,
+    cthresh: i32,
+    imask: u64,
+    /// Row stride in i32 slots: `(history + 3).next_power_of_two()`, so a
+    /// default row (13 weights + IDB + counter) is exactly one 64-byte
+    /// line.
+    stride: usize,
+    /// Stride offset of the IDB slot (`history + 1`).
+    islot: usize,
+    /// Stride offset of the counter slot (`history + 2`).
+    cslot: usize,
+    /// `rows × stride`, rows = max entries over the three planes.
+    plane: Vec<i32>,
+    history: u64,
+    last_y: i32,
+    stats: PerceptronStats,
+    istats: IdbStats,
+}
+
+impl PredictorBank {
+    /// Build a bank holding all three predictor planes.
+    ///
+    /// # Panics
+    ///
+    /// Same validity domain as the scalar constructors: every
+    /// `entries` is positive, perceptron `history` ≤ 63, IDB delta
+    /// width 1–16 bits, counter width 1–8 bits.
+    pub fn new(pcfg: PerceptronConfig, icfg: IdbConfig, ccfg: CounterConfig) -> Self {
+        assert!(pcfg.entries > 0, "need at least one perceptron");
+        assert!(pcfg.history <= 63, "history must fit a u64");
+        assert!(icfg.entries > 0, "need at least one entry");
+        assert!(icfg.bits > 0 && icfg.bits <= 16, "delta width must be 1–16 bits");
+        assert!(ccfg.entries > 0, "need at least one counter");
+        assert!((1..=8).contains(&ccfg.bits), "counter width must be 1–8 bits");
+        let h = pcfg.history;
+        let stride = (h + 3).next_power_of_two();
+        let rows = pcfg.entries.max(icfg.entries).max(ccfg.entries);
+        let mut plane = vec![0i32; rows * stride];
+        let weakly_taken = 1i32 << (ccfg.bits - 1);
+        for r in 0..rows {
+            // IDB cold sentinel (-1 never collides with a masked delta)
+            // and the counter's weakly-speculate reset state.
+            plane[r * stride + h + 1] = -1;
+            plane[r * stride + h + 2] = weakly_taken;
+        }
+        let max_w = (1i32 << (pcfg.weight_bits - 1)) - 1;
+        Self {
+            theta: pcfg.theta(),
+            min_w: -max_w - 1,
+            max_w,
+            cmax: ((1u32 << ccfg.bits) - 1) as i32,
+            cthresh: 1i32 << (ccfg.bits - 1),
+            imask: (1u64 << icfg.bits) - 1,
+            stride,
+            islot: h + 1,
+            cslot: h + 2,
+            plane,
+            pcfg,
+            icfg,
+            ccfg,
+            history: 0,
+            last_y: 0,
+            stats: PerceptronStats::default(),
+            istats: IdbStats::default(),
+        }
+    }
+
+    /// The perceptron configuration in force.
+    pub fn perceptron_config(&self) -> &PerceptronConfig {
+        &self.pcfg
+    }
+
+    /// The IDB configuration in force.
+    pub fn idb_config(&self) -> &IdbConfig {
+        &self.icfg
+    }
+
+    /// The counter configuration in force.
+    pub fn counter_config(&self) -> &CounterConfig {
+        &self.ccfg
+    }
+
+    /// Rows in the interleaved plane (max entries over the three tables).
+    pub fn rows(&self) -> usize {
+        self.plane.len() / self.stride
+    }
+
+    /// The shared xor-fold both folded planes key on (see
+    /// `PerceptronPredictor::row` for why raw PCs alias).
+    #[inline]
+    fn fold(pc: u64) -> u64 {
+        pc ^ (pc >> 6)
+    }
+
+    /// Map a folded (or raw, for the counter) PC onto a table of
+    /// `entries` rows — mask when power-of-two, modulo otherwise,
+    /// identical to each scalar predictor's `row`.
+    #[inline]
+    fn table_row(key: u64, entries: usize) -> usize {
+        if entries.is_power_of_two() {
+            (key as usize) & (entries - 1)
+        } else {
+            (key as usize) % entries
+        }
+    }
+
+    #[inline]
+    fn prow(&self, folded: u64) -> usize {
+        Self::table_row(folded, self.pcfg.entries)
+    }
+
+    #[inline]
+    fn irow(&self, folded: u64) -> usize {
+        Self::table_row(folded, self.icfg.entries)
+    }
+
+    #[inline]
+    fn crow(&self, pc: u64) -> usize {
+        // Historical raw-PC index (no fold) — the counter ablation goldens
+        // pin this.
+        Self::table_row(pc, self.ccfg.entries)
+    }
+
+    /// `y = w0 + Σ xi·wi` over the row starting at `base`, with an
+    /// explicit history (the staged sweep passes the simulated evolving
+    /// history; live paths pass `self.history`).
+    #[inline]
+    fn dot_at(&self, base: usize, history: u64) -> i32 {
+        let h = self.pcfg.history;
+        let w = &self.plane[base..base + h + 1];
+        match h {
+            12 => PerceptronPredictor::dot_n::<12>(w, history),
+            _ => {
+                let mut y = w[0];
+                for (i, &wi) in w.iter().enumerate().skip(1) {
+                    let m = (((history >> (i - 1)) & 1) as i32).wrapping_sub(1);
+                    y += (wi ^ m) - m;
+                }
+                y
+            }
+        }
+    }
+
+    /// The perceptron update half: train iff mispredicted or under θ,
+    /// then shift the outcome into the global history — identical to
+    /// `PerceptronPredictor::update` with the row already in hand.
+    #[inline]
+    fn train(&mut self, prow: usize, y: i32, unchanged: bool) {
+        let t: i32 = if unchanged { 1 } else { -1 };
+        if (y >= 0) != unchanged || y.abs() <= self.theta {
+            self.stats.trainings += 1;
+            let (min_w, max_w) = (self.min_w, self.max_w);
+            let h = self.pcfg.history;
+            let base = prow * self.stride;
+            let w = &mut self.plane[base..base + h + 1];
+            match h {
+                12 => PerceptronPredictor::train_n::<12>(w, self.history, t, min_w, max_w),
+                _ => {
+                    w[0] = (w[0] + t).clamp(min_w, max_w);
+                    let history = self.history;
+                    for (i, wi) in w.iter_mut().enumerate().skip(1) {
+                        let m = (((history >> (i - 1)) & 1) as i32).wrapping_sub(1);
+                        let delta = (t ^ m) - m;
+                        *wi = (*wi + delta).clamp(min_w, max_w);
+                    }
+                }
+            }
+        }
+        self.history = (self.history << 1) | u64::from(unchanged);
+    }
+
+    /// Resolve the perceptron row and sum for one access: from the staged
+    /// record when its stamp is still valid, else a live dot-product
+    /// (reusing the staged row index when available — hashing is the only
+    /// thing a stale stamp cannot invalidate).
+    #[inline]
+    fn resolve_y(&self, pc: u64, staged: Option<&StagedAccess>) -> (usize, i32) {
+        match staged {
+            Some(s) if s.flags & StagedAccess::P_VALID != 0 => (s.prow as usize, s.y),
+            Some(s) => {
+                let prow = s.prow as usize;
+                (prow, self.dot_at(prow * self.stride, self.history))
+            }
+            None => {
+                let prow = self.prow(Self::fold(pc));
+                (prow, self.dot_at(prow * self.stride, self.history))
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Fused per-access entry points
+    // -----------------------------------------------------------------
+
+    /// One perceptron bypass access: predict + margin + train in a single
+    /// call with one row hash. Equivalent to the scalar sequence
+    /// `predict(pc); last_margin(); update(pc, unchanged)` — including
+    /// statistics. Returns `(speculate, margin)`.
+    pub fn perceptron_access(
+        &mut self,
+        pc: u64,
+        unchanged: bool,
+        staged: Option<&StagedAccess>,
+    ) -> (bool, u64) {
+        let (prow, y) = self.resolve_y(pc, staged);
+        self.stats.predictions += 1;
+        self.last_y = y;
+        let speculate = y >= 0;
+        self.train(prow, y, unchanged);
+        (speculate, u64::from(y.unsigned_abs()))
+    }
+
+    /// One counter bypass access: predict + margin + update with a single
+    /// row hash and plane load. Equivalent to the scalar sequence
+    /// `predict(pc); margin(pc); update(pc, unchanged)`. Returns
+    /// `(speculate, margin)`.
+    pub fn counter_access(&mut self, pc: u64, unchanged: bool) -> (bool, u64) {
+        let slot = self.crow(pc) * self.stride + self.cslot;
+        let c = self.plane[slot];
+        let speculate = c >= self.cthresh;
+        let margin =
+            if speculate { (c - self.cthresh) as u64 } else { (self.cthresh - 1 - c) as u64 };
+        self.plane[slot] = if unchanged { (c + 1).min(self.cmax) } else { (c - 1).max(0) };
+        (speculate, margin)
+    }
+
+    /// One fused combined-policy access (perceptron bypass + IDB): the
+    /// exact operation order of the scalar composition in the SIPT L1's
+    /// `SiptCombined` arm — bypass predict, IDB predict (only when the
+    /// bypass said wait *and* the caller wants the IDB), bypass train,
+    /// IDB update (when `want_idb`) — with the shared fold hashed once
+    /// and, in the default configuration, every plane touch on one cache
+    /// line. `observed` is the resolved index delta (ignored unless
+    /// `want_idb`).
+    pub fn combined_access(
+        &mut self,
+        pc: u64,
+        unchanged: bool,
+        want_idb: bool,
+        observed: u64,
+        staged: Option<&StagedAccess>,
+    ) -> CombinedOutcome {
+        let (prow, irow, y) = match staged {
+            Some(s) => {
+                let prow = s.prow as usize;
+                let y = if s.flags & StagedAccess::P_VALID != 0 {
+                    s.y
+                } else {
+                    self.dot_at(prow * self.stride, self.history)
+                };
+                (prow, s.irow as usize, y)
+            }
+            None => {
+                let folded = Self::fold(pc);
+                let prow = self.prow(folded);
+                (prow, self.irow(folded), self.dot_at(prow * self.stride, self.history))
+            }
+        };
+        self.stats.predictions += 1;
+        self.last_y = y;
+        let speculate = y >= 0;
+        let margin = u64::from(y.unsigned_abs());
+
+        let islot = irow * self.stride + self.islot;
+        let mut delta = 0u64;
+        if !speculate && want_idb {
+            // Staged peeks carry the entry contents; a stale stamp falls
+            // back to the live slot. Statistics match `IndexDeltaBuffer::
+            // predict` in either case.
+            let v = match staged {
+                Some(s) if s.flags & StagedAccess::I_VALID != 0 => {
+                    if s.flags & StagedAccess::I_PRESENT != 0 {
+                        i32::from(s.delta)
+                    } else {
+                        -1
+                    }
+                }
+                _ => self.plane[islot],
+            };
+            if v >= 0 {
+                self.istats.predictions += 1;
+                delta = v as u64;
+            } else {
+                self.istats.cold += 1;
+            }
+        }
+
+        self.train(prow, y, unchanged);
+
+        if want_idb {
+            let obs = (observed & self.imask) as i32;
+            let v = self.plane[islot];
+            if v != obs {
+                if v >= 0 {
+                    self.istats.delta_changes += 1;
+                }
+                self.plane[islot] = obs;
+            }
+        }
+        CombinedOutcome { speculate, margin, delta }
+    }
+
+    // -----------------------------------------------------------------
+    // Standalone IDB operations (counter-bypass combined configs and the
+    // differential oracles use these; semantics match IndexDeltaBuffer)
+    // -----------------------------------------------------------------
+
+    /// Predicted delta for `pc` (0 when cold), counting statistics like
+    /// `IndexDeltaBuffer::predict`.
+    pub fn idb_predict(&mut self, pc: u64) -> u64 {
+        let v = self.plane[self.irow(Self::fold(pc)) * self.stride + self.islot];
+        if v >= 0 {
+            self.istats.predictions += 1;
+            v as u64
+        } else {
+            self.istats.cold += 1;
+            0
+        }
+    }
+
+    /// Record an observed delta, like `IndexDeltaBuffer::update`.
+    pub fn idb_update(&mut self, pc: u64, observed_delta: u64) {
+        let slot = self.irow(Self::fold(pc)) * self.stride + self.islot;
+        let obs = (observed_delta & self.imask) as i32;
+        let v = self.plane[slot];
+        if v != obs {
+            if v >= 0 {
+                self.istats.delta_changes += 1;
+            }
+            self.plane[slot] = obs;
+        }
+    }
+
+    /// `(bits + delta) mod 2^n` — the carry-free add of paper Fig 11.
+    pub fn idb_apply(&self, va_index_bits: u64, delta: u64) -> u64 {
+        (va_index_bits + delta) & self.imask
+    }
+
+    /// Stored delta for `pc` without touching statistics.
+    pub fn idb_peek(&self, pc: u64) -> Option<u64> {
+        let v = self.plane[self.irow(Self::fold(pc)) * self.stride + self.islot];
+        (v >= 0).then_some(v as u64)
+    }
+
+    /// Confidence margin `|y|` of the most recent perceptron access.
+    pub fn last_margin(&self) -> u64 {
+        u64::from(self.last_y.unsigned_abs())
+    }
+
+    /// Perceptron statistics snapshot (oracle parity with
+    /// `PerceptronPredictor::stats`).
+    pub fn perceptron_stats(&self) -> PerceptronStats {
+        self.stats
+    }
+
+    /// IDB statistics snapshot (oracle parity with
+    /// `IndexDeltaBuffer::stats`).
+    pub fn idb_stats(&self) -> IdbStats {
+        self.istats
+    }
+
+    // -----------------------------------------------------------------
+    // Block staging
+    // -----------------------------------------------------------------
+
+    /// Stage a window of accesses before the timing loop: for each
+    /// `(pc, unchanged)` pair, precompute row indices, the perceptron
+    /// dot-product against the exactly-simulated evolving history, and an
+    /// IDB peek, with per-row generation stamps bounding each staged
+    /// value's validity (see the module docs for the invalidation rules).
+    /// `idb_active` must be true iff the consuming policy will update the
+    /// IDB on every access (combined policy with >1 speculative bit).
+    /// `base` is the block-level index of `pcs[0]` — the consumer's
+    /// [`BlockPredictions::get`] key for the first staged access; windowed
+    /// callers re-stage bounded slices mid-block (with the bank state
+    /// exactly current at each window start) so the scratch stays cache-
+    /// resident and stamps only need to cover within-window trainings.
+    ///
+    /// Read-only on the bank; all mutation stays in the timing loop, so a
+    /// staged window can always fall back to the scalar path mid-block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pcs` and `unchanged` lengths differ.
+    pub fn stage_block(
+        &self,
+        pcs: &[u64],
+        unchanged: &[bool],
+        idb_active: bool,
+        base: usize,
+        out: &mut BlockPredictions,
+    ) {
+        assert_eq!(pcs.len(), unchanged.len(), "one outcome per staged access");
+        out.begin(self.rows(), base);
+        out.entries.reserve(pcs.len());
+        let epoch = out.epoch;
+        let mut hist = self.history;
+        for (&pc, &un) in pcs.iter().zip(unchanged) {
+            let folded = Self::fold(pc);
+            let prow = self.prow(folded);
+            let irow = self.irow(folded);
+            let p_valid = out.pgen[prow] != epoch;
+            // Only compute the dot-product when the hot loop can actually
+            // consume it: a stamped row's staged sum is dead on arrival,
+            // and — because an access whose own sum is unknowable must
+            // stamp conservatively — a stamped row *stays* stamped for the
+            // rest of the block. This bounds the staged dot work to the
+            // accesses the timing loop would otherwise recompute live.
+            let mut y = 0i32;
+            if p_valid {
+                y = self.dot_at(prow * self.stride, hist);
+                // An access trains when it mispredicts or lands under θ.
+                if ((y >= 0) != un) || y.abs() <= self.theta {
+                    out.pgen[prow] = epoch;
+                }
+            }
+            let i_valid = out.igen[irow] != epoch;
+            let slot = if i_valid { self.plane[irow * self.stride + self.islot] } else { -1 };
+            if idb_active {
+                out.igen[irow] = epoch;
+            }
+            let mut flags = 0u8;
+            flags |= u8::from(p_valid) * StagedAccess::P_VALID;
+            flags |= u8::from(i_valid) * StagedAccess::I_VALID;
+            flags |= u8::from(slot >= 0) * StagedAccess::I_PRESENT;
+            out.entries.push(StagedAccess {
+                y,
+                prow: prow as u32,
+                irow: irow as u32,
+                delta: slot.max(0) as u16,
+                flags,
+            });
+            hist = (hist << 1) | u64::from(un);
+        }
+        out.active = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_row_is_one_cache_line() {
+        let bank = PredictorBank::new(
+            PerceptronConfig::default(),
+            IdbConfig::default(),
+            CounterConfig::default(),
+        );
+        assert_eq!(bank.stride, 16, "h=12 rows must pack into 64 bytes");
+        assert_eq!(bank.rows(), 64);
+    }
+
+    #[test]
+    fn counter_plane_keeps_raw_pc_indexing() {
+        let mut bank = PredictorBank::new(
+            PerceptronConfig::default(),
+            IdbConfig::default(),
+            CounterConfig::default(),
+        );
+        // PCs 0x40 and 0x41 fold to different perceptron rows but the
+        // counter must alias them exactly as the scalar table does:
+        // raw pc & 63.
+        let (_, m0) = bank.counter_access(0x1040, false);
+        let (s1, _) = bank.counter_access(0x2040, false);
+        assert_eq!(m0, 0);
+        assert!(!s1, "0x2040 aliases 0x1040 in the raw-PC counter plane");
+    }
+
+    #[test]
+    fn staged_block_matches_live_replay() {
+        let pcs: Vec<u64> = (0..64u64).map(|i| 0x400100 + 4 * (i % 24)).collect();
+        let outcomes: Vec<bool> = (0..64u64).map(|i| i % 3 != 0).collect();
+        let mut live = PredictorBank::new(
+            PerceptronConfig::default(),
+            IdbConfig::default(),
+            CounterConfig::default(),
+        );
+        let mut staged_bank = live.clone();
+        let mut preds = BlockPredictions::new();
+        staged_bank.stage_block(&pcs, &outcomes, true, 0, &mut preds);
+        for (k, (&pc, &un)) in pcs.iter().zip(&outcomes).enumerate() {
+            let a = live.combined_access(pc, un, true, u64::from(un), None);
+            let b = staged_bank.combined_access(pc, un, true, u64::from(un), preds.get(k));
+            assert_eq!(a, b, "access {k}");
+        }
+        assert_eq!(live.perceptron_stats(), staged_bank.perceptron_stats());
+        assert_eq!(live.idb_stats(), staged_bank.idb_stats());
+        assert_eq!(live.plane, staged_bank.plane);
+        assert_eq!(live.history, staged_bank.history);
+    }
+
+    #[test]
+    fn stamps_invalidate_same_row_reuse() {
+        // Two accesses to the same (cold) row inside one block: the first
+        // trains (|y| = 0 ≤ θ), so the second's staged sum must be
+        // stamped invalid.
+        let bank = PredictorBank::new(
+            PerceptronConfig::default(),
+            IdbConfig::default(),
+            CounterConfig::default(),
+        );
+        let mut preds = BlockPredictions::new();
+        bank.stage_block(&[0x10, 0x10], &[true, true], true, 0, &mut preds);
+        let first = preds.get(0).unwrap();
+        let second = preds.get(1).unwrap();
+        assert!(first.flags & StagedAccess::P_VALID != 0);
+        assert_eq!(first.flags & StagedAccess::I_VALID, StagedAccess::I_VALID);
+        assert_eq!(second.flags & StagedAccess::P_VALID, 0, "first access trained the row");
+        assert_eq!(second.flags & StagedAccess::I_VALID, 0, "first access updated the IDB row");
+    }
+
+    #[test]
+    fn inactive_predictions_return_nothing() {
+        let mut preds = BlockPredictions::new();
+        assert!(preds.get(0).is_none());
+        assert!(preds.is_empty());
+        let bank = PredictorBank::new(
+            PerceptronConfig::default(),
+            IdbConfig::default(),
+            CounterConfig::default(),
+        );
+        bank.stage_block(&[0x10], &[true], false, 0, &mut preds);
+        assert!(preds.is_active());
+        assert_eq!(preds.len(), 1);
+        preds.deactivate();
+        assert!(preds.get(0).is_none());
+    }
+}

@@ -150,7 +150,7 @@ impl PerceptronPredictor {
     /// `H` is the compile-time history length so the default
     /// configuration's loop fully unrolls; `dot` dispatches on it.
     #[inline]
-    fn dot_n<const H: usize>(w: &[i32], history: u64) -> i32 {
+    pub(crate) fn dot_n<const H: usize>(w: &[i32], history: u64) -> i32 {
         let w = &w[..H + 1];
         let mut y = w[0]; // bias w0 (input hardwired to 1)
         for (i, &wi) in w.iter().enumerate().skip(1) {
@@ -165,7 +165,13 @@ impl PerceptronPredictor {
     /// toward `t`, disagreement (−1) away — identical deltas, and the
     /// constant-length clamp loop vectorizes.
     #[inline]
-    fn train_n<const H: usize>(w: &mut [i32], history: u64, t: i32, min_w: i32, max_w: i32) {
+    pub(crate) fn train_n<const H: usize>(
+        w: &mut [i32],
+        history: u64,
+        t: i32,
+        min_w: i32,
+        max_w: i32,
+    ) {
         let w = &mut w[..H + 1];
         w[0] = (w[0] + t).clamp(min_w, max_w);
         for (i, wi) in w.iter_mut().enumerate().skip(1) {

@@ -4,11 +4,13 @@
 //! same trace the full kernel replays, so a perf regression can be
 //! attributed to a phase without a system profiler.
 
-use sipt_core::{sipt_32k_2w, L1Policy, SiptL1};
+use sipt_cache::WayPredictor;
+use sipt_core::{sipt_32k_2w, BlockPredictions, L1Policy, PredictorBank, SiptL1};
 use sipt_cpu::{unpack_meta_fields, MemResponse, OooConfig, OooEngine};
 use sipt_mem::{
     AddressSpace, BuddyAllocator, PhysAddr, PhysFrameNum, PlacementPolicy, Translation, VirtAddr,
 };
+use sipt_predictors::{IndexDeltaBuffer, PerceptronPredictor};
 use sipt_sim::{replay_trace, Machine, SystemKind};
 use sipt_workloads::{benchmark, MaterializedTrace, TraceGen};
 use std::time::Instant;
@@ -48,16 +50,20 @@ fn main() {
         100.0 * mem_count as f64 / INSTS as f64
     );
 
-    // (a) full kernel, combined + ideal policies.
-    for (label, cfg) in [
-        ("full replay (SiptCombined)", sipt_32k_2w()),
-        ("full replay (Ideal)", sipt_32k_2w().with_policy(L1Policy::Ideal)),
+    // (a) full kernel, combined (staged + unstaged predictor front-end)
+    // and ideal policies.
+    for (label, cfg, stage) in [
+        ("full replay (SiptCombined)", sipt_32k_2w(), true),
+        ("full replay (SiptCombined, unstaged)", sipt_32k_2w(), false),
+        ("full replay (Ideal)", sipt_32k_2w().with_policy(L1Policy::Ideal), true),
     ] {
+        sipt_sim::set_predictor_stage(stage);
         let mut machine = Machine::new(asp.clone(), cfg, SystemKind::OooThreeLevel);
         time(label, INSTS, || {
             replay_trace(SystemKind::OooThreeLevel, &mut machine, &trace, "decomp").unwrap()
         });
     }
+    sipt_sim::set_predictor_stage(false);
 
     // (b) cursor walk alone: block slicing + meta decode.
     time("cursor + meta decode", INSTS, || {
@@ -90,6 +96,56 @@ fn main() {
         }
         engine.finish()
     });
+
+    // (c') engine steps with run detection: non-memory runs go through
+    // `step_run` (the production phase-2 shape), memory ops step alone.
+    // The trailing coverage line says how many instructions the closed-
+    // form fast-forward absorbed (it only engages when retirement has
+    // been pushed far ahead of fetch, e.g. beneath a DRAM miss).
+    let run_engine = || {
+        let mut engine = OooEngine::new(OooConfig::default());
+        let mut c = trace.cursor();
+        while let Some(b) = c.next_block(256) {
+            let meta = b.meta;
+            let mut i = 0usize;
+            while i < meta.len() {
+                let start = i;
+                while i < meta.len() && !sipt_cpu::meta_has_mem(meta[i]) {
+                    i += 1;
+                }
+                // Production shape: long runs through the fast-forwarding
+                // slice API, short runs stepped inline.
+                if i - start >= sipt_cpu::RUN_FAST_MIN {
+                    engine.step_run(&meta[start..i]);
+                } else {
+                    for &m in &meta[start..i] {
+                        let (dst, srcs, _, lat) = unpack_meta_fields(m);
+                        engine.step(dst, srcs, None, lat, |_| -> MemResponse {
+                            unreachable!("non-memory instruction")
+                        });
+                    }
+                }
+                if i < meta.len() {
+                    let (dst, srcs, mem_store, lat) = unpack_meta_fields(meta[i]);
+                    engine.step(dst, srcs, mem_store, lat, |_| MemResponse {
+                        latency: 3,
+                        port_slots: 1,
+                    });
+                    i += 1;
+                }
+            }
+        }
+        engine
+    };
+    time("engine step_run (OOO)", INSTS, || run_engine().finish());
+    {
+        let engine = run_engine();
+        println!(
+            "{:32} {:8.1} % of insts",
+            "  fast-forward coverage",
+            100.0 * engine.fast_fwd_insts() as f64 / INSTS as f64
+        );
+    }
 
     // (d) translation phase alone (the production phase-1, both modes).
     for (label, on) in [("phase1 translate (batched)", true), ("phase1 translate (plain)", false)] {
@@ -135,4 +191,78 @@ fn main() {
             acc
         });
     }
+
+    // (f) combined-predictor decomposition: the L1's predictor overhead
+    // split into its ingredients, each over the trace's memory-access
+    // stream. Outcomes use a deterministic synthetic mix (~75% index bits
+    // unchanged) so the perceptron trains at a realistic rate instead of
+    // saturating, and deltas derive from the VA's index bits.
+    let cfg = sipt_32k_2w();
+    let (pcs, mvas): (Vec<u64>, Vec<u64>) = {
+        let mut c = trace.cursor();
+        let (mut p, mut v) = (Vec::new(), Vec::new());
+        while let Some(b) = c.next_block(4096) {
+            let mut mi = 0usize;
+            for (&meta, &pc) in b.meta.iter().zip(b.pcs) {
+                if unpack_meta_fields(meta).2.is_some() {
+                    p.push(pc);
+                    v.push(b.mem_vas[mi]);
+                    mi += 1;
+                }
+            }
+        }
+        (p, v)
+    };
+    let unchanged: Vec<bool> = mvas.iter().map(|&raw| (raw ^ (raw >> 7)) & 3 != 0).collect();
+    let deltas: Vec<u64> = mvas.iter().map(|&raw| (raw >> 12) & 3).collect();
+    let nmem = pcs.len() as u64;
+
+    time("  perceptron predict+train", nmem, || {
+        let mut p = PerceptronPredictor::new(cfg.perceptron);
+        let mut acc = 0u64;
+        for (&pc, &un) in pcs.iter().zip(&unchanged) {
+            acc = acc.wrapping_add(u64::from(p.predict(pc)));
+            p.update(pc, un);
+        }
+        acc
+    });
+    time("  idb predict+update", nmem, || {
+        let mut idb = IndexDeltaBuffer::new(cfg.idb_config());
+        let mut acc = 0u64;
+        for (&pc, &d) in pcs.iter().zip(&deltas) {
+            acc = acc.wrapping_add(idb.predict(pc));
+            idb.update(pc, d);
+        }
+        acc
+    });
+    time("  way predictor", nmem, || {
+        let mut wp = WayPredictor::new(cfg.geometry.sets(), cfg.geometry.ways);
+        let mut acc = 0u64;
+        for &raw in &mvas {
+            let set = (raw >> 6) % cfg.geometry.sets();
+            let way = wp.predict(set);
+            acc = acc.wrapping_add(u64::from(way));
+            wp.record_hit(set, way ^ ((raw >> 9) as u32 & 1));
+        }
+        acc
+    });
+    time("  bank fused combined", nmem, || {
+        let mut bank = PredictorBank::new(cfg.perceptron, cfg.idb_config(), cfg.counter);
+        let mut acc = 0u64;
+        for ((&pc, &un), &d) in pcs.iter().zip(&unchanged).zip(&deltas) {
+            let o = bank.combined_access(pc, un, true, d, None);
+            acc = acc.wrapping_add(o.margin).wrapping_add(o.delta);
+        }
+        acc
+    });
+    time("  bank staged sweep", nmem, || {
+        let bank = PredictorBank::new(cfg.perceptron, cfg.idb_config(), cfg.counter);
+        let mut preds = BlockPredictions::new();
+        let mut acc = 0u64;
+        for (w, (pw, uw)) in pcs.chunks(64).zip(unchanged.chunks(64)).enumerate() {
+            bank.stage_block(pw, uw, true, w * 64, &mut preds);
+            acc = acc.wrapping_add(preds.len() as u64);
+        }
+        acc
+    });
 }

@@ -51,9 +51,10 @@
 use crate::error::SimError;
 use crate::machine::{Machine, SystemKind};
 use sipt_cache::{LineAddr, LowerHierarchy};
-use sipt_core::{policy_tags, BlockTelemetry, L1Policy, PolicyTag, SiptL1};
+use sipt_core::{policy_tags, BlockPredictions, BlockTelemetry, L1Policy, PolicyTag, SiptL1};
 use sipt_cpu::{
-    unpack_meta_fields, CoreResult, InOrderConfig, InOrderEngine, MemResponse, OooConfig, OooEngine,
+    meta_has_mem, unpack_meta_fields, CoreResult, InOrderConfig, InOrderEngine, MemResponse,
+    OooConfig, OooEngine, RUN_FAST_MIN,
 };
 use sipt_dram::Dram;
 use sipt_mem::{VirtAddr, VirtPageNum};
@@ -139,6 +140,52 @@ pub fn tlb_batch_enabled() -> bool {
 }
 
 // ---------------------------------------------------------------------------
+// Predictor-staging knob
+// ---------------------------------------------------------------------------
+
+/// Runtime enable state for the block-staged predictor front-end: 0 =
+/// follow `SIPT_PREDICTOR_STAGE`, 1 = forced on, 2 = forced off.
+static PREDICTOR_STAGE_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+fn predictor_stage_env_default() -> bool {
+    static PARSED: OnceLock<bool> = OnceLock::new();
+    *PARSED.get_or_init(|| match std::env::var("SIPT_PREDICTOR_STAGE") {
+        // Unset or blank keeps the default (off — see below); otherwise
+        // the shared switch semantics apply, so `SIPT_PREDICTOR_STAGE=1`
+        // opts in and `SIPT_PREDICTOR_STAGE=0` forces off.
+        Ok(v) => !v.trim().is_empty() && crate::env::switch_value(&v),
+        Err(_) => false,
+    })
+}
+
+/// Force the block-staged predictor front-end on or off for the rest of
+/// the process, overriding `SIPT_PREDICTOR_STAGE`. Staging is payload-
+/// neutral — the staged records are validity-stamped and the L1 falls
+/// back to the scalar predictor path on any stamp mismatch, so results
+/// are bit-identical either way (pinned by the golden fingerprints, which
+/// the identity suite sweeps with staging forced on *and* off).
+///
+/// It is **off by default**: a staged dot-product costs exactly what the
+/// in-loop dot-product costs (same rows, same unroll), so staging can
+/// only relocate the predictor arithmetic while paying for the gather,
+/// sweep, stamps, and record traffic on top — measured at roughly +7
+/// ns/inst on the combined-policy replay at production block sizes (see
+/// the hot-path appendix in EXPERIMENTS.md). The mechanism stays for
+/// hosts or configurations where the trade flips.
+pub fn set_predictor_stage(on: bool) {
+    PREDICTOR_STAGE_OVERRIDE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+/// Whether the replay kernel stages predictor state per block.
+pub fn predictor_stage_enabled() -> bool {
+    match PREDICTOR_STAGE_OVERRIDE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => predictor_stage_env_default(),
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Engine abstraction
 // ---------------------------------------------------------------------------
 
@@ -158,6 +205,10 @@ trait BlockEngine {
         exec_latency: u64,
         mem: F,
     );
+    /// Advance over a run of non-memory instructions (packed metadata),
+    /// bit-identical to stepping each one; long eligible runs advance in
+    /// closed form (same contract as [`OooEngine::step_run`]).
+    fn step_run(&mut self, metas: &[u32]);
     /// Final counts for the stream stepped so far.
     fn result(&self) -> CoreResult;
 }
@@ -177,6 +228,11 @@ impl BlockEngine for OooEngine {
         mem: F,
     ) {
         self.step(dst, srcs, mem_store, exec_latency, mem);
+    }
+
+    #[inline]
+    fn step_run(&mut self, metas: &[u32]) {
+        OooEngine::step_run(self, metas);
     }
 
     fn result(&self) -> CoreResult {
@@ -199,6 +255,11 @@ impl BlockEngine for InOrderEngine {
         mem: F,
     ) {
         self.step(dst, srcs, mem_store, exec_latency, mem);
+    }
+
+    #[inline]
+    fn step_run(&mut self, metas: &[u32]) {
+        InOrderEngine::step_run(self, metas);
     }
 
     fn result(&self) -> CoreResult {
@@ -293,6 +354,12 @@ fn replay_mono<E: BlockEngine, P: PolicyTag>(
     // phase itself, so the guards stay valid across blocks.
     let batching = tlb_batch_enabled();
     let mut guards = TlbBatch::for_tlb(machine.tlb());
+    // Predictor staging: sweep (pc, unchanged) windows through the fused
+    // bank ahead of the timing loop (lazily, inside `step_block`, so the
+    // scratch stays cache-resident). `unchanged` derives from the batched
+    // translations alone, so staging needs nothing from timing.
+    let staging = predictor_stage_enabled() && machine.l1().staging_eligible();
+    let mut preds = BlockPredictions::new();
     // Telemetry mode is a property of the attachment, fixed for the run:
     // block accumulation when the tracer retains nothing and sampling is
     // 1:1 (the runner's default), per-access recording otherwise.
@@ -329,13 +396,32 @@ fn replay_mono<E: BlockEngine, P: PolicyTag>(
             xbuf.push(outcome);
         }
 
-        // Phase 2: step the timing engine over the block, then drain the
+        // Phase 2: step the timing engine over the block (staging the
+        // predictor front-end in windows as it goes), then drain the
         // block-local telemetry (if engaged) in one merge.
         if block_tlm {
-            step_block::<E, P, true>(&mut engine, l1, lower, &block, &xbuf, &mut blk);
+            step_block::<E, P, true>(
+                &mut engine,
+                l1,
+                lower,
+                &block,
+                &xbuf,
+                staging,
+                &mut preds,
+                &mut blk,
+            );
             l1.flush_block_telemetry(&mut blk);
         } else {
-            step_block::<E, P, false>(&mut engine, l1, lower, &block, &xbuf, &mut blk);
+            step_block::<E, P, false>(
+                &mut engine,
+                l1,
+                lower,
+                &block,
+                &xbuf,
+                staging,
+                &mut preds,
+                &mut blk,
+            );
         }
     }
     Ok(engine.result())
@@ -347,55 +433,135 @@ fn replay_mono<E: BlockEngine, P: PolicyTag>(
 /// selects block-local telemetry accumulation at compile time, so the
 /// per-access path carries no telemetry-mode branch in either instance.
 #[inline]
+#[allow(clippy::too_many_arguments)] // the phase-2 kernel entry: every argument is distinct per-block state
 fn step_block<E: BlockEngine, P: PolicyTag, const BLK_TLM: bool>(
     engine: &mut E,
     l1: &mut SiptL1,
     lower: &mut LowerHierarchy<Dram>,
     block: &InstBlock<'_>,
     xbuf: &[TlbOutcome],
+    staging: bool,
+    preds: &mut BlockPredictions,
     blk: &mut BlockTelemetry,
 ) {
+    let meta = block.meta;
     let mut mem_idx = 0usize;
-    for (&meta, &pc) in block.meta.iter().zip(block.pcs) {
-        let (dst, srcs, mem_store, exec_latency) = unpack_meta_fields(meta);
-        match mem_store {
-            None => engine.step_inst(dst, srcs, None, exec_latency, |_now| {
-                unreachable!("non-memory instructions never access memory")
-            }),
-            Some(is_store) => {
-                let va = VirtAddr::new(block.mem_vas[mem_idx]);
-                let outcome = xbuf[mem_idx];
-                mem_idx += 1;
-                engine.step_inst(dst, srcs, Some(is_store), exec_latency, |now| {
-                    let access = if BLK_TLM {
-                        l1.access_mono_block::<P>(
-                            pc,
-                            va,
-                            outcome.translation,
-                            outcome.cycles,
-                            is_store,
-                            blk,
-                        )
-                    } else {
-                        l1.access_mono::<P>(pc, va, outcome.translation, outcome.cycles, is_store)
-                    };
-                    let mut latency = access.latency;
-                    if !access.hit {
-                        let line = LineAddr::of_phys(outcome.translation.pa);
-                        let service = lower.access(line, is_store, now + latency);
-                        latency += service.latency;
-                        if let Some(evicted) = l1.fill(line, is_store) {
-                            if evicted.dirty {
-                                lower.writeback(evicted.line);
-                            }
-                        }
-                    }
-                    MemResponse { latency, port_slots: access.array_reads.max(1) }
-                });
+    let mut stage_next = 0usize;
+    let mut i = 0usize;
+    while i < meta.len() {
+        if !meta_has_mem(meta[i]) {
+            // A run of non-memory instructions. Long runs go to the
+            // engine as a slice, which fast-forwards eligible chunks in
+            // closed form and replays the rest exactly; short runs (the
+            // common case between memory ops) step inline — the slice
+            // hand-off's bookkeeping costs more than it can save below
+            // the fast-path's own minimum run length.
+            let start = i;
+            i += 1;
+            while i < meta.len() && !meta_has_mem(meta[i]) {
+                i += 1;
             }
+            let run = &meta[start..i];
+            if run.len() >= RUN_FAST_MIN {
+                engine.step_run(run);
+            } else {
+                for &m in run {
+                    let (dst, srcs, _, exec_latency) = unpack_meta_fields(m);
+                    engine.step_inst(dst, srcs, None, exec_latency, |_| -> MemResponse {
+                        unreachable!("non-memory instruction")
+                    });
+                }
+            }
+            continue;
         }
+        let (dst, srcs, mem_store, exec_latency) = unpack_meta_fields(meta[i]);
+        let is_store = mem_store.expect("meta_has_mem guarantees a memory op");
+        let pc = block.pcs[i];
+        let va = VirtAddr::new(block.mem_vas[mem_idx]);
+        let outcome = xbuf[mem_idx];
+        if staging && mem_idx == stage_next {
+            stage_next = stage_window(l1, block, xbuf, i, mem_idx, preds);
+        }
+        let staged = preds.get(mem_idx);
+        mem_idx += 1;
+        i += 1;
+        engine.step_inst(dst, srcs, Some(is_store), exec_latency, |now| {
+            let access = if BLK_TLM {
+                l1.access_mono_block::<P>(
+                    pc,
+                    va,
+                    outcome.translation,
+                    outcome.cycles,
+                    is_store,
+                    staged,
+                    blk,
+                )
+            } else {
+                l1.access_mono_staged::<P>(
+                    pc,
+                    va,
+                    outcome.translation,
+                    outcome.cycles,
+                    is_store,
+                    staged,
+                )
+            };
+            let mut latency = access.latency;
+            if !access.hit {
+                let line = LineAddr::of_phys(outcome.translation.pa);
+                let service = lower.access(line, is_store, now + latency);
+                latency += service.latency;
+                if let Some(evicted) = l1.fill(line, is_store) {
+                    if evicted.dirty {
+                        lower.writeback(evicted.line);
+                    }
+                }
+            }
+            MemResponse { latency, port_slots: access.array_reads.max(1) }
+        });
     }
     debug_assert_eq!(mem_idx, xbuf.len(), "every memory VA consumed");
+}
+
+/// Memory accesses staged per window. Sized so the scratch (stamps +
+/// records + gathered PCs/outcomes) stays L1-cache-resident next to the
+/// block's SoA arrays, and so stamp invalidation — which only has to
+/// cover trainings *within* the window, because the bank is exactly
+/// current at each window start — voids few staged sums.
+const STAGE_WINDOW: usize = 64;
+
+/// Stage the next window of memory accesses starting at instruction
+/// `inst_idx` (block-level memory-access index `mem_idx`): gather up to
+/// [`STAGE_WINDOW`] (pc, unchanged) pairs ahead of the timing cursor and
+/// sweep them through the fused predictor bank. Returns the block-level
+/// access index at which the following window begins.
+fn stage_window(
+    l1: &SiptL1,
+    block: &InstBlock<'_>,
+    xbuf: &[TlbOutcome],
+    inst_idx: usize,
+    mem_idx: usize,
+    preds: &mut BlockPredictions,
+) -> usize {
+    let spec_bits = l1.speculative_bits();
+    let meta = block.meta;
+    let mut pcs = [0u64; STAGE_WINDOW];
+    let mut unchanged = [false; STAGE_WINDOW];
+    let mut n = 0usize;
+    let mut mi = mem_idx;
+    let mut i = inst_idx;
+    while n < STAGE_WINDOW && i < meta.len() {
+        if meta_has_mem(meta[i]) {
+            pcs[n] = block.pcs[i];
+            let va = VirtAddr::new(block.mem_vas[mi]);
+            unchanged[n] = xbuf[mi].translation.index_bits_unchanged(va, spec_bits);
+            mi += 1;
+            n += 1;
+        }
+        i += 1;
+    }
+    l1.stage_block(&pcs[..n], &unchanged[..n], mem_idx, preds);
+    mem_idx + n
 }
 
 #[cfg(test)]

@@ -36,8 +36,8 @@ pub mod sweep;
 pub mod wire;
 
 pub use block::{
-    replay_batch, replay_trace, set_replay_batch, set_tlb_batch, tlb_batch_enabled,
-    DEFAULT_REPLAY_BATCH,
+    predictor_stage_enabled, replay_batch, replay_trace, set_predictor_stage, set_replay_batch,
+    set_tlb_batch, tlb_batch_enabled, DEFAULT_REPLAY_BATCH,
 };
 pub use error::SimError;
 pub use machine::{Machine, SystemKind};

@@ -1,0 +1,135 @@
+//! Subprocess proof that the `SIPT_PREDICTOR_STAGE` opt-in is
+//! payload-invariant.
+//!
+//! The in-process golden tests (`kernel_bit_identity.rs`) flip the knob
+//! through [`sipt_sim::set_predictor_stage`]; this test exercises the
+//! *other* half of the contract — the environment parse a measurement
+//! session would actually use — by re-executing this test binary as a
+//! worker with the variable set. The worker computes the bypass-ablation
+//! payload (its SiptBypass × perceptron runs are the staging-eligible
+//! ones, so the staged front-end genuinely runs when the knob is on) and
+//! prints its fingerprint; every mode must agree with the committed
+//! golden, byte for byte. Staging defaults *off* — `=1` opts in, `=0`
+//! forces off — and the mode line pins that polarity too.
+
+use sipt_core::{sipt_32k_2w, BypassKind, L1Policy};
+use sipt_sim::experiments::report;
+use sipt_sim::{predictor_stage_enabled, set_jobs, Condition, Sweep, SystemKind};
+use sipt_telemetry::json::Json;
+use std::process::Command;
+
+/// FNV-1a 64-bit — same fingerprint function as `kernel_bit_identity.rs`.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Ablation golden fingerprint, mirrored from `kernel_bit_identity.rs`
+/// (the constants are re-pinned together when behaviour intentionally
+/// changes).
+const ABLATION_GOLDEN_FNV1A: u64 = 0x1FC8_C2BB_ABEE_D104;
+
+/// The bypass-predictor ablation payload at smoke scale — the same
+/// construction as `kernel_bit_identity.rs::ablation_payload`, with the
+/// host-time-dependent `phases` object masked.
+fn ablation_payload() -> String {
+    let cond = Condition::quick();
+    let mut sweep = Sweep::new();
+    for &bench in &sipt_sim::experiments::smoke_benchmarks() {
+        sweep.bench(
+            bench,
+            sipt_32k_2w().with_policy(L1Policy::SiptBypass),
+            SystemKind::OooThreeLevel,
+            &cond,
+        );
+        sweep.bench(
+            bench,
+            sipt_32k_2w().with_policy(L1Policy::SiptBypass).with_bypass(BypassKind::Counter),
+            SystemKind::OooThreeLevel,
+            &cond,
+        );
+    }
+    sweep
+        .run()
+        .metrics
+        .iter()
+        .map(|m| {
+            let mut json = report::run_summary_json(m);
+            json.insert("phases", Json::str("masked"));
+            json.render()
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Worker half: inert in a normal test run; under
+/// `SIPT_PREDICTOR_STAGE_WORKER` it computes the serial ablation payload
+/// in a fresh process (so the environment parse, not the programmatic
+/// override, decides the mode) and prints marker lines for the parent.
+#[test]
+fn predictor_stage_payload_worker() {
+    if std::env::var("SIPT_PREDICTOR_STAGE_WORKER").is_err() {
+        return;
+    }
+    set_jobs(1);
+    let payload = ablation_payload();
+    println!("PREDICTOR_STAGE_MODE={}", u8::from(predictor_stage_enabled()));
+    println!("PAYLOAD_FNV={:#018x}", fnv1a(payload.as_bytes()));
+}
+
+/// Re-exec the worker with the knob unset, opted in (`=1`), and forced
+/// off (`=0`), and require byte-identical payloads that match the
+/// committed golden in every mode.
+#[test]
+fn env_opt_in_stages_without_changing_payload_bytes() {
+    let exe = std::env::current_exe().expect("test binary path");
+    let run = |stage_env: Option<&str>| -> (bool, u64) {
+        let mut cmd = Command::new(&exe);
+        cmd.args(["predictor_stage_payload_worker", "--exact", "--nocapture"])
+            .env("SIPT_PREDICTOR_STAGE_WORKER", "1");
+        if let Some(v) = stage_env {
+            cmd.env("SIPT_PREDICTOR_STAGE", v);
+        } else {
+            cmd.env_remove("SIPT_PREDICTOR_STAGE");
+        }
+        let out = cmd.output().expect("spawn worker");
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        assert!(
+            out.status.success(),
+            "worker failed (SIPT_PREDICTOR_STAGE={stage_env:?}):\n{stdout}\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        // The libtest harness may glue its "test ... " progress prefix
+        // onto the worker's first line, so match the key mid-line.
+        let find = |key: &str| {
+            stdout
+                .lines()
+                .find_map(|l| l.split(key).nth(1))
+                .unwrap_or_else(|| panic!("worker printed no {key} line:\n{stdout}"))
+                .trim()
+                .to_owned()
+        };
+        let mode = find("PREDICTOR_STAGE_MODE=") == "1";
+        let fnv_hex = find("PAYLOAD_FNV=");
+        let fnv = u64::from_str_radix(fnv_hex.trim_start_matches("0x"), 16)
+            .unwrap_or_else(|e| panic!("bad PAYLOAD_FNV {fnv_hex:?}: {e}"));
+        (mode, fnv)
+    };
+
+    let (default_mode, default_fnv) = run(None);
+    let (on_mode, on_fnv) = run(Some("1"));
+    let (off_mode, off_fnv) = run(Some("0"));
+    assert!(!default_mode, "staging must default off in a fresh process");
+    assert!(on_mode, "SIPT_PREDICTOR_STAGE=1 must enable staging");
+    assert!(!off_mode, "SIPT_PREDICTOR_STAGE=0 must force staging off");
+    assert_eq!(default_fnv, on_fnv, "opting into predictor staging changed the payload bytes");
+    assert_eq!(default_fnv, off_fnv, "SIPT_PREDICTOR_STAGE=0 changed the payload bytes");
+    assert_eq!(
+        default_fnv, ABLATION_GOLDEN_FNV1A,
+        "ablation payload drifted from the committed golden"
+    );
+}
